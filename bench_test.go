@@ -1,0 +1,288 @@
+package gowali
+
+// Repo-root benchmarks: one testing.B entry per table and figure of the
+// paper's evaluation, all driving internal/bench. Run with
+//
+//	go test -bench=. -benchmem
+//
+// cmd/benchvirt prints the same data as formatted tables.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"gowali/internal/apps"
+	"gowali/internal/bench"
+	"gowali/internal/core"
+	"gowali/internal/emu"
+	"gowali/internal/interp"
+	"gowali/internal/trace"
+)
+
+// BenchmarkTable2Syscalls measures the per-syscall WALI overhead for the
+// paper's 30 representative syscalls (Table 2).
+func BenchmarkTable2Syscalls(b *testing.B) {
+	rows := bench.Table2(2000)
+	for _, r := range rows {
+		b.ReportMetric(float64(r.Overhead.Nanoseconds()), r.Name+"_ns")
+	}
+	// Also expose the calibration number Fig. 7 uses.
+	b.ReportMetric(float64(bench.CalibrateDispatch(20000).Nanoseconds()), "dispatch_ns")
+	_ = rows
+}
+
+// BenchmarkTable3Sigpoll measures safepoint polling cost per scheme
+// (Table 3) on the compute-bound lua app.
+func BenchmarkTable3Sigpoll(b *testing.B) {
+	for _, scheme := range []interp.SafepointScheme{
+		interp.SafepointNone, interp.SafepointLoop, interp.SafepointFunc, interp.SafepointEveryInst,
+	} {
+		scheme := scheme
+		b.Run(scheme.String(), func(b *testing.B) {
+			app, _ := apps.ByName("lua")
+			for i := 0; i < b.N; i++ {
+				w := core.New()
+				w.Scheme = scheme
+				_, status, err := apps.RunOn(w, app, 30000)
+				if err != nil || status != 0 {
+					b.Fatalf("status=%d err=%v", status, err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig2SyscallProfile times a full profiling sweep of the app
+// suite (Fig. 2's data collection).
+func BenchmarkFig2SyscallProfile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		profiles := bench.Fig2Profiles()
+		if len(profiles) != 5 {
+			b.Fatalf("%d profiles", len(profiles))
+		}
+	}
+}
+
+// BenchmarkFig7Breakdown times the runtime-attribution sweep (Fig. 7).
+func BenchmarkFig7Breakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.Fig7()
+		for _, r := range rows {
+			if r.WaliPct > 25 {
+				b.Fatalf("%s: wali share %.1f%% implausible", r.App, r.WaliPct)
+			}
+		}
+	}
+}
+
+// BenchmarkFig8 runs the three-way virtualization comparison per app and
+// backend (Fig. 8b-d). The per-backend sub-benchmarks expose slope
+// comparisons directly in ns/op.
+func BenchmarkFig8(b *testing.B) {
+	scales := map[string]int{"lua": 200000, "bash": 8, "sqlite": 128}
+	for _, name := range bench.Fig8Apps {
+		app, err := apps.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		scale := scales[name]
+		b.Run(name+"/native", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				app.Native(scale)
+			}
+		})
+		b.Run(name+"/wali", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				w := core.New()
+				if app.Setup != nil {
+					app.Setup(w)
+				}
+				m := app.Build(scale)
+				p, err := w.SpawnModule(m, name, nil, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				status, runErr := p.Run()
+				w.WaitAll()
+				if runErr != nil || status != 0 {
+					b.Fatalf("status=%d err=%v", status, runErr)
+				}
+			}
+		})
+		b.Run(name+"/qemu", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				prog, err := apps.RISCFor(name, scale)
+				if err != nil {
+					b.Fatal(err)
+				}
+				m := emu.New(prog, 1<<20, nil)
+				if err := m.Run(1 << 62); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig8Startup isolates the startup intercepts (Fig. 8's
+// crossover argument): WALI instantiation vs container creation.
+func BenchmarkFig8Startup(b *testing.B) {
+	b.Run("wali_instantiate", func(b *testing.B) {
+		app, _ := apps.ByName("lua")
+		m := app.Build(1000)
+		for i := 0; i < b.N; i++ {
+			w := core.New()
+			apps.SetupLua(w.Kernel)
+			if _, err := w.SpawnModule(m, "lua", nil, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("docker_create", func(b *testing.B) {
+		pts := bench.Fig8Time("lua", []int{50000})
+		var docker, wali time.Duration
+		for _, p := range pts {
+			switch p.App {
+			case bench.BackendDocker:
+				docker = p.Startup
+			case bench.BackendWALI:
+				wali = p.Startup
+			}
+		}
+		b.ReportMetric(float64(docker.Nanoseconds()), "docker_startup_ns")
+		b.ReportMetric(float64(wali.Nanoseconds()), "wali_startup_ns")
+		if docker < wali {
+			b.Fatalf("container startup (%v) should exceed WALI startup (%v)", docker, wali)
+		}
+	})
+}
+
+// BenchmarkAblationMmapAllocator compares the paper's single-bump mmap
+// bookkeeping against the free-list allocator (the DESIGN.md ablation).
+func BenchmarkAblationMmapAllocator(b *testing.B) {
+	run := func(b *testing.B, bump bool) {
+		app, _ := apps.ByName("lua") // mmap/munmap every 4096 iterations
+		for i := 0; i < b.N; i++ {
+			w := core.New()
+			apps.SetupLua(w.Kernel)
+			m := app.Build(100000)
+			p, err := w.SpawnModule(m, "lua", nil, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p.Pool.Bump = bump
+			status, runErr := p.Run()
+			w.WaitAll()
+			if runErr != nil || status != 0 {
+				b.Fatalf("status=%d err=%v", status, runErr)
+			}
+			if bump {
+				b.ReportMetric(float64(len(p.Inst.Mem.Data)), "mem_bytes")
+			}
+		}
+	}
+	b.Run("bump", func(b *testing.B) { run(b, true) })
+	b.Run("freelist", func(b *testing.B) { run(b, false) })
+}
+
+// BenchmarkInterpreter measures raw bytecode throughput (context for the
+// §4.3 "engine speed is orthogonal" argument).
+func BenchmarkInterpreter(b *testing.B) {
+	app, _ := apps.ByName("lua")
+	w := core.New()
+	apps.SetupLua(w.Kernel)
+	m := app.Build(100000)
+	p, err := w.SpawnModule(m, "lua", nil, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p.Run()
+	steps := p.Exec.Steps
+	b.ReportMetric(float64(steps), "wasm_instructions")
+	for i := 0; i < b.N; i++ {
+		w := core.New()
+		apps.SetupLua(w.Kernel)
+		p, _ := w.SpawnModule(m, "lua", nil, nil)
+		p.Run()
+		w.WaitAll()
+	}
+}
+
+// BenchmarkWASILayer measures the layering tax: fd_write through
+// WASI-over-WALI vs the direct WALI write (the §4.1 E2 system).
+func BenchmarkWASILayer(b *testing.B) {
+	env := benchWASIEnv(b)
+	b.Run("wasi_fd_write", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if errno := env.call("fd_write", 1, 500, 1, 508); errno != 0 {
+				b.Fatalf("errno %d", errno)
+			}
+		}
+	})
+	b.Run("wali_write", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if ret := env.p.Syscall(env.p.Exec, "write", 1, 1000, 13); ret < 0 {
+				b.Fatalf("ret %d", ret)
+			}
+		}
+	})
+}
+
+type wasiBenchEnv struct {
+	p    *core.Process
+	call func(name string, args ...uint64) uint32
+}
+
+func benchWASIEnv(b *testing.B) *wasiBenchEnv {
+	b.Helper()
+	// Reuse the trampoline from the wasi tests via a local rebuild: a
+	// module importing fd_write and exporting a forwarder.
+	w := core.New()
+	layer := attachWASI(w)
+	_ = layer
+	m := wasiTrampoline()
+	p, err := w.SpawnModule(m, "wasibench", nil, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	copy(p.Inst.Mem.Data[1000:], "bench payload")
+	p.Inst.Mem.WriteU32(500, 1000)
+	p.Inst.Mem.WriteU32(504, 13)
+	fidx, _ := m.ExportedFunc("w_fd_write")
+	return &wasiBenchEnv{
+		p: p,
+		call: func(name string, args ...uint64) uint32 {
+			res, err := p.Exec.Invoke(fidx, args...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return uint32(res[0])
+		},
+	}
+}
+
+// BenchmarkTrace measures collector overhead (the Fig. 2 instrumentation
+// must not distort profiles).
+func BenchmarkTrace(b *testing.B) {
+	w := core.New()
+	col := trace.NewCollector()
+	col.Attach(w)
+	app, _ := apps.ByName("lua")
+	for i := 0; i < b.N; i++ {
+		if _, status, err := apps.RunOn(w, app, 20000); err != nil || status != 0 {
+			b.Fatalf("status=%d err=%v", status, err)
+		}
+	}
+	d, n := col.Total()
+	b.ReportMetric(float64(d.Nanoseconds())/float64(max64(n, 1)), "ns_per_syscall")
+}
+
+func max64(a uint64, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+var _ = fmt.Sprintf // keep fmt for debug formatting in helpers

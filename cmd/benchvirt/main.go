@@ -1,0 +1,102 @@
+// benchvirt regenerates the evaluation artifacts of §4: Table 1 (porting
+// matrix), Table 2 (syscall overheads), Table 3 (signal polling), Fig. 7
+// (runtime breakdown) and Fig. 8 (virtualization comparison vs Docker-sim
+// and QEMU-sim).
+//
+//	benchvirt -all
+//	benchvirt -table2 -iters 5000
+//	benchvirt -fig8time -scales 10000,50000,100000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"gowali/internal/bench"
+)
+
+func main() {
+	all := flag.Bool("all", false, "run everything")
+	t1 := flag.Bool("table1", false, "porting matrix (Table 1)")
+	t2 := flag.Bool("table2", false, "syscall overheads (Table 2)")
+	t3 := flag.Bool("table3", false, "safepoint polling cost (Table 3)")
+	f7 := flag.Bool("fig7", false, "runtime breakdown (Fig. 7)")
+	f8t := flag.Bool("fig8time", false, "execution time comparison (Fig. 8b-d)")
+	f8m := flag.Bool("fig8mem", false, "peak memory comparison (Fig. 8a)")
+	iters := flag.Int("iters", 2000, "iterations for Table 2")
+	scaleList := flag.String("scales", "20000,60000,120000", "lua scales for -fig8time (bash/sqlite scaled down proportionally)")
+	flag.Parse()
+
+	if *all {
+		*t1, *t2, *t3, *f7, *f8t, *f8m = true, true, true, true, true, true
+	}
+	if !(*t1 || *t2 || *t3 || *f7 || *f8t || *f8m) {
+		*t1, *t2 = true, true
+	}
+
+	if *t1 {
+		fmt.Println("== Table 1: porting effort ==")
+		fmt.Print(bench.FormatTable1(bench.Table1()))
+		fmt.Println()
+	}
+	if *t2 {
+		fmt.Println("== Table 2: WALI syscall overheads ==")
+		fmt.Print(bench.FormatTable2(bench.Table2(*iters)))
+		fmt.Printf("calibrated dispatch overhead: %s/call\n\n", bench.CalibrateDispatch(20000))
+	}
+	if *t3 {
+		fmt.Println("== Table 3: async signal polling cost ==")
+		fmt.Print(bench.FormatTable3(bench.Table3()))
+		fmt.Println()
+	}
+	if *f7 {
+		fmt.Println("== Fig. 7: runtime breakdown ==")
+		fmt.Print(bench.FormatFig7(bench.Fig7()))
+		fmt.Println()
+	}
+	if *f8t {
+		fmt.Println("== Fig. 8b-d: execution time (startup + run) ==")
+		luaScales := parseScales(*scaleList)
+		for _, app := range bench.Fig8Apps {
+			scales := make([]int, len(luaScales))
+			for i, s := range luaScales {
+				switch app {
+				case "lua":
+					scales[i] = s
+				case "bash":
+					scales[i] = maxInt(2, s/8000)
+				case "sqlite":
+					scales[i] = maxInt(16, s/400)
+				}
+			}
+			fmt.Print(bench.FormatFig8(bench.Fig8Time(app, scales)))
+		}
+		fmt.Println()
+	}
+	if *f8m {
+		fmt.Println("== Fig. 8a: peak memory ==")
+		fmt.Print(bench.FormatFig8Mem(bench.Fig8Mem()))
+	}
+}
+
+func parseScales(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		if v, err := strconv.Atoi(strings.TrimSpace(part)); err == nil && v > 0 {
+			out = append(out, v)
+		}
+	}
+	if len(out) == 0 {
+		out = []int{20000, 60000}
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

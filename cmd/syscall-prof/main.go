@@ -1,0 +1,47 @@
+// syscall-prof emits the scoping-study data of §2: the Fig. 2 syscall
+// profile across the application suite and the Fig. 3 ISA-commonality
+// analysis.
+//
+//	syscall-prof -fig2
+//	syscall-prof -fig3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gowali/internal/bench"
+	"gowali/internal/trace"
+)
+
+func main() {
+	fig2 := flag.Bool("fig2", false, "syscall profile across applications (Fig. 2)")
+	fig3 := flag.Bool("fig3", false, "syscall commonality across ISAs (Fig. 3)")
+	flag.Parse()
+	if !*fig2 && !*fig3 {
+		*fig2, *fig3 = true, true
+	}
+	if *fig2 {
+		fmt.Println("== Fig. 2: log-normalized syscall profile ==")
+		profiles := bench.Fig2Profiles()
+		fmt.Print(bench.FormatFig2(profiles))
+		var unique int
+		seen := map[string]bool{}
+		for _, p := range profiles {
+			for s := range p.Counts {
+				if !seen[s] {
+					seen[s] = true
+					unique++
+				}
+			}
+		}
+		fmt.Printf("\nunion of invoked syscalls across apps: %d\n\n", unique)
+		_ = trace.Profile{}
+	}
+	if *fig3 {
+		fmt.Println("== Fig. 3: Linux syscall similarity across ISAs ==")
+		fmt.Print(bench.FormatFig3())
+	}
+	os.Exit(0)
+}

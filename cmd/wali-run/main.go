@@ -1,0 +1,87 @@
+// wali-run executes WebAssembly binaries over WALI — the iwasm analogue
+// of the paper's artifact. It runs either a .wasm file from the host
+// filesystem or one of the built-in ported applications:
+//
+//	wali-run -app lua -scale 50000
+//	wali-run -app bash -verbose
+//	wali-run program.wasm arg1 arg2
+//
+// -verbose mirrors WALI_VERBOSE: every dynamically executed syscall is
+// printed (experiment E1).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gowali/internal/apps"
+	"gowali/internal/core"
+	"gowali/internal/trace"
+	"gowali/internal/wasm"
+)
+
+func main() {
+	appName := flag.String("app", "", "run a built-in ported app (lua, bash, sqlite, memcached, paho-mqtt)")
+	scale := flag.Int("scale", 1000, "workload scale for built-in apps")
+	verbose := flag.Bool("verbose", false, "print every executed syscall (WALI_VERBOSE)")
+	stats := flag.Bool("stats", false, "print syscall statistics after the run")
+	flag.Parse()
+
+	w := core.New()
+	col := trace.NewCollector()
+	if *verbose {
+		col.Verbose = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	}
+	col.Attach(w)
+
+	var status int32
+	var err error
+	switch {
+	case *appName != "":
+		var a apps.App
+		a, err = apps.ByName(*appName)
+		if err == nil {
+			_, status, err = apps.RunOn(w, a, *scale)
+		}
+	case flag.NArg() > 0:
+		status, err = runFile(w, flag.Arg(0), flag.Args())
+	default:
+		fmt.Fprintln(os.Stderr, "usage: wali-run [-app name | file.wasm] [args...]")
+		os.Exit(2)
+	}
+	os.Stdout.Write(w.Console().Output())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wali-run: %v\n", err)
+		os.Exit(1)
+	}
+	if *stats {
+		d, n := col.Total()
+		fmt.Fprintf(os.Stderr, "syscalls: %d calls, %d distinct, %s in handlers\n", n, col.Unique(), d)
+		for name, c := range col.Counts() {
+			fmt.Fprintf(os.Stderr, "  %-20s %d\n", name, c)
+		}
+	}
+	os.Exit(int(status))
+}
+
+func runFile(w *core.WALI, path string, argv []string) (int32, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 127, err
+	}
+	m, err := wasm.Decode(raw)
+	if err != nil {
+		return 127, fmt.Errorf("decode %s: %w", path, err)
+	}
+	if err := wasm.Validate(m); err != nil {
+		return 127, fmt.Errorf("validate %s: %w", path, err)
+	}
+	p, err := w.SpawnModule(m, path, argv, os.Environ())
+	if err != nil {
+		return 127, err
+	}
+	status, runErr := p.Run()
+	w.WaitAll()
+	return status, runErr
+}

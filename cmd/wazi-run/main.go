@@ -1,0 +1,101 @@
+// wazi-run executes a module over WAZI on the simulated Zephyr board —
+// the §5.1 deployment (a Lua-like toolchain on a Nucleo-F767ZI running
+// Zephyr). With no arguments it runs the built-in demo workload.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gowali/internal/wasm"
+	"gowali/internal/wazi"
+	"gowali/internal/zephyr"
+)
+
+func main() {
+	iters := flag.Int("iters", 50000, "demo interpreter iterations")
+	flag.Parse()
+
+	var m *wasm.Module
+	if flag.NArg() > 0 {
+		raw, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		var derr error
+		m, derr = wasm.Decode(raw)
+		if derr != nil {
+			fatal(derr)
+		}
+	} else {
+		m = demoModule(*iters)
+	}
+
+	w := wazi.New()
+	p, err := w.Spawn(m)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "board: %s\n", w.Z)
+	fmt.Fprintf(os.Stderr, "wazi: %.0f%% of bindings auto-generated from the syscall encoding\n",
+		100*wazi.PassthroughRatio())
+	if err := p.Run(); err != nil {
+		fatal(err)
+	}
+	os.Stdout.Write(w.Z.ConsoleOutput())
+	fmt.Fprintf(os.Stderr, "board after run: %s\n", w.Z)
+}
+
+// demoModule is the lua-like interpreter kernel targeted at WAZI: console
+// output, uptime reads, a compute loop and the flash filesystem.
+func demoModule(iters int) *wasm.Module {
+	b := wasm.NewBuilder("zephyr-lua")
+	sysOut := wazi.ImportSyscall(b, "console_out")
+	sysUp := wazi.ImportSyscall(b, "k_uptime_get")
+	sysOpen := wazi.ImportSyscall(b, "fs_open")
+	sysWrite := wazi.ImportSyscall(b, "fs_write")
+	sysClose := wazi.ImportSyscall(b, "fs_close")
+	b.Memory(2, 8, false)
+	b.Data(256, []byte("lua-on-zephyr: ok\n"))
+	b.Data(300, []byte("result.bin\x00"))
+
+	f := b.NewFunc("_start", nil, nil)
+	x := f.Local(wasm.I32)
+	i := f.Local(wasm.I32)
+	fd := f.Local(wasm.I64)
+	f.Call(sysUp).Drop()
+	// Compute loop.
+	f.I32Const(-1640531527).LocalSet(x)
+	f.I32Const(0).LocalSet(i)
+	f.Block()
+	f.Loop()
+	f.LocalGet(i).I32Const(int32(iters)).Op(wasm.OpI32GeU).BrIf(1)
+	f.LocalGet(x).LocalGet(x).I32Const(13).Op(wasm.OpI32Shl).Op(wasm.OpI32Xor).LocalSet(x)
+	f.LocalGet(x).LocalGet(x).I32Const(17).Op(wasm.OpI32ShrU).Op(wasm.OpI32Xor).LocalSet(x)
+	f.LocalGet(x).LocalGet(x).I32Const(5).Op(wasm.OpI32Shl).Op(wasm.OpI32Xor).LocalSet(x)
+	f.LocalGet(i).I32Const(1).Op(wasm.OpI32Add).LocalSet(i)
+	f.Br(0)
+	f.End()
+	f.End()
+	// Persist the result to flash.
+	f.I32Const(512).LocalGet(x).Store(wasm.OpI32Store, 0)
+	f.I64Const(300).I64Const(11).I64Const(1).Call(sysOpen).LocalSet(fd)
+	f.LocalGet(fd).I64Const(512).I64Const(4).Call(sysWrite).Drop()
+	f.LocalGet(fd).Call(sysClose).Drop()
+	f.I64Const(256).I64Const(18).Call(sysOut).Drop()
+	f.Call(sysUp).Drop()
+	f.Finish()
+	m, err := b.Build()
+	if err != nil {
+		fatal(err)
+	}
+	return m
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "wazi-run: %v\n", err)
+	os.Exit(1)
+}
+
+var _ = zephyr.SRAMBudget // document the simulated board constraint

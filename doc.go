@@ -1,0 +1,8 @@
+// Package gowali is a from-scratch Go reproduction of "Empowering
+// WebAssembly with Thin Kernel Interfaces" (EuroSys 2025): the WALI Linux
+// kernel interface for Wasm, the WAZI Zephyr interface, a WASI layer built
+// above WALI, and the full evaluation harness.
+//
+// See DESIGN.md for the system inventory and per-experiment index,
+// EXPERIMENTS.md for paper-vs-measured results, and README.md for usage.
+package gowali

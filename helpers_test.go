@@ -1,0 +1,31 @@
+package gowali
+
+import (
+	"gowali/internal/core"
+	"gowali/internal/wasi"
+	"gowali/internal/wasm"
+)
+
+// attachWASI installs the WASI-over-WALI layer on an engine.
+func attachWASI(w *core.WALI) *wasi.Layer {
+	return wasi.Attach(w)
+}
+
+// wasiTrampoline builds a minimal module importing fd_write and exporting
+// a forwarder, for the layering benchmark.
+func wasiTrampoline() *wasm.Module {
+	b := wasm.NewBuilder("wasibench")
+	i32 := wasm.I32
+	fdw := b.ImportFunc(wasi.Namespace, "fd_write",
+		[]wasm.ValType{i32, i32, i32, i32}, []wasm.ValType{i32})
+	b.Memory(4, 16, false)
+	f := b.NewFunc("w_fd_write", []wasm.ValType{i32, i32, i32, i32}, []wasm.ValType{i32})
+	f.LocalGet(0).LocalGet(1).LocalGet(2).LocalGet(3).Call(fdw)
+	f.Finish()
+	b.NewFunc(core.StartExport, nil, nil).Finish()
+	m, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return m
+}

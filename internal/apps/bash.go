@@ -1,0 +1,156 @@
+package apps
+
+import (
+	"gowali/internal/core"
+	"gowali/internal/kernel"
+	"gowali/internal/linux"
+	"gowali/internal/wasm"
+)
+
+// BuildBash constructs the bash-analogue: shell job-control behaviour —
+// signal handlers, a command loop of pipe/fork/exec/wait, and fd
+// shuffling. Signals are the Table 1 feature missing from WASI for bash.
+func BuildBash(scale int) *wasm.Module {
+	w := NewW("bash",
+		"rt_sigaction", "rt_sigprocmask", "pipe2", "fork", "wait4",
+		"read", "write", "close", "dup2", "getpid", "kill", "execve",
+		"getcwd", "chdir", "exit_group")
+	w.Data(strBase, []byte("/bin/true.wasm\x00"))
+	w.Data(strBase+100, []byte("/tmp\x00"))
+	w.Data(strBase+200, []byte("bash: jobs done\n"))
+
+	// SIGCHLD handler at table slot 2: bumps the reap counter.
+	h := w.NewFunc("", []wasm.ValType{wasm.I32}, nil)
+	h.I32Const(700).I32Const(700).Load(wasm.OpI32Load, 0).I32Const(1).Op(wasm.OpI32Add).Store(wasm.OpI32Store, 0)
+	f0 := h.Finish()
+	w.Table(4, 4)
+	w.Elem(2, f0)
+
+	f := w.NewFunc("_start", nil, nil)
+	r := f.Local(wasm.I64)
+	x := f.Local(wasm.I32)
+	i := f.Local(wasm.I32)
+	k := f.Local(wasm.I32)
+
+	// Shell init: cwd bookkeeping + signal setup.
+	w.CallC(f, "getcwd", bufBase, 256)
+	f.Drop()
+	w.CallC(f, "chdir", strBase+100)
+	f.Drop()
+	// sigaction(SIGCHLD, {handler: table 2}).
+	f.I32Const(800).I32Const(2).Store(wasm.OpI32Store, 0)
+	f.I32Const(804).I32Const(0).Store(wasm.OpI32Store, 0)
+	w.CallC(f, "rt_sigaction", linux.SIGCHLD, 800, 0, 8)
+	f.Drop()
+	// Ignore SIGINT while running jobs (SIG_IGN = 1).
+	f.I32Const(824).I32Const(linux.SIG_IGN).Store(wasm.OpI32Store, 0)
+	w.CallC(f, "rt_sigaction", linux.SIGINT, 824, 0, 8)
+	f.Drop()
+	// Block+unblock SIGCHLD around the job loop (job-control idiom).
+	f.I32Const(848).I64Const(1<<(linux.SIGCHLD-1)).Store(wasm.OpI64Store, 0)
+	w.CallC(f, "rt_sigprocmask", linux.SIG_BLOCK, 848, 0, 8)
+	f.Drop()
+
+	countLoop(f, i, uint32(scale), func() {
+		// pipe2(pfd @ 900).
+		w.CallC(f, "pipe2", 900, 0)
+		f.Drop()
+		w.CallC(f, "fork")
+		f.LocalSet(r)
+		f.LocalGet(r).Op(wasm.OpI64Eqz)
+		f.If()
+		{
+			// Child command: close read end, small compute, report via
+			// the pipe, then exec /bin/true.wasm or exit.
+			f.I32Const(900).Load(wasm.OpI32Load, 0).Op(wasm.OpI64ExtendI32U)
+			w.Pad(f, "close", 1)
+			f.Drop()
+			f.I32Const(0xC0FFEE).LocalSet(x)
+			countLoop(f, k, 512, func() { xorshift32(f, x) })
+			f.I32Const(910).LocalGet(x).Store(wasm.OpI32Store, 0)
+			// dup2(wfd, 10): classic shell redirection shape.
+			f.I32Const(904).Load(wasm.OpI32Load, 0).Op(wasm.OpI64ExtendI32U).I64Const(10)
+			w.Pad(f, "dup2", 2)
+			f.Drop()
+			w.CallC(f, "write", 10, 910, 4)
+			f.Drop()
+			w.CallC(f, "close", 10)
+			f.Drop()
+			f.I32Const(904).Load(wasm.OpI32Load, 0).Op(wasm.OpI64ExtendI32U)
+			w.Pad(f, "close", 1)
+			f.Drop()
+			// Every 4th command execs an external binary.
+			f.LocalGet(i).I32Const(3).Op(wasm.OpI32And).Op(wasm.OpI32Eqz)
+			f.If()
+			w.CallC(f, "execve", strBase, 0, 0)
+			f.Drop()
+			f.End()
+			w.CallC(f, "exit_group", 0)
+			f.Drop()
+		}
+		f.End()
+		// Parent: close write end, read the result, reap.
+		f.I32Const(904).Load(wasm.OpI32Load, 0).Op(wasm.OpI64ExtendI32U)
+		w.Pad(f, "close", 1)
+		f.Drop()
+		f.I32Const(900).Load(wasm.OpI32Load, 0).Op(wasm.OpI64ExtendI32U).I64Const(920).I64Const(4)
+		w.Pad(f, "read", 3)
+		f.Drop()
+		f.I32Const(900).Load(wasm.OpI32Load, 0).Op(wasm.OpI64ExtendI32U)
+		w.Pad(f, "close", 1)
+		f.Drop()
+		w.CallC(f, "wait4", -1, 930, 0, 0)
+		f.Drop()
+	})
+
+	// Unblock SIGCHLD: pending handler invocations fire here.
+	w.CallC(f, "rt_sigprocmask", linux.SIG_UNBLOCK, 848, 0, 8)
+	f.Drop()
+	// kill(0-probe): sig 0 permission check on self.
+	w.CallC(f, "getpid")
+	f.I64Const(0)
+	w.Pad(f, "kill", 2)
+	f.Drop()
+	w.CallC(f, "write", 1, strBase+200, 16)
+	f.Drop()
+	w.CallC(f, "exit_group", 0)
+	f.Drop()
+	f.Finish()
+	return w.Module()
+}
+
+// SetupBash installs /bin/true.wasm, the external command children exec.
+func SetupBash(wali *core.WALI) error {
+	b := NewW("true", "exit_group")
+	f := b.NewFunc("_start", nil, nil)
+	b.CallC(f, "exit_group", 0)
+	f.Drop()
+	f.Finish()
+	m, err := b.Build()
+	if err != nil {
+		return err
+	}
+	return wali.InstallBinary("/bin/true.wasm", m)
+}
+
+// SetupBashFS prepares kernel-side state (none needed beyond /tmp, which
+// boot provides); kept for interface symmetry.
+func SetupBashFS(k *kernel.Kernel) {}
+
+// BashNative runs the same per-command compute kernel natively: scale
+// commands, each 512 xorshift steps plus a result hand-off.
+func BashNative(scale int) uint32 {
+	var last uint32
+	for i := 0; i < scale; i++ {
+		x := uint32(0xC0FFEE)
+		for k := 0; k < 512; k++ {
+			x ^= x << 13
+			x ^= x >> 17
+			x ^= x << 5
+		}
+		ch := make(chan uint32, 1)
+		ch <- x
+		last = <-ch
+	}
+	return last
+}

@@ -1,0 +1,110 @@
+// Package apps is the ported-application suite: the five workloads the
+// paper evaluates (lua, bash, sqlite3, memcached, paho-mqtt analogues)
+// compiled against the WALI import surface with the internal/wasm builder
+// — the stand-in for recompiling the real codebases with the WALI clang
+// target. Each app reproduces its original's syscall *profile* (Fig. 2)
+// and resource behaviour, not its full feature set.
+//
+// Apps are also provided as native Go kernels and RISC-assembly kernels so
+// the Fig. 8 comparison can run the same work on every virtualization
+// backend.
+package apps
+
+import (
+	"gowali/internal/core"
+	"gowali/internal/wasm"
+)
+
+// W wraps the module builder with WALI syscall plumbing.
+type W struct {
+	*wasm.Builder
+	Sys map[string]uint32
+}
+
+// NewW starts an app module importing the named syscalls, with a 1 MiB
+// initial / 16 MiB max memory.
+func NewW(name string, syscalls ...string) *W {
+	w := &W{Builder: wasm.NewBuilder(name), Sys: map[string]uint32{}}
+	for _, s := range syscalls {
+		w.Sys[s] = core.ImportSyscall(w.Builder, s)
+	}
+	w.Memory(16, 256, false)
+	return w
+}
+
+// arity looks up a syscall's argument count.
+func arity(name string) int {
+	if d, ok := core.Registry()[name]; ok {
+		return d.NArgs
+	}
+	return 6
+}
+
+// Call emits a syscall whose arguments are already on the stack (count
+// must match arity; missing args are zero-padded by PadCall instead).
+func (w *W) Call(f *wasm.FuncBuilder, name string) {
+	f.Call(w.Sys[name])
+}
+
+// CallC emits a syscall with constant arguments, zero-padding to arity.
+func (w *W) CallC(f *wasm.FuncBuilder, name string, args ...int64) {
+	for _, a := range args {
+		f.I64Const(a)
+	}
+	for i := len(args); i < arity(name); i++ {
+		f.I64Const(0)
+	}
+	f.Call(w.Sys[name])
+}
+
+// Pad pushes zero i64s so a partially-stacked argument list reaches the
+// syscall's arity.
+func (w *W) Pad(f *wasm.FuncBuilder, name string, have int) {
+	for i := have; i < arity(name); i++ {
+		f.I64Const(0)
+	}
+	f.Call(w.Sys[name])
+}
+
+// Std memory layout for apps: scratch regions kept clear of data strings.
+const (
+	strBase  = 1024  // static strings
+	bufBase  = 8192  // I/O buffers
+	tblBase  = 65536 // in-memory tables
+	heapHint = 1 << 20
+)
+
+// xorshift32 emits the xorshift step x ^= x<<13; x ^= x>>17; x ^= x<<5 on
+// the i32 local x — the shared compute kernel across app backends.
+func xorshift32(f *wasm.FuncBuilder, x uint32) {
+	f.LocalGet(x).LocalGet(x).I32Const(13).Op(wasm.OpI32Shl).Op(wasm.OpI32Xor).LocalSet(x)
+	f.LocalGet(x).LocalGet(x).I32Const(17).Op(wasm.OpI32ShrU).Op(wasm.OpI32Xor).LocalSet(x)
+	f.LocalGet(x).LocalGet(x).I32Const(5).Op(wasm.OpI32Shl).Op(wasm.OpI32Xor).LocalSet(x)
+}
+
+// countLoop opens a loop running body() count times using local i;
+// the body must not touch i.
+func countLoop(f *wasm.FuncBuilder, i uint32, count uint32, body func()) {
+	f.I32Const(0).LocalSet(i)
+	f.Block()
+	f.Loop()
+	f.LocalGet(i).I32Const(int32(count)).Op(wasm.OpI32GeU).BrIf(1)
+	body()
+	f.LocalGet(i).I32Const(1).Op(wasm.OpI32Add).LocalSet(i)
+	f.Br(0)
+	f.End()
+	f.End()
+}
+
+// localLoop is countLoop with a dynamic bound in local n.
+func localLoop(f *wasm.FuncBuilder, i, n uint32, body func()) {
+	f.I32Const(0).LocalSet(i)
+	f.Block()
+	f.Loop()
+	f.LocalGet(i).LocalGet(n).Op(wasm.OpI32GeU).BrIf(1)
+	body()
+	f.LocalGet(i).I32Const(1).Op(wasm.OpI32Add).LocalSet(i)
+	f.Br(0)
+	f.End()
+	f.End()
+}

@@ -1,0 +1,109 @@
+package apps
+
+import (
+	"bytes"
+
+	"gowali/internal/kernel"
+	"gowali/internal/linux"
+	"gowali/internal/wasm"
+)
+
+// BuildLua constructs the lua-analogue: a script interpreter profile —
+// load a script file, run a compute-heavy interpreter loop with frequent
+// small allocations (the paper calls lua out for allocation-heavy
+// behaviour), and print a result. Uses dup, the feature Table 1 lists as
+// missing from WASI for lua.
+func BuildLua(scale int) *wasm.Module {
+	w := NewW("lua",
+		"open", "read", "fstat", "close", "dup", "write",
+		"mmap", "munmap", "brk", "clock_gettime", "exit_group")
+	w.Data(strBase, []byte("/scripts/bench.lua\x00"))
+	w.Data(strBase+100, []byte("lua: ok\n"))
+
+	f := w.NewFunc("_start", nil, nil)
+	fd := f.Local(wasm.I64)
+	d := f.Local(wasm.I64)
+	x := f.Local(wasm.I32)
+	i := f.Local(wasm.I32)
+	addr := f.Local(wasm.I64)
+
+	// Script load phase: open, fstat, read to EOF, dup probe, close.
+	w.CallC(f, "open", strBase, linux.O_RDONLY, 0)
+	f.LocalSet(fd)
+	f.LocalGet(fd).I64Const(strBase + 200)
+	w.Pad(f, "fstat", 2)
+	f.Drop()
+	f.Block()
+	f.Loop()
+	f.LocalGet(fd).I64Const(bufBase).I64Const(4096)
+	w.Pad(f, "read", 3)
+	f.I64Const(0).Op(wasm.OpI64LeS).BrIf(1)
+	f.Br(0)
+	f.End()
+	f.End()
+	f.LocalGet(fd)
+	w.Pad(f, "dup", 1)
+	f.LocalSet(d)
+	f.LocalGet(d)
+	w.Pad(f, "close", 1)
+	f.Drop()
+	f.LocalGet(fd)
+	w.Pad(f, "close", 1)
+	f.Drop()
+
+	// Interpreter loop: xorshift compute; every 4096 iterations an
+	// allocate/touch/free cycle through mmap.
+	w.CallC(f, "clock_gettime", linux.CLOCK_MONOTONIC, strBase+300)
+	f.Drop()
+	w.CallC(f, "brk", 0)
+	f.Drop()
+	f.I32Const(-1640531527).LocalSet(x)
+	countLoop(f, i, uint32(scale), func() {
+		xorshift32(f, x)
+		f.LocalGet(i).I32Const(4095).Op(wasm.OpI32And).Op(wasm.OpI32Eqz)
+		f.If()
+		w.CallC(f, "mmap", 0, 65536,
+			linux.PROT_READ|linux.PROT_WRITE, linux.MAP_ANONYMOUS|linux.MAP_PRIVATE, -1, 0)
+		f.LocalSet(addr)
+		f.LocalGet(addr).Op(wasm.OpI32WrapI64).LocalGet(x).Store(wasm.OpI32Store, 0)
+		f.LocalGet(addr).I64Const(65536)
+		w.Pad(f, "munmap", 2)
+		f.Drop()
+		f.End()
+	})
+
+	// Result: stash x (observable) then report.
+	f.I32Const(strBase+400).LocalGet(x).Store(wasm.OpI32Store, 0)
+	w.CallC(f, "write", 1, strBase+100, 8)
+	f.Drop()
+	w.CallC(f, "exit_group", 0)
+	f.Drop()
+	f.Finish()
+	return w.Module()
+}
+
+// SetupLua seeds the script file the app opens.
+func SetupLua(k *kernel.Kernel) {
+	script := bytes.Repeat([]byte("local x = 0\nfor i=1,100 do x = x + i end\n"), 64)
+	k.FS.MkdirAll("/scripts", 0o755)
+	k.FS.WriteFile("/scripts/bench.lua", script, 0o644)
+}
+
+// LuaNative is the same interpreter kernel natively (Fig. 8's native
+// baseline): identical xorshift loop with a heap allocation every 4096
+// iterations.
+func LuaNative(scale int) uint32 {
+	x := uint32(0x9E3779B9)
+	var sink []byte
+	for i := 0; i < scale; i++ {
+		x ^= x << 13
+		x ^= x >> 17
+		x ^= x << 5
+		if i&4095 == 0 {
+			sink = make([]byte, 65536)
+			sink[0] = byte(x)
+		}
+	}
+	_ = sink
+	return x
+}

@@ -1,0 +1,210 @@
+package apps
+
+import (
+	"gowali/internal/linux"
+	"gowali/internal/wasm"
+)
+
+// BuildMemcached constructs the memcached-analogue: an epoll-driven
+// key-value daemon with a worker client thread — sockets, epoll, threads,
+// futexes and a shared in-memory table. mmap/threads are the Table 1
+// features missing from WASI for memcached.
+//
+// Protocol: 8-byte records (key u32, val u32); the server stores val at
+// key and echoes the record back.
+func BuildMemcached(scale int) *wasm.Module {
+	w := NewW("memcached",
+		"socket", "bind", "listen", "accept4", "connect",
+		"epoll_create1", "epoll_ctl", "epoll_wait",
+		"recvfrom", "sendto", "setsockopt", "clone", "futex",
+		"close", "write", "getpid", "exit_group", "mmap")
+	// sockaddr_in at strBase: AF_INET, port 11211 big-endian, 127.0.0.1.
+	w.Data(strBase, []byte{linux.AF_INET, 0, 0x2B, 0xCB, 127, 0, 0, 1})
+	w.Data(strBase+100, []byte("memcached: done\n"))
+
+	// --- client thread (table slot 2) ---
+	cl := w.NewFunc("", []wasm.ValType{wasm.I32}, nil)
+	cs := cl.Local(wasm.I64)
+	ci := cl.Local(wasm.I32)
+	w.CallC(cl, "socket", linux.AF_INET, linux.SOCK_STREAM, 0)
+	cl.LocalSet(cs)
+	cl.LocalGet(cs).I64Const(strBase).I64Const(8)
+	w.Pad(cl, "connect", 3)
+	cl.Drop()
+	countLoop(cl, ci, uint32(scale), func() {
+		// record at 2048: key = i & 0x3FF, val = i * 0x9E3779B1.
+		cl.I32Const(2048).LocalGet(ci).I32Const(0x3FF).Op(wasm.OpI32And).Store(wasm.OpI32Store, 0)
+		cl.I32Const(2052).LocalGet(ci).I32Const(-1640531535).Op(wasm.OpI32Mul).Store(wasm.OpI32Store, 0)
+		cl.LocalGet(cs).I64Const(2048).I64Const(8)
+		w.Pad(cl, "sendto", 3)
+		cl.Drop()
+		cl.LocalGet(cs).I64Const(2056).I64Const(8)
+		w.Pad(cl, "recvfrom", 3)
+		cl.Drop()
+	})
+	cl.LocalGet(cs)
+	w.Pad(cl, "close", 1)
+	cl.Drop()
+	// Completion flag + futex wake at address 960.
+	cl.I32Const(960).I32Const(1).Store(wasm.OpI32Store, 0)
+	w.CallC(cl, "futex", 960, linux.FUTEX_WAKE, 8)
+	cl.Drop()
+	clIdx := cl.Finish()
+	w.Table(4, 4)
+	w.Elem(2, clIdx)
+
+	// --- server main ---
+	f := w.NewFunc("_start", nil, nil)
+	ls := f.Local(wasm.I64)
+	ep := f.Local(wasm.I64)
+	served := f.Local(wasm.I32)
+	n := f.Local(wasm.I32)
+	j := f.Local(wasm.I32)
+	cfd := f.Local(wasm.I64)
+	r := f.Local(wasm.I64)
+
+	// Slab for the KV table, like memcached's slab allocator.
+	w.CallC(f, "mmap", 0, 1<<20,
+		linux.PROT_READ|linux.PROT_WRITE, linux.MAP_ANONYMOUS|linux.MAP_PRIVATE, -1, 0)
+	f.Drop() // the table actually lives at tblBase; the mmap mirrors slab setup
+
+	w.CallC(f, "socket", linux.AF_INET, linux.SOCK_STREAM, 0)
+	f.LocalSet(ls)
+	// setsockopt(ls, SOL_SOCKET, SO_REUSEADDR, &1@952, 4)
+	f.I32Const(952).I32Const(1).Store(wasm.OpI32Store, 0)
+	f.LocalGet(ls).I64Const(linux.SOL_SOCKET).I64Const(linux.SO_REUSEADDR).I64Const(952).I64Const(4)
+	w.Pad(f, "setsockopt", 5)
+	f.Drop()
+	f.LocalGet(ls).I64Const(strBase).I64Const(8)
+	w.Pad(f, "bind", 3)
+	f.Drop()
+	f.LocalGet(ls).I64Const(16)
+	w.Pad(f, "listen", 2)
+	f.Drop()
+	w.CallC(f, "epoll_create1", 0)
+	f.LocalSet(ep)
+	// epoll_ctl(ep, ADD, ls, event@1100 {EPOLLIN, data=ls})
+	f.I32Const(1100).I32Const(linux.EPOLLIN).Store(wasm.OpI32Store, 0)
+	f.I32Const(1104).LocalGet(ls).Store(wasm.OpI64Store, 0)
+	f.LocalGet(ep).I64Const(linux.EPOLL_CTL_ADD).LocalGet(ls).I64Const(1100)
+	w.Pad(f, "epoll_ctl", 4)
+	f.Drop()
+	// Spawn the client thread.
+	w.CallC(f, "clone", linux.CLONE_THREAD|linux.CLONE_VM, 2, 0, 0, 0)
+	f.Drop()
+
+	// Event loop until `scale` records served.
+	f.Block() // exit
+	f.Loop()
+	f.LocalGet(served).I32Const(int32(scale)).Op(wasm.OpI32GeU).BrIf(1)
+	// n = epoll_wait(ep, events@1200, 8, 1000ms)
+	f.LocalGet(ep).I64Const(1200).I64Const(8).I64Const(1000)
+	w.Pad(f, "epoll_wait", 4)
+	f.Op(wasm.OpI32WrapI64).LocalSet(n)
+	// for j in 0..n
+	f.I32Const(0).LocalSet(j)
+	f.Block()
+	f.Loop()
+	f.LocalGet(j).LocalGet(n).Op(wasm.OpI32GeS).BrIf(1)
+	// fd = events[j].data (offset 1200 + j*12 + 4, low word)
+	f.I32Const(1200).LocalGet(j).I32Const(12).Op(wasm.OpI32Mul).Op(wasm.OpI32Add)
+	f.Load(wasm.OpI32Load, 4).Op(wasm.OpI64ExtendI32U).LocalSet(cfd)
+	f.LocalGet(cfd).LocalGet(ls).Op(wasm.OpI64Eq)
+	f.If()
+	{
+		// Accept and register the connection.
+		f.LocalGet(ls).I64Const(0).I64Const(0).I64Const(0)
+		w.Pad(f, "accept4", 4)
+		f.LocalSet(cfd)
+		f.I32Const(1100).I32Const(linux.EPOLLIN).Store(wasm.OpI32Store, 0)
+		f.I32Const(1104).LocalGet(cfd).Store(wasm.OpI64Store, 0)
+		f.LocalGet(ep).I64Const(linux.EPOLL_CTL_ADD).LocalGet(cfd).I64Const(1100)
+		w.Pad(f, "epoll_ctl", 4)
+		f.Drop()
+	}
+	f.Else()
+	{
+		// r = recvfrom(cfd, 3000, 8, ...)
+		f.LocalGet(cfd).I64Const(3000).I64Const(8)
+		w.Pad(f, "recvfrom", 3)
+		f.LocalSet(r)
+		f.LocalGet(r).I64Const(0).Op(wasm.OpI64GtS)
+		f.If()
+		{
+			// table[key & 0x3FF] = val; echo back.
+			f.I32Const(tblBase)
+			f.I32Const(3000).Load(wasm.OpI32Load, 0).I32Const(0x3FF).Op(wasm.OpI32And)
+			f.I32Const(4).Op(wasm.OpI32Mul).Op(wasm.OpI32Add)
+			f.I32Const(3004).Load(wasm.OpI32Load, 0)
+			f.Store(wasm.OpI32Store, 0)
+			f.LocalGet(cfd).I64Const(3000).I64Const(8)
+			w.Pad(f, "sendto", 3)
+			f.Drop()
+			f.LocalGet(served).I32Const(1).Op(wasm.OpI32Add).LocalSet(served)
+		}
+		f.Else()
+		{
+			// Peer closed: deregister and close.
+			f.LocalGet(ep).I64Const(linux.EPOLL_CTL_DEL).LocalGet(cfd).I64Const(0)
+			w.Pad(f, "epoll_ctl", 4)
+			f.Drop()
+			f.LocalGet(cfd)
+			w.Pad(f, "close", 1)
+			f.Drop()
+		}
+		f.End()
+	}
+	f.End()
+	f.LocalGet(j).I32Const(1).Op(wasm.OpI32Add).LocalSet(j)
+	f.Br(0)
+	f.End()
+	f.End()
+	f.Br(0)
+	f.End()
+	f.End()
+
+	// Wait for the client thread's completion flag.
+	f.Block()
+	f.Loop()
+	f.I32Const(960).Load(wasm.OpI32Load, 0).BrIf(1)
+	w.CallC(f, "futex", 960, linux.FUTEX_WAIT, 0)
+	f.Drop()
+	f.Br(0)
+	f.End()
+	f.End()
+
+	f.LocalGet(ls)
+	w.Pad(f, "close", 1)
+	f.Drop()
+	w.CallC(f, "getpid")
+	f.Drop()
+	w.CallC(f, "write", 1, strBase+100, 16)
+	f.Drop()
+	w.CallC(f, "exit_group", 0)
+	f.Drop()
+	f.Finish()
+	return w.Module()
+}
+
+// MemcachedNative runs the same KV workload natively: a goroutine client
+// over a channel pair against a map-backed store.
+func MemcachedNative(scale int) uint32 {
+	req := make(chan [2]uint32, 16)
+	rep := make(chan [2]uint32, 16)
+	table := make([]uint32, 1024)
+	go func() {
+		for i := 0; i < scale; i++ {
+			req <- [2]uint32{uint32(i) & 0x3FF, uint32(i) * 0x9E3779B1}
+			<-rep
+		}
+		close(req)
+	}()
+	var last uint32
+	for rec := range req {
+		table[rec[0]] = rec[1]
+		last = rec[1]
+		rep <- rec
+	}
+	_ = table
+	return last
+}

@@ -1,0 +1,153 @@
+package apps
+
+import (
+	"gowali/internal/linux"
+	"gowali/internal/wasm"
+)
+
+// BuildMQTT constructs the paho-mqtt-analogue ("mqtt-app"/"paho-bench"):
+// a publish/ack benchmark client against an in-process broker thread —
+// connect-with-retry, timed publishes over poll, periodic sleeps.
+// Socket options are the Table 1 feature missing from WASI for paho.
+func BuildMQTT(scale int) *wasm.Module {
+	w := NewW("mqtt-app",
+		"socket", "bind", "listen", "accept4", "connect",
+		"sendto", "recvfrom", "poll", "clock_gettime", "nanosleep",
+		"setsockopt", "getsockopt", "clone", "close", "write", "exit_group")
+	// Broker sockaddr: port 1883 big-endian.
+	w.Data(strBase, []byte{linux.AF_INET, 0, 0x07, 0x5B, 127, 0, 0, 1})
+	w.Data(strBase+100, []byte("mqtt: published\n"))
+	// 1ms timespec for retry/nap sleeps.
+	w.Data(strBase+200, []byte{0, 0, 0, 0, 0, 0, 0, 0, 0x40, 0x42, 0x0F, 0, 0, 0, 0, 0})
+
+	// --- broker thread (table slot 2): accept one client, echo 4-byte
+	// acks for each 32-byte publish until EOF ---
+	br := w.NewFunc("", []wasm.ValType{wasm.I32}, nil)
+	bs := br.Local(wasm.I64)
+	bc := br.Local(wasm.I64)
+	brr := br.Local(wasm.I64)
+	w.CallC(br, "socket", linux.AF_INET, linux.SOCK_STREAM, 0)
+	br.LocalSet(bs)
+	br.LocalGet(bs).I64Const(strBase).I64Const(8)
+	w.Pad(br, "bind", 3)
+	br.Drop()
+	br.LocalGet(bs).I64Const(4)
+	w.Pad(br, "listen", 2)
+	br.Drop()
+	br.LocalGet(bs).I64Const(0).I64Const(0).I64Const(0)
+	w.Pad(br, "accept4", 4)
+	br.LocalSet(bc)
+	br.Block()
+	br.Loop()
+	br.LocalGet(bc).I64Const(5000).I64Const(32)
+	w.Pad(br, "recvfrom", 3)
+	br.LocalSet(brr)
+	br.LocalGet(brr).I64Const(0).Op(wasm.OpI64LeS).BrIf(1)
+	br.LocalGet(bc).I64Const(5000).I64Const(4)
+	w.Pad(br, "sendto", 3)
+	br.Drop()
+	br.Br(0)
+	br.End()
+	br.End()
+	br.LocalGet(bc)
+	w.Pad(br, "close", 1)
+	br.Drop()
+	br.LocalGet(bs)
+	w.Pad(br, "close", 1)
+	br.Drop()
+	brIdx := br.Finish()
+	w.Table(4, 4)
+	w.Elem(2, brIdx)
+
+	// --- client main ---
+	f := w.NewFunc("_start", nil, nil)
+	cs := f.Local(wasm.I64)
+	i := f.Local(wasm.I32)
+	x := f.Local(wasm.I32)
+	k := f.Local(wasm.I32)
+
+	// Start the broker, then connect with bounded retry.
+	w.CallC(f, "clone", linux.CLONE_THREAD|linux.CLONE_VM, 2, 0, 0, 0)
+	f.Drop()
+	w.CallC(f, "socket", linux.AF_INET, linux.SOCK_STREAM, 0)
+	f.LocalSet(cs)
+	// TCP_NODELAY, like paho.
+	f.I32Const(952).I32Const(1).Store(wasm.OpI32Store, 0)
+	f.LocalGet(cs).I64Const(linux.IPPROTO_TCP).I64Const(linux.TCP_NODELAY).I64Const(952).I64Const(4)
+	w.Pad(f, "setsockopt", 5)
+	f.Drop()
+	f.Block()
+	f.Loop()
+	f.LocalGet(cs).I64Const(strBase).I64Const(8)
+	w.Pad(f, "connect", 3)
+	f.Op(wasm.OpI64Eqz).BrIf(1) // connected
+	w.CallC(f, "nanosleep", strBase+200, 0)
+	f.Drop()
+	f.Br(0)
+	f.End()
+	f.End()
+
+	// Publish loop: timed 32-byte messages, polled acks, periodic naps.
+	f.I32Const(0xFACE).LocalSet(x)
+	countLoop(f, i, uint32(scale), func() {
+		w.CallC(f, "clock_gettime", linux.CLOCK_MONOTONIC, 2000)
+		f.Drop()
+		// Message serialization compute (paho's payload encoding).
+		countLoop(f, k, 1024, func() { xorshift32(f, x) })
+		f.I32Const(3000).LocalGet(i).Store(wasm.OpI32Store, 0)
+		f.I32Const(3004).LocalGet(x).Store(wasm.OpI32Store, 0)
+		f.LocalGet(cs).I64Const(3000).I64Const(32)
+		w.Pad(f, "sendto", 3)
+		f.Drop()
+		// pollfd at 2100: fd=cs, events=POLLIN.
+		f.I32Const(2100).LocalGet(cs).Op(wasm.OpI32WrapI64).Store(wasm.OpI32Store, 0)
+		f.I32Const(2104).I32Const(linux.POLLIN).Store(wasm.OpI32Store16, 0)
+		f.I32Const(2106).I32Const(0).Store(wasm.OpI32Store16, 0)
+		w.CallC(f, "poll", 2100, 1, 1000)
+		f.Drop()
+		f.LocalGet(cs).I64Const(3100).I64Const(4)
+		w.Pad(f, "recvfrom", 3)
+		f.Drop()
+		f.LocalGet(i).I32Const(63).Op(wasm.OpI32And).Op(wasm.OpI32Eqz)
+		f.If()
+		w.CallC(f, "nanosleep", strBase+200, 0)
+		f.Drop()
+		f.End()
+	})
+
+	// QoS check + teardown.
+	f.LocalGet(cs).I64Const(linux.SOL_SOCKET).I64Const(linux.SO_ERROR).I64Const(956).I64Const(960)
+	w.Pad(f, "getsockopt", 5)
+	f.Drop()
+	f.LocalGet(cs)
+	w.Pad(f, "close", 1)
+	f.Drop()
+	w.CallC(f, "write", 1, strBase+100, 16)
+	f.Drop()
+	w.CallC(f, "exit_group", 0)
+	f.Drop()
+	f.Finish()
+	return w.Module()
+}
+
+// MQTTNative runs the same publish/ack loop natively over channels.
+func MQTTNative(scale int) uint32 {
+	pub := make(chan [8]uint32)
+	ack := make(chan uint32)
+	go func() {
+		for m := range pub {
+			ack <- m[0]
+		}
+	}()
+	x := uint32(0xFACE)
+	var last uint32
+	for i := 0; i < scale; i++ {
+		x ^= x << 13
+		x ^= x >> 17
+		x ^= x << 5
+		pub <- [8]uint32{uint32(i), x}
+		last = <-ack
+	}
+	close(pub)
+	return last
+}

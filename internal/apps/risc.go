@@ -1,0 +1,188 @@
+package apps
+
+import "gowali/internal/emu"
+
+// RISC kernels: the lua/bash/sqlite workloads assembled for the emulator.
+// A full-system emulator executes the guest's libc and kernel work as
+// guest instructions too, so these kernels include that work explicitly:
+// lua's allocator zeroes its mappings, bash's fork copies the child image,
+// sqlite moves whole pages — all as emulated stores.
+
+// xorshiftAsm emits x ^= x<<13; x ^= x>>17; x ^= x<<5 on register rx
+// using rt as a temporary.
+func xorshiftAsm(a *emu.Asm, rx, rt byte) {
+	a.I(emu.OpSlli, rt, rx, 0, 13)
+	a.I(emu.OpXor, rx, rx, rt, 0)
+	a.I(emu.OpSrli, rt, rx, 0, 17)
+	a.I(emu.OpXor, rx, rx, rt, 0)
+	a.I(emu.OpSlli, rt, rx, 0, 5)
+	a.I(emu.OpXor, rx, rx, rt, 0)
+}
+
+// memsetAsm emits a word-store loop: words at [base, base+count*4) = val,
+// clobbering rcnt and rt.
+func memsetAsm(a *emu.Asm, base, val, rcnt, rt byte, count int32, tag string) {
+	a.Li(rcnt, 0)
+	a.Label("ms_" + tag)
+	a.I(emu.OpSlli, rt, rcnt, 0, 2)
+	a.I(emu.OpAdd, rt, rt, base, 0)
+	a.I(emu.OpSw, 0, rt, val, 0)
+	a.I(emu.OpAddi, rcnt, rcnt, 0, 1)
+	a.I(emu.OpAddi, rt, rcnt, 0, -count)
+	a.Branch(emu.OpBlt, rt, emu.RZero, "ms_"+tag)
+}
+
+// LuaRISC assembles the lua interpreter kernel: scale xorshift rounds,
+// with the 64 KiB allocation zeroed (16384 word stores) every 4096
+// iterations — the guest-side cost of the mmap the WALI app performs.
+func LuaRISC(scale int) (*emu.Program, error) {
+	a := emu.NewAsm()
+	const (
+		rx = emu.RT0
+		ri = emu.RT1
+		rn = emu.RT2
+		rt = emu.RS0
+		rm = emu.RS1
+		rc = 20
+	)
+	a.Li(rx, 0x1E377909)
+	a.Li(ri, 0)
+	a.Li(rn, int32(scale))
+	a.Li(rm, 0x8000) // allocation arena
+	a.Label("loop")
+	a.Branch(emu.OpBge, ri, rn, "done")
+	xorshiftAsm(a, rx, rt)
+	a.I(emu.OpAndi, rt, ri, 0, 4095)
+	a.Branch(emu.OpBne, rt, emu.RZero, "skip")
+	memsetAsm(a, rm, rx, rc, rt, 16384, "alloc")
+	a.Label("skip")
+	a.I(emu.OpAddi, ri, ri, 0, 1)
+	a.Jump(emu.RZero, "loop")
+	a.Label("done")
+	a.Mv(emu.RA0, rx)
+	a.Ecall(emu.EcallExit)
+	return a.Finish()
+}
+
+// BashRISC assembles the shell kernel: per command, the fork image copy
+// (16384 word stores — a 64 KiB child image) plus the command's 512
+// xorshift steps and the pipe hand-off.
+func BashRISC(scale int) (*emu.Program, error) {
+	a := emu.NewAsm()
+	const (
+		rx = emu.RT0
+		ri = emu.RT1
+		rn = emu.RT2
+		rk = emu.RS0
+		rt = emu.RS1
+		rb = 20
+		rc = 21
+		rz = 22
+	)
+	a.Li(ri, 0)
+	a.Li(rn, int32(scale))
+	a.Li(rb, 0x8000)
+	a.Li(rc, 512)
+	a.Label("cmd")
+	a.Branch(emu.OpBge, ri, rn, "done")
+	// fork(): copy the child image.
+	memsetAsm(a, rb, ri, rz, rt, 16384, "fork")
+	// Command compute.
+	a.Li(rx, 0x00C0FFEE)
+	a.Li(rk, 0)
+	a.Label("inner")
+	a.Branch(emu.OpBge, rk, rc, "innerdone")
+	xorshiftAsm(a, rx, rt)
+	a.I(emu.OpAddi, rk, rk, 0, 1)
+	a.Jump(emu.RZero, "inner")
+	a.Label("innerdone")
+	a.I(emu.OpSw, 0, rb, rx, 0) // pipe hand-off
+	a.I(emu.OpLw, rt, rb, 0, 0)
+	a.I(emu.OpAddi, ri, ri, 0, 1)
+	a.Jump(emu.RZero, "cmd")
+	a.Label("done")
+	a.Mv(emu.RA0, rx)
+	a.Ecall(emu.EcallExit)
+	return a.Finish()
+}
+
+// SqliteRISC assembles the page-store kernel: scale full 4 KiB page
+// writes (1024 word stores each, over a 64-page arena) then scale random
+// page-checksum reads (1024 word loads each).
+func SqliteRISC(scale int) (*emu.Program, error) {
+	a := emu.NewAsm()
+	const (
+		ri   = emu.RT0
+		rn   = emu.RT1
+		roff = emu.RT2
+		rt   = emu.RS0
+		rx   = emu.RS1
+		rsum = 20
+		rb   = 21
+		rw   = 22
+		rpg  = 23
+		rlim = 24
+	)
+	const pg = 4096
+	a.Li(rb, 0x10000)
+	a.Li(ri, 0)
+	a.Li(rn, int32(scale))
+	a.Li(rlim, 1024)
+	a.Label("wr")
+	a.Branch(emu.OpBge, ri, rn, "wrdone")
+	a.I(emu.OpAndi, roff, ri, 0, 63)
+	a.I(emu.OpSlli, roff, roff, 0, 12)
+	a.I(emu.OpAdd, roff, roff, rb, 0)
+	// Full page write: 1024 word stores.
+	a.Li(rw, 0)
+	a.Label("wloop")
+	a.I(emu.OpSlli, rt, rw, 0, 2)
+	a.I(emu.OpAdd, rt, rt, roff, 0)
+	a.I(emu.OpSw, 0, rt, ri, 0)
+	a.I(emu.OpAddi, rw, rw, 0, 1)
+	a.Branch(emu.OpBlt, rw, rlim, "wloop")
+	a.I(emu.OpAddi, ri, ri, 0, 1)
+	a.Jump(emu.RZero, "wr")
+	a.Label("wrdone")
+	// Random reads with full-page checksum.
+	a.Li(rx, 0x12345678)
+	a.Li(ri, 0)
+	a.Li(rsum, 0)
+	a.Label("rd")
+	a.Branch(emu.OpBge, ri, rn, "rddone")
+	xorshiftAsm(a, rx, rt)
+	a.I(emu.OpAndi, rpg, rx, 0, 63)
+	a.I(emu.OpSlli, rpg, rpg, 0, 12)
+	a.I(emu.OpAdd, rpg, rpg, rb, 0)
+	a.Li(rw, 0)
+	a.Label("rloop")
+	a.I(emu.OpSlli, rt, rw, 0, 2)
+	a.I(emu.OpAdd, rt, rt, rpg, 0)
+	a.I(emu.OpLw, rt, rt, 0, 0)
+	a.I(emu.OpAdd, rsum, rsum, rt, 0)
+	a.I(emu.OpAddi, rw, rw, 0, 1)
+	a.Branch(emu.OpBlt, rw, rlim, "rloop")
+	a.I(emu.OpAddi, ri, ri, 0, 1)
+	a.Jump(emu.RZero, "rd")
+	a.Label("rddone")
+	a.Mv(emu.RA0, rsum)
+	a.Ecall(emu.EcallExit)
+	return a.Finish()
+}
+
+// RISCFor returns the emulator kernel for a Fig. 8 app name.
+func RISCFor(name string, scale int) (*emu.Program, error) {
+	switch name {
+	case "lua":
+		return LuaRISC(scale)
+	case "bash":
+		return BashRISC(scale)
+	case "sqlite":
+		return SqliteRISC(scale)
+	}
+	return nil, errUnknownRISC(name)
+}
+
+type errUnknownRISC string
+
+func (e errUnknownRISC) Error() string { return "apps: no RISC kernel for " + string(e) }

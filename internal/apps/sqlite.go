@@ -1,0 +1,155 @@
+package apps
+
+import (
+	"gowali/internal/kernel"
+	"gowali/internal/linux"
+	"gowali/internal/wasm"
+)
+
+// PageSize is the database page size, matching SQLite's default.
+const dbPage = 4096
+
+// BuildSqlite constructs the sqlite3-analogue: a page-oriented database
+// profile — sequential page writes with periodic fsync, random page reads
+// with checksumming, file-backed mmap of the head of the database, an
+// mremap (the Table 1 feature missing from WASI for sqlite), and a
+// journal create/unlink cycle.
+func BuildSqlite(scale int) *wasm.Module {
+	w := NewW("sqlite3",
+		"open", "pwrite64", "pread64", "fsync", "fdatasync", "ftruncate",
+		"mmap", "mremap", "munmap", "lseek", "fstat", "unlink",
+		"write", "close", "exit_group")
+	w.Data(strBase, []byte("/data/test.db\x00"))
+	w.Data(strBase+100, []byte("/data/test.db-journal\x00"))
+	w.Data(strBase+200, []byte("sqlite: ok\n"))
+	w.Data(strBase+300, []byte("journal-header"))
+
+	f := w.NewFunc("_start", nil, nil)
+	fd := f.Local(wasm.I64)
+	jfd := f.Local(wasm.I64)
+	i := f.Local(wasm.I32)
+	x := f.Local(wasm.I32)
+	sum := f.Local(wasm.I32)
+	addr := f.Local(wasm.I64)
+
+	w.CallC(f, "open", strBase, linux.O_CREAT|linux.O_RDWR, 0o644)
+	f.LocalSet(fd)
+	f.LocalGet(fd).I64Const(0)
+	w.Pad(f, "ftruncate", 2)
+	f.Drop()
+
+	// Write phase: scale pages, page i tagged with i, fsync every 32.
+	countLoop(f, i, uint32(scale), func() {
+		// Fill page header: page number + a derived checksum word.
+		f.I32Const(bufBase).LocalGet(i).Store(wasm.OpI32Store, 0)
+		f.I32Const(bufBase+4).LocalGet(i).I32Const(0x5bd1e995).Op(wasm.OpI32Mul).Store(wasm.OpI32Store, 0)
+		// pwrite64(fd, buf, 4096, i*4096)
+		f.LocalGet(fd).I64Const(bufBase).I64Const(dbPage)
+		f.LocalGet(i).Op(wasm.OpI64ExtendI32U).I64Const(dbPage).Op(wasm.OpI64Mul)
+		w.Pad(f, "pwrite64", 4)
+		f.Drop()
+		f.LocalGet(i).I32Const(31).Op(wasm.OpI32And).Op(wasm.OpI32Eqz)
+		f.If()
+		f.LocalGet(fd)
+		w.Pad(f, "fsync", 1)
+		f.Drop()
+		f.End()
+	})
+
+	// Read phase: scale random page reads, checksummed.
+	f.I32Const(0x12345678).LocalSet(x)
+	countLoop(f, i, uint32(scale), func() {
+		xorshift32(f, x)
+		// page = x % scale; pread64(fd, buf2, 4096, page*4096)
+		f.LocalGet(fd).I64Const(bufBase + dbPage).I64Const(dbPage)
+		f.LocalGet(x).I32Const(int32(scale)).Op(wasm.OpI32RemU)
+		f.Op(wasm.OpI64ExtendI32U).I64Const(dbPage).Op(wasm.OpI64Mul)
+		w.Pad(f, "pread64", 4)
+		f.Drop()
+		f.LocalGet(sum).I32Const(bufBase+dbPage+4).Load(wasm.OpI32Load, 0).Op(wasm.OpI32Add).LocalSet(sum)
+	})
+
+	// Page-cache mmap of the database head, grown via mremap.
+	w.CallC(f, "fdatasync", 0)
+	f.Drop()
+	f.I64Const(0).I64Const(65536).I64Const(linux.PROT_READ | linux.PROT_WRITE)
+	f.I64Const(linux.MAP_SHARED).LocalGet(fd).I64Const(0)
+	w.Pad(f, "mmap", 6)
+	f.LocalSet(addr)
+	f.LocalGet(sum).LocalGet(addr).Op(wasm.OpI32WrapI64).Load(wasm.OpI32Load, 0).Op(wasm.OpI32Add).LocalSet(sum)
+	f.LocalGet(addr).I64Const(65536).I64Const(131072).I64Const(linux.MREMAP_MAYMOVE)
+	w.Pad(f, "mremap", 4)
+	f.LocalSet(addr)
+	f.LocalGet(addr).I64Const(131072)
+	w.Pad(f, "munmap", 2)
+	f.Drop()
+
+	// Journal cycle.
+	w.CallC(f, "open", strBase+100, linux.O_CREAT|linux.O_WRONLY, 0o644)
+	f.LocalSet(jfd)
+	f.LocalGet(jfd).I64Const(strBase + 300).I64Const(14)
+	w.Pad(f, "write", 3)
+	f.Drop()
+	f.LocalGet(jfd)
+	w.Pad(f, "close", 1)
+	f.Drop()
+	w.CallC(f, "unlink", strBase+100)
+	f.Drop()
+
+	// Wrap-up: stat + size probe + report.
+	f.LocalGet(fd).I64Const(2048)
+	w.Pad(f, "fstat", 2)
+	f.Drop()
+	f.LocalGet(fd).I64Const(0).I64Const(linux.SEEK_END)
+	w.Pad(f, "lseek", 3)
+	f.Drop()
+	f.I32Const(strBase+400).LocalGet(sum).Store(wasm.OpI32Store, 0)
+	w.CallC(f, "write", 1, strBase+200, 11)
+	f.Drop()
+	f.LocalGet(fd)
+	w.Pad(f, "close", 1)
+	f.Drop()
+	w.CallC(f, "exit_group", 0)
+	f.Drop()
+	f.Finish()
+	return w.Module()
+}
+
+// SetupSqlite creates the data directory.
+func SetupSqlite(k *kernel.Kernel) {
+	k.FS.MkdirAll("/data", 0o755)
+}
+
+// SqliteNative is the same page workload natively against an in-memory
+// page array.
+func SqliteNative(scale int) uint32 {
+	file := make([]byte, scale*dbPage)
+	for i := 0; i < scale; i++ {
+		off := i * dbPage
+		putU32(file[off:], uint32(i))
+		putU32(file[off+4:], uint32(i)*0x5bd1e995)
+	}
+	x := uint32(0x12345678)
+	var sum uint32
+	buf := make([]byte, dbPage)
+	for i := 0; i < scale; i++ {
+		x ^= x << 13
+		x ^= x >> 17
+		x ^= x << 5
+		page := int(x % uint32(scale))
+		copy(buf, file[page*dbPage:(page+1)*dbPage])
+		sum += getU32(buf[4:])
+	}
+	return sum
+}
+
+func putU32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+func getU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}

@@ -1,0 +1,84 @@
+package container
+
+import "testing"
+
+func TestCreateAndExec(t *testing.T) {
+	rt := NewRuntime()
+	im := BaseImage("alpine-ish", 4<<20, 64)
+	c := rt.Create(im)
+	if c.StartupTime <= 0 {
+		t.Fatal("no startup cost recorded")
+	}
+	ran := false
+	c.Exec(func() { ran = true })
+	if !ran {
+		t.Fatal("workload did not run")
+	}
+	if rt.Started() != 1 {
+		t.Fatalf("started = %d", rt.Started())
+	}
+}
+
+func TestOverlaySemantics(t *testing.T) {
+	rt := NewRuntime()
+	im := &Image{Name: "layers", Layers: []Layer{
+		{Files: map[string][]byte{"/etc/conf": []byte("lower"), "/bin/a": []byte("A")}},
+		{Files: map[string][]byte{"/etc/conf": []byte("upper")}},
+	}}
+	c := rt.Create(im)
+	b, ok := c.ReadFile("/etc/conf")
+	if !ok || string(b) != "upper" {
+		t.Fatalf("overlay shadowing broken: %q", b)
+	}
+	if _, ok := c.ReadFile("/bin/a"); !ok {
+		t.Fatal("lower layer file missing")
+	}
+	c.WriteFile("/tmp/x", []byte("rw"))
+	if b, _ := c.ReadFile("/tmp/x"); string(b) != "rw" {
+		t.Fatal("write to overlay lost")
+	}
+	// Container writes must not leak into the image.
+	if _, ok := im.Layers[0].Files["/tmp/x"]; ok {
+		t.Fatal("container write mutated image")
+	}
+}
+
+func TestNamespacesUnique(t *testing.T) {
+	rt := NewRuntime()
+	im := BaseImage("x", 1<<16, 4)
+	c1 := rt.Create(im)
+	c2 := rt.Create(im)
+	n1 := c1.Namespaces()
+	n2 := c2.Namespaces()
+	if len(n1) != 7 {
+		t.Fatalf("namespace count %d", len(n1))
+	}
+	for k := range n1 {
+		if n1[k] == n2[k] {
+			t.Errorf("namespace %s shared across containers", k)
+		}
+	}
+}
+
+func TestBaseMemoryScalesWithImage(t *testing.T) {
+	rt := NewRuntime()
+	small := rt.Create(BaseImage("s", 1<<20, 32))
+	big := rt.Create(BaseImage("b", 16<<20, 32))
+	if big.BaseMemoryOverhead() <= small.BaseMemoryOverhead() {
+		t.Fatal("memory overhead does not scale with image size")
+	}
+	if small.BaseMemoryOverhead() < 1<<20 {
+		t.Fatalf("base overhead implausibly small: %d", small.BaseMemoryOverhead())
+	}
+}
+
+func TestIsolationBetweenContainers(t *testing.T) {
+	rt := NewRuntime()
+	im := BaseImage("x", 1<<16, 4)
+	c1 := rt.Create(im)
+	c2 := rt.Create(im)
+	c1.WriteFile("/data", []byte("one"))
+	if _, ok := c2.ReadFile("/data"); ok {
+		t.Fatal("containers share a writable filesystem")
+	}
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"gowali/internal/linux"
+	"gowali/internal/wasm"
+)
+
+// TestParallelProcesses runs many independent WALI processes concurrently
+// on one kernel — the multi-tenant edge deployment shape — and checks
+// isolation of their file I/O and clean teardown.
+func TestParallelProcesses(t *testing.T) {
+	w := New()
+	const n = 8
+	var wg sync.WaitGroup
+	results := make([]int32, n)
+	for i := 0; i < n; i++ {
+		i := i
+		b := newApp("open", "write", "pread64", "close", "exit_group")
+		path := fmt.Sprintf("/tmp/p%d.dat", i)
+		b.Data(1024, append([]byte(path), 0))
+		f := b.NewFunc(StartExport, nil, nil)
+		fd := f.Local(wasm.I64)
+		k := f.Local(wasm.I32)
+		b.call(f, "open", 1024, linux.O_CREAT|linux.O_RDWR, 0o644)
+		f.LocalSet(fd)
+		// Write marker bytes (i+1) 64 times.
+		f.I32Const(2048).I32Const(int32(i+1)).Store(wasm.OpI32Store, 0)
+		countLoopT(f, k, 64, func() {
+			f.LocalGet(fd).I64Const(2048).I64Const(4)
+			b.pad(f, "write", 3)
+			f.Drop()
+		})
+		// Read back the first word and exit with it.
+		f.LocalGet(fd).I64Const(3000).I64Const(4).I64Const(0)
+		b.pad(f, "pread64", 4)
+		f.Drop()
+		f.I32Const(3000).Load(wasm.OpI32Load, 0).Op(wasm.OpI64ExtendI32U)
+		f.Call(b.sys["exit_group"]).Drop()
+		f.Finish()
+		m, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := w.SpawnModule(m, fmt.Sprintf("p%d", i), nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st, err := p.Run()
+			if err != nil {
+				t.Errorf("proc %d: %v", i, err)
+			}
+			results[i] = st
+		}()
+	}
+	wg.Wait()
+	w.WaitAll()
+	for i, st := range results {
+		if st != int32(i+1) {
+			t.Errorf("proc %d read marker %d (isolation breach?)", i, st)
+		}
+	}
+	if w.Kernel.ProcessCount() != 0 {
+		t.Errorf("%d processes leaked", w.Kernel.ProcessCount())
+	}
+}
+
+// countLoopT duplicates the apps-package loop helper for tests.
+func countLoopT(f *wasm.FuncBuilder, i uint32, count int32, body func()) {
+	f.I32Const(0).LocalSet(i)
+	f.Block()
+	f.Loop()
+	f.LocalGet(i).I32Const(count).Op(wasm.OpI32GeU).BrIf(1)
+	body()
+	f.LocalGet(i).I32Const(1).Op(wasm.OpI32Add).LocalSet(i)
+	f.Br(0)
+	f.End()
+	f.End()
+}
+
+// pad mirrors apps.W.Pad for the test builder.
+func (b *appBuilder) pad(f *wasm.FuncBuilder, name string, have int) {
+	d := registry[name]
+	for i := have; i < d.NArgs; i++ {
+		f.I64Const(0)
+	}
+	f.Call(b.sys[name])
+}
+
+// TestSignalTerminatesChild: parent forks, child spins forever at a loop
+// safepoint; parent SIGTERMs it and reaps 128+SIGTERM — asynchronous
+// cross-process delivery through the loop-header polling scheme.
+func TestSignalTerminatesChild(t *testing.T) {
+	b := newApp("fork", "kill", "wait4", "exit_group")
+	f := b.NewFunc(StartExport, nil, nil)
+	r := f.Local(wasm.I64)
+	b.call(f, "fork")
+	f.LocalSet(r)
+	f.LocalGet(r).Op(wasm.OpI64Eqz)
+	f.If()
+	{ // child: spin forever (loop safepoints poll for signals)
+		f.Loop()
+		f.Br(0)
+		f.End()
+	}
+	f.End()
+	// parent: kill(child, SIGTERM); wait4; exit(WEXITSTATUS(status) & 0xFF).
+	// The WALI default-disposition path exits the child with 128+signal,
+	// encoded by the kernel as a normal exit.
+	f.LocalGet(r).I64Const(linux.SIGTERM)
+	b.pad(f, "kill", 2)
+	f.Drop()
+	b.call(f, "wait4", -1, 2000, 0, 0)
+	f.Drop()
+	f.I32Const(2000).Load(wasm.OpI32Load, 0)
+	f.I32Const(8).Op(wasm.OpI32ShrU).I32Const(0xFF).Op(wasm.OpI32And)
+	f.Op(wasm.OpI64ExtendI32U)
+	f.Call(b.sys["exit_group"]).Drop()
+	f.Finish()
+
+	_, _, status, err := runApp(t, b, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != 128+linux.SIGTERM {
+		t.Fatalf("child termination status %d, want %d", status, 128+linux.SIGTERM)
+	}
+}
+
+// TestBlockedSignalDeferredAcrossProcesses: a blocked SIGUSR1 stays
+// pending through kernel round trips and fires only after sigprocmask
+// unblocks — the §3.3 delivery-guarantee test.
+func TestBlockedSignalDeferred(t *testing.T) {
+	b := newApp("rt_sigaction", "rt_sigprocmask", "kill", "getpid", "exit_group")
+	h := b.NewFunc("", []wasm.ValType{wasm.I32}, nil)
+	h.I32Const(600).LocalGet(0).Store(wasm.OpI32Store, 0)
+	hIdx := h.Finish()
+	b.Table(4, 4)
+	b.Elem(2, hIdx)
+
+	f := b.NewFunc(StartExport, nil, nil)
+	pid := f.Local(wasm.I64)
+	// handler for SIGUSR1
+	f.I32Const(700).I32Const(2).Store(wasm.OpI32Store, 0)
+	b.call(f, "rt_sigaction", linux.SIGUSR1, 700, 0, 8)
+	f.Drop()
+	// block SIGUSR1
+	f.I32Const(800).I64Const(1<<(linux.SIGUSR1-1)).Store(wasm.OpI64Store, 0)
+	b.call(f, "rt_sigprocmask", linux.SIG_BLOCK, 800, 0, 8)
+	f.Drop()
+	// self-signal: must NOT run the handler yet
+	b.call(f, "getpid")
+	f.LocalSet(pid)
+	f.LocalGet(pid).I64Const(linux.SIGUSR1)
+	b.pad(f, "kill", 2)
+	f.Drop()
+	// record whether handler ran early (mem 600 would be nonzero)
+	f.I32Const(604).I32Const(600).Load(wasm.OpI32Load, 0).Store(wasm.OpI32Store, 0)
+	// unblock: handler must run at the post-sigprocmask safepoint
+	b.call(f, "rt_sigprocmask", linux.SIG_UNBLOCK, 800, 0, 8)
+	f.Drop()
+	// exit( early*100 + handled_signal )
+	f.I32Const(604).Load(wasm.OpI32Load, 0).I32Const(100).Op(wasm.OpI32Mul)
+	f.I32Const(600).Load(wasm.OpI32Load, 0).Op(wasm.OpI32Add)
+	f.Op(wasm.OpI64ExtendI32U)
+	f.Call(b.sys["exit_group"]).Drop()
+	f.Finish()
+
+	_, _, status, err := runApp(t, b, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != linux.SIGUSR1 {
+		t.Fatalf("status=%d: want handler exactly once, after unblock (early*100+sig)", status)
+	}
+}

@@ -1,0 +1,529 @@
+// Package core implements WALI — the WebAssembly Linux Interface, the
+// paper's primary contribution. It exposes the Linux userspace syscall
+// surface to Wasm modules as ~150 name-bound host functions in the "wali"
+// import namespace, preserving Wasm's sandboxing guarantees:
+//
+//   - address-space translation with bounds checks at every boundary
+//     crossing (bad pointers yield -EFAULT, never host memory access);
+//   - layout conversion to the portable struct encodings in internal/isa;
+//   - mmap/mremap/munmap mapped into the module's linear memory from an
+//     engine-managed pool;
+//   - a virtual sigtable with handler execution at interpreter safepoints;
+//   - the 1-to-1 process model: each WALI process and thread is one
+//     kernel task on its own goroutine, with fork implemented by cloning
+//     the resumable interpreter state.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"gowali/internal/interp"
+	"gowali/internal/kernel"
+	"gowali/internal/linux"
+	"gowali/internal/wasm"
+)
+
+// Namespace is the WALI import module name.
+const Namespace = "wali"
+
+// SyscallEvent is one traced syscall invocation; see WALI.Hook.
+type SyscallEvent struct {
+	PID      int32
+	Name     string
+	Duration time.Duration
+	Ret      int64
+}
+
+// WALI binds a simulated kernel to the Wasm engine and manufactures
+// processes. It is safe for concurrent use by multiple processes.
+type WALI struct {
+	Kernel *kernel.Kernel
+
+	// Scheme selects safepoint insertion for asynchronous signal
+	// delivery (Table 3 compares the choices). Default: SafepointLoop,
+	// the paper's implementation choice.
+	Scheme interp.SafepointScheme
+
+	// Hook, if non-nil, observes every syscall (Fig. 2 profiles and
+	// Fig. 7 attribution are built on it). Called after the syscall
+	// completes; must be safe for concurrent use.
+	Hook func(ev SyscallEvent)
+
+	// Strict makes unimplemented-but-known syscall names trap instead of
+	// returning -ENOSYS (§3.5: implementations may trap when they cannot
+	// faithfully attempt a call).
+	Strict bool
+
+	// ExtendLinker, if non-nil, registers additional host namespaces on
+	// every process linker. The WASI-over-WALI layer (internal/wasi)
+	// installs itself here.
+	ExtendLinker func(*interp.Linker)
+
+	mu    sync.Mutex
+	procs map[int32]*Process
+	wg    sync.WaitGroup
+
+	// SyscallTime accumulates total time spent inside WALI handlers
+	// (kernel + translation), keyed by process; used by Fig. 7.
+	timeMu      sync.Mutex
+	syscallTime map[int32]time.Duration
+	syscallN    map[int32]uint64
+}
+
+// New creates a WALI engine extension over a freshly booted kernel.
+func New() *WALI {
+	return NewWith(kernel.NewKernel())
+}
+
+// NewWith creates a WALI instance over an existing kernel.
+func NewWith(k *kernel.Kernel) *WALI {
+	return &WALI{
+		Kernel:      k,
+		Scheme:      interp.SafepointLoop,
+		procs:       make(map[int32]*Process),
+		syscallTime: make(map[int32]time.Duration),
+		syscallN:    make(map[int32]uint64),
+	}
+}
+
+// Process is a running WALI process (or thread): the kernel task, the
+// module instance, its resumable execution, the virtual sigtable and the
+// memory-mapping pool. Threads share KP-side state plus Sig and Pool.
+type Process struct {
+	W    *WALI
+	KP   *kernel.Process
+	Inst *interp.Instance
+	Exec *interp.Exec
+
+	Module *wasm.Module
+	argv   []string
+	env    []string
+
+	// Sig is the virtual signal table (shared across threads).
+	Sig *Sigtable
+	// Pool manages mmap allocations in linear memory (shared across
+	// threads, which share the memory).
+	Pool *MmapPool
+
+	execReq *execRequest
+
+	doneMu sync.Mutex
+	done   chan struct{}
+	status int32
+	runErr error
+}
+
+type execRequest struct {
+	path string
+	argv []string
+	envp []string
+}
+
+// execPanic unwinds the interpreter on execve; recovered by Run.
+type execPanic struct{}
+
+// StartExport is the entry point WALI invokes, mirroring the WASI
+// convention our toolchain also emits.
+const StartExport = "_start"
+
+// SpawnModule creates the initial process for a validated module.
+func (w *WALI) SpawnModule(m *wasm.Module, name string, argv, env []string) (*Process, error) {
+	kp := w.Kernel.NewProcess(name, argv, env)
+	return w.newProcess(kp, m, argv, env)
+}
+
+// SpawnPath loads a .wasm binary from the simulated kernel's filesystem
+// (the execve path: WALI binaries are directly executable files).
+func (w *WALI) SpawnPath(path string, argv, env []string) (*Process, error) {
+	m, err := w.loadModule(path)
+	if err != nil {
+		return nil, err
+	}
+	name := path
+	if len(argv) > 0 {
+		name = argv[0]
+	}
+	return w.SpawnModule(m, name, argv, env)
+}
+
+// InstallBinary writes a module into the kernel VFS as an executable
+// .wasm file (the "Linux registers interpreters for custom binary
+// formats" deployment mode of §4.1).
+func (w *WALI) InstallBinary(path string, m *wasm.Module) error {
+	if err := wasm.Validate(m); err != nil {
+		return err
+	}
+	if errno := w.Kernel.FS.WriteFile(path, wasm.Encode(m), 0o755); errno != 0 {
+		return fmt.Errorf("install %s: %v", path, errno)
+	}
+	return nil
+}
+
+func (w *WALI) loadModule(path string) (*wasm.Module, error) {
+	r, errno := w.Kernel.FS.Walk("/", path, true)
+	if errno != 0 || r.Node == nil {
+		return nil, fmt.Errorf("exec %s: %v", path, linux.ENOENT)
+	}
+	size := r.Node.Size()
+	buf := make([]byte, size)
+	if _, errno := r.Node.ReadAt(buf, 0); errno != 0 {
+		return nil, fmt.Errorf("exec %s: %v", path, errno)
+	}
+	m, err := wasm.Decode(buf)
+	if err != nil {
+		return nil, fmt.Errorf("exec %s: %w (%v)", path, err, linux.ENOEXEC)
+	}
+	if err := wasm.Validate(m); err != nil {
+		return nil, fmt.Errorf("exec %s: %w (%v)", path, err, linux.ENOEXEC)
+	}
+	return m, nil
+}
+
+// newProcess wires a module instance to a kernel task.
+func (w *WALI) newProcess(kp *kernel.Process, m *wasm.Module, argv, env []string) (*Process, error) {
+	p := &Process{
+		W:      w,
+		KP:     kp,
+		Module: m,
+		argv:   argv,
+		env:    env,
+		Sig:    NewSigtable(),
+		done:   make(chan struct{}),
+	}
+	linker := interp.NewLinker()
+	w.RegisterHost(linker)
+	if w.ExtendLinker != nil {
+		w.ExtendLinker(linker)
+	}
+	inst, err := interp.NewInstance(m, linker)
+	if err != nil {
+		return nil, err
+	}
+	p.Inst = inst
+	p.Pool = NewMmapPool(inst.Mem)
+	p.Exec = interp.NewExec(inst)
+	p.Exec.Scheme = w.Scheme
+	p.Exec.HostCtx = p
+	p.Exec.Poll = p.pollSignals
+	inst.HostCtx = p
+
+	w.mu.Lock()
+	w.procs[kp.PID] = p
+	w.mu.Unlock()
+	return p, nil
+}
+
+// fromExec recovers the WALI process driving an execution. Host functions
+// use this instead of a closure so one registered handler set serves every
+// process.
+func fromExec(e *interp.Exec) *Process {
+	p, ok := e.HostCtx.(*Process)
+	if !ok {
+		interp.Throw(interp.TrapHost, "wali: execution has no WALI process context")
+	}
+	return p
+}
+
+// Run executes the process's _start to completion on the calling
+// goroutine, handling exit and execve. The kernel task is exited with the
+// final status. Returns the exit status and any trap.
+func (p *Process) Run() (int32, error) {
+	defer close(p.done)
+	status, err := p.runLoop()
+	p.doneMu.Lock()
+	p.status = status
+	p.runErr = err
+	p.doneMu.Unlock()
+	p.W.mu.Lock()
+	delete(p.W.procs, p.KP.PID)
+	p.W.mu.Unlock()
+	p.exitKernel(status)
+	return status, err
+}
+
+// RunAsync runs the process on its own goroutine (the 1-to-1 model's
+// "each WALI process is a native process").
+func (p *Process) RunAsync() {
+	p.W.wg.Add(1)
+	go func() {
+		defer p.W.wg.Done()
+		p.Run()
+	}()
+}
+
+// Wait blocks until the process finishes and returns its status.
+func (p *Process) Wait() (int32, error) {
+	<-p.done
+	p.doneMu.Lock()
+	defer p.doneMu.Unlock()
+	return p.status, p.runErr
+}
+
+// WaitAll blocks until every process spawned through this WALI instance
+// has finished.
+func (w *WALI) WaitAll() { w.wg.Wait() }
+
+func (p *Process) runLoop() (int32, error) {
+	for {
+		status, err, reexec := p.runOnce()
+		if !reexec {
+			return status, err
+		}
+	}
+}
+
+// runOnce runs _start once; reports whether an execve requested a fresh
+// image.
+func (p *Process) runOnce() (status int32, err error, reexec bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(execPanic); ok {
+				e := p.doExec()
+				if e != nil {
+					status, err = 127, e
+					return
+				}
+				reexec = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	fidx, ok := p.Module.ExportedFunc(StartExport)
+	if !ok {
+		return 127, fmt.Errorf("wali: module has no %s export", StartExport), false
+	}
+	_, err = p.Exec.Invoke(fidx)
+	if err != nil {
+		if exit, ok := err.(*interp.Exit); ok {
+			return exit.Status, nil, false
+		}
+		return 128, err, false // trap: like a fatal signal
+	}
+	return 0, nil, false
+}
+
+// doExec swaps in the new image requested by execve.
+func (p *Process) doExec() error {
+	req := p.execReq
+	p.execReq = nil
+	m, err := p.W.loadModule(req.path)
+	if err != nil {
+		return err
+	}
+	p.KP.Exec(req.argv[0], req.argv, req.envp)
+	linker := interp.NewLinker()
+	p.W.RegisterHost(linker)
+	if p.W.ExtendLinker != nil {
+		p.W.ExtendLinker(linker)
+	}
+	inst, err := interp.NewInstance(m, linker)
+	if err != nil {
+		return err
+	}
+	p.Module = m
+	p.Inst = inst
+	p.argv = req.argv
+	p.env = req.envp
+	p.Pool = NewMmapPool(inst.Mem)
+	// Note: per §3.4, the virtual environment travels to the new image
+	// via the process (not the host engine) — p.env above.
+	p.Exec = interp.NewExec(inst)
+	p.Exec.Scheme = p.W.Scheme
+	p.Exec.HostCtx = p
+	p.Exec.Poll = p.pollSignals
+	inst.HostCtx = p
+	return nil
+}
+
+// exitKernel performs the kernel-side exit including the
+// CLONE_CHILD_CLEARTID futex wake (the WALI layer owns the address space,
+// so it performs the write + wake the kernel would).
+func (p *Process) exitKernel(status int32) {
+	if addr := p.KP.ClearTID(); addr != 0 {
+		if p.Inst.Mem.WriteU32(addr, 0) {
+			p.W.Kernel.FutexWake(p.Inst.Mem, addr, 1)
+		}
+	}
+	p.KP.Exit(linux.WaitStatusExited(status))
+}
+
+// forkChild builds the WALI-side child of fork: cloned kernel task,
+// instance, exec — resumed on its own goroutine by the caller.
+func (p *Process) forkChild(e *interp.Exec) *Process {
+	ckp := p.KP.Fork()
+	cinst := p.Inst.Clone()
+	cexec := e.CloneWith(cinst)
+	c := &Process{
+		W:      p.W,
+		KP:     ckp,
+		Inst:   cinst,
+		Exec:   cexec,
+		Module: p.Module,
+		argv:   append([]string(nil), p.argv...),
+		env:    append([]string(nil), p.env...),
+		Sig:    p.Sig.Clone(),
+		Pool:   p.Pool.CloneFor(cinst.Mem),
+		done:   make(chan struct{}),
+	}
+	cexec.HostCtx = c
+	cexec.Poll = c.pollSignals
+	cinst.HostCtx = c
+	p.W.mu.Lock()
+	p.W.procs[ckp.PID] = c
+	p.W.mu.Unlock()
+	return c
+}
+
+// resumeForked continues a forked child to completion (its own
+// goroutine).
+func (c *Process) resumeForked() {
+	defer close(c.done)
+	var status int32
+	var err error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(execPanic); ok {
+					status, err = c.resumeAfterExec()
+					return
+				}
+				panic(r)
+			}
+		}()
+		err = c.Exec.Resume()
+		if exit, ok := err.(*interp.Exit); ok {
+			status, err = exit.Status, nil
+		} else if err != nil {
+			status = 128
+		}
+	}()
+	c.doneMu.Lock()
+	c.status, c.runErr = status, err
+	c.doneMu.Unlock()
+	c.W.mu.Lock()
+	delete(c.W.procs, c.KP.PID)
+	c.W.mu.Unlock()
+	c.exitKernel(status)
+}
+
+// resumeAfterExec handles the fork-then-exec idiom: the forked child's
+// Resume hit execve.
+func (c *Process) resumeAfterExec() (int32, error) {
+	if err := c.doExec(); err != nil {
+		return 127, err
+	}
+	return c.runLoop()
+}
+
+// spawnThread creates the instance-per-thread sibling for clone with
+// CLONE_THREAD and starts it on a fresh goroutine, invoking table[fnIdx]
+// with arg.
+func (p *Process) spawnThread(fnTableIdx, arg, ctid uint32, flags int64) (int32, linux.Errno) {
+	fidx := p.Inst.TableGet(fnTableIdx)
+	if fidx < 0 {
+		return -1, linux.EINVAL
+	}
+	ft := p.Inst.FuncType(uint32(fidx))
+	if len(ft.Params) != 1 || ft.Params[0] != wasm.I32 {
+		return -1, linux.EINVAL
+	}
+	tkp := p.KP.CloneThread()
+	tinst := p.Inst.ShareForThread()
+	t := &Process{
+		W:      p.W,
+		KP:     tkp,
+		Inst:   tinst,
+		Module: p.Module,
+		argv:   p.argv,
+		env:    p.env,
+		Sig:    p.Sig, // CLONE_SIGHAND: shared virtual sigtable
+		Pool:   p.Pool,
+		done:   make(chan struct{}),
+	}
+	t.Exec = interp.NewExec(tinst)
+	t.Exec.Scheme = p.W.Scheme
+	t.Exec.HostCtx = t
+	t.Exec.Poll = t.pollSignals
+	tinst.HostCtx = t
+
+	if flags&linux.CLONE_CHILD_SETTID != 0 && ctid != 0 {
+		p.Inst.Mem.WriteU32(ctid, uint32(tkp.PID))
+	}
+	if flags&linux.CLONE_CHILD_CLEARTID != 0 && ctid != 0 {
+		tkp.SetClearTID(ctid)
+	}
+
+	p.W.mu.Lock()
+	p.W.procs[tkp.PID] = t
+	p.W.mu.Unlock()
+
+	p.W.wg.Add(1)
+	go func() {
+		defer p.W.wg.Done()
+		defer close(t.done)
+		var status int32
+		_, err := t.Exec.Invoke(uint32(fidx), uint64(arg))
+		if exit, ok := err.(*interp.Exit); ok {
+			status = exit.Status
+		} else if err != nil {
+			status = 128
+		}
+		t.doneMu.Lock()
+		t.status = status
+		t.doneMu.Unlock()
+		t.W.mu.Lock()
+		delete(t.W.procs, t.KP.PID)
+		t.W.mu.Unlock()
+		t.exitKernel(status)
+	}()
+	return tkp.PID, 0
+}
+
+// ProcessFromExec recovers the WALI process bound to an execution; layered
+// APIs (internal/wasi) use this plus Syscall as their complete interface
+// to the system — the Fig. 6 layering boundary.
+func ProcessFromExec(e *interp.Exec) *Process { return fromExec(e) }
+
+// Syscall invokes a WALI syscall by name on behalf of a layered API,
+// exactly as a Wasm module import call would (same dispatch, same
+// accounting, same return convention). Unknown names return -ENOSYS.
+func (p *Process) Syscall(e *interp.Exec, name string, args ...int64) int64 {
+	d, ok := registry[name]
+	if !ok {
+		return errnoRet(linux.ENOSYS)
+	}
+	full := make([]int64, d.NArgs)
+	copy(full, args)
+	start := time.Now()
+	var ret int64
+	defer func() {
+		dur := time.Since(start)
+		p.W.accountSyscall(p.KP.PID, dur)
+		if p.W.Hook != nil {
+			p.W.Hook(SyscallEvent{PID: p.KP.PID, Name: name, Duration: dur, Ret: ret})
+		}
+	}()
+	ret = d.Fn(p, e, full)
+	return ret
+}
+
+// Console is a convenience accessor for the kernel console output.
+func (w *WALI) Console() *kernel.ConsoleDevice { return w.Kernel.Console }
+
+// SyscallStats reports accumulated handler time and count for pid
+// (Fig. 7's wali+kernel attribution).
+func (w *WALI) SyscallStats(pid int32) (time.Duration, uint64) {
+	w.timeMu.Lock()
+	defer w.timeMu.Unlock()
+	return w.syscallTime[pid], w.syscallN[pid]
+}
+
+// Argv returns the process argument vector (layered APIs read it the same
+// way the §3.4 support methods expose it to modules).
+func (p *Process) Argv() []string { return append([]string(nil), p.argv...) }
+
+// Env returns the process environment vector.
+func (p *Process) Env() []string { return append([]string(nil), p.env...) }

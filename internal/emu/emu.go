@@ -1,0 +1,483 @@
+// Package emu is a small RISC instruction-set emulator — the QEMU
+// (TCG-less, pure interpretation) baseline for the Fig. 8 virtualization
+// comparison. It models the cost structure of ISA emulation honestly: a
+// binary instruction stream fetched, decoded and executed one instruction
+// at a time, with guest memory behind bounds checks.
+//
+// The ISA is RV32-flavoured: 32 registers, 8-byte fixed-width encoded
+// instructions (opcode, rd, rs1, rs2, imm32), load/store, branches, jal,
+// and an ecall interface for console output, time and exit.
+package emu
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Op is an opcode.
+type Op = byte
+
+// Opcodes.
+const (
+	OpHalt Op = iota
+	OpAdd     // rd = rs1 + rs2
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	OpAnd
+	OpOr
+	OpXor
+	OpSll
+	OpSrl
+	OpSra
+	OpSlt // rd = rs1 < rs2 (signed)
+	OpSltu
+	OpAddi // rd = rs1 + imm
+	OpAndi
+	OpOri
+	OpXori
+	OpSlli
+	OpSrli
+	OpLui // rd = imm
+	OpLw  // rd = mem32[rs1+imm]
+	OpLb  // rd = sext(mem8[rs1+imm])
+	OpLbu
+	OpSw // mem32[rs1+imm] = rs2
+	OpSb
+	OpBeq // if rs1 == rs2: pc += imm (byte offset)
+	OpBne
+	OpBlt
+	OpBge
+	OpBltu
+	OpJal  // rd = pc+8; pc += imm
+	OpJalr // rd = pc+8; pc = rs1 + imm
+	OpEcall
+	opCount
+)
+
+// InstrSize is the fixed encoding width.
+const InstrSize = 8
+
+// Ecall numbers.
+const (
+	EcallExit    = 0 // a0 = status
+	EcallPutchar = 1 // a0 = byte
+	EcallWrite   = 2 // a0 = addr, a1 = len → console
+	EcallTimeUs  = 3 // returns µs uptime in a0
+	EcallRand    = 4 // returns pseudo-random in a0
+)
+
+// Register aliases.
+const (
+	RZero = 0
+	RA    = 1 // return address
+	RSP   = 2
+	RA0   = 10
+	RA1   = 11
+	RA2   = 12
+	RA3   = 13
+	RT0   = 5
+	RT1   = 6
+	RT2   = 7
+	RS0   = 8
+	RS1   = 9
+)
+
+// Program is an assembled binary image.
+type Program struct {
+	Text []byte
+	Data []byte // loaded at DataBase
+}
+
+// DataBase is where the data segment is loaded in guest memory.
+const DataBase = 0x1000
+
+// Asm assembles programs. Labels resolve on Finish.
+type Asm struct {
+	code   []byte
+	labels map[string]int
+	fixups []fixup
+	data   []byte
+}
+
+type fixup struct {
+	at    int // instruction offset of imm field
+	label string
+	pcRel bool
+}
+
+// NewAsm returns an empty assembler.
+func NewAsm() *Asm {
+	return &Asm{labels: make(map[string]int)}
+}
+
+// PC returns the current code offset.
+func (a *Asm) PC() int { return len(a.code) }
+
+// Label binds name to the current pc.
+func (a *Asm) Label(name string) *Asm {
+	a.labels[name] = len(a.code)
+	return a
+}
+
+// I emits an instruction.
+func (a *Asm) I(op Op, rd, rs1, rs2 byte, imm int32) *Asm {
+	a.code = append(a.code, op, rd, rs1, rs2)
+	a.code = binary.LittleEndian.AppendUint32(a.code, uint32(imm))
+	return a
+}
+
+// Branch emits a pc-relative branch to a label.
+func (a *Asm) Branch(op Op, rs1, rs2 byte, label string) *Asm {
+	a.fixups = append(a.fixups, fixup{at: len(a.code) + 4, label: label, pcRel: true})
+	return a.I(op, 0, rs1, rs2, 0)
+}
+
+// Jump emits jal rd, label.
+func (a *Asm) Jump(rd byte, label string) *Asm {
+	a.fixups = append(a.fixups, fixup{at: len(a.code) + 4, label: label, pcRel: true})
+	return a.I(OpJal, rd, 0, 0, 0)
+}
+
+// Li loads a 32-bit immediate.
+func (a *Asm) Li(rd byte, v int32) *Asm { return a.I(OpLui, rd, 0, 0, v) }
+
+// Mv copies a register.
+func (a *Asm) Mv(rd, rs byte) *Asm { return a.I(OpAddi, rd, rs, 0, 0) }
+
+// Ecall emits an environment call; the call number goes in a7 (r17).
+func (a *Asm) Ecall(num int32) *Asm {
+	a.Li(17, num)
+	return a.I(OpEcall, 0, 0, 0, 0)
+}
+
+// Data appends bytes to the data segment, returning their guest address.
+func (a *Asm) DataBytes(b []byte) int32 {
+	addr := DataBase + len(a.data)
+	a.data = append(a.data, b...)
+	return int32(addr)
+}
+
+// Finish resolves labels and returns the program.
+func (a *Asm) Finish() (*Program, error) {
+	for _, f := range a.fixups {
+		target, ok := a.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("emu: undefined label %q", f.label)
+		}
+		v := int32(target)
+		if f.pcRel {
+			v = int32(target - (f.at - 4)) // relative to instruction start
+		}
+		binary.LittleEndian.PutUint32(a.code[f.at:], uint32(v))
+	}
+	return &Program{Text: a.code, Data: a.data}, nil
+}
+
+// Machine is the guest CPU + memory. Like a softmmu-mode emulator, every
+// guest access — including instruction fetch — goes through a page-table
+// walk, and pending-interrupt state is polled each instruction; these are
+// the per-instruction costs TCG-less emulation pays that make Fig. 8's
+// QEMU curve what it is.
+type Machine struct {
+	Regs [32]int32
+	PC   int32
+	Mem  []byte
+	Text []byte
+
+	// pageTable maps guest virtual pages to physical pages (identity
+	// here, but walked on every access like a TLB-less softmmu).
+	pageTable []int32
+	// dataLimit bounds data accesses to guest RAM (text lives above it).
+	dataLimit int32
+	// irqPending is polled every instruction (device emulation hook).
+	irqPending int32
+
+	Console []byte
+	Halted  bool
+	Exit    int32
+	Steps   uint64
+	Cycles  uint64
+
+	timeBase func() int64 // µs counter
+	randSt   uint64
+}
+
+// guestPageSize is the softmmu page granularity.
+const guestPageSize = 4096
+
+// translate performs the software page walk for a size-byte data access.
+func (m *Machine) translate(v int32, size int32) (int32, bool) {
+	if v < 0 || v+size > m.dataLimit {
+		return 0, false
+	}
+	return m.walk(v)
+}
+
+// translateFetch walks the page table for an instruction fetch.
+func (m *Machine) translateFetch(v int32) (int32, bool) {
+	if v < 0 || int(v)+4 > len(m.Mem) {
+		return 0, false
+	}
+	return m.walk(v)
+}
+
+func (m *Machine) walk(v int32) (int32, bool) {
+	page := v >> 12
+	if int(page) >= len(m.pageTable) {
+		return 0, false
+	}
+	entry := m.pageTable[page]
+	if entry < 0 {
+		return 0, false
+	}
+	return entry<<12 | (v & (guestPageSize - 1)), true
+}
+
+// ErrFault reports an out-of-range guest access.
+type ErrFault struct {
+	PC   int32
+	Addr int32
+}
+
+// Error implements error.
+func (e *ErrFault) Error() string {
+	return fmt.Sprintf("emu: fault at pc=%#x addr=%#x", e.PC, e.Addr)
+}
+
+// TextBase is where the code segment is loaded in guest memory.
+const TextBase = 0x100000
+
+// New creates a machine with memSize bytes of RAM plus a code region; the
+// data segment is copied to DataBase, text to TextBase, sp is set to the
+// top of data memory, and an identity page table is installed.
+func New(p *Program, memSize int, timeUs func() int64) *Machine {
+	total := TextBase + len(p.Text) + guestPageSize
+	if total < memSize {
+		total = memSize + TextBase
+	}
+	m := &Machine{
+		Mem:      make([]byte, total),
+		Text:     p.Text,
+		timeBase: timeUs,
+		randSt:   0x9E3779B97F4A7C15,
+	}
+	copy(m.Mem[DataBase:], p.Data)
+	copy(m.Mem[TextBase:], p.Text)
+	m.Regs[RSP] = int32(memSize - 16)
+	m.dataLimit = int32(memSize)
+	m.pageTable = make([]int32, (total+guestPageSize-1)/guestPageSize)
+	for i := range m.pageTable {
+		m.pageTable[i] = int32(i)
+	}
+	return m
+}
+
+// Run executes until halt or maxSteps, returning an error on faults.
+func (m *Machine) Run(maxSteps uint64) error {
+	for !m.Halted {
+		if m.Steps >= maxSteps {
+			return fmt.Errorf("emu: step budget %d exhausted at pc=%#x", maxSteps, m.PC)
+		}
+		if err := m.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Step executes one instruction: MMU-translated fetch, field decode,
+// interrupt poll, execute.
+func (m *Machine) Step() error {
+	pc := m.PC
+	if pc < 0 || int(pc)+InstrSize > len(m.Text) {
+		return &ErrFault{PC: pc, Addr: pc}
+	}
+	// Fetch through the softmmu from the in-memory code region, as a
+	// full-system emulator must (two word fetches per instruction).
+	p0, ok0 := m.translateFetch(int32(TextBase) + pc)
+	p1, ok1 := m.translateFetch(int32(TextBase) + pc + 4)
+	if !ok0 || !ok1 {
+		return &ErrFault{PC: pc, Addr: pc}
+	}
+	w0 := binary.LittleEndian.Uint32(m.Mem[p0:])
+	w1 := binary.LittleEndian.Uint32(m.Mem[p1:])
+	op := byte(w0)
+	rd := byte(w0 >> 8)
+	rs1 := byte(w0 >> 16)
+	rs2 := byte(w0 >> 24)
+	imm := int32(w1)
+	m.Steps++
+	m.Cycles += 2 // fetch cycles
+	// Interrupt poll: device emulation hook checked every instruction.
+	if m.irqPending != 0 {
+		m.irqPending = 0
+	}
+	next := pc + InstrSize
+
+	r := &m.Regs
+	switch op {
+	case OpHalt:
+		m.Halted = true
+	case OpAdd:
+		r[rd] = r[rs1] + r[rs2]
+	case OpSub:
+		r[rd] = r[rs1] - r[rs2]
+	case OpMul:
+		r[rd] = r[rs1] * r[rs2]
+	case OpDiv:
+		if r[rs2] == 0 {
+			r[rd] = -1
+		} else {
+			r[rd] = r[rs1] / r[rs2]
+		}
+	case OpRem:
+		if r[rs2] == 0 {
+			r[rd] = r[rs1]
+		} else {
+			r[rd] = r[rs1] % r[rs2]
+		}
+	case OpAnd:
+		r[rd] = r[rs1] & r[rs2]
+	case OpOr:
+		r[rd] = r[rs1] | r[rs2]
+	case OpXor:
+		r[rd] = r[rs1] ^ r[rs2]
+	case OpSll:
+		r[rd] = r[rs1] << (uint32(r[rs2]) & 31)
+	case OpSrl:
+		r[rd] = int32(uint32(r[rs1]) >> (uint32(r[rs2]) & 31))
+	case OpSra:
+		r[rd] = r[rs1] >> (uint32(r[rs2]) & 31)
+	case OpSlt:
+		r[rd] = b2i32(r[rs1] < r[rs2])
+	case OpSltu:
+		r[rd] = b2i32(uint32(r[rs1]) < uint32(r[rs2]))
+	case OpAddi:
+		r[rd] = r[rs1] + imm
+	case OpAndi:
+		r[rd] = r[rs1] & imm
+	case OpOri:
+		r[rd] = r[rs1] | imm
+	case OpXori:
+		r[rd] = r[rs1] ^ imm
+	case OpSlli:
+		r[rd] = r[rs1] << (uint32(imm) & 31)
+	case OpSrli:
+		r[rd] = int32(uint32(r[rs1]) >> (uint32(imm) & 31))
+	case OpLui:
+		r[rd] = imm
+	case OpLw:
+		addr := r[rs1] + imm
+		phys, ok := m.translate(addr, 4)
+		if !ok {
+			return &ErrFault{PC: pc, Addr: addr}
+		}
+		m.Cycles++
+		r[rd] = int32(binary.LittleEndian.Uint32(m.Mem[phys:]))
+	case OpLb:
+		addr := r[rs1] + imm
+		phys, ok := m.translate(addr, 1)
+		if !ok {
+			return &ErrFault{PC: pc, Addr: addr}
+		}
+		m.Cycles++
+		r[rd] = int32(int8(m.Mem[phys]))
+	case OpLbu:
+		addr := r[rs1] + imm
+		phys, ok := m.translate(addr, 1)
+		if !ok {
+			return &ErrFault{PC: pc, Addr: addr}
+		}
+		m.Cycles++
+		r[rd] = int32(m.Mem[phys])
+	case OpSw:
+		addr := r[rs1] + imm
+		phys, ok := m.translate(addr, 4)
+		if !ok {
+			return &ErrFault{PC: pc, Addr: addr}
+		}
+		m.Cycles++
+		binary.LittleEndian.PutUint32(m.Mem[phys:], uint32(r[rs2]))
+	case OpSb:
+		addr := r[rs1] + imm
+		phys, ok := m.translate(addr, 1)
+		if !ok {
+			return &ErrFault{PC: pc, Addr: addr}
+		}
+		m.Cycles++
+		m.Mem[phys] = byte(r[rs2])
+	case OpBeq:
+		if r[rs1] == r[rs2] {
+			next = pc + imm
+		}
+	case OpBne:
+		if r[rs1] != r[rs2] {
+			next = pc + imm
+		}
+	case OpBlt:
+		if r[rs1] < r[rs2] {
+			next = pc + imm
+		}
+	case OpBge:
+		if r[rs1] >= r[rs2] {
+			next = pc + imm
+		}
+	case OpBltu:
+		if uint32(r[rs1]) < uint32(r[rs2]) {
+			next = pc + imm
+		}
+	case OpJal:
+		r[rd] = next
+		next = pc + imm
+	case OpJalr:
+		t := next
+		next = r[rs1] + imm
+		r[rd] = t
+	case OpEcall:
+		if err := m.ecall(); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("emu: illegal opcode %d at pc=%#x", op, pc)
+	}
+	r[RZero] = 0
+	m.PC = next
+	return nil
+}
+
+func (m *Machine) ecall() error {
+	switch m.Regs[17] {
+	case EcallExit:
+		m.Halted = true
+		m.Exit = m.Regs[RA0]
+	case EcallPutchar:
+		m.Console = append(m.Console, byte(m.Regs[RA0]))
+	case EcallWrite:
+		addr, n := m.Regs[RA0], m.Regs[RA1]
+		if addr < 0 || n < 0 || int(addr)+int(n) > len(m.Mem) {
+			return &ErrFault{PC: m.PC, Addr: addr}
+		}
+		m.Console = append(m.Console, m.Mem[addr:addr+n]...)
+	case EcallTimeUs:
+		if m.timeBase != nil {
+			m.Regs[RA0] = int32(m.timeBase())
+		}
+	case EcallRand:
+		m.randSt ^= m.randSt << 13
+		m.randSt ^= m.randSt >> 7
+		m.randSt ^= m.randSt << 17
+		m.Regs[RA0] = int32(m.randSt)
+	default:
+		return fmt.Errorf("emu: unknown ecall %d", m.Regs[17])
+	}
+	return nil
+}
+
+func b2i32(b bool) int32 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,129 @@
+package emu
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestArithLoop(t *testing.T) {
+	// sum 1..100 into a0, exit(sum % 256 via exit code check on Exit).
+	a := NewAsm()
+	a.Li(RT0, 0)   // sum
+	a.Li(RT1, 1)   // i
+	a.Li(RT2, 101) // bound
+	a.Label("loop")
+	a.I(OpAdd, RT0, RT0, RT1, 0)
+	a.I(OpAddi, RT1, RT1, 0, 1)
+	a.Branch(OpBlt, RT1, RT2, "loop")
+	a.Mv(RA0, RT0)
+	a.Ecall(EcallExit)
+	p, err := a.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(p, 1<<16, nil)
+	if err := m.Run(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	if m.Exit != 5050 {
+		t.Fatalf("sum = %d, want 5050", m.Exit)
+	}
+}
+
+func TestMemoryAndConsole(t *testing.T) {
+	a := NewAsm()
+	msg := a.DataBytes([]byte("emu!"))
+	a.Li(RA0, msg)
+	a.Li(RA1, 4)
+	a.Ecall(EcallWrite)
+	// Store/load roundtrip.
+	a.Li(RT0, 0x2000)
+	a.Li(RT1, 0x1234)
+	a.I(OpSw, 0, RT0, RT1, 0)
+	a.I(OpLw, RA0, RT0, 0, 0)
+	a.Ecall(EcallExit)
+	p, _ := a.Finish()
+	m := New(p, 1<<16, nil)
+	if err := m.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if string(m.Console) != "emu!" {
+		t.Fatalf("console = %q", m.Console)
+	}
+	if m.Exit != 0x1234 {
+		t.Fatalf("load = %#x", m.Exit)
+	}
+}
+
+func TestCallReturn(t *testing.T) {
+	// f(x) = x*3 via jal/jalr.
+	a := NewAsm()
+	a.Li(RA0, 14)
+	a.Jump(RA, "triple")
+	a.Ecall(EcallExit)
+	a.Label("triple")
+	a.Li(RT0, 3)
+	a.I(OpMul, RA0, RA0, RT0, 0)
+	a.I(OpJalr, RZero, RA, 0, 0)
+	p, _ := a.Finish()
+	m := New(p, 1<<16, nil)
+	if err := m.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if m.Exit != 42 {
+		t.Fatalf("triple(14) = %d", m.Exit)
+	}
+}
+
+func TestFaults(t *testing.T) {
+	a := NewAsm()
+	a.Li(RT0, 1<<20) // beyond memory
+	a.I(OpLw, RA0, RT0, 0, 0)
+	a.Ecall(EcallExit)
+	p, _ := a.Finish()
+	m := New(p, 1<<16, nil)
+	err := m.Run(1000)
+	if err == nil {
+		t.Fatal("OOB load did not fault")
+	}
+	if !strings.Contains(err.Error(), "fault") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUndefinedLabel(t *testing.T) {
+	a := NewAsm()
+	a.Jump(RZero, "nowhere")
+	if _, err := a.Finish(); err == nil {
+		t.Fatal("undefined label accepted")
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	a := NewAsm()
+	a.Label("spin")
+	a.Jump(RZero, "spin")
+	p, _ := a.Finish()
+	m := New(p, 1<<12, nil)
+	if err := m.Run(100); err == nil {
+		t.Fatal("infinite loop did not hit budget")
+	}
+	if m.Steps != 100 {
+		t.Fatalf("steps = %d", m.Steps)
+	}
+}
+
+func TestZeroRegisterImmutable(t *testing.T) {
+	a := NewAsm()
+	a.Li(RZero, 99)
+	a.Mv(RA0, RZero)
+	a.Ecall(EcallExit)
+	p, _ := a.Finish()
+	m := New(p, 1<<12, nil)
+	if err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if m.Exit != 0 {
+		t.Fatalf("x0 = %d, want 0", m.Exit)
+	}
+}

@@ -1,0 +1,128 @@
+package interp
+
+import (
+	"encoding/binary"
+
+	"gowali/internal/wasm"
+)
+
+// Memory is a linear memory instance. It may be shared between multiple
+// instances (WALI's instance-per-thread model); sharing callers synchronize
+// through WALI futexes, matching Wasm's relaxed shared-memory expectations.
+type Memory struct {
+	Data   []byte
+	MaxLen uint64 // bytes; cap on growth
+	Shared bool
+}
+
+// NewMemory allocates a memory from declared limits. Shared memories are
+// allocated at their maximum immediately (as most engines do for the
+// threads proposal) so concurrent instances never observe a reallocated
+// backing array.
+func NewMemory(l wasm.Limits) *Memory {
+	maxPages := uint64(wasm.MaxPages)
+	if l.HasMax {
+		maxPages = uint64(l.Max)
+	}
+	m := &Memory{
+		Data:   make([]byte, uint64(l.Min)*wasm.PageSize),
+		MaxLen: maxPages * wasm.PageSize,
+		Shared: l.Shared,
+	}
+	if l.Shared {
+		m.Data = make([]byte, m.MaxLen)
+	}
+	return m
+}
+
+// Pages returns the current size in 64 KiB pages.
+func (m *Memory) Pages() uint32 { return uint32(len(m.Data) / wasm.PageSize) }
+
+// Grow grows the memory by delta pages, returning the previous page count,
+// or -1 if growth exceeds the maximum.
+func (m *Memory) Grow(delta uint32) int32 {
+	old := m.Pages()
+	newLen := uint64(len(m.Data)) + uint64(delta)*wasm.PageSize
+	if newLen > m.MaxLen {
+		return -1
+	}
+	if delta > 0 {
+		grown := make([]byte, newLen)
+		copy(grown, m.Data)
+		m.Data = grown
+	}
+	return int32(old)
+}
+
+// InRange reports whether [addr, addr+size) is within memory. size may be 0.
+func (m *Memory) InRange(addr, size uint32) bool {
+	return uint64(addr)+uint64(size) <= uint64(len(m.Data))
+}
+
+// Bytes returns the byte window [addr, addr+size) of linear memory, or a
+// trap-equivalent false when out of range. This is the address-space
+// translation primitive WALI uses for zero-copy syscalls: the returned
+// slice aliases module memory.
+func (m *Memory) Bytes(addr, size uint32) ([]byte, bool) {
+	if !m.InRange(addr, size) {
+		return nil, false
+	}
+	return m.Data[addr : uint64(addr)+uint64(size)], true
+}
+
+// ReadU32 loads a little-endian u32 at addr.
+func (m *Memory) ReadU32(addr uint32) (uint32, bool) {
+	b, ok := m.Bytes(addr, 4)
+	if !ok {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint32(b), true
+}
+
+// ReadU64 loads a little-endian u64 at addr.
+func (m *Memory) ReadU64(addr uint32) (uint64, bool) {
+	b, ok := m.Bytes(addr, 8)
+	if !ok {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(b), true
+}
+
+// WriteU32 stores a little-endian u32 at addr.
+func (m *Memory) WriteU32(addr uint32, v uint32) bool {
+	b, ok := m.Bytes(addr, 4)
+	if !ok {
+		return false
+	}
+	binary.LittleEndian.PutUint32(b, v)
+	return true
+}
+
+// WriteU64 stores a little-endian u64 at addr.
+func (m *Memory) WriteU64(addr uint32, v uint64) bool {
+	b, ok := m.Bytes(addr, 8)
+	if !ok {
+		return false
+	}
+	binary.LittleEndian.PutUint64(b, v)
+	return true
+}
+
+// ReadCString reads a NUL-terminated string starting at addr, bounded by
+// maxLen bytes, returning the string without the terminator.
+func (m *Memory) ReadCString(addr uint32, maxLen uint32) (string, bool) {
+	for i := uint32(0); i < maxLen; i++ {
+		if !m.InRange(addr+i, 1) {
+			return "", false
+		}
+		if m.Data[addr+i] == 0 {
+			return string(m.Data[addr : addr+i]), true
+		}
+	}
+	return "", false
+}
+
+// Clone returns a deep copy of the memory; used by fork.
+func (m *Memory) Clone() *Memory {
+	return &Memory{Data: append([]byte(nil), m.Data...), MaxLen: m.MaxLen, Shared: m.Shared}
+}

@@ -1,0 +1,190 @@
+package interp
+
+import (
+	"errors"
+	"fmt"
+
+	"gowali/internal/wasm"
+)
+
+// The side table precomputes structural jump targets for one function body,
+// so branches execute in O(1) without scanning for matching ends — the
+// technique high-performance in-place interpreters use (Titzer, OOPSLA'22,
+// cited by the paper as the WAMR interpreter lineage).
+
+// ctrlInfo describes one block/loop/if construct keyed by the pc of its
+// opening opcode.
+type ctrlInfo struct {
+	endPC       int // pc of the matching End opcode
+	bodyStart   int // pc of the first instruction inside
+	elseJump    int // If only: target when the condition is false
+	paramArity  int
+	resultArity int
+	isLoop      bool
+}
+
+type sideTable struct {
+	ctrl    map[int]ctrlInfo
+	elseEnd map[int]int // pc of Else opcode -> pc of matching End
+}
+
+type pendingCtrl struct {
+	op     byte
+	pc     int
+	elsePC int // -1 if none
+	info   ctrlInfo
+}
+
+// buildSideTable scans a validated function body and records the matching
+// end/else positions and arities of every structured construct.
+func buildSideTable(m *wasm.Module, f *wasm.Func) (*sideTable, error) {
+	st := &sideTable{ctrl: make(map[int]ctrlInfo), elseEnd: make(map[int]int)}
+	var open []pendingCtrl
+	body := f.Body
+	pc := 0
+	for pc < len(body) {
+		opPC := pc
+		op := body[pc]
+		pc++
+		switch op {
+		case wasm.OpBlock, wasm.OpLoop, wasm.OpIf:
+			pa, ra, n, err := blockArity(m, body, pc)
+			if err != nil {
+				return nil, err
+			}
+			pc += n
+			open = append(open, pendingCtrl{
+				op: op, pc: opPC, elsePC: -1,
+				info: ctrlInfo{bodyStart: pc, paramArity: pa, resultArity: ra, isLoop: op == wasm.OpLoop},
+			})
+		case wasm.OpElse:
+			if len(open) == 0 || open[len(open)-1].op != wasm.OpIf {
+				return nil, errors.New("else without if")
+			}
+			open[len(open)-1].elsePC = opPC
+		case wasm.OpEnd:
+			if len(open) == 0 {
+				// Function-level end; must be the last byte.
+				if pc != len(body) {
+					return nil, errors.New("end before end of body")
+				}
+				return st, nil
+			}
+			p := open[len(open)-1]
+			open = open[:len(open)-1]
+			p.info.endPC = opPC
+			if p.op == wasm.OpIf {
+				if p.elsePC >= 0 {
+					p.info.elseJump = p.elsePC + 1 // after the Else opcode
+					st.elseEnd[p.elsePC] = opPC
+				} else {
+					p.info.elseJump = opPC // jump to End itself; it pops the label
+				}
+			}
+			st.ctrl[p.pc] = p.info
+		default:
+			n, err := skipImmediates(body, op, pc)
+			if err != nil {
+				return nil, err
+			}
+			pc += n
+		}
+	}
+	return nil, errors.New("function body missing end")
+}
+
+// blockArity parses a block type at body[pc:], returning param and result
+// arities plus bytes consumed.
+func blockArity(m *wasm.Module, body []byte, pc int) (int, int, int, error) {
+	bt, n, err := wasm.ReadS33(body, pc)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if bt >= 0 {
+		if int(bt) >= len(m.Types) {
+			return 0, 0, 0, fmt.Errorf("block type index %d out of range", bt)
+		}
+		t := m.Types[bt]
+		return len(t.Params), len(t.Results), n, nil
+	}
+	if byte(bt&0x7F) == wasm.BlockTypeEmpty {
+		return 0, 0, n, nil
+	}
+	return 0, 1, n, nil
+}
+
+// skipImmediates returns the byte length of the immediates of op at
+// body[pc:]. Control opcodes (block/loop/if/else/end) are handled by the
+// caller.
+func skipImmediates(body []byte, op byte, pc int) (int, error) {
+	switch op {
+	case wasm.OpBr, wasm.OpBrIf, wasm.OpCall, wasm.OpLocalGet, wasm.OpLocalSet,
+		wasm.OpLocalTee, wasm.OpGlobalGet, wasm.OpGlobalSet:
+		_, n, err := wasm.ReadU32(body, pc)
+		return n, err
+	case wasm.OpBrTable:
+		cnt, n, err := wasm.ReadU32(body, pc)
+		if err != nil {
+			return 0, err
+		}
+		total := n
+		for i := uint32(0); i <= cnt; i++ {
+			_, n, err := wasm.ReadU32(body, pc+total)
+			if err != nil {
+				return 0, err
+			}
+			total += n
+		}
+		return total, nil
+	case wasm.OpCallIndirect:
+		_, n1, err := wasm.ReadU32(body, pc)
+		if err != nil {
+			return 0, err
+		}
+		_, n2, err := wasm.ReadU32(body, pc+n1)
+		if err != nil {
+			return 0, err
+		}
+		return n1 + n2, nil
+	case wasm.OpI32Const:
+		_, n, err := wasm.ReadS32(body, pc)
+		return n, err
+	case wasm.OpI64Const:
+		_, n, err := wasm.ReadS64(body, pc)
+		return n, err
+	case wasm.OpF32Const:
+		return 4, nil
+	case wasm.OpF64Const:
+		return 8, nil
+	case wasm.OpMemorySize, wasm.OpMemoryGrow:
+		_, n, err := wasm.ReadU32(body, pc)
+		return n, err
+	case wasm.OpPrefixFC:
+		sub, n, err := wasm.ReadU32(body, pc)
+		if err != nil {
+			return 0, err
+		}
+		total := n
+		switch sub {
+		case wasm.FCMemoryCopy:
+			total += 2
+		case wasm.FCMemoryFill:
+			total++
+		}
+		return total, nil
+	}
+	// Memory access opcodes carry align+offset.
+	if op >= wasm.OpI32Load && op <= wasm.OpI64Store32 {
+		_, n1, err := wasm.ReadU32(body, pc)
+		if err != nil {
+			return 0, err
+		}
+		_, n2, err := wasm.ReadU32(body, pc+n1)
+		if err != nil {
+			return 0, err
+		}
+		return n1 + n2, nil
+	}
+	// Everything else has no immediates.
+	return 0, nil
+}

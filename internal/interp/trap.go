@@ -1,0 +1,75 @@
+// Package interp executes validated WebAssembly modules.
+//
+// The engine is the WAMR analogue for this reproduction: a portable
+// interpreter with extensible host functions (the mechanism WALI uses to
+// expose kernel interfaces), explicit resumable execution state (which makes
+// a faithful fork possible in the 1-to-1 process model), reentrant
+// invocation (signal handlers calling back into the module), and
+// configurable safepoint schemes for asynchronous signal polling.
+package interp
+
+import "fmt"
+
+// TrapCode classifies a WebAssembly trap.
+type TrapCode int
+
+// Trap codes. TrapHost marks traps raised by host functions (e.g. a WALI
+// call refusing sigreturn).
+const (
+	TrapUnreachable TrapCode = iota
+	TrapMemOutOfBounds
+	TrapDivByZero
+	TrapIntOverflow
+	TrapInvalidConversion
+	TrapTableOutOfBounds
+	TrapNullFunc
+	TrapSigMismatch
+	TrapStackExhausted
+	TrapUnlinked
+	TrapHost
+)
+
+var trapNames = map[TrapCode]string{
+	TrapUnreachable:       "unreachable",
+	TrapMemOutOfBounds:    "out of bounds memory access",
+	TrapDivByZero:         "integer divide by zero",
+	TrapIntOverflow:       "integer overflow",
+	TrapInvalidConversion: "invalid conversion to integer",
+	TrapTableOutOfBounds:  "undefined table element",
+	TrapNullFunc:          "uninitialized table element",
+	TrapSigMismatch:       "indirect call type mismatch",
+	TrapStackExhausted:    "call stack exhausted",
+	TrapUnlinked:          "unlinked import called",
+	TrapHost:              "host trap",
+}
+
+// Trap is a WebAssembly trap. Inside the interpreter it propagates by
+// panic and is converted to an error at the Invoke boundary.
+type Trap struct {
+	Code TrapCode
+	Msg  string
+}
+
+// Error implements error.
+func (t *Trap) Error() string {
+	n := trapNames[t.Code]
+	if t.Msg == "" {
+		return "wasm trap: " + n
+	}
+	return fmt.Sprintf("wasm trap: %s: %s", n, t.Msg)
+}
+
+// Throw panics with a trap of the given code; recovered at Invoke.
+func Throw(code TrapCode, format string, args ...any) {
+	panic(&Trap{Code: code, Msg: fmt.Sprintf(format, args...)})
+}
+
+// Exit is the panic value used by host functions (WALI exit/exit_group) to
+// terminate an execution with a status code rather than a trap; Invoke
+// returns it as an error.
+type Exit struct {
+	Status int32
+}
+
+// Error implements error.
+func (e *Exit) Error() string { return fmt.Sprintf("module exited with status %d", e.Status) }

@@ -1,0 +1,174 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gowali/internal/linux"
+)
+
+func TestFig3Shape(t *testing.T) {
+	rows := Fig3()
+	if len(rows) != 3 {
+		t.Fatalf("%d ISAs", len(rows))
+	}
+	byArch := map[Arch]Fig3Row{}
+	for _, r := range rows {
+		byArch[r.Arch] = r
+		if r.CommonCount+r.ArchSpecific != r.Total {
+			t.Errorf("%s: %d + %d != %d", r.Arch, r.CommonCount, r.ArchSpecific, r.Total)
+		}
+	}
+	// The paper's structure: x86-64 is the superset (~500 official, ~360
+	// live names here); arm and riscv are nearly identical; common core
+	// is large.
+	if byArch[X8664].Total <= byArch[AArch64].Total {
+		t.Error("x86_64 must carry the legacy extras")
+	}
+	if d := byArch[AArch64].Total - byArch[RISCV64].Total; d < 0 || d > 10 {
+		t.Errorf("aarch64 and riscv64 should be nearly identical (delta %d)", d)
+	}
+	if byArch[AArch64].CommonCount < 280 {
+		t.Errorf("common core %d too small", byArch[AArch64].CommonCount)
+	}
+}
+
+func TestUnionSupersetOfAll(t *testing.T) {
+	union := make(map[string]bool)
+	for _, s := range Union() {
+		union[s] = true
+	}
+	for _, a := range Arches() {
+		for s := range Table(a) {
+			if !union[s] {
+				t.Errorf("union missing %s (%s)", s, a)
+			}
+		}
+	}
+	common := Common()
+	for _, s := range common {
+		for _, a := range Arches() {
+			if !Table(a)[s] {
+				t.Errorf("common syscall %s missing on %s", s, a)
+			}
+		}
+	}
+}
+
+func TestKStatRoundTrip(t *testing.T) {
+	st := linux.Stat{
+		Dev: 1, Ino: 42, Mode: linux.S_IFREG | 0o644, Nlink: 2,
+		UID: 1000, GID: 100, Size: 12345, Blksize: 4096, Blocks: 25,
+		Atime: linux.Timespec{Sec: 100, Nsec: 5},
+		Mtime: linux.Timespec{Sec: 200, Nsec: 6},
+		Ctime: linux.Timespec{Sec: 300, Nsec: 7},
+	}
+	b := make([]byte, KStatSize)
+	PutKStat(b, st)
+	if got := le.Uint64(b[8:]); got != 42 {
+		t.Errorf("ino = %d", got)
+	}
+	if got := le.Uint32(b[20:]); got != linux.S_IFREG|0o644 {
+		t.Errorf("mode = %o", got)
+	}
+	if got := int64(le.Uint64(b[40:])); got != 12345 {
+		t.Errorf("size = %d", got)
+	}
+	if ts := GetTimespec(b[80:]); ts != st.Mtime {
+		t.Errorf("mtime = %+v", ts)
+	}
+}
+
+func TestTimespecQuick(t *testing.T) {
+	f := func(sec int64, nsec int64) bool {
+		ts := linux.Timespec{Sec: sec, Nsec: nsec}
+		b := make([]byte, TimespecSize)
+		PutTimespec(b, ts)
+		return GetTimespec(b) == ts
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKSigactionRoundTrip(t *testing.T) {
+	f := func(handler, flags uint32, mask uint64) bool {
+		a := KSigaction{Handler: handler, Flags: flags, Mask: mask}
+		b := make([]byte, KSigactionSize)
+		PutKSigaction(b, a)
+		got := GetKSigaction(b)
+		return got.Handler == handler && got.Flags == flags && got.Mask == mask
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSockaddrCodec(t *testing.T) {
+	b := make([]byte, 16)
+	n := PutSockaddrIn(b, 8080, [4]byte{127, 0, 0, 1})
+	if n != 8 {
+		t.Fatalf("sockaddr_in size %d", n)
+	}
+	fam, port, addr, _ := GetSockaddr(b[:n])
+	if fam != linux.AF_INET || port != 8080 || addr != [4]byte{127, 0, 0, 1} {
+		t.Fatalf("round trip: fam=%d port=%d addr=%v", fam, port, addr)
+	}
+	un := make([]byte, 32)
+	n = PutSockaddrUn(un, "/tmp/sock")
+	fam, _, _, path := GetSockaddr(un[:n])
+	if fam != linux.AF_UNIX || path != "/tmp/sock" {
+		t.Fatalf("unix round trip: %d %q", fam, path)
+	}
+}
+
+func TestIovecAndPollFD(t *testing.T) {
+	b := make([]byte, IovecSize)
+	le.PutUint32(b[0:], 0x1000)
+	le.PutUint32(b[4:], 64)
+	iov := GetIovec(b)
+	if iov.Base != 0x1000 || iov.Len != 64 {
+		t.Fatalf("iovec %+v", iov)
+	}
+	p := make([]byte, PollFDSize)
+	le.PutUint32(p[0:], 5)
+	le.PutUint16(p[4:], linux.POLLIN)
+	fd, ev := GetPollFD(p)
+	if fd != 5 || ev != linux.POLLIN {
+		t.Fatalf("pollfd %d %x", fd, ev)
+	}
+	PutPollRevents(p, linux.POLLOUT)
+	if le.Uint16(p[6:]) != linux.POLLOUT {
+		t.Fatal("revents not written")
+	}
+}
+
+func TestEpollEventPackedLayout(t *testing.T) {
+	b := make([]byte, EpollEventSize)
+	PutEpollEvent(b, linux.EPOLLIN|linux.EPOLLOUT, 0xDEADBEEFCAFE)
+	ev, data := GetEpollEvent(b)
+	if ev != linux.EPOLLIN|linux.EPOLLOUT || data != 0xDEADBEEFCAFE {
+		t.Fatalf("epoll event %x %x", ev, data)
+	}
+}
+
+func TestUtsnameLayout(t *testing.T) {
+	b := make([]byte, UtsnameSize)
+	PutUtsname(b, linux.Utsname{Sysname: "Linux", Machine: "wasm32"})
+	if string(b[:5]) != "Linux" || b[5] != 0 {
+		t.Errorf("sysname field: %q", b[:8])
+	}
+	off := 4 * UtsnameField
+	if string(b[off:off+6]) != "wasm32" {
+		t.Errorf("machine field: %q", b[off:off+8])
+	}
+}
+
+func TestRlimitRoundTrip(t *testing.T) {
+	b := make([]byte, RlimitSize)
+	PutRlimit(b, [2]uint64{1024, linux.RLIM_INFINITY})
+	got := GetRlimit(b)
+	if got[0] != 1024 || got[1] != linux.RLIM_INFINITY {
+		t.Fatalf("rlimit %v", got)
+	}
+}

@@ -1,0 +1,266 @@
+package isa
+
+import (
+	"encoding/binary"
+
+	"gowali/internal/linux"
+)
+
+// Portable WALI struct layouts. Native kernels lay these structs out
+// differently per ISA; WALI defines one fixed little-endian layout and the
+// engine converts at the syscall boundary (§3.2 "Layout (ABI) Conversion",
+// §3.5). All offsets below are the WALI wire format, independent of host.
+
+// Layout sizes (bytes).
+const (
+	KStatSize      = 112
+	TimespecSize   = 16
+	TimevalSize    = 16
+	IovecSize      = 8
+	KSigactionSize = 24
+	SockaddrInSize = 8
+	PollFDSize     = 8
+	RusageSize     = 144
+	UtsnameField   = 65
+	UtsnameSize    = 6 * UtsnameField
+	SysinfoSize    = 112
+	EpollEventSize = 12 // packed: events u32 @0, data u64 @4
+	RlimitSize     = 16
+	TmsSize        = 32
+	StatfsSize     = 120
+	WinsizeSize    = 8
+)
+
+var le = binary.LittleEndian
+
+// PutKStat encodes a kernel stat into the portable kstat layout.
+//
+//	0  st_dev u64      8  st_ino u64     16 st_nlink u32   20 st_mode u32
+//	24 st_uid u32      28 st_gid u32     32 st_rdev u64    40 st_size i64
+//	48 st_blksize i32  56 st_blocks i64  64 atime (sec i64, nsec i64)
+//	80 mtime           96 ctime
+func PutKStat(b []byte, st linux.Stat) {
+	_ = b[KStatSize-1]
+	le.PutUint64(b[0:], st.Dev)
+	le.PutUint64(b[8:], st.Ino)
+	le.PutUint32(b[16:], st.Nlink)
+	le.PutUint32(b[20:], st.Mode)
+	le.PutUint32(b[24:], st.UID)
+	le.PutUint32(b[28:], st.GID)
+	le.PutUint64(b[32:], st.Rdev)
+	le.PutUint64(b[40:], uint64(st.Size))
+	le.PutUint32(b[48:], uint32(st.Blksize))
+	le.PutUint64(b[56:], uint64(st.Blocks))
+	PutTimespec(b[64:], st.Atime)
+	PutTimespec(b[80:], st.Mtime)
+	PutTimespec(b[96:], st.Ctime)
+}
+
+// PutTimespec encodes {sec i64, nsec i64}.
+func PutTimespec(b []byte, t linux.Timespec) {
+	le.PutUint64(b[0:], uint64(t.Sec))
+	le.PutUint64(b[8:], uint64(t.Nsec))
+}
+
+// GetTimespec decodes {sec i64, nsec i64}.
+func GetTimespec(b []byte) linux.Timespec {
+	return linux.Timespec{
+		Sec:  int64(le.Uint64(b[0:])),
+		Nsec: int64(le.Uint64(b[8:])),
+	}
+}
+
+// PutTimeval encodes {sec i64, usec i64} (gettimeofday, rusage).
+func PutTimeval(b []byte, t linux.Timespec) {
+	le.PutUint64(b[0:], uint64(t.Sec))
+	le.PutUint64(b[8:], uint64(t.Nsec/1000))
+}
+
+// Iovec is a decoded wasm32 iovec entry: {base u32, len u32}.
+type Iovec struct {
+	Base uint32
+	Len  uint32
+}
+
+// GetIovec decodes one iovec.
+func GetIovec(b []byte) Iovec {
+	return Iovec{Base: le.Uint32(b[0:]), Len: le.Uint32(b[4:])}
+}
+
+// KSigaction is the portable rt_sigaction argument:
+//
+//	0 handler u32 (funcref table index, or SIG_DFL/SIG_IGN)
+//	4 flags u32   8 mask u64   16 restorer u32 (ignored)  20 pad
+type KSigaction struct {
+	Handler  uint32
+	Flags    uint32
+	Mask     uint64
+	Restorer uint32
+}
+
+// GetKSigaction decodes the portable sigaction.
+func GetKSigaction(b []byte) KSigaction {
+	return KSigaction{
+		Handler:  le.Uint32(b[0:]),
+		Flags:    le.Uint32(b[4:]),
+		Mask:     le.Uint64(b[8:]),
+		Restorer: le.Uint32(b[16:]),
+	}
+}
+
+// PutKSigaction encodes the portable sigaction.
+func PutKSigaction(b []byte, a KSigaction) {
+	_ = b[KSigactionSize-1]
+	le.PutUint32(b[0:], a.Handler)
+	le.PutUint32(b[4:], a.Flags)
+	le.PutUint64(b[8:], a.Mask)
+	le.PutUint32(b[16:], a.Restorer)
+	le.PutUint32(b[20:], 0)
+}
+
+// Sockaddr layouts follow the native ones (they are already fixed-layout):
+// sockaddr_in: family u16, port u16 (network order), addr [4]byte.
+// sockaddr_un: family u16, path NUL-terminated.
+
+// GetSockaddr decodes a sockaddr buffer of the given length.
+func GetSockaddr(b []byte) (fam uint16, port uint16, addr [4]byte, path string) {
+	if len(b) < 2 {
+		return 0, 0, addr, ""
+	}
+	fam = le.Uint16(b[0:])
+	if fam == linux.AF_UNIX {
+		raw := b[2:]
+		for i, c := range raw {
+			if c == 0 {
+				return fam, 0, addr, string(raw[:i])
+			}
+		}
+		return fam, 0, addr, string(raw)
+	}
+	if len(b) >= 8 {
+		port = uint16(b[2])<<8 | uint16(b[3]) // network byte order
+		copy(addr[:], b[4:8])
+	}
+	return fam, port, addr, ""
+}
+
+// PutSockaddrIn encodes a sockaddr_in.
+func PutSockaddrIn(b []byte, port uint16, addr [4]byte) int {
+	_ = b[7]
+	le.PutUint16(b[0:], linux.AF_INET)
+	b[2] = byte(port >> 8)
+	b[3] = byte(port)
+	copy(b[4:8], addr[:])
+	return 8
+}
+
+// PutSockaddrUn encodes a sockaddr_un, returning the encoded length.
+func PutSockaddrUn(b []byte, path string) int {
+	le.PutUint16(b[0:], linux.AF_UNIX)
+	n := copy(b[2:], path)
+	if 2+n < len(b) {
+		b[2+n] = 0
+		n++
+	}
+	return 2 + n
+}
+
+// PutRusage encodes struct rusage (utime/stime timevals + 14 zero longs).
+func PutRusage(b []byte, ru linux.Rusage) {
+	_ = b[RusageSize-1]
+	for i := range b[:RusageSize] {
+		b[i] = 0
+	}
+	PutTimeval(b[0:], ru.Utime)
+	PutTimeval(b[16:], ru.Stime)
+	le.PutUint64(b[32:], uint64(ru.MaxRSS))
+	le.PutUint64(b[64:], uint64(ru.MinFault))
+	le.PutUint64(b[72:], uint64(ru.MajFault))
+}
+
+// PutUtsname encodes struct utsname: six 65-byte NUL-padded fields.
+func PutUtsname(b []byte, u linux.Utsname) {
+	_ = b[UtsnameSize-1]
+	for i := range b[:UtsnameSize] {
+		b[i] = 0
+	}
+	fields := []string{u.Sysname, u.Nodename, u.Release, u.Version, u.Machine, u.Domainname}
+	for i, f := range fields {
+		copy(b[i*UtsnameField:(i+1)*UtsnameField-1], f)
+	}
+}
+
+// PutSysinfo encodes the populated subset of struct sysinfo.
+func PutSysinfo(b []byte, si linux.Sysinfo) {
+	_ = b[SysinfoSize-1]
+	for i := range b[:SysinfoSize] {
+		b[i] = 0
+	}
+	le.PutUint64(b[0:], uint64(si.Uptime))
+	le.PutUint64(b[32:], si.TotalRAM)
+	le.PutUint64(b[40:], si.FreeRAM)
+	le.PutUint16(b[80:], si.Procs)
+	le.PutUint32(b[104:], si.MemUnit)
+}
+
+// PutStatfs encodes struct statfs (portable subset).
+func PutStatfs(b []byte, typ, bsize int64, blocks, bfree, bavail, files, ffree uint64, nameLen int64) {
+	_ = b[StatfsSize-1]
+	for i := range b[:StatfsSize] {
+		b[i] = 0
+	}
+	le.PutUint64(b[0:], uint64(typ))
+	le.PutUint64(b[8:], uint64(bsize))
+	le.PutUint64(b[16:], blocks)
+	le.PutUint64(b[24:], bfree)
+	le.PutUint64(b[32:], bavail)
+	le.PutUint64(b[40:], files)
+	le.PutUint64(b[48:], ffree)
+	le.PutUint64(b[64:], uint64(nameLen))
+}
+
+// PollFD layout: fd i32 @0, events i16 @4, revents i16 @6.
+
+// GetPollFD decodes one pollfd.
+func GetPollFD(b []byte) (fd int32, events int16) {
+	return int32(le.Uint32(b[0:])), int16(le.Uint16(b[4:]))
+}
+
+// PutPollRevents stores the revents field.
+func PutPollRevents(b []byte, revents int16) {
+	le.PutUint16(b[6:], uint16(revents))
+}
+
+// EpollEvent layout (packed, matching x86-64/musl): events u32 @0,
+// data u64 @4.
+
+// GetEpollEvent decodes one epoll_event.
+func GetEpollEvent(b []byte) (events uint32, data uint64) {
+	return le.Uint32(b[0:]), le.Uint64(b[4:])
+}
+
+// PutEpollEvent encodes one epoll_event.
+func PutEpollEvent(b []byte, events uint32, data uint64) {
+	le.PutUint32(b[0:], events)
+	le.PutUint64(b[4:], data)
+}
+
+// PutRlimit encodes struct rlimit {cur u64, max u64}.
+func PutRlimit(b []byte, lim [2]uint64) {
+	le.PutUint64(b[0:], lim[0])
+	le.PutUint64(b[8:], lim[1])
+}
+
+// GetRlimit decodes struct rlimit.
+func GetRlimit(b []byte) [2]uint64 {
+	return [2]uint64{le.Uint64(b[0:]), le.Uint64(b[8:])}
+}
+
+// PutTms encodes struct tms (times(2)): four clock_t i64 fields.
+func PutTms(b []byte, utime, stime int64) {
+	_ = b[TmsSize-1]
+	le.PutUint64(b[0:], uint64(utime))
+	le.PutUint64(b[8:], uint64(stime))
+	le.PutUint64(b[16:], 0)
+	le.PutUint64(b[24:], 0)
+}

@@ -1,0 +1,223 @@
+// Package isa captures the ISA-facing halves of WALI: the per-architecture
+// Linux syscall tables (used by the Fig. 3 commonality analysis and by
+// name-bound dispatch) and the portable struct layouts WALI standardizes at
+// the syscall boundary (§3.5 "ISA-Specific Kernel Interfaces").
+package isa
+
+import "sort"
+
+// Arch identifies a host instruction set architecture.
+type Arch string
+
+// The three ISAs the paper's WALI implementation supports.
+const (
+	X8664   Arch = "x86_64"
+	AArch64 Arch = "aarch64"
+	RISCV64 Arch = "riscv64"
+)
+
+// asmGeneric is the modern asm-generic syscall name set shared by the
+// 64-bit RISC ISAs (aarch64 and riscv64 are defined from this table).
+var asmGeneric = []string{
+	"io_setup", "io_destroy", "io_submit", "io_cancel", "io_getevents",
+	"setxattr", "lsetxattr", "fsetxattr", "getxattr", "lgetxattr",
+	"fgetxattr", "listxattr", "llistxattr", "flistxattr", "removexattr",
+	"lremovexattr", "fremovexattr", "getcwd", "lookup_dcookie", "eventfd2",
+	"epoll_create1", "epoll_ctl", "epoll_pwait", "dup", "dup3", "fcntl",
+	"inotify_init1", "inotify_add_watch", "inotify_rm_watch", "ioctl",
+	"ioprio_set", "ioprio_get", "flock", "mknodat", "mkdirat", "unlinkat",
+	"symlinkat", "linkat", "renameat", "umount2", "mount", "pivot_root",
+	"nfsservctl", "statfs", "fstatfs", "truncate", "ftruncate", "fallocate",
+	"faccessat", "chdir", "fchdir", "chroot", "fchmod", "fchmodat",
+	"fchownat", "fchown", "openat", "close", "vhangup", "pipe2", "quotactl",
+	"getdents64", "lseek", "read", "write", "readv", "writev", "pread64",
+	"pwrite64", "preadv", "pwritev", "sendfile", "pselect6", "ppoll",
+	"signalfd4", "vmsplice", "splice", "tee", "readlinkat", "newfstatat",
+	"fstat", "sync", "fsync", "fdatasync", "sync_file_range", "timerfd_create",
+	"timerfd_settime", "timerfd_gettime", "utimensat", "acct", "capget",
+	"capset", "personality", "exit", "exit_group", "waitid", "set_tid_address",
+	"unshare", "futex", "set_robust_list", "get_robust_list", "nanosleep",
+	"getitimer", "setitimer", "kexec_load", "init_module", "delete_module",
+	"timer_create", "timer_gettime", "timer_getoverrun", "timer_settime",
+	"timer_delete", "clock_settime", "clock_gettime", "clock_getres",
+	"clock_nanosleep", "syslog", "ptrace", "sched_setparam",
+	"sched_setscheduler", "sched_getscheduler", "sched_getparam",
+	"sched_setaffinity", "sched_getaffinity", "sched_yield",
+	"sched_get_priority_max", "sched_get_priority_min", "sched_rr_get_interval",
+	"restart_syscall", "kill", "tkill", "tgkill", "sigaltstack", "rt_sigsuspend",
+	"rt_sigaction", "rt_sigprocmask", "rt_sigpending", "rt_sigtimedwait",
+	"rt_sigqueueinfo", "rt_sigreturn", "setpriority", "getpriority", "reboot",
+	"setregid", "setgid", "setreuid", "setuid", "setresuid", "getresuid",
+	"setresgid", "getresgid", "setfsuid", "setfsgid", "times", "setpgid",
+	"getpgid", "getsid", "setsid", "getgroups", "setgroups", "uname",
+	"sethostname", "setdomainname", "getrlimit", "setrlimit", "getrusage",
+	"umask", "prctl", "getcpu", "gettimeofday", "settimeofday", "adjtimex",
+	"getpid", "getppid", "getuid", "geteuid", "getgid", "getegid", "gettid",
+	"sysinfo", "mq_open", "mq_unlink", "mq_timedsend", "mq_timedreceive",
+	"mq_notify", "mq_getsetattr", "msgget", "msgctl", "msgrcv", "msgsnd",
+	"semget", "semctl", "semtimedop", "semop", "shmget", "shmctl", "shmat",
+	"shmdt", "socket", "socketpair", "bind", "listen", "accept", "connect",
+	"getsockname", "getpeername", "sendto", "recvfrom", "setsockopt",
+	"getsockopt", "shutdown", "sendmsg", "recvmsg", "readahead", "brk",
+	"munmap", "mremap", "add_key", "request_key", "keyctl", "clone", "execve",
+	"mmap", "fadvise64", "swapon", "swapoff", "mprotect", "msync", "mlock",
+	"munlock", "mlockall", "munlockall", "mincore", "madvise", "remap_file_pages",
+	"mbind", "get_mempolicy", "set_mempolicy", "migrate_pages", "move_pages",
+	"rt_tgsigqueueinfo", "perf_event_open", "accept4", "recvmmsg",
+	"wait4", "prlimit64", "fanotify_init", "fanotify_mark", "name_to_handle_at",
+	"open_by_handle_at", "clock_adjtime", "syncfs", "setns", "sendmmsg",
+	"process_vm_readv", "process_vm_writev", "kcmp", "finit_module",
+	"sched_setattr", "sched_getattr", "renameat2", "seccomp", "getrandom",
+	"memfd_create", "bpf", "execveat", "userfaultfd", "membarrier", "mlock2",
+	"copy_file_range", "preadv2", "pwritev2", "pkey_mprotect", "pkey_alloc",
+	"pkey_free", "statx", "io_pgetevents", "rseq", "kexec_file_load",
+	"pidfd_send_signal", "io_uring_setup", "io_uring_enter", "io_uring_register",
+	"open_tree", "move_mount", "fsopen", "fsconfig", "fsmount", "fspick",
+	"pidfd_open", "clone3", "close_range", "openat2", "pidfd_getfd",
+	"faccessat2", "process_madvise", "epoll_pwait2", "mount_setattr",
+	"quotactl_fd", "landlock_create_ruleset", "landlock_add_rule",
+	"landlock_restrict_self", "memfd_secret", "process_mrelease",
+	"futex_waitv", "set_mempolicy_home_node",
+}
+
+// x8664Legacy lists syscalls x86-64 retains that the asm-generic ISAs
+// dropped (the "large common core plus x86-64 extras" structure Fig. 3
+// shows).
+var x8664Legacy = []string{
+	"open", "stat", "lstat", "access", "pipe", "select", "poll", "dup2",
+	"pause", "alarm", "fork", "vfork", "getdents", "rename", "mkdir",
+	"rmdir", "creat", "link", "unlink", "symlink", "readlink", "chmod",
+	"chown", "lchown", "getpgrp", "utime", "utimes", "futimesat", "mknod",
+	"uselib", "ustat", "sysfs", "signalfd", "eventfd", "epoll_create",
+	"epoll_wait", "epoll_ctl_old", "epoll_wait_old", "inotify_init",
+	"arch_prctl", "time", "getpmsg", "putpmsg", "afs_syscall", "tuxcall",
+	"security", "modify_ldt", "ioperm", "iopl", "create_module",
+	"get_kernel_syms", "query_module", "vserver", "_sysctl",
+}
+
+// x8664Missing lists asm-generic names x86-64 does not provide (it keeps
+// legacy spellings instead or never gained the call).
+var x8664Missing = []string{
+	"memfd_secret", // x86-64 has it; keep list minimal and honest
+}
+
+// aarch64Extra lists aarch64-specific additions beyond asm-generic.
+var aarch64Extra = []string{}
+
+// riscv64Dropped lists asm-generic names riscv64 does not implement
+// (riscv64 launched without the legacy-compat entries aarch64 kept).
+var riscv64Dropped = []string{
+	"renameat", "lookup_dcookie", "nfsservctl",
+}
+
+// Table returns the syscall name set of an architecture.
+func Table(a Arch) map[string]bool {
+	out := make(map[string]bool, 400)
+	switch a {
+	case X8664:
+		for _, s := range asmGeneric {
+			out[s] = true
+		}
+		for _, s := range x8664Missing {
+			delete(out, s)
+		}
+		for _, s := range x8664Legacy {
+			out[s] = true
+		}
+	case AArch64:
+		for _, s := range asmGeneric {
+			out[s] = true
+		}
+		for _, s := range aarch64Extra {
+			out[s] = true
+		}
+	case RISCV64:
+		for _, s := range asmGeneric {
+			out[s] = true
+		}
+		for _, s := range riscv64Dropped {
+			delete(out, s)
+		}
+	}
+	return out
+}
+
+// Arches lists the supported architectures in presentation order.
+func Arches() []Arch { return []Arch{X8664, RISCV64, AArch64} }
+
+// Common returns the syscall names present on every supported ISA — the
+// "large common core" of Fig. 3.
+func Common() []string {
+	counts := make(map[string]int)
+	for _, a := range Arches() {
+		for s := range Table(a) {
+			counts[s]++
+		}
+	}
+	var out []string
+	for s, c := range counts {
+		if c == len(Arches()) {
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Union returns all syscall names across ISAs — the name-bound WALI
+// specification set (§3.5: "union of all syscalls across supported
+// architectures").
+func Union() []string {
+	seen := make(map[string]bool)
+	for _, a := range Arches() {
+		for s := range Table(a) {
+			seen[s] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ArchSpecific returns the names present on a but not on every ISA.
+func ArchSpecific(a Arch) []string {
+	common := make(map[string]bool)
+	for _, s := range Common() {
+		common[s] = true
+	}
+	var out []string
+	for s := range Table(a) {
+		if !common[s] {
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Fig3Row is one bar of the paper's Fig. 3.
+type Fig3Row struct {
+	Arch         Arch
+	Total        int
+	CommonCount  int
+	ArchSpecific int
+}
+
+// Fig3 computes the per-ISA common/arch-specific split.
+func Fig3() []Fig3Row {
+	nCommon := len(Common())
+	var rows []Fig3Row
+	for _, a := range Arches() {
+		total := len(Table(a))
+		rows = append(rows, Fig3Row{
+			Arch:         a,
+			Total:        total,
+			CommonCount:  nCommon,
+			ArchSpecific: total - nCommon,
+		})
+	}
+	return rows
+}

@@ -1,0 +1,155 @@
+package kernel
+
+import (
+	"sync"
+
+	"gowali/internal/linux"
+)
+
+// ConsoleDevice is the controlling terminal: writes accumulate in an
+// inspectable buffer, reads consume from an input queue fed by FeedInput.
+type ConsoleDevice struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	out  []byte
+	in   []byte
+	eof  bool
+	ws   linux.Winsize
+}
+
+// NewConsoleDevice returns a console with an 80x24 window.
+func NewConsoleDevice() *ConsoleDevice {
+	c := &ConsoleDevice{ws: linux.Winsize{Row: 24, Col: 80}}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// FeedInput appends bytes for subsequent reads.
+func (c *ConsoleDevice) FeedInput(b []byte) {
+	c.mu.Lock()
+	c.in = append(c.in, b...)
+	c.mu.Unlock()
+	c.cond.Broadcast()
+}
+
+// CloseInput marks end-of-input; readers see EOF once drained.
+func (c *ConsoleDevice) CloseInput() {
+	c.mu.Lock()
+	c.eof = true
+	c.mu.Unlock()
+	c.cond.Broadcast()
+}
+
+// Output returns everything written so far.
+func (c *ConsoleDevice) Output() []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]byte(nil), c.out...)
+}
+
+// TakeOutput returns and clears the accumulated output.
+func (c *ConsoleDevice) TakeOutput() []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := c.out
+	c.out = nil
+	return out
+}
+
+// Read implements vfs.DeviceOps.
+func (c *ConsoleDevice) Read(b []byte, nonblock bool) (int, linux.Errno) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.in) == 0 {
+		if c.eof {
+			return 0, 0
+		}
+		if nonblock {
+			return 0, linux.EAGAIN
+		}
+		c.cond.Wait()
+	}
+	n := copy(b, c.in)
+	c.in = c.in[n:]
+	return n, 0
+}
+
+// Write implements vfs.DeviceOps.
+func (c *ConsoleDevice) Write(b []byte) (int, linux.Errno) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.out = append(c.out, b...)
+	return len(b), 0
+}
+
+// Poll implements vfs.DeviceOps.
+func (c *ConsoleDevice) Poll() int16 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ev := int16(linux.POLLOUT)
+	if len(c.in) > 0 || c.eof {
+		ev |= linux.POLLIN
+	}
+	return ev
+}
+
+// Ioctl implements terminal controls: window size and a fake termios.
+func (c *ConsoleDevice) Ioctl(cmd uint32, arg []byte) (int32, linux.Errno) {
+	switch cmd {
+	case linux.TIOCGWINSZ:
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if len(arg) >= 8 {
+			putU16 := func(off int, v uint16) { arg[off] = byte(v); arg[off+1] = byte(v >> 8) }
+			putU16(0, c.ws.Row)
+			putU16(2, c.ws.Col)
+			putU16(4, c.ws.XPixel)
+			putU16(6, c.ws.YPixel)
+		}
+		return 0, 0
+	case linux.TCGETS, linux.TCSETS:
+		return 0, 0 // accepted; termios content is opaque to the sim
+	case linux.FIONREAD:
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return int32(len(c.in)), 0
+	}
+	return 0, linux.ENOTTY
+}
+
+// nullDevice is /dev/null.
+type nullDevice struct{}
+
+func (nullDevice) Read(b []byte, nonblock bool) (int, linux.Errno) { return 0, 0 }
+func (nullDevice) Write(b []byte) (int, linux.Errno)               { return len(b), 0 }
+func (nullDevice) Poll() int16                                     { return linux.POLLIN | linux.POLLOUT }
+func (nullDevice) Ioctl(cmd uint32, arg []byte) (int32, linux.Errno) {
+	return 0, linux.ENOTTY
+}
+
+// zeroDevice is /dev/zero.
+type zeroDevice struct{}
+
+func (zeroDevice) Read(b []byte, nonblock bool) (int, linux.Errno) {
+	for i := range b {
+		b[i] = 0
+	}
+	return len(b), 0
+}
+func (zeroDevice) Write(b []byte) (int, linux.Errno) { return len(b), 0 }
+func (zeroDevice) Poll() int16                       { return linux.POLLIN | linux.POLLOUT }
+func (zeroDevice) Ioctl(cmd uint32, arg []byte) (int32, linux.Errno) {
+	return 0, linux.ENOTTY
+}
+
+// randomDevice is /dev/random and /dev/urandom over the kernel pool.
+type randomDevice struct{ k *Kernel }
+
+func (d *randomDevice) Read(b []byte, nonblock bool) (int, linux.Errno) {
+	return d.k.GetRandom(b), 0
+}
+func (d *randomDevice) Write(b []byte) (int, linux.Errno) { return len(b), 0 }
+func (d *randomDevice) Poll() int16                       { return linux.POLLIN | linux.POLLOUT }
+func (d *randomDevice) Ioctl(cmd uint32, arg []byte) (int32, linux.Errno) {
+	return 0, linux.ENOTTY
+}

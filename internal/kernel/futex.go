@@ -1,0 +1,92 @@
+package kernel
+
+import (
+	"sync"
+	"time"
+
+	"gowali/internal/linux"
+)
+
+// Futexes. The key identifies a 32-bit word in some address space: WALI
+// passes its Memory object as the opaque space identity plus the Wasm
+// address, so futexes on shared memories (threads) rendezvous correctly
+// while separate processes do not collide.
+
+type futexKey struct {
+	space any
+	addr  uint32
+}
+
+type futexQueue struct {
+	cond    *sync.Cond
+	waiters int
+	seq     uint64 // bumped on every wake to let waiters detect wakeups
+}
+
+// FutexWait blocks until a FutexWake on (space, addr), checking first that
+// *addr (read via load) still equals val — the standard atomic test-and-
+// block. timeout nil means wait forever. Returns EAGAIN when the value
+// already changed, ETIMEDOUT on timeout.
+func (k *Kernel) FutexWait(space any, addr uint32, val uint32, load func() uint32, timeout *linux.Timespec) linux.Errno {
+	key := futexKey{space, addr}
+	k.mu.Lock()
+	q := k.futexes[key]
+	if q == nil {
+		q = &futexQueue{cond: sync.NewCond(&k.mu)}
+		k.futexes[key] = q
+	}
+	if load() != val {
+		k.mu.Unlock()
+		return linux.EAGAIN
+	}
+	q.waiters++
+	start := q.seq
+
+	var timedOut bool
+	var timer *time.Timer
+	if timeout != nil {
+		d := time.Duration(timeout.Nanos())
+		timer = time.AfterFunc(d, func() {
+			k.mu.Lock()
+			timedOut = true
+			k.mu.Unlock()
+			q.cond.Broadcast()
+		})
+	}
+	for q.seq == start && !timedOut {
+		q.cond.Wait()
+	}
+	q.waiters--
+	if q.waiters == 0 {
+		delete(k.futexes, key)
+	}
+	k.mu.Unlock()
+	if timer != nil {
+		timer.Stop()
+	}
+	if timedOut {
+		return linux.ETIMEDOUT
+	}
+	return 0
+}
+
+// FutexWake wakes up to n waiters on (space, addr), returning the number
+// of waiters present (all waiters wake and re-check; the over-wake is
+// indistinguishable from spurious wakeups permitted by futex semantics).
+func (k *Kernel) FutexWake(space any, addr uint32, n int32) int32 {
+	key := futexKey{space, addr}
+	k.mu.Lock()
+	q := k.futexes[key]
+	if q == nil {
+		k.mu.Unlock()
+		return 0
+	}
+	woken := int32(q.waiters)
+	if woken > n {
+		woken = n
+	}
+	q.seq++
+	k.mu.Unlock()
+	q.cond.Broadcast()
+	return woken
+}

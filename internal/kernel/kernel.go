@@ -1,0 +1,202 @@
+package kernel
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"gowali/internal/kernel/vfs"
+	"gowali/internal/linux"
+)
+
+// Kernel is the simulated Linux kernel: a filesystem, a process table,
+// futexes, sockets and clocks. One Kernel corresponds to one booted
+// machine; WALI engines attach processes to it.
+type Kernel struct {
+	FS *vfs.FS
+
+	mu       sync.Mutex
+	waitCond *sync.Cond // broadcast on process state changes (exit, stop)
+	procs    map[int32]*Process
+	nextPID  int32
+
+	futexes map[futexKey]*futexQueue
+
+	ports    map[uint16]*listenerSocket // loopback TCP port space
+	unixSock map[string]*listenerSocket // bound unix sockets
+
+	bootWall time.Time
+	bootMono time.Time
+
+	hostname string
+	rng      *rand.Rand
+	rngMu    sync.Mutex
+
+	// Console collects writes to the controlling tty; ConsoleIn feeds
+	// reads. Tests and examples inspect Console output.
+	Console  *ConsoleDevice
+	totalRAM uint64
+}
+
+// NewKernel boots a simulated kernel: root filesystem with the standard
+// hierarchy, /dev nodes, /proc skeleton and an init-less process table.
+func NewKernel() *Kernel {
+	k := &Kernel{
+		procs:    make(map[int32]*Process),
+		nextPID:  1,
+		futexes:  make(map[futexKey]*futexQueue),
+		ports:    make(map[uint16]*listenerSocket),
+		unixSock: make(map[string]*listenerSocket),
+		bootWall: time.Now(),
+		bootMono: time.Now(),
+		hostname: "gowali",
+		rng:      rand.New(rand.NewSource(0x574C4149)), // "WLAI"
+		totalRAM: 512 << 20,
+	}
+	k.waitCond = sync.NewCond(&k.mu)
+	k.FS = vfs.New(k.Realtime)
+
+	for _, d := range []string{"/bin", "/dev", "/etc", "/home", "/proc", "/tmp", "/usr", "/var"} {
+		k.FS.MkdirAll(d, 0o755)
+	}
+
+	k.Console = NewConsoleDevice()
+	k.mkdev("/dev/console", k.Console)
+	k.mkdev("/dev/tty", k.Console)
+	k.mkdev("/dev/null", nullDevice{})
+	k.mkdev("/dev/zero", zeroDevice{})
+	k.mkdev("/dev/random", &randomDevice{k: k})
+	k.mkdev("/dev/urandom", &randomDevice{k: k})
+
+	k.FS.WriteFile("/etc/hostname", []byte(k.hostname+"\n"), 0o644)
+	k.FS.WriteFile("/etc/passwd", []byte("root:x:0:0:root:/root:/bin/sh\n"), 0o644)
+
+	return k
+}
+
+func (k *Kernel) mkdev(path string, ops vfs.DeviceOps) {
+	k.FS.Mknod("/", path, linux.S_IFCHR|0o666, 0, 0, ops)
+}
+
+// Monotonic returns CLOCK_MONOTONIC since boot.
+func (k *Kernel) Monotonic() linux.Timespec {
+	return linux.TimespecFromNanos(time.Since(k.bootMono).Nanoseconds())
+}
+
+// Realtime returns CLOCK_REALTIME.
+func (k *Kernel) Realtime() linux.Timespec {
+	return linux.TimespecFromNanos(time.Now().UnixNano())
+}
+
+// ClockGettime implements clock_gettime for the supported clock IDs.
+func (k *Kernel) ClockGettime(clockid int32) (linux.Timespec, linux.Errno) {
+	switch clockid {
+	case linux.CLOCK_REALTIME:
+		return k.Realtime(), 0
+	case linux.CLOCK_MONOTONIC, linux.CLOCK_MONOTONIC_RAW, linux.CLOCK_BOOTTIME,
+		linux.CLOCK_PROCESS_CPUTIME_ID, linux.CLOCK_THREAD_CPUTIME_ID:
+		return k.Monotonic(), 0
+	}
+	return linux.Timespec{}, linux.EINVAL
+}
+
+// Nanosleep suspends the calling goroutine. Interruption by signals is
+// modeled for pause-style calls only; plain sleeps run to completion.
+func (k *Kernel) Nanosleep(d linux.Timespec) linux.Errno {
+	if d.Sec < 0 || d.Nsec < 0 || d.Nsec >= 1e9 {
+		return linux.EINVAL
+	}
+	time.Sleep(time.Duration(d.Nanos()))
+	return 0
+}
+
+// GetRandom fills b with deterministic pseudo-random bytes (the simulated
+// entropy pool is seeded at boot for reproducible experiments).
+func (k *Kernel) GetRandom(b []byte) int {
+	k.rngMu.Lock()
+	defer k.rngMu.Unlock()
+	for i := range b {
+		b[i] = byte(k.rng.Intn(256))
+	}
+	return len(b)
+}
+
+// Uname reports the simulated system identity. Machine is reported as
+// "wasm32" — the whole point of the exercise.
+func (k *Kernel) Uname() linux.Utsname {
+	return linux.Utsname{
+		Sysname:  "Linux",
+		Nodename: k.hostname,
+		Release:  "6.1.0-gowali",
+		Version:  "#1 SMP gowali simulated kernel",
+		Machine:  "wasm32",
+	}
+}
+
+// Sysinfo reports memory and process accounting.
+func (k *Kernel) Sysinfo() linux.Sysinfo {
+	k.mu.Lock()
+	n := len(k.procs)
+	k.mu.Unlock()
+	return linux.Sysinfo{
+		Uptime:   k.Monotonic().Sec,
+		TotalRAM: k.totalRAM,
+		FreeRAM:  k.totalRAM / 2,
+		Procs:    uint16(n),
+		MemUnit:  1,
+	}
+}
+
+// Hostname returns the node name.
+func (k *Kernel) Hostname() string { return k.hostname }
+
+// ProcessCount returns the number of live processes (threads included).
+func (k *Kernel) ProcessCount() int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return len(k.procs)
+}
+
+// Process looks up a process by PID.
+func (k *Kernel) Process(pid int32) (*Process, bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	p, ok := k.procs[pid]
+	return p, ok
+}
+
+// registerProcSynthetic creates the /proc/<pid> tree for p.
+func (k *Kernel) registerProcSynthetic(p *Process) {
+	base := fmt.Sprintf("/proc/%d", p.PID)
+	k.FS.MkdirAll(base, 0o555)
+	status, _ := k.FS.Create("/", base+"/status", linux.S_IFREG|0o444, 0, 0, false)
+	if status != nil {
+		k.FS.SetGenerator(status, func() []byte {
+			return []byte(fmt.Sprintf("Name:\t%s\nPid:\t%d\nPPid:\t%d\nTgid:\t%d\nUid:\t%d\nGid:\t%d\n",
+				p.Comm(), p.PID, p.Getppid(), p.TGID, p.uid(), p.gid()))
+		})
+	}
+	cmdline, _ := k.FS.Create("/", base+"/cmdline", linux.S_IFREG|0o444, 0, 0, false)
+	if cmdline != nil {
+		k.FS.SetGenerator(cmdline, func() []byte {
+			var out []byte
+			for _, a := range p.Argv() {
+				out = append(out, a...)
+				out = append(out, 0)
+			}
+			return out
+		})
+	}
+	// /proc/<pid>/mem exists so the WALI-layer interposition (a §3.6
+	// security pitfall) has a real target to deny.
+	k.FS.Create("/", base+"/mem", linux.S_IFREG|0o600, 0, 0, false)
+}
+
+func (k *Kernel) unregisterProcSynthetic(pid int32) {
+	base := fmt.Sprintf("/proc/%d", pid)
+	k.FS.Unlink("/", base+"/status", false)
+	k.FS.Unlink("/", base+"/cmdline", false)
+	k.FS.Unlink("/", base+"/mem", false)
+	k.FS.Unlink("/", base, true)
+}

@@ -1,0 +1,270 @@
+package kernel
+
+import (
+	"sync"
+	"time"
+
+	"gowali/internal/linux"
+)
+
+// poll(2) and epoll. Readiness is level-triggered by sampling each file's
+// Poll(); blocking waits use a modest poll interval rather than wiring
+// wait queues through every file type — the latency floor (~100µs) is well
+// inside the experiment noise this substrate feeds.
+
+const pollInterval = 25 * time.Microsecond
+
+// PollFD mirrors struct pollfd.
+type PollFD struct {
+	FD      int32
+	Events  int16
+	Revents int16
+}
+
+// Poll implements poll(2)/ppoll(2). timeoutNs < 0 blocks indefinitely.
+func (p *Process) Poll(fds []PollFD, timeoutNs int64) (int, linux.Errno) {
+	var deadline time.Time
+	if timeoutNs >= 0 {
+		deadline = time.Now().Add(time.Duration(timeoutNs))
+	}
+	for {
+		ready := 0
+		for i := range fds {
+			fds[i].Revents = 0
+			if fds[i].FD < 0 {
+				continue
+			}
+			f, errno := p.FDs.Get(fds[i].FD)
+			if errno != 0 {
+				fds[i].Revents = linux.POLLNVAL
+				ready++
+				continue
+			}
+			ev := f.Poll()
+			mask := fds[i].Events | linux.POLLHUP | linux.POLLERR
+			if got := ev & mask; got != 0 {
+				fds[i].Revents = got
+				ready++
+			}
+		}
+		if ready > 0 {
+			return ready, 0
+		}
+		if timeoutNs == 0 {
+			return 0, 0
+		}
+		if timeoutNs > 0 && !time.Now().Before(deadline) {
+			return 0, 0
+		}
+		if p.HasDeliverableSignal() {
+			return 0, linux.EINTR
+		}
+		time.Sleep(pollInterval)
+	}
+}
+
+// Select implements select-style readiness over three fd sets expressed as
+// bitmaps (one uint64 per 64 fds). Returns the total ready count.
+func (p *Process) Select(nfds int32, read, write, except []uint64, timeoutNs int64) (int, linux.Errno) {
+	getBit := func(set []uint64, fd int32) bool {
+		if set == nil {
+			return false
+		}
+		return set[fd/64]&(1<<(uint(fd)%64)) != 0
+	}
+	var fds []PollFD
+	for fd := int32(0); fd < nfds; fd++ {
+		var ev int16
+		if getBit(read, fd) {
+			ev |= linux.POLLIN
+		}
+		if getBit(write, fd) {
+			ev |= linux.POLLOUT
+		}
+		if getBit(except, fd) {
+			ev |= linux.POLLPRI
+		}
+		if ev != 0 {
+			fds = append(fds, PollFD{FD: fd, Events: ev})
+		}
+	}
+	n, errno := p.Poll(fds, timeoutNs)
+	if errno != 0 {
+		return 0, errno
+	}
+	clear := func(set []uint64) {
+		for i := range set {
+			set[i] = 0
+		}
+	}
+	clear(read)
+	clear(write)
+	clear(except)
+	total := 0
+	for _, f := range fds {
+		if f.Revents&linux.POLLIN != 0 && read != nil {
+			read[f.FD/64] |= 1 << (uint(f.FD) % 64)
+			total++
+		}
+		if f.Revents&linux.POLLOUT != 0 && write != nil {
+			write[f.FD/64] |= 1 << (uint(f.FD) % 64)
+			total++
+		}
+	}
+	_ = n
+	return total, 0
+}
+
+// --- epoll ---
+
+type epollEntry struct {
+	fd     int32
+	events uint32
+	data   uint64
+}
+
+// EpollFile is an epoll instance as a File.
+type EpollFile struct {
+	flagHolder
+	p  *Process
+	mu sync.Mutex
+	// interest list keyed by fd
+	items map[int32]epollEntry
+}
+
+// EpollCreate implements epoll_create1.
+func (p *Process) EpollCreate(flags int32) (int32, linux.Errno) {
+	ef := &EpollFile{p: p, items: make(map[int32]epollEntry)}
+	return p.FDs.Alloc(ef, flags&linux.O_CLOEXEC != 0, 0)
+}
+
+// EpollCtl implements epoll_ctl.
+func (p *Process) EpollCtl(epfd, op, fd int32, events uint32, data uint64) linux.Errno {
+	f, errno := p.FDs.Get(epfd)
+	if errno != 0 {
+		return errno
+	}
+	ef, ok := f.(*EpollFile)
+	if !ok {
+		return linux.EINVAL
+	}
+	if _, errno := p.FDs.Get(fd); errno != 0 {
+		return errno
+	}
+	ef.mu.Lock()
+	defer ef.mu.Unlock()
+	switch op {
+	case linux.EPOLL_CTL_ADD:
+		if _, exists := ef.items[fd]; exists {
+			return linux.EEXIST
+		}
+		ef.items[fd] = epollEntry{fd: fd, events: events, data: data}
+	case linux.EPOLL_CTL_MOD:
+		if _, exists := ef.items[fd]; !exists {
+			return linux.ENOENT
+		}
+		ef.items[fd] = epollEntry{fd: fd, events: events, data: data}
+	case linux.EPOLL_CTL_DEL:
+		if _, exists := ef.items[fd]; !exists {
+			return linux.ENOENT
+		}
+		delete(ef.items, fd)
+	default:
+		return linux.EINVAL
+	}
+	return 0
+}
+
+// EpollEvent is one ready event.
+type EpollEvent struct {
+	Events uint32
+	Data   uint64
+}
+
+// EpollWait implements epoll_wait (level-triggered).
+func (p *Process) EpollWait(epfd int32, maxEvents int, timeoutNs int64) ([]EpollEvent, linux.Errno) {
+	f, errno := p.FDs.Get(epfd)
+	if errno != 0 {
+		return nil, errno
+	}
+	ef, ok := f.(*EpollFile)
+	if !ok {
+		return nil, linux.EINVAL
+	}
+	var deadline time.Time
+	if timeoutNs >= 0 {
+		deadline = time.Now().Add(time.Duration(timeoutNs))
+	}
+	for {
+		ef.mu.Lock()
+		items := make([]epollEntry, 0, len(ef.items))
+		for _, it := range ef.items {
+			items = append(items, it)
+		}
+		ef.mu.Unlock()
+
+		var out []EpollEvent
+		for _, it := range items {
+			if len(out) >= maxEvents {
+				break
+			}
+			file, errno := p.FDs.Get(it.fd)
+			if errno != 0 {
+				continue
+			}
+			ev := uint32(uint16(file.Poll()))
+			if got := ev & (it.events | linux.EPOLLHUP | linux.EPOLLERR); got != 0 {
+				out = append(out, EpollEvent{Events: got, Data: it.data})
+			}
+		}
+		if len(out) > 0 {
+			return out, 0
+		}
+		if timeoutNs == 0 {
+			return nil, 0
+		}
+		if timeoutNs > 0 && !time.Now().Before(deadline) {
+			return nil, 0
+		}
+		if p.HasDeliverableSignal() {
+			return nil, linux.EINTR
+		}
+		time.Sleep(pollInterval)
+	}
+}
+
+// --- File interface for EpollFile ---
+
+// Read implements File.
+func (e *EpollFile) Read(b []byte) (int, linux.Errno) { return 0, linux.EINVAL }
+
+// Write implements File.
+func (e *EpollFile) Write(b []byte) (int, linux.Errno) { return 0, linux.EINVAL }
+
+// Pread implements File.
+func (e *EpollFile) Pread(b []byte, off int64) (int, linux.Errno) { return 0, linux.EINVAL }
+
+// Pwrite implements File.
+func (e *EpollFile) Pwrite(b []byte, off int64) (int, linux.Errno) { return 0, linux.EINVAL }
+
+// Lseek implements File.
+func (e *EpollFile) Lseek(off int64, whence int32) (int64, linux.Errno) { return 0, linux.ESPIPE }
+
+// Stat implements File.
+func (e *EpollFile) Stat() (linux.Stat, linux.Errno) {
+	return linux.Stat{Mode: linux.S_IFREG, Blksize: 4096}, 0
+}
+
+// Truncate implements File.
+func (e *EpollFile) Truncate(int64) linux.Errno { return linux.EINVAL }
+
+// Close implements File.
+func (e *EpollFile) Close() linux.Errno { return 0 }
+
+// Poll implements File.
+func (e *EpollFile) Poll() int16 { return 0 }
+
+// Ioctl implements File.
+func (e *EpollFile) Ioctl(cmd uint32, arg []byte) (int32, linux.Errno) {
+	return 0, linux.ENOTTY
+}

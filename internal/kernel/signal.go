@@ -1,0 +1,417 @@
+package kernel
+
+import (
+	"sync"
+	"time"
+
+	"gowali/internal/linux"
+)
+
+// SignalState is the signal disposition table and process-directed pending
+// set, shared within a thread group (CLONE_SIGHAND).
+type SignalState struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	actions [linux.NSIG + 1]linux.Sigaction
+	pending uint64  // process-directed pending bit-vector
+	queue   []int32 // delivery order for pending signals
+	killed  bool    // SIGKILL latched; uncatchable
+}
+
+func newSignalState() *SignalState {
+	s := &SignalState{}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+func (s *SignalState) clone() *SignalState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := newSignalState()
+	c.actions = s.actions
+	return c
+}
+
+// resetForExec restores caught handlers to SIG_DFL (SIG_IGN persists),
+// per execve semantics.
+func (s *SignalState) resetForExec() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.actions {
+		if s.actions[i].Handler != linux.SIG_IGN {
+			s.actions[i] = linux.Sigaction{}
+		}
+	}
+}
+
+func sigBit(sig int32) uint64 { return 1 << uint(sig-1) }
+
+// defaultIgnored reports signals whose default action is to ignore.
+func defaultIgnored(sig int32) bool {
+	switch sig {
+	case linux.SIGCHLD, linux.SIGURG, linux.SIGWINCH, linux.SIGCONT:
+		return true
+	}
+	return false
+}
+
+// SigAction implements rt_sigaction: set (when act non-nil) and return the
+// previous action.
+func (p *Process) SigAction(sig int32, act *linux.Sigaction) (linux.Sigaction, linux.Errno) {
+	if sig < 1 || sig > linux.NSIG || sig == linux.SIGKILL || sig == linux.SIGSTOP {
+		if sig == linux.SIGKILL || sig == linux.SIGSTOP {
+			if act != nil {
+				return linux.Sigaction{}, linux.EINVAL
+			}
+		} else {
+			return linux.Sigaction{}, linux.EINVAL
+		}
+	}
+	s := p.sig
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := s.actions[sig]
+	if act != nil {
+		s.actions[sig] = *act
+	}
+	return old, 0
+}
+
+// SigMask returns the per-thread blocked set.
+func (p *Process) SigMask() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.sigMask
+}
+
+// SigProcMask implements rt_sigprocmask, returning the previous mask.
+// SIGKILL and SIGSTOP can never be blocked.
+func (p *Process) SigProcMask(how int32, set *uint64) (uint64, linux.Errno) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	old := p.sigMask
+	if set != nil {
+		v := *set &^ (sigBit(linux.SIGKILL) | sigBit(linux.SIGSTOP))
+		switch how {
+		case linux.SIG_BLOCK:
+			p.sigMask |= v
+		case linux.SIG_UNBLOCK:
+			p.sigMask &^= *set
+		case linux.SIG_SETMASK:
+			p.sigMask = v
+		default:
+			return old, linux.EINVAL
+		}
+	}
+	return old, 0
+}
+
+// PostSignal generates a process-directed signal (stage 2 of the paper's
+// signal lifecycle: generation). Ignored-by-disposition signals are still
+// queued; discard happens at delivery, matching the check order the WALI
+// frontend expects.
+func (p *Process) PostSignal(sig int32) linux.Errno {
+	if sig == 0 {
+		return 0
+	}
+	if sig < 1 || sig > linux.NSIG {
+		return linux.EINVAL
+	}
+	s := p.sig
+	s.mu.Lock()
+	if sig == linux.SIGKILL {
+		s.killed = true
+	}
+	if s.pending&sigBit(sig) == 0 {
+		s.pending |= sigBit(sig)
+		s.queue = append(s.queue, sig)
+	}
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	p.K.wakeInterruptible()
+	return 0
+}
+
+// PostThreadSignal generates a thread-directed signal (tgkill).
+func (p *Process) PostThreadSignal(sig int32) linux.Errno {
+	if sig == 0 {
+		return 0
+	}
+	if sig < 1 || sig > linux.NSIG {
+		return linux.EINVAL
+	}
+	p.mu.Lock()
+	p.pendingT |= sigBit(sig)
+	p.mu.Unlock()
+	if sig == linux.SIGKILL {
+		p.sig.mu.Lock()
+		p.sig.killed = true
+		p.sig.mu.Unlock()
+	}
+	p.sig.cond.Broadcast()
+	p.K.wakeInterruptible()
+	return 0
+}
+
+func (k *Kernel) wakeInterruptible() {
+	k.mu.Lock()
+	k.waitCond.Broadcast()
+	k.mu.Unlock()
+}
+
+// Killed reports whether SIGKILL was ever posted to the group.
+func (p *Process) Killed() bool {
+	p.sig.mu.Lock()
+	defer p.sig.mu.Unlock()
+	return p.sig.killed
+}
+
+// PendingSet returns the union of thread- and process-pending signals
+// (rt_sigpending).
+func (p *Process) PendingSet() uint64 {
+	p.mu.Lock()
+	t := p.pendingT
+	p.mu.Unlock()
+	p.sig.mu.Lock()
+	defer p.sig.mu.Unlock()
+	return t | p.sig.pending
+}
+
+// HasDeliverableSignal reports whether an unblocked signal is pending for
+// this thread.
+func (p *Process) HasDeliverableSignal() bool {
+	p.mu.Lock()
+	mask := p.sigMask
+	t := p.pendingT
+	p.mu.Unlock()
+	p.sig.mu.Lock()
+	defer p.sig.mu.Unlock()
+	return (t|p.sig.pending)&^mask != 0 || p.sig.killed
+}
+
+// DeliverableSignal is a dequeued signal ready for handler dispatch.
+type DeliverableSignal struct {
+	Sig    int32
+	Action linux.Sigaction
+}
+
+// NextDeliverableSignal dequeues the next unblocked pending signal
+// (stage 3: delivery). Signals whose effective disposition is "ignore" are
+// consumed silently; the caller (the WALI frontend) dispatches the rest:
+// SIG_DFL terminate/stop semantics or a Wasm handler call. Returns ok=false
+// when nothing is deliverable.
+func (p *Process) NextDeliverableSignal() (DeliverableSignal, bool) {
+	p.mu.Lock()
+	mask := p.sigMask
+	tPending := p.pendingT
+	p.mu.Unlock()
+
+	s := p.sig
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	if s.killed {
+		return DeliverableSignal{Sig: linux.SIGKILL}, true
+	}
+
+	// Thread-directed first, lowest signal number first.
+	for sig := int32(1); sig <= linux.NSIG; sig++ {
+		b := sigBit(sig)
+		if tPending&b != 0 && mask&b == 0 {
+			p.mu.Lock()
+			p.pendingT &^= b
+			p.mu.Unlock()
+			act := s.actions[sig]
+			if act.Handler == linux.SIG_IGN || (act.Handler == linux.SIG_DFL && defaultIgnored(sig)) {
+				continue
+			}
+			return DeliverableSignal{Sig: sig, Action: act}, true
+		}
+	}
+
+	for i := 0; i < len(s.queue); i++ {
+		sig := s.queue[i]
+		b := sigBit(sig)
+		if mask&b != 0 {
+			continue
+		}
+		s.queue = append(s.queue[:i], s.queue[i+1:]...)
+		s.pending &^= b
+		i--
+		act := s.actions[sig]
+		if act.Handler == linux.SIG_IGN || (act.Handler == linux.SIG_DFL && defaultIgnored(sig)) {
+			continue
+		}
+		return DeliverableSignal{Sig: sig, Action: act}, true
+	}
+	return DeliverableSignal{}, false
+}
+
+// SigSuspend atomically replaces the mask and waits for a deliverable
+// signal, then restores the mask. Always returns EINTR, like the syscall.
+func (p *Process) SigSuspend(tempMask uint64) linux.Errno {
+	p.mu.Lock()
+	old := p.sigMask
+	p.sigMask = tempMask &^ (sigBit(linux.SIGKILL) | sigBit(linux.SIGSTOP))
+	p.mu.Unlock()
+
+	s := p.sig
+	s.mu.Lock()
+	for !p.hasDeliverableLocked(s) {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+
+	p.mu.Lock()
+	p.sigMask = old
+	p.mu.Unlock()
+	return linux.EINTR
+}
+
+// Pause waits until any deliverable signal arrives.
+func (p *Process) Pause() linux.Errno {
+	s := p.sig
+	s.mu.Lock()
+	for !p.hasDeliverableLocked(s) {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+	return linux.EINTR
+}
+
+// hasDeliverableLocked requires s.mu held.
+func (p *Process) hasDeliverableLocked(s *SignalState) bool {
+	p.mu.Lock()
+	mask := p.sigMask
+	t := p.pendingT
+	p.mu.Unlock()
+	return (t|s.pending)&^mask != 0 || s.killed
+}
+
+// SigTimedWait waits for one of the signals in set to become pending,
+// dequeues and returns it. A nil timeout waits forever.
+func (p *Process) SigTimedWait(set uint64, timeout *linux.Timespec) (int32, linux.Errno) {
+	deadline := time.Time{}
+	if timeout != nil {
+		deadline = time.Now().Add(time.Duration(timeout.Nanos()))
+	}
+	s := p.sig
+	for {
+		s.mu.Lock()
+		p.mu.Lock()
+		avail := (p.pendingT | s.pending) & set
+		if avail != 0 {
+			// Lowest-numbered available signal.
+			for sig := int32(1); sig <= linux.NSIG; sig++ {
+				b := sigBit(sig)
+				if avail&b == 0 {
+					continue
+				}
+				p.pendingT &^= b
+				if s.pending&b != 0 {
+					s.pending &^= b
+					for i, q := range s.queue {
+						if q == sig {
+							s.queue = append(s.queue[:i], s.queue[i+1:]...)
+							break
+						}
+					}
+				}
+				p.mu.Unlock()
+				s.mu.Unlock()
+				return sig, 0
+			}
+		}
+		p.mu.Unlock()
+
+		if timeout != nil {
+			if !time.Now().Before(deadline) {
+				s.mu.Unlock()
+				return -1, linux.EAGAIN
+			}
+			// Timed wait: poll with a short sleep (the sim trades precise
+			// timer queues for simplicity).
+			s.mu.Unlock()
+			time.Sleep(200 * time.Microsecond)
+			continue
+		}
+		s.cond.Wait()
+		s.mu.Unlock()
+	}
+}
+
+// Kill implements kill(2) semantics for pid > 0, pid == 0 (caller's
+// group), pid == -1 (all except init) and pid < -1 (group |pid|).
+func (p *Process) Kill(pid int32, sig int32) linux.Errno {
+	k := p.K
+	switch {
+	case pid > 0:
+		t, ok := k.Process(pid)
+		if !ok {
+			return linux.ESRCH
+		}
+		return t.PostSignal(sig)
+	case pid == 0:
+		return k.killGroup(p.pgid, sig)
+	case pid == -1:
+		k.mu.Lock()
+		targets := make([]*Process, 0, len(k.procs))
+		for _, t := range k.procs {
+			if t != p && t.PID != 1 {
+				targets = append(targets, t)
+			}
+		}
+		k.mu.Unlock()
+		for _, t := range targets {
+			t.PostSignal(sig)
+		}
+		return 0
+	default:
+		return k.killGroup(-pid, sig)
+	}
+}
+
+func (k *Kernel) killGroup(pgid int32, sig int32) linux.Errno {
+	k.mu.Lock()
+	var targets []*Process
+	for _, t := range k.procs {
+		t.mu.Lock()
+		if t.pgid == pgid {
+			targets = append(targets, t)
+		}
+		t.mu.Unlock()
+	}
+	k.mu.Unlock()
+	if len(targets) == 0 {
+		return linux.ESRCH
+	}
+	for _, t := range targets {
+		t.PostSignal(sig)
+	}
+	return 0
+}
+
+// Tgkill sends a thread-directed signal.
+func (p *Process) Tgkill(tgid, tid, sig int32) linux.Errno {
+	t, ok := p.K.Process(tid)
+	if !ok {
+		return linux.ESRCH
+	}
+	if tgid > 0 && t.TGID != tgid {
+		return linux.ESRCH
+	}
+	return t.PostThreadSignal(sig)
+}
+
+// DefaultTerminates reports whether sig's default disposition kills the
+// process (the WALI frontend consults this for SIG_DFL delivery).
+func DefaultTerminates(sig int32) bool {
+	if defaultIgnored(sig) {
+		return false
+	}
+	switch sig {
+	case linux.SIGSTOP, linux.SIGTSTP, linux.SIGTTIN, linux.SIGTTOU:
+		return false // stop (not modeled as termination)
+	}
+	return true
+}

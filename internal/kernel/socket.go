@@ -1,0 +1,677 @@
+package kernel
+
+import (
+	"fmt"
+	"sync"
+
+	"gowali/internal/kernel/vfs"
+	"gowali/internal/linux"
+)
+
+// Loopback socket layer: AF_INET and AF_UNIX stream sockets plus datagram
+// sockets, all within the simulated kernel. This is the substrate for the
+// memcached- and MQTT-style workloads.
+
+// SockAddr is the kernel-native socket address.
+type SockAddr struct {
+	Family uint16
+	Port   uint16  // AF_INET
+	Addr   [4]byte // AF_INET (ignored: everything is loopback)
+	Path   string  // AF_UNIX
+}
+
+// String formats the address for diagnostics.
+func (a SockAddr) String() string {
+	if a.Family == linux.AF_UNIX {
+		return "unix:" + a.Path
+	}
+	return fmt.Sprintf("%d.%d.%d.%d:%d", a.Addr[0], a.Addr[1], a.Addr[2], a.Addr[3], a.Port)
+}
+
+type sockState int
+
+const (
+	sockUnbound sockState = iota
+	sockBound
+	sockListening
+	sockConnected
+	sockClosed
+)
+
+// datagram is one queued UDP packet.
+type datagram struct {
+	from SockAddr
+	data []byte
+}
+
+// Socket is a socket file. Stream sockets use a pipe per direction;
+// datagram sockets use a packet queue.
+type Socket struct {
+	flagHolder
+	k      *Kernel
+	domain int32
+	typ    int32
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	state    sockState
+	local    SockAddr
+	peer     SockAddr
+	rx, tx   *vfs.Pipe // stream: rx = peer->us, tx = us->peer
+	peerSock *Socket   // stream peer (for shutdown bookkeeping)
+	dgrams   []datagram
+	sockErr  linux.Errno
+	opts     map[int32]int32
+	closed   bool
+	shutRd   bool
+	shutWr   bool
+	listener *listenerSocket
+}
+
+// listenerSocket carries the accept queue for a listening address.
+type listenerSocket struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []*Socket // server-side ends awaiting accept
+	closed  bool
+	owner   *Socket
+}
+
+func newSocket(k *Kernel, domain, typ int32, flags int32) *Socket {
+	s := &Socket{k: k, domain: domain, typ: typ, opts: map[int32]int32{}}
+	s.cond = sync.NewCond(&s.mu)
+	s.flags = flags
+	return s
+}
+
+// SocketSyscall implements socket(2).
+func (p *Process) SocketSyscall(domain, typ, proto int32) (int32, linux.Errno) {
+	base := typ &^ (linux.SOCK_NONBLOCK | linux.SOCK_CLOEXEC)
+	if domain != linux.AF_INET && domain != linux.AF_UNIX {
+		return -1, linux.EAFNOSUPPORT
+	}
+	if base != linux.SOCK_STREAM && base != linux.SOCK_DGRAM {
+		return -1, linux.EPROTONOSUPPORT
+	}
+	var flags int32
+	if typ&linux.SOCK_NONBLOCK != 0 {
+		flags |= linux.O_NONBLOCK
+	}
+	s := newSocket(p.K, domain, base, flags)
+	return p.FDs.Alloc(s, typ&linux.SOCK_CLOEXEC != 0, 0)
+}
+
+// SocketPair implements socketpair(2) for AF_UNIX.
+func (p *Process) SocketPair(domain, typ, proto int32) (int32, int32, linux.Errno) {
+	if domain != linux.AF_UNIX {
+		return -1, -1, linux.EAFNOSUPPORT
+	}
+	base := typ &^ (linux.SOCK_NONBLOCK | linux.SOCK_CLOEXEC)
+	var flags int32
+	if typ&linux.SOCK_NONBLOCK != 0 {
+		flags |= linux.O_NONBLOCK
+	}
+	a := newSocket(p.K, domain, base, flags)
+	b := newSocket(p.K, domain, base, flags)
+	ab := vfs.NewPipe()
+	ba := vfs.NewPipe()
+	wirePair(a, b, ab, ba)
+	cloexec := typ&linux.SOCK_CLOEXEC != 0
+	afd, errno := p.FDs.Alloc(a, cloexec, 0)
+	if errno != 0 {
+		return -1, -1, errno
+	}
+	bfd, errno := p.FDs.Alloc(b, cloexec, 0)
+	if errno != 0 {
+		p.FDs.Close(afd)
+		return -1, -1, errno
+	}
+	return afd, bfd, 0
+}
+
+// wirePair connects two stream sockets with pipes ab (a→b) and ba (b→a).
+func wirePair(a, b *Socket, ab, ba *vfs.Pipe) {
+	ab.AddReader()
+	ab.AddWriter()
+	ba.AddReader()
+	ba.AddWriter()
+	a.mu.Lock()
+	a.state = sockConnected
+	a.tx, a.rx = ab, ba
+	a.peerSock = b
+	a.mu.Unlock()
+	b.mu.Lock()
+	b.state = sockConnected
+	b.tx, b.rx = ba, ab
+	b.peerSock = a
+	b.mu.Unlock()
+}
+
+func (p *Process) getSocket(fd int32) (*Socket, linux.Errno) {
+	f, errno := p.FDs.Get(fd)
+	if errno != 0 {
+		return nil, errno
+	}
+	s, ok := f.(*Socket)
+	if !ok {
+		return nil, linux.ENOTSOCK
+	}
+	return s, 0
+}
+
+// Bind implements bind(2).
+func (p *Process) Bind(fd int32, addr SockAddr) linux.Errno {
+	s, errno := p.getSocket(fd)
+	if errno != 0 {
+		return errno
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state != sockUnbound {
+		return linux.EINVAL
+	}
+	k := p.K
+	if s.domain == linux.AF_INET {
+		if addr.Port == 0 {
+			// Ephemeral port assignment.
+			k.mu.Lock()
+			for port := uint16(32768); port != 0; port++ {
+				if _, used := k.ports[port]; !used {
+					addr.Port = port
+					break
+				}
+			}
+			k.mu.Unlock()
+		}
+	}
+	s.local = addr
+	s.state = sockBound
+	return 0
+}
+
+// Listen implements listen(2), registering the address in the loopback
+// port space.
+func (p *Process) Listen(fd int32, backlog int32) linux.Errno {
+	s, errno := p.getSocket(fd)
+	if errno != 0 {
+		return errno
+	}
+	if s.typ != linux.SOCK_STREAM {
+		return linux.EOPNOTSUPP
+	}
+	s.mu.Lock()
+	if s.state != sockBound {
+		s.mu.Unlock()
+		return linux.EINVAL
+	}
+	l := &listenerSocket{owner: s}
+	l.cond = sync.NewCond(&l.mu)
+	s.state = sockListening
+	local := s.local
+	s.mu.Unlock()
+
+	k := p.K
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if s.domain == linux.AF_INET {
+		if _, used := k.ports[local.Port]; used {
+			return linux.EADDRINUSE
+		}
+		k.ports[local.Port] = l
+	} else {
+		if _, used := k.unixSock[local.Path]; used {
+			return linux.EADDRINUSE
+		}
+		k.unixSock[local.Path] = l
+	}
+	s.mu.Lock()
+	s.listener = l
+	s.mu.Unlock()
+	return 0
+}
+
+// Accept implements accept4(2), blocking until a connection arrives.
+func (p *Process) Accept(fd int32, flags int32) (int32, SockAddr, linux.Errno) {
+	s, errno := p.getSocket(fd)
+	if errno != 0 {
+		return -1, SockAddr{}, errno
+	}
+	s.mu.Lock()
+	l := s.listener
+	nb := s.flagHolder.nonblock()
+	s.mu.Unlock()
+	if l == nil {
+		return -1, SockAddr{}, linux.EINVAL
+	}
+	l.mu.Lock()
+	for len(l.pending) == 0 && !l.closed {
+		if nb {
+			l.mu.Unlock()
+			return -1, SockAddr{}, linux.EAGAIN
+		}
+		l.cond.Wait()
+	}
+	if l.closed && len(l.pending) == 0 {
+		l.mu.Unlock()
+		return -1, SockAddr{}, linux.EINVAL
+	}
+	conn := l.pending[0]
+	l.pending = l.pending[1:]
+	l.mu.Unlock()
+
+	var connFlags int32
+	if flags&linux.SOCK_NONBLOCK != 0 {
+		connFlags |= linux.O_NONBLOCK
+	}
+	conn.SetFlags(connFlags)
+	nfd, errno := p.FDs.Alloc(conn, flags&linux.SOCK_CLOEXEC != 0, 0)
+	if errno != 0 {
+		conn.Close()
+		return -1, SockAddr{}, errno
+	}
+	conn.mu.Lock()
+	peer := conn.peer
+	conn.mu.Unlock()
+	return nfd, peer, 0
+}
+
+// Connect implements connect(2) against the loopback address space.
+func (p *Process) Connect(fd int32, addr SockAddr) linux.Errno {
+	s, errno := p.getSocket(fd)
+	if errno != 0 {
+		return errno
+	}
+	if s.typ == linux.SOCK_DGRAM {
+		s.mu.Lock()
+		s.peer = addr
+		s.state = sockConnected
+		s.mu.Unlock()
+		return 0
+	}
+	k := p.K
+	k.mu.Lock()
+	var l *listenerSocket
+	if s.domain == linux.AF_INET {
+		l = k.ports[addr.Port]
+	} else {
+		l = k.unixSock[addr.Path]
+	}
+	k.mu.Unlock()
+	if l == nil {
+		return linux.ECONNREFUSED
+	}
+
+	server := newSocket(k, s.domain, s.typ, 0)
+	c2s := vfs.NewPipe()
+	s2c := vfs.NewPipe()
+	wirePair(s, server, c2s, s2c)
+	s.mu.Lock()
+	s.peer = addr
+	s.mu.Unlock()
+	server.mu.Lock()
+	server.local = addr
+	server.peer = s.local
+	server.mu.Unlock()
+
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return linux.ECONNREFUSED
+	}
+	l.pending = append(l.pending, server)
+	l.mu.Unlock()
+	l.cond.Broadcast()
+	return 0
+}
+
+// SendTo implements sendto(2).
+func (p *Process) SendTo(fd int32, b []byte, msgFlags int32, to *SockAddr) (int, linux.Errno) {
+	s, errno := p.getSocket(fd)
+	if errno != 0 {
+		return 0, errno
+	}
+	if s.typ == linux.SOCK_DGRAM {
+		return s.sendDgram(p, b, to)
+	}
+	nb := s.flagHolder.nonblock() || msgFlags&linux.MSG_DONTWAIT != 0
+	s.mu.Lock()
+	tx := s.tx
+	shut := s.shutWr
+	s.mu.Unlock()
+	if tx == nil || s.stateOf() != sockConnected {
+		return 0, linux.ENOTCONN
+	}
+	if shut {
+		return 0, linux.EPIPE
+	}
+	n, errno := tx.Write(b, nb)
+	if errno == linux.EPIPE && msgFlags&linux.MSG_NOSIGNAL == 0 {
+		p.PostSignal(linux.SIGPIPE)
+	}
+	return n, errno
+}
+
+// RecvFrom implements recvfrom(2).
+func (p *Process) RecvFrom(fd int32, b []byte, msgFlags int32) (int, SockAddr, linux.Errno) {
+	s, errno := p.getSocket(fd)
+	if errno != 0 {
+		return 0, SockAddr{}, errno
+	}
+	nb := s.flagHolder.nonblock() || msgFlags&linux.MSG_DONTWAIT != 0
+	if s.typ == linux.SOCK_DGRAM {
+		return s.recvDgram(b, nb)
+	}
+	s.mu.Lock()
+	rx := s.rx
+	peer := s.peer
+	shut := s.shutRd
+	s.mu.Unlock()
+	if rx == nil {
+		return 0, SockAddr{}, linux.ENOTCONN
+	}
+	if shut {
+		return 0, peer, 0
+	}
+	n, errno := rx.Read(b, nb)
+	return n, peer, errno
+}
+
+func (s *Socket) stateOf() sockState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+func (s *Socket) sendDgram(p *Process, b []byte, to *SockAddr) (int, linux.Errno) {
+	s.mu.Lock()
+	dest := s.peer
+	s.mu.Unlock()
+	if to != nil {
+		dest = *to
+	}
+	if dest.Family == 0 {
+		return 0, linux.EDESTADDRREQ
+	}
+	// Find the destination socket: linear scan over processes' sockets is
+	// avoided by a dgram registry keyed on bind address.
+	s.k.mu.Lock()
+	target := s.k.dgramFor(dest)
+	s.k.mu.Unlock()
+	if target == nil {
+		return 0, linux.ECONNREFUSED
+	}
+	target.mu.Lock()
+	if len(target.dgrams) >= 1024 {
+		target.mu.Unlock()
+		return 0, linux.ENOBUFS
+	}
+	s.mu.Lock()
+	from := s.local
+	s.mu.Unlock()
+	target.dgrams = append(target.dgrams, datagram{from: from, data: append([]byte(nil), b...)})
+	target.mu.Unlock()
+	target.cond.Broadcast()
+	return len(b), 0
+}
+
+func (s *Socket) recvDgram(b []byte, nonblock bool) (int, SockAddr, linux.Errno) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.dgrams) == 0 {
+		if s.closed {
+			return 0, SockAddr{}, 0
+		}
+		if nonblock {
+			return 0, SockAddr{}, linux.EAGAIN
+		}
+		s.cond.Wait()
+	}
+	d := s.dgrams[0]
+	s.dgrams = s.dgrams[1:]
+	n := copy(b, d.data) // excess datagram bytes are discarded, per UDP
+	return n, d.from, 0
+}
+
+// dgramFor finds the datagram socket bound to addr (k.mu held).
+func (k *Kernel) dgramFor(addr SockAddr) *Socket {
+	if addr.Family == linux.AF_UNIX {
+		if l := k.unixSock[addr.Path]; l != nil {
+			return l.owner
+		}
+		return nil
+	}
+	if l := k.ports[addr.Port]; l != nil {
+		return l.owner
+	}
+	return nil
+}
+
+// Shutdown implements shutdown(2).
+func (p *Process) Shutdown(fd int32, how int32) linux.Errno {
+	s, errno := p.getSocket(fd)
+	if errno != 0 {
+		return errno
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state != sockConnected {
+		return linux.ENOTCONN
+	}
+	if how == linux.SHUT_RD || how == linux.SHUT_RDWR {
+		s.shutRd = true
+		if s.rx != nil {
+			s.rx.CloseReader()
+		}
+	}
+	if how == linux.SHUT_WR || how == linux.SHUT_RDWR {
+		s.shutWr = true
+		if s.tx != nil {
+			s.tx.CloseWriter()
+		}
+	}
+	return 0
+}
+
+// GetSockName returns the local address.
+func (p *Process) GetSockName(fd int32) (SockAddr, linux.Errno) {
+	s, errno := p.getSocket(fd)
+	if errno != 0 {
+		return SockAddr{}, errno
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.local, 0
+}
+
+// GetPeerName returns the peer address.
+func (p *Process) GetPeerName(fd int32) (SockAddr, linux.Errno) {
+	s, errno := p.getSocket(fd)
+	if errno != 0 {
+		return SockAddr{}, errno
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state != sockConnected {
+		return SockAddr{}, linux.ENOTCONN
+	}
+	return s.peer, 0
+}
+
+// SetSockOpt stores an option value (stored and reported; semantics beyond
+// SO_ERROR are accept-and-record, which is what the ported apps need).
+func (p *Process) SetSockOpt(fd int32, level, opt, val int32) linux.Errno {
+	s, errno := p.getSocket(fd)
+	if errno != 0 {
+		return errno
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.opts[level<<16|opt] = val
+	return 0
+}
+
+// GetSockOpt retrieves an option value.
+func (p *Process) GetSockOpt(fd int32, level, opt int32) (int32, linux.Errno) {
+	s, errno := p.getSocket(fd)
+	if errno != 0 {
+		return 0, errno
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if level == linux.SOL_SOCKET && opt == linux.SO_ERROR {
+		e := int32(s.sockErr)
+		s.sockErr = 0
+		return e, 0
+	}
+	return s.opts[level<<16|opt], 0
+}
+
+// --- File interface on Socket ---
+
+// Read implements File.
+func (s *Socket) Read(b []byte) (int, linux.Errno) {
+	if s.typ == linux.SOCK_DGRAM {
+		n, _, errno := s.recvDgram(b, s.nonblock())
+		return n, errno
+	}
+	s.mu.Lock()
+	rx := s.rx
+	shut := s.shutRd
+	s.mu.Unlock()
+	if rx == nil {
+		return 0, linux.ENOTCONN
+	}
+	if shut {
+		return 0, 0
+	}
+	return rx.Read(b, s.nonblock())
+}
+
+// Write implements File.
+func (s *Socket) Write(b []byte) (int, linux.Errno) {
+	s.mu.Lock()
+	tx := s.tx
+	shut := s.shutWr
+	s.mu.Unlock()
+	if tx == nil {
+		return 0, linux.ENOTCONN
+	}
+	if shut {
+		return 0, linux.EPIPE
+	}
+	return tx.Write(b, s.nonblock())
+}
+
+// Pread implements File (ESPIPE).
+func (s *Socket) Pread(b []byte, off int64) (int, linux.Errno) { return 0, linux.ESPIPE }
+
+// Pwrite implements File (ESPIPE).
+func (s *Socket) Pwrite(b []byte, off int64) (int, linux.Errno) { return 0, linux.ESPIPE }
+
+// Lseek implements File (ESPIPE).
+func (s *Socket) Lseek(off int64, whence int32) (int64, linux.Errno) { return 0, linux.ESPIPE }
+
+// Stat implements File.
+func (s *Socket) Stat() (linux.Stat, linux.Errno) {
+	return linux.Stat{Mode: linux.S_IFSOCK | 0o777, Blksize: 4096}, 0
+}
+
+// Truncate implements File.
+func (s *Socket) Truncate(int64) linux.Errno { return linux.EINVAL }
+
+// Close implements File: tears down pipes and deregisters listeners.
+func (s *Socket) Close() linux.Errno {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0
+	}
+	s.closed = true
+	rx, tx := s.rx, s.tx
+	l := s.listener
+	local := s.local
+	domain := s.domain
+	s.state = sockClosed
+	s.mu.Unlock()
+
+	if rx != nil {
+		rx.CloseReader()
+	}
+	if tx != nil {
+		tx.CloseWriter()
+	}
+	if l != nil {
+		l.mu.Lock()
+		l.closed = true
+		l.mu.Unlock()
+		l.cond.Broadcast()
+		s.k.mu.Lock()
+		if domain == linux.AF_INET {
+			delete(s.k.ports, local.Port)
+		} else {
+			delete(s.k.unixSock, local.Path)
+		}
+		s.k.mu.Unlock()
+	}
+	s.cond.Broadcast()
+	return 0
+}
+
+// Poll implements File.
+func (s *Socket) Poll() int16 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var ev int16
+	switch s.state {
+	case sockListening:
+		l := s.listener
+		if l != nil {
+			l.mu.Lock()
+			if len(l.pending) > 0 {
+				ev |= linux.POLLIN
+			}
+			l.mu.Unlock()
+		}
+	case sockConnected:
+		if s.typ == linux.SOCK_DGRAM {
+			if len(s.dgrams) > 0 {
+				ev |= linux.POLLIN
+			}
+			ev |= linux.POLLOUT
+			break
+		}
+		if s.rx != nil {
+			ev |= s.rx.Poll(true) & (linux.POLLIN | linux.POLLHUP)
+		}
+		if s.tx != nil && s.tx.Poll(false)&linux.POLLOUT != 0 {
+			ev |= linux.POLLOUT
+		}
+	default:
+		if s.typ == linux.SOCK_DGRAM {
+			if len(s.dgrams) > 0 {
+				ev |= linux.POLLIN
+			}
+			ev |= linux.POLLOUT
+		}
+	}
+	return ev
+}
+
+// Ioctl implements File.
+func (s *Socket) Ioctl(cmd uint32, arg []byte) (int32, linux.Errno) {
+	if cmd == linux.FIONREAD {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.typ == linux.SOCK_DGRAM {
+			if len(s.dgrams) > 0 {
+				return int32(len(s.dgrams[0].data)), 0
+			}
+			return 0, 0
+		}
+		if s.rx != nil {
+			return int32(s.rx.Buffered()), 0
+		}
+		return 0, 0
+	}
+	return 0, linux.ENOTTY
+}

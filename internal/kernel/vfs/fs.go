@@ -1,0 +1,433 @@
+package vfs
+
+import (
+	"strings"
+	"sync"
+
+	"gowali/internal/linux"
+)
+
+// FS is the filesystem: a tree of inodes rooted at Root. Namespace
+// operations (create/unlink/rename/link) take the FS lock; inode content
+// operations take per-inode locks.
+type FS struct {
+	mu      sync.Mutex
+	Root    *Inode
+	nextIno uint64
+	Clock   func() linux.Timespec
+}
+
+// New creates a filesystem with an empty root directory.
+func New(clock func() linux.Timespec) *FS {
+	if clock == nil {
+		clock = func() linux.Timespec { return linux.Timespec{} }
+	}
+	fs := &FS{nextIno: 1, Clock: clock}
+	fs.Root = fs.newInode(linux.S_IFDIR | 0o755)
+	fs.Root.children = make(map[string]*Inode)
+	fs.Root.parent = fs.Root
+	fs.Root.nlink = 2
+	return fs
+}
+
+func (fs *FS) newInode(mode uint32) *Inode {
+	now := fs.Clock()
+	fs.mu.Lock()
+	ino := fs.nextIno
+	fs.nextIno++
+	fs.mu.Unlock()
+	n := &Inode{
+		Ino:   ino,
+		mode:  mode,
+		nlink: 1,
+		atime: now,
+		mtime: now,
+		ctime: now,
+	}
+	if mode&linux.S_IFMT == linux.S_IFDIR {
+		n.children = make(map[string]*Inode)
+		n.nlink = 2
+	}
+	return n
+}
+
+// MaxSymlinkDepth bounds symlink chains, as ELOOP does.
+const MaxSymlinkDepth = 40
+
+// splitPath normalizes and splits a path into components; "." components
+// are dropped here, ".." is handled during the walk.
+func splitPath(path string) []string {
+	parts := strings.Split(path, "/")
+	out := parts[:0]
+	for _, p := range parts {
+		if p != "" && p != "." {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// WalkResult is the outcome of path resolution. Node is nil when the final
+// component does not exist (Parent and Name identify where it would go).
+type WalkResult struct {
+	Parent *Inode
+	Node   *Inode
+	Name   string
+}
+
+// Walk resolves path relative to the directory cwd (itself an absolute
+// path; "" means root). followLast controls whether a symlink in the final
+// component is dereferenced.
+func (fs *FS) Walk(cwd, path string, followLast bool) (WalkResult, linux.Errno) {
+	return fs.walk(cwd, path, followLast, 0)
+}
+
+func (fs *FS) walk(cwd, path string, followLast bool, depth int) (WalkResult, linux.Errno) {
+	if depth > MaxSymlinkDepth {
+		return WalkResult{}, linux.ELOOP
+	}
+	if path == "" {
+		return WalkResult{}, linux.ENOENT
+	}
+	start := fs.Root
+	if !strings.HasPrefix(path, "/") && cwd != "" && cwd != "/" {
+		r, errno := fs.walk("/", cwd, true, depth+1)
+		if errno != 0 {
+			return WalkResult{}, errno
+		}
+		if r.Node == nil || !r.Node.IsDir() {
+			return WalkResult{}, linux.ENOTDIR
+		}
+		start = r.Node
+	}
+	parts := splitPath(path)
+	if len(parts) == 0 {
+		// Path is "/" or equivalent.
+		return WalkResult{Parent: start, Node: start, Name: "/"}, 0
+	}
+	cur := start
+	for i, name := range parts {
+		last := i == len(parts)-1
+		if !cur.IsDir() {
+			return WalkResult{}, linux.ENOTDIR
+		}
+		if name == ".." {
+			cur.mu.Lock()
+			p := cur.parent
+			cur.mu.Unlock()
+			if p != nil {
+				cur = p
+			}
+			if last {
+				return WalkResult{Parent: cur, Node: cur, Name: ".."}, 0
+			}
+			continue
+		}
+		next, ok := cur.lookup(name)
+		if !ok {
+			if last {
+				return WalkResult{Parent: cur, Node: nil, Name: name}, 0
+			}
+			return WalkResult{}, linux.ENOENT
+		}
+		if next.IsSymlink() && (!last || followLast) {
+			target := next.Target()
+			rest := strings.Join(parts[i+1:], "/")
+			if rest != "" {
+				target = target + "/" + rest
+			}
+			base := fs.pathOf(cur)
+			return fs.walk(base, target, followLast, depth+1)
+		}
+		if last {
+			return WalkResult{Parent: cur, Node: next, Name: name}, 0
+		}
+		cur = next
+	}
+	return WalkResult{}, linux.ENOENT // unreachable
+}
+
+// pathOf reconstructs an absolute path for dir (best effort; used as the
+// base for relative symlink targets).
+func (fs *FS) pathOf(dir *Inode) string {
+	if dir == fs.Root {
+		return "/"
+	}
+	// Walk up via parent pointers, searching each parent for the child
+	// name. O(depth * width); fine for the simulated tree sizes.
+	var parts []string
+	cur := dir
+	for cur != fs.Root {
+		cur.mu.Lock()
+		p := cur.parent
+		cur.mu.Unlock()
+		if p == nil {
+			break
+		}
+		name := ""
+		p.mu.Lock()
+		for n, c := range p.children {
+			if c == cur {
+				name = n
+				break
+			}
+		}
+		p.mu.Unlock()
+		if name == "" {
+			break
+		}
+		parts = append([]string{name}, parts...)
+		cur = p
+	}
+	return "/" + strings.Join(parts, "/")
+}
+
+// Create makes a new inode of the given mode at path. With excl set an
+// existing entry fails with EEXIST; otherwise the existing inode is
+// returned (open(O_CREAT) semantics).
+func (fs *FS) Create(cwd, path string, mode uint32, uid, gid uint32, excl bool) (*Inode, linux.Errno) {
+	r, errno := fs.Walk(cwd, path, true)
+	if errno != 0 {
+		return nil, errno
+	}
+	if r.Node != nil {
+		if excl {
+			return nil, linux.EEXIST
+		}
+		if r.Node.IsDir() && mode&linux.S_IFMT == linux.S_IFREG {
+			return nil, linux.EISDIR
+		}
+		return r.Node, 0
+	}
+	if r.Name == ".." || r.Name == "/" {
+		return nil, linux.EEXIST
+	}
+	n := fs.newInode(mode)
+	n.uid, n.gid = uid, gid
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	r.Parent.mu.Lock()
+	defer r.Parent.mu.Unlock()
+	if _, ok := r.Parent.children[r.Name]; ok {
+		return nil, linux.EEXIST
+	}
+	if n.mode&linux.S_IFMT == linux.S_IFDIR {
+		n.parent = r.Parent
+		r.Parent.nlink++
+	}
+	r.Parent.children[r.Name] = n
+	r.Parent.mtime = fs.Clock()
+	return n, 0
+}
+
+// Mkdir creates a directory.
+func (fs *FS) Mkdir(cwd, path string, perm uint32, uid, gid uint32) (*Inode, linux.Errno) {
+	r, errno := fs.Walk(cwd, path, true)
+	if errno != 0 {
+		return nil, errno
+	}
+	if r.Node != nil {
+		return nil, linux.EEXIST
+	}
+	return fs.Create(cwd, path, linux.S_IFDIR|perm&0o7777, uid, gid, true)
+}
+
+// Symlink creates a symbolic link at path pointing to target.
+func (fs *FS) Symlink(cwd, target, path string, uid, gid uint32) linux.Errno {
+	n, errno := fs.Create(cwd, path, linux.S_IFLNK|0o777, uid, gid, true)
+	if errno != 0 {
+		return errno
+	}
+	n.mu.Lock()
+	n.target = target
+	n.mu.Unlock()
+	return 0
+}
+
+// Mknod creates a special file (FIFO, device, socket).
+func (fs *FS) Mknod(cwd, path string, mode uint32, uid, gid uint32, dev DeviceOps) (*Inode, linux.Errno) {
+	n, errno := fs.Create(cwd, path, mode, uid, gid, true)
+	if errno != 0 {
+		return nil, errno
+	}
+	if dev != nil {
+		n.mu.Lock()
+		n.dev = dev
+		n.mu.Unlock()
+	}
+	return n, 0
+}
+
+// SetGenerator installs a content synthesizer on an inode (procfs files).
+func (fs *FS) SetGenerator(n *Inode, gen func() []byte) {
+	n.mu.Lock()
+	n.gen = gen
+	n.mu.Unlock()
+}
+
+// Unlink removes a directory entry. rmdir semantics when dir is true.
+func (fs *FS) Unlink(cwd, path string, dir bool) linux.Errno {
+	r, errno := fs.Walk(cwd, path, false)
+	if errno != 0 {
+		return errno
+	}
+	if r.Node == nil {
+		return linux.ENOENT
+	}
+	if r.Node == fs.Root {
+		return linux.EBUSY
+	}
+	if dir {
+		if !r.Node.IsDir() {
+			return linux.ENOTDIR
+		}
+		if r.Node.childCount() > 0 {
+			return linux.ENOTEMPTY
+		}
+	} else if r.Node.IsDir() {
+		return linux.EISDIR
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	r.Parent.mu.Lock()
+	delete(r.Parent.children, r.Name)
+	r.Parent.mtime = fs.Clock()
+	if dir {
+		r.Parent.nlink--
+	}
+	r.Parent.mu.Unlock()
+	r.Node.mu.Lock()
+	if r.Node.nlink > 0 {
+		r.Node.nlink--
+	}
+	r.Node.mu.Unlock()
+	return 0
+}
+
+// Link creates a hard link newpath referring to oldpath's inode.
+func (fs *FS) Link(cwd, oldpath, newpath string) linux.Errno {
+	or, errno := fs.Walk(cwd, oldpath, false)
+	if errno != 0 {
+		return errno
+	}
+	if or.Node == nil {
+		return linux.ENOENT
+	}
+	if or.Node.IsDir() {
+		return linux.EPERM
+	}
+	nr, errno := fs.Walk(cwd, newpath, true)
+	if errno != 0 {
+		return errno
+	}
+	if nr.Node != nil {
+		return linux.EEXIST
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	nr.Parent.mu.Lock()
+	nr.Parent.children[nr.Name] = or.Node
+	nr.Parent.mtime = fs.Clock()
+	nr.Parent.mu.Unlock()
+	or.Node.mu.Lock()
+	or.Node.nlink++
+	or.Node.mu.Unlock()
+	return 0
+}
+
+// Rename moves oldpath to newpath, replacing a compatible existing target.
+func (fs *FS) Rename(cwd, oldpath, newpath string) linux.Errno {
+	or, errno := fs.Walk(cwd, oldpath, false)
+	if errno != 0 {
+		return errno
+	}
+	if or.Node == nil {
+		return linux.ENOENT
+	}
+	nr, errno := fs.Walk(cwd, newpath, false)
+	if errno != 0 {
+		return errno
+	}
+	if nr.Node == or.Node {
+		return 0
+	}
+	if nr.Node != nil {
+		if nr.Node.IsDir() != or.Node.IsDir() {
+			if nr.Node.IsDir() {
+				return linux.EISDIR
+			}
+			return linux.ENOTDIR
+		}
+		if nr.Node.IsDir() && nr.Node.childCount() > 0 {
+			return linux.ENOTEMPTY
+		}
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	or.Parent.mu.Lock()
+	delete(or.Parent.children, or.Name)
+	or.Parent.mtime = fs.Clock()
+	or.Parent.mu.Unlock()
+	nr.Parent.mu.Lock()
+	nr.Parent.children[nr.Name] = or.Node
+	nr.Parent.mtime = fs.Clock()
+	nr.Parent.mu.Unlock()
+	if or.Node.IsDir() {
+		or.Node.mu.Lock()
+		or.Node.parent = nr.Parent
+		or.Node.mu.Unlock()
+	}
+	return 0
+}
+
+// Readlink returns the symlink target.
+func (fs *FS) Readlink(cwd, path string) (string, linux.Errno) {
+	r, errno := fs.Walk(cwd, path, false)
+	if errno != 0 {
+		return "", errno
+	}
+	if r.Node == nil {
+		return "", linux.ENOENT
+	}
+	if !r.Node.IsSymlink() {
+		return "", linux.EINVAL
+	}
+	return r.Node.Target(), 0
+}
+
+// MkdirAll creates path and any missing ancestors (setup helper, not a
+// syscall).
+func (fs *FS) MkdirAll(path string, perm uint32) *Inode {
+	parts := splitPath(path)
+	cur := "/"
+	var node *Inode = fs.Root
+	for _, p := range parts {
+		next := cur + p
+		r, errno := fs.Walk("/", next, true)
+		if errno == 0 && r.Node != nil {
+			node = r.Node
+		} else {
+			n, errno := fs.Mkdir("/", next, perm, 0, 0)
+			if errno != 0 {
+				return nil
+			}
+			node = n
+		}
+		cur = next + "/"
+	}
+	return node
+}
+
+// WriteFile creates (or truncates) a regular file with contents (setup
+// helper).
+func (fs *FS) WriteFile(path string, contents []byte, perm uint32) linux.Errno {
+	n, errno := fs.Create("/", path, linux.S_IFREG|perm, 0, 0, false)
+	if errno != 0 {
+		return errno
+	}
+	if errno := n.Truncate(0); errno != 0 {
+		return errno
+	}
+	_, errno = n.WriteAt(contents, 0)
+	return errno
+}

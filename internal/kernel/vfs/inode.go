@@ -1,0 +1,278 @@
+// Package vfs implements the in-memory filesystem tree used by the
+// simulated Linux kernel: inodes (regular files, directories, symlinks,
+// FIFOs, character devices, sockets), POSIX path resolution with symlink
+// following, and pipe buffers.
+//
+// The package is deliberately free of file-descriptor and process concepts;
+// those live in internal/kernel, mirroring the real kernel's VFS/task split.
+package vfs
+
+import (
+	"sort"
+	"sync"
+
+	"gowali/internal/linux"
+)
+
+// DeviceOps backs a character device inode (tty, null, zero, random...).
+// Implementations live in internal/kernel.
+type DeviceOps interface {
+	Read(b []byte, nonblock bool) (int, linux.Errno)
+	Write(b []byte) (int, linux.Errno)
+	// Poll returns the current readiness (POLLIN/POLLOUT bits).
+	Poll() int16
+	// Ioctl handles device control; return ENOTTY when unsupported.
+	Ioctl(cmd uint32, arg []byte) (int32, linux.Errno)
+}
+
+// Inode is one filesystem object. The type is carried in Mode's S_IFMT
+// bits. Field access beyond immutable identity goes through methods that
+// take the inode lock, so concurrent WALI processes can share the tree.
+type Inode struct {
+	Ino uint64
+
+	mu       sync.Mutex
+	mode     uint32
+	uid, gid uint32
+	nlink    uint32
+	atime    linux.Timespec
+	mtime    linux.Timespec
+	ctime    linux.Timespec
+
+	data     []byte            // S_IFREG
+	children map[string]*Inode // S_IFDIR
+	parent   *Inode            // S_IFDIR: ".."
+	target   string            // S_IFLNK
+	pipe     *Pipe             // S_IFIFO
+	dev      DeviceOps         // S_IFCHR
+
+	// gen, if set, synthesizes read-only content on each open (procfs).
+	gen func() []byte
+}
+
+// Mode returns the mode bits including the file type.
+func (n *Inode) Mode() uint32 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.mode
+}
+
+// IsDir reports whether the inode is a directory.
+func (n *Inode) IsDir() bool { return n.Mode()&linux.S_IFMT == linux.S_IFDIR }
+
+// IsSymlink reports whether the inode is a symbolic link.
+func (n *Inode) IsSymlink() bool { return n.Mode()&linux.S_IFMT == linux.S_IFLNK }
+
+// Type returns the S_IFMT bits.
+func (n *Inode) Type() uint32 { return n.Mode() & linux.S_IFMT }
+
+// SetMode updates permission bits, preserving the type.
+func (n *Inode) SetMode(perm uint32) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.mode = n.mode&linux.S_IFMT | perm&^uint32(linux.S_IFMT)
+}
+
+// SetOwner updates uid/gid. An argument of ^uint32(0) leaves the field
+// unchanged, matching chown(2).
+func (n *Inode) SetOwner(uid, gid uint32) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if uid != ^uint32(0) {
+		n.uid = uid
+	}
+	if gid != ^uint32(0) {
+		n.gid = gid
+	}
+}
+
+// SetTimes updates atime/mtime; nil leaves a field unchanged.
+func (n *Inode) SetTimes(atime, mtime *linux.Timespec) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if atime != nil {
+		n.atime = *atime
+	}
+	if mtime != nil {
+		n.mtime = *mtime
+	}
+}
+
+// Target returns the symlink target.
+func (n *Inode) Target() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.target
+}
+
+// Pipe returns the FIFO buffer, creating it lazily.
+func (n *Inode) Pipe() *Pipe {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.pipe == nil {
+		n.pipe = NewPipe()
+	}
+	return n.pipe
+}
+
+// Device returns the DeviceOps of a character device inode, or nil.
+func (n *Inode) Device() DeviceOps {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.dev
+}
+
+// Gen returns synthesized content for procfs-style inodes, or nil.
+func (n *Inode) Gen() func() []byte {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.gen
+}
+
+// Size returns the current content size.
+func (n *Inode) Size() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.gen != nil {
+		return int64(len(n.gen()))
+	}
+	return int64(len(n.data))
+}
+
+// Stat fills a kernel-native stat for the inode.
+func (n *Inode) Stat() linux.Stat {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	size := int64(len(n.data))
+	if n.gen != nil {
+		size = int64(len(n.gen()))
+	}
+	if n.mode&linux.S_IFMT == linux.S_IFDIR {
+		size = int64(len(n.children)) * 32
+	}
+	return linux.Stat{
+		Dev:     1,
+		Ino:     n.Ino,
+		Mode:    n.mode,
+		Nlink:   n.nlink,
+		UID:     n.uid,
+		GID:     n.gid,
+		Size:    size,
+		Blksize: 4096,
+		Blocks:  (size + 511) / 512,
+		Atime:   n.atime,
+		Mtime:   n.mtime,
+		Ctime:   n.ctime,
+	}
+}
+
+// ReadAt copies file content at off into b, returning bytes copied (0 at
+// EOF). Only regular files reach here.
+func (n *Inode) ReadAt(b []byte, off int64) (int, linux.Errno) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	src := n.data
+	if n.gen != nil {
+		src = n.gen()
+	}
+	if off < 0 {
+		return 0, linux.EINVAL
+	}
+	if off >= int64(len(src)) {
+		return 0, 0
+	}
+	return copy(b, src[off:]), 0
+}
+
+// WriteAt writes b at off, growing the file (sparse gaps are zero-filled).
+func (n *Inode) WriteAt(b []byte, off int64) (int, linux.Errno) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.gen != nil {
+		return 0, linux.EACCES
+	}
+	if off < 0 {
+		return 0, linux.EINVAL
+	}
+	end := off + int64(len(b))
+	if end > int64(len(n.data)) {
+		grown := make([]byte, end)
+		copy(grown, n.data)
+		n.data = grown
+	}
+	copy(n.data[off:], b)
+	n.mtime = n.ctime
+	return len(b), 0
+}
+
+// Truncate resizes the file.
+func (n *Inode) Truncate(size int64) linux.Errno {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if size < 0 {
+		return linux.EINVAL
+	}
+	if n.gen != nil {
+		return linux.EACCES
+	}
+	if size <= int64(len(n.data)) {
+		n.data = n.data[:size]
+	} else {
+		grown := make([]byte, size)
+		copy(grown, n.data)
+		n.data = grown
+	}
+	return 0
+}
+
+// DirEntry is one directory listing entry.
+type DirEntry struct {
+	Name string
+	Ino  uint64
+	Type byte // DT_*
+}
+
+// List returns the directory contents sorted by name (excluding . and ..).
+func (n *Inode) List() []DirEntry {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]DirEntry, 0, len(n.children))
+	for name, c := range n.children {
+		out = append(out, DirEntry{Name: name, Ino: c.Ino, Type: dtype(c.mode)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func dtype(mode uint32) byte {
+	switch mode & linux.S_IFMT {
+	case linux.S_IFDIR:
+		return linux.DT_DIR
+	case linux.S_IFREG:
+		return linux.DT_REG
+	case linux.S_IFLNK:
+		return linux.DT_LNK
+	case linux.S_IFCHR:
+		return linux.DT_CHR
+	case linux.S_IFIFO:
+		return linux.DT_FIFO
+	case linux.S_IFSOCK:
+		return linux.DT_SOCK
+	}
+	return linux.DT_UNKNOWN
+}
+
+// lookup returns the named child (caller must not hold n.mu).
+func (n *Inode) lookup(name string) (*Inode, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	c, ok := n.children[name]
+	return c, ok
+}
+
+// childCount returns the number of entries in a directory.
+func (n *Inode) childCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.children)
+}

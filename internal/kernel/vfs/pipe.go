@@ -1,0 +1,147 @@
+package vfs
+
+import (
+	"sync"
+
+	"gowali/internal/linux"
+)
+
+// PipeCapacity is the default pipe buffer size, matching Linux's 64 KiB.
+const PipeCapacity = 64 * 1024
+
+// Pipe is a byte stream with POSIX pipe semantics: reads block while the
+// buffer is empty and writers remain; writes block while full and readers
+// remain; EOF when all writers close; EPIPE when all readers close.
+type Pipe struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	buf     []byte
+	cap     int
+	readers int
+	writers int
+}
+
+// NewPipe returns an empty pipe with the default capacity and no
+// registered ends; callers account ends with AddReader/AddWriter.
+func NewPipe() *Pipe {
+	p := &Pipe{cap: PipeCapacity}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// AddReader registers a read end.
+func (p *Pipe) AddReader() {
+	p.mu.Lock()
+	p.readers++
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+// AddWriter registers a write end.
+func (p *Pipe) AddWriter() {
+	p.mu.Lock()
+	p.writers++
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+// CloseReader drops a read end.
+func (p *Pipe) CloseReader() {
+	p.mu.Lock()
+	p.readers--
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+// CloseWriter drops a write end.
+func (p *Pipe) CloseWriter() {
+	p.mu.Lock()
+	p.writers--
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+// Read implements pipe read semantics. A zero return with errno 0 is EOF.
+func (p *Pipe) Read(b []byte, nonblock bool) (int, linux.Errno) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.buf) == 0 {
+		if p.writers == 0 {
+			return 0, 0 // EOF
+		}
+		if nonblock {
+			return 0, linux.EAGAIN
+		}
+		p.cond.Wait()
+	}
+	n := copy(b, p.buf)
+	p.buf = p.buf[n:]
+	p.cond.Broadcast()
+	return n, 0
+}
+
+// Write implements pipe write semantics. Writing with no readers returns
+// EPIPE (the kernel layer also raises SIGPIPE).
+func (p *Pipe) Write(b []byte, nonblock bool) (int, linux.Errno) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	total := 0
+	for len(b) > 0 {
+		if p.readers == 0 {
+			if total > 0 {
+				return total, 0
+			}
+			return 0, linux.EPIPE
+		}
+		space := p.cap - len(p.buf)
+		if space == 0 {
+			if nonblock {
+				if total > 0 {
+					return total, 0
+				}
+				return 0, linux.EAGAIN
+			}
+			p.cond.Wait()
+			continue
+		}
+		n := len(b)
+		if n > space {
+			n = space
+		}
+		p.buf = append(p.buf, b[:n]...)
+		b = b[n:]
+		total += n
+		p.cond.Broadcast()
+	}
+	return total, 0
+}
+
+// Poll returns readiness bits for the given end.
+func (p *Pipe) Poll(readEnd bool) int16 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var ev int16
+	if readEnd {
+		if len(p.buf) > 0 {
+			ev |= linux.POLLIN
+		}
+		if p.writers == 0 {
+			ev |= linux.POLLHUP
+		}
+	} else {
+		if len(p.buf) < p.cap {
+			ev |= linux.POLLOUT
+		}
+		if p.readers == 0 {
+			ev |= linux.POLLERR
+		}
+	}
+	return ev
+}
+
+// Buffered returns the number of bytes waiting (FIONREAD).
+func (p *Pipe) Buffered() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.buf)
+}

@@ -1,0 +1,393 @@
+package linux
+
+// Open flags (asm-generic values, the layout WALI standardizes on; x86-64
+// happens to share them for the flags used here).
+const (
+	O_RDONLY    = 0x0
+	O_WRONLY    = 0x1
+	O_RDWR      = 0x2
+	O_ACCMODE   = 0x3
+	O_CREAT     = 0x40
+	O_EXCL      = 0x80
+	O_NOCTTY    = 0x100
+	O_TRUNC     = 0x200
+	O_APPEND    = 0x400
+	O_NONBLOCK  = 0x800
+	O_DSYNC     = 0x1000
+	O_DIRECTORY = 0x10000
+	O_NOFOLLOW  = 0x20000
+	O_CLOEXEC   = 0x80000
+)
+
+// lseek whence.
+const (
+	SEEK_SET = 0
+	SEEK_CUR = 1
+	SEEK_END = 2
+)
+
+// File mode type bits.
+const (
+	S_IFMT   = 0xF000
+	S_IFIFO  = 0x1000
+	S_IFCHR  = 0x2000
+	S_IFDIR  = 0x4000
+	S_IFBLK  = 0x6000
+	S_IFREG  = 0x8000
+	S_IFLNK  = 0xA000
+	S_IFSOCK = 0xC000
+)
+
+// Permission bits.
+const (
+	S_ISUID = 0o4000
+	S_ISGID = 0o2000
+	S_ISVTX = 0o1000
+	S_IRWXU = 0o700
+	S_IRUSR = 0o400
+	S_IWUSR = 0o200
+	S_IXUSR = 0o100
+)
+
+// access() modes.
+const (
+	F_OK = 0
+	X_OK = 1
+	W_OK = 2
+	R_OK = 4
+)
+
+// *at() flags.
+const (
+	AT_FDCWD            = -100
+	AT_SYMLINK_NOFOLLOW = 0x100
+	AT_REMOVEDIR        = 0x200
+	AT_SYMLINK_FOLLOW   = 0x400
+	AT_EMPTY_PATH       = 0x1000
+)
+
+// mmap protections and flags.
+const (
+	PROT_NONE  = 0x0
+	PROT_READ  = 0x1
+	PROT_WRITE = 0x2
+	PROT_EXEC  = 0x4
+
+	MAP_SHARED    = 0x01
+	MAP_PRIVATE   = 0x02
+	MAP_FIXED     = 0x10
+	MAP_ANONYMOUS = 0x20
+	MAP_GROWSDOWN = 0x100
+	MAP_STACK     = 0x20000
+
+	MREMAP_MAYMOVE = 1
+	MREMAP_FIXED   = 2
+
+	MS_ASYNC      = 1
+	MS_INVALIDATE = 2
+	MS_SYNC       = 4
+)
+
+// Signals (1-31 standard; 32-64 realtime).
+const (
+	SIGHUP    = 1
+	SIGINT    = 2
+	SIGQUIT   = 3
+	SIGILL    = 4
+	SIGTRAP   = 5
+	SIGABRT   = 6
+	SIGBUS    = 7
+	SIGFPE    = 8
+	SIGKILL   = 9
+	SIGUSR1   = 10
+	SIGSEGV   = 11
+	SIGUSR2   = 12
+	SIGPIPE   = 13
+	SIGALRM   = 14
+	SIGTERM   = 15
+	SIGSTKFLT = 16
+	SIGCHLD   = 17
+	SIGCONT   = 18
+	SIGSTOP   = 19
+	SIGTSTP   = 20
+	SIGTTIN   = 21
+	SIGTTOU   = 22
+	SIGURG    = 23
+	SIGXCPU   = 24
+	SIGXFSZ   = 25
+	SIGVTALRM = 26
+	SIGPROF   = 27
+	SIGWINCH  = 28
+	SIGIO     = 29
+	SIGPWR    = 30
+	SIGSYS    = 31
+	NSIG      = 64
+)
+
+// Sigaction flags and special handler values.
+const (
+	SA_NOCLDSTOP = 0x1
+	SA_NOCLDWAIT = 0x2
+	SA_SIGINFO   = 0x4
+	SA_RESTART   = 0x10000000
+	SA_NODEFER   = 0x40000000
+	SA_RESETHAND = 0x80000000
+	SA_RESTORER  = 0x04000000
+
+	SIG_DFL = 0
+	SIG_IGN = 1
+	// SIG_ERR is -1 in userspace; represented out-of-band here.
+
+	SIG_BLOCK   = 0
+	SIG_UNBLOCK = 1
+	SIG_SETMASK = 2
+)
+
+// clone flags.
+const (
+	CLONE_VM             = 0x00000100
+	CLONE_FS             = 0x00000200
+	CLONE_FILES          = 0x00000400
+	CLONE_SIGHAND        = 0x00000800
+	CLONE_THREAD         = 0x00010000
+	CLONE_SYSVSEM        = 0x00040000
+	CLONE_SETTLS         = 0x00080000
+	CLONE_PARENT_SETTID  = 0x00100000
+	CLONE_CHILD_CLEARTID = 0x00200000
+	CLONE_CHILD_SETTID   = 0x01000000
+)
+
+// wait4/waitid options.
+const (
+	WNOHANG    = 1
+	WUNTRACED  = 2
+	WCONTINUED = 8
+)
+
+// poll events.
+const (
+	POLLIN   = 0x001
+	POLLPRI  = 0x002
+	POLLOUT  = 0x004
+	POLLERR  = 0x008
+	POLLHUP  = 0x010
+	POLLNVAL = 0x020
+)
+
+// epoll.
+const (
+	EPOLL_CTL_ADD = 1
+	EPOLL_CTL_DEL = 2
+	EPOLL_CTL_MOD = 3
+	EPOLLIN       = 0x001
+	EPOLLOUT      = 0x004
+	EPOLLERR      = 0x008
+	EPOLLHUP      = 0x010
+	EPOLLET       = 0x80000000
+)
+
+// fcntl commands.
+const (
+	F_DUPFD         = 0
+	F_GETFD         = 1
+	F_SETFD         = 2
+	F_GETFL         = 3
+	F_SETFL         = 4
+	F_DUPFD_CLOEXEC = 1030
+	FD_CLOEXEC      = 1
+)
+
+// Socket domains, types, options.
+const (
+	AF_UNSPEC = 0
+	AF_UNIX   = 1
+	AF_INET   = 2
+	AF_INET6  = 10
+
+	SOCK_STREAM   = 1
+	SOCK_DGRAM    = 2
+	SOCK_NONBLOCK = 0x800
+	SOCK_CLOEXEC  = 0x80000
+
+	SOL_SOCKET   = 1
+	SO_REUSEADDR = 2
+	SO_ERROR     = 4
+	SO_SNDBUF    = 7
+	SO_RCVBUF    = 8
+	SO_KEEPALIVE = 9
+	SO_RCVTIMEO  = 20
+	SO_SNDTIMEO  = 21
+
+	IPPROTO_TCP = 6
+	TCP_NODELAY = 1
+
+	SHUT_RD   = 0
+	SHUT_WR   = 1
+	SHUT_RDWR = 2
+
+	MSG_DONTWAIT = 0x40
+	MSG_NOSIGNAL = 0x4000
+	MSG_PEEK     = 0x2
+)
+
+// futex operations.
+const (
+	FUTEX_WAIT           = 0
+	FUTEX_WAKE           = 1
+	FUTEX_PRIVATE_FLAG   = 128
+	FUTEX_CLOCK_REALTIME = 256
+	FUTEX_CMD_MASK       = ^(FUTEX_PRIVATE_FLAG | FUTEX_CLOCK_REALTIME)
+)
+
+// Clock IDs.
+const (
+	CLOCK_REALTIME           = 0
+	CLOCK_MONOTONIC          = 1
+	CLOCK_PROCESS_CPUTIME_ID = 2
+	CLOCK_THREAD_CPUTIME_ID  = 3
+	CLOCK_MONOTONIC_RAW      = 4
+	CLOCK_BOOTTIME           = 7
+)
+
+// getrusage who.
+const (
+	RUSAGE_SELF     = 0
+	RUSAGE_CHILDREN = -1
+	RUSAGE_THREAD   = 1
+)
+
+// rlimit resources.
+const (
+	RLIMIT_CPU    = 0
+	RLIMIT_FSIZE  = 1
+	RLIMIT_DATA   = 2
+	RLIMIT_STACK  = 3
+	RLIMIT_CORE   = 4
+	RLIMIT_NOFILE = 7
+	RLIMIT_AS     = 9
+	RLIM_INFINITY = ^uint64(0)
+)
+
+// ioctl requests (subset; identical values on the three WALI ISAs).
+const (
+	TCGETS     = 0x5401
+	TCSETS     = 0x5402
+	TIOCGWINSZ = 0x5413
+	TIOCSWINSZ = 0x5414
+	FIONREAD   = 0x541B
+	FIONBIO    = 0x5421
+)
+
+// Dirent types (d_type).
+const (
+	DT_UNKNOWN = 0
+	DT_FIFO    = 1
+	DT_CHR     = 2
+	DT_DIR     = 4
+	DT_BLK     = 6
+	DT_REG     = 8
+	DT_LNK     = 10
+	DT_SOCK    = 12
+)
+
+// madvise advice values (accepted and ignored by the simulated kernel).
+const (
+	MADV_NORMAL     = 0
+	MADV_RANDOM     = 1
+	MADV_SEQUENTIAL = 2
+	MADV_WILLNEED   = 3
+	MADV_DONTNEED   = 4
+)
+
+// Wait status construction, mirroring the kernel's encoding.
+
+// WaitStatusExited encodes a normal exit.
+func WaitStatusExited(code int32) int32 { return (code & 0xFF) << 8 }
+
+// WaitStatusSignaled encodes a termination by signal.
+func WaitStatusSignaled(sig int32) int32 { return sig & 0x7F }
+
+// WEXITSTATUS extracts the exit code.
+func WEXITSTATUS(status int32) int32 { return (status >> 8) & 0xFF }
+
+// WIFEXITED reports a normal exit.
+func WIFEXITED(status int32) bool { return status&0x7F == 0 }
+
+// WTERMSIG extracts the terminating signal.
+func WTERMSIG(status int32) int32 { return status & 0x7F }
+
+// Stat is the kernel's native stat result. The WALI layer converts it to
+// the portable kstat layout (internal/isa) at the syscall boundary.
+type Stat struct {
+	Dev     uint64
+	Ino     uint64
+	Mode    uint32
+	Nlink   uint32
+	UID     uint32
+	GID     uint32
+	Rdev    uint64
+	Size    int64
+	Blksize int32
+	Blocks  int64
+	Atime   Timespec
+	Mtime   Timespec
+	Ctime   Timespec
+}
+
+// Timespec is seconds + nanoseconds.
+type Timespec struct {
+	Sec  int64
+	Nsec int64
+}
+
+// Nanos converts to a nanosecond count.
+func (t Timespec) Nanos() int64 { return t.Sec*1e9 + t.Nsec }
+
+// TimespecFromNanos builds a Timespec from nanoseconds.
+func TimespecFromNanos(ns int64) Timespec {
+	return Timespec{Sec: ns / 1e9, Nsec: ns % 1e9}
+}
+
+// Sigaction is the kernel-native signal action: Handler is a Wasm funcref
+// table index in WALI (or SIG_DFL/SIG_IGN), Mask the blocked-set during
+// handling, Flags the SA_* bits.
+type Sigaction struct {
+	Handler  uint64
+	Flags    uint64
+	Mask     uint64
+	Restorer uint64
+}
+
+// Rusage is the subset of struct rusage the simulated kernel accounts.
+type Rusage struct {
+	Utime    Timespec
+	Stime    Timespec
+	MaxRSS   int64
+	MinFault int64
+	MajFault int64
+}
+
+// Sysinfo mirrors struct sysinfo's populated fields.
+type Sysinfo struct {
+	Uptime   int64
+	TotalRAM uint64
+	FreeRAM  uint64
+	Procs    uint16
+	MemUnit  uint32
+}
+
+// Utsname holds uname strings.
+type Utsname struct {
+	Sysname    string
+	Nodename   string
+	Release    string
+	Version    string
+	Machine    string
+	Domainname string
+}
+
+// Winsize is the tty window size for TIOCGWINSZ.
+type Winsize struct {
+	Row, Col       uint16
+	XPixel, YPixel uint16
+}

@@ -1,0 +1,119 @@
+// Package linux defines the Linux userspace ABI constants shared by the
+// simulated kernel (internal/kernel), the WALI layer (internal/core) and
+// the per-ISA layout tables (internal/isa). Values match the asm-generic
+// ABI used by aarch64/riscv64 and, where they coincide, x86-64.
+package linux
+
+import "fmt"
+
+// Errno is a Linux error number. Zero means success. Syscall-style
+// functions in the simulated kernel return Errno rather than error; WALI
+// translates them to negative return values exactly like the real syscall
+// ABI.
+type Errno int32
+
+// Errno values (asm-generic).
+const (
+	OK              Errno = 0
+	EPERM           Errno = 1
+	ENOENT          Errno = 2
+	ESRCH           Errno = 3
+	EINTR           Errno = 4
+	EIO             Errno = 5
+	ENXIO           Errno = 6
+	E2BIG           Errno = 7
+	ENOEXEC         Errno = 8
+	EBADF           Errno = 9
+	ECHILD          Errno = 10
+	EAGAIN          Errno = 11
+	ENOMEM          Errno = 12
+	EACCES          Errno = 13
+	EFAULT          Errno = 14
+	ENOTBLK         Errno = 15
+	EBUSY           Errno = 16
+	EEXIST          Errno = 17
+	EXDEV           Errno = 18
+	ENODEV          Errno = 19
+	ENOTDIR         Errno = 20
+	EISDIR          Errno = 21
+	EINVAL          Errno = 22
+	ENFILE          Errno = 23
+	EMFILE          Errno = 24
+	ENOTTY          Errno = 25
+	ETXTBSY         Errno = 26
+	EFBIG           Errno = 27
+	ENOSPC          Errno = 28
+	ESPIPE          Errno = 29
+	EROFS           Errno = 30
+	EMLINK          Errno = 31
+	EPIPE           Errno = 32
+	EDOM            Errno = 33
+	ERANGE          Errno = 34
+	EDEADLK         Errno = 35
+	ENAMETOOLONG    Errno = 36
+	ENOLCK          Errno = 37
+	ENOSYS          Errno = 38
+	ENOTEMPTY       Errno = 39
+	ELOOP           Errno = 40
+	EWOULDBLOCK     Errno = EAGAIN
+	ENOMSG          Errno = 42
+	EIDRM           Errno = 43
+	ENOSTR          Errno = 60
+	ENODATA         Errno = 61
+	ETIME           Errno = 62
+	ENOSR           Errno = 63
+	EPROTO          Errno = 71
+	EBADMSG         Errno = 74
+	EOVERFLOW       Errno = 75
+	ENOTSOCK        Errno = 88
+	EDESTADDRREQ    Errno = 89
+	EMSGSIZE        Errno = 90
+	EPROTOTYPE      Errno = 91
+	ENOPROTOOPT     Errno = 92
+	EPROTONOSUPPORT Errno = 93
+	EOPNOTSUPP      Errno = 95
+	EAFNOSUPPORT    Errno = 97
+	EADDRINUSE      Errno = 98
+	EADDRNOTAVAIL   Errno = 99
+	ENETUNREACH     Errno = 101
+	ECONNABORTED    Errno = 103
+	ECONNRESET      Errno = 104
+	ENOBUFS         Errno = 105
+	EISCONN         Errno = 106
+	ENOTCONN        Errno = 107
+	ETIMEDOUT       Errno = 110
+	ECONNREFUSED    Errno = 111
+	EHOSTUNREACH    Errno = 113
+	EALREADY        Errno = 114
+	EINPROGRESS     Errno = 115
+)
+
+var errnoNames = map[Errno]string{
+	EPERM: "EPERM", ENOENT: "ENOENT", ESRCH: "ESRCH", EINTR: "EINTR",
+	EIO: "EIO", ENXIO: "ENXIO", E2BIG: "E2BIG", ENOEXEC: "ENOEXEC",
+	EBADF: "EBADF", ECHILD: "ECHILD", EAGAIN: "EAGAIN", ENOMEM: "ENOMEM",
+	EACCES: "EACCES", EFAULT: "EFAULT", EBUSY: "EBUSY", EEXIST: "EEXIST",
+	EXDEV: "EXDEV", ENODEV: "ENODEV", ENOTDIR: "ENOTDIR", EISDIR: "EISDIR",
+	EINVAL: "EINVAL", ENFILE: "ENFILE", EMFILE: "EMFILE", ENOTTY: "ENOTTY",
+	EFBIG: "EFBIG", ENOSPC: "ENOSPC", ESPIPE: "ESPIPE", EROFS: "EROFS",
+	EMLINK: "EMLINK", EPIPE: "EPIPE", EDOM: "EDOM", ERANGE: "ERANGE",
+	EDEADLK: "EDEADLK", ENAMETOOLONG: "ENAMETOOLONG", ENOSYS: "ENOSYS",
+	ENOTEMPTY: "ENOTEMPTY", ELOOP: "ELOOP", EOVERFLOW: "EOVERFLOW",
+	ENOTSOCK: "ENOTSOCK", EMSGSIZE: "EMSGSIZE", EOPNOTSUPP: "EOPNOTSUPP",
+	EAFNOSUPPORT: "EAFNOSUPPORT", EADDRINUSE: "EADDRINUSE",
+	ECONNRESET: "ECONNRESET", EISCONN: "EISCONN", ENOTCONN: "ENOTCONN",
+	ETIMEDOUT: "ETIMEDOUT", ECONNREFUSED: "ECONNREFUSED",
+	EPROTONOSUPPORT: "EPROTONOSUPPORT", EDESTADDRREQ: "EDESTADDRREQ",
+	ECONNABORTED: "ECONNABORTED", EADDRNOTAVAIL: "EADDRNOTAVAIL",
+}
+
+// Error implements error; success (0) reads "OK".
+func (e Errno) Error() string {
+	if e == 0 {
+		return "OK"
+	}
+	if n, ok := errnoNames[e]; ok {
+		return n
+	}
+	return fmt.Sprintf("errno(%d)", int32(e))
+}

@@ -1,0 +1,74 @@
+package linux
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestErrnoStrings(t *testing.T) {
+	if OK.Error() != "OK" {
+		t.Errorf("OK = %q", OK.Error())
+	}
+	if ENOENT.Error() != "ENOENT" || EAGAIN.Error() != "EAGAIN" {
+		t.Error("common errno names wrong")
+	}
+	if Errno(9999).Error() == "" {
+		t.Error("unknown errno must still format")
+	}
+}
+
+func TestWaitStatusEncoding(t *testing.T) {
+	for _, code := range []int32{0, 1, 7, 127, 255} {
+		st := WaitStatusExited(code)
+		if !WIFEXITED(st) {
+			t.Errorf("exited(%d) not WIFEXITED", code)
+		}
+		if WEXITSTATUS(st) != code {
+			t.Errorf("WEXITSTATUS(%d) = %d", code, WEXITSTATUS(st))
+		}
+	}
+	st := WaitStatusSignaled(SIGKILL)
+	if WIFEXITED(st) {
+		t.Error("signaled status reads as exited")
+	}
+	if WTERMSIG(st) != SIGKILL {
+		t.Errorf("WTERMSIG = %d", WTERMSIG(st))
+	}
+}
+
+func TestTimespecNanosRoundTrip(t *testing.T) {
+	f := func(ns int64) bool {
+		if ns < 0 {
+			ns = -ns
+		}
+		ts := TimespecFromNanos(ns)
+		return ts.Nanos() == ns && ts.Nsec >= 0 && ts.Nsec < 1e9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSignalConstantsMatchLinux(t *testing.T) {
+	// Spot-check the well-known numbering the WALI ABI depends on.
+	cases := map[int32]int32{SIGHUP: 1, SIGINT: 2, SIGKILL: 9, SIGSEGV: 11,
+		SIGPIPE: 13, SIGTERM: 15, SIGCHLD: 17, SIGCONT: 18}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("signal constant %d != %d", got, want)
+		}
+	}
+	if NSIG != 64 {
+		t.Errorf("NSIG = %d", NSIG)
+	}
+}
+
+func TestOpenFlagBits(t *testing.T) {
+	// asm-generic values WALI standardizes on.
+	if O_CREAT != 0x40 || O_EXCL != 0x80 || O_APPEND != 0x400 || O_NONBLOCK != 0x800 {
+		t.Error("open flag values diverged from asm-generic")
+	}
+	if O_RDONLY|O_WRONLY|O_RDWR != O_ACCMODE {
+		t.Error("access mode mask inconsistent")
+	}
+}

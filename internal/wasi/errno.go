@@ -1,0 +1,156 @@
+// Package wasi implements WASI preview1 layered over WALI (§4.1, Fig. 6
+// of the paper; artifact experiment E2). The implementation is the
+// libuvwasi analogue: every WASI call is realized purely in terms of the
+// WALI syscall surface — it never touches the simulated kernel or the
+// engine internals directly — so it could equally run as a sandboxed Wasm
+// module above any engine exposing WALI. A capability layer (preopened
+// directories) is enforced here, above the kernel interface, exactly as
+// the paper's layering argument prescribes.
+package wasi
+
+import "gowali/internal/linux"
+
+// Errno is a WASI preview1 error code (distinct numbering from Linux).
+type Errno uint16
+
+// WASI errno values (subset used here).
+const (
+	ErrnoSuccess     Errno = 0
+	Errno2Big        Errno = 1
+	ErrnoAcces       Errno = 2
+	ErrnoAgain       Errno = 6
+	ErrnoBadf        Errno = 8
+	ErrnoExist       Errno = 20
+	ErrnoFault       Errno = 21
+	ErrnoInval       Errno = 28
+	ErrnoIo          Errno = 29
+	ErrnoIsdir       Errno = 31
+	ErrnoLoop        Errno = 32
+	ErrnoNametoolong Errno = 37
+	ErrnoNoent       Errno = 44
+	ErrnoNosys       Errno = 52
+	ErrnoNotdir      Errno = 54
+	ErrnoNotempty    Errno = 55
+	ErrnoNotcapable  Errno = 76
+	ErrnoPerm        Errno = 63
+	ErrnoPipe        Errno = 64
+	ErrnoSpipe       Errno = 70
+	ErrnoNotsup      Errno = 58
+)
+
+// fromLinux maps a Linux errno (from a WALI return value) to WASI.
+func fromLinux(e linux.Errno) Errno {
+	switch e {
+	case 0:
+		return ErrnoSuccess
+	case linux.EPERM:
+		return ErrnoPerm
+	case linux.ENOENT:
+		return ErrnoNoent
+	case linux.EBADF:
+		return ErrnoBadf
+	case linux.EAGAIN:
+		return ErrnoAgain
+	case linux.EACCES:
+		return ErrnoAcces
+	case linux.EFAULT:
+		return ErrnoFault
+	case linux.EEXIST:
+		return ErrnoExist
+	case linux.ENOTDIR:
+		return ErrnoNotdir
+	case linux.EISDIR:
+		return ErrnoIsdir
+	case linux.EINVAL:
+		return ErrnoInval
+	case linux.EPIPE:
+		return ErrnoPipe
+	case linux.ESPIPE:
+		return ErrnoSpipe
+	case linux.ENOTEMPTY:
+		return ErrnoNotempty
+	case linux.ELOOP:
+		return ErrnoLoop
+	case linux.ENAMETOOLONG:
+		return ErrnoNametoolong
+	case linux.ENOSYS:
+		return ErrnoNosys
+	case linux.E2BIG:
+		return Errno2Big
+	case linux.EOPNOTSUPP:
+		return ErrnoNotsup
+	}
+	return ErrnoIo
+}
+
+// fromRet maps a WALI syscall return value to a WASI errno (negative
+// returns carry -errno).
+func fromRet(ret int64) Errno {
+	if ret >= 0 {
+		return ErrnoSuccess
+	}
+	return fromLinux(linux.Errno(-ret))
+}
+
+// WASI filetype values.
+const (
+	FiletypeUnknown      = 0
+	FiletypeBlockDevice  = 1
+	FiletypeCharDevice   = 2
+	FiletypeDirectory    = 3
+	FiletypeRegularFile  = 4
+	FiletypeSocketDgram  = 5
+	FiletypeSocketStream = 6
+	FiletypeSymlink      = 7
+)
+
+// filetypeFromMode converts Linux S_IFMT bits to a WASI filetype.
+func filetypeFromMode(mode uint32) byte {
+	switch mode & linux.S_IFMT {
+	case linux.S_IFREG:
+		return FiletypeRegularFile
+	case linux.S_IFDIR:
+		return FiletypeDirectory
+	case linux.S_IFCHR:
+		return FiletypeCharDevice
+	case linux.S_IFBLK:
+		return FiletypeBlockDevice
+	case linux.S_IFLNK:
+		return FiletypeSymlink
+	case linux.S_IFSOCK:
+		return FiletypeSocketStream
+	case linux.S_IFIFO:
+		return FiletypeSocketStream
+	}
+	return FiletypeUnknown
+}
+
+// WASI open flags (path_open oflags).
+const (
+	OflagCreat     = 1 << 0
+	OflagDirectory = 1 << 1
+	OflagExcl      = 1 << 2
+	OflagTrunc     = 1 << 3
+)
+
+// WASI fdflags.
+const (
+	FdflagAppend   = 1 << 0
+	FdflagDsync    = 1 << 1
+	FdflagNonblock = 1 << 2
+	FdflagSync     = 1 << 4
+)
+
+// WASI rights bits (subset consulted for access mode derivation).
+const (
+	RightFdRead  = 1 << 1
+	RightFdWrite = 1 << 6
+)
+
+// WASI clock ids.
+const (
+	ClockRealtime  = 0
+	ClockMonotonic = 1
+)
+
+// WASI whence values differ from Linux: SET=0, CUR=1, END=2 match.

@@ -1,0 +1,372 @@
+package wasm
+
+import "fmt"
+
+// Builder constructs modules programmatically. It plays the role the paper's
+// LLVM/musl toolchain plays for WALI: applications in internal/apps are
+// "compiled" against the WALI import surface by emitting bytecode through
+// this API. Built modules are ordinary Modules: encode, decode and validate
+// like any other.
+//
+// Function imports must all be declared before the first defined function,
+// mirroring the index-space rule of the binary format; Builder panics
+// otherwise, since that is a programming error in the embedder, not input.
+type Builder struct {
+	m          *Module
+	typeCache  map[string]uint32
+	funcsBegun bool
+	funcCount  uint32 // total function index space used so far
+}
+
+// NewBuilder returns an empty module builder. name is diagnostic only.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		m:         &Module{Name: name},
+		typeCache: make(map[string]uint32),
+	}
+}
+
+// TypeIdx interns a function signature and returns its type index.
+func (b *Builder) TypeIdx(params, results []ValType) uint32 {
+	ft := FuncType{Params: params, Results: results}
+	key := ft.Key()
+	if idx, ok := b.typeCache[key]; ok {
+		return idx
+	}
+	idx := uint32(len(b.m.Types))
+	b.m.Types = append(b.m.Types, ft)
+	b.typeCache[key] = idx
+	return idx
+}
+
+// ImportFunc declares a function import and returns its function index.
+func (b *Builder) ImportFunc(module, name string, params, results []ValType) uint32 {
+	if b.funcsBegun {
+		panic("wasm.Builder: all function imports must precede function definitions")
+	}
+	ti := b.TypeIdx(params, results)
+	b.m.Imports = append(b.m.Imports, Import{Module: module, Name: name, Kind: ExternFunc, TypeIdx: ti})
+	idx := b.funcCount
+	b.funcCount++
+	return idx
+}
+
+// Memory declares the module memory in pages. max<0 means no maximum.
+func (b *Builder) Memory(min uint32, max int64, shared bool) {
+	l := Limits{Min: min}
+	if max >= 0 {
+		l.HasMax = true
+		l.Max = uint32(max)
+	}
+	l.Shared = shared
+	b.m.Mem = &l
+}
+
+// ImportMemory declares a memory import (used by thread instances sharing a
+// parent's memory).
+func (b *Builder) ImportMemory(module, name string, min uint32, max int64, shared bool) {
+	l := Limits{Min: min}
+	if max >= 0 {
+		l.HasMax = true
+		l.Max = uint32(max)
+	}
+	l.Shared = shared
+	b.m.Imports = append(b.m.Imports, Import{Module: module, Name: name, Kind: ExternMemory, Mem: l})
+}
+
+// Table declares the module funcref table.
+func (b *Builder) Table(min uint32, max int64) {
+	l := Limits{Min: min}
+	if max >= 0 {
+		l.HasMax = true
+		l.Max = uint32(max)
+	}
+	b.m.Table = &l
+}
+
+// GlobalI32 defines a mutable or immutable i32 global, returning its index.
+func (b *Builder) GlobalI32(v int32, mutable bool) uint32 {
+	init := append(AppendS32([]byte{OpI32Const}, v), OpEnd)
+	return b.global(GlobalType{Type: I32, Mutable: mutable}, init)
+}
+
+// GlobalI64 defines an i64 global, returning its index.
+func (b *Builder) GlobalI64(v int64, mutable bool) uint32 {
+	init := append(AppendS64([]byte{OpI64Const}, v), OpEnd)
+	return b.global(GlobalType{Type: I64, Mutable: mutable}, init)
+}
+
+func (b *Builder) global(gt GlobalType, init []byte) uint32 {
+	idx := uint32(b.m.NumImportedGlobals() + len(b.m.Globals))
+	b.m.Globals = append(b.m.Globals, Global{Type: gt, Init: init})
+	return idx
+}
+
+// Data adds an active data segment at a constant offset.
+func (b *Builder) Data(offset uint32, data []byte) {
+	expr := append(AppendS32([]byte{OpI32Const}, int32(offset)), OpEnd)
+	b.m.Data = append(b.m.Data, DataSegment{Offset: expr, Init: append([]byte(nil), data...)})
+}
+
+// Elem adds an active element segment at a constant table offset.
+func (b *Builder) Elem(offset uint32, funcs ...uint32) {
+	expr := append(AppendS32([]byte{OpI32Const}, int32(offset)), OpEnd)
+	b.m.Elems = append(b.m.Elems, ElemSegment{Offset: expr, Funcs: funcs})
+}
+
+// Export exports the given index under name.
+func (b *Builder) Export(name string, kind ExternKind, idx uint32) {
+	b.m.Exports = append(b.m.Exports, Export{Name: name, Kind: kind, Index: idx})
+}
+
+// Start marks the function at idx as the start function.
+func (b *Builder) Start(idx uint32) { b.m.Start = &idx }
+
+// Module finalizes and returns the module. It panics if any declared
+// function was never finished, as that is an embedder bug.
+func (b *Builder) Module() *Module {
+	for i, f := range b.m.Funcs {
+		if f.Body == nil {
+			panic(fmt.Sprintf("wasm.Builder: function %d declared but not finished", b.m.NumImportedFuncs()+i))
+		}
+	}
+	return b.m
+}
+
+// Build finalizes, validates, and returns the module.
+func (b *Builder) Build() (*Module, error) {
+	m := b.Module()
+	if err := Validate(m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// FuncBuilder emits the body of one function. All emit methods return the
+// receiver to allow chaining. Control constructs must be closed with End;
+// Finish checks balance.
+type FuncBuilder struct {
+	b        *Builder
+	idx      uint32
+	slot     int // index into b.m.Funcs
+	nParams  int
+	locals   []ValType
+	code     []byte
+	depth    int
+	finished bool
+}
+
+// NewFunc declares a function with the given signature and returns its
+// builder plus the assigned function index. The index is valid immediately,
+// so mutually recursive call targets work.
+func (b *Builder) NewFunc(exportName string, params, results []ValType) *FuncBuilder {
+	b.funcsBegun = true
+	ti := b.TypeIdx(params, results)
+	idx := b.funcCount
+	b.funcCount++
+	slot := len(b.m.Funcs)
+	b.m.Funcs = append(b.m.Funcs, Func{TypeIdx: ti})
+	if exportName != "" {
+		b.Export(exportName, ExternFunc, idx)
+	}
+	return &FuncBuilder{b: b, idx: idx, slot: slot, nParams: len(params)}
+}
+
+// Index returns the function's index in the function index space.
+func (f *FuncBuilder) Index() uint32 { return f.idx }
+
+// Local declares a new local of type t and returns its index.
+func (f *FuncBuilder) Local(t ValType) uint32 {
+	f.locals = append(f.locals, t)
+	return uint32(f.nParams + len(f.locals) - 1)
+}
+
+// Finish appends the final End, registers the body, and returns the
+// function index. It panics on unbalanced control nesting.
+func (f *FuncBuilder) Finish() uint32 {
+	if f.finished {
+		panic("wasm.FuncBuilder: Finish called twice")
+	}
+	if f.depth != 0 {
+		panic(fmt.Sprintf("wasm.FuncBuilder: %d unclosed blocks at Finish", f.depth))
+	}
+	f.finished = true
+	f.code = append(f.code, OpEnd)
+	fn := &f.b.m.Funcs[f.slot]
+	fn.Locals = f.locals
+	fn.Body = f.code
+	return f.idx
+}
+
+// Op emits a raw opcode with no immediates.
+func (f *FuncBuilder) Op(ops ...byte) *FuncBuilder {
+	f.code = append(f.code, ops...)
+	return f
+}
+
+// I32Const pushes a 32-bit constant.
+func (f *FuncBuilder) I32Const(v int32) *FuncBuilder {
+	f.code = AppendS32(append(f.code, OpI32Const), v)
+	return f
+}
+
+// I64Const pushes a 64-bit constant.
+func (f *FuncBuilder) I64Const(v int64) *FuncBuilder {
+	f.code = AppendS64(append(f.code, OpI64Const), v)
+	return f
+}
+
+// F32Const pushes an f32 constant.
+func (f *FuncBuilder) F32Const(v float32) *FuncBuilder {
+	f.code = AppendF32(append(f.code, OpF32Const), v)
+	return f
+}
+
+// F64Const pushes an f64 constant.
+func (f *FuncBuilder) F64Const(v float64) *FuncBuilder {
+	f.code = AppendF64(append(f.code, OpF64Const), v)
+	return f
+}
+
+// LocalGet / LocalSet / LocalTee access locals.
+func (f *FuncBuilder) LocalGet(i uint32) *FuncBuilder { return f.opIdx(OpLocalGet, i) }
+
+// LocalSet pops into local i.
+func (f *FuncBuilder) LocalSet(i uint32) *FuncBuilder { return f.opIdx(OpLocalSet, i) }
+
+// LocalTee stores to local i leaving the value on the stack.
+func (f *FuncBuilder) LocalTee(i uint32) *FuncBuilder { return f.opIdx(OpLocalTee, i) }
+
+// GlobalGet pushes global i.
+func (f *FuncBuilder) GlobalGet(i uint32) *FuncBuilder { return f.opIdx(OpGlobalGet, i) }
+
+// GlobalSet pops into global i.
+func (f *FuncBuilder) GlobalSet(i uint32) *FuncBuilder { return f.opIdx(OpGlobalSet, i) }
+
+func (f *FuncBuilder) opIdx(op byte, i uint32) *FuncBuilder {
+	f.code = AppendU32(append(f.code, op), i)
+	return f
+}
+
+// Call emits a direct call to function index i.
+func (f *FuncBuilder) Call(i uint32) *FuncBuilder { return f.opIdx(OpCall, i) }
+
+// CallIndirect emits an indirect call through table 0 with the given
+// signature.
+func (f *FuncBuilder) CallIndirect(params, results []ValType) *FuncBuilder {
+	ti := f.b.TypeIdx(params, results)
+	f.code = AppendU32(append(f.code, OpCallIndirect), ti)
+	f.code = append(f.code, 0)
+	return f
+}
+
+// Block opens a block with an optional single result type (0 results or 1).
+func (f *FuncBuilder) Block(results ...ValType) *FuncBuilder { return f.ctrl(OpBlock, results) }
+
+// Loop opens a loop.
+func (f *FuncBuilder) Loop(results ...ValType) *FuncBuilder { return f.ctrl(OpLoop, results) }
+
+// If opens an if (pops the i32 condition).
+func (f *FuncBuilder) If(results ...ValType) *FuncBuilder { return f.ctrl(OpIf, results) }
+
+// Else switches to the else arm.
+func (f *FuncBuilder) Else() *FuncBuilder {
+	f.code = append(f.code, OpElse)
+	return f
+}
+
+// End closes the innermost block/loop/if.
+func (f *FuncBuilder) End() *FuncBuilder {
+	if f.depth == 0 {
+		panic("wasm.FuncBuilder: End without open block")
+	}
+	f.depth--
+	f.code = append(f.code, OpEnd)
+	return f
+}
+
+func (f *FuncBuilder) ctrl(op byte, results []ValType) *FuncBuilder {
+	f.depth++
+	f.code = append(f.code, op)
+	switch len(results) {
+	case 0:
+		f.code = append(f.code, BlockTypeEmpty)
+	case 1:
+		f.code = append(f.code, byte(results[0]))
+	default:
+		panic("wasm.FuncBuilder: multi-result blocks unsupported")
+	}
+	return f
+}
+
+// Br branches to the label depth levels out.
+func (f *FuncBuilder) Br(depth uint32) *FuncBuilder { return f.opIdx(OpBr, depth) }
+
+// BrIf conditionally branches.
+func (f *FuncBuilder) BrIf(depth uint32) *FuncBuilder { return f.opIdx(OpBrIf, depth) }
+
+// BrTable emits a branch table; the last depth is the default.
+func (f *FuncBuilder) BrTable(depths ...uint32) *FuncBuilder {
+	if len(depths) == 0 {
+		panic("wasm.FuncBuilder: BrTable needs a default label")
+	}
+	f.code = AppendU32(append(f.code, OpBrTable), uint32(len(depths)-1))
+	for _, d := range depths {
+		f.code = AppendU32(f.code, d)
+	}
+	return f
+}
+
+// Return emits return.
+func (f *FuncBuilder) Return() *FuncBuilder { return f.Op(OpReturn) }
+
+// Unreachable emits unreachable.
+func (f *FuncBuilder) Unreachable() *FuncBuilder { return f.Op(OpUnreachable) }
+
+// Drop pops and discards one value.
+func (f *FuncBuilder) Drop() *FuncBuilder { return f.Op(OpDrop) }
+
+// Select emits select.
+func (f *FuncBuilder) Select() *FuncBuilder { return f.Op(OpSelect) }
+
+// Load emits a load with natural alignment and the given static offset.
+func (f *FuncBuilder) Load(op byte, offset uint32) *FuncBuilder {
+	sig, ok := opSignatures[op]
+	if !ok || sig.mem == 0 {
+		panic(fmt.Sprintf("wasm.FuncBuilder: 0x%02x is not a memory access opcode", op))
+	}
+	f.code = AppendU32(append(f.code, op), sig.mem-1)
+	f.code = AppendU32(f.code, offset)
+	return f
+}
+
+// Store emits a store with natural alignment and the given static offset.
+func (f *FuncBuilder) Store(op byte, offset uint32) *FuncBuilder { return f.Load(op, offset) }
+
+// MemorySize pushes the current memory size in pages.
+func (f *FuncBuilder) MemorySize() *FuncBuilder {
+	f.code = append(f.code, OpMemorySize, 0)
+	return f
+}
+
+// MemoryGrow grows memory by the popped page count.
+func (f *FuncBuilder) MemoryGrow() *FuncBuilder {
+	f.code = append(f.code, OpMemoryGrow, 0)
+	return f
+}
+
+// MemoryCopy emits memory.copy (dst, src, len popped).
+func (f *FuncBuilder) MemoryCopy() *FuncBuilder {
+	f.code = append(f.code, OpPrefixFC)
+	f.code = AppendU32(f.code, FCMemoryCopy)
+	f.code = append(f.code, 0, 0)
+	return f
+}
+
+// MemoryFill emits memory.fill (dst, val, len popped).
+func (f *FuncBuilder) MemoryFill() *FuncBuilder {
+	f.code = append(f.code, OpPrefixFC)
+	f.code = AppendU32(f.code, FCMemoryFill)
+	f.code = append(f.code, 0)
+	return f
+}

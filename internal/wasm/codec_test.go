@@ -1,0 +1,264 @@
+package wasm
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestLEBRoundTripU32(t *testing.T) {
+	f := func(v uint32) bool {
+		b := AppendU32(nil, v)
+		got, n, err := ReadU32(b, 0)
+		return err == nil && n == len(b) && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLEBRoundTripS32(t *testing.T) {
+	f := func(v int32) bool {
+		b := AppendS32(nil, v)
+		got, n, err := ReadS32(b, 0)
+		return err == nil && n == len(b) && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLEBRoundTripS64(t *testing.T) {
+	f := func(v int64) bool {
+		b := AppendS64(nil, v)
+		got, n, err := ReadS64(b, 0)
+		return err == nil && n == len(b) && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLEBRoundTripU64(t *testing.T) {
+	f := func(v uint64) bool {
+		b := AppendU64(nil, v)
+		got, n, err := ReadU64(b, 0)
+		return err == nil && n == len(b) && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLEBBoundaryValues(t *testing.T) {
+	for _, v := range []uint32{0, 1, 127, 128, 16383, 16384, math.MaxUint32} {
+		b := AppendU32(nil, v)
+		got, _, err := ReadU32(b, 0)
+		if err != nil || got != v {
+			t.Errorf("u32 %d: got %d err %v", v, got, err)
+		}
+	}
+	for _, v := range []int32{0, -1, 63, 64, -64, -65, math.MinInt32, math.MaxInt32} {
+		b := AppendS32(nil, v)
+		got, _, err := ReadS32(b, 0)
+		if err != nil || got != v {
+			t.Errorf("s32 %d: got %d err %v", v, got, err)
+		}
+	}
+}
+
+func TestLEBTruncated(t *testing.T) {
+	if _, _, err := ReadU32([]byte{0x80, 0x80}, 0); err == nil {
+		t.Error("expected error for truncated LEB")
+	}
+	if _, _, err := ReadU32([]byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x01}, 0); err == nil {
+		t.Error("expected error for overlong LEB")
+	}
+}
+
+// buildTestModule constructs a representative module exercising every
+// section.
+func buildTestModule() *Module {
+	b := NewBuilder("test")
+	imp := b.ImportFunc("env", "host_add", []ValType{I32, I32}, []ValType{I32})
+	b.Memory(1, 4, false)
+	b.Table(4, 8)
+	g := b.GlobalI32(42, true)
+	b.GlobalI64(-7, false)
+	b.Data(16, []byte("hello"))
+
+	f := b.NewFunc("run", []ValType{I32}, []ValType{I32})
+	tmp := f.Local(I32)
+	f.LocalGet(0).I32Const(1).Op(OpI32Add).LocalSet(tmp)
+	f.LocalGet(tmp).I32Const(2).Call(imp).GlobalSet(g)
+	f.GlobalGet(g)
+	idx := f.Finish()
+	b.Elem(0, idx)
+	b.Export("memory", ExternMemory, 0)
+	return b.Module()
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	m := buildTestModule()
+	if err := Validate(m); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	enc := Encode(m)
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if err := Validate(dec); err != nil {
+		t.Fatalf("validate decoded: %v", err)
+	}
+	// Structural equality, ignoring Name (custom section dropped).
+	dec.Name = m.Name
+	if !reflect.DeepEqual(m.Types, dec.Types) {
+		t.Errorf("types differ: %v vs %v", m.Types, dec.Types)
+	}
+	if !reflect.DeepEqual(m.Imports, dec.Imports) {
+		t.Errorf("imports differ")
+	}
+	if !reflect.DeepEqual(m.Funcs, dec.Funcs) {
+		t.Errorf("funcs differ")
+	}
+	if !reflect.DeepEqual(m.Globals, dec.Globals) {
+		t.Errorf("globals differ")
+	}
+	if !reflect.DeepEqual(m.Exports, dec.Exports) {
+		t.Errorf("exports differ")
+	}
+	if !reflect.DeepEqual(m.Data, dec.Data) {
+		t.Errorf("data differs")
+	}
+	if !reflect.DeepEqual(m.Elems, dec.Elems) {
+		t.Errorf("elems differ")
+	}
+}
+
+// TestEncodeDecodeQuick is a property test: random small modules round-trip
+// through the codec.
+func TestEncodeDecodeQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(12345))
+	for i := 0; i < 200; i++ {
+		m := randomModule(rng)
+		enc := Encode(m)
+		dec, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("iteration %d: decode: %v", i, err)
+		}
+		enc2 := Encode(dec)
+		if !reflect.DeepEqual(enc, enc2) {
+			t.Fatalf("iteration %d: re-encode differs", i)
+		}
+	}
+}
+
+func randomModule(rng *rand.Rand) *Module {
+	b := NewBuilder("rand")
+	nImports := rng.Intn(3)
+	for i := 0; i < nImports; i++ {
+		b.ImportFunc("m", string(rune('a'+i)), randTypes(rng), randResults(rng))
+	}
+	b.Memory(uint32(rng.Intn(4)), int64(4+rng.Intn(4)), false)
+	nFuncs := 1 + rng.Intn(3)
+	for i := 0; i < nFuncs; i++ {
+		f := b.NewFunc("", nil, []ValType{I32})
+		f.I32Const(rng.Int31())
+		for j := rng.Intn(4); j > 0; j-- {
+			f.I32Const(rng.Int31()).Op(OpI32Xor)
+		}
+		f.Finish()
+	}
+	if rng.Intn(2) == 0 {
+		b.Data(uint32(rng.Intn(100)), []byte{1, 2, 3})
+	}
+	return b.Module()
+}
+
+func randTypes(rng *rand.Rand) []ValType {
+	all := []ValType{I32, I64, F32, F64}
+	n := rng.Intn(4)
+	out := make([]ValType, n)
+	for i := range out {
+		out[i] = all[rng.Intn(len(all))]
+	}
+	return out
+}
+
+func randResults(rng *rand.Rand) []ValType {
+	if rng.Intn(2) == 0 {
+		return nil
+	}
+	return []ValType{I32}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0x00},
+		{0x00, 0x61, 0x73, 0x6D}, // truncated magic
+		{0x00, 0x61, 0x73, 0x6D, 0x02, 0x00, 0x00, 0x00}, // bad version
+	}
+	for i, c := range cases {
+		if _, err := Decode(c); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	// Truncated section.
+	bad := append(append([]byte(nil), magic...), secType, 10)
+	if _, err := Decode(bad); err == nil {
+		t.Error("expected error for truncated section")
+	}
+}
+
+func TestDecodeRejectsOutOfOrderSections(t *testing.T) {
+	m := buildTestModule()
+	enc := Encode(m)
+	dec, err := Decode(enc)
+	if err != nil || dec == nil {
+		t.Fatalf("sanity: %v", err)
+	}
+	// Handcraft: memory section (5) before type section (1).
+	bad := append([]byte(nil), magic...)
+	bad = append(bad, secMemory, 3, 1, 0, 1)
+	bad = append(bad, secType, 1, 0)
+	if _, err := Decode(bad); err == nil {
+		t.Error("expected out-of-order section error")
+	}
+}
+
+func TestFuncTypeEqualAndKey(t *testing.T) {
+	a := FuncType{Params: []ValType{I32, I64}, Results: []ValType{F32}}
+	b := FuncType{Params: []ValType{I32, I64}, Results: []ValType{F32}}
+	c := FuncType{Params: []ValType{I32}, Results: []ValType{F32}}
+	if !a.Equal(b) || a.Key() != b.Key() {
+		t.Error("identical signatures must be equal")
+	}
+	if a.Equal(c) || a.Key() == c.Key() {
+		t.Error("different signatures must differ")
+	}
+}
+
+func TestModuleIndexSpaces(t *testing.T) {
+	m := buildTestModule()
+	if got := m.NumImportedFuncs(); got != 1 {
+		t.Fatalf("NumImportedFuncs = %d, want 1", got)
+	}
+	ft := m.FuncTypeAt(0) // import
+	if len(ft.Params) != 2 {
+		t.Errorf("import type params = %d, want 2", len(ft.Params))
+	}
+	ft = m.FuncTypeAt(1) // local func
+	if len(ft.Params) != 1 {
+		t.Errorf("func type params = %d, want 1", len(ft.Params))
+	}
+	if _, ok := m.ExportedFunc("run"); !ok {
+		t.Error("exported func 'run' not found")
+	}
+	if _, ok := m.ExportedFunc("nope"); ok {
+		t.Error("unexpected export")
+	}
+}

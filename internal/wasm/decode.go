@@ -1,0 +1,629 @@
+package wasm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Binary module decoder.
+
+// Section IDs in the binary format.
+const (
+	secCustom   = 0
+	secType     = 1
+	secImport   = 2
+	secFunction = 3
+	secTable    = 4
+	secMemory   = 5
+	secGlobal   = 6
+	secExport   = 7
+	secStart    = 8
+	secElement  = 9
+	secCode     = 10
+	secData     = 11
+	secDataCnt  = 12
+)
+
+var magic = []byte{0x00, 0x61, 0x73, 0x6D, 0x01, 0x00, 0x00, 0x00}
+
+// ErrBadMagic is returned when the module header is not "\0asm" version 1.
+var ErrBadMagic = errors.New("wasm: bad magic or version")
+
+type decoder struct {
+	b   []byte
+	off int
+}
+
+func (d *decoder) fail(format string, args ...any) error {
+	return fmt.Errorf("wasm: offset %d: %s", d.off, fmt.Sprintf(format, args...))
+}
+
+func (d *decoder) remaining() int { return len(d.b) - d.off }
+
+func (d *decoder) byte() (byte, error) {
+	if d.off >= len(d.b) {
+		return 0, d.fail("unexpected end of module")
+	}
+	c := d.b[d.off]
+	d.off++
+	return c, nil
+}
+
+func (d *decoder) u32() (uint32, error) {
+	v, n, err := ReadU32(d.b, d.off)
+	if err != nil {
+		return 0, d.fail("%v", err)
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *decoder) bytes(n uint32) ([]byte, error) {
+	if uint64(n) > uint64(d.remaining()) {
+		return nil, d.fail("length %d exceeds remaining input", n)
+	}
+	s := d.b[d.off : d.off+int(n)]
+	d.off += int(n)
+	return s, nil
+}
+
+func (d *decoder) name() (string, error) {
+	n, err := d.u32()
+	if err != nil {
+		return "", err
+	}
+	s, err := d.bytes(n)
+	if err != nil {
+		return "", err
+	}
+	return string(s), nil
+}
+
+func (d *decoder) valType() (ValType, error) {
+	c, err := d.byte()
+	if err != nil {
+		return 0, err
+	}
+	v := ValType(c)
+	if !v.IsNum() && v != FuncRef {
+		return 0, d.fail("invalid value type 0x%02x", c)
+	}
+	return v, nil
+}
+
+func (d *decoder) limits(allowShared bool) (Limits, error) {
+	var l Limits
+	flags, err := d.byte()
+	if err != nil {
+		return l, err
+	}
+	switch flags {
+	case 0x00:
+	case 0x01:
+		l.HasMax = true
+	case 0x03:
+		if !allowShared {
+			return l, d.fail("shared flag not allowed here")
+		}
+		l.HasMax = true
+		l.Shared = true
+	default:
+		return l, d.fail("invalid limits flags 0x%02x", flags)
+	}
+	if l.Min, err = d.u32(); err != nil {
+		return l, err
+	}
+	if l.HasMax {
+		if l.Max, err = d.u32(); err != nil {
+			return l, err
+		}
+		if l.Max < l.Min {
+			return l, d.fail("limits max %d < min %d", l.Max, l.Min)
+		}
+	}
+	return l, nil
+}
+
+func (d *decoder) globalType() (GlobalType, error) {
+	var g GlobalType
+	v, err := d.valType()
+	if err != nil {
+		return g, err
+	}
+	g.Type = v
+	mut, err := d.byte()
+	if err != nil {
+		return g, err
+	}
+	switch mut {
+	case 0:
+	case 1:
+		g.Mutable = true
+	default:
+		return g, d.fail("invalid mutability 0x%02x", mut)
+	}
+	return g, nil
+}
+
+// constExpr consumes a constant initializer expression up to and including
+// the End opcode and returns the raw bytes (End included).
+func (d *decoder) constExpr() ([]byte, error) {
+	start := d.off
+	for {
+		op, err := d.byte()
+		if err != nil {
+			return nil, err
+		}
+		switch op {
+		case OpEnd:
+			return d.b[start:d.off], nil
+		case OpI32Const:
+			if _, n, err := ReadS32(d.b, d.off); err != nil {
+				return nil, d.fail("%v", err)
+			} else {
+				d.off += n
+			}
+		case OpI64Const:
+			if _, n, err := ReadS64(d.b, d.off); err != nil {
+				return nil, d.fail("%v", err)
+			} else {
+				d.off += n
+			}
+		case OpF32Const:
+			if _, err := d.bytes(4); err != nil {
+				return nil, err
+			}
+		case OpF64Const:
+			if _, err := d.bytes(8); err != nil {
+				return nil, err
+			}
+		case OpGlobalGet:
+			if _, err := d.u32(); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, d.fail("opcode 0x%02x not allowed in constant expression", op)
+		}
+	}
+}
+
+// Decode parses a binary module. The result is structurally sound but not
+// yet validated; call Validate before instantiating.
+func Decode(b []byte) (*Module, error) {
+	if len(b) < len(magic) {
+		return nil, ErrBadMagic
+	}
+	for i, c := range magic {
+		if b[i] != c {
+			return nil, ErrBadMagic
+		}
+	}
+	d := &decoder{b: b, off: len(magic)}
+	m := &Module{}
+	lastSec := -1
+	for d.remaining() > 0 {
+		id, err := d.byte()
+		if err != nil {
+			return nil, err
+		}
+		size, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		body, err := d.bytes(size)
+		if err != nil {
+			return nil, err
+		}
+		if id != secCustom {
+			if int(id) <= lastSec {
+				return nil, fmt.Errorf("wasm: section %d out of order", id)
+			}
+			lastSec = int(id)
+		}
+		sd := &decoder{b: body}
+		switch id {
+		case secCustom:
+			if err := decodeCustom(m, sd); err != nil {
+				return nil, err
+			}
+		case secType:
+			err = decodeTypes(m, sd)
+		case secImport:
+			err = decodeImports(m, sd)
+		case secFunction:
+			err = decodeFuncDecls(m, sd)
+		case secTable:
+			err = decodeTables(m, sd)
+		case secMemory:
+			err = decodeMemories(m, sd)
+		case secGlobal:
+			err = decodeGlobals(m, sd)
+		case secExport:
+			err = decodeExports(m, sd)
+		case secStart:
+			var idx uint32
+			if idx, err = sd.u32(); err == nil {
+				m.Start = &idx
+			}
+		case secElement:
+			err = decodeElems(m, sd)
+		case secCode:
+			err = decodeCode(m, sd)
+		case secData:
+			err = decodeData(m, sd)
+		case secDataCnt:
+			_, err = sd.u32() // accepted, unused
+		default:
+			return nil, fmt.Errorf("wasm: unknown section id %d", id)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if id != secCustom && sd.remaining() != 0 {
+			return nil, fmt.Errorf("wasm: section %d has %d trailing bytes", id, sd.remaining())
+		}
+	}
+	if err := checkCodeDeclMatch(m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// funcDecls carries declared type indices between the function and code
+// sections during decoding; stored temporarily on the module.
+var errCodeMismatch = errors.New("wasm: function and code section counts differ")
+
+func checkCodeDeclMatch(m *Module) error {
+	for _, f := range m.Funcs {
+		if f.Body == nil {
+			return errCodeMismatch
+		}
+	}
+	return nil
+}
+
+func decodeCustom(m *Module, d *decoder) error {
+	name, err := d.name()
+	if err != nil {
+		return err
+	}
+	if name == "name" && d.remaining() > 0 {
+		// Best-effort parse of the module-name subsection only.
+		sub, err := d.byte()
+		if err != nil {
+			return nil
+		}
+		size, err := d.u32()
+		if err != nil || int(size) > d.remaining() {
+			return nil
+		}
+		if sub == 0 {
+			if n, err := d.name(); err == nil {
+				m.Name = n
+			}
+		}
+	}
+	return nil
+}
+
+func decodeTypes(m *Module, d *decoder) error {
+	count, err := d.u32()
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < count; i++ {
+		form, err := d.byte()
+		if err != nil {
+			return err
+		}
+		if form != 0x60 {
+			return d.fail("invalid functype form 0x%02x", form)
+		}
+		var ft FuncType
+		np, err := d.u32()
+		if err != nil {
+			return err
+		}
+		for j := uint32(0); j < np; j++ {
+			v, err := d.valType()
+			if err != nil {
+				return err
+			}
+			if !v.IsNum() {
+				return d.fail("funcref not allowed as parameter type")
+			}
+			ft.Params = append(ft.Params, v)
+		}
+		nr, err := d.u32()
+		if err != nil {
+			return err
+		}
+		for j := uint32(0); j < nr; j++ {
+			v, err := d.valType()
+			if err != nil {
+				return err
+			}
+			if !v.IsNum() {
+				return d.fail("funcref not allowed as result type")
+			}
+			ft.Results = append(ft.Results, v)
+		}
+		if len(ft.Results) > 1 {
+			return d.fail("multi-value results not supported")
+		}
+		m.Types = append(m.Types, ft)
+	}
+	return nil
+}
+
+func decodeImports(m *Module, d *decoder) error {
+	count, err := d.u32()
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < count; i++ {
+		var im Import
+		if im.Module, err = d.name(); err != nil {
+			return err
+		}
+		if im.Name, err = d.name(); err != nil {
+			return err
+		}
+		kind, err := d.byte()
+		if err != nil {
+			return err
+		}
+		im.Kind = ExternKind(kind)
+		switch im.Kind {
+		case ExternFunc:
+			if im.TypeIdx, err = d.u32(); err != nil {
+				return err
+			}
+		case ExternTable:
+			et, err := d.byte()
+			if err != nil {
+				return err
+			}
+			if ValType(et) != FuncRef {
+				return d.fail("invalid table element type 0x%02x", et)
+			}
+			if im.Table, err = d.limits(false); err != nil {
+				return err
+			}
+		case ExternMemory:
+			if im.Mem, err = d.limits(true); err != nil {
+				return err
+			}
+		case ExternGlobal:
+			if im.Global, err = d.globalType(); err != nil {
+				return err
+			}
+		default:
+			return d.fail("invalid import kind %d", kind)
+		}
+		m.Imports = append(m.Imports, im)
+	}
+	return nil
+}
+
+func decodeFuncDecls(m *Module, d *decoder) error {
+	count, err := d.u32()
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < count; i++ {
+		ti, err := d.u32()
+		if err != nil {
+			return err
+		}
+		m.Funcs = append(m.Funcs, Func{TypeIdx: ti})
+	}
+	return nil
+}
+
+func decodeTables(m *Module, d *decoder) error {
+	count, err := d.u32()
+	if err != nil {
+		return err
+	}
+	if count > 1 {
+		return d.fail("at most one table allowed")
+	}
+	for i := uint32(0); i < count; i++ {
+		et, err := d.byte()
+		if err != nil {
+			return err
+		}
+		if ValType(et) != FuncRef {
+			return d.fail("invalid table element type 0x%02x", et)
+		}
+		l, err := d.limits(false)
+		if err != nil {
+			return err
+		}
+		m.Table = &l
+	}
+	return nil
+}
+
+func decodeMemories(m *Module, d *decoder) error {
+	count, err := d.u32()
+	if err != nil {
+		return err
+	}
+	if count > 1 {
+		return d.fail("at most one memory allowed")
+	}
+	for i := uint32(0); i < count; i++ {
+		l, err := d.limits(true)
+		if err != nil {
+			return err
+		}
+		m.Mem = &l
+	}
+	return nil
+}
+
+func decodeGlobals(m *Module, d *decoder) error {
+	count, err := d.u32()
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < count; i++ {
+		gt, err := d.globalType()
+		if err != nil {
+			return err
+		}
+		expr, err := d.constExpr()
+		if err != nil {
+			return err
+		}
+		m.Globals = append(m.Globals, Global{Type: gt, Init: expr})
+	}
+	return nil
+}
+
+func decodeExports(m *Module, d *decoder) error {
+	count, err := d.u32()
+	if err != nil {
+		return err
+	}
+	seen := make(map[string]bool, count)
+	for i := uint32(0); i < count; i++ {
+		var e Export
+		if e.Name, err = d.name(); err != nil {
+			return err
+		}
+		if seen[e.Name] {
+			return d.fail("duplicate export %q", e.Name)
+		}
+		seen[e.Name] = true
+		kind, err := d.byte()
+		if err != nil {
+			return err
+		}
+		e.Kind = ExternKind(kind)
+		if e.Kind > ExternGlobal {
+			return d.fail("invalid export kind %d", kind)
+		}
+		if e.Index, err = d.u32(); err != nil {
+			return err
+		}
+		m.Exports = append(m.Exports, e)
+	}
+	return nil
+}
+
+func decodeElems(m *Module, d *decoder) error {
+	count, err := d.u32()
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < count; i++ {
+		flags, err := d.u32()
+		if err != nil {
+			return err
+		}
+		if flags != 0 {
+			return d.fail("only active funcref element segments supported (flags=%d)", flags)
+		}
+		var seg ElemSegment
+		if seg.Offset, err = d.constExpr(); err != nil {
+			return err
+		}
+		n, err := d.u32()
+		if err != nil {
+			return err
+		}
+		for j := uint32(0); j < n; j++ {
+			fi, err := d.u32()
+			if err != nil {
+				return err
+			}
+			seg.Funcs = append(seg.Funcs, fi)
+		}
+		m.Elems = append(m.Elems, seg)
+	}
+	return nil
+}
+
+func decodeCode(m *Module, d *decoder) error {
+	count, err := d.u32()
+	if err != nil {
+		return err
+	}
+	if int(count) != len(m.Funcs) {
+		return errCodeMismatch
+	}
+	for i := uint32(0); i < count; i++ {
+		size, err := d.u32()
+		if err != nil {
+			return err
+		}
+		body, err := d.bytes(size)
+		if err != nil {
+			return err
+		}
+		fd := &decoder{b: body}
+		nGroups, err := fd.u32()
+		if err != nil {
+			return err
+		}
+		var locals []ValType
+		total := 0
+		for j := uint32(0); j < nGroups; j++ {
+			n, err := fd.u32()
+			if err != nil {
+				return err
+			}
+			vt, err := fd.valType()
+			if err != nil {
+				return err
+			}
+			total += int(n)
+			if total > 1_000_000 {
+				return fd.fail("too many locals")
+			}
+			for k := uint32(0); k < n; k++ {
+				locals = append(locals, vt)
+			}
+		}
+		m.Funcs[i].Locals = locals
+		m.Funcs[i].Body = body[fd.off:]
+		if len(m.Funcs[i].Body) == 0 || m.Funcs[i].Body[len(m.Funcs[i].Body)-1] != OpEnd {
+			return fd.fail("function body must end with end opcode")
+		}
+	}
+	return nil
+}
+
+func decodeData(m *Module, d *decoder) error {
+	count, err := d.u32()
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < count; i++ {
+		flags, err := d.u32()
+		if err != nil {
+			return err
+		}
+		if flags != 0 {
+			return d.fail("only active data segments for memory 0 supported (flags=%d)", flags)
+		}
+		var seg DataSegment
+		if seg.Offset, err = d.constExpr(); err != nil {
+			return err
+		}
+		n, err := d.u32()
+		if err != nil {
+			return err
+		}
+		b, err := d.bytes(n)
+		if err != nil {
+			return err
+		}
+		seg.Init = append([]byte(nil), b...)
+		m.Data = append(m.Data, seg)
+	}
+	return nil
+}

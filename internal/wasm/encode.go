@@ -1,0 +1,194 @@
+package wasm
+
+// Binary module encoder. Encode(Decode(b)) is not guaranteed byte-identical
+// to b (custom sections are dropped), but Decode(Encode(m)) round-trips the
+// Module structure — a property test in codec_test.go checks this.
+
+func appendName(dst []byte, s string) []byte {
+	dst = AppendU32(dst, uint32(len(s)))
+	return append(dst, s...)
+}
+
+func appendLimits(dst []byte, l Limits) []byte {
+	switch {
+	case l.Shared:
+		dst = append(dst, 0x03)
+	case l.HasMax:
+		dst = append(dst, 0x01)
+	default:
+		dst = append(dst, 0x00)
+	}
+	dst = AppendU32(dst, l.Min)
+	if l.HasMax {
+		dst = AppendU32(dst, l.Max)
+	}
+	return dst
+}
+
+func appendSection(dst []byte, id byte, body []byte) []byte {
+	if body == nil {
+		return dst
+	}
+	dst = append(dst, id)
+	dst = AppendU32(dst, uint32(len(body)))
+	return append(dst, body...)
+}
+
+// Encode serializes m into the binary format.
+func Encode(m *Module) []byte {
+	out := append([]byte(nil), magic...)
+
+	if len(m.Types) > 0 {
+		var b []byte
+		b = AppendU32(b, uint32(len(m.Types)))
+		for _, t := range m.Types {
+			b = append(b, 0x60)
+			b = AppendU32(b, uint32(len(t.Params)))
+			for _, p := range t.Params {
+				b = append(b, byte(p))
+			}
+			b = AppendU32(b, uint32(len(t.Results)))
+			for _, r := range t.Results {
+				b = append(b, byte(r))
+			}
+		}
+		out = appendSection(out, secType, b)
+	}
+
+	if len(m.Imports) > 0 {
+		var b []byte
+		b = AppendU32(b, uint32(len(m.Imports)))
+		for _, im := range m.Imports {
+			b = appendName(b, im.Module)
+			b = appendName(b, im.Name)
+			b = append(b, byte(im.Kind))
+			switch im.Kind {
+			case ExternFunc:
+				b = AppendU32(b, im.TypeIdx)
+			case ExternTable:
+				b = append(b, byte(FuncRef))
+				b = appendLimits(b, im.Table)
+			case ExternMemory:
+				b = appendLimits(b, im.Mem)
+			case ExternGlobal:
+				b = append(b, byte(im.Global.Type))
+				if im.Global.Mutable {
+					b = append(b, 1)
+				} else {
+					b = append(b, 0)
+				}
+			}
+		}
+		out = appendSection(out, secImport, b)
+	}
+
+	if len(m.Funcs) > 0 {
+		var b []byte
+		b = AppendU32(b, uint32(len(m.Funcs)))
+		for _, f := range m.Funcs {
+			b = AppendU32(b, f.TypeIdx)
+		}
+		out = appendSection(out, secFunction, b)
+	}
+
+	if m.Table != nil {
+		var b []byte
+		b = AppendU32(b, 1)
+		b = append(b, byte(FuncRef))
+		b = appendLimits(b, *m.Table)
+		out = appendSection(out, secTable, b)
+	}
+
+	if m.Mem != nil {
+		var b []byte
+		b = AppendU32(b, 1)
+		b = appendLimits(b, *m.Mem)
+		out = appendSection(out, secMemory, b)
+	}
+
+	if len(m.Globals) > 0 {
+		var b []byte
+		b = AppendU32(b, uint32(len(m.Globals)))
+		for _, g := range m.Globals {
+			b = append(b, byte(g.Type.Type))
+			if g.Type.Mutable {
+				b = append(b, 1)
+			} else {
+				b = append(b, 0)
+			}
+			b = append(b, g.Init...)
+		}
+		out = appendSection(out, secGlobal, b)
+	}
+
+	if len(m.Exports) > 0 {
+		var b []byte
+		b = AppendU32(b, uint32(len(m.Exports)))
+		for _, e := range m.Exports {
+			b = appendName(b, e.Name)
+			b = append(b, byte(e.Kind))
+			b = AppendU32(b, e.Index)
+		}
+		out = appendSection(out, secExport, b)
+	}
+
+	if m.Start != nil {
+		var b []byte
+		b = AppendU32(b, *m.Start)
+		out = appendSection(out, secStart, b)
+	}
+
+	if len(m.Elems) > 0 {
+		var b []byte
+		b = AppendU32(b, uint32(len(m.Elems)))
+		for _, seg := range m.Elems {
+			b = AppendU32(b, 0)
+			b = append(b, seg.Offset...)
+			b = AppendU32(b, uint32(len(seg.Funcs)))
+			for _, fi := range seg.Funcs {
+				b = AppendU32(b, fi)
+			}
+		}
+		out = appendSection(out, secElement, b)
+	}
+
+	if len(m.Funcs) > 0 {
+		var b []byte
+		b = AppendU32(b, uint32(len(m.Funcs)))
+		for _, f := range m.Funcs {
+			var fb []byte
+			// Run-length compress locals.
+			var groups [][2]uint32 // count, type
+			for _, l := range f.Locals {
+				if len(groups) > 0 && groups[len(groups)-1][1] == uint32(l) {
+					groups[len(groups)-1][0]++
+				} else {
+					groups = append(groups, [2]uint32{1, uint32(l)})
+				}
+			}
+			fb = AppendU32(fb, uint32(len(groups)))
+			for _, g := range groups {
+				fb = AppendU32(fb, g[0])
+				fb = append(fb, byte(g[1]))
+			}
+			fb = append(fb, f.Body...)
+			b = AppendU32(b, uint32(len(fb)))
+			b = append(b, fb...)
+		}
+		out = appendSection(out, secCode, b)
+	}
+
+	if len(m.Data) > 0 {
+		var b []byte
+		b = AppendU32(b, uint32(len(m.Data)))
+		for _, seg := range m.Data {
+			b = AppendU32(b, 0)
+			b = append(b, seg.Offset...)
+			b = AppendU32(b, uint32(len(seg.Init)))
+			b = append(b, seg.Init...)
+		}
+		out = appendSection(out, secData, b)
+	}
+
+	return out
+}

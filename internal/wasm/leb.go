@@ -1,0 +1,197 @@
+package wasm
+
+import (
+	"errors"
+	"math"
+)
+
+// LEB128 encoding and decoding used by both the binary codec and the
+// interpreter's inline immediate readers.
+
+var (
+	errLEBOverflow  = errors.New("wasm: integer representation too long")
+	errLEBTruncated = errors.New("wasm: unexpected end of LEB128 integer")
+)
+
+// ReadU32 decodes an unsigned LEB128 32-bit integer from b starting at off,
+// returning the value and the number of bytes consumed.
+func ReadU32(b []byte, off int) (uint32, int, error) {
+	var result uint32
+	var shift uint
+	for n := 0; n < 5; n++ {
+		if off+n >= len(b) {
+			return 0, 0, errLEBTruncated
+		}
+		c := b[off+n]
+		result |= uint32(c&0x7F) << shift
+		if c&0x80 == 0 {
+			if n == 4 && c > 0x0F {
+				return 0, 0, errLEBOverflow
+			}
+			return result, n + 1, nil
+		}
+		shift += 7
+	}
+	return 0, 0, errLEBOverflow
+}
+
+// ReadU64 decodes an unsigned LEB128 64-bit integer.
+func ReadU64(b []byte, off int) (uint64, int, error) {
+	var result uint64
+	var shift uint
+	for n := 0; n < 10; n++ {
+		if off+n >= len(b) {
+			return 0, 0, errLEBTruncated
+		}
+		c := b[off+n]
+		result |= uint64(c&0x7F) << shift
+		if c&0x80 == 0 {
+			if n == 9 && c > 0x01 {
+				return 0, 0, errLEBOverflow
+			}
+			return result, n + 1, nil
+		}
+		shift += 7
+	}
+	return 0, 0, errLEBOverflow
+}
+
+// ReadS32 decodes a signed LEB128 32-bit integer.
+func ReadS32(b []byte, off int) (int32, int, error) {
+	var result int32
+	var shift uint
+	for n := 0; n < 5; n++ {
+		if off+n >= len(b) {
+			return 0, 0, errLEBTruncated
+		}
+		c := b[off+n]
+		result |= int32(c&0x7F) << shift
+		shift += 7
+		if c&0x80 == 0 {
+			if shift < 32 && c&0x40 != 0 {
+				result |= -1 << shift
+			}
+			return result, n + 1, nil
+		}
+	}
+	return 0, 0, errLEBOverflow
+}
+
+// ReadS64 decodes a signed LEB128 64-bit integer.
+func ReadS64(b []byte, off int) (int64, int, error) {
+	var result int64
+	var shift uint
+	for n := 0; n < 10; n++ {
+		if off+n >= len(b) {
+			return 0, 0, errLEBTruncated
+		}
+		c := b[off+n]
+		result |= int64(c&0x7F) << shift
+		shift += 7
+		if c&0x80 == 0 {
+			if shift < 64 && c&0x40 != 0 {
+				result |= -1 << shift
+			}
+			return result, n + 1, nil
+		}
+	}
+	return 0, 0, errLEBOverflow
+}
+
+// ReadS33 decodes the signed 33-bit block type integer. A negative result
+// encodes a value type or the empty marker; a non-negative result is a type
+// index (multi-value block types, accepted for forward compatibility).
+func ReadS33(b []byte, off int) (int64, int, error) {
+	var result int64
+	var shift uint
+	for n := 0; n < 5; n++ {
+		if off+n >= len(b) {
+			return 0, 0, errLEBTruncated
+		}
+		c := b[off+n]
+		result |= int64(c&0x7F) << shift
+		shift += 7
+		if c&0x80 == 0 {
+			if shift < 64 && c&0x40 != 0 {
+				result |= -1 << shift
+			}
+			return result, n + 1, nil
+		}
+	}
+	return 0, 0, errLEBOverflow
+}
+
+// AppendU32 appends v as unsigned LEB128.
+func AppendU32(dst []byte, v uint32) []byte {
+	for {
+		c := byte(v & 0x7F)
+		v >>= 7
+		if v != 0 {
+			c |= 0x80
+		}
+		dst = append(dst, c)
+		if v == 0 {
+			return dst
+		}
+	}
+}
+
+// AppendU64 appends v as unsigned LEB128.
+func AppendU64(dst []byte, v uint64) []byte {
+	for {
+		c := byte(v & 0x7F)
+		v >>= 7
+		if v != 0 {
+			c |= 0x80
+		}
+		dst = append(dst, c)
+		if v == 0 {
+			return dst
+		}
+	}
+}
+
+// AppendS32 appends v as signed LEB128.
+func AppendS32(dst []byte, v int32) []byte {
+	for {
+		c := byte(v & 0x7F)
+		v >>= 7
+		last := (v == 0 && c&0x40 == 0) || (v == -1 && c&0x40 != 0)
+		if !last {
+			c |= 0x80
+		}
+		dst = append(dst, c)
+		if last {
+			return dst
+		}
+	}
+}
+
+// AppendS64 appends v as signed LEB128.
+func AppendS64(dst []byte, v int64) []byte {
+	for {
+		c := byte(v & 0x7F)
+		v >>= 7
+		last := (v == 0 && c&0x40 == 0) || (v == -1 && c&0x40 != 0)
+		if !last {
+			c |= 0x80
+		}
+		dst = append(dst, c)
+		if last {
+			return dst
+		}
+	}
+}
+
+// AppendF32 appends the IEEE-754 little-endian encoding of f.
+func AppendF32(dst []byte, f float32) []byte {
+	v := math.Float32bits(f)
+	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+// AppendF64 appends the IEEE-754 little-endian encoding of f.
+func AppendF64(dst []byte, f float64) []byte {
+	v := math.Float64bits(f)
+	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}

@@ -1,0 +1,264 @@
+package wasm
+
+// Opcode is a single-byte WebAssembly opcode. Multi-byte (0xFC-prefixed)
+// instructions are represented by OpPrefixFC followed by a LEB sub-opcode.
+type Opcode = byte
+
+// Control instructions.
+const (
+	OpUnreachable  Opcode = 0x00
+	OpNop          Opcode = 0x01
+	OpBlock        Opcode = 0x02
+	OpLoop         Opcode = 0x03
+	OpIf           Opcode = 0x04
+	OpElse         Opcode = 0x05
+	OpEnd          Opcode = 0x0B
+	OpBr           Opcode = 0x0C
+	OpBrIf         Opcode = 0x0D
+	OpBrTable      Opcode = 0x0E
+	OpReturn       Opcode = 0x0F
+	OpCall         Opcode = 0x10
+	OpCallIndirect Opcode = 0x11
+)
+
+// Parametric instructions.
+const (
+	OpDrop   Opcode = 0x1A
+	OpSelect Opcode = 0x1B
+)
+
+// Variable instructions.
+const (
+	OpLocalGet  Opcode = 0x20
+	OpLocalSet  Opcode = 0x21
+	OpLocalTee  Opcode = 0x22
+	OpGlobalGet Opcode = 0x23
+	OpGlobalSet Opcode = 0x24
+)
+
+// Memory instructions.
+const (
+	OpI32Load    Opcode = 0x28
+	OpI64Load    Opcode = 0x29
+	OpF32Load    Opcode = 0x2A
+	OpF64Load    Opcode = 0x2B
+	OpI32Load8S  Opcode = 0x2C
+	OpI32Load8U  Opcode = 0x2D
+	OpI32Load16S Opcode = 0x2E
+	OpI32Load16U Opcode = 0x2F
+	OpI64Load8S  Opcode = 0x30
+	OpI64Load8U  Opcode = 0x31
+	OpI64Load16S Opcode = 0x32
+	OpI64Load16U Opcode = 0x33
+	OpI64Load32S Opcode = 0x34
+	OpI64Load32U Opcode = 0x35
+	OpI32Store   Opcode = 0x36
+	OpI64Store   Opcode = 0x37
+	OpF32Store   Opcode = 0x38
+	OpF64Store   Opcode = 0x39
+	OpI32Store8  Opcode = 0x3A
+	OpI32Store16 Opcode = 0x3B
+	OpI64Store8  Opcode = 0x3C
+	OpI64Store16 Opcode = 0x3D
+	OpI64Store32 Opcode = 0x3E
+	OpMemorySize Opcode = 0x3F
+	OpMemoryGrow Opcode = 0x40
+)
+
+// Numeric constant instructions.
+const (
+	OpI32Const Opcode = 0x41
+	OpI64Const Opcode = 0x42
+	OpF32Const Opcode = 0x43
+	OpF64Const Opcode = 0x44
+)
+
+// i32 comparison.
+const (
+	OpI32Eqz Opcode = 0x45
+	OpI32Eq  Opcode = 0x46
+	OpI32Ne  Opcode = 0x47
+	OpI32LtS Opcode = 0x48
+	OpI32LtU Opcode = 0x49
+	OpI32GtS Opcode = 0x4A
+	OpI32GtU Opcode = 0x4B
+	OpI32LeS Opcode = 0x4C
+	OpI32LeU Opcode = 0x4D
+	OpI32GeS Opcode = 0x4E
+	OpI32GeU Opcode = 0x4F
+)
+
+// i64 comparison.
+const (
+	OpI64Eqz Opcode = 0x50
+	OpI64Eq  Opcode = 0x51
+	OpI64Ne  Opcode = 0x52
+	OpI64LtS Opcode = 0x53
+	OpI64LtU Opcode = 0x54
+	OpI64GtS Opcode = 0x55
+	OpI64GtU Opcode = 0x56
+	OpI64LeS Opcode = 0x57
+	OpI64LeU Opcode = 0x58
+	OpI64GeS Opcode = 0x59
+	OpI64GeU Opcode = 0x5A
+)
+
+// f32 comparison.
+const (
+	OpF32Eq Opcode = 0x5B
+	OpF32Ne Opcode = 0x5C
+	OpF32Lt Opcode = 0x5D
+	OpF32Gt Opcode = 0x5E
+	OpF32Le Opcode = 0x5F
+	OpF32Ge Opcode = 0x60
+)
+
+// f64 comparison.
+const (
+	OpF64Eq Opcode = 0x61
+	OpF64Ne Opcode = 0x62
+	OpF64Lt Opcode = 0x63
+	OpF64Gt Opcode = 0x64
+	OpF64Le Opcode = 0x65
+	OpF64Ge Opcode = 0x66
+)
+
+// i32 arithmetic.
+const (
+	OpI32Clz    Opcode = 0x67
+	OpI32Ctz    Opcode = 0x68
+	OpI32Popcnt Opcode = 0x69
+	OpI32Add    Opcode = 0x6A
+	OpI32Sub    Opcode = 0x6B
+	OpI32Mul    Opcode = 0x6C
+	OpI32DivS   Opcode = 0x6D
+	OpI32DivU   Opcode = 0x6E
+	OpI32RemS   Opcode = 0x6F
+	OpI32RemU   Opcode = 0x70
+	OpI32And    Opcode = 0x71
+	OpI32Or     Opcode = 0x72
+	OpI32Xor    Opcode = 0x73
+	OpI32Shl    Opcode = 0x74
+	OpI32ShrS   Opcode = 0x75
+	OpI32ShrU   Opcode = 0x76
+	OpI32Rotl   Opcode = 0x77
+	OpI32Rotr   Opcode = 0x78
+)
+
+// i64 arithmetic.
+const (
+	OpI64Clz    Opcode = 0x79
+	OpI64Ctz    Opcode = 0x7A
+	OpI64Popcnt Opcode = 0x7B
+	OpI64Add    Opcode = 0x7C
+	OpI64Sub    Opcode = 0x7D
+	OpI64Mul    Opcode = 0x7E
+	OpI64DivS   Opcode = 0x7F
+	OpI64DivU   Opcode = 0x80
+	OpI64RemS   Opcode = 0x81
+	OpI64RemU   Opcode = 0x82
+	OpI64And    Opcode = 0x83
+	OpI64Or     Opcode = 0x84
+	OpI64Xor    Opcode = 0x85
+	OpI64Shl    Opcode = 0x86
+	OpI64ShrS   Opcode = 0x87
+	OpI64ShrU   Opcode = 0x88
+	OpI64Rotl   Opcode = 0x89
+	OpI64Rotr   Opcode = 0x8A
+)
+
+// f32 arithmetic.
+const (
+	OpF32Abs      Opcode = 0x8B
+	OpF32Neg      Opcode = 0x8C
+	OpF32Ceil     Opcode = 0x8D
+	OpF32Floor    Opcode = 0x8E
+	OpF32Trunc    Opcode = 0x8F
+	OpF32Nearest  Opcode = 0x90
+	OpF32Sqrt     Opcode = 0x91
+	OpF32Add      Opcode = 0x92
+	OpF32Sub      Opcode = 0x93
+	OpF32Mul      Opcode = 0x94
+	OpF32Div      Opcode = 0x95
+	OpF32Min      Opcode = 0x96
+	OpF32Max      Opcode = 0x97
+	OpF32Copysign Opcode = 0x98
+)
+
+// f64 arithmetic.
+const (
+	OpF64Abs      Opcode = 0x99
+	OpF64Neg      Opcode = 0x9A
+	OpF64Ceil     Opcode = 0x9B
+	OpF64Floor    Opcode = 0x9C
+	OpF64Trunc    Opcode = 0x9D
+	OpF64Nearest  Opcode = 0x9E
+	OpF64Sqrt     Opcode = 0x9F
+	OpF64Add      Opcode = 0xA0
+	OpF64Sub      Opcode = 0xA1
+	OpF64Mul      Opcode = 0xA2
+	OpF64Div      Opcode = 0xA3
+	OpF64Min      Opcode = 0xA4
+	OpF64Max      Opcode = 0xA5
+	OpF64Copysign Opcode = 0xA6
+)
+
+// Conversions.
+const (
+	OpI32WrapI64        Opcode = 0xA7
+	OpI32TruncF32S      Opcode = 0xA8
+	OpI32TruncF32U      Opcode = 0xA9
+	OpI32TruncF64S      Opcode = 0xAA
+	OpI32TruncF64U      Opcode = 0xAB
+	OpI64ExtendI32S     Opcode = 0xAC
+	OpI64ExtendI32U     Opcode = 0xAD
+	OpI64TruncF32S      Opcode = 0xAE
+	OpI64TruncF32U      Opcode = 0xAF
+	OpI64TruncF64S      Opcode = 0xB0
+	OpI64TruncF64U      Opcode = 0xB1
+	OpF32ConvertI32S    Opcode = 0xB2
+	OpF32ConvertI32U    Opcode = 0xB3
+	OpF32ConvertI64S    Opcode = 0xB4
+	OpF32ConvertI64U    Opcode = 0xB5
+	OpF32DemoteF64      Opcode = 0xB6
+	OpF64ConvertI32S    Opcode = 0xB7
+	OpF64ConvertI32U    Opcode = 0xB8
+	OpF64ConvertI64S    Opcode = 0xB9
+	OpF64ConvertI64U    Opcode = 0xBA
+	OpF64PromoteF32     Opcode = 0xBB
+	OpI32ReinterpretF32 Opcode = 0xBC
+	OpI64ReinterpretF64 Opcode = 0xBD
+	OpF32ReinterpretI32 Opcode = 0xBE
+	OpF64ReinterpretI64 Opcode = 0xBF
+)
+
+// Sign-extension operators.
+const (
+	OpI32Extend8S  Opcode = 0xC0
+	OpI32Extend16S Opcode = 0xC1
+	OpI64Extend8S  Opcode = 0xC2
+	OpI64Extend16S Opcode = 0xC3
+	OpI64Extend32S Opcode = 0xC4
+)
+
+// OpPrefixFC introduces the multi-byte instruction space: saturating
+// truncations (sub-opcodes 0-7) and bulk memory (memory.copy=10,
+// memory.fill=11).
+const OpPrefixFC Opcode = 0xFC
+
+// 0xFC sub-opcodes.
+const (
+	FCI32TruncSatF32S uint32 = 0
+	FCI32TruncSatF32U uint32 = 1
+	FCI32TruncSatF64S uint32 = 2
+	FCI32TruncSatF64U uint32 = 3
+	FCI64TruncSatF32S uint32 = 4
+	FCI64TruncSatF32U uint32 = 5
+	FCI64TruncSatF64S uint32 = 6
+	FCI64TruncSatF64U uint32 = 7
+	FCMemoryCopy      uint32 = 10
+	FCMemoryFill      uint32 = 11
+)
+
+// BlockTypeEmpty is the block type byte for blocks with no result.
+const BlockTypeEmpty byte = 0x40

@@ -1,0 +1,287 @@
+// Package wasm models the WebAssembly MVP binary format: the module
+// structure, its binary encoding and decoding, and a validator.
+//
+// The package is the toolchain substrate for the WALI reproduction: modules
+// are either decoded from .wasm bytes or constructed programmatically with
+// the Builder (see builder.go), then validated and handed to the interpreter
+// in internal/interp.
+//
+// Supported feature set: the Wasm 1.0 core spec plus the sign-extension
+// operators, saturating float-to-int truncations, and the memory.copy /
+// memory.fill bulk-memory instructions. Shared memories (the threads
+// proposal's flag) are accepted so instance-per-thread processes can share a
+// linear memory.
+package wasm
+
+import "fmt"
+
+// ValType is a WebAssembly value type, encoded as in the binary format.
+type ValType byte
+
+// Value types. FuncRef appears only as a table element type.
+const (
+	I32     ValType = 0x7F
+	I64     ValType = 0x7E
+	F32     ValType = 0x7D
+	F64     ValType = 0x7C
+	FuncRef ValType = 0x70
+)
+
+// String returns the textual-format name of the value type.
+func (v ValType) String() string {
+	switch v {
+	case I32:
+		return "i32"
+	case I64:
+		return "i64"
+	case F32:
+		return "f32"
+	case F64:
+		return "f64"
+	case FuncRef:
+		return "funcref"
+	}
+	return fmt.Sprintf("valtype(0x%02x)", byte(v))
+}
+
+// IsNum reports whether v is a numeric value type usable on the stack.
+func (v ValType) IsNum() bool {
+	switch v {
+	case I32, I64, F32, F64:
+		return true
+	}
+	return false
+}
+
+// FuncType is a function signature.
+type FuncType struct {
+	Params  []ValType
+	Results []ValType
+}
+
+// Equal reports signature equality; call_indirect checks use this.
+func (t FuncType) Equal(o FuncType) bool {
+	if len(t.Params) != len(o.Params) || len(t.Results) != len(o.Results) {
+		return false
+	}
+	for i, p := range t.Params {
+		if o.Params[i] != p {
+			return false
+		}
+	}
+	for i, r := range t.Results {
+		if o.Results[i] != r {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical string key for the signature, used for
+// signature-hashing in call_indirect dispatch.
+func (t FuncType) Key() string {
+	b := make([]byte, 0, len(t.Params)+len(t.Results)+1)
+	for _, p := range t.Params {
+		b = append(b, byte(p))
+	}
+	b = append(b, 0)
+	for _, r := range t.Results {
+		b = append(b, byte(r))
+	}
+	return string(b)
+}
+
+func (t FuncType) String() string {
+	s := "("
+	for i, p := range t.Params {
+		if i > 0 {
+			s += " "
+		}
+		s += p.String()
+	}
+	s += ")->("
+	for i, r := range t.Results {
+		if i > 0 {
+			s += " "
+		}
+		s += r.String()
+	}
+	return s + ")"
+}
+
+// Limits bound a memory or table size, in pages or elements.
+type Limits struct {
+	Min    uint32
+	Max    uint32
+	HasMax bool
+	Shared bool // threads proposal flag; memories only
+}
+
+// PageSize is the WebAssembly linear memory page size.
+const PageSize = 64 * 1024
+
+// ExternKind identifies the namespace of an import or export.
+type ExternKind byte
+
+// Import/export kinds as encoded in the binary format.
+const (
+	ExternFunc   ExternKind = 0
+	ExternTable  ExternKind = 1
+	ExternMemory ExternKind = 2
+	ExternGlobal ExternKind = 3
+)
+
+func (k ExternKind) String() string {
+	switch k {
+	case ExternFunc:
+		return "func"
+	case ExternTable:
+		return "table"
+	case ExternMemory:
+		return "memory"
+	case ExternGlobal:
+		return "global"
+	}
+	return fmt.Sprintf("extern(%d)", byte(k))
+}
+
+// GlobalType describes a global variable's type and mutability.
+type GlobalType struct {
+	Type    ValType
+	Mutable bool
+}
+
+// Import is one entry of the import section.
+type Import struct {
+	Module string
+	Name   string
+	Kind   ExternKind
+
+	// Exactly one of the following is meaningful, per Kind.
+	TypeIdx uint32     // ExternFunc: index into Types
+	Table   Limits     // ExternTable (element type is always funcref)
+	Mem     Limits     // ExternMemory
+	Global  GlobalType // ExternGlobal
+}
+
+// Export is one entry of the export section.
+type Export struct {
+	Name  string
+	Kind  ExternKind
+	Index uint32
+}
+
+// Global is a module-defined global with a constant initializer
+// expression (the raw expression bytes, terminated by End).
+type Global struct {
+	Type GlobalType
+	Init []byte
+}
+
+// Func is a module-defined function. Locals lists the declared locals
+// (excluding parameters) after run-length expansion. Body holds the raw
+// expression bytes including the trailing End opcode.
+type Func struct {
+	TypeIdx uint32
+	Locals  []ValType
+	Body    []byte
+}
+
+// ElemSegment is an active element segment initializing the table.
+type ElemSegment struct {
+	Offset []byte // constant expression
+	Funcs  []uint32
+}
+
+// DataSegment is an active data segment initializing the memory.
+type DataSegment struct {
+	Offset []byte // constant expression
+	Init   []byte
+}
+
+// Module is a decoded (or built) WebAssembly module.
+//
+// Function index space: imported functions first, in import order, then
+// Funcs. The MVP allows at most one table and one memory.
+type Module struct {
+	Types   []FuncType
+	Imports []Import
+	Funcs   []Func
+	Table   *Limits // element type funcref
+	Mem     *Limits
+	Globals []Global
+	Exports []Export
+	Start   *uint32
+	Elems   []ElemSegment
+	Data    []DataSegment
+
+	// Name is an optional module name from the custom "name" section or
+	// assigned by the builder; diagnostic only.
+	Name string
+}
+
+// NumImportedFuncs returns the count of imported functions, i.e. the index
+// of the first module-defined function.
+func (m *Module) NumImportedFuncs() int {
+	n := 0
+	for _, im := range m.Imports {
+		if im.Kind == ExternFunc {
+			n++
+		}
+	}
+	return n
+}
+
+// NumImportedGlobals returns the count of imported globals.
+func (m *Module) NumImportedGlobals() int {
+	n := 0
+	for _, im := range m.Imports {
+		if im.Kind == ExternGlobal {
+			n++
+		}
+	}
+	return n
+}
+
+// FuncTypeAt resolves the signature of the function at index i in the
+// function index space (imports first). It panics on out-of-range indices;
+// validation guarantees in-range access at run time.
+func (m *Module) FuncTypeAt(i uint32) FuncType {
+	n := uint32(0)
+	for _, im := range m.Imports {
+		if im.Kind != ExternFunc {
+			continue
+		}
+		if n == i {
+			return m.Types[im.TypeIdx]
+		}
+		n++
+	}
+	return m.Types[m.Funcs[i-n].TypeIdx]
+}
+
+// ExportedFunc returns the function index exported under name.
+func (m *Module) ExportedFunc(name string) (uint32, bool) {
+	for _, e := range m.Exports {
+		if e.Kind == ExternFunc && e.Name == name {
+			return e.Index, true
+		}
+	}
+	return 0, false
+}
+
+// GlobalTypeAt resolves the type of the global at index i in the global
+// index space (imports first).
+func (m *Module) GlobalTypeAt(i uint32) GlobalType {
+	n := uint32(0)
+	for _, im := range m.Imports {
+		if im.Kind != ExternGlobal {
+			continue
+		}
+		if n == i {
+			return im.Global
+		}
+		n++
+	}
+	return m.Globals[i-n].Type
+}

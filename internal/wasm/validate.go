@@ -1,0 +1,995 @@
+package wasm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Module validation per the core spec's type system. Validate must succeed
+// before a module is instantiated; the interpreter relies on it for memory
+// safety of its own dispatch (e.g. in-range local indices).
+
+// ValidationError describes why a module failed validation.
+type ValidationError struct {
+	Context string
+	Msg     string
+}
+
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("wasm: validation: %s: %s", e.Context, e.Msg)
+}
+
+func vErr(ctx, format string, args ...any) error {
+	return &ValidationError{Context: ctx, Msg: fmt.Sprintf(format, args...)}
+}
+
+// MaxPages caps declared memory sizes at the 32-bit address space limit.
+const MaxPages = 65536
+
+// Validate checks m against the WebAssembly type system.
+func Validate(m *Module) error {
+	if err := validateStructure(m); err != nil {
+		return err
+	}
+	nImported := m.NumImportedFuncs()
+	for i := range m.Funcs {
+		f := &m.Funcs[i]
+		ctx := fmt.Sprintf("func[%d]", nImported+i)
+		if int(f.TypeIdx) >= len(m.Types) {
+			return vErr(ctx, "type index %d out of range", f.TypeIdx)
+		}
+		if err := validateBody(m, f); err != nil {
+			return fmt.Errorf("%s: %w", ctx, err)
+		}
+	}
+	return nil
+}
+
+func validateStructure(m *Module) error {
+	numFuncs := uint32(m.NumImportedFuncs() + len(m.Funcs))
+	numGlobals := uint32(m.NumImportedGlobals() + len(m.Globals))
+	hasTable := m.Table != nil
+	hasMem := m.Mem != nil
+
+	for _, im := range m.Imports {
+		ctx := fmt.Sprintf("import %s.%s", im.Module, im.Name)
+		switch im.Kind {
+		case ExternFunc:
+			if int(im.TypeIdx) >= len(m.Types) {
+				return vErr(ctx, "type index %d out of range", im.TypeIdx)
+			}
+		case ExternTable:
+			if hasTable {
+				return vErr(ctx, "multiple tables")
+			}
+			hasTable = true
+		case ExternMemory:
+			if hasMem {
+				return vErr(ctx, "multiple memories")
+			}
+			hasMem = true
+			if err := checkMemLimits(im.Mem); err != nil {
+				return vErr(ctx, "%v", err)
+			}
+		}
+	}
+	if m.Mem != nil {
+		if err := checkMemLimits(*m.Mem); err != nil {
+			return vErr("memory", "%v", err)
+		}
+	}
+
+	nImpGlobals := m.NumImportedGlobals()
+	for i, g := range m.Globals {
+		ctx := fmt.Sprintf("global[%d]", nImpGlobals+i)
+		t, err := constExprType(m, g.Init, nImpGlobals)
+		if err != nil {
+			return vErr(ctx, "%v", err)
+		}
+		if t != g.Type.Type {
+			return vErr(ctx, "initializer type %v does not match declared %v", t, g.Type.Type)
+		}
+	}
+
+	for _, e := range m.Exports {
+		ctx := fmt.Sprintf("export %q", e.Name)
+		switch e.Kind {
+		case ExternFunc:
+			if e.Index >= numFuncs {
+				return vErr(ctx, "function index %d out of range", e.Index)
+			}
+		case ExternTable:
+			if !hasTable || e.Index != 0 {
+				return vErr(ctx, "table index %d out of range", e.Index)
+			}
+		case ExternMemory:
+			if !hasMem || e.Index != 0 {
+				return vErr(ctx, "memory index %d out of range", e.Index)
+			}
+		case ExternGlobal:
+			if e.Index >= numGlobals {
+				return vErr(ctx, "global index %d out of range", e.Index)
+			}
+		}
+	}
+
+	if m.Start != nil {
+		if *m.Start >= numFuncs {
+			return vErr("start", "function index %d out of range", *m.Start)
+		}
+		ft := m.FuncTypeAt(*m.Start)
+		if len(ft.Params) != 0 || len(ft.Results) != 0 {
+			return vErr("start", "start function must have type ()->(), got %v", ft)
+		}
+	}
+
+	for i, seg := range m.Elems {
+		ctx := fmt.Sprintf("elem[%d]", i)
+		if !hasTable {
+			return vErr(ctx, "no table defined")
+		}
+		t, err := constExprType(m, seg.Offset, nImpGlobals)
+		if err != nil {
+			return vErr(ctx, "%v", err)
+		}
+		if t != I32 {
+			return vErr(ctx, "offset must be i32, got %v", t)
+		}
+		for _, fi := range seg.Funcs {
+			if fi >= numFuncs {
+				return vErr(ctx, "function index %d out of range", fi)
+			}
+		}
+	}
+
+	for i, seg := range m.Data {
+		ctx := fmt.Sprintf("data[%d]", i)
+		if !hasMem {
+			return vErr(ctx, "no memory defined")
+		}
+		t, err := constExprType(m, seg.Offset, nImpGlobals)
+		if err != nil {
+			return vErr(ctx, "%v", err)
+		}
+		if t != I32 {
+			return vErr(ctx, "offset must be i32, got %v", t)
+		}
+	}
+	return nil
+}
+
+func checkMemLimits(l Limits) error {
+	if l.Min > MaxPages {
+		return fmt.Errorf("memory min %d exceeds %d pages", l.Min, MaxPages)
+	}
+	if l.HasMax && l.Max > MaxPages {
+		return fmt.Errorf("memory max %d exceeds %d pages", l.Max, MaxPages)
+	}
+	if l.Shared && !l.HasMax {
+		return errors.New("shared memory requires a max")
+	}
+	return nil
+}
+
+// constExprType type-checks a constant expression and returns its result
+// type. Only imported immutable globals may be referenced.
+func constExprType(m *Module, expr []byte, nImpGlobals int) (ValType, error) {
+	if len(expr) == 0 {
+		return 0, errors.New("empty constant expression")
+	}
+	op := expr[0]
+	switch op {
+	case OpI32Const:
+		return I32, nil
+	case OpI64Const:
+		return I64, nil
+	case OpF32Const:
+		return F32, nil
+	case OpF64Const:
+		return F64, nil
+	case OpGlobalGet:
+		idx, _, err := ReadU32(expr, 1)
+		if err != nil {
+			return 0, err
+		}
+		if int(idx) >= nImpGlobals {
+			return 0, fmt.Errorf("global.get %d in constant expression must reference an imported global", idx)
+		}
+		gt := m.GlobalTypeAt(idx)
+		if gt.Mutable {
+			return 0, fmt.Errorf("global.get %d in constant expression must reference an immutable global", idx)
+		}
+		return gt.Type, nil
+	case OpEnd:
+		return 0, errors.New("constant expression produces no value")
+	}
+	return 0, fmt.Errorf("invalid opcode 0x%02x in constant expression", op)
+}
+
+// EvalConstExpr evaluates a validated constant expression given the values
+// of imported globals (raw bits). Used by instantiation.
+func EvalConstExpr(expr []byte, importedGlobals []uint64) uint64 {
+	switch expr[0] {
+	case OpI32Const:
+		v, _, _ := ReadS32(expr, 1)
+		return uint64(uint32(v))
+	case OpI64Const:
+		v, _, _ := ReadS64(expr, 1)
+		return uint64(v)
+	case OpF32Const:
+		return uint64(uint32(expr[1]) | uint32(expr[2])<<8 | uint32(expr[3])<<16 | uint32(expr[4])<<24)
+	case OpF64Const:
+		var v uint64
+		for i := 0; i < 8; i++ {
+			v |= uint64(expr[1+i]) << (8 * i)
+		}
+		return v
+	case OpGlobalGet:
+		idx, _, _ := ReadU32(expr, 1)
+		return importedGlobals[idx]
+	}
+	panic("wasm: unvalidated constant expression")
+}
+
+// ---- Function body validation ----
+
+type ctrlFrame struct {
+	opcode      byte // Block, Loop, If (or 0 for the function frame)
+	startTypes  []ValType
+	endTypes    []ValType
+	height      int
+	unreachable bool
+}
+
+type bodyValidator struct {
+	m      *Module
+	body   []byte
+	pc     int
+	locals []ValType
+	vals   []ValType
+	ctrls  []ctrlFrame
+}
+
+const anyType ValType = 0 // polymorphic placeholder inside unreachable code
+
+func validateBody(m *Module, f *Func) error {
+	ft := m.Types[f.TypeIdx]
+	v := &bodyValidator{m: m, body: f.Body}
+	v.locals = append(append([]ValType{}, ft.Params...), f.Locals...)
+	v.pushCtrl(0, nil, ft.Results)
+	for v.pc < len(v.body) {
+		if err := v.step(); err != nil {
+			return fmt.Errorf("pc %d: %w", v.pc, err)
+		}
+		if len(v.ctrls) == 0 {
+			if v.pc != len(v.body) {
+				return fmt.Errorf("pc %d: trailing bytes after function end", v.pc)
+			}
+			return nil
+		}
+	}
+	return errors.New("function body missing end")
+}
+
+func (v *bodyValidator) pushVal(t ValType)   { v.vals = append(v.vals, t) }
+func (v *bodyValidator) topCtrl() *ctrlFrame { return &v.ctrls[len(v.ctrls)-1] }
+
+func (v *bodyValidator) popVal() (ValType, error) {
+	c := v.topCtrl()
+	if len(v.vals) == c.height {
+		if c.unreachable {
+			return anyType, nil
+		}
+		return 0, errors.New("stack underflow")
+	}
+	t := v.vals[len(v.vals)-1]
+	v.vals = v.vals[:len(v.vals)-1]
+	return t, nil
+}
+
+func (v *bodyValidator) popExpect(want ValType) error {
+	got, err := v.popVal()
+	if err != nil {
+		return err
+	}
+	if got != want && got != anyType && want != anyType {
+		return fmt.Errorf("type mismatch: expected %v, got %v", want, got)
+	}
+	return nil
+}
+
+func (v *bodyValidator) popExpects(want []ValType) error {
+	for i := len(want) - 1; i >= 0; i-- {
+		if err := v.popExpect(want[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (v *bodyValidator) pushVals(ts []ValType) {
+	for _, t := range ts {
+		v.pushVal(t)
+	}
+}
+
+func (v *bodyValidator) pushCtrl(op byte, start, end []ValType) {
+	v.ctrls = append(v.ctrls, ctrlFrame{opcode: op, startTypes: start, endTypes: end, height: len(v.vals)})
+	v.pushVals(start)
+}
+
+func (v *bodyValidator) popCtrl() (ctrlFrame, error) {
+	if len(v.ctrls) == 0 {
+		return ctrlFrame{}, errors.New("control stack underflow")
+	}
+	frame := *v.topCtrl()
+	if err := v.popExpects(frame.endTypes); err != nil {
+		return frame, err
+	}
+	if len(v.vals) != frame.height {
+		return frame, fmt.Errorf("stack height %d does not match block entry %d", len(v.vals), frame.height)
+	}
+	v.ctrls = v.ctrls[:len(v.ctrls)-1]
+	return frame, nil
+}
+
+func (v *bodyValidator) setUnreachable() {
+	c := v.topCtrl()
+	v.vals = v.vals[:c.height]
+	c.unreachable = true
+}
+
+func labelTypes(f *ctrlFrame) []ValType {
+	if f.opcode == OpLoop {
+		return f.startTypes
+	}
+	return f.endTypes
+}
+
+func (v *bodyValidator) frameAt(depth uint32) (*ctrlFrame, error) {
+	if int(depth) >= len(v.ctrls) {
+		return nil, fmt.Errorf("branch depth %d exceeds nesting %d", depth, len(v.ctrls))
+	}
+	return &v.ctrls[len(v.ctrls)-1-int(depth)], nil
+}
+
+func (v *bodyValidator) readU32() (uint32, error) {
+	x, n, err := ReadU32(v.body, v.pc)
+	if err != nil {
+		return 0, err
+	}
+	v.pc += n
+	return x, nil
+}
+
+func (v *bodyValidator) blockType() ([]ValType, []ValType, error) {
+	bt, n, err := ReadS33(v.body, v.pc)
+	if err != nil {
+		return nil, nil, err
+	}
+	v.pc += n
+	if bt >= 0 {
+		if int(bt) >= len(v.m.Types) {
+			return nil, nil, fmt.Errorf("block type index %d out of range", bt)
+		}
+		t := v.m.Types[bt]
+		return t.Params, t.Results, nil
+	}
+	b := byte(bt & 0x7F)
+	if b == BlockTypeEmpty {
+		return nil, nil, nil
+	}
+	vt := ValType(b)
+	if !vt.IsNum() {
+		return nil, nil, fmt.Errorf("invalid block type 0x%02x", b)
+	}
+	return nil, []ValType{vt}, nil
+}
+
+func (v *bodyValidator) memArg(maxAlign uint32) error {
+	if v.m.Mem == nil && !hasImportedMem(v.m) {
+		return errors.New("memory instruction without memory")
+	}
+	align, err := v.readU32()
+	if err != nil {
+		return err
+	}
+	if align > maxAlign {
+		return fmt.Errorf("alignment 2^%d exceeds natural alignment 2^%d", align, maxAlign)
+	}
+	_, err = v.readU32() // offset
+	return err
+}
+
+func hasImportedMem(m *Module) bool {
+	for _, im := range m.Imports {
+		if im.Kind == ExternMemory {
+			return true
+		}
+	}
+	return false
+}
+
+func (v *bodyValidator) localType(idx uint32) (ValType, error) {
+	if int(idx) >= len(v.locals) {
+		return 0, fmt.Errorf("local index %d out of range", idx)
+	}
+	return v.locals[idx], nil
+}
+
+func (v *bodyValidator) step() error {
+	op := v.body[v.pc]
+	v.pc++
+	switch op {
+	case OpUnreachable:
+		v.setUnreachable()
+	case OpNop:
+	case OpBlock, OpLoop:
+		start, end, err := v.blockType()
+		if err != nil {
+			return err
+		}
+		if err := v.popExpects(start); err != nil {
+			return err
+		}
+		v.pushCtrl(op, start, end)
+	case OpIf:
+		start, end, err := v.blockType()
+		if err != nil {
+			return err
+		}
+		if err := v.popExpect(I32); err != nil {
+			return err
+		}
+		if err := v.popExpects(start); err != nil {
+			return err
+		}
+		v.pushCtrl(op, start, end)
+	case OpElse:
+		frame, err := v.popCtrl()
+		if err != nil {
+			return err
+		}
+		if frame.opcode != OpIf {
+			return errors.New("else without matching if")
+		}
+		v.pushCtrl(OpElse, frame.startTypes, frame.endTypes)
+	case OpEnd:
+		frame, err := v.popCtrl()
+		if err != nil {
+			return err
+		}
+		// An if without else must have matching param/result types.
+		if frame.opcode == OpIf && !typesEqual(frame.startTypes, frame.endTypes) {
+			return errors.New("if without else must have identical input and output types")
+		}
+		v.pushVals(frame.endTypes)
+	case OpBr:
+		depth, err := v.readU32()
+		if err != nil {
+			return err
+		}
+		f, err := v.frameAt(depth)
+		if err != nil {
+			return err
+		}
+		if err := v.popExpects(labelTypes(f)); err != nil {
+			return err
+		}
+		v.setUnreachable()
+	case OpBrIf:
+		depth, err := v.readU32()
+		if err != nil {
+			return err
+		}
+		f, err := v.frameAt(depth)
+		if err != nil {
+			return err
+		}
+		if err := v.popExpect(I32); err != nil {
+			return err
+		}
+		lt := labelTypes(f)
+		if err := v.popExpects(lt); err != nil {
+			return err
+		}
+		v.pushVals(lt)
+	case OpBrTable:
+		n, err := v.readU32()
+		if err != nil {
+			return err
+		}
+		var defaultLT []ValType
+		depths := make([]uint32, 0, n+1)
+		for i := uint32(0); i <= n; i++ {
+			d, err := v.readU32()
+			if err != nil {
+				return err
+			}
+			depths = append(depths, d)
+		}
+		df, err := v.frameAt(depths[n])
+		if err != nil {
+			return err
+		}
+		defaultLT = labelTypes(df)
+		for _, d := range depths[:n] {
+			f, err := v.frameAt(d)
+			if err != nil {
+				return err
+			}
+			if len(labelTypes(f)) != len(defaultLT) {
+				return errors.New("br_table label arity mismatch")
+			}
+		}
+		if err := v.popExpect(I32); err != nil {
+			return err
+		}
+		if err := v.popExpects(defaultLT); err != nil {
+			return err
+		}
+		v.setUnreachable()
+	case OpReturn:
+		if err := v.popExpects(v.ctrls[0].endTypes); err != nil {
+			return err
+		}
+		v.setUnreachable()
+	case OpCall:
+		idx, err := v.readU32()
+		if err != nil {
+			return err
+		}
+		numFuncs := uint32(v.m.NumImportedFuncs() + len(v.m.Funcs))
+		if idx >= numFuncs {
+			return fmt.Errorf("call target %d out of range", idx)
+		}
+		ft := v.m.FuncTypeAt(idx)
+		if err := v.popExpects(ft.Params); err != nil {
+			return err
+		}
+		v.pushVals(ft.Results)
+	case OpCallIndirect:
+		ti, err := v.readU32()
+		if err != nil {
+			return err
+		}
+		if int(ti) >= len(v.m.Types) {
+			return fmt.Errorf("call_indirect type %d out of range", ti)
+		}
+		tb, err := v.readU32()
+		if err != nil {
+			return err
+		}
+		if tb != 0 {
+			return errors.New("call_indirect table index must be 0")
+		}
+		if v.m.Table == nil && !hasImportedTable(v.m) {
+			return errors.New("call_indirect without table")
+		}
+		if err := v.popExpect(I32); err != nil {
+			return err
+		}
+		ft := v.m.Types[ti]
+		if err := v.popExpects(ft.Params); err != nil {
+			return err
+		}
+		v.pushVals(ft.Results)
+	case OpDrop:
+		if _, err := v.popVal(); err != nil {
+			return err
+		}
+	case OpSelect:
+		if err := v.popExpect(I32); err != nil {
+			return err
+		}
+		t1, err := v.popVal()
+		if err != nil {
+			return err
+		}
+		t2, err := v.popVal()
+		if err != nil {
+			return err
+		}
+		if t1 != t2 && t1 != anyType && t2 != anyType {
+			return fmt.Errorf("select operand types differ: %v vs %v", t1, t2)
+		}
+		if t1 == anyType {
+			v.pushVal(t2)
+		} else {
+			v.pushVal(t1)
+		}
+	case OpLocalGet:
+		idx, err := v.readU32()
+		if err != nil {
+			return err
+		}
+		t, err := v.localType(idx)
+		if err != nil {
+			return err
+		}
+		v.pushVal(t)
+	case OpLocalSet:
+		idx, err := v.readU32()
+		if err != nil {
+			return err
+		}
+		t, err := v.localType(idx)
+		if err != nil {
+			return err
+		}
+		if err := v.popExpect(t); err != nil {
+			return err
+		}
+	case OpLocalTee:
+		idx, err := v.readU32()
+		if err != nil {
+			return err
+		}
+		t, err := v.localType(idx)
+		if err != nil {
+			return err
+		}
+		if err := v.popExpect(t); err != nil {
+			return err
+		}
+		v.pushVal(t)
+	case OpGlobalGet:
+		idx, err := v.readU32()
+		if err != nil {
+			return err
+		}
+		ng := uint32(v.m.NumImportedGlobals() + len(v.m.Globals))
+		if idx >= ng {
+			return fmt.Errorf("global index %d out of range", idx)
+		}
+		v.pushVal(v.m.GlobalTypeAt(idx).Type)
+	case OpGlobalSet:
+		idx, err := v.readU32()
+		if err != nil {
+			return err
+		}
+		ng := uint32(v.m.NumImportedGlobals() + len(v.m.Globals))
+		if idx >= ng {
+			return fmt.Errorf("global index %d out of range", idx)
+		}
+		gt := v.m.GlobalTypeAt(idx)
+		if !gt.Mutable {
+			return fmt.Errorf("global %d is immutable", idx)
+		}
+		if err := v.popExpect(gt.Type); err != nil {
+			return err
+		}
+	case OpI32Const:
+		_, n, err := ReadS32(v.body, v.pc)
+		if err != nil {
+			return err
+		}
+		v.pc += n
+		v.pushVal(I32)
+	case OpI64Const:
+		_, n, err := ReadS64(v.body, v.pc)
+		if err != nil {
+			return err
+		}
+		v.pc += n
+		v.pushVal(I64)
+	case OpF32Const:
+		if v.pc+4 > len(v.body) {
+			return errors.New("truncated f32 constant")
+		}
+		v.pc += 4
+		v.pushVal(F32)
+	case OpF64Const:
+		if v.pc+8 > len(v.body) {
+			return errors.New("truncated f64 constant")
+		}
+		v.pc += 8
+		v.pushVal(F64)
+	case OpMemorySize:
+		if err := v.memZeroByte(); err != nil {
+			return err
+		}
+		v.pushVal(I32)
+	case OpMemoryGrow:
+		if err := v.memZeroByte(); err != nil {
+			return err
+		}
+		if err := v.popExpect(I32); err != nil {
+			return err
+		}
+		v.pushVal(I32)
+	case OpPrefixFC:
+		return v.stepFC()
+	default:
+		if sig, ok := opSignatures[op]; ok {
+			if sig.mem > 0 {
+				if err := v.memArg(sig.mem - 1); err != nil {
+					return err
+				}
+			}
+			if err := v.popExpects(sig.pop); err != nil {
+				return err
+			}
+			v.pushVals(sig.push)
+			return nil
+		}
+		return fmt.Errorf("unknown opcode 0x%02x", op)
+	}
+	return nil
+}
+
+func (v *bodyValidator) memZeroByte() error {
+	if v.m.Mem == nil && !hasImportedMem(v.m) {
+		return errors.New("memory instruction without memory")
+	}
+	b, err := v.readU32()
+	if err != nil {
+		return err
+	}
+	if b != 0 {
+		return errors.New("memory index must be 0")
+	}
+	return nil
+}
+
+func (v *bodyValidator) stepFC() error {
+	sub, err := v.readU32()
+	if err != nil {
+		return err
+	}
+	switch sub {
+	case FCI32TruncSatF32S, FCI32TruncSatF32U:
+		if err := v.popExpect(F32); err != nil {
+			return err
+		}
+		v.pushVal(I32)
+	case FCI32TruncSatF64S, FCI32TruncSatF64U:
+		if err := v.popExpect(F64); err != nil {
+			return err
+		}
+		v.pushVal(I32)
+	case FCI64TruncSatF32S, FCI64TruncSatF32U:
+		if err := v.popExpect(F32); err != nil {
+			return err
+		}
+		v.pushVal(I64)
+	case FCI64TruncSatF64S, FCI64TruncSatF64U:
+		if err := v.popExpect(F64); err != nil {
+			return err
+		}
+		v.pushVal(I64)
+	case FCMemoryCopy:
+		if v.m.Mem == nil && !hasImportedMem(v.m) {
+			return errors.New("memory.copy without memory")
+		}
+		// two zero bytes: dst mem, src mem
+		for i := 0; i < 2; i++ {
+			b, err := v.readU32()
+			if err != nil {
+				return err
+			}
+			if b != 0 {
+				return errors.New("memory index must be 0")
+			}
+		}
+		for i := 0; i < 3; i++ {
+			if err := v.popExpect(I32); err != nil {
+				return err
+			}
+		}
+	case FCMemoryFill:
+		if v.m.Mem == nil && !hasImportedMem(v.m) {
+			return errors.New("memory.fill without memory")
+		}
+		b, err := v.readU32()
+		if err != nil {
+			return err
+		}
+		if b != 0 {
+			return errors.New("memory index must be 0")
+		}
+		for i := 0; i < 3; i++ {
+			if err := v.popExpect(I32); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("unknown 0xFC sub-opcode %d", sub)
+	}
+	return nil
+}
+
+func hasImportedTable(m *Module) bool {
+	for _, im := range m.Imports {
+		if im.Kind == ExternTable {
+			return true
+		}
+	}
+	return false
+}
+
+func typesEqual(a, b []ValType) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// opSig describes a simple (non-control, non-variable) opcode: the memarg
+// natural alignment (+1, 0 = no memarg), popped types, pushed types.
+type opSig struct {
+	mem  uint32 // natural alignment log2 + 1; 0 means no memarg
+	pop  []ValType
+	push []ValType
+}
+
+var opSignatures = map[byte]opSig{
+	// Loads.
+	OpI32Load:    {mem: 3, pop: []ValType{I32}, push: []ValType{I32}},
+	OpI64Load:    {mem: 4, pop: []ValType{I32}, push: []ValType{I64}},
+	OpF32Load:    {mem: 3, pop: []ValType{I32}, push: []ValType{F32}},
+	OpF64Load:    {mem: 4, pop: []ValType{I32}, push: []ValType{F64}},
+	OpI32Load8S:  {mem: 1, pop: []ValType{I32}, push: []ValType{I32}},
+	OpI32Load8U:  {mem: 1, pop: []ValType{I32}, push: []ValType{I32}},
+	OpI32Load16S: {mem: 2, pop: []ValType{I32}, push: []ValType{I32}},
+	OpI32Load16U: {mem: 2, pop: []ValType{I32}, push: []ValType{I32}},
+	OpI64Load8S:  {mem: 1, pop: []ValType{I32}, push: []ValType{I64}},
+	OpI64Load8U:  {mem: 1, pop: []ValType{I32}, push: []ValType{I64}},
+	OpI64Load16S: {mem: 2, pop: []ValType{I32}, push: []ValType{I64}},
+	OpI64Load16U: {mem: 2, pop: []ValType{I32}, push: []ValType{I64}},
+	OpI64Load32S: {mem: 3, pop: []ValType{I32}, push: []ValType{I64}},
+	OpI64Load32U: {mem: 3, pop: []ValType{I32}, push: []ValType{I64}},
+	// Stores.
+	OpI32Store:   {mem: 3, pop: []ValType{I32, I32}},
+	OpI64Store:   {mem: 4, pop: []ValType{I32, I64}},
+	OpF32Store:   {mem: 3, pop: []ValType{I32, F32}},
+	OpF64Store:   {mem: 4, pop: []ValType{I32, F64}},
+	OpI32Store8:  {mem: 1, pop: []ValType{I32, I32}},
+	OpI32Store16: {mem: 2, pop: []ValType{I32, I32}},
+	OpI64Store8:  {mem: 1, pop: []ValType{I32, I64}},
+	OpI64Store16: {mem: 2, pop: []ValType{I32, I64}},
+	OpI64Store32: {mem: 3, pop: []ValType{I32, I64}},
+	// i32 compare.
+	OpI32Eqz: {pop: []ValType{I32}, push: []ValType{I32}},
+	OpI32Eq:  {pop: []ValType{I32, I32}, push: []ValType{I32}},
+	OpI32Ne:  {pop: []ValType{I32, I32}, push: []ValType{I32}},
+	OpI32LtS: {pop: []ValType{I32, I32}, push: []ValType{I32}},
+	OpI32LtU: {pop: []ValType{I32, I32}, push: []ValType{I32}},
+	OpI32GtS: {pop: []ValType{I32, I32}, push: []ValType{I32}},
+	OpI32GtU: {pop: []ValType{I32, I32}, push: []ValType{I32}},
+	OpI32LeS: {pop: []ValType{I32, I32}, push: []ValType{I32}},
+	OpI32LeU: {pop: []ValType{I32, I32}, push: []ValType{I32}},
+	OpI32GeS: {pop: []ValType{I32, I32}, push: []ValType{I32}},
+	OpI32GeU: {pop: []ValType{I32, I32}, push: []ValType{I32}},
+	// i64 compare.
+	OpI64Eqz: {pop: []ValType{I64}, push: []ValType{I32}},
+	OpI64Eq:  {pop: []ValType{I64, I64}, push: []ValType{I32}},
+	OpI64Ne:  {pop: []ValType{I64, I64}, push: []ValType{I32}},
+	OpI64LtS: {pop: []ValType{I64, I64}, push: []ValType{I32}},
+	OpI64LtU: {pop: []ValType{I64, I64}, push: []ValType{I32}},
+	OpI64GtS: {pop: []ValType{I64, I64}, push: []ValType{I32}},
+	OpI64GtU: {pop: []ValType{I64, I64}, push: []ValType{I32}},
+	OpI64LeS: {pop: []ValType{I64, I64}, push: []ValType{I32}},
+	OpI64LeU: {pop: []ValType{I64, I64}, push: []ValType{I32}},
+	OpI64GeS: {pop: []ValType{I64, I64}, push: []ValType{I32}},
+	OpI64GeU: {pop: []ValType{I64, I64}, push: []ValType{I32}},
+	// f32 compare.
+	OpF32Eq: {pop: []ValType{F32, F32}, push: []ValType{I32}},
+	OpF32Ne: {pop: []ValType{F32, F32}, push: []ValType{I32}},
+	OpF32Lt: {pop: []ValType{F32, F32}, push: []ValType{I32}},
+	OpF32Gt: {pop: []ValType{F32, F32}, push: []ValType{I32}},
+	OpF32Le: {pop: []ValType{F32, F32}, push: []ValType{I32}},
+	OpF32Ge: {pop: []ValType{F32, F32}, push: []ValType{I32}},
+	// f64 compare.
+	OpF64Eq: {pop: []ValType{F64, F64}, push: []ValType{I32}},
+	OpF64Ne: {pop: []ValType{F64, F64}, push: []ValType{I32}},
+	OpF64Lt: {pop: []ValType{F64, F64}, push: []ValType{I32}},
+	OpF64Gt: {pop: []ValType{F64, F64}, push: []ValType{I32}},
+	OpF64Le: {pop: []ValType{F64, F64}, push: []ValType{I32}},
+	OpF64Ge: {pop: []ValType{F64, F64}, push: []ValType{I32}},
+	// i32 unary/binary.
+	OpI32Clz:    {pop: []ValType{I32}, push: []ValType{I32}},
+	OpI32Ctz:    {pop: []ValType{I32}, push: []ValType{I32}},
+	OpI32Popcnt: {pop: []ValType{I32}, push: []ValType{I32}},
+	OpI32Add:    {pop: []ValType{I32, I32}, push: []ValType{I32}},
+	OpI32Sub:    {pop: []ValType{I32, I32}, push: []ValType{I32}},
+	OpI32Mul:    {pop: []ValType{I32, I32}, push: []ValType{I32}},
+	OpI32DivS:   {pop: []ValType{I32, I32}, push: []ValType{I32}},
+	OpI32DivU:   {pop: []ValType{I32, I32}, push: []ValType{I32}},
+	OpI32RemS:   {pop: []ValType{I32, I32}, push: []ValType{I32}},
+	OpI32RemU:   {pop: []ValType{I32, I32}, push: []ValType{I32}},
+	OpI32And:    {pop: []ValType{I32, I32}, push: []ValType{I32}},
+	OpI32Or:     {pop: []ValType{I32, I32}, push: []ValType{I32}},
+	OpI32Xor:    {pop: []ValType{I32, I32}, push: []ValType{I32}},
+	OpI32Shl:    {pop: []ValType{I32, I32}, push: []ValType{I32}},
+	OpI32ShrS:   {pop: []ValType{I32, I32}, push: []ValType{I32}},
+	OpI32ShrU:   {pop: []ValType{I32, I32}, push: []ValType{I32}},
+	OpI32Rotl:   {pop: []ValType{I32, I32}, push: []ValType{I32}},
+	OpI32Rotr:   {pop: []ValType{I32, I32}, push: []ValType{I32}},
+	// i64 unary/binary.
+	OpI64Clz:    {pop: []ValType{I64}, push: []ValType{I64}},
+	OpI64Ctz:    {pop: []ValType{I64}, push: []ValType{I64}},
+	OpI64Popcnt: {pop: []ValType{I64}, push: []ValType{I64}},
+	OpI64Add:    {pop: []ValType{I64, I64}, push: []ValType{I64}},
+	OpI64Sub:    {pop: []ValType{I64, I64}, push: []ValType{I64}},
+	OpI64Mul:    {pop: []ValType{I64, I64}, push: []ValType{I64}},
+	OpI64DivS:   {pop: []ValType{I64, I64}, push: []ValType{I64}},
+	OpI64DivU:   {pop: []ValType{I64, I64}, push: []ValType{I64}},
+	OpI64RemS:   {pop: []ValType{I64, I64}, push: []ValType{I64}},
+	OpI64RemU:   {pop: []ValType{I64, I64}, push: []ValType{I64}},
+	OpI64And:    {pop: []ValType{I64, I64}, push: []ValType{I64}},
+	OpI64Or:     {pop: []ValType{I64, I64}, push: []ValType{I64}},
+	OpI64Xor:    {pop: []ValType{I64, I64}, push: []ValType{I64}},
+	OpI64Shl:    {pop: []ValType{I64, I64}, push: []ValType{I64}},
+	OpI64ShrS:   {pop: []ValType{I64, I64}, push: []ValType{I64}},
+	OpI64ShrU:   {pop: []ValType{I64, I64}, push: []ValType{I64}},
+	OpI64Rotl:   {pop: []ValType{I64, I64}, push: []ValType{I64}},
+	OpI64Rotr:   {pop: []ValType{I64, I64}, push: []ValType{I64}},
+	// f32 unary/binary.
+	OpF32Abs:      {pop: []ValType{F32}, push: []ValType{F32}},
+	OpF32Neg:      {pop: []ValType{F32}, push: []ValType{F32}},
+	OpF32Ceil:     {pop: []ValType{F32}, push: []ValType{F32}},
+	OpF32Floor:    {pop: []ValType{F32}, push: []ValType{F32}},
+	OpF32Trunc:    {pop: []ValType{F32}, push: []ValType{F32}},
+	OpF32Nearest:  {pop: []ValType{F32}, push: []ValType{F32}},
+	OpF32Sqrt:     {pop: []ValType{F32}, push: []ValType{F32}},
+	OpF32Add:      {pop: []ValType{F32, F32}, push: []ValType{F32}},
+	OpF32Sub:      {pop: []ValType{F32, F32}, push: []ValType{F32}},
+	OpF32Mul:      {pop: []ValType{F32, F32}, push: []ValType{F32}},
+	OpF32Div:      {pop: []ValType{F32, F32}, push: []ValType{F32}},
+	OpF32Min:      {pop: []ValType{F32, F32}, push: []ValType{F32}},
+	OpF32Max:      {pop: []ValType{F32, F32}, push: []ValType{F32}},
+	OpF32Copysign: {pop: []ValType{F32, F32}, push: []ValType{F32}},
+	// f64 unary/binary.
+	OpF64Abs:      {pop: []ValType{F64}, push: []ValType{F64}},
+	OpF64Neg:      {pop: []ValType{F64}, push: []ValType{F64}},
+	OpF64Ceil:     {pop: []ValType{F64}, push: []ValType{F64}},
+	OpF64Floor:    {pop: []ValType{F64}, push: []ValType{F64}},
+	OpF64Trunc:    {pop: []ValType{F64}, push: []ValType{F64}},
+	OpF64Nearest:  {pop: []ValType{F64}, push: []ValType{F64}},
+	OpF64Sqrt:     {pop: []ValType{F64}, push: []ValType{F64}},
+	OpF64Add:      {pop: []ValType{F64, F64}, push: []ValType{F64}},
+	OpF64Sub:      {pop: []ValType{F64, F64}, push: []ValType{F64}},
+	OpF64Mul:      {pop: []ValType{F64, F64}, push: []ValType{F64}},
+	OpF64Div:      {pop: []ValType{F64, F64}, push: []ValType{F64}},
+	OpF64Min:      {pop: []ValType{F64, F64}, push: []ValType{F64}},
+	OpF64Max:      {pop: []ValType{F64, F64}, push: []ValType{F64}},
+	OpF64Copysign: {pop: []ValType{F64, F64}, push: []ValType{F64}},
+	// Conversions.
+	OpI32WrapI64:        {pop: []ValType{I64}, push: []ValType{I32}},
+	OpI32TruncF32S:      {pop: []ValType{F32}, push: []ValType{I32}},
+	OpI32TruncF32U:      {pop: []ValType{F32}, push: []ValType{I32}},
+	OpI32TruncF64S:      {pop: []ValType{F64}, push: []ValType{I32}},
+	OpI32TruncF64U:      {pop: []ValType{F64}, push: []ValType{I32}},
+	OpI64ExtendI32S:     {pop: []ValType{I32}, push: []ValType{I64}},
+	OpI64ExtendI32U:     {pop: []ValType{I32}, push: []ValType{I64}},
+	OpI64TruncF32S:      {pop: []ValType{F32}, push: []ValType{I64}},
+	OpI64TruncF32U:      {pop: []ValType{F32}, push: []ValType{I64}},
+	OpI64TruncF64S:      {pop: []ValType{F64}, push: []ValType{I64}},
+	OpI64TruncF64U:      {pop: []ValType{F64}, push: []ValType{I64}},
+	OpF32ConvertI32S:    {pop: []ValType{I32}, push: []ValType{F32}},
+	OpF32ConvertI32U:    {pop: []ValType{I32}, push: []ValType{F32}},
+	OpF32ConvertI64S:    {pop: []ValType{I64}, push: []ValType{F32}},
+	OpF32ConvertI64U:    {pop: []ValType{I64}, push: []ValType{F32}},
+	OpF32DemoteF64:      {pop: []ValType{F64}, push: []ValType{F32}},
+	OpF64ConvertI32S:    {pop: []ValType{I32}, push: []ValType{F64}},
+	OpF64ConvertI32U:    {pop: []ValType{I32}, push: []ValType{F64}},
+	OpF64ConvertI64S:    {pop: []ValType{I64}, push: []ValType{F64}},
+	OpF64ConvertI64U:    {pop: []ValType{I64}, push: []ValType{F64}},
+	OpF64PromoteF32:     {pop: []ValType{F32}, push: []ValType{F64}},
+	OpI32ReinterpretF32: {pop: []ValType{F32}, push: []ValType{I32}},
+	OpI64ReinterpretF64: {pop: []ValType{F64}, push: []ValType{I64}},
+	OpF32ReinterpretI32: {pop: []ValType{I32}, push: []ValType{F32}},
+	OpF64ReinterpretI64: {pop: []ValType{I64}, push: []ValType{F64}},
+	// Sign extension.
+	OpI32Extend8S:  {pop: []ValType{I32}, push: []ValType{I32}},
+	OpI32Extend16S: {pop: []ValType{I32}, push: []ValType{I32}},
+	OpI64Extend8S:  {pop: []ValType{I64}, push: []ValType{I64}},
+	OpI64Extend16S: {pop: []ValType{I64}, push: []ValType{I64}},
+	OpI64Extend32S: {pop: []ValType{I64}, push: []ValType{I64}},
+}

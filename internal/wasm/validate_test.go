@@ -1,0 +1,251 @@
+package wasm
+
+import (
+	"strings"
+	"testing"
+)
+
+// mustBuild builds a module from a configuration function and returns it
+// unvalidated.
+func rawFunc(t *testing.T, params, results []ValType, body []byte, locals ...ValType) *Module {
+	t.Helper()
+	b := NewBuilder("v")
+	b.Memory(1, 2, false)
+	ti := b.TypeIdx(params, results)
+	m := b.Module()
+	m.Funcs = append(m.Funcs, Func{TypeIdx: ti, Locals: locals, Body: body})
+	return m
+}
+
+func TestValidateSimpleOK(t *testing.T) {
+	// (i32, i32) -> i32: local.get 0; local.get 1; i32.add; end
+	body := []byte{OpLocalGet, 0, OpLocalGet, 1, OpI32Add, OpEnd}
+	m := rawFunc(t, []ValType{I32, I32}, []ValType{I32}, body)
+	if err := Validate(m); err != nil {
+		t.Fatalf("valid function rejected: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name    string
+		params  []ValType
+		results []ValType
+		locals  []ValType
+		body    []byte
+		wantSub string
+	}{
+		{"stack underflow", nil, []ValType{I32}, nil,
+			[]byte{OpI32Add, OpEnd}, "underflow"},
+		{"type mismatch add", nil, []ValType{I32}, nil,
+			append(append([]byte{OpI32Const, 1}, OpI64Const, 1), OpI32Add, OpEnd), "mismatch"},
+		{"missing result", nil, []ValType{I32}, nil,
+			[]byte{OpEnd}, "underflow"},
+		{"excess values", nil, nil, nil,
+			[]byte{OpI32Const, 1, OpEnd}, "height"},
+		{"bad local", nil, nil, nil,
+			[]byte{OpLocalGet, 5, OpDrop, OpEnd}, "local index"},
+		{"bad call target", nil, nil, nil,
+			[]byte{OpCall, 9, OpEnd}, "out of range"},
+		{"bad branch depth", nil, nil, nil,
+			[]byte{OpBr, 3, OpEnd}, "depth"},
+		{"else without if", nil, nil, nil,
+			[]byte{OpBlock, BlockTypeEmpty, OpElse, OpEnd, OpEnd}, "else"},
+		{"if arms mismatch", nil, nil, nil,
+			[]byte{OpI32Const, 1, OpIf, byte(I32), OpI32Const, 1, OpEnd, OpDrop, OpEnd}, "identical"},
+		{"set immutable global", nil, nil, nil,
+			[]byte{OpI32Const, 1, OpGlobalSet, 0, OpEnd}, "immutable"},
+		{"select type mix", nil, nil, nil,
+			[]byte{OpI32Const, 1, OpI64Const, 1, OpI32Const, 0, OpSelect, OpDrop, OpEnd}, "select"},
+		{"unknown opcode", nil, nil, nil,
+			[]byte{0xFE, OpEnd}, "unknown opcode"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m := rawFunc(t, c.params, c.results, c.body, c.locals...)
+			if c.name == "set immutable global" {
+				m.Globals = append(m.Globals, Global{
+					Type: GlobalType{Type: I32, Mutable: false},
+					Init: []byte{OpI32Const, 0, OpEnd},
+				})
+			}
+			err := Validate(m)
+			if err == nil {
+				t.Fatalf("invalid module accepted")
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestValidateUnreachableCodeIsPolymorphic(t *testing.T) {
+	// unreachable; i32.add; end — allowed: operands are polymorphic.
+	body := []byte{OpUnreachable, OpI32Add, OpDrop, OpEnd}
+	m := rawFunc(t, nil, nil, body)
+	if err := Validate(m); err != nil {
+		t.Fatalf("polymorphic unreachable code rejected: %v", err)
+	}
+}
+
+func TestValidateBrTable(t *testing.T) {
+	// block block br_table 0 1 1 end end
+	body := []byte{
+		OpBlock, BlockTypeEmpty,
+		OpBlock, BlockTypeEmpty,
+		OpI32Const, 0,
+		OpBrTable, 2, 0, 1, 1,
+		OpEnd,
+		OpEnd,
+		OpEnd,
+	}
+	m := rawFunc(t, nil, nil, body)
+	if err := Validate(m); err != nil {
+		t.Fatalf("br_table rejected: %v", err)
+	}
+}
+
+func TestValidateLoopWithResult(t *testing.T) {
+	body := []byte{
+		OpLoop, byte(I32),
+		OpI32Const, 7,
+		OpEnd,
+		OpDrop,
+		OpEnd,
+	}
+	m := rawFunc(t, nil, nil, body)
+	if err := Validate(m); err != nil {
+		t.Fatalf("loop with result rejected: %v", err)
+	}
+}
+
+func TestValidateMemoryOpsRequireMemory(t *testing.T) {
+	b := NewBuilder("nomem")
+	ti := b.TypeIdx(nil, nil)
+	m := b.Module()
+	m.Funcs = append(m.Funcs, Func{TypeIdx: ti, Body: []byte{
+		OpI32Const, 0, OpI32Load, 2, 0, OpDrop, OpEnd,
+	}})
+	if err := Validate(m); err == nil {
+		t.Fatal("memory access without memory accepted")
+	}
+}
+
+func TestValidateAlignmentTooLarge(t *testing.T) {
+	body := []byte{OpI32Const, 0, OpI32Load, 5, 0, OpDrop, OpEnd}
+	m := rawFunc(t, nil, nil, body)
+	if err := Validate(m); err == nil {
+		t.Fatal("over-aligned load accepted")
+	}
+}
+
+func TestValidateStructure(t *testing.T) {
+	t.Run("export bad index", func(t *testing.T) {
+		b := NewBuilder("x")
+		f := b.NewFunc("", nil, nil)
+		f.Finish()
+		m := b.Module()
+		m.Exports = append(m.Exports, Export{Name: "f", Kind: ExternFunc, Index: 10})
+		if Validate(m) == nil {
+			t.Fatal("bad export index accepted")
+		}
+	})
+	t.Run("start wrong sig", func(t *testing.T) {
+		b := NewBuilder("x")
+		f := b.NewFunc("", []ValType{I32}, nil)
+		f.Drop()
+		idx := f.Finish()
+		b.Start(idx)
+		m := b.Module()
+		if Validate(m) == nil {
+			t.Fatal("start with parameters accepted")
+		}
+	})
+	t.Run("elem without table", func(t *testing.T) {
+		b := NewBuilder("x")
+		f := b.NewFunc("", nil, nil)
+		idx := f.Finish()
+		m := b.Module()
+		m.Elems = append(m.Elems, ElemSegment{
+			Offset: []byte{OpI32Const, 0, OpEnd}, Funcs: []uint32{idx},
+		})
+		if Validate(m) == nil {
+			t.Fatal("elem without table accepted")
+		}
+	})
+	t.Run("data without memory", func(t *testing.T) {
+		b := NewBuilder("x")
+		m := b.Module()
+		m.Data = append(m.Data, DataSegment{
+			Offset: []byte{OpI32Const, 0, OpEnd}, Init: []byte{1},
+		})
+		if Validate(m) == nil {
+			t.Fatal("data without memory accepted")
+		}
+	})
+	t.Run("global init type mismatch", func(t *testing.T) {
+		b := NewBuilder("x")
+		m := b.Module()
+		m.Globals = append(m.Globals, Global{
+			Type: GlobalType{Type: I64},
+			Init: []byte{OpI32Const, 0, OpEnd},
+		})
+		if Validate(m) == nil {
+			t.Fatal("global init type mismatch accepted")
+		}
+	})
+	t.Run("memory too large", func(t *testing.T) {
+		b := NewBuilder("x")
+		b.Memory(70000, -1, false)
+		if Validate(b.Module()) == nil {
+			t.Fatal("oversized memory accepted")
+		}
+	})
+}
+
+func TestBuilderPanics(t *testing.T) {
+	t.Run("import after func", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+		}()
+		b := NewBuilder("x")
+		b.NewFunc("", nil, nil).Finish()
+		b.ImportFunc("m", "f", nil, nil)
+	})
+	t.Run("unfinished func", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+		}()
+		b := NewBuilder("x")
+		b.NewFunc("", nil, nil)
+		b.Module()
+	})
+	t.Run("unbalanced blocks", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+		}()
+		b := NewBuilder("x")
+		f := b.NewFunc("", nil, nil)
+		f.Block()
+		f.Finish()
+	})
+}
+
+func TestEvalConstExpr(t *testing.T) {
+	if got := EvalConstExpr(append(AppendS32([]byte{OpI32Const}, -5), OpEnd), nil); got != uint64(uint32(0xFFFFFFFB)) {
+		t.Errorf("i32 const: got %#x", got)
+	}
+	if got := EvalConstExpr(append(AppendS64([]byte{OpI64Const}, 1<<40), OpEnd), nil); got != 1<<40 {
+		t.Errorf("i64 const: got %#x", got)
+	}
+	if got := EvalConstExpr([]byte{OpGlobalGet, 1, OpEnd}, []uint64{7, 9}); got != 9 {
+		t.Errorf("global.get: got %d", got)
+	}
+}
