@@ -1,0 +1,3 @@
+module gowali
+
+go 1.24

@@ -1,0 +1,69 @@
+package interp
+
+import (
+	"testing"
+
+	"gowali/internal/wasm"
+)
+
+// benchModule is a compute-bound xorshift loop, the same shape as the lua
+// app's hot path: shifts, xors, locals, a compare and a back-edge per
+// iteration.
+func benchModule() *wasm.Module {
+	b := wasm.NewBuilder("bench")
+	f := b.NewFunc("spin", []wasm.ValType{wasm.I32}, []wasm.ValType{wasm.I32})
+	x := f.Local(wasm.I32)
+	i := f.Local(wasm.I32)
+	f.I32Const(-1640531527).LocalSet(x)
+	f.Block()
+	f.Loop()
+	f.LocalGet(i).LocalGet(0).Op(wasm.OpI32GeS).BrIf(1)
+	f.LocalGet(x).LocalGet(x).I32Const(13).Op(wasm.OpI32Shl).Op(wasm.OpI32Xor).LocalSet(x)
+	f.LocalGet(x).LocalGet(x).I32Const(17).Op(wasm.OpI32ShrU).Op(wasm.OpI32Xor).LocalSet(x)
+	f.LocalGet(x).LocalGet(x).I32Const(5).Op(wasm.OpI32Shl).Op(wasm.OpI32Xor).LocalSet(x)
+	f.LocalGet(i).I32Const(1).Op(wasm.OpI32Add).LocalSet(i)
+	f.Br(0)
+	f.End()
+	f.End()
+	f.LocalGet(x)
+	f.Finish()
+	return b.Module()
+}
+
+// BenchmarkEngines compares the pre-decoded IR engine against the legacy
+// wire-bytecode engine on identical code, per safepoint scheme.
+func BenchmarkEngines(b *testing.B) {
+	m := benchModule()
+	if err := wasm.Validate(m); err != nil {
+		b.Fatal(err)
+	}
+	fidx, _ := m.ExportedFunc("spin")
+	const iters = 100000
+	for _, wire := range []bool{false, true} {
+		name := "ir"
+		if wire {
+			name = "wire"
+		}
+		b.Run(name, func(b *testing.B) {
+			for _, scheme := range []SafepointScheme{SafepointNone, SafepointLoop} {
+				b.Run(scheme.String(), func(b *testing.B) {
+					inst, err := NewInstance(m, NewLinker())
+					if err != nil {
+						b.Fatal(err)
+					}
+					e := NewExec(inst)
+					e.Wire = wire
+					e.Scheme = scheme
+					e.Poll = func(*Exec) {}
+					b.ResetTimer()
+					for n := 0; n < b.N; n++ {
+						if _, err := e.Invoke(fidx, iters); err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(iters), "ns/iter")
+				})
+			}
+		})
+	}
+}

@@ -2,6 +2,7 @@ package interp
 
 import (
 	"encoding/binary"
+	"fmt"
 	"math"
 	"math/bits"
 
@@ -78,6 +79,12 @@ type Exec struct {
 	Poll   func(*Exec)
 	Scheme SafepointScheme
 
+	// Wire selects the legacy wire-bytecode engine instead of the
+	// pre-decoded IR (see predecode.go). The two engines use different pc
+	// spaces, so the flag must not change while frames are live; it exists
+	// for differential testing and as a fallback.
+	Wire bool
+
 	MaxFrames int
 	MaxStack  int
 
@@ -134,6 +141,7 @@ func (e *Exec) Invoke(fidx uint32, args ...uint64) (res []uint64, err error) {
 		if r := recover(); r != nil {
 			switch t := r.(type) {
 			case *Trap:
+				t.Stack = e.Backtrace()
 				err = t
 			case *Exit:
 				err = t
@@ -166,6 +174,7 @@ func (e *Exec) Resume() (err error) {
 		if r := recover(); r != nil {
 			switch t := r.(type) {
 			case *Trap:
+				t.Stack = e.Backtrace()
 				err = t
 			case *Exit:
 				err = t
@@ -208,6 +217,7 @@ func (e *Exec) CloneWith(inst *Instance) *Exec {
 		Inst:      inst,
 		stack:     append([]uint64(nil), e.stack...),
 		Scheme:    e.Scheme,
+		Wire:      e.Wire,
 		MaxFrames: e.MaxFrames,
 		MaxStack:  e.MaxStack,
 	}
@@ -298,18 +308,330 @@ func (e *Exec) branch(f *frame, depth int) bool {
 
 // run executes until the frame stack shrinks to minFrames.
 func (e *Exec) run(minFrames int) {
+	if e.Wire {
+		e.runWire(minFrames)
+	} else {
+		e.runIR(minFrames)
+	}
+}
+
+// Backtrace returns one line per live frame, innermost first, for trap
+// diagnostics. pc is in the active engine's pc space (IR index or wire
+// byte offset).
+func (e *Exec) Backtrace() []string {
+	bt := make([]string, 0, len(e.frames))
+	for i := len(e.frames) - 1; i >= 0; i-- {
+		f := &e.frames[i]
+		bt = append(bt, fmt.Sprintf("%s +%d", f.fn.name, f.pc))
+	}
+	return bt
+}
+
+// runIR is the hot loop over the pre-decoded IR (see predecode.go).
+//
+// The outer loop pins the current frame and caches its invariants (IR
+// slice, locals base, instance); the inner loop advances a local pc. The
+// resumability invariant — f.pc always points at the next IR instruction —
+// is maintained by flushing the local pc to f.pc at every point where the
+// frame stack can change or the Exec can be observed: function calls and
+// safepoint polls. Traps abandon the Exec, so the innermost frame's pc may
+// be slightly stale in a trap backtrace; outer frames are always exact.
+func (e *Exec) runIR(minFrames int) {
+	// Steps is accumulated locally and flushed to e.Steps at every point
+	// where other code can observe the Exec (safepoints, calls, returns),
+	// keeping the per-instruction fast path free of heap writes. The defer
+	// preserves the count when a trap unwinds mid-burst; on normal return
+	// every exit path has already flushed, so it adds zero.
+	var steps uint64
+	defer func() { e.Steps += steps }()
+	for len(e.frames) > minFrames {
+		f := &e.frames[len(e.frames)-1]
+		ins := f.fn.code.ins
+		inst := f.inst
+		base := f.base
+		lbase := base + f.fn.numLocal
+		pc := f.pc
+
+	frameLoop:
+		for {
+			in := &ins[pc]
+			if e.Scheme == SafepointEveryInst {
+				// Poll at the boundary BEFORE executing the instruction,
+				// with f.pc still addressing it: an Exec captured (forked)
+				// inside the poll re-executes it on resume, exactly like
+				// the parent does after the poll returns.
+				f.pc = pc
+				e.Steps += steps
+				steps = 0
+				e.safepoint()
+				// A poll may reenter the module, growing (relocating) the
+				// frame stack; the cached invariants are unchanged but the
+				// frame pointer must be refetched.
+				f = &e.frames[len(e.frames)-1]
+			}
+			pc++
+			steps++
+
+			switch in.op {
+			case iLoopEnter:
+				if e.Scheme == SafepointLoop {
+					f.pc = pc
+					e.Steps += steps
+					steps = 0
+					e.safepoint()
+					f = &e.frames[len(e.frames)-1]
+				}
+			case iBr:
+				h := lbase + int(in.b)
+				c := int(in.c)
+				copy(e.stack[h:], e.stack[len(e.stack)-c:])
+				e.stack = e.stack[:h+c]
+				pc = int(in.a)
+			case iBrIf:
+				if uint32(e.pop()) != 0 {
+					h := lbase + int(in.b)
+					c := int(in.c)
+					copy(e.stack[h:], e.stack[len(e.stack)-c:])
+					e.stack = e.stack[:h+c]
+					pc = int(in.a)
+				}
+			case iBrTable:
+				i := uint32(e.pop())
+				if i > in.b {
+					i = in.b
+				}
+				t := &f.fn.code.tables[in.a+i]
+				if t.pc == brTargetReturn {
+					e.Steps += steps
+					steps = 0
+					e.doReturn()
+					break frameLoop
+				}
+				h := lbase + int(t.height)
+				c := int(t.carry)
+				copy(e.stack[h:], e.stack[len(e.stack)-c:])
+				e.stack = e.stack[:h+c]
+				pc = int(t.pc)
+			case iIf:
+				if uint32(e.pop()) == 0 {
+					pc = int(in.a)
+				}
+			case iReturn:
+				e.Steps += steps
+				steps = 0
+				e.doReturn()
+				break frameLoop
+
+			case iCall:
+				f.pc = pc
+				e.Steps += steps
+				steps = 0
+				e.invokeIndex(inst, in.a)
+				break frameLoop
+			case iCallIndirect:
+				elem := uint32(e.pop())
+				if int(elem) >= len(inst.Table) {
+					Throw(TrapTableOutOfBounds, "element %d, table size %d", elem, len(inst.Table))
+				}
+				fidx := inst.Table[elem]
+				if fidx < 0 {
+					Throw(TrapNullFunc, "element %d", elem)
+				}
+				want := inst.Module.Types[in.a]
+				if !inst.funcs[fidx].typ.Equal(want) {
+					Throw(TrapSigMismatch, "element %d: expected %v, got %v", elem, want, inst.funcs[fidx].typ)
+				}
+				f.pc = pc
+				e.Steps += steps
+				steps = 0
+				e.invokeIndex(inst, uint32(fidx))
+				break frameLoop
+
+			case iUnreachable:
+				f.pc = pc
+				e.Steps += steps
+				steps = 0
+				Throw(TrapUnreachable, "")
+
+			case iDrop:
+				e.pop()
+			case iSelect:
+				c := uint32(e.pop())
+				b := e.pop()
+				a := e.pop()
+				if c != 0 {
+					e.push(a)
+				} else {
+					e.push(b)
+				}
+
+			case iLocalGet:
+				e.push(e.stack[base+int(in.a)])
+			case iLocalSet:
+				e.stack[base+int(in.a)] = e.pop()
+			case iLocalTee:
+				e.stack[base+int(in.a)] = *e.top()
+			case iGlobalGet:
+				e.push(inst.Globals[in.a])
+			case iGlobalSet:
+				inst.Globals[in.a] = e.pop()
+
+			case iConst:
+				e.push(in.imm)
+
+			case iMemorySize:
+				e.push(uint64(inst.Mem.Pages()))
+			case iMemoryGrow:
+				delta := uint32(e.pop())
+				e.push(uint64(uint32(inst.Mem.Grow(delta))))
+
+			case iMemCopy:
+				ln := uint32(e.pop())
+				src := uint32(e.pop())
+				dst := uint32(e.pop())
+				mem := inst.Mem
+				if !mem.InRange(src, ln) || !mem.InRange(dst, ln) {
+					Throw(TrapMemOutOfBounds, "memory.copy dst=%d src=%d len=%d", dst, src, ln)
+				}
+				copy(mem.Data[dst:dst+ln], mem.Data[src:src+ln])
+			case iMemFill:
+				ln := uint32(e.pop())
+				val := byte(e.pop())
+				dst := uint32(e.pop())
+				mem := inst.Mem
+				if !mem.InRange(dst, ln) {
+					Throw(TrapMemOutOfBounds, "memory.fill dst=%d len=%d", dst, ln)
+				}
+				for i := uint32(0); i < ln; i++ {
+					mem.Data[dst+i] = val
+				}
+			case iTruncSat:
+				e.execTruncSat(in.a)
+
+			case iMemAccess:
+				e.execMemAccess(inst.Mem, byte(in.b), in.a)
+			case iNumeric:
+				e.execNumeric(byte(in.a))
+
+			// Inlined hot ALU/compare ops with direct stack indexing.
+			case iI32Eqz:
+				v := &e.stack[len(e.stack)-1]
+				*v = b2i(uint32(*v) == 0)
+			case iI32Add:
+				n := len(e.stack)
+				e.stack[n-2] = uint64(uint32(e.stack[n-2]) + uint32(e.stack[n-1]))
+				e.stack = e.stack[:n-1]
+			case iI32Sub:
+				n := len(e.stack)
+				e.stack[n-2] = uint64(uint32(e.stack[n-2]) - uint32(e.stack[n-1]))
+				e.stack = e.stack[:n-1]
+			case iI32Mul:
+				n := len(e.stack)
+				e.stack[n-2] = uint64(uint32(e.stack[n-2]) * uint32(e.stack[n-1]))
+				e.stack = e.stack[:n-1]
+			case iI32And:
+				n := len(e.stack)
+				e.stack[n-2] = uint64(uint32(e.stack[n-2]) & uint32(e.stack[n-1]))
+				e.stack = e.stack[:n-1]
+			case iI32Or:
+				n := len(e.stack)
+				e.stack[n-2] = uint64(uint32(e.stack[n-2]) | uint32(e.stack[n-1]))
+				e.stack = e.stack[:n-1]
+			case iI32Xor:
+				n := len(e.stack)
+				e.stack[n-2] = uint64(uint32(e.stack[n-2]) ^ uint32(e.stack[n-1]))
+				e.stack = e.stack[:n-1]
+			case iI32Shl:
+				n := len(e.stack)
+				e.stack[n-2] = uint64(uint32(e.stack[n-2]) << (uint32(e.stack[n-1]) & 31))
+				e.stack = e.stack[:n-1]
+			case iI32ShrS:
+				n := len(e.stack)
+				e.stack[n-2] = uint64(uint32(int32(e.stack[n-2]) >> (uint32(e.stack[n-1]) & 31)))
+				e.stack = e.stack[:n-1]
+			case iI32ShrU:
+				n := len(e.stack)
+				e.stack[n-2] = uint64(uint32(e.stack[n-2]) >> (uint32(e.stack[n-1]) & 31))
+				e.stack = e.stack[:n-1]
+			case iI32Eq:
+				n := len(e.stack)
+				e.stack[n-2] = b2i(uint32(e.stack[n-2]) == uint32(e.stack[n-1]))
+				e.stack = e.stack[:n-1]
+			case iI32Ne:
+				n := len(e.stack)
+				e.stack[n-2] = b2i(uint32(e.stack[n-2]) != uint32(e.stack[n-1]))
+				e.stack = e.stack[:n-1]
+			case iI32LtS:
+				n := len(e.stack)
+				e.stack[n-2] = b2i(int32(e.stack[n-2]) < int32(e.stack[n-1]))
+				e.stack = e.stack[:n-1]
+			case iI32LtU:
+				n := len(e.stack)
+				e.stack[n-2] = b2i(uint32(e.stack[n-2]) < uint32(e.stack[n-1]))
+				e.stack = e.stack[:n-1]
+			case iI32GtS:
+				n := len(e.stack)
+				e.stack[n-2] = b2i(int32(e.stack[n-2]) > int32(e.stack[n-1]))
+				e.stack = e.stack[:n-1]
+			case iI32GtU:
+				n := len(e.stack)
+				e.stack[n-2] = b2i(uint32(e.stack[n-2]) > uint32(e.stack[n-1]))
+				e.stack = e.stack[:n-1]
+			case iI32LeS:
+				n := len(e.stack)
+				e.stack[n-2] = b2i(int32(e.stack[n-2]) <= int32(e.stack[n-1]))
+				e.stack = e.stack[:n-1]
+			case iI32LeU:
+				n := len(e.stack)
+				e.stack[n-2] = b2i(uint32(e.stack[n-2]) <= uint32(e.stack[n-1]))
+				e.stack = e.stack[:n-1]
+			case iI32GeS:
+				n := len(e.stack)
+				e.stack[n-2] = b2i(int32(e.stack[n-2]) >= int32(e.stack[n-1]))
+				e.stack = e.stack[:n-1]
+			case iI32GeU:
+				n := len(e.stack)
+				e.stack[n-2] = b2i(uint32(e.stack[n-2]) >= uint32(e.stack[n-1]))
+				e.stack = e.stack[:n-1]
+			case iI64Add:
+				n := len(e.stack)
+				e.stack[n-2] += e.stack[n-1]
+				e.stack = e.stack[:n-1]
+			case iI64Sub:
+				n := len(e.stack)
+				e.stack[n-2] -= e.stack[n-1]
+				e.stack = e.stack[:n-1]
+			case iI64LeS:
+				n := len(e.stack)
+				e.stack[n-2] = b2i(int64(e.stack[n-2]) <= int64(e.stack[n-1]))
+				e.stack = e.stack[:n-1]
+			case iI32WrapI64, iI64ExtendI32U:
+				v := &e.stack[len(e.stack)-1]
+				*v = uint64(uint32(*v))
+			}
+		}
+	}
+}
+
+// runWire executes the legacy wire-bytecode engine (Exec.Wire), decoding
+// LEB immediates and maintaining a runtime label stack per frame. Kept for
+// differential testing against the IR engine.
+func (e *Exec) runWire(minFrames int) {
 	for len(e.frames) > minFrames {
 		f := &e.frames[len(e.frames)-1]
 		body := f.fn.body
 		pc := f.pc
 		opPC := pc
+		if e.Scheme == SafepointEveryInst {
+			// Poll before executing, with f.pc still addressing the
+			// instruction, so a capture inside the poll resumes correctly
+			// (same contract as runIR).
+			e.safepoint()
+			f = &e.frames[len(e.frames)-1]
+		}
 		op := body[pc]
 		pc++
 		e.Steps++
-		if e.Scheme == SafepointEveryInst {
-			f.pc = pc
-			e.safepoint()
-		}
 
 		switch op {
 		case wasm.OpUnreachable:
@@ -475,11 +797,13 @@ func (e *Exec) run(minFrames int) {
 			f.pc = pc + 8
 
 		case wasm.OpMemorySize:
-			pc++ // zero byte
+			_, n := readU32(body, pc) // LEB memory index
+			pc += n
 			e.push(uint64(f.inst.Mem.Pages()))
 			f.pc = pc
 		case wasm.OpMemoryGrow:
-			pc++
+			_, n := readU32(body, pc)
+			pc += n
 			delta := uint32(e.pop())
 			e.push(uint64(uint32(f.inst.Mem.Grow(delta))))
 			f.pc = pc
@@ -489,7 +813,10 @@ func (e *Exec) run(minFrames int) {
 			pc += n
 			switch sub {
 			case wasm.FCMemoryCopy:
-				pc += 2
+				_, n1 := readU32(body, pc)
+				pc += n1
+				_, n2 := readU32(body, pc)
+				pc += n2
 				ln := uint32(e.pop())
 				src := uint32(e.pop())
 				dst := uint32(e.pop())
@@ -499,7 +826,8 @@ func (e *Exec) run(minFrames int) {
 				}
 				copy(mem.Data[dst:dst+ln], mem.Data[src:src+ln])
 			case wasm.FCMemoryFill:
-				pc++
+				_, n := readU32(body, pc)
+				pc += n
 				ln := uint32(e.pop())
 				val := byte(e.pop())
 				dst := uint32(e.pop())

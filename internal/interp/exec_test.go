@@ -591,3 +591,38 @@ func TestRotates(t *testing.T) {
 		t.Errorf("rotl(0x80000000,1) = %#x, want 1", got)
 	}
 }
+
+// TestOverlongLEBImmediates locks in LEB-correct immediate skipping: the
+// validator accepts overlong encodings (here a 2-byte LEB 0 as the
+// memory.size index), so the pre-decoder and both engines must skip by
+// decode, not by fixed width. Regression for a desync where the trailing
+// continuation byte was decoded as an opcode.
+func TestOverlongLEBImmediates(t *testing.T) {
+	m := &wasm.Module{
+		Types: []wasm.FuncType{{Results: []wasm.ValType{wasm.I32}}},
+		Funcs: []wasm.Func{{TypeIdx: 0, Body: []byte{
+			wasm.OpMemorySize, 0x80, 0x00, // overlong LEB memory index 0
+			wasm.OpEnd,
+		}}},
+		Mem:     &wasm.Limits{Min: 1, HasMax: true, Max: 1},
+		Exports: []wasm.Export{{Name: "main", Kind: wasm.ExternFunc, Index: 0}},
+	}
+	if err := wasm.Validate(m); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	inst, err := NewInstance(m, NewLinker())
+	if err != nil {
+		t.Fatalf("instantiate: %v", err)
+	}
+	for _, wire := range []bool{false, true} {
+		e := NewExec(inst)
+		e.Wire = wire
+		res, err := e.Invoke(0)
+		if err != nil {
+			t.Fatalf("wire=%v: %v", wire, err)
+		}
+		if uint32(res[0]) != 1 {
+			t.Errorf("wire=%v: memory.size = %d, want 1", wire, res[0])
+		}
+	}
+}

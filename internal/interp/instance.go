@@ -77,6 +77,7 @@ type resolvedFunc struct {
 	body     []byte
 	locals   []wasm.ValType // non-param locals
 	side     *sideTable
+	code     *irCode // pre-decoded body (predecode.go); the default engine
 	numParam int
 	numLocal int // including params
 }
@@ -167,10 +168,25 @@ func NewInstance(m *wasm.Module, l *Linker) (*Instance, error) {
 	}
 
 	nImp := m.NumImportedFuncs()
+	// Full index-space signature table (imports first), needed by the
+	// pre-decoder to compute static stack effects of calls.
+	sigs := make([]wasm.FuncType, 0, nImp+len(m.Funcs))
+	for _, im := range m.Imports {
+		if im.Kind == wasm.ExternFunc {
+			sigs = append(sigs, m.Types[im.TypeIdx])
+		}
+	}
+	for i := range m.Funcs {
+		sigs = append(sigs, m.Types[m.Funcs[i].TypeIdx])
+	}
 	for i := range m.Funcs {
 		f := &m.Funcs[i]
 		ft := m.Types[f.TypeIdx]
 		side, err := buildSideTable(m, f)
+		if err != nil {
+			return nil, fmt.Errorf("wasm: func[%d]: %w", nImp+i, err)
+		}
+		code, err := predecode(f, ft, sigs, m.Types, side)
 		if err != nil {
 			return nil, fmt.Errorf("wasm: func[%d]: %w", nImp+i, err)
 		}
@@ -180,6 +196,7 @@ func NewInstance(m *wasm.Module, l *Linker) (*Instance, error) {
 			body:     f.Body,
 			locals:   f.Locals,
 			side:     side,
+			code:     code,
 			numParam: len(ft.Params),
 			numLocal: len(ft.Params) + len(f.Locals),
 		})

@@ -1,0 +1,575 @@
+// Pre-decoded internal representation (IR) for the interpreter hot loop.
+//
+// # Why
+//
+// The wire bytecode stores immediates as LEB128 and expresses control flow
+// structurally (block/loop/if ... end), so a naive in-place interpreter pays
+// for a varint decode on every immediate-carrying instruction and a runtime
+// label push/pop on every block entry/exit, every dynamic execution. The
+// one-time pass in this file translates each validated function body into a
+// flat array of fixed-width instructions with immediates already decoded and
+// branch targets already resolved, so the hot loop is a single dense
+// switch with no decoding and no label stack at all.
+//
+// # IR layout
+//
+// An IR function body is an irCode: a []instr plus a flat pool of br_table
+// targets. Each instr is one fixed-width struct:
+//
+//	op  uint16 — a dense internal opcode (the i* constants below; NOT the
+//	             wire opcode), so the dispatch switch compiles to a jump
+//	             table. iNumeric/iMemAccess carry the wire opcode in a/b
+//	             for the shared execNumeric/execMemAccess tails.
+//	a   uint32 — primary immediate: local/global index, function or type
+//	             index, memory offset, branch target pc, br_table pool
+//	             offset, trunc-sat sub-opcode, or wire opcode (iNumeric)
+//	b   uint32 — branch stack height (operand slots above the frame's
+//	             locals); br_table entry count; wire opcode (iMemAccess)
+//	c   uint32 — branch carry (number of values a branch transfers)
+//	imm uint64 — pre-decoded constant bits for *.const (all four widths)
+//
+// Structured control disappears entirely:
+//
+//   - block: no IR instruction. Forward branches to its end are emitted as
+//     iBr/iBrIf/iBrTable with the absolute target pc patched when the
+//     matching end is reached.
+//   - loop: a single iLoopEnter instruction at the loop header, which is the
+//     target of every back-edge. It exists only to poll the safepoint under
+//     SafepointLoop, preserving the wire engine's poll count exactly
+//     (one poll at loop entry plus one per taken back-edge).
+//   - if: an iIf instruction that pops the condition and jumps to the
+//     pre-resolved false-target (the else arm, or past the end).
+//   - else: an iBr jumping past the end (the fall-out-of-true-arm path).
+//   - end: no IR instruction; fallthrough is implicit because validation
+//     fixes the operand stack height at every join point.
+//
+// A branch is therefore one pc assignment plus one stack slide:
+//
+//	h := frame.base + fn.numLocal + int(in.b)
+//	copy(stack[h:], stack[len(stack)-c:]); stack = stack[:h+c]
+//	frame.pc = int(in.a)
+//
+// Branches that target the function label compile to iReturn.
+//
+// # Resumability invariant
+//
+// frame.pc ALWAYS points at the next IR instruction to execute: the
+// interpreter increments pc before dispatching, and branch/call opcodes
+// overwrite it before transferring control. An Exec captured during a host
+// call (WALI fork via CloneWith) or inside a safepoint poll therefore
+// resumes cleanly at the next instruction, with no auxiliary state — the IR
+// engine keeps no runtime label stack, so a frame is fully described by
+// (fn, inst, base, pc). All four SafepointSchemes rely on this: a poll may
+// reenter the module (CallFunc) and push frames above the captured one.
+//
+// Unreachable wire code (after br/return/unreachable until the enclosing
+// else/end) is never emitted: it cannot execute, and no resumable pc can
+// point into it. The wire bytecode path (Exec.Wire) is retained for
+// differential testing; the two engines' pcs are NOT interchangeable, so an
+// Exec must keep one engine for its whole lifetime (CloneWith preserves it).
+package interp
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"gowali/internal/wasm"
+)
+
+// IR opcodes. The space is dense (0..N) so the dispatch switch in runIR
+// compiles to a jump table. Hot ALU/compare ops get their own codes and are
+// inlined in the dispatch loop; the long tail shares iNumeric, which
+// carries the wire opcode in the a field.
+const (
+	iLoopEnter    uint16 = iota // loop header; polls under SafepointLoop
+	iBr                         // a=target pc, b=height, c=carry
+	iBrIf                       // like iBr, pops condition first
+	iBrTable                    // a=pool offset, b=entry count (excl. default)
+	iIf                         // a=false-target pc; pops condition
+	iReturn                     // pop frame, slide results
+	iCall                       // a=function index
+	iCallIndirect               // a=type index
+	iUnreachable
+	iDrop
+	iSelect
+	iLocalGet  // a=local index
+	iLocalSet  // a=local index
+	iLocalTee  // a=local index
+	iGlobalGet // a=global index
+	iGlobalSet // a=global index
+	iConst     // imm=value bits (all four const widths)
+	iMemorySize
+	iMemoryGrow
+	iMemCopy
+	iMemFill
+	iTruncSat  // a=0xFC sub-opcode
+	iMemAccess // a=offset, b=wire opcode
+	iNumeric   // a=wire opcode, dispatched via execNumeric
+
+	// Inlined hot ALU/compare ops.
+	iI32Eqz
+	iI32Add
+	iI32Sub
+	iI32Mul
+	iI32And
+	iI32Or
+	iI32Xor
+	iI32Shl
+	iI32ShrS
+	iI32ShrU
+	iI32Eq
+	iI32Ne
+	iI32LtS
+	iI32LtU
+	iI32GtS
+	iI32GtU
+	iI32LeS
+	iI32LeU
+	iI32GeS
+	iI32GeU
+	iI64Add
+	iI64Sub
+	iI64LeS
+	iI32WrapI64
+	iI64ExtendI32U
+)
+
+// aluCode maps a wire opcode to its inlined dense IR opcode, if it has one.
+func aluCode(op byte) (uint16, bool) {
+	switch op {
+	case wasm.OpI32Eqz:
+		return iI32Eqz, true
+	case wasm.OpI32Add:
+		return iI32Add, true
+	case wasm.OpI32Sub:
+		return iI32Sub, true
+	case wasm.OpI32Mul:
+		return iI32Mul, true
+	case wasm.OpI32And:
+		return iI32And, true
+	case wasm.OpI32Or:
+		return iI32Or, true
+	case wasm.OpI32Xor:
+		return iI32Xor, true
+	case wasm.OpI32Shl:
+		return iI32Shl, true
+	case wasm.OpI32ShrS:
+		return iI32ShrS, true
+	case wasm.OpI32ShrU:
+		return iI32ShrU, true
+	case wasm.OpI32Eq:
+		return iI32Eq, true
+	case wasm.OpI32Ne:
+		return iI32Ne, true
+	case wasm.OpI32LtS:
+		return iI32LtS, true
+	case wasm.OpI32LtU:
+		return iI32LtU, true
+	case wasm.OpI32GtS:
+		return iI32GtS, true
+	case wasm.OpI32GtU:
+		return iI32GtU, true
+	case wasm.OpI32LeS:
+		return iI32LeS, true
+	case wasm.OpI32LeU:
+		return iI32LeU, true
+	case wasm.OpI32GeS:
+		return iI32GeS, true
+	case wasm.OpI32GeU:
+		return iI32GeU, true
+	case wasm.OpI64Add:
+		return iI64Add, true
+	case wasm.OpI64Sub:
+		return iI64Sub, true
+	case wasm.OpI64LeS:
+		return iI64LeS, true
+	case wasm.OpI32WrapI64:
+		return iI32WrapI64, true
+	case wasm.OpI64ExtendI32U:
+		return iI64ExtendI32U, true
+	}
+	return 0, false
+}
+
+// instr is one fixed-width pre-decoded instruction. See the package comment
+// for field roles per opcode.
+type instr struct {
+	op  uint16
+	a   uint32
+	b   uint32
+	c   uint32
+	imm uint64
+}
+
+// brTarget is one resolved br_table destination.
+type brTarget struct {
+	pc     uint32
+	height uint32
+	carry  uint32
+}
+
+// irCode is a pre-decoded function body.
+type irCode struct {
+	ins    []instr
+	tables []brTarget // br_table pool; instr.a indexes into it
+}
+
+// pdFixup records a forward-branch slot to patch when the targeted
+// construct's end is reached: an instruction's a field, or a br_table pool
+// entry's pc.
+type pdFixup struct {
+	table bool
+	idx   int
+}
+
+// pdCtrl is one open construct during pre-decoding. height/carry are the
+// compile-time analogues of the wire engine's runtime label fields.
+type pdCtrl struct {
+	live        bool // born in reachable code; dead frames only track structure
+	isLoop      bool
+	height      int // operand slots above locals at label entry, below params
+	carry       int // values a branch to this label transfers
+	resultArity int
+	paramArity  int
+	loopPC      uint32 // iLoopEnter pc (loops only)
+	fixups      []pdFixup
+	ifFixup     int  // iIf false-target slot awaiting else/end; -1 if none
+	unreachable bool // current code position within this construct is dead
+}
+
+// predecode translates a validated function body into IR. sigs is the full
+// function index space signature table (imports first); side supplies the
+// block arities already computed by buildSideTable.
+func predecode(f *wasm.Func, ft wasm.FuncType, sigs []wasm.FuncType, types []wasm.FuncType, side *sideTable) (*irCode, error) {
+	code := &irCode{}
+	body := f.Body
+
+	emit := func(in instr) int {
+		code.ins = append(code.ins, in)
+		return len(code.ins) - 1
+	}
+
+	ctrls := []pdCtrl{{
+		live:        true,
+		carry:       len(ft.Results),
+		resultArity: len(ft.Results),
+		ifFixup:     -1,
+	}}
+	height := 0
+	pc := 0
+
+	for pc < len(body) {
+		opPC := pc
+		op := body[pc]
+		pc++
+		cur := &ctrls[len(ctrls)-1]
+		dead := cur.unreachable
+
+		switch op {
+		case wasm.OpBlock, wasm.OpLoop, wasm.OpIf:
+			info, ok := side.ctrl[opPC]
+			if !ok {
+				return nil, fmt.Errorf("predecode: no side-table entry at pc %d", opPC)
+			}
+			pc = info.bodyStart
+			c := pdCtrl{live: !dead, isLoop: op == wasm.OpLoop, ifFixup: -1,
+				paramArity: info.paramArity, resultArity: info.resultArity}
+			if !dead {
+				if op == wasm.OpIf {
+					height-- // condition
+				}
+				c.height = height - info.paramArity
+				if op == wasm.OpLoop {
+					c.carry = info.paramArity
+					c.loopPC = uint32(len(code.ins))
+					emit(instr{op: iLoopEnter})
+				} else {
+					c.carry = info.resultArity
+				}
+				if op == wasm.OpIf {
+					c.ifFixup = emit(instr{op: iIf})
+				}
+			}
+			ctrls = append(ctrls, c)
+			continue
+
+		case wasm.OpElse:
+			// cur is the if frame. Falling out of a reachable true arm
+			// jumps past the end; the iIf false-target lands here.
+			if cur.live {
+				if !cur.unreachable {
+					idx := emit(instr{op: iBr, b: uint32(cur.height), c: uint32(cur.resultArity)})
+					cur.fixups = append(cur.fixups, pdFixup{idx: idx})
+				}
+				if cur.ifFixup >= 0 {
+					code.ins[cur.ifFixup].a = uint32(len(code.ins))
+					cur.ifFixup = -1
+				}
+				cur.unreachable = false
+				height = cur.height + cur.paramArity
+			}
+			continue
+
+		case wasm.OpEnd:
+			child := ctrls[len(ctrls)-1]
+			ctrls = ctrls[:len(ctrls)-1]
+			if child.live {
+				if child.ifFixup >= 0 {
+					// if with no else: false jumps past the end.
+					code.ins[child.ifFixup].a = uint32(len(code.ins))
+				}
+				for _, fx := range child.fixups {
+					if fx.table {
+						code.tables[fx.idx].pc = uint32(len(code.ins))
+					} else {
+						code.ins[fx.idx].a = uint32(len(code.ins))
+					}
+				}
+				height = child.height + child.resultArity
+			}
+			if len(ctrls) == 0 {
+				// Function end: the implicit return. Always emitted so pc
+				// never runs off the instruction array.
+				emit(instr{op: iReturn})
+				return code, nil
+			}
+			continue
+		}
+
+		if dead {
+			// Skip immediates of dead straight-line code; never emitted.
+			n, err := skipImmediates(body, op, pc)
+			if err != nil {
+				return nil, err
+			}
+			pc += n
+			continue
+		}
+
+		switch op {
+		case wasm.OpUnreachable:
+			emit(instr{op: iUnreachable})
+			cur.unreachable = true
+		case wasm.OpNop:
+			// no IR
+
+		case wasm.OpBr:
+			depth, n, _ := wasm.ReadU32(body, pc)
+			pc += n
+			emitBranch(code, ctrls, int(depth), iBr)
+			cur.unreachable = true
+		case wasm.OpBrIf:
+			depth, n, _ := wasm.ReadU32(body, pc)
+			pc += n
+			height-- // condition
+			emitBranch(code, ctrls, int(depth), iBrIf)
+		case wasm.OpBrTable:
+			cnt, n, _ := wasm.ReadU32(body, pc)
+			pc += n
+			height-- // index
+			base := len(code.tables)
+			for k := uint32(0); k <= cnt; k++ {
+				depth, n, _ := wasm.ReadU32(body, pc)
+				pc += n
+				code.tables = append(code.tables, resolveTableTarget(code, ctrls, int(depth), base+int(k)))
+			}
+			emit(instr{op: iBrTable, a: uint32(base), b: cnt})
+			cur.unreachable = true
+		case wasm.OpReturn:
+			emit(instr{op: iReturn})
+			cur.unreachable = true
+
+		case wasm.OpCall:
+			idx, n, _ := wasm.ReadU32(body, pc)
+			pc += n
+			sig := sigs[idx]
+			height += len(sig.Results) - len(sig.Params)
+			emit(instr{op: iCall, a: idx})
+		case wasm.OpCallIndirect:
+			ti, n, _ := wasm.ReadU32(body, pc)
+			pc += n
+			_, n, _ = wasm.ReadU32(body, pc) // table byte
+			pc += n
+			sig := types[ti]
+			height += len(sig.Results) - len(sig.Params) - 1
+			emit(instr{op: iCallIndirect, a: ti})
+
+		case wasm.OpDrop:
+			height--
+			emit(instr{op: iDrop})
+		case wasm.OpSelect:
+			height -= 2
+			emit(instr{op: iSelect})
+
+		case wasm.OpLocalGet, wasm.OpLocalSet, wasm.OpLocalTee,
+			wasm.OpGlobalGet, wasm.OpGlobalSet:
+			idx, n, _ := wasm.ReadU32(body, pc)
+			pc += n
+			var iop uint16
+			switch op {
+			case wasm.OpLocalGet:
+				iop = iLocalGet
+				height++
+			case wasm.OpLocalSet:
+				iop = iLocalSet
+				height--
+			case wasm.OpLocalTee:
+				iop = iLocalTee
+			case wasm.OpGlobalGet:
+				iop = iGlobalGet
+				height++
+			case wasm.OpGlobalSet:
+				iop = iGlobalSet
+				height--
+			}
+			emit(instr{op: iop, a: idx})
+
+		case wasm.OpI32Const:
+			v, n, _ := wasm.ReadS32(body, pc)
+			pc += n
+			height++
+			emit(instr{op: iConst, imm: uint64(uint32(v))})
+		case wasm.OpI64Const:
+			v, n, _ := wasm.ReadS64(body, pc)
+			pc += n
+			height++
+			emit(instr{op: iConst, imm: uint64(v)})
+		case wasm.OpF32Const:
+			height++
+			emit(instr{op: iConst, imm: uint64(binary.LittleEndian.Uint32(body[pc:]))})
+			pc += 4
+		case wasm.OpF64Const:
+			height++
+			emit(instr{op: iConst, imm: binary.LittleEndian.Uint64(body[pc:])})
+			pc += 8
+
+		case wasm.OpMemorySize:
+			// The memory-index immediate is LEB-encoded; the validator
+			// accepts overlong encodings, so skip by decode, not width.
+			_, n, _ := wasm.ReadU32(body, pc)
+			pc += n
+			height++
+			emit(instr{op: iMemorySize})
+		case wasm.OpMemoryGrow:
+			_, n, _ := wasm.ReadU32(body, pc)
+			pc += n
+			emit(instr{op: iMemoryGrow})
+
+		case wasm.OpPrefixFC:
+			sub, n, _ := wasm.ReadU32(body, pc)
+			pc += n
+			switch sub {
+			case wasm.FCMemoryCopy:
+				_, n1, _ := wasm.ReadU32(body, pc)
+				pc += n1
+				_, n2, _ := wasm.ReadU32(body, pc)
+				pc += n2
+				height -= 3
+				emit(instr{op: iMemCopy})
+			case wasm.FCMemoryFill:
+				_, n, _ := wasm.ReadU32(body, pc)
+				pc += n
+				height -= 3
+				emit(instr{op: iMemFill})
+			default:
+				emit(instr{op: iTruncSat, a: sub})
+			}
+
+		default:
+			if op >= wasm.OpI32Load && op <= wasm.OpI64Store32 {
+				_, n1, _ := wasm.ReadU32(body, pc) // align
+				pc += n1
+				off, n2, _ := wasm.ReadU32(body, pc)
+				pc += n2
+				if op >= wasm.OpI32Store {
+					height -= 2
+				}
+				emit(instr{op: iMemAccess, a: off, b: uint32(op)})
+			} else {
+				height += numericDelta(op)
+				if c, ok := aluCode(op); ok {
+					emit(instr{op: c})
+				} else {
+					emit(instr{op: iNumeric, a: uint32(op)})
+				}
+			}
+		}
+	}
+	return nil, fmt.Errorf("predecode: function body missing end")
+}
+
+// emitBranch resolves a branch depth against the open-construct stack and
+// emits the branch instruction, registering a fixup for forward targets.
+func emitBranch(code *irCode, ctrls []pdCtrl, depth int, op uint16) {
+	ti := len(ctrls) - 1 - depth
+	if ti <= 0 {
+		// Function label: a branch to it is a return. A conditional one
+		// consumes its condition via iIf skipping the iReturn.
+		if op == iBrIf {
+			idx := len(code.ins)
+			code.ins = append(code.ins, instr{op: iIf, a: uint32(idx + 2)})
+		}
+		code.ins = append(code.ins, instr{op: iReturn})
+		return
+	}
+	t := &ctrls[ti]
+	in := instr{op: op, b: uint32(t.height), c: uint32(t.carry)}
+	if t.isLoop {
+		in.a = t.loopPC
+		code.ins = append(code.ins, in)
+		return
+	}
+	idx := len(code.ins)
+	code.ins = append(code.ins, in)
+	t.fixups = append(t.fixups, pdFixup{idx: idx})
+}
+
+// resolveTableTarget builds one br_table pool entry, registering a fixup on
+// the owning construct for forward targets. Entries targeting the function
+// label get carry == resultArity with the sentinel pc brTargetReturn.
+func resolveTableTarget(code *irCode, ctrls []pdCtrl, depth, poolIdx int) brTarget {
+	ti := len(ctrls) - 1 - depth
+	if ti <= 0 {
+		return brTarget{pc: brTargetReturn}
+	}
+	t := &ctrls[ti]
+	bt := brTarget{height: uint32(t.height), carry: uint32(t.carry)}
+	if t.isLoop {
+		bt.pc = t.loopPC
+		return bt
+	}
+	t.fixups = append(t.fixups, pdFixup{table: true, idx: poolIdx})
+	return bt
+}
+
+// brTargetReturn marks a br_table entry that returns from the function.
+const brTargetReturn = ^uint32(0)
+
+// numericDelta is the operand-stack effect of a pure numeric wire opcode.
+func numericDelta(op byte) int {
+	switch {
+	case op == wasm.OpI32Eqz || op == wasm.OpI64Eqz:
+		return 0
+	case op >= wasm.OpI32Eq && op <= wasm.OpF64Ge: // binary compares
+		return -1
+	case op >= wasm.OpI32Clz && op <= wasm.OpI32Popcnt:
+		return 0
+	case op >= wasm.OpI32Add && op <= wasm.OpI32Rotr:
+		return -1
+	case op >= wasm.OpI64Clz && op <= wasm.OpI64Popcnt:
+		return 0
+	case op >= wasm.OpI64Add && op <= wasm.OpI64Rotr:
+		return -1
+	case op >= wasm.OpF32Abs && op <= wasm.OpF32Sqrt:
+		return 0
+	case op >= wasm.OpF32Add && op <= wasm.OpF32Copysign:
+		return -1
+	case op >= wasm.OpF64Abs && op <= wasm.OpF64Sqrt:
+		return 0
+	case op >= wasm.OpF64Add && op <= wasm.OpF64Copysign:
+		return -1
+	default:
+		// Conversions, reinterpretations, sign extensions: 1 -> 1.
+		return 0
+	}
+}

@@ -1,6 +1,7 @@
 package interp
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -40,12 +41,13 @@ func TestRandomProgramsNeverPanic(t *testing.T) {
 
 // randomProgram emits a stack-disciplined random function (i32,i32)->i32:
 // a generator-side type stack guarantees validity while still exercising
-// arithmetic, memory ops, branches and calls.
+// arithmetic, memory ops, branches, bounded loops and calls.
 func randomProgram(rng *rand.Rand) *wasm.Module {
 	b := wasm.NewBuilder("fuzz")
 	b.Memory(1, 2, false)
 	f := b.NewFunc("main", []wasm.ValType{wasm.I32, wasm.I32}, []wasm.ValType{wasm.I32})
 	tmp := f.Local(wasm.I32)
+	cnt := f.Local(wasm.I32)
 
 	depth := 0 // open blocks
 	stack := 0 // i32 operands currently on the stack
@@ -72,7 +74,7 @@ func randomProgram(rng *rand.Rand) *wasm.Module {
 
 	steps := 20 + rng.Intn(60)
 	for i := 0; i < steps; i++ {
-		switch op := rng.Intn(10); {
+		switch op := rng.Intn(11); {
 		case op < 4 || stack == 0:
 			push()
 		case op < 7 && stack >= 2:
@@ -87,6 +89,17 @@ func randomProgram(rng *rand.Rand) *wasm.Module {
 			f.I32Const(1).LocalSet(tmp)
 			f.Else()
 			f.I32Const(2).LocalSet(tmp)
+			f.End()
+			stack--
+		case op == 9 && stack >= 1:
+			// bounded loop: cnt = 1 + (v & 7); loop { tmp += cnt; cnt--;
+			// br_if 0 while cnt != 0 } — exercises iLoopEnter, back-edges
+			// and the loop-scheme safepoint path.
+			f.I32Const(7).Op(wasm.OpI32And).I32Const(1).Op(wasm.OpI32Add).LocalSet(cnt)
+			f.Loop()
+			f.LocalGet(tmp).LocalGet(cnt).Op(wasm.OpI32Add).LocalSet(tmp)
+			f.LocalGet(cnt).I32Const(1).Op(wasm.OpI32Sub).LocalSet(cnt)
+			f.LocalGet(cnt).BrIf(0)
 			f.End()
 			stack--
 		default:
@@ -112,6 +125,76 @@ func randomProgram(rng *rand.Rand) *wasm.Module {
 	f.Finish()
 	_ = depth
 	return b.Module()
+}
+
+// TestDifferentialWireVsIR is the engine-equivalence harness: every random
+// program must produce identical results (or identical trap codes) on the
+// legacy wire-bytecode engine and the pre-decoded IR engine, under all four
+// safepoint schemes. Poll counts must also agree for the schemes whose
+// placement is semantic (none/loop/func); every-inst polls per executed
+// instruction and the engines execute different instruction streams by
+// design, so only its results are compared.
+func TestDifferentialWireVsIR(t *testing.T) {
+	schemes := []SafepointScheme{SafepointNone, SafepointLoop, SafepointFunc, SafepointEveryInst}
+	rng := rand.New(rand.NewSource(0xBEEF))
+	for trial := 0; trial < 300; trial++ {
+		m := randomProgram(rng)
+		if err := wasm.Validate(m); err != nil {
+			t.Fatalf("trial %d: invalid module: %v", trial, err)
+		}
+		fidx, _ := m.ExportedFunc("main")
+		a0, a1 := uint64(rng.Uint32()), uint64(rng.Uint32())
+
+		for _, scheme := range schemes {
+			type outcome struct {
+				res   []uint64
+				trap  *Trap
+				polls uint64
+			}
+			run := func(wire bool) outcome {
+				inst, err := NewInstance(m, NewLinker())
+				if err != nil {
+					t.Fatalf("trial %d: instantiate: %v", trial, err)
+				}
+				e := NewExec(inst)
+				e.Wire = wire
+				e.Scheme = scheme
+				e.Poll = func(*Exec) {}
+				e.MaxFrames = 64
+				res, err := e.Invoke(fidx, a0, a1)
+				o := outcome{res: res, polls: e.SafepointCount}
+				if err != nil {
+					var trap *Trap
+					if !errors.As(err, &trap) {
+						t.Fatalf("trial %d scheme %v: non-trap error: %v", trial, scheme, err)
+					}
+					o.trap = trap
+				}
+				return o
+			}
+			w, ir := run(true), run(false)
+
+			switch {
+			case w.trap == nil && ir.trap == nil:
+				if len(w.res) != len(ir.res) || (len(w.res) == 1 && w.res[0] != ir.res[0]) {
+					t.Fatalf("trial %d scheme %v: wire result %v, IR result %v",
+						trial, scheme, w.res, ir.res)
+				}
+			case w.trap != nil && ir.trap != nil:
+				if w.trap.Code != ir.trap.Code {
+					t.Fatalf("trial %d scheme %v: wire trap %v, IR trap %v",
+						trial, scheme, w.trap, ir.trap)
+				}
+			default:
+				t.Fatalf("trial %d scheme %v: wire (res=%v trap=%v) vs IR (res=%v trap=%v)",
+					trial, scheme, w.res, w.trap, ir.res, ir.trap)
+			}
+			if scheme != SafepointEveryInst && w.polls != ir.polls {
+				t.Fatalf("trial %d scheme %v: wire polled %d times, IR %d times",
+					trial, scheme, w.polls, ir.polls)
+			}
+		}
+	}
 }
 
 // TestDecoderNeverPanicsOnGarbage: arbitrary byte soup must error, not

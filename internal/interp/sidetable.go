@@ -167,9 +167,23 @@ func skipImmediates(body []byte, op byte, pc int) (int, error) {
 		total := n
 		switch sub {
 		case wasm.FCMemoryCopy:
-			total += 2
+			// Two LEB memory indexes; overlong encodings are valid.
+			_, n1, err := wasm.ReadU32(body, pc+total)
+			if err != nil {
+				return 0, err
+			}
+			total += n1
+			_, n2, err := wasm.ReadU32(body, pc+total)
+			if err != nil {
+				return 0, err
+			}
+			total += n2
 		case wasm.FCMemoryFill:
-			total++
+			_, n1, err := wasm.ReadU32(body, pc+total)
+			if err != nil {
+				return 0, err
+			}
+			total += n1
 		}
 		return total, nil
 	}

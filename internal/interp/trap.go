@@ -48,6 +48,9 @@ var trapNames = map[TrapCode]string{
 type Trap struct {
 	Code TrapCode
 	Msg  string
+	// Stack is the wasm-level backtrace (innermost frame first), captured
+	// at the Invoke/Resume boundary before the execution state is reset.
+	Stack []string
 }
 
 // Error implements error.

@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gowali/internal/linux"
@@ -75,6 +76,10 @@ type Process struct {
 	sig      *SignalState
 	sigMask  uint64 // per-thread blocked set
 	pendingT uint64 // per-thread directed signals (tgkill)
+
+	// pendingTFast mirrors pendingT for the lock-free safepoint fast path
+	// (see SignalState.fast). Written only with mu held.
+	pendingTFast atomic.Uint64
 
 	startMono linux.Timespec
 	utimeNs   int64
@@ -210,6 +215,7 @@ func (p *Process) CloneThread() *Process {
 		limits:    p.limits,
 	}
 	p.mu.Unlock()
+	t.sig.threaded.Store(true)
 
 	t.group.mu.Lock()
 	t.group.count++

@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gowali/internal/linux"
@@ -16,6 +17,27 @@ type SignalState struct {
 	pending uint64  // process-directed pending bit-vector
 	queue   []int32 // delivery order for pending signals
 	killed  bool    // SIGKILL latched; uncatchable
+
+	// fast mirrors pending (with killed folded into the SIGKILL bit) for
+	// the lock-free safepoint fast path. Written only with mu held; read
+	// without it by HasDeliverableSignal, which is polled on every loop
+	// back-edge of every interpreter thread.
+	fast atomic.Uint64
+
+	// threaded latches once the owning group spawns a second thread.
+	// Multi-threaded groups keep the locked poll path: its lock pairing is
+	// what orders the threads' shared wasm memory accesses (futex wake
+	// protocols rely on it), matching the pre-fast-path behavior.
+	threaded atomic.Bool
+}
+
+// refreshFast republishes the lock-free pending summary; callers hold s.mu.
+func (s *SignalState) refreshFast() {
+	v := s.pending
+	if s.killed {
+		v |= sigBit(linux.SIGKILL)
+	}
+	s.fast.Store(v)
 }
 
 func newSignalState() *SignalState {
@@ -126,6 +148,7 @@ func (p *Process) PostSignal(sig int32) linux.Errno {
 		s.pending |= sigBit(sig)
 		s.queue = append(s.queue, sig)
 	}
+	s.refreshFast()
 	s.mu.Unlock()
 	s.cond.Broadcast()
 	p.K.wakeInterruptible()
@@ -142,10 +165,12 @@ func (p *Process) PostThreadSignal(sig int32) linux.Errno {
 	}
 	p.mu.Lock()
 	p.pendingT |= sigBit(sig)
+	p.pendingTFast.Store(p.pendingT)
 	p.mu.Unlock()
 	if sig == linux.SIGKILL {
 		p.sig.mu.Lock()
 		p.sig.killed = true
+		p.sig.refreshFast()
 		p.sig.mu.Unlock()
 	}
 	p.sig.cond.Broadcast()
@@ -178,8 +203,13 @@ func (p *Process) PendingSet() uint64 {
 }
 
 // HasDeliverableSignal reports whether an unblocked signal is pending for
-// this thread.
+// this thread. The lock-free fast path keeps the cost of the interpreter's
+// per-back-edge safepoint poll to two atomic loads when (as almost always)
+// nothing is pending; the locked slow path is authoritative.
 func (p *Process) HasDeliverableSignal() bool {
+	if !p.sig.threaded.Load() && p.pendingTFast.Load() == 0 && p.sig.fast.Load() == 0 {
+		return false
+	}
 	p.mu.Lock()
 	mask := p.sigMask
 	t := p.pendingT
@@ -220,6 +250,7 @@ func (p *Process) NextDeliverableSignal() (DeliverableSignal, bool) {
 		if tPending&b != 0 && mask&b == 0 {
 			p.mu.Lock()
 			p.pendingT &^= b
+			p.pendingTFast.Store(p.pendingT)
 			p.mu.Unlock()
 			act := s.actions[sig]
 			if act.Handler == linux.SIG_IGN || (act.Handler == linux.SIG_DFL && defaultIgnored(sig)) {
@@ -237,6 +268,7 @@ func (p *Process) NextDeliverableSignal() (DeliverableSignal, bool) {
 		}
 		s.queue = append(s.queue[:i], s.queue[i+1:]...)
 		s.pending &^= b
+		s.refreshFast()
 		i--
 		act := s.actions[sig]
 		if act.Handler == linux.SIG_IGN || (act.Handler == linux.SIG_DFL && defaultIgnored(sig)) {
@@ -308,6 +340,7 @@ func (p *Process) SigTimedWait(set uint64, timeout *linux.Timespec) (int32, linu
 					continue
 				}
 				p.pendingT &^= b
+				p.pendingTFast.Store(p.pendingT)
 				if s.pending&b != 0 {
 					s.pending &^= b
 					for i, q := range s.queue {
@@ -316,6 +349,7 @@ func (p *Process) SigTimedWait(set uint64, timeout *linux.Timespec) (int32, linu
 							break
 						}
 					}
+					s.refreshFast()
 				}
 				p.mu.Unlock()
 				s.mu.Unlock()
