@@ -1,0 +1,79 @@
+// Package bench is the public evaluation surface of the gowali embedding
+// API: the tables and figures of the paper's §2/§4 evaluation
+// (cmd/benchvirt and cmd/syscall-prof print them). It re-exports the
+// supported harness entry points so the tools never import
+// gowali/internal/... directly.
+package bench
+
+import (
+	"time"
+
+	ib "gowali/internal/bench"
+	"gowali/internal/trace"
+)
+
+// Row and point types of the rendered artifacts.
+type (
+	Table1Row  = ib.Table1Row
+	Table2Row  = ib.Table2Row
+	Table3Row  = ib.Table3Row
+	Fig8Point  = ib.Fig8Point
+	Fig8MemRow = ib.Fig8MemRow
+)
+
+// Profile is one Fig. 2 row: an application and its syscall counts.
+type Profile = trace.Profile
+
+// Breakdown is one Fig. 7 bar: runtime split across the system stack.
+type Breakdown = trace.Breakdown
+
+// Fig8Apps are the apps compared across virtualization backends.
+var Fig8Apps = ib.Fig8Apps
+
+// Table1 reports the porting matrix (Table 1).
+func Table1() []Table1Row { return ib.Table1() }
+
+// FormatTable1 renders Table 1.
+func FormatTable1(rows []Table1Row) string { return ib.FormatTable1(rows) }
+
+// Table2 measures per-syscall WALI overheads (Table 2).
+func Table2(iters int) []Table2Row { return ib.Table2(iters) }
+
+// FormatTable2 renders Table 2.
+func FormatTable2(rows []Table2Row) string { return ib.FormatTable2(rows) }
+
+// CalibrateDispatch measures the WALI-intrinsic per-call dispatch cost.
+func CalibrateDispatch(iters int) time.Duration { return ib.CalibrateDispatch(iters) }
+
+// Table3 measures safepoint polling cost per scheme (Table 3).
+func Table3() []Table3Row { return ib.Table3() }
+
+// FormatTable3 renders Table 3.
+func FormatTable3(rows []Table3Row) string { return ib.FormatTable3(rows) }
+
+// Fig2Profiles collects the syscall profile of every runnable app.
+func Fig2Profiles() []Profile { return ib.Fig2Profiles() }
+
+// FormatFig2 renders the Fig. 2 heat map.
+func FormatFig2(profiles []Profile) string { return ib.FormatFig2(profiles) }
+
+// FormatFig3 renders the Fig. 3 ISA-commonality analysis.
+func FormatFig3() string { return ib.FormatFig3() }
+
+// Fig7 computes the runtime breakdown across the app suite (Fig. 7).
+func Fig7() []Breakdown { return ib.Fig7() }
+
+// FormatFig7 renders Fig. 7.
+func FormatFig7(rows []Breakdown) string { return ib.FormatFig7(rows) }
+
+// Fig8Time measures startup+run time across backends (Fig. 8b-d).
+func Fig8Time(name string, scales []int) []Fig8Point { return ib.Fig8Time(name, scales) }
+
+// FormatFig8 renders a Fig. 8 time series.
+func FormatFig8(pts []Fig8Point) string { return ib.FormatFig8(pts) }
+
+// Fig8Mem measures peak memory across backends (Fig. 8a).
+func Fig8Mem() []Fig8MemRow { return ib.Fig8Mem() }
+
+// FormatFig8Mem renders Fig. 8a.
+func FormatFig8Mem(rows []Fig8MemRow) string { return ib.FormatFig8Mem(rows) }

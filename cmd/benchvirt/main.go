@@ -14,7 +14,7 @@ import (
 	"strconv"
 	"strings"
 
-	"gowali/internal/bench"
+	"gowali/bench"
 )
 
 func main() {

@@ -11,8 +11,7 @@ import (
 	"fmt"
 	"os"
 
-	"gowali/internal/bench"
-	"gowali/internal/trace"
+	"gowali/bench"
 )
 
 func main() {
@@ -37,7 +36,6 @@ func main() {
 			}
 		}
 		fmt.Printf("\nunion of invoked syscalls across apps: %d\n\n", unique)
-		_ = trace.Profile{}
 	}
 	if *fig3 {
 		fmt.Println("== Fig. 3: Linux syscall similarity across ISAs ==")

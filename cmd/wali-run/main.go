@@ -7,18 +7,18 @@
 //	wali-run program.wasm arg1 arg2
 //
 // -verbose mirrors WALI_VERBOSE: every dynamically executed syscall is
-// printed (experiment E1).
+// printed (experiment E1). The guest's exit status becomes the host
+// process exit status; guest traps print the Wasm backtrace.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
-	"gowali/internal/apps"
-	"gowali/internal/core"
-	"gowali/internal/trace"
-	"gowali/internal/wasm"
+	"gowali"
 )
 
 func main() {
@@ -28,32 +28,37 @@ func main() {
 	stats := flag.Bool("stats", false, "print syscall statistics after the run")
 	flag.Parse()
 
-	w := core.New()
-	col := trace.NewCollector()
+	col := gowali.NewCollector()
 	if *verbose {
 		col.Verbose = func(line string) { fmt.Fprintln(os.Stderr, line) }
 	}
-	col.Attach(w)
+	rt, err := gowali.New(gowali.WithSyscallHook(col.Observe))
+	if err != nil {
+		fatal(err)
+	}
 
 	var status int32
-	var err error
 	switch {
 	case *appName != "":
-		var a apps.App
-		a, err = apps.ByName(*appName)
-		if err == nil {
-			_, status, err = apps.RunOn(w, a, *scale)
-		}
+		status, err = rt.RunApp(*appName, *scale)
 	case flag.NArg() > 0:
-		status, err = runFile(w, flag.Arg(0), flag.Args())
+		status, err = runFile(rt, flag.Arg(0), flag.Args())
 	default:
 		fmt.Fprintln(os.Stderr, "usage: wali-run [-app name | file.wasm] [args...]")
 		os.Exit(2)
 	}
-	os.Stdout.Write(w.Console().Output())
+	os.Stdout.Write(rt.ConsoleOutput())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "wali-run: %v\n", err)
-		os.Exit(1)
+		var trap *gowali.Trap
+		if errors.As(err, &trap) {
+			for _, fr := range trap.Stack {
+				fmt.Fprintf(os.Stderr, "  at %s\n", fr)
+			}
+		}
+		if status <= 0 {
+			status = 1
+		}
 	}
 	if *stats {
 		d, n := col.Total()
@@ -62,26 +67,21 @@ func main() {
 			fmt.Fprintf(os.Stderr, "  %-20s %d\n", name, c)
 		}
 	}
+	// Propagate the guest exit status as the host process exit code.
 	os.Exit(int(status))
 }
 
-func runFile(w *core.WALI, path string, argv []string) (int32, error) {
-	raw, err := os.ReadFile(path)
+func runFile(rt *gowali.Runtime, path string, argv []string) (int32, error) {
+	m, err := gowali.CompileFile(path)
 	if err != nil {
 		return 127, err
 	}
-	m, err := wasm.Decode(raw)
-	if err != nil {
-		return 127, fmt.Errorf("decode %s: %w", path, err)
-	}
-	if err := wasm.Validate(m); err != nil {
-		return 127, fmt.Errorf("validate %s: %w", path, err)
-	}
-	p, err := w.SpawnModule(m, path, argv, os.Environ())
-	if err != nil {
-		return 127, err
-	}
-	status, runErr := p.Run()
-	w.WaitAll()
+	status, runErr := rt.Run(context.Background(), m, argv, os.Environ())
+	rt.WaitAll()
 	return status, runErr
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "wali-run: %v\n", err)
+	os.Exit(1)
 }

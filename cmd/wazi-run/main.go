@@ -1,61 +1,70 @@
 // wazi-run executes a module over WAZI on the simulated Zephyr board —
 // the §5.1 deployment (a Lua-like toolchain on a Nucleo-F767ZI running
-// Zephyr). With no arguments it runs the built-in demo workload.
+// Zephyr). With no arguments it runs the built-in demo workload. The
+// guest's exit status becomes the host process exit status; traps print
+// the Wasm backtrace.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
-	"gowali/internal/wasm"
-	"gowali/internal/wazi"
-	"gowali/internal/zephyr"
+	"gowali"
+	"gowali/wasm"
 )
 
 func main() {
 	iters := flag.Int("iters", 50000, "demo interpreter iterations")
 	flag.Parse()
 
-	var m *wasm.Module
+	var m *gowali.Module
+	var err error
 	if flag.NArg() > 0 {
-		raw, err := os.ReadFile(flag.Arg(0))
-		if err != nil {
-			fatal(err)
-		}
-		var derr error
-		m, derr = wasm.Decode(raw)
-		if derr != nil {
-			fatal(derr)
-		}
+		m, err = gowali.CompileFile(flag.Arg(0))
 	} else {
-		m = demoModule(*iters)
+		m, err = gowali.CompileBuilt(demoModule(*iters))
 	}
-
-	w := wazi.New()
-	p, err := w.Spawn(m)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "board: %s\n", w.Z)
-	fmt.Fprintf(os.Stderr, "wazi: %.0f%% of bindings auto-generated from the syscall encoding\n",
-		100*wazi.PassthroughRatio())
-	if err := p.Run(); err != nil {
+
+	rt, err := gowali.New(gowali.WithHost(gowali.WAZIHost()))
+	if err != nil {
 		fatal(err)
 	}
-	os.Stdout.Write(w.Z.ConsoleOutput())
-	fmt.Fprintf(os.Stderr, "board after run: %s\n", w.Z)
+	fmt.Fprintf(os.Stderr, "board: %s\n", rt.Board())
+	fmt.Fprintf(os.Stderr, "wazi: %.0f%% of bindings auto-generated from the syscall encoding\n",
+		100*gowali.WAZIPassthroughRatio())
+	status, runErr := rt.Run(context.Background(), m, nil, nil)
+	os.Stdout.Write(rt.ConsoleOutput())
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "wazi-run: %v\n", runErr)
+		var trap *gowali.Trap
+		if errors.As(runErr, &trap) {
+			for _, fr := range trap.Stack {
+				fmt.Fprintf(os.Stderr, "  at %s\n", fr)
+			}
+		}
+		if status <= 0 {
+			status = 1
+		}
+	}
+	// Propagate the guest exit status as the host process exit code.
+	os.Exit(int(status))
 }
 
 // demoModule is the lua-like interpreter kernel targeted at WAZI: console
 // output, uptime reads, a compute loop and the flash filesystem.
 func demoModule(iters int) *wasm.Module {
 	b := wasm.NewBuilder("zephyr-lua")
-	sysOut := wazi.ImportSyscall(b, "console_out")
-	sysUp := wazi.ImportSyscall(b, "k_uptime_get")
-	sysOpen := wazi.ImportSyscall(b, "fs_open")
-	sysWrite := wazi.ImportSyscall(b, "fs_write")
-	sysClose := wazi.ImportSyscall(b, "fs_close")
+	sysOut := gowali.ImportWAZISyscall(b, "console_out")
+	sysUp := gowali.ImportWAZISyscall(b, "k_uptime_get")
+	sysOpen := gowali.ImportWAZISyscall(b, "fs_open")
+	sysWrite := gowali.ImportWAZISyscall(b, "fs_write")
+	sysClose := gowali.ImportWAZISyscall(b, "fs_close")
 	b.Memory(2, 8, false)
 	b.Data(256, []byte("lua-on-zephyr: ok\n"))
 	b.Data(300, []byte("result.bin\x00"))
@@ -97,5 +106,3 @@ func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "wazi-run: %v\n", err)
 	os.Exit(1)
 }
-
-var _ = zephyr.SRAMBudget // document the simulated board constraint

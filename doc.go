@@ -1,7 +1,49 @@
 // Package gowali is a from-scratch Go reproduction of "Empowering
-// WebAssembly with Thin Kernel Interfaces" (EuroSys 2025): the WALI Linux
-// kernel interface for Wasm, the WAZI Zephyr interface, a WASI layer built
-// above WALI, and the full evaluation harness.
+// WebAssembly with Thin Kernel Interfaces" (EuroSys 2025) — the WALI
+// Linux kernel interface for Wasm, the WAZI Zephyr interface, a WASI
+// layer built above WALI, and the full evaluation harness — behind a
+// stable embedding facade.
+//
+// # Embedding
+//
+// A Runtime is one host layer over one simulated kernel; a Module is a
+// compiled program whose translation is cached across spawns:
+//
+//	rt, err := gowali.New()                     // WALI over a fresh kernel
+//	m, err := gowali.CompileFile("prog.wasm")   // decode+validate+translate once
+//	status, err := rt.Run(ctx, m, []string{"prog"}, os.Environ())
+//
+// Processes run on their own goroutines (the paper's 1-to-1 process
+// model). Spawn returns a handle; cancelling the spawn context delivers
+// SIGKILL at the next engine safepoint:
+//
+//	p, err := rt.Spawn(ctx, m, argv, env)
+//	status, err := p.Wait(ctx)
+//
+// Repeated spawns of one Module — fork/exec storms, multi-tenant
+// fan-out — reuse the cached pre-decoded IR and skip re-translation
+// (see BenchmarkSpawnCachedModule).
+//
+// # Options
+//
+//	WithHost(h)              host layer: WALIHost (default), WASIHost, WAZIHost
+//	WithKernel(k)            run over an existing simulated kernel
+//	WithSafepointScheme(s)   async-event polling: None, Loop (default), Func, EveryInst
+//	WithStrict(true)         trap on known-but-unimplemented syscalls (§3.5)
+//	WithSyscallHook(fn)      observe every syscall (profiling, Fig. 2/7)
+//	WithStdio(in, out, errw) connect guest stdio to host streams
+//
+// The host layer is chosen per-runtime, not per-codepath: the same
+// Spawn/Wait surface runs WALI binaries, pure-WASI modules (WASI
+// implemented over WALI, Fig. 6) and WAZI applications on the simulated
+// Zephyr board (§5.1).
+//
+// # Subpackages
+//
+// gowali/wasm is the module toolkit (decode/encode/validate and the
+// builder DSL standing in for an LLVM/musl toolchain); gowali/bench
+// re-exports the paper's evaluation harness (Tables 1–3, Figs. 2/3/7/8).
+// Everything under internal/ is implementation and may change freely.
 //
 // See DESIGN.md for the system inventory and per-experiment index,
 // EXPERIMENTS.md for paper-vs-measured results, and README.md for usage.

@@ -1,0 +1,129 @@
+package gowali_test
+
+// Testable examples for the embedding facade: the quickstart path, the
+// WASI host layer, and context cancellation. These double as the
+// embedding guide's executable documentation.
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"gowali"
+	"gowali/wasm"
+)
+
+// Example (quickstart): build a module against WALI, run it on a fresh
+// runtime, read the console.
+func Example() {
+	b := wasm.NewBuilder("hello")
+	sysWrite := gowali.ImportWALISyscall(b, "write")
+	sysExit := gowali.ImportWALISyscall(b, "exit_group")
+	b.Memory(1, 4, false)
+	b.Data(1024, []byte("hello over WALI\n"))
+	f := b.NewFunc(gowali.StartExport, nil, nil)
+	f.I64Const(1).I64Const(1024).I64Const(16).Call(sysWrite).Drop() // write(1, msg, 16)
+	f.I64Const(0).Call(sysExit).Drop()
+	f.Finish()
+	built, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m, err := gowali.CompileBuilt(built)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt, err := gowali.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+	status, err := rt.Run(context.Background(), m, []string{"hello"}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("status %d: %s", status, rt.ConsoleOutput())
+	// Output:
+	// status 0: hello over WALI
+}
+
+// ExampleWASIHost: a pure-WASI module runs on the WASI-over-WALI host
+// layer; the syscall hook sees the WALI calls it decomposes into.
+func ExampleWASIHost() {
+	b := wasm.NewBuilder("wasi-app")
+	i32 := wasm.I32
+	fdWrite := b.ImportFunc(gowali.WASINamespace, "fd_write",
+		[]wasm.ValType{i32, i32, i32, i32}, []wasm.ValType{i32})
+	procExit := b.ImportFunc(gowali.WASINamespace, "proc_exit",
+		[]wasm.ValType{i32}, nil)
+	b.Memory(1, 4, false)
+	b.Data(1024, []byte("hello via WASI\n"))
+	b.Data(500, []byte{0, 4, 0, 0, 15, 0, 0, 0}) // iovec {1024, 15}
+	f := b.NewFunc(gowali.StartExport, nil, nil)
+	f.I32Const(1).I32Const(500).I32Const(1).I32Const(508).Call(fdWrite).Drop()
+	f.I32Const(0).Call(procExit)
+	f.Finish()
+	built, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m, err := gowali.CompileBuilt(built)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var kernelCalls int
+	rt, err := gowali.New(
+		gowali.WithHost(gowali.WASIHost()),
+		gowali.WithSyscallHook(func(ev gowali.SyscallEvent) { kernelCalls++ }),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	status, err := rt.Run(context.Background(), m, []string{"wasi-app"}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("status %d: %s", status, rt.ConsoleOutput())
+	fmt.Printf("WASI bottomed out in WALI calls: %v\n", kernelCalls > 0)
+	// Output:
+	// status 0: hello via WASI
+	// WASI bottomed out in WALI calls: true
+}
+
+// ExampleRuntime_Spawn_cancellation: cancelling the spawn context
+// delivers SIGKILL at the next safepoint, terminating a guest stuck in
+// an infinite loop.
+func ExampleRuntime_Spawn_cancellation() {
+	b := wasm.NewBuilder("spin")
+	f := b.NewFunc(gowali.StartExport, nil, nil)
+	f.Block()
+	f.Loop()
+	f.Br(0) // spin forever; the engine polls at every taken back-edge
+	f.End()
+	f.End()
+	f.Finish()
+	built, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m, err := gowali.CompileBuilt(built)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt, err := gowali.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	p, err := rt.Spawn(ctx, m, []string{"spin"}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cancel() // SIGKILL at the next safepoint
+	status, err := p.Wait(context.Background())
+	fmt.Printf("killed: status=%d (128+SIGKILL) err=%v\n", status, err)
+	// Output:
+	// killed: status=137 (128+SIGKILL) err=<nil>
+}

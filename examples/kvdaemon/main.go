@@ -1,7 +1,7 @@
 // KV daemon example: the memcached-analogue — an epoll server with an
 // instance-per-thread client, loopback TCP inside the simulated kernel,
-// and futex-based shutdown. Prints the syscall mix afterwards (the Fig. 2
-// memcached profile).
+// and futex-based shutdown, all through the gowali embedding facade.
+// Prints the syscall mix afterwards (the Fig. 2 memcached profile).
 package main
 
 import (
@@ -9,27 +9,23 @@ import (
 	"log"
 	"sort"
 
-	"gowali/internal/apps"
-	"gowali/internal/core"
-	"gowali/internal/trace"
+	"gowali"
 )
 
 func main() {
 	const ops = 500
-	w := core.New()
-	col := trace.NewCollector()
-	col.Attach(w)
+	col := gowali.NewCollector()
+	rt, err := gowali.New(gowali.WithSyscallHook(col.Observe))
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	app, err := apps.ByName("memcached")
-	if err != nil {
-		log.Fatal(err)
-	}
 	fmt.Printf("serving %d set+echo operations over loopback TCP...\n", ops)
-	_, status, err := apps.RunOn(w, app, ops)
+	status, err := rt.RunApp("memcached", ops)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("console: %sexit status: %d\n\n", w.Console().Output(), status)
+	fmt.Printf("console: %sexit status: %d\n\n", rt.ConsoleOutput(), status)
 
 	counts := col.Counts()
 	names := make([]string, 0, len(counts))

@@ -1,27 +1,28 @@
-// Quickstart: build a Wasm module against the WALI import surface, run it
-// on the simulated kernel, and read its console output — the minimal
-// end-to-end path through the public API.
+// Quickstart: build a Wasm module against the WALI import surface, run
+// it through the gowali embedding facade, and read its console output —
+// the minimal end-to-end path through the public API.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"gowali/internal/core"
-	"gowali/internal/wasm"
+	"gowali"
+	"gowali/wasm"
 )
 
 func main() {
 	// 1. "Compile" a program against WALI. Real deployments would use an
 	//    LLVM/musl toolchain; here the builder DSL plays that role.
 	b := wasm.NewBuilder("hello")
-	sysWrite := core.ImportSyscall(b, "write")
-	sysUname := core.ImportSyscall(b, "uname")
-	sysExit := core.ImportSyscall(b, "exit_group")
+	sysWrite := gowali.ImportWALISyscall(b, "write")
+	sysUname := gowali.ImportWALISyscall(b, "uname")
+	sysExit := gowali.ImportWALISyscall(b, "exit_group")
 	b.Memory(2, 16, false)
 	b.Data(1024, []byte("hello from wasm over WALI\n"))
 
-	f := b.NewFunc(core.StartExport, nil, nil)
+	f := b.NewFunc(gowali.StartExport, nil, nil)
 	// write(1, msg, len)
 	f.I64Const(1).I64Const(1024).I64Const(26).Call(sysWrite).Drop()
 	// uname(&buf) — then print the machine field (offset 4*65).
@@ -32,23 +33,26 @@ func main() {
 	f.Finish()
 	b.Data(2048, []byte("\n"))
 
-	m, err := b.Build()
+	built, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := gowali.CompileBuilt(built)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// 2. Boot a kernel, spawn the process (1-to-1 model), run it.
-	w := core.New()
-	p, err := w.SpawnModule(m, "hello", []string{"hello"}, nil)
+	// 2. Boot a runtime (kernel + WALI host layer), run the module.
+	rt, err := gowali.New()
 	if err != nil {
 		log.Fatal(err)
 	}
-	status, err := p.Run()
+	status, err := rt.Run(context.Background(), m, []string{"hello"}, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// 3. Inspect the result.
 	fmt.Printf("exit status: %d\n", status)
-	fmt.Printf("console:\n%s", w.Console().Output())
+	fmt.Printf("console:\n%s", rt.ConsoleOutput())
 }

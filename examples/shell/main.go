@@ -1,6 +1,7 @@
 // Shell example: the bash-analogue exercising the process model — fork,
 // pipes, execve, wait4 and virtual signal handlers — with a live syscall
 // trace, demonstrating the features Table 1 shows WASI cannot express.
+// Everything goes through the gowali embedding facade.
 package main
 
 import (
@@ -8,34 +9,30 @@ import (
 	"log"
 	"os"
 
-	"gowali/internal/apps"
-	"gowali/internal/core"
-	"gowali/internal/trace"
+	"gowali"
 )
 
 func main() {
-	w := core.New()
-	col := trace.NewCollector()
+	col := gowali.NewCollector()
 	col.Verbose = func(line string) { fmt.Fprintln(os.Stderr, line) }
-	col.Attach(w)
-
-	app, err := apps.ByName("bash")
+	rt, err := gowali.New(gowali.WithSyscallHook(col.Observe))
 	if err != nil {
 		log.Fatal(err)
 	}
+
 	fmt.Println("running 5 shell jobs (each: pipe → fork → compute → exec|exit → wait4)...")
-	_, status, err := apps.RunOn(w, app, 5)
+	status, err := rt.RunApp("bash", 5)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("\nconsole: %s", w.Console().Output())
+	fmt.Printf("\nconsole: %s", rt.ConsoleOutput())
 	fmt.Printf("exit status: %d\n", status)
 	counts := col.Counts()
 	fmt.Printf("process-model syscalls: fork=%d wait4=%d pipe2=%d execve=%d rt_sigaction=%d\n",
 		counts["fork"], counts["wait4"], counts["pipe2"], counts["execve"], counts["rt_sigaction"])
-	if w.Kernel.ProcessCount() != 0 {
-		log.Fatalf("process leak: %d", w.Kernel.ProcessCount())
+	if n := rt.Kernel().ProcessCount(); n != 0 {
+		log.Fatalf("process leak: %d", n)
 	}
 	fmt.Println("all children reaped; kernel process table empty")
 }

@@ -1,16 +1,16 @@
 // WASI layering example (Fig. 1 / Fig. 6): a pure-WASI module — it
-// imports only wasi_snapshot_preview1 — runs on an engine whose WASI
-// implementation is itself layered over WALI. A syscall hook shows every
-// WASI call bottoming out in WALI kernel-interface calls.
+// imports only wasi_snapshot_preview1 — runs on a runtime whose host
+// layer is WASIHost: WASI implemented over WALI. A syscall hook shows
+// every WASI call bottoming out in WALI kernel-interface calls.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"gowali/internal/core"
-	"gowali/internal/wasi"
-	"gowali/internal/wasm"
+	"gowali"
+	"gowali/wasm"
 )
 
 func main() {
@@ -18,13 +18,13 @@ func main() {
 	// through path_open relative to the preopened root, then exits.
 	b := wasm.NewBuilder("wasi-app")
 	i32 := wasm.I32
-	fdWrite := b.ImportFunc(wasi.Namespace, "fd_write",
+	fdWrite := b.ImportFunc(gowali.WASINamespace, "fd_write",
 		[]wasm.ValType{i32, i32, i32, i32}, []wasm.ValType{i32})
-	pathOpen := b.ImportFunc(wasi.Namespace, "path_open",
+	pathOpen := b.ImportFunc(gowali.WASINamespace, "path_open",
 		[]wasm.ValType{i32, i32, i32, i32, i32, wasm.I64, wasm.I64, i32, i32}, []wasm.ValType{i32})
-	fdClose := b.ImportFunc(wasi.Namespace, "fd_close",
+	fdClose := b.ImportFunc(gowali.WASINamespace, "fd_close",
 		[]wasm.ValType{i32}, []wasm.ValType{i32})
-	procExit := b.ImportFunc(wasi.Namespace, "proc_exit",
+	procExit := b.ImportFunc(gowali.WASINamespace, "proc_exit",
 		[]wasm.ValType{i32}, nil)
 	b.Memory(2, 16, false)
 	b.Data(1024, []byte("hello from a WASI app, via WALI\n"))
@@ -32,41 +32,48 @@ func main() {
 	// iovec at 500: {1024, 32}
 	b.Data(500, []byte{0, 4, 0, 0, 32, 0, 0, 0})
 
-	f := b.NewFunc(core.StartExport, nil, nil)
+	f := b.NewFunc(gowali.StartExport, nil, nil)
 	f.I32Const(1).I32Const(500).I32Const(1).I32Const(508).Call(fdWrite).Drop()
 	// path_open(preopen=3, follow, path, len, O_CREAT, rights rw, rights, 0, fd_out@512)
 	f.I32Const(3).I32Const(1).I32Const(1100).I32Const(22)
-	f.I32Const(wasi.OflagCreat)
-	f.I64Const(int64(wasi.RightFdRead | wasi.RightFdWrite)).I64Const(0)
+	f.I32Const(gowali.WASIOflagCreat)
+	f.I64Const(int64(gowali.WASIRightFdRead | gowali.WASIRightFdWrite)).I64Const(0)
 	f.I32Const(0).I32Const(512)
 	f.Call(pathOpen).Drop()
 	f.I32Const(512).Load(wasm.OpI32Load, 0).Call(fdClose).Drop()
 	f.I32Const(0).Call(procExit)
 	f.Finish()
-	m, err := b.Build()
+	built, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := gowali.CompileBuilt(built)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Engine: WALI + the WASI layer above it.
-	w := core.New()
-	wasi.Attach(w)
+	// Runtime: the WASI host layer over WALI, with a hook recording the
+	// underlying WALI calls.
 	var waliCalls []string
-	w.Hook = func(ev core.SyscallEvent) { waliCalls = append(waliCalls, ev.Name) }
-
-	p, err := w.SpawnModule(m, "wasi-app", []string{"wasi-app"}, nil)
+	rt, err := gowali.New(
+		gowali.WithHost(gowali.WASIHost()),
+		gowali.WithSyscallHook(func(ev gowali.SyscallEvent) {
+			waliCalls = append(waliCalls, ev.Name)
+		}),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	status, err := p.Run()
+
+	status, err := rt.Run(context.Background(), m, []string{"wasi-app"}, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("console: %s", w.Console().Output())
+	fmt.Printf("console: %s", rt.ConsoleOutput())
 	fmt.Printf("exit status: %d\n", status)
 	fmt.Printf("\nWASI calls decomposed into WALI kernel-interface calls:\n  %v\n", waliCalls)
-	if r, errno := w.Kernel.FS.Walk("/", "/tmp/wasi-made-this.txt", true); errno == 0 && r.Node != nil {
+	if r, errno := rt.Kernel().FS.Walk("/", "/tmp/wasi-made-this.txt", true); errno == 0 && r.Node != nil {
 		fmt.Println("file created through the layered stack: /tmp/wasi-made-this.txt")
 	}
 }

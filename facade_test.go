@@ -1,0 +1,194 @@
+package gowali
+
+// Facade tests: the module cache contract (CompileModule translates
+// once; every spawn reuses the pre-decoded IR) and the benchmark backing
+// it (cached re-spawn vs cold decode+translate+spawn of the same body).
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"gowali/internal/wasm"
+)
+
+// heavyModule builds a module whose translation cost is non-trivial:
+// nFuncs straight-line functions of ~4*nOps instructions each, plus a
+// _start that exits immediately (spawn cost, not run cost, is what the
+// cache affects).
+func heavyModule(t testing.TB, nFuncs, nOps int) []byte {
+	b := wasm.NewBuilder("heavy")
+	b.Memory(1, 4, false)
+	for i := 0; i < nFuncs; i++ {
+		f := b.NewFunc("", nil, []wasm.ValType{wasm.I32})
+		x := f.Local(wasm.I32)
+		for j := 0; j < nOps; j++ {
+			f.LocalGet(x).I32Const(int32(j)).Op(wasm.OpI32Add).LocalSet(x)
+		}
+		f.LocalGet(x)
+		f.Finish()
+	}
+	b.NewFunc(StartExport, nil, nil).Finish()
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wasm.Encode(m)
+}
+
+// TestCompileModuleReusesIR proves the cache: two spawns of one compiled
+// Module share the identical pre-decoded IR objects, and a separately
+// compiled Module of the same bytes does not.
+func TestCompileModuleReusesIR(t *testing.T) {
+	raw := heavyModule(t, 4, 8)
+	m, err := CompileModule(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	p1, err := rt.Spawn(ctx, m, []string{"heavy"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := rt.Spawn(ctx, m, []string{"heavy"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []*Process{p1, p2} {
+		if status, err := p.Wait(ctx); err != nil || status != 0 {
+			t.Fatalf("wait: status=%d err=%v", status, err)
+		}
+	}
+	n := p1.wp.Inst.NumFuncs()
+	if n != p2.wp.Inst.NumFuncs() || n == 0 {
+		t.Fatalf("instances disagree on function count: %d vs %d", n, p2.wp.Inst.NumFuncs())
+	}
+	shared := 0
+	for i := 0; i < n; i++ {
+		c1, c2 := p1.wp.Inst.CodeRef(uint32(i)), p2.wp.Inst.CodeRef(uint32(i))
+		if c1 != c2 {
+			t.Fatalf("func[%d]: IR not shared across spawns of one Module", i)
+		}
+		if c1 != nil {
+			shared++
+		}
+	}
+	if shared == 0 {
+		t.Fatal("no local functions compared; test module is degenerate")
+	}
+
+	// Distinct compilations must NOT share IR (the cache is per-Module,
+	// not global).
+	m2, err := CompileModule(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3, err := rt.Spawn(ctx, m2, []string{"heavy"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status, err := p3.Wait(ctx); err != nil || status != 0 {
+		t.Fatalf("wait: status=%d err=%v", status, err)
+	}
+	for i := 0; i < n; i++ {
+		if c := p1.wp.Inst.CodeRef(uint32(i)); c != nil && c == p3.wp.Inst.CodeRef(uint32(i)) {
+			t.Fatalf("func[%d]: IR shared across distinct compilations", i)
+		}
+	}
+}
+
+// TestWithStdio checks the stdio plumbing: stdin feeds guest reads,
+// stdout tees console output to the host writer, and a distinct stderr
+// writer receives fd-2 writes that never touch the console.
+func TestWithStdio(t *testing.T) {
+	b := wasm.NewBuilder("stdio")
+	sysRead := ImportWALISyscall(b, "read")
+	sysWrite := ImportWALISyscall(b, "write")
+	sysExit := ImportWALISyscall(b, "exit_group")
+	b.Memory(1, 4, false)
+	b.Data(1024, []byte("to-stdout\n"))
+	b.Data(1100, []byte("to-stderr\n"))
+	f := b.NewFunc(StartExport, nil, nil)
+	f.I64Const(0).I64Const(2048).I64Const(16).Call(sysRead).Drop() // read(0, buf, 16)
+	f.I64Const(1).I64Const(1024).I64Const(10).Call(sysWrite).Drop()
+	f.I64Const(2).I64Const(1100).I64Const(10).Call(sysWrite).Drop()
+	f.I64Const(1).I64Const(2048).I64Const(5).Call(sysWrite).Drop() // echo stdin
+	f.I64Const(0).Call(sysExit).Drop()
+	f.Finish()
+	built, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := CompileBuilt(built)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errw bytes.Buffer
+	rt, err := New(WithStdio(strings.NewReader("hello"), &out, &errw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, runErr := rt.Run(context.Background(), m, []string{"stdio"}, nil)
+	if runErr != nil || status != 0 {
+		t.Fatalf("run: status=%d err=%v", status, runErr)
+	}
+	if got := out.String(); got != "to-stdout\nhello" {
+		t.Fatalf("stdout tee = %q", got)
+	}
+	if got := errw.String(); got != "to-stderr\n" {
+		t.Fatalf("stderr = %q", got)
+	}
+	if got := string(rt.ConsoleOutput()); strings.Contains(got, "to-stderr") {
+		t.Fatalf("stderr leaked into the console: %q", got)
+	}
+}
+
+// BenchmarkSpawnCachedModule measures re-spawning a compiled Module: the
+// multi-tenant / fork-exec-storm path where the cached pre-decoded IR
+// makes instantiation skip re-translation.
+func BenchmarkSpawnCachedModule(b *testing.B) {
+	raw := heavyModule(b, 64, 256)
+	m, err := CompileModule(bytes.NewReader(raw))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt, err := New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if status, err := rt.Run(ctx, m, []string{"heavy"}, nil); err != nil || status != 0 {
+			b.Fatalf("run: status=%d err=%v", status, err)
+		}
+	}
+}
+
+// BenchmarkSpawnColdModule is the baseline: decode + validate +
+// translate + spawn the same body every time, as SpawnModule-per-request
+// embeddings would.
+func BenchmarkSpawnColdModule(b *testing.B) {
+	raw := heavyModule(b, 64, 256)
+	rt, err := New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := CompileModule(bytes.NewReader(raw))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if status, err := rt.Run(ctx, m, []string{"heavy"}, nil); err != nil || status != 0 {
+			b.Fatalf("run: status=%d err=%v", status, err)
+		}
+	}
+}

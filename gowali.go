@@ -1,0 +1,292 @@
+package gowali
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"gowali/internal/apps"
+	"gowali/internal/core"
+	"gowali/internal/kernel"
+	"gowali/internal/wasi"
+	"gowali/internal/wazi"
+)
+
+// config accumulates functional options before the host layer consumes
+// them.
+type config struct {
+	kernel *Kernel
+	scheme SafepointScheme
+	strict bool
+	hook   func(SyscallEvent)
+	host   Host
+
+	stdin  io.Reader
+	stdout io.Writer
+	stderr io.Writer
+}
+
+// Option configures a Runtime under construction; see the With*
+// functions.
+type Option func(*config)
+
+// WithKernel runs the runtime over an existing simulated kernel instead
+// of booting a fresh one — multiple runtimes (or successive runs) can
+// share one kernel's filesystem, process table and devices. WALI-backed
+// hosts only.
+func WithKernel(k *Kernel) Option { return func(c *config) { c.kernel = k } }
+
+// WithHost selects the host layer the runtime exposes to modules:
+// WALIHost (default), WASIHost or WAZIHost.
+func WithHost(h Host) Option { return func(c *config) { c.host = h } }
+
+// WithSafepointScheme selects where the engine polls for asynchronous
+// events (signals, cancellation). Default: SafepointLoop, the paper's
+// implementation choice.
+func WithSafepointScheme(s SafepointScheme) Option {
+	return func(c *config) { c.scheme = s }
+}
+
+// WithStrict makes known-but-unimplemented syscalls trap instead of
+// returning -ENOSYS (§3.5). WALI-backed hosts only.
+func WithStrict(strict bool) Option { return func(c *config) { c.strict = strict } }
+
+// WithSyscallHook observes every syscall after it completes — profiling,
+// tracing, Fig. 2/7-style attribution. fn must be safe for concurrent
+// use; a Collector's Observe method is a ready-made hook. WALI-backed
+// hosts only.
+func WithSyscallHook(fn func(SyscallEvent)) Option {
+	return func(c *config) { c.hook = fn }
+}
+
+// WithStdio connects the guest's standard streams to host streams
+// (WALI-backed hosts; the WAZI board console is not redirectable):
+//
+//   - in feeds the guest console's input queue (stdin reads);
+//   - out receives a live copy of console output (stdout and any other
+//     tty writes) in addition to the inspectable ConsoleOutput buffer;
+//   - errw, when non-nil, becomes the initial process's fd 2, separating
+//     stderr from the console entirely.
+//
+// Any stream may be nil to keep the default (buffered console, empty
+// stdin).
+func WithStdio(in io.Reader, out, errw io.Writer) Option {
+	return func(c *config) {
+		c.stdin, c.stdout, c.stderr = in, out, errw
+	}
+}
+
+// Host is the kernel-interface layer a Runtime exposes to its modules.
+// Three implementations ship: WALIHost (the Linux interface), WASIHost
+// (WASI preview1 layered over WALI) and WAZIHost (the Zephyr interface).
+// The interface is sealed; the engine behind it can be resharded freely.
+type Host interface {
+	fmt.Stringer
+	apply(r *Runtime, c *config) error
+}
+
+// waliHost backs both WALIHost and WASIHost.
+type waliHost struct {
+	wasi     bool
+	preopens []Preopen
+}
+
+func (h *waliHost) String() string {
+	if h.wasi {
+		return "wasi-over-wali"
+	}
+	return "wali"
+}
+
+func (h *waliHost) apply(r *Runtime, c *config) error {
+	k := c.kernel
+	if k == nil {
+		k = kernel.NewKernel()
+	}
+	w := core.NewWith(k)
+	w.Scheme = c.scheme
+	w.Strict = c.strict
+	if c.hook != nil {
+		w.Hook = c.hook
+	}
+	if h.wasi {
+		wasi.Attach(w, h.preopens...)
+	}
+	r.wali = w
+
+	if c.stdout != nil {
+		k.Console.SetTee(c.stdout)
+	}
+	if c.stdin != nil {
+		go feedConsole(k.Console, c.stdin)
+	}
+	if c.stderr != nil {
+		r.stderrPath = "/dev/host-stderr"
+		k.Mkdev(r.stderrPath, &kernel.StreamDevice{W: c.stderr})
+	}
+	return nil
+}
+
+// feedConsole pumps a host reader into the guest console until EOF.
+func feedConsole(con *kernel.ConsoleDevice, in io.Reader) {
+	buf := make([]byte, 4096)
+	for {
+		n, err := in.Read(buf)
+		if n > 0 {
+			con.FeedInput(buf[:n])
+		}
+		if err != nil {
+			con.CloseInput()
+			return
+		}
+	}
+}
+
+// waziHost runs modules over the simulated Zephyr board.
+type waziHost struct{}
+
+func (waziHost) String() string { return "wazi" }
+
+func (waziHost) apply(r *Runtime, c *config) error {
+	if c.kernel != nil {
+		return fmt.Errorf("gowali: WithKernel requires a WALI-backed host")
+	}
+	if c.strict {
+		return fmt.Errorf("gowali: WithStrict requires a WALI-backed host")
+	}
+	if c.hook != nil {
+		return fmt.Errorf("gowali: WithSyscallHook requires a WALI-backed host")
+	}
+	w := wazi.New()
+	w.Scheme = c.scheme
+	r.wazi = w
+	return nil
+}
+
+// WALIHost exposes the WebAssembly Linux Interface: the ~150-call Linux
+// userspace syscall surface, the 1-to-1 process model (fork, execve,
+// threads), virtual signals, mmap and the simulated kernel. This is the
+// default host layer.
+func WALIHost() Host { return &waliHost{} }
+
+// WASIHost exposes WASI preview1, implemented as a layer over WALI
+// (Fig. 6): every WASI call bottoms out in WALI kernel-interface calls on
+// the same engine, so syscall hooks observe the decomposition. Preopens
+// grant directory capabilities; default is the filesystem root.
+func WASIHost(preopens ...Preopen) Host {
+	return &waliHost{wasi: true, preopens: preopens}
+}
+
+// WAZIHost exposes WAZI, the thin kernel interface for Zephyr RTOS
+// (§5.1), over a simulated board. Process-model options (WithKernel,
+// WithStrict, WithSyscallHook, WithStdio) do not apply.
+func WAZIHost() Host { return waziHost{} }
+
+// Runtime is an embedded gowali engine: one host layer over one kernel,
+// spawning any number of processes. Create with New; it is safe for
+// concurrent use.
+type Runtime struct {
+	host Host
+
+	wali *core.WALI // WALI-backed hosts
+	wazi *wazi.WAZI // WAZI host
+
+	stderrPath string // device path for redirected fd 2, "" if none
+}
+
+// New builds a runtime from functional options. With no options it is a
+// WALI runtime over a freshly booted kernel with loop-head safepoints —
+// the paper's default configuration.
+func New(opts ...Option) (*Runtime, error) {
+	c := &config{scheme: SafepointLoop, host: WALIHost()}
+	for _, o := range opts {
+		o(c)
+	}
+	r := &Runtime{host: c.host}
+	if err := c.host.apply(r, c); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Host returns the runtime's host layer.
+func (r *Runtime) Host() Host { return r.host }
+
+// Kernel returns the simulated Linux kernel behind a WALI-backed host
+// (filesystem, process table, devices), or nil for WAZI.
+func (r *Runtime) Kernel() *Kernel {
+	if r.wali == nil {
+		return nil
+	}
+	return r.wali.Kernel
+}
+
+// Board describes the simulated Zephyr board of a WAZI runtime ("" for
+// WALI-backed hosts).
+func (r *Runtime) Board() string {
+	if r.wazi == nil {
+		return ""
+	}
+	return r.wazi.Z.String()
+}
+
+// ConsoleOutput returns everything guests wrote to the console so far
+// (the WAZI board console for WAZIHost runtimes).
+func (r *Runtime) ConsoleOutput() []byte {
+	if r.wazi != nil {
+		return r.wazi.Z.ConsoleOutput()
+	}
+	return r.wali.Kernel.Console.Output()
+}
+
+// WaitAll blocks until every process spawned through this runtime has
+// finished.
+func (r *Runtime) WaitAll() {
+	if r.wali != nil {
+		r.wali.WaitAll()
+	}
+}
+
+// InstallBinary writes a compiled module into the kernel VFS as an
+// executable .wasm file, the execve deployment mode (§4.1). WALI-backed
+// hosts only.
+func (r *Runtime) InstallBinary(path string, m *Module) error {
+	if r.wali == nil {
+		return fmt.Errorf("gowali: InstallBinary requires a WALI-backed host")
+	}
+	return r.wali.InstallBinary(path, m.compiled.Module)
+}
+
+// SyscallStats reports accumulated syscall handler time and count for a
+// process (Fig. 7 attribution). WALI-backed hosts only.
+func (r *Runtime) SyscallStats(pid int32) (time.Duration, uint64) {
+	if r.wali == nil {
+		return 0, 0
+	}
+	return r.wali.SyscallStats(pid)
+}
+
+// Apps returns the names of the built-in ported applications (the
+// runnable subset of the paper's Table 1 suite).
+func Apps() []string {
+	var out []string
+	for _, a := range apps.Runnable() {
+		out = append(out, a.Name)
+	}
+	return out
+}
+
+// RunApp builds, installs and executes a built-in ported application at
+// the given workload scale on this runtime, returning its exit status.
+// WALI-backed hosts only; runs synchronously.
+func (r *Runtime) RunApp(name string, scale int) (int32, error) {
+	if r.wali == nil {
+		return -1, fmt.Errorf("gowali: RunApp requires a WALI-backed host")
+	}
+	a, err := apps.ByName(name)
+	if err != nil {
+		return -1, err
+	}
+	_, status, err := apps.RunOn(r.wali, a, scale)
+	return status, err
+}

@@ -338,6 +338,11 @@ func sysFutex(p *Process, e *interp.Exec, a []int64) int64 {
 	if !mem.InRange(addr, 4) {
 		return errnoRet(linux.EFAULT)
 	}
+	if addr&3 != 0 {
+		// Futex words must be naturally aligned (Linux returns EINVAL);
+		// alignment is also what lets the engine access them atomically.
+		return errnoRet(linux.EINVAL)
+	}
 	switch op {
 	case linux.FUTEX_WAIT:
 		var timeout *linux.Timespec
@@ -349,8 +354,11 @@ func sysFutex(p *Process, e *interp.Exec, a []int64) int64 {
 			ts := isa.GetTimespec(buf)
 			timeout = &ts
 		}
+		// The test-and-block load is atomic so it synchronizes with the
+		// waker thread's store to the futex word (the interpreter makes
+		// aligned 32-bit accesses on shared memories atomic too).
 		errno := p.W.Kernel.FutexWait(mem, addr, val, func() uint32 {
-			v, _ := mem.ReadU32(addr)
+			v, _ := mem.AtomicReadU32(addr)
 			return v
 		}, timeout)
 		return errnoRet(errno)

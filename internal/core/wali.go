@@ -21,6 +21,7 @@ import (
 
 	"gowali/internal/interp"
 	"gowali/internal/kernel"
+	"gowali/internal/kernel/vfs"
 	"gowali/internal/linux"
 	"gowali/internal/wasm"
 )
@@ -65,6 +66,13 @@ type WALI struct {
 	procs map[int32]*Process
 	wg    sync.WaitGroup
 
+	// modCache caches the translated form of executable .wasm files by
+	// VFS inode, validated by (size, mtime), so execve storms re-running
+	// one binary skip decode+validate+pre-decode (the engine-side module
+	// cache the embedding facade exposes as gowali.Module).
+	modMu    sync.Mutex
+	modCache map[*vfs.Inode]modCacheEnt
+
 	// SyscallTime accumulates total time spent inside WALI handlers
 	// (kernel + translation), keyed by process; used by Fig. 7.
 	timeMu      sync.Mutex
@@ -97,9 +105,10 @@ type Process struct {
 	Inst *interp.Instance
 	Exec *interp.Exec
 
-	Module *wasm.Module
-	argv   []string
-	env    []string
+	Module   *wasm.Module
+	compiled *interp.Compiled
+	argv     []string
+	env      []string
 
 	// Sig is the virtual signal table (shared across threads).
 	Sig *Sigtable
@@ -128,16 +137,30 @@ type execPanic struct{}
 // convention our toolchain also emits.
 const StartExport = "_start"
 
-// SpawnModule creates the initial process for a validated module.
+// SpawnModule creates the initial process for a validated module,
+// translating it first. Callers spawning the same module repeatedly
+// should interp.Compile once and use SpawnCompiled (the embedding
+// facade's module cache does exactly that).
 func (w *WALI) SpawnModule(m *wasm.Module, name string, argv, env []string) (*Process, error) {
+	c, err := interp.Compile(m)
+	if err != nil {
+		return nil, err
+	}
+	return w.SpawnCompiled(c, name, argv, env)
+}
+
+// SpawnCompiled creates the initial process for a pre-translated module:
+// instantiation reuses the cached pre-decoded IR, so fork/exec storms and
+// multi-tenant fan-out skip re-translation entirely.
+func (w *WALI) SpawnCompiled(c *interp.Compiled, name string, argv, env []string) (*Process, error) {
 	kp := w.Kernel.NewProcess(name, argv, env)
-	return w.newProcess(kp, m, argv, env)
+	return w.newProcess(kp, c, argv, env)
 }
 
 // SpawnPath loads a .wasm binary from the simulated kernel's filesystem
 // (the execve path: WALI binaries are directly executable files).
 func (w *WALI) SpawnPath(path string, argv, env []string) (*Process, error) {
-	m, err := w.loadModule(path)
+	c, err := w.loadModule(path)
 	if err != nil {
 		return nil, err
 	}
@@ -145,7 +168,7 @@ func (w *WALI) SpawnPath(path string, argv, env []string) (*Process, error) {
 	if len(argv) > 0 {
 		name = argv[0]
 	}
-	return w.SpawnModule(m, name, argv, env)
+	return w.SpawnCompiled(c, name, argv, env)
 }
 
 // InstallBinary writes a module into the kernel VFS as an executable
@@ -161,11 +184,31 @@ func (w *WALI) InstallBinary(path string, m *wasm.Module) error {
 	return nil
 }
 
-func (w *WALI) loadModule(path string) (*wasm.Module, error) {
+// modCacheEnt validates a cached translation against the inode's
+// current size and mtime (rewritten binaries miss and re-translate).
+type modCacheEnt struct {
+	size  int64
+	mtime linux.Timespec
+	c     *interp.Compiled
+}
+
+// modCacheMax bounds the exec cache; beyond it an arbitrary entry is
+// evicted (executable sets are small; this is a backstop, not an LRU).
+const modCacheMax = 128
+
+func (w *WALI) loadModule(path string) (*interp.Compiled, error) {
 	r, errno := w.Kernel.FS.Walk("/", path, true)
 	if errno != 0 || r.Node == nil {
 		return nil, fmt.Errorf("exec %s: %v", path, linux.ENOENT)
 	}
+	st := r.Node.Stat()
+	w.modMu.Lock()
+	if ent, ok := w.modCache[r.Node]; ok && ent.size == st.Size && ent.mtime == st.Mtime {
+		w.modMu.Unlock()
+		return ent.c, nil
+	}
+	w.modMu.Unlock()
+
 	size := r.Node.Size()
 	buf := make([]byte, size)
 	if _, errno := r.Node.ReadAt(buf, 0); errno != 0 {
@@ -178,26 +221,43 @@ func (w *WALI) loadModule(path string) (*wasm.Module, error) {
 	if err := wasm.Validate(m); err != nil {
 		return nil, fmt.Errorf("exec %s: %w (%v)", path, err, linux.ENOEXEC)
 	}
-	return m, nil
+	c, err := interp.Compile(m)
+	if err != nil {
+		return nil, fmt.Errorf("exec %s: %w (%v)", path, err, linux.ENOEXEC)
+	}
+	w.modMu.Lock()
+	if w.modCache == nil {
+		w.modCache = make(map[*vfs.Inode]modCacheEnt)
+	}
+	if len(w.modCache) >= modCacheMax {
+		for k := range w.modCache {
+			delete(w.modCache, k)
+			break
+		}
+	}
+	w.modCache[r.Node] = modCacheEnt{size: st.Size, mtime: st.Mtime, c: c}
+	w.modMu.Unlock()
+	return c, nil
 }
 
 // newProcess wires a module instance to a kernel task.
-func (w *WALI) newProcess(kp *kernel.Process, m *wasm.Module, argv, env []string) (*Process, error) {
+func (w *WALI) newProcess(kp *kernel.Process, c *interp.Compiled, argv, env []string) (*Process, error) {
 	p := &Process{
-		W:      w,
-		KP:     kp,
-		Module: m,
-		argv:   argv,
-		env:    env,
-		Sig:    NewSigtable(),
-		done:   make(chan struct{}),
+		W:        w,
+		KP:       kp,
+		Module:   c.Module,
+		compiled: c,
+		argv:     argv,
+		env:      env,
+		Sig:      NewSigtable(),
+		done:     make(chan struct{}),
 	}
 	linker := interp.NewLinker()
 	w.RegisterHost(linker)
 	if w.ExtendLinker != nil {
 		w.ExtendLinker(linker)
 	}
-	inst, err := interp.NewInstance(m, linker)
+	inst, err := c.Instantiate(linker)
 	if err != nil {
 		return nil, err
 	}
@@ -261,6 +321,10 @@ func (p *Process) Wait() (int32, error) {
 	return p.status, p.runErr
 }
 
+// Done returns a channel closed when the process has finished; the
+// embedding facade selects on it against context cancellation.
+func (p *Process) Done() <-chan struct{} { return p.done }
+
 // WaitAll blocks until every process spawned through this WALI instance
 // has finished.
 func (w *WALI) WaitAll() { w.wg.Wait() }
@@ -309,7 +373,7 @@ func (p *Process) runOnce() (status int32, err error, reexec bool) {
 func (p *Process) doExec() error {
 	req := p.execReq
 	p.execReq = nil
-	m, err := p.W.loadModule(req.path)
+	c, err := p.W.loadModule(req.path)
 	if err != nil {
 		return err
 	}
@@ -319,11 +383,12 @@ func (p *Process) doExec() error {
 	if p.W.ExtendLinker != nil {
 		p.W.ExtendLinker(linker)
 	}
-	inst, err := interp.NewInstance(m, linker)
+	inst, err := c.Instantiate(linker)
 	if err != nil {
 		return err
 	}
-	p.Module = m
+	p.Module = c.Module
+	p.compiled = c
 	p.Inst = inst
 	p.argv = req.argv
 	p.env = req.envp
@@ -343,7 +408,9 @@ func (p *Process) doExec() error {
 // so it performs the write + wake the kernel would).
 func (p *Process) exitKernel(status int32) {
 	if addr := p.KP.ClearTID(); addr != 0 {
-		if p.Inst.Mem.WriteU32(addr, 0) {
+		// Atomic store: sibling threads concurrently load and futex-wait
+		// on the clear-tid word (pthread_join).
+		if p.Inst.Mem.AtomicWriteU32(addr, 0) {
 			p.W.Kernel.FutexWake(p.Inst.Mem, addr, 1)
 		}
 	}
@@ -357,16 +424,17 @@ func (p *Process) forkChild(e *interp.Exec) *Process {
 	cinst := p.Inst.Clone()
 	cexec := e.CloneWith(cinst)
 	c := &Process{
-		W:      p.W,
-		KP:     ckp,
-		Inst:   cinst,
-		Exec:   cexec,
-		Module: p.Module,
-		argv:   append([]string(nil), p.argv...),
-		env:    append([]string(nil), p.env...),
-		Sig:    p.Sig.Clone(),
-		Pool:   p.Pool.CloneFor(cinst.Mem),
-		done:   make(chan struct{}),
+		W:        p.W,
+		KP:       ckp,
+		Inst:     cinst,
+		Exec:     cexec,
+		Module:   p.Module,
+		compiled: p.compiled,
+		argv:     append([]string(nil), p.argv...),
+		env:      append([]string(nil), p.env...),
+		Sig:      p.Sig.Clone(),
+		Pool:     p.Pool.CloneFor(cinst.Mem),
+		done:     make(chan struct{}),
 	}
 	cexec.HostCtx = c
 	cexec.Poll = c.pollSignals
@@ -433,15 +501,16 @@ func (p *Process) spawnThread(fnTableIdx, arg, ctid uint32, flags int64) (int32,
 	tkp := p.KP.CloneThread()
 	tinst := p.Inst.ShareForThread()
 	t := &Process{
-		W:      p.W,
-		KP:     tkp,
-		Inst:   tinst,
-		Module: p.Module,
-		argv:   p.argv,
-		env:    p.env,
-		Sig:    p.Sig, // CLONE_SIGHAND: shared virtual sigtable
-		Pool:   p.Pool,
-		done:   make(chan struct{}),
+		W:        p.W,
+		KP:       tkp,
+		Inst:     tinst,
+		Module:   p.Module,
+		compiled: p.compiled,
+		argv:     p.argv,
+		env:      p.env,
+		Sig:      p.Sig, // CLONE_SIGHAND: shared virtual sigtable
+		Pool:     p.Pool,
+		done:     make(chan struct{}),
 	}
 	t.Exec = interp.NewExec(tinst)
 	t.Exec.Scheme = p.W.Scheme
@@ -450,7 +519,7 @@ func (p *Process) spawnThread(fnTableIdx, arg, ctid uint32, flags int64) (int32,
 	tinst.HostCtx = t
 
 	if flags&linux.CLONE_CHILD_SETTID != 0 && ctid != 0 {
-		p.Inst.Mem.WriteU32(ctid, uint32(tkp.PID))
+		p.Inst.Mem.AtomicWriteU32(ctid, uint32(tkp.PID))
 	}
 	if flags&linux.CLONE_CHILD_CLEARTID != 0 && ctid != 0 {
 		tkp.SetClearTID(ctid)

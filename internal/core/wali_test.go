@@ -493,6 +493,54 @@ func TestExecve(t *testing.T) {
 	}
 }
 
+func TestLoadModuleCache(t *testing.T) {
+	tb := newApp("exit")
+	tf := tb.NewFunc(StartExport, nil, nil)
+	tb.call(tf, "exit", 0)
+	tf.Drop()
+	tf.Finish()
+	m, err := tb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := New()
+	if err := w.InstallBinary("/bin/a.wasm", m); err != nil {
+		t.Fatal(err)
+	}
+	c1, err := w.loadModule("/bin/a.wasm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := w.loadModule("/bin/a.wasm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Fatal("repeated exec of an unchanged binary re-translated the module")
+	}
+	// Rewriting the binary must invalidate the cached translation.
+	tb2 := newApp("exit")
+	tb2.Data(4096, []byte("pad so the image differs in size"))
+	tf2 := tb2.NewFunc(StartExport, nil, nil)
+	tb2.call(tf2, "exit", 0)
+	tf2.Drop()
+	tf2.Finish()
+	m2, err := tb2.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.InstallBinary("/bin/a.wasm", m2); err != nil {
+		t.Fatal(err)
+	}
+	c3, err := w.loadModule("/bin/a.wasm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c3 == c1 {
+		t.Fatal("stale translation served after the binary was rewritten")
+	}
+}
+
 func TestExecveMissingImage(t *testing.T) {
 	b := newApp("execve", "exit")
 	b.Data(1024, []byte("/bin/nope.wasm\x00"))

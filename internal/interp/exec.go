@@ -874,16 +874,16 @@ func (e *Exec) execMemAccess(mem *Memory, op byte, off uint32) {
 	switch op {
 	case wasm.OpI32Load:
 		a := effAddr(mem, uint32(e.pop()), off, 4)
-		e.push(uint64(binary.LittleEndian.Uint32(mem.Data[a:])))
+		e.push(uint64(sharedLoadU32(mem, a)))
 	case wasm.OpI64Load:
 		a := effAddr(mem, uint32(e.pop()), off, 8)
-		e.push(binary.LittleEndian.Uint64(mem.Data[a:]))
+		e.push(sharedLoadU64(mem, a))
 	case wasm.OpF32Load:
 		a := effAddr(mem, uint32(e.pop()), off, 4)
-		e.push(uint64(binary.LittleEndian.Uint32(mem.Data[a:])))
+		e.push(uint64(sharedLoadU32(mem, a)))
 	case wasm.OpF64Load:
 		a := effAddr(mem, uint32(e.pop()), off, 8)
-		e.push(binary.LittleEndian.Uint64(mem.Data[a:]))
+		e.push(sharedLoadU64(mem, a))
 	case wasm.OpI32Load8S:
 		a := effAddr(mem, uint32(e.pop()), off, 1)
 		e.push(uint64(uint32(int32(int8(mem.Data[a])))))
@@ -910,26 +910,26 @@ func (e *Exec) execMemAccess(mem *Memory, op byte, off uint32) {
 		e.push(uint64(binary.LittleEndian.Uint16(mem.Data[a:])))
 	case wasm.OpI64Load32S:
 		a := effAddr(mem, uint32(e.pop()), off, 4)
-		e.push(uint64(int64(int32(binary.LittleEndian.Uint32(mem.Data[a:])))))
+		e.push(uint64(int64(int32(sharedLoadU32(mem, a)))))
 	case wasm.OpI64Load32U:
 		a := effAddr(mem, uint32(e.pop()), off, 4)
-		e.push(uint64(binary.LittleEndian.Uint32(mem.Data[a:])))
+		e.push(uint64(sharedLoadU32(mem, a)))
 	case wasm.OpI32Store:
 		v := uint32(e.pop())
 		a := effAddr(mem, uint32(e.pop()), off, 4)
-		binary.LittleEndian.PutUint32(mem.Data[a:], v)
+		sharedStoreU32(mem, a, v)
 	case wasm.OpI64Store:
 		v := e.pop()
 		a := effAddr(mem, uint32(e.pop()), off, 8)
-		binary.LittleEndian.PutUint64(mem.Data[a:], v)
+		sharedStoreU64(mem, a, v)
 	case wasm.OpF32Store:
 		v := uint32(e.pop())
 		a := effAddr(mem, uint32(e.pop()), off, 4)
-		binary.LittleEndian.PutUint32(mem.Data[a:], v)
+		sharedStoreU32(mem, a, v)
 	case wasm.OpF64Store:
 		v := e.pop()
 		a := effAddr(mem, uint32(e.pop()), off, 8)
-		binary.LittleEndian.PutUint64(mem.Data[a:], v)
+		sharedStoreU64(mem, a, v)
 	case wasm.OpI32Store8, wasm.OpI64Store8:
 		v := byte(e.pop())
 		a := effAddr(mem, uint32(e.pop()), off, 1)
@@ -941,7 +941,7 @@ func (e *Exec) execMemAccess(mem *Memory, op byte, off uint32) {
 	case wasm.OpI64Store32:
 		v := uint32(e.pop())
 		a := effAddr(mem, uint32(e.pop()), off, 4)
-		binary.LittleEndian.PutUint32(mem.Data[a:], v)
+		sharedStoreU32(mem, a, v)
 	}
 }
 

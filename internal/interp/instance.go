@@ -109,10 +109,82 @@ func (e *LinkError) Error() string {
 	return fmt.Sprintf("wasm link: %s.%s: %s", e.Module, e.Name, e.Msg)
 }
 
+// Compiled is a module translated to the engine's executable form: every
+// function body pre-decoded to the flat IR (predecode.go) with its side
+// table. A Compiled is immutable and safe to share: any number of
+// instances — across processes, forks and repeated spawns — reuse the same
+// pre-decoded bodies, so instantiation skips re-translation entirely.
+// This is the engine half of the embedding API's module cache.
+type Compiled struct {
+	Module *wasm.Module
+
+	// sigs is the full function index-space signature table (imports
+	// first), as the pre-decoder consumed it.
+	sigs []wasm.FuncType
+	// funcs holds the resolved local (kindWasm) functions; import slots
+	// are resolved per-instantiation by the linker.
+	funcs []resolvedFunc
+}
+
+// Compile translates a validated module: side tables and pre-decoded IR
+// for every local function. The result is shared by all instantiations.
+func Compile(m *wasm.Module) (*Compiled, error) {
+	c := &Compiled{Module: m}
+	nImp := m.NumImportedFuncs()
+	c.sigs = make([]wasm.FuncType, 0, nImp+len(m.Funcs))
+	for _, im := range m.Imports {
+		if im.Kind == wasm.ExternFunc {
+			c.sigs = append(c.sigs, m.Types[im.TypeIdx])
+		}
+	}
+	for i := range m.Funcs {
+		c.sigs = append(c.sigs, m.Types[m.Funcs[i].TypeIdx])
+	}
+	c.funcs = make([]resolvedFunc, 0, len(m.Funcs))
+	for i := range m.Funcs {
+		f := &m.Funcs[i]
+		ft := m.Types[f.TypeIdx]
+		side, err := buildSideTable(m, f)
+		if err != nil {
+			return nil, fmt.Errorf("wasm: func[%d]: %w", nImp+i, err)
+		}
+		code, err := predecode(f, ft, c.sigs, m.Types, side)
+		if err != nil {
+			return nil, fmt.Errorf("wasm: func[%d]: %w", nImp+i, err)
+		}
+		c.funcs = append(c.funcs, resolvedFunc{
+			kind: kindWasm, typ: ft,
+			name:     fmt.Sprintf("func[%d]", nImp+i),
+			body:     f.Body,
+			locals:   f.Locals,
+			side:     side,
+			code:     code,
+			numParam: len(ft.Params),
+			numLocal: len(ft.Params) + len(f.Locals),
+		})
+	}
+	return c, nil
+}
+
 // NewInstance instantiates a validated module, resolving imports through
 // the linker. Data and element segments are applied; the start function is
-// NOT run automatically (call Start).
+// NOT run automatically (call Start). Each call re-translates the module;
+// embedders spawning the same module repeatedly should Compile once and
+// Instantiate from the cache.
 func NewInstance(m *wasm.Module, l *Linker) (*Instance, error) {
+	c, err := Compile(m)
+	if err != nil {
+		return nil, err
+	}
+	return c.Instantiate(l)
+}
+
+// Instantiate creates a fresh instance over the pre-decoded module:
+// imports are resolved through the linker and mutable state (memory,
+// globals, table) is built anew, but function bodies are shared with every
+// other instance of this Compiled — no decoding or translation happens.
+func (c *Compiled) Instantiate(l *Linker) (*Instance, error) {
+	m := c.Module
 	inst := &Instance{Module: m}
 
 	var importedGlobalVals []uint64
@@ -167,40 +239,8 @@ func NewInstance(m *wasm.Module, l *Linker) (*Instance, error) {
 		inst.Globals = append(inst.Globals, wasm.EvalConstExpr(g.Init, importedGlobalVals))
 	}
 
-	nImp := m.NumImportedFuncs()
-	// Full index-space signature table (imports first), needed by the
-	// pre-decoder to compute static stack effects of calls.
-	sigs := make([]wasm.FuncType, 0, nImp+len(m.Funcs))
-	for _, im := range m.Imports {
-		if im.Kind == wasm.ExternFunc {
-			sigs = append(sigs, m.Types[im.TypeIdx])
-		}
-	}
-	for i := range m.Funcs {
-		sigs = append(sigs, m.Types[m.Funcs[i].TypeIdx])
-	}
-	for i := range m.Funcs {
-		f := &m.Funcs[i]
-		ft := m.Types[f.TypeIdx]
-		side, err := buildSideTable(m, f)
-		if err != nil {
-			return nil, fmt.Errorf("wasm: func[%d]: %w", nImp+i, err)
-		}
-		code, err := predecode(f, ft, sigs, m.Types, side)
-		if err != nil {
-			return nil, fmt.Errorf("wasm: func[%d]: %w", nImp+i, err)
-		}
-		inst.funcs = append(inst.funcs, resolvedFunc{
-			kind: kindWasm, typ: ft,
-			name:     fmt.Sprintf("func[%d]", nImp+i),
-			body:     f.Body,
-			locals:   f.Locals,
-			side:     side,
-			code:     code,
-			numParam: len(ft.Params),
-			numLocal: len(ft.Params) + len(f.Locals),
-		})
-	}
+	// Local functions: shared, already pre-decoded bodies from the cache.
+	inst.funcs = append(inst.funcs, c.funcs...)
 
 	for i, seg := range m.Elems {
 		off := uint32(wasm.EvalConstExpr(seg.Offset, importedGlobalVals))
@@ -225,6 +265,17 @@ func NewInstance(m *wasm.Module, l *Linker) (*Instance, error) {
 
 // NumFuncs returns the function index space size.
 func (inst *Instance) NumFuncs() int { return len(inst.funcs) }
+
+// CodeRef returns an opaque identity for the pre-decoded body of function
+// idx (nil for host functions). Two instances built from the same Compiled
+// return equal CodeRefs — the observable contract of the module cache,
+// used by tests to prove re-spawns skip re-translation.
+func (inst *Instance) CodeRef(idx uint32) any {
+	if int(idx) >= len(inst.funcs) || inst.funcs[idx].kind != kindWasm {
+		return nil
+	}
+	return inst.funcs[idx].code
+}
 
 // FuncType returns the signature of function idx.
 func (inst *Instance) FuncType(idx uint32) wasm.FuncType { return inst.funcs[idx].typ }
@@ -255,8 +306,12 @@ func (inst *Instance) Clone() *Instance {
 
 // ShareForThread creates a new instance for a spawned thread: memory is
 // shared with the parent, globals and table are fresh copies (separate
-// execution state), per the instance-per-thread model.
+// execution state), per the instance-per-thread model. The memory is
+// marked concurrent so aligned word accesses become atomic (futex words).
 func (inst *Instance) ShareForThread() *Instance {
+	if inst.Mem != nil {
+		inst.Mem.MarkConcurrent()
+	}
 	c := &Instance{
 		Module:  inst.Module,
 		Mem:     inst.Mem, // shared

@@ -2,6 +2,7 @@ package interp
 
 import (
 	"encoding/binary"
+	"sync/atomic"
 
 	"gowali/internal/wasm"
 )
@@ -13,7 +14,20 @@ type Memory struct {
 	Data   []byte
 	MaxLen uint64 // bytes; cap on growth
 	Shared bool
+
+	// concurrent latches once a second thread shares this memory
+	// (ShareForThread), whether or not the wasm declaration said shared.
+	// While set, aligned 32/64-bit interpreter accesses go through
+	// sync/atomic so futex-word protocols are sound under the Go memory
+	// model (see atomicmem.go).
+	concurrent atomic.Bool
 }
+
+// MarkConcurrent records that a second thread now shares this memory.
+func (m *Memory) MarkConcurrent() { m.concurrent.Store(true) }
+
+// racy reports whether accesses to this memory may be concurrent.
+func (m *Memory) racy() bool { return m.Shared || m.concurrent.Load() }
 
 // NewMemory allocates a memory from declared limits. Shared memories are
 // allocated at their maximum immediately (as most engines do for the

@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"io"
 	"sync"
 
 	"gowali/internal/linux"
@@ -15,6 +16,9 @@ type ConsoleDevice struct {
 	in   []byte
 	eof  bool
 	ws   linux.Winsize
+
+	teeMu sync.Mutex // serializes tee writes, outside mu
+	tee   io.Writer
 }
 
 // NewConsoleDevice returns a console with an 80x24 window.
@@ -74,11 +78,32 @@ func (c *ConsoleDevice) Read(b []byte, nonblock bool) (int, linux.Errno) {
 	return n, 0
 }
 
-// Write implements vfs.DeviceOps.
+// SetTee streams every subsequent console write to w in addition to the
+// inspectable buffer (the embedding API's stdout plumbing). Host write
+// errors are ignored: the guest's tty never fails.
+func (c *ConsoleDevice) SetTee(w io.Writer) {
+	c.mu.Lock()
+	c.tee = w
+	c.mu.Unlock()
+}
+
+// Write implements vfs.DeviceOps. The tee write happens outside c.mu so
+// a slow or re-entrant host writer (one that calls Output, say) cannot
+// deadlock or stall other console operations; teeMu alone preserves the
+// write order host-side.
 func (c *ConsoleDevice) Write(b []byte) (int, linux.Errno) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.out = append(c.out, b...)
+	// Tee from the buffered copy, not b: b aliases guest memory, which
+	// sibling guest threads may mutate once mu is released.
+	cp := c.out[len(c.out)-len(b):]
+	tee := c.tee
+	c.mu.Unlock()
+	if tee != nil {
+		c.teeMu.Lock()
+		tee.Write(cp)
+		c.teeMu.Unlock()
+	}
 	return len(b), 0
 }
 
@@ -114,6 +139,43 @@ func (c *ConsoleDevice) Ioctl(cmd uint32, arg []byte) (int32, linux.Errno) {
 		defer c.mu.Unlock()
 		return int32(len(c.in)), 0
 	}
+	return 0, linux.ENOTTY
+}
+
+// StreamDevice is a write-only character device forwarding to a host
+// io.Writer. The embedding facade installs one per redirected output
+// stream (a distinct stderr sink) and rebinds the process descriptor
+// onto it. Guest reads see immediate EOF; host write errors are
+// invisible to the guest, whose tty never fails. (Host *input* goes
+// through the console's FeedInput queue, which has real blocking and
+// O_NONBLOCK semantics — a raw host reader cannot honor them.)
+type StreamDevice struct {
+	mu sync.Mutex
+	W  io.Writer
+}
+
+// Read implements vfs.DeviceOps: always EOF.
+func (d *StreamDevice) Read(b []byte, nonblock bool) (int, linux.Errno) {
+	return 0, 0
+}
+
+// Write implements vfs.DeviceOps.
+func (d *StreamDevice) Write(b []byte) (int, linux.Errno) {
+	d.mu.Lock()
+	w := d.W
+	d.mu.Unlock()
+	if w != nil {
+		w.Write(b)
+	}
+	return len(b), 0
+}
+
+// Poll implements vfs.DeviceOps: always writable, and readable only in
+// the sense that a read returns EOF without blocking.
+func (d *StreamDevice) Poll() int16 { return linux.POLLIN | linux.POLLOUT }
+
+// Ioctl implements vfs.DeviceOps.
+func (d *StreamDevice) Ioctl(cmd uint32, arg []byte) (int32, linux.Errno) {
 	return 0, linux.ENOTTY
 }
 

@@ -271,6 +271,17 @@ type devFile struct {
 	dev vfs.DeviceOps
 }
 
+// OpenDevOn rebinds descriptor fd of p's table onto the character device
+// at path (stdio redirection: the facade points fd 2 at a host stderr
+// stream device). The previous file on fd, if any, is replaced.
+func (p *Process) OpenDevOn(fd int32, path string) linux.Errno {
+	r, errno := p.K.FS.Walk("/", path, true)
+	if errno != 0 || r.Node == nil || r.Node.Device() == nil {
+		return linux.ENOENT
+	}
+	return p.FDs.Set(fd, newDevFile(r.Node, linux.O_RDWR), false)
+}
+
 func newDevFile(ino *vfs.Inode, flags int32) *devFile {
 	f := &devFile{ino: ino, dev: ino.Device()}
 	f.flags = flags

@@ -25,8 +25,11 @@ type futexQueue struct {
 
 // FutexWait blocks until a FutexWake on (space, addr), checking first that
 // *addr (read via load) still equals val — the standard atomic test-and-
-// block. timeout nil means wait forever. Returns EAGAIN when the value
-// already changed, ETIMEDOUT on timeout.
+// block. The load callback must read the word atomically (WALI passes
+// Memory.AtomicReadU32): it races by design with waker threads' stores to
+// the futex word, and an atomic pairing is what makes the protocol sound
+// under the Go memory model. timeout nil means wait forever. Returns
+// EAGAIN when the value already changed, ETIMEDOUT on timeout.
 func (k *Kernel) FutexWait(space any, addr uint32, val uint32, load func() uint32, timeout *linux.Timespec) linux.Errno {
 	key := futexKey{space, addr}
 	k.mu.Lock()

@@ -79,6 +79,11 @@ func (k *Kernel) mkdev(path string, ops vfs.DeviceOps) {
 	k.FS.Mknod("/", path, linux.S_IFCHR|0o666, 0, 0, ops)
 }
 
+// Mkdev installs a character device node at path. The embedding facade
+// uses it to expose host stream devices (stdio redirection) inside the
+// simulated filesystem.
+func (k *Kernel) Mkdev(path string, ops vfs.DeviceOps) { k.mkdev(path, ops) }
+
 // Monotonic returns CLOCK_MONOTONIC since boot.
 func (k *Kernel) Monotonic() linux.Timespec {
 	return linux.TimespecFromNanos(time.Since(k.bootMono).Nanoseconds())

@@ -33,15 +33,20 @@ func NewCollector() *Collector {
 
 // Attach installs the collector on a WALI engine.
 func (c *Collector) Attach(w *core.WALI) {
-	w.Hook = func(ev core.SyscallEvent) {
-		c.mu.Lock()
-		c.counts[ev.Name]++
-		c.total += ev.Duration
-		c.calls++
-		c.mu.Unlock()
-		if c.Verbose != nil {
-			c.Verbose(fmt.Sprintf("[pid %d] %s(...) = %d <%s>", ev.PID, ev.Name, ev.Ret, ev.Duration))
-		}
+	w.Hook = c.Observe
+}
+
+// Observe records one syscall event. It is the collector's hook function:
+// pass it to WALI.Hook (Attach does) or to the embedding facade's
+// WithSyscallHook option.
+func (c *Collector) Observe(ev core.SyscallEvent) {
+	c.mu.Lock()
+	c.counts[ev.Name]++
+	c.total += ev.Duration
+	c.calls++
+	c.mu.Unlock()
+	if c.Verbose != nil {
+		c.Verbose(fmt.Sprintf("[pid %d] %s(...) = %d <%s>", ev.PID, ev.Name, ev.Ret, ev.Duration))
 	}
 }
 

@@ -121,14 +121,25 @@ func ImportSyscall(b *wasm.Builder, name string) uint32 {
 	panic("wazi: unknown syscall " + name)
 }
 
-// Spawn instantiates a module over WAZI.
+// Spawn instantiates a module over WAZI, translating it first. Repeated
+// spawns of one module should interp.Compile once and use SpawnCompiled.
 func (w *WAZI) Spawn(m *wasm.Module) (*Process, error) {
 	if err := wasm.Validate(m); err != nil {
 		return nil, err
 	}
+	c, err := interp.Compile(m)
+	if err != nil {
+		return nil, err
+	}
+	return w.SpawnCompiled(c)
+}
+
+// SpawnCompiled instantiates a pre-translated module over WAZI, reusing
+// the cached pre-decoded IR.
+func (w *WAZI) SpawnCompiled(c *interp.Compiled) (*Process, error) {
 	l := interp.NewLinker()
 	w.RegisterHost(l)
-	inst, err := interp.NewInstance(m, l)
+	inst, err := c.Instantiate(l)
 	if err != nil {
 		return nil, err
 	}
@@ -136,7 +147,9 @@ func (w *WAZI) Spawn(m *wasm.Module) (*Process, error) {
 	p.Exec = interp.NewExec(inst)
 	p.Exec.Scheme = w.Scheme
 
-	// Recipe step 4: thread bridge via instance-per-thread.
+	// Recipe step 4: thread bridge via instance-per-thread. Threads
+	// inherit the main exec's safepoint Poll as installed at spawn time,
+	// so an embedder's cancellation hook reaches every thread.
 	w.Z.ThreadSpawn = func(fnTableIdx, arg, stack uint32) int64 {
 		fidx := inst.TableGet(fnTableIdx)
 		if fidx < 0 {
@@ -145,6 +158,7 @@ func (w *WAZI) Spawn(m *wasm.Module) (*Process, error) {
 		tinst := inst.ShareForThread()
 		texec := interp.NewExec(tinst)
 		texec.Scheme = w.Scheme
+		texec.Poll = p.Exec.Poll
 		w.wg.Add(1)
 		go func() {
 			defer w.wg.Done()
@@ -155,16 +169,20 @@ func (w *WAZI) Spawn(m *wasm.Module) (*Process, error) {
 	return p, nil
 }
 
-// Run invokes _start and waits for spawned threads.
-func (p *Process) Run() error {
+// Run invokes _start and waits for spawned threads, returning the
+// application's exit status (0 on normal return) and any trap.
+func (p *Process) Run() (int32, error) {
 	fidx, ok := p.Inst.Module.ExportedFunc("_start")
 	if !ok {
-		return fmt.Errorf("wazi: module has no _start export")
+		return 127, fmt.Errorf("wazi: module has no _start export")
 	}
 	_, err := p.Exec.Invoke(fidx)
 	p.W.wg.Wait()
-	if exit, ok := err.(*interp.Exit); ok && exit.Status == 0 {
-		return nil
+	if exit, ok := err.(*interp.Exit); ok {
+		return exit.Status, nil
 	}
-	return err
+	if err != nil {
+		return 128, err
+	}
+	return 0, nil
 }

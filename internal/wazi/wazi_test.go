@@ -50,8 +50,8 @@ func runZ(t *testing.T, b *zapp) (*WAZI, *Process) {
 	if err != nil {
 		t.Fatalf("spawn: %v", err)
 	}
-	if err := p.Run(); err != nil {
-		t.Fatalf("run: %v", err)
+	if status, err := p.Run(); err != nil || status != 0 {
+		t.Fatalf("run: status=%d err=%v", status, err)
 	}
 	return w, p
 }

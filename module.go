@@ -1,0 +1,75 @@
+package gowali
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"gowali/internal/interp"
+	"gowali/internal/wasm"
+)
+
+// Module is a compiled WebAssembly module: decoded, validated, and
+// pre-translated to the engine's flat IR. The translation is cached in
+// the Module, so every spawn — fork/exec storms, multi-tenant fan-out,
+// repeated invocations of one service binary — instantiates directly
+// from the cached IR and skips decoding and translation entirely. A
+// Module is immutable and safe to share across runtimes and goroutines.
+type Module struct {
+	name     string
+	compiled *interp.Compiled
+}
+
+// CompileModule reads a binary Wasm module, validates it and translates
+// it once for any number of spawns.
+func CompileModule(r io.Reader) (*Module, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("gowali: read module: %w", err)
+	}
+	m, err := wasm.Decode(raw)
+	if err != nil {
+		return nil, fmt.Errorf("gowali: decode module: %w", err)
+	}
+	return compile(m, m.Name)
+}
+
+// CompileFile reads, validates and translates a .wasm binary from the
+// host filesystem.
+func CompileFile(path string) (*Module, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m, err := CompileModule(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if m.name == "" {
+		m.name = path
+	}
+	return m, nil
+}
+
+// CompileBuilt validates and translates an in-memory module object —
+// the path for modules produced with the gowali/wasm builder DSL rather
+// than read from a binary.
+func CompileBuilt(m *wasm.Module) (*Module, error) {
+	return compile(m, m.Name)
+}
+
+func compile(m *wasm.Module, name string) (*Module, error) {
+	if err := wasm.Validate(m); err != nil {
+		return nil, fmt.Errorf("gowali: validate module: %w", err)
+	}
+	c, err := interp.Compile(m)
+	if err != nil {
+		return nil, fmt.Errorf("gowali: compile module: %w", err)
+	}
+	return &Module{name: name, compiled: c}, nil
+}
+
+// Name returns the module's diagnostic name (custom name section, file
+// path, or builder name; possibly empty).
+func (m *Module) Name() string { return m.name }

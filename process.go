@@ -1,0 +1,156 @@
+package gowali
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"gowali/internal/core"
+	"gowali/internal/interp"
+	"gowali/internal/linux"
+	"gowali/internal/wazi"
+)
+
+// KilledStatus is the exit status of a process terminated by context
+// cancellation: 128 + SIGKILL, the shell convention.
+const KilledStatus = 128 + linux.SIGKILL
+
+// Process is a running guest process spawned through Runtime.Spawn. It
+// executes on its own goroutine (the 1-to-1 process model); observe it
+// with Wait, or terminate it early with Kill or by cancelling the spawn
+// context.
+type Process struct {
+	wp *core.Process // WALI-backed hosts
+
+	// WAZI host: the run goroutine reports through these; zKilled is the
+	// cancellation/kill latch polled at safepoints.
+	zp      *wazi.Process
+	zDone   chan struct{}
+	zKilled atomic.Bool
+	zStatus int32
+	zErr    error
+}
+
+// Spawn starts a process executing m's _start export, with the given
+// argument and environment vectors (ignored by the WAZI host, whose
+// applications take no vectors). The process runs on its own goroutine.
+//
+// ctx governs the process's lifetime: when it is cancelled, the engine
+// delivers SIGKILL, which terminates the guest at the next safepoint
+// (per the runtime's SafepointScheme) with status KilledStatus. A guest
+// blocked in an uninterruptible syscall is killed when the syscall
+// returns. Instantiation reuses m's cached pre-decoded IR.
+func (r *Runtime) Spawn(ctx context.Context, m *Module, argv, env []string) (*Process, error) {
+	name := m.name
+	if len(argv) > 0 {
+		name = argv[0]
+	}
+	if r.wazi != nil {
+		return r.spawnWAZI(ctx, m)
+	}
+	wp, err := r.wali.SpawnCompiled(m.compiled, name, argv, env)
+	if err != nil {
+		return nil, err
+	}
+	if r.stderrPath != "" {
+		wp.KP.OpenDevOn(2, r.stderrPath)
+	}
+	p := &Process{wp: wp}
+	if ctx.Done() != nil {
+		kp := wp.KP
+		stop := context.AfterFunc(ctx, func() {
+			kp.PostSignal(linux.SIGKILL)
+		})
+		go func() {
+			<-wp.Done()
+			stop()
+		}()
+	}
+	wp.RunAsync()
+	return p, nil
+}
+
+func (r *Runtime) spawnWAZI(ctx context.Context, m *Module) (*Process, error) {
+	zp, err := r.wazi.SpawnCompiled(m.compiled)
+	if err != nil {
+		return nil, err
+	}
+	p := &Process{zp: zp, zDone: make(chan struct{})}
+	// Zephyr has no signals; cancellation and Kill are delivered by the
+	// engine itself, polled at every thread's safepoints (spawned threads
+	// inherit this Poll).
+	zp.Exec.Poll = func(e *interp.Exec) {
+		if p.zKilled.Load() {
+			panic(&interp.Exit{Status: KilledStatus})
+		}
+	}
+	if ctx.Done() != nil {
+		stop := context.AfterFunc(ctx, func() { p.zKilled.Store(true) })
+		go func() {
+			<-p.zDone
+			stop()
+		}()
+	}
+	go func() {
+		defer close(p.zDone)
+		p.zStatus, p.zErr = zp.Run()
+	}()
+	return p, nil
+}
+
+// Run is the synchronous convenience: Spawn followed by Wait on the same
+// context.
+func (r *Runtime) Run(ctx context.Context, m *Module, argv, env []string) (int32, error) {
+	p, err := r.Spawn(ctx, m, argv, env)
+	if err != nil {
+		return -1, err
+	}
+	return p.Wait(ctx)
+}
+
+// PID returns the guest process id (1 for WAZI applications, whose board
+// runs a single application image).
+func (p *Process) PID() int32 {
+	if p.wp != nil {
+		return p.wp.KP.PID
+	}
+	return 1
+}
+
+// Wait blocks until the process finishes, returning its exit status and,
+// for traps, the *Trap error (inspect Trap.Stack for the guest
+// backtrace). If ctx is cancelled first, Wait returns ctx.Err() while
+// the process keeps running — cancel the spawn context to also kill it.
+func (p *Process) Wait(ctx context.Context) (int32, error) {
+	if p.wp != nil {
+		select {
+		case <-p.wp.Done():
+			return p.wp.Wait()
+		case <-ctx.Done():
+			return -1, ctx.Err()
+		}
+	}
+	select {
+	case <-p.zDone:
+		return p.zStatus, p.zErr
+	case <-ctx.Done():
+		return -1, ctx.Err()
+	}
+}
+
+// Kill posts a signal to the process (SIGKILL terminates it at the next
+// safepoint). The WAZI host supports SIGKILL only — Zephyr has no
+// signals, so the engine delivers the kill itself.
+func (p *Process) Kill(sig int32) error {
+	if p.wp != nil {
+		if errno := p.wp.KP.PostSignal(sig); errno != 0 {
+			return fmt.Errorf("gowali: kill: %v", errno)
+		}
+		return nil
+	}
+	if sig != linux.SIGKILL {
+		return fmt.Errorf("gowali: the WAZI host supports SIGKILL only")
+	}
+	p.zKilled.Store(true)
+	return nil
+}

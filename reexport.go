@@ -1,0 +1,98 @@
+package gowali
+
+import (
+	"gowali/internal/core"
+	"gowali/internal/interp"
+	"gowali/internal/kernel"
+	"gowali/internal/trace"
+	"gowali/internal/wasi"
+	"gowali/internal/wasm"
+	"gowali/internal/wazi"
+)
+
+// The embedding facade re-exports the supported types of the engine so
+// that embedders — including this repository's cmd/ tools and examples —
+// never import gowali/internal/... directly. Everything below is public
+// API; everything else under internal/ may change freely.
+
+// Trap is a WebAssembly trap, returned as the error from Wait when guest
+// execution faults. Stack holds the guest backtrace, innermost frame
+// first.
+type Trap = interp.Trap
+
+// TrapCode classifies a Trap.
+type TrapCode = interp.TrapCode
+
+// Exit reports guest-initiated termination (exit_group); Wait converts
+// it to a plain status, so embedders rarely see it directly.
+type Exit = interp.Exit
+
+// SafepointScheme selects where the engine polls for asynchronous events
+// (Table 3 compares the cost of the choices).
+type SafepointScheme = interp.SafepointScheme
+
+// Safepoint schemes, from never to every instruction.
+const (
+	SafepointNone      = interp.SafepointNone
+	SafepointLoop      = interp.SafepointLoop
+	SafepointFunc      = interp.SafepointFunc
+	SafepointEveryInst = interp.SafepointEveryInst
+)
+
+// SyscallEvent is one observed syscall; see WithSyscallHook.
+type SyscallEvent = core.SyscallEvent
+
+// Kernel is the simulated Linux kernel a WALI-backed runtime executes
+// over: VFS, process table, devices, futexes, signals. Obtain a
+// runtime's kernel with Runtime.Kernel, or boot one with NewKernel to
+// share across runtimes via WithKernel.
+type Kernel = kernel.Kernel
+
+// NewKernel boots a fresh simulated kernel.
+func NewKernel() *Kernel { return kernel.NewKernel() }
+
+// Preopen grants a WASI directory capability: the guest path maps onto
+// the given path in the runtime's kernel filesystem.
+type Preopen = wasi.Preopen
+
+// Collector accumulates syscall profiles from a run; install its Observe
+// method with WithSyscallHook.
+type Collector = trace.Collector
+
+// NewCollector returns an empty syscall collector.
+func NewCollector() *Collector { return trace.NewCollector() }
+
+// StartExport is the entry-point export every guest module provides.
+const StartExport = core.StartExport
+
+// Import namespaces of the three shipped host layers.
+const (
+	WALINamespace = core.Namespace
+	WASINamespace = wasi.Namespace
+	WAZINamespace = wazi.Namespace
+)
+
+// WASI open flags and rights used when hand-building WASI modules with
+// the gowali/wasm builder (subset; toolchain-built modules carry their
+// own).
+const (
+	WASIOflagCreat   = wasi.OflagCreat
+	WASIRightFdRead  = wasi.RightFdRead
+	WASIRightFdWrite = wasi.RightFdWrite
+)
+
+// ImportWALISyscall declares the WALI import for a syscall on a module
+// builder, returning the function index to Call.
+func ImportWALISyscall(b *wasm.Builder, name string) uint32 {
+	return core.ImportSyscall(b, name)
+}
+
+// ImportWAZISyscall declares the WAZI import for a Zephyr syscall on a
+// module builder.
+func ImportWAZISyscall(b *wasm.Builder, name string) uint32 {
+	return wazi.ImportSyscall(b, name)
+}
+
+// WAZIPassthroughRatio reports the fraction of WAZI host bindings
+// auto-generated from Zephyr's syscall encoding (§5.1: ">85%").
+func WAZIPassthroughRatio() float64 { return wazi.PassthroughRatio() }

@@ -1,0 +1,247 @@
+// Package wasm is the public module toolkit of the gowali embedding
+// API: decode/encode/validate for binary modules, and the builder DSL
+// used throughout this repository as the stand-in for an LLVM/musl
+// toolchain. It re-exports the supported surface of the internal codec
+// so embedders (including cmd/ and examples/) never import
+// gowali/internal/... directly.
+package wasm
+
+import iw "gowali/internal/wasm"
+
+// Module is a decoded or built WebAssembly module.
+type Module = iw.Module
+
+// Builder assembles a module programmatically; FuncBuilder emits one
+// function body.
+type (
+	Builder     = iw.Builder
+	FuncBuilder = iw.FuncBuilder
+)
+
+// FuncType is a function signature; Limits declares memory/table bounds.
+type (
+	FuncType = iw.FuncType
+	Limits   = iw.Limits
+)
+
+// ValType is a WebAssembly value type.
+type ValType = iw.ValType
+
+// Value types.
+const (
+	I32 = iw.I32
+	I64 = iw.I64
+	F32 = iw.F32
+	F64 = iw.F64
+)
+
+// Import/export kinds.
+const (
+	ExternFunc   = iw.ExternFunc
+	ExternTable  = iw.ExternTable
+	ExternMemory = iw.ExternMemory
+	ExternGlobal = iw.ExternGlobal
+)
+
+// PageSize is the WebAssembly page size (64 KiB); MaxPages caps memory.
+const (
+	PageSize = iw.PageSize
+	MaxPages = iw.MaxPages
+)
+
+// NewBuilder starts a module named name.
+func NewBuilder(name string) *Builder { return iw.NewBuilder(name) }
+
+// Decode parses a binary module.
+func Decode(raw []byte) (*Module, error) { return iw.Decode(raw) }
+
+// Encode serializes a module to the binary format.
+func Encode(m *Module) []byte { return iw.Encode(m) }
+
+// Validate type-checks a module.
+func Validate(m *Module) error { return iw.Validate(m) }
+
+// Opcode is a single-byte WebAssembly opcode, as accepted by
+// FuncBuilder.Op, .Load and .Store.
+type Opcode = iw.Opcode
+
+// The full single-byte opcode set.
+const (
+	OpUnreachable       = iw.OpUnreachable
+	OpNop               = iw.OpNop
+	OpBlock             = iw.OpBlock
+	OpLoop              = iw.OpLoop
+	OpIf                = iw.OpIf
+	OpElse              = iw.OpElse
+	OpEnd               = iw.OpEnd
+	OpBr                = iw.OpBr
+	OpBrIf              = iw.OpBrIf
+	OpBrTable           = iw.OpBrTable
+	OpReturn            = iw.OpReturn
+	OpCall              = iw.OpCall
+	OpCallIndirect      = iw.OpCallIndirect
+	OpDrop              = iw.OpDrop
+	OpSelect            = iw.OpSelect
+	OpLocalGet          = iw.OpLocalGet
+	OpLocalSet          = iw.OpLocalSet
+	OpLocalTee          = iw.OpLocalTee
+	OpGlobalGet         = iw.OpGlobalGet
+	OpGlobalSet         = iw.OpGlobalSet
+	OpI32Load           = iw.OpI32Load
+	OpI64Load           = iw.OpI64Load
+	OpF32Load           = iw.OpF32Load
+	OpF64Load           = iw.OpF64Load
+	OpI32Load8S         = iw.OpI32Load8S
+	OpI32Load8U         = iw.OpI32Load8U
+	OpI32Load16S        = iw.OpI32Load16S
+	OpI32Load16U        = iw.OpI32Load16U
+	OpI64Load8S         = iw.OpI64Load8S
+	OpI64Load8U         = iw.OpI64Load8U
+	OpI64Load16S        = iw.OpI64Load16S
+	OpI64Load16U        = iw.OpI64Load16U
+	OpI64Load32S        = iw.OpI64Load32S
+	OpI64Load32U        = iw.OpI64Load32U
+	OpI32Store          = iw.OpI32Store
+	OpI64Store          = iw.OpI64Store
+	OpF32Store          = iw.OpF32Store
+	OpF64Store          = iw.OpF64Store
+	OpI32Store8         = iw.OpI32Store8
+	OpI32Store16        = iw.OpI32Store16
+	OpI64Store8         = iw.OpI64Store8
+	OpI64Store16        = iw.OpI64Store16
+	OpI64Store32        = iw.OpI64Store32
+	OpMemorySize        = iw.OpMemorySize
+	OpMemoryGrow        = iw.OpMemoryGrow
+	OpI32Const          = iw.OpI32Const
+	OpI64Const          = iw.OpI64Const
+	OpF32Const          = iw.OpF32Const
+	OpF64Const          = iw.OpF64Const
+	OpI32Eqz            = iw.OpI32Eqz
+	OpI32Eq             = iw.OpI32Eq
+	OpI32Ne             = iw.OpI32Ne
+	OpI32LtS            = iw.OpI32LtS
+	OpI32LtU            = iw.OpI32LtU
+	OpI32GtS            = iw.OpI32GtS
+	OpI32GtU            = iw.OpI32GtU
+	OpI32LeS            = iw.OpI32LeS
+	OpI32LeU            = iw.OpI32LeU
+	OpI32GeS            = iw.OpI32GeS
+	OpI32GeU            = iw.OpI32GeU
+	OpI64Eqz            = iw.OpI64Eqz
+	OpI64Eq             = iw.OpI64Eq
+	OpI64Ne             = iw.OpI64Ne
+	OpI64LtS            = iw.OpI64LtS
+	OpI64LtU            = iw.OpI64LtU
+	OpI64GtS            = iw.OpI64GtS
+	OpI64GtU            = iw.OpI64GtU
+	OpI64LeS            = iw.OpI64LeS
+	OpI64LeU            = iw.OpI64LeU
+	OpI64GeS            = iw.OpI64GeS
+	OpI64GeU            = iw.OpI64GeU
+	OpF32Eq             = iw.OpF32Eq
+	OpF32Ne             = iw.OpF32Ne
+	OpF32Lt             = iw.OpF32Lt
+	OpF32Gt             = iw.OpF32Gt
+	OpF32Le             = iw.OpF32Le
+	OpF32Ge             = iw.OpF32Ge
+	OpF64Eq             = iw.OpF64Eq
+	OpF64Ne             = iw.OpF64Ne
+	OpF64Lt             = iw.OpF64Lt
+	OpF64Gt             = iw.OpF64Gt
+	OpF64Le             = iw.OpF64Le
+	OpF64Ge             = iw.OpF64Ge
+	OpI32Clz            = iw.OpI32Clz
+	OpI32Ctz            = iw.OpI32Ctz
+	OpI32Popcnt         = iw.OpI32Popcnt
+	OpI32Add            = iw.OpI32Add
+	OpI32Sub            = iw.OpI32Sub
+	OpI32Mul            = iw.OpI32Mul
+	OpI32DivS           = iw.OpI32DivS
+	OpI32DivU           = iw.OpI32DivU
+	OpI32RemS           = iw.OpI32RemS
+	OpI32RemU           = iw.OpI32RemU
+	OpI32And            = iw.OpI32And
+	OpI32Or             = iw.OpI32Or
+	OpI32Xor            = iw.OpI32Xor
+	OpI32Shl            = iw.OpI32Shl
+	OpI32ShrS           = iw.OpI32ShrS
+	OpI32ShrU           = iw.OpI32ShrU
+	OpI32Rotl           = iw.OpI32Rotl
+	OpI32Rotr           = iw.OpI32Rotr
+	OpI64Clz            = iw.OpI64Clz
+	OpI64Ctz            = iw.OpI64Ctz
+	OpI64Popcnt         = iw.OpI64Popcnt
+	OpI64Add            = iw.OpI64Add
+	OpI64Sub            = iw.OpI64Sub
+	OpI64Mul            = iw.OpI64Mul
+	OpI64DivS           = iw.OpI64DivS
+	OpI64DivU           = iw.OpI64DivU
+	OpI64RemS           = iw.OpI64RemS
+	OpI64RemU           = iw.OpI64RemU
+	OpI64And            = iw.OpI64And
+	OpI64Or             = iw.OpI64Or
+	OpI64Xor            = iw.OpI64Xor
+	OpI64Shl            = iw.OpI64Shl
+	OpI64ShrS           = iw.OpI64ShrS
+	OpI64ShrU           = iw.OpI64ShrU
+	OpI64Rotl           = iw.OpI64Rotl
+	OpI64Rotr           = iw.OpI64Rotr
+	OpF32Abs            = iw.OpF32Abs
+	OpF32Neg            = iw.OpF32Neg
+	OpF32Ceil           = iw.OpF32Ceil
+	OpF32Floor          = iw.OpF32Floor
+	OpF32Trunc          = iw.OpF32Trunc
+	OpF32Nearest        = iw.OpF32Nearest
+	OpF32Sqrt           = iw.OpF32Sqrt
+	OpF32Add            = iw.OpF32Add
+	OpF32Sub            = iw.OpF32Sub
+	OpF32Mul            = iw.OpF32Mul
+	OpF32Div            = iw.OpF32Div
+	OpF32Min            = iw.OpF32Min
+	OpF32Max            = iw.OpF32Max
+	OpF32Copysign       = iw.OpF32Copysign
+	OpF64Abs            = iw.OpF64Abs
+	OpF64Neg            = iw.OpF64Neg
+	OpF64Ceil           = iw.OpF64Ceil
+	OpF64Floor          = iw.OpF64Floor
+	OpF64Trunc          = iw.OpF64Trunc
+	OpF64Nearest        = iw.OpF64Nearest
+	OpF64Sqrt           = iw.OpF64Sqrt
+	OpF64Add            = iw.OpF64Add
+	OpF64Sub            = iw.OpF64Sub
+	OpF64Mul            = iw.OpF64Mul
+	OpF64Div            = iw.OpF64Div
+	OpF64Min            = iw.OpF64Min
+	OpF64Max            = iw.OpF64Max
+	OpF64Copysign       = iw.OpF64Copysign
+	OpI32WrapI64        = iw.OpI32WrapI64
+	OpI32TruncF32S      = iw.OpI32TruncF32S
+	OpI32TruncF32U      = iw.OpI32TruncF32U
+	OpI32TruncF64S      = iw.OpI32TruncF64S
+	OpI32TruncF64U      = iw.OpI32TruncF64U
+	OpI64ExtendI32S     = iw.OpI64ExtendI32S
+	OpI64ExtendI32U     = iw.OpI64ExtendI32U
+	OpI64TruncF32S      = iw.OpI64TruncF32S
+	OpI64TruncF32U      = iw.OpI64TruncF32U
+	OpI64TruncF64S      = iw.OpI64TruncF64S
+	OpI64TruncF64U      = iw.OpI64TruncF64U
+	OpF32ConvertI32S    = iw.OpF32ConvertI32S
+	OpF32ConvertI32U    = iw.OpF32ConvertI32U
+	OpF32ConvertI64S    = iw.OpF32ConvertI64S
+	OpF32ConvertI64U    = iw.OpF32ConvertI64U
+	OpF32DemoteF64      = iw.OpF32DemoteF64
+	OpF64ConvertI32S    = iw.OpF64ConvertI32S
+	OpF64ConvertI32U    = iw.OpF64ConvertI32U
+	OpF64ConvertI64S    = iw.OpF64ConvertI64S
+	OpF64ConvertI64U    = iw.OpF64ConvertI64U
+	OpF64PromoteF32     = iw.OpF64PromoteF32
+	OpI32ReinterpretF32 = iw.OpI32ReinterpretF32
+	OpI64ReinterpretF64 = iw.OpI64ReinterpretF64
+	OpF32ReinterpretI32 = iw.OpF32ReinterpretI32
+	OpF64ReinterpretI64 = iw.OpF64ReinterpretI64
+	OpI32Extend8S       = iw.OpI32Extend8S
+	OpI32Extend16S      = iw.OpI32Extend16S
+	OpI64Extend8S       = iw.OpI64Extend8S
+	OpI64Extend16S      = iw.OpI64Extend16S
+	OpI64Extend32S      = iw.OpI64Extend32S
+)
