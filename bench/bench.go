@@ -19,6 +19,7 @@ type (
 	Table3Row  = ib.Table3Row
 	Fig8Point  = ib.Fig8Point
 	Fig8MemRow = ib.Fig8MemRow
+	Fig9Point  = ib.Fig9Point
 )
 
 // Profile is one Fig. 2 row: an application and its syscall counts.
@@ -77,3 +78,15 @@ func Fig8Mem() []Fig8MemRow { return ib.Fig8Mem() }
 
 // FormatFig8Mem renders Fig. 8a.
 func FormatFig8Mem(rows []Fig8MemRow) string { return ib.FormatFig8Mem(rows) }
+
+// Fig9Scaleout measures aggregate syscall throughput for N concurrent
+// cached-module guests on one kernel (the scale-out curve). A nil or
+// empty guests slice uses DefaultScaleoutGuests.
+func Fig9Scaleout(iters int, guests []int) []Fig9Point { return ib.Fig9Scaleout(iters, guests) }
+
+// DefaultScaleoutGuests returns the standard guest counts for the
+// scale-out curve: powers of two through 4×NumCPU.
+func DefaultScaleoutGuests() []int { return ib.DefaultScaleoutGuests() }
+
+// FormatFig9 renders the scale-out curve.
+func FormatFig9(pts []Fig9Point) string { return ib.FormatFig9(pts) }

@@ -9,6 +9,7 @@ package gowali
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -71,6 +72,21 @@ func BenchmarkFig7Breakdown(b *testing.B) {
 		for _, r := range rows {
 			if r.WaliPct > 25 {
 				b.Fatalf("%s: wali share %.1f%% implausible", r.App, r.WaliPct)
+			}
+		}
+	}
+}
+
+// BenchmarkFig9Scaleout times the multi-guest syscall-throughput sweep
+// at a small fixed scale (1 and 2×NumCPU guests): a regression here
+// means concurrent guests started serializing on kernel locks again.
+func BenchmarkFig9Scaleout(b *testing.B) {
+	guests := []int{1, 2 * runtime.NumCPU()}
+	for i := 0; i < b.N; i++ {
+		pts := bench.Fig9Scaleout(50, guests)
+		for _, p := range pts {
+			if p.PerSec <= 0 {
+				b.Fatalf("N=%d degenerate throughput", p.Guests)
 			}
 		}
 	}

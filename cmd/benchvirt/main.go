@@ -1,11 +1,13 @@
 // benchvirt regenerates the evaluation artifacts of §4: Table 1 (porting
 // matrix), Table 2 (syscall overheads), Table 3 (signal polling), Fig. 7
 // (runtime breakdown) and Fig. 8 (virtualization comparison vs Docker-sim
-// and QEMU-sim).
+// and QEMU-sim) — plus Fig. 9, this repo's scale-out extension (aggregate
+// syscall throughput vs concurrent guest count).
 //
 //	benchvirt -all
 //	benchvirt -table2 -iters 5000
 //	benchvirt -fig8time -scales 10000,50000,100000
+//	benchvirt -scaleout -scaleout-iters 500 -guests 1,2,4,8
 package main
 
 import (
@@ -25,14 +27,17 @@ func main() {
 	f7 := flag.Bool("fig7", false, "runtime breakdown (Fig. 7)")
 	f8t := flag.Bool("fig8time", false, "execution time comparison (Fig. 8b-d)")
 	f8m := flag.Bool("fig8mem", false, "peak memory comparison (Fig. 8a)")
+	f9 := flag.Bool("scaleout", false, "multi-guest syscall throughput vs concurrency (Fig. 9)")
 	iters := flag.Int("iters", 2000, "iterations for Table 2")
+	scaleIters := flag.Int("scaleout-iters", 200, "per-guest loop iterations for -scaleout")
+	guestList := flag.String("guests", "", "comma-separated guest counts for -scaleout (default: powers of two through 4xNumCPU)")
 	scaleList := flag.String("scales", "20000,60000,120000", "lua scales for -fig8time (bash/sqlite scaled down proportionally)")
 	flag.Parse()
 
 	if *all {
-		*t1, *t2, *t3, *f7, *f8t, *f8m = true, true, true, true, true, true
+		*t1, *t2, *t3, *f7, *f8t, *f8m, *f9 = true, true, true, true, true, true, true
 	}
-	if !(*t1 || *t2 || *t3 || *f7 || *f8t || *f8m) {
+	if !(*t1 || *t2 || *t3 || *f7 || *f8t || *f8m || *f9) {
 		*t1, *t2 = true, true
 	}
 
@@ -78,6 +83,15 @@ func main() {
 	if *f8m {
 		fmt.Println("== Fig. 8a: peak memory ==")
 		fmt.Print(bench.FormatFig8Mem(bench.Fig8Mem()))
+		fmt.Println()
+	}
+	if *f9 {
+		fmt.Println("== Fig. 9: multi-guest syscall throughput ==")
+		guests := parseScales(*guestList)
+		if *guestList == "" {
+			guests = bench.DefaultScaleoutGuests()
+		}
+		fmt.Print(bench.FormatFig9(bench.Fig9Scaleout(*scaleIters, guests)))
 	}
 }
 

@@ -1,0 +1,214 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"gowali/internal/core"
+	"gowali/internal/interp"
+	"gowali/internal/linux"
+	"gowali/internal/wasm"
+)
+
+// ---------- Fig. 9 (scale-out) ----------
+//
+// The paper's evaluation measures single-guest costs; the production
+// north star is many guests on one kernel. Fig. 9 measures aggregate
+// syscall throughput as a function of concurrent guest count, the
+// methodology of Kong et al.'s scalability analysis: a flat curve means
+// adding guests adds contention on kernel-wide locks, a rising curve
+// means the hot state is sharded finely enough to scale.
+
+// Fig9Point is one (guest count) measurement: N identical cached-module
+// guests hammering a syscall-heavy mix concurrently on one kernel.
+type Fig9Point struct {
+	Guests   int
+	Syscalls uint64 // aggregate syscalls issued across all guests
+	Elapsed  time.Duration
+	PerSec   float64 // aggregate syscalls per second
+}
+
+// scaleoutCallsPerIter is the syscall count of one loop iteration of the
+// scale-out guest: open+write+pread64+close on a private file, a futex
+// wake and a (failed, EAGAIN) futex wait on a private word, and a pipe
+// echo (pipe2+write+read+close+close). Keeping the count static lets the
+// harness report throughput without per-event instrumentation that would
+// itself perturb the contention being measured.
+const scaleoutCallsPerIter = 11
+
+// buildScaleoutModule assembles the guest: it copies argv[1] (its
+// private file path) into memory, then loops iters times over the
+// syscall mix. Guests touch disjoint files, futex words and pipes, so
+// any cross-guest serialization observed is kernel-lock contention, not
+// workload sharing.
+func buildScaleoutModule(iters int) *wasm.Module {
+	b := wasm.NewBuilder("scaleout")
+	sys := map[string]uint32{}
+	for _, s := range []string{"open", "write", "pread64", "close", "futex", "pipe2", "read"} {
+		sys[s] = core.ImportSyscall(b, s)
+	}
+	argvLen := b.ImportFunc(core.Namespace, "get_argv_len",
+		[]wasm.ValType{wasm.I32}, []wasm.ValType{wasm.I32})
+	copyArgv := b.ImportFunc(core.Namespace, "copy_argv",
+		[]wasm.ValType{wasm.I32, wasm.I32}, []wasm.ValType{wasm.I32})
+	b.Memory(16, 64, false)
+
+	const (
+		pathBuf = 1024 // argv[1]: this guest's private file path
+		ioBuf   = 4096 // 64-byte read/write payload
+		futexWd = 8192 // private futex word (stays 0)
+		pipeFds = 8256 // int32[2] from pipe2
+	)
+
+	f := b.NewFunc(core.StartExport, nil, nil)
+	fd := f.Local(wasm.I64)
+	i := f.Local(wasm.I32)
+
+	// copy_argv(pathBuf, 1); argv[1] existence is the harness's contract.
+	f.I32Const(1).Call(argvLen).Drop()
+	f.I32Const(pathBuf).I32Const(1).Call(copyArgv).Drop()
+
+	f.Block()
+	f.Loop()
+	f.LocalGet(i).I32Const(int32(iters)).Op(wasm.OpI32GeU).BrIf(1)
+
+	// fd = open(path, O_CREAT|O_RDWR|O_TRUNC, 0644)
+	f.I64Const(pathBuf).I64Const(int64(linux.O_CREAT | linux.O_RDWR | linux.O_TRUNC)).I64Const(0o644)
+	f.Call(sys["open"]).LocalSet(fd)
+	// write(fd, ioBuf, 64); pread64(fd, ioBuf, 64, 0); close(fd)
+	f.LocalGet(fd).I64Const(ioBuf).I64Const(64).Call(sys["write"]).Drop()
+	f.LocalGet(fd).I64Const(ioBuf).I64Const(64).I64Const(0).Call(sys["pread64"]).Drop()
+	f.LocalGet(fd).Call(sys["close"]).Drop()
+
+	// futex(word, FUTEX_WAKE, 1): no waiters, pure table traffic.
+	f.I64Const(futexWd).I64Const(linux.FUTEX_WAKE).I64Const(1).I64Const(0).I64Const(0).I64Const(0)
+	f.Call(sys["futex"]).Drop()
+	// futex(word, FUTEX_WAIT, 1): word is 0, so EAGAIN — the test-and-block
+	// fast path without blocking.
+	f.I64Const(futexWd).I64Const(linux.FUTEX_WAIT).I64Const(1).I64Const(0).I64Const(0).I64Const(0)
+	f.Call(sys["futex"]).Drop()
+
+	// pipe echo: pipe2(fds, 0); write(fds[1], 64B); read(fds[0], 64B);
+	// close both.
+	f.I64Const(pipeFds).I64Const(0).Call(sys["pipe2"]).Drop()
+	f.I32Const(pipeFds+4).Load(wasm.OpI32Load, 0).Op(wasm.OpI64ExtendI32U)
+	f.I64Const(ioBuf).I64Const(64).Call(sys["write"]).Drop()
+	f.I32Const(pipeFds).Load(wasm.OpI32Load, 0).Op(wasm.OpI64ExtendI32U)
+	f.I64Const(ioBuf).I64Const(64).Call(sys["read"]).Drop()
+	f.I32Const(pipeFds+4).Load(wasm.OpI32Load, 0).Op(wasm.OpI64ExtendI32U).Call(sys["close"]).Drop()
+	f.I32Const(pipeFds).Load(wasm.OpI32Load, 0).Op(wasm.OpI64ExtendI32U).Call(sys["close"]).Drop()
+
+	f.LocalGet(i).I32Const(1).Op(wasm.OpI32Add).LocalSet(i)
+	f.Br(0)
+	f.End()
+	f.End()
+	f.Finish()
+
+	m, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// DefaultScaleoutGuests returns the guest counts of the standard curve:
+// powers of two through 4×NumCPU, with NumCPU and its multiples included
+// so the knee of the curve is always sampled.
+func DefaultScaleoutGuests() []int {
+	ncpu := runtime.NumCPU()
+	set := map[int]bool{}
+	for n := 1; n < 4*ncpu; n *= 2 {
+		set[n] = true
+	}
+	set[ncpu] = true
+	set[2*ncpu] = true
+	set[4*ncpu] = true
+	out := make([]int, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Fig9Scaleout measures aggregate syscall throughput at each guest
+// count. Each run boots a fresh kernel, pre-compiles the guest module
+// once (the cached-module spawn path), instantiates N guests with
+// disjoint working files, then releases them concurrently and times the
+// whole batch.
+func Fig9Scaleout(iters int, guests []int) []Fig9Point {
+	if iters <= 0 {
+		iters = 200
+	}
+	if len(guests) == 0 {
+		guests = DefaultScaleoutGuests()
+	}
+	m := buildScaleoutModule(iters)
+	c, err := interp.Compile(m)
+	if err != nil {
+		panic(err)
+	}
+	var pts []Fig9Point
+	for _, n := range guests {
+		w := core.New()
+		ps := make([]*core.Process, n)
+		for i := range ps {
+			argv := []string{"scaleout", fmt.Sprintf("/tmp/scaleout-%d.dat", i)}
+			p, err := w.SpawnCompiled(c, "scaleout", argv, nil)
+			if err != nil {
+				panic(err)
+			}
+			ps[i] = p
+		}
+		start := time.Now()
+		for _, p := range ps {
+			p.RunAsync()
+		}
+		w.WaitAll()
+		el := time.Since(start)
+		for _, p := range ps {
+			status, err := p.Wait()
+			if err != nil || status != 0 {
+				panic(fmt.Sprintf("fig9 scaleout: status=%d err=%v", status, err))
+			}
+		}
+		total := uint64(n) * uint64(iters) * scaleoutCallsPerIter
+		pts = append(pts, Fig9Point{
+			Guests:   n,
+			Syscalls: total,
+			Elapsed:  el,
+			PerSec:   float64(total) / el.Seconds(),
+		})
+	}
+	return pts
+}
+
+// FormatFig9 renders the scaling curve with per-point speedup over the
+// baseline point: the N=1 measurement when present, otherwise the first
+// point (and the column header says which).
+func FormatFig9(pts []Fig9Point) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "GOMAXPROCS=%d\n", runtime.GOMAXPROCS(0))
+	base, baseN := 0.0, 0
+	for i, p := range pts {
+		if i == 0 || p.Guests == 1 {
+			base, baseN = p.PerSec, p.Guests
+		}
+		if p.Guests == 1 {
+			break
+		}
+	}
+	fmt.Fprintf(&b, "%-8s %12s %14s %16s %8s\n",
+		"guests", "syscalls", "elapsed", "syscalls/sec", fmt.Sprintf("vs N=%d", baseN))
+	for _, p := range pts {
+		rel := 0.0
+		if base > 0 {
+			rel = p.PerSec / base
+		}
+		fmt.Fprintf(&b, "%-8d %12d %14s %16.0f %7.2fx\n", p.Guests, p.Syscalls, p.Elapsed, p.PerSec, rel)
+	}
+	return b.String()
+}

@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestFig9ScaleoutSmoke runs the scale-out harness at a tiny scale: the
+// guest module must build, validate and run clean, the syscall totals
+// must match the static per-iteration count, and throughput must be
+// positive at every point.
+func TestFig9ScaleoutSmoke(t *testing.T) {
+	pts := Fig9Scaleout(20, []int{1, 2})
+	if len(pts) != 2 {
+		t.Fatalf("points: %d", len(pts))
+	}
+	for _, p := range pts {
+		want := uint64(p.Guests) * 20 * scaleoutCallsPerIter
+		if p.Syscalls != want {
+			t.Errorf("N=%d syscalls=%d want %d", p.Guests, p.Syscalls, want)
+		}
+		if p.PerSec <= 0 || p.Elapsed <= 0 {
+			t.Errorf("N=%d degenerate measurement: %+v", p.Guests, p)
+		}
+	}
+	if s := FormatFig9(pts); s == "" {
+		t.Error("empty rendering")
+	}
+}
+
+// TestDefaultScaleoutGuests: the curve starts at one guest, ends at
+// 4×NumCPU and is strictly increasing.
+func TestDefaultScaleoutGuests(t *testing.T) {
+	g := DefaultScaleoutGuests()
+	if len(g) == 0 || g[0] != 1 {
+		t.Fatalf("guests %v must start at 1", g)
+	}
+	if g[len(g)-1] != 4*runtime.NumCPU() {
+		t.Fatalf("guests %v must end at 4*NumCPU", g)
+	}
+	for i := 1; i < len(g); i++ {
+		if g[i] <= g[i-1] {
+			t.Fatalf("guests %v not strictly increasing", g)
+		}
+	}
+}

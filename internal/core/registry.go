@@ -107,10 +107,8 @@ func (w *WALI) RegisterHost(l *interp.Linker) {
 				// interpreter, but Fig. 2 profiles must still see them.
 				defer func() {
 					dur := time.Since(start)
-					w.accountSyscall(p.KP.PID, dur)
-					if w.Hook != nil {
-						w.Hook(SyscallEvent{PID: p.KP.PID, Name: d.Name, Duration: dur, Ret: ret})
-					}
+					p.stats.add(dur)
+					w.emitSyscall(p.KP.PID, d.Name, dur, ret)
 				}()
 				ret = d.Fn(p, e, iargs)
 				return []uint64{uint64(ret)}
@@ -142,13 +140,6 @@ func (w *WALI) RegisterHost(l *interp.Linker) {
 			return out
 		}}, true
 	}
-}
-
-func (w *WALI) accountSyscall(pid int32, d time.Duration) {
-	w.timeMu.Lock()
-	w.syscallTime[pid] += d
-	w.syscallN[pid]++
-	w.timeMu.Unlock()
 }
 
 // registerArgvEnv installs the §3.4 support methods: the standard library

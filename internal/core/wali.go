@@ -17,6 +17,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gowali/internal/interp"
@@ -73,11 +74,16 @@ type WALI struct {
 	modMu    sync.Mutex
 	modCache map[*vfs.Inode]modCacheEnt
 
-	// SyscallTime accumulates total time spent inside WALI handlers
-	// (kernel + translation), keyed by process; used by Fig. 7.
-	timeMu      sync.Mutex
-	syscallTime map[int32]time.Duration
-	syscallN    map[int32]uint64
+	// hooks are AddHook subscribers; copy-on-write behind an atomic
+	// pointer so the per-syscall dispatch is lock-free (see stats.go).
+	hooksMu sync.Mutex
+	hooks   atomic.Pointer[[]func(SyscallEvent)]
+
+	// retained is the bounded window of recently-exited processes'
+	// syscall totals; live accounting is per-Process (see stats.go).
+	retMu    sync.Mutex
+	retained map[int32]statTotals
+	retOrder []int32
 }
 
 // New creates a WALI engine extension over a freshly booted kernel.
@@ -88,11 +94,9 @@ func New() *WALI {
 // NewWith creates a WALI instance over an existing kernel.
 func NewWith(k *kernel.Kernel) *WALI {
 	return &WALI{
-		Kernel:      k,
-		Scheme:      interp.SafepointLoop,
-		procs:       make(map[int32]*Process),
-		syscallTime: make(map[int32]time.Duration),
-		syscallN:    make(map[int32]uint64),
+		Kernel: k,
+		Scheme: interp.SafepointLoop,
+		procs:  make(map[int32]*Process),
 	}
 }
 
@@ -115,6 +119,10 @@ type Process struct {
 	// Pool manages mmap allocations in linear memory (shared across
 	// threads, which share the memory).
 	Pool *MmapPool
+
+	// stats is this task's syscall accounting: padded atomics bumped on
+	// every return, aggregated on demand (never a shared map).
+	stats syscallCounters
 
 	execReq *execRequest
 
@@ -296,9 +304,7 @@ func (p *Process) Run() (int32, error) {
 	p.status = status
 	p.runErr = err
 	p.doneMu.Unlock()
-	p.W.mu.Lock()
-	delete(p.W.procs, p.KP.PID)
-	p.W.mu.Unlock()
+	p.W.finishProcess(p)
 	p.exitKernel(status)
 	return status, err
 }
@@ -471,9 +477,7 @@ func (c *Process) resumeForked() {
 	c.doneMu.Lock()
 	c.status, c.runErr = status, err
 	c.doneMu.Unlock()
-	c.W.mu.Lock()
-	delete(c.W.procs, c.KP.PID)
-	c.W.mu.Unlock()
+	c.W.finishProcess(c)
 	c.exitKernel(status)
 }
 
@@ -543,9 +547,7 @@ func (p *Process) spawnThread(fnTableIdx, arg, ctid uint32, flags int64) (int32,
 		t.doneMu.Lock()
 		t.status = status
 		t.doneMu.Unlock()
-		t.W.mu.Lock()
-		delete(t.W.procs, t.KP.PID)
-		t.W.mu.Unlock()
+		t.W.finishProcess(t)
 		t.exitKernel(status)
 	}()
 	return tkp.PID, 0
@@ -570,10 +572,8 @@ func (p *Process) Syscall(e *interp.Exec, name string, args ...int64) int64 {
 	var ret int64
 	defer func() {
 		dur := time.Since(start)
-		p.W.accountSyscall(p.KP.PID, dur)
-		if p.W.Hook != nil {
-			p.W.Hook(SyscallEvent{PID: p.KP.PID, Name: name, Duration: dur, Ret: ret})
-		}
+		p.stats.add(dur)
+		p.W.emitSyscall(p.KP.PID, name, dur, ret)
 	}()
 	ret = d.Fn(p, e, full)
 	return ret
@@ -581,14 +581,6 @@ func (p *Process) Syscall(e *interp.Exec, name string, args ...int64) int64 {
 
 // Console is a convenience accessor for the kernel console output.
 func (w *WALI) Console() *kernel.ConsoleDevice { return w.Kernel.Console }
-
-// SyscallStats reports accumulated handler time and count for pid
-// (Fig. 7's wali+kernel attribution).
-func (w *WALI) SyscallStats(pid int32) (time.Duration, uint64) {
-	w.timeMu.Lock()
-	defer w.timeMu.Unlock()
-	return w.syscallTime[pid], w.syscallN[pid]
-}
 
 // Argv returns the process argument vector (layered APIs read it the same
 // way the §3.4 support methods expose it to modules).

@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"hash/maphash"
 	"sync"
 	"time"
 
@@ -11,10 +12,32 @@ import (
 // passes its Memory object as the opaque space identity plus the Wasm
 // address, so futexes on shared memories (threads) rendezvous correctly
 // while separate processes do not collide.
+//
+// The table is sharded: each key hashes to one of futexShardCount
+// buckets with an independent lock, so guests parked on unrelated words
+// — or hammering wake/wait fast paths — never contend on a kernel-wide
+// futex lock. Waiter conditions are built on the owning shard's mutex.
 
 type futexKey struct {
 	space any
 	addr  uint32
+}
+
+const futexShardCount = 64
+
+type futexShard struct {
+	mu sync.Mutex
+	m  map[futexKey]*futexQueue
+	_  [48]byte // round the 16-byte payload up to a full cache line
+}
+
+var futexSeed = maphash.MakeSeed()
+
+// shardFor buckets a key. maphash.Comparable hashes the space's dynamic
+// (pointer) identity, so N guests whose futex words share the same Wasm
+// address still spread across shards.
+func (k *Kernel) shardFor(key futexKey) *futexShard {
+	return &k.futexes[maphash.Comparable(futexSeed, key)%futexShardCount]
 }
 
 type futexQueue struct {
@@ -32,14 +55,21 @@ type futexQueue struct {
 // EAGAIN when the value already changed, ETIMEDOUT on timeout.
 func (k *Kernel) FutexWait(space any, addr uint32, val uint32, load func() uint32, timeout *linux.Timespec) linux.Errno {
 	key := futexKey{space, addr}
-	k.mu.Lock()
-	q := k.futexes[key]
+	sh := k.shardFor(key)
+	sh.mu.Lock()
+	q := sh.m[key]
 	if q == nil {
-		q = &futexQueue{cond: sync.NewCond(&k.mu)}
-		k.futexes[key] = q
+		if sh.m == nil {
+			sh.m = make(map[futexKey]*futexQueue)
+		}
+		q = &futexQueue{cond: sync.NewCond(&sh.mu)}
+		sh.m[key] = q
 	}
 	if load() != val {
-		k.mu.Unlock()
+		if q.waiters == 0 {
+			delete(sh.m, key)
+		}
+		sh.mu.Unlock()
 		return linux.EAGAIN
 	}
 	q.waiters++
@@ -50,9 +80,9 @@ func (k *Kernel) FutexWait(space any, addr uint32, val uint32, load func() uint3
 	if timeout != nil {
 		d := time.Duration(timeout.Nanos())
 		timer = time.AfterFunc(d, func() {
-			k.mu.Lock()
+			sh.mu.Lock()
 			timedOut = true
-			k.mu.Unlock()
+			sh.mu.Unlock()
 			q.cond.Broadcast()
 		})
 	}
@@ -61,13 +91,16 @@ func (k *Kernel) FutexWait(space any, addr uint32, val uint32, load func() uint3
 	}
 	q.waiters--
 	if q.waiters == 0 {
-		delete(k.futexes, key)
+		delete(sh.m, key)
 	}
-	k.mu.Unlock()
+	// Snapshot under sh.mu: the timer callback writes timedOut under the
+	// same lock and may still be running after Stop returns.
+	expired := timedOut
+	sh.mu.Unlock()
 	if timer != nil {
 		timer.Stop()
 	}
-	if timedOut {
+	if expired {
 		return linux.ETIMEDOUT
 	}
 	return 0
@@ -78,10 +111,11 @@ func (k *Kernel) FutexWait(space any, addr uint32, val uint32, load func() uint3
 // indistinguishable from spurious wakeups permitted by futex semantics).
 func (k *Kernel) FutexWake(space any, addr uint32, n int32) int32 {
 	key := futexKey{space, addr}
-	k.mu.Lock()
-	q := k.futexes[key]
+	sh := k.shardFor(key)
+	sh.mu.Lock()
+	q := sh.m[key]
 	if q == nil {
-		k.mu.Unlock()
+		sh.mu.Unlock()
 		return 0
 	}
 	woken := int32(q.waiters)
@@ -89,7 +123,7 @@ func (k *Kernel) FutexWake(space any, addr uint32, n int32) int32 {
 		woken = n
 	}
 	q.seq++
-	k.mu.Unlock()
+	sh.mu.Unlock()
 	q.cond.Broadcast()
 	return woken
 }

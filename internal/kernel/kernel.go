@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gowali/internal/kernel/vfs"
@@ -13,25 +14,39 @@ import (
 // Kernel is the simulated Linux kernel: a filesystem, a process table,
 // futexes, sockets and clocks. One Kernel corresponds to one booted
 // machine; WALI engines attach processes to it.
+//
+// There is no kernel-wide lock. Each subsystem carries its own: the PID
+// table is a read-mostly RWMutex map, futexes hash into independent
+// shard locks, the TCP-port and unix-socket registries are separate
+// mutexes, and wait4-style blocking uses a per-process condition (see
+// Process.waitMu), so activity in one subsystem — or one guest — never
+// serializes another.
 type Kernel struct {
 	FS *vfs.FS
 
-	mu       sync.Mutex
-	waitCond *sync.Cond // broadcast on process state changes (exit, stop)
-	procs    map[int32]*Process
-	nextPID  int32
+	// PID table: read-mostly (every Process() lookup), written only on
+	// process create/reap.
+	pidMu   sync.RWMutex
+	procs   map[int32]*Process
+	nextPID atomic.Int32
 
-	futexes map[futexKey]*futexQueue
+	futexes [futexShardCount]futexShard
 
-	ports    map[uint16]*listenerSocket // loopback TCP port space
-	unixSock map[string]*listenerSocket // bound unix sockets
+	ports    listenerReg[uint16] // loopback TCP port space
+	unixSock listenerReg[string] // bound unix sockets
 
 	bootWall time.Time
 	bootMono time.Time
 
 	hostname string
-	rng      *rand.Rand
-	rngMu    sync.Mutex
+
+	// Entropy: a fixed set of deterministic streams, each behind its own
+	// lock, selected round-robin. Concurrent /dev/urandom readers spread
+	// across stripes instead of serializing on one RNG, and the streams
+	// are persistent (boot-seeded, never recreated), so a single-reader
+	// run draws an identical byte sequence on every boot.
+	rngStripes [rngStripeCount]rngStripe
+	rngNext    atomic.Uint64
 
 	// Console collects writes to the controlling tty; ConsoleIn feeds
 	// reads. Tests and examples inspect Console output.
@@ -39,22 +54,34 @@ type Kernel struct {
 	totalRAM uint64
 }
 
+// rngSeedBase seeds the simulated entropy pool ("WLAI"), fixed at boot
+// for reproducible experiments.
+const rngSeedBase = 0x574C4149
+
+// rngStripeCount is the number of independent entropy streams.
+const rngStripeCount = 8
+
+type rngStripe struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+	_   [48]byte // round the 16-byte payload up to a full cache line
+}
+
 // NewKernel boots a simulated kernel: root filesystem with the standard
 // hierarchy, /dev nodes, /proc skeleton and an init-less process table.
 func NewKernel() *Kernel {
 	k := &Kernel{
 		procs:    make(map[int32]*Process),
-		nextPID:  1,
-		futexes:  make(map[futexKey]*futexQueue),
-		ports:    make(map[uint16]*listenerSocket),
-		unixSock: make(map[string]*listenerSocket),
 		bootWall: time.Now(),
 		bootMono: time.Now(),
 		hostname: "gowali",
-		rng:      rand.New(rand.NewSource(0x574C4149)), // "WLAI"
 		totalRAM: 512 << 20,
 	}
-	k.waitCond = sync.NewCond(&k.mu)
+	k.ports.m = make(map[uint16]*listenerSocket)
+	k.unixSock.m = make(map[string]*listenerSocket)
+	for i := range k.rngStripes {
+		k.rngStripes[i].rng = rand.New(rand.NewSource(rngSeedBase + int64(i)))
+	}
 	k.FS = vfs.New(k.Realtime)
 
 	for _, d := range []string{"/bin", "/dev", "/etc", "/home", "/proc", "/tmp", "/usr", "/var"} {
@@ -83,6 +110,23 @@ func (k *Kernel) mkdev(path string, ops vfs.DeviceOps) {
 // uses it to expose host stream devices (stdio redirection) inside the
 // simulated filesystem.
 func (k *Kernel) Mkdev(path string, ops vfs.DeviceOps) { k.mkdev(path, ops) }
+
+// allocPID hands out the next process id.
+func (k *Kernel) allocPID() int32 { return k.nextPID.Add(1) }
+
+// addProc publishes a process in the PID table.
+func (k *Kernel) addProc(p *Process) {
+	k.pidMu.Lock()
+	k.procs[p.PID] = p
+	k.pidMu.Unlock()
+}
+
+// delProc removes a PID from the table.
+func (k *Kernel) delProc(pid int32) {
+	k.pidMu.Lock()
+	delete(k.procs, pid)
+	k.pidMu.Unlock()
+}
 
 // Monotonic returns CLOCK_MONOTONIC since boot.
 func (k *Kernel) Monotonic() linux.Timespec {
@@ -116,14 +160,17 @@ func (k *Kernel) Nanosleep(d linux.Timespec) linux.Errno {
 	return 0
 }
 
-// GetRandom fills b with deterministic pseudo-random bytes (the simulated
-// entropy pool is seeded at boot for reproducible experiments).
+// GetRandom fills b with deterministic pseudo-random bytes. Calls
+// rotate through the entropy stripes, so concurrent guests draining
+// /dev/urandom spread across independent persistent generators instead
+// of serializing on one.
 func (k *Kernel) GetRandom(b []byte) int {
-	k.rngMu.Lock()
-	defer k.rngMu.Unlock()
+	s := &k.rngStripes[k.rngNext.Add(1)%rngStripeCount]
+	s.mu.Lock()
 	for i := range b {
-		b[i] = byte(k.rng.Intn(256))
+		b[i] = byte(s.rng.Intn(256))
 	}
+	s.mu.Unlock()
 	return len(b)
 }
 
@@ -141,9 +188,9 @@ func (k *Kernel) Uname() linux.Utsname {
 
 // Sysinfo reports memory and process accounting.
 func (k *Kernel) Sysinfo() linux.Sysinfo {
-	k.mu.Lock()
+	k.pidMu.RLock()
 	n := len(k.procs)
-	k.mu.Unlock()
+	k.pidMu.RUnlock()
 	return linux.Sysinfo{
 		Uptime:   k.Monotonic().Sec,
 		TotalRAM: k.totalRAM,
@@ -158,15 +205,16 @@ func (k *Kernel) Hostname() string { return k.hostname }
 
 // ProcessCount returns the number of live processes (threads included).
 func (k *Kernel) ProcessCount() int {
-	k.mu.Lock()
-	defer k.mu.Unlock()
+	k.pidMu.RLock()
+	defer k.pidMu.RUnlock()
 	return len(k.procs)
 }
 
-// Process looks up a process by PID.
+// Process looks up a process by PID. Read-mostly: concurrent lookups
+// share the table lock.
 func (k *Kernel) Process(pid int32) (*Process, bool) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
+	k.pidMu.RLock()
+	defer k.pidMu.RUnlock()
 	p, ok := k.procs[pid]
 	return p, ok
 }

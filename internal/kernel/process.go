@@ -39,11 +39,35 @@ func (c *credState) clone() *credState {
 	}
 }
 
-// threadGroup tracks live threads so process teardown happens once.
+// threadGroup tracks live threads so process teardown happens once, and
+// the member set so group-wide signals can wake exactly the blocked
+// tasks of this group (no kernel-wide thundering herd).
 type threadGroup struct {
-	mu     sync.Mutex
-	count  int
-	leader *Process
+	mu      sync.Mutex
+	count   int
+	leader  *Process
+	members map[int32]*Process
+}
+
+func (g *threadGroup) add(p *Process) {
+	g.mu.Lock()
+	g.count++
+	g.members[p.PID] = p
+	g.mu.Unlock()
+}
+
+// notifyWaiters wakes every group member blocked on its wait condition
+// (Wait4's EINTR re-check after a group-directed signal).
+func (g *threadGroup) notifyWaiters() {
+	g.mu.Lock()
+	members := make([]*Process, 0, len(g.members))
+	for _, t := range g.members {
+		members = append(members, t)
+	}
+	g.mu.Unlock()
+	for _, t := range members {
+		t.notifyWaiters()
+	}
 }
 
 // Process is one schedulable task: a conventional process or a
@@ -91,16 +115,43 @@ type Process struct {
 
 	// Limits (prlimit64); only NOFILE is enforced.
 	limits map[int32][2]uint64
+
+	// Wait condition: Wait4 blocks here instead of on a kernel-wide
+	// cond, so one exit wakes only the parent (and signal posts wake
+	// only their targets). waitGen is a generation counter bumped by
+	// every notify; Wait4 snapshots it before scanning children, which
+	// closes the lost-wakeup window without holding any broader lock.
+	waitMu   sync.Mutex
+	waitCond *sync.Cond
+	waitGen  uint64
+}
+
+// initWait sets up the per-process wait condition.
+func (p *Process) initWait() {
+	p.waitCond = sync.NewCond(&p.waitMu)
+}
+
+// notifyWaiters wakes this task's Wait4 (child state change or signal).
+func (p *Process) notifyWaiters() {
+	p.waitMu.Lock()
+	p.waitGen++
+	p.waitCond.Broadcast()
+	p.waitMu.Unlock()
+}
+
+// waitGenSnapshot reads the generation counter; Wait4 re-blocks only
+// while it is unchanged.
+func (p *Process) waitGenSnapshot() uint64 {
+	p.waitMu.Lock()
+	defer p.waitMu.Unlock()
+	return p.waitGen
 }
 
 // NewProcess creates the initial process of a WALI application: fresh fd
 // table with stdin/stdout/stderr on the console, cwd "/", default signal
 // dispositions.
 func (k *Kernel) NewProcess(comm string, argv, envp []string) *Process {
-	k.mu.Lock()
-	pid := k.nextPID
-	k.nextPID++
-	k.mu.Unlock()
+	pid := k.allocPID()
 
 	p := &Process{
 		K:         k,
@@ -120,7 +171,8 @@ func (k *Kernel) NewProcess(comm string, argv, envp []string) *Process {
 		startMono: k.Monotonic(),
 		limits:    map[int32][2]uint64{linux.RLIMIT_NOFILE: {DefaultNOFILE, DefaultNOFILE}},
 	}
-	p.group = &threadGroup{count: 1, leader: p}
+	p.group = &threadGroup{count: 1, leader: p, members: map[int32]*Process{pid: p}}
+	p.initWait()
 
 	// Standard descriptors on the console tty.
 	r, errno := k.FS.Walk("/", "/dev/console", true)
@@ -131,9 +183,7 @@ func (k *Kernel) NewProcess(comm string, argv, envp []string) *Process {
 		}
 	}
 
-	k.mu.Lock()
-	k.procs[pid] = p
-	k.mu.Unlock()
+	k.addProc(p)
 	k.registerProcSynthetic(p)
 	return p
 }
@@ -143,10 +193,7 @@ func (k *Kernel) NewProcess(comm string, argv, envp []string) *Process {
 // kernel-state half of WALI's pass-through fork.
 func (p *Process) Fork() *Process {
 	k := p.K
-	k.mu.Lock()
-	pid := k.nextPID
-	k.nextPID++
-	k.mu.Unlock()
+	pid := k.allocPID()
 
 	p.mu.Lock()
 	c := &Process{
@@ -170,15 +217,14 @@ func (p *Process) Fork() *Process {
 		limits:    cloneLimits(p.limits),
 	}
 	p.mu.Unlock()
-	c.group = &threadGroup{count: 1, leader: c}
+	c.group = &threadGroup{count: 1, leader: c, members: map[int32]*Process{pid: c}}
+	c.initWait()
 
 	p.mu.Lock()
 	p.children[pid] = c
 	p.mu.Unlock()
 
-	k.mu.Lock()
-	k.procs[pid] = c
-	k.mu.Unlock()
+	k.addProc(c)
 	k.registerProcSynthetic(c)
 	return c
 }
@@ -187,10 +233,7 @@ func (p *Process) Fork() *Process {
 // light-weight process in p's thread group.
 func (p *Process) CloneThread() *Process {
 	k := p.K
-	k.mu.Lock()
-	pid := k.nextPID
-	k.nextPID++
-	k.mu.Unlock()
+	pid := k.allocPID()
 
 	p.mu.Lock()
 	t := &Process{
@@ -215,15 +258,12 @@ func (p *Process) CloneThread() *Process {
 		limits:    p.limits,
 	}
 	p.mu.Unlock()
+	t.initWait()
 	t.sig.threaded.Store(true)
 
-	t.group.mu.Lock()
-	t.group.count++
-	t.group.mu.Unlock()
+	t.group.add(t)
 
-	k.mu.Lock()
-	k.procs[pid] = t
-	k.mu.Unlock()
+	k.addProc(t)
 	return t
 }
 
@@ -249,6 +289,7 @@ func (p *Process) Exit(status int32) {
 	p.group.count--
 	last := p.group.count == 0
 	leader := p.group.leader
+	delete(p.group.members, p.PID)
 	p.group.mu.Unlock()
 
 	if p.alarmTimer != nil {
@@ -256,11 +297,9 @@ func (p *Process) Exit(status int32) {
 	}
 
 	if !last {
-		// A non-final thread: remove from the table and vanish.
-		k.mu.Lock()
-		delete(k.procs, p.PID)
-		k.mu.Unlock()
-		k.waitCond.Broadcast()
+		// A non-final thread: remove from the table and vanish (joiners
+		// rendezvous on the clear-tid futex, not on wait4).
+		k.delProc(p.PID)
 		return
 	}
 
@@ -290,18 +329,19 @@ func (p *Process) Exit(status int32) {
 	leader.mu.Unlock()
 
 	if p != leader {
-		k.mu.Lock()
-		delete(k.procs, p.PID)
-		k.mu.Unlock()
+		k.delProc(p.PID)
 	}
 
 	if parent != nil {
+		// Wake the parent's wait before SIGCHLD generation: either alone
+		// suffices (PostSignal also notifies), but the explicit notify
+		// keeps wait4 progress independent of signal dispositions.
+		parent.group.notifyWaiters()
 		parent.PostSignal(linux.SIGCHLD)
 	} else {
 		// No parent: init reaps immediately.
 		k.reap(leader)
 	}
-	k.waitCond.Broadcast()
 }
 
 // reap removes a zombie from the process table.
@@ -309,9 +349,7 @@ func (k *Kernel) reap(p *Process) {
 	p.mu.Lock()
 	p.state = stateDead
 	p.mu.Unlock()
-	k.mu.Lock()
-	delete(k.procs, p.PID)
-	k.mu.Unlock()
+	k.delProc(p.PID)
 	k.unregisterProcSynthetic(p.PID)
 }
 
@@ -321,7 +359,12 @@ func (k *Kernel) reap(p *Process) {
 func (p *Process) Wait4(pid int32, options int32) (int32, int32, linux.Rusage, linux.Errno) {
 	k := p.K
 	for {
-		k.mu.Lock()
+		// Snapshot the wait generation first: any child state change or
+		// signal between the scan below and the block at the bottom bumps
+		// it, so the re-check always runs (no lost wakeups, no global
+		// lock held across the scan).
+		gen := p.waitGenSnapshot()
+
 		var match *Process
 		anyChild := false
 		p.mu.Lock()
@@ -352,8 +395,14 @@ func (p *Process) Wait4(pid int32, options int32) (int32, int32, linux.Rusage, l
 		p.mu.Unlock()
 
 		if match != nil {
-			k.mu.Unlock()
+			// Claim the zombie by transitioning it to dead under its own
+			// lock; a concurrent waiter that lost the claim rescans.
 			match.mu.Lock()
+			if match.state != stateZombie {
+				match.mu.Unlock()
+				continue
+			}
+			match.state = stateDead
 			status := match.exitSt
 			ru := linux.Rusage{
 				Utime: linux.TimespecFromNanos(match.utimeNs),
@@ -364,24 +413,29 @@ func (p *Process) Wait4(pid int32, options int32) (int32, int32, linux.Rusage, l
 			delete(p.children, match.PID)
 			p.mu.Unlock()
 			k.reap(match)
+			// Re-notify siblings that lost the claim race so their rescan
+			// sees the now-empty entry instead of re-blocking.
+			p.group.notifyWaiters()
 			return match.PID, status, ru, 0
 		}
 		if !anyChild {
-			k.mu.Unlock()
 			return -1, 0, linux.Rusage{}, linux.ECHILD
 		}
 		if options&linux.WNOHANG != 0 {
-			k.mu.Unlock()
 			return 0, 0, linux.Rusage{}, 0
 		}
-		// Block until some child changes state. Interruptible by pending
-		// unblocked signals (EINTR) so job control works.
+		// Interruptible by pending unblocked signals (EINTR) so job
+		// control works.
 		if p.HasDeliverableSignal() {
-			k.mu.Unlock()
 			return -1, 0, linux.Rusage{}, linux.EINTR
 		}
-		k.waitCond.Wait()
-		k.mu.Unlock()
+		// Block until this task is notified: its children change state or
+		// a signal targets it — not until any process anywhere exits.
+		p.waitMu.Lock()
+		for p.waitGen == gen {
+			p.waitCond.Wait()
+		}
+		p.waitMu.Unlock()
 	}
 }
 

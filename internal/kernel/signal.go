@@ -151,7 +151,9 @@ func (p *Process) PostSignal(sig int32) linux.Errno {
 	s.refreshFast()
 	s.mu.Unlock()
 	s.cond.Broadcast()
-	p.K.wakeInterruptible()
+	// Wake only this group's blocked wait4 calls (EINTR re-check); a
+	// process-directed signal is deliverable to any thread in the group.
+	p.group.notifyWaiters()
 	return 0
 }
 
@@ -174,14 +176,9 @@ func (p *Process) PostThreadSignal(sig int32) linux.Errno {
 		p.sig.mu.Unlock()
 	}
 	p.sig.cond.Broadcast()
-	p.K.wakeInterruptible()
+	// Thread-directed: only this task's wait4 needs the EINTR re-check.
+	p.notifyWaiters()
 	return 0
-}
-
-func (k *Kernel) wakeInterruptible() {
-	k.mu.Lock()
-	k.waitCond.Broadcast()
-	k.mu.Unlock()
 }
 
 // Killed reports whether SIGKILL was ever posted to the group.
@@ -388,14 +385,14 @@ func (p *Process) Kill(pid int32, sig int32) linux.Errno {
 	case pid == 0:
 		return k.killGroup(p.pgid, sig)
 	case pid == -1:
-		k.mu.Lock()
+		k.pidMu.RLock()
 		targets := make([]*Process, 0, len(k.procs))
 		for _, t := range k.procs {
 			if t != p && t.PID != 1 {
 				targets = append(targets, t)
 			}
 		}
-		k.mu.Unlock()
+		k.pidMu.RUnlock()
 		for _, t := range targets {
 			t.PostSignal(sig)
 		}
@@ -406,7 +403,7 @@ func (p *Process) Kill(pid int32, sig int32) linux.Errno {
 }
 
 func (k *Kernel) killGroup(pgid int32, sig int32) linux.Errno {
-	k.mu.Lock()
+	k.pidMu.RLock()
 	var targets []*Process
 	for _, t := range k.procs {
 		t.mu.Lock()
@@ -415,7 +412,7 @@ func (k *Kernel) killGroup(pgid int32, sig int32) linux.Errno {
 		}
 		t.mu.Unlock()
 	}
-	k.mu.Unlock()
+	k.pidMu.RUnlock()
 	if len(targets) == 0 {
 		return linux.ESRCH
 	}

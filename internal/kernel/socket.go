@@ -77,6 +77,38 @@ type listenerSocket struct {
 	owner   *Socket
 }
 
+// listenerReg is one bound-address registry (TCP ports or unix paths).
+// Each registry carries its own lock, so binds and connects in one
+// address family never serialize the other — or anything else in the
+// kernel.
+type listenerReg[K comparable] struct {
+	mu sync.Mutex
+	m  map[K]*listenerSocket
+}
+
+func (r *listenerReg[K]) get(k K) *listenerSocket {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.m[k]
+}
+
+// put registers l at k; reports false when the address is taken.
+func (r *listenerReg[K]) put(k K, l *listenerSocket) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, used := r.m[k]; used {
+		return false
+	}
+	r.m[k] = l
+	return true
+}
+
+func (r *listenerReg[K]) del(k K) {
+	r.mu.Lock()
+	delete(r.m, k)
+	r.mu.Unlock()
+}
+
 func newSocket(k *Kernel, domain, typ int32, flags int32) *Socket {
 	s := &Socket{k: k, domain: domain, typ: typ, opts: map[int32]int32{}}
 	s.cond = sync.NewCond(&s.mu)
@@ -174,14 +206,14 @@ func (p *Process) Bind(fd int32, addr SockAddr) linux.Errno {
 	if s.domain == linux.AF_INET {
 		if addr.Port == 0 {
 			// Ephemeral port assignment.
-			k.mu.Lock()
+			k.ports.mu.Lock()
 			for port := uint16(32768); port != 0; port++ {
-				if _, used := k.ports[port]; !used {
+				if _, used := k.ports.m[port]; !used {
 					addr.Port = port
 					break
 				}
 			}
-			k.mu.Unlock()
+			k.ports.mu.Unlock()
 		}
 	}
 	s.local = addr
@@ -211,18 +243,14 @@ func (p *Process) Listen(fd int32, backlog int32) linux.Errno {
 	s.mu.Unlock()
 
 	k := p.K
-	k.mu.Lock()
-	defer k.mu.Unlock()
 	if s.domain == linux.AF_INET {
-		if _, used := k.ports[local.Port]; used {
+		if !k.ports.put(local.Port, l) {
 			return linux.EADDRINUSE
 		}
-		k.ports[local.Port] = l
 	} else {
-		if _, used := k.unixSock[local.Path]; used {
+		if !k.unixSock.put(local.Path, l) {
 			return linux.EADDRINUSE
 		}
-		k.unixSock[local.Path] = l
 	}
 	s.mu.Lock()
 	s.listener = l
@@ -289,14 +317,12 @@ func (p *Process) Connect(fd int32, addr SockAddr) linux.Errno {
 		return 0
 	}
 	k := p.K
-	k.mu.Lock()
 	var l *listenerSocket
 	if s.domain == linux.AF_INET {
-		l = k.ports[addr.Port]
+		l = k.ports.get(addr.Port)
 	} else {
-		l = k.unixSock[addr.Path]
+		l = k.unixSock.get(addr.Path)
 	}
-	k.mu.Unlock()
 	if l == nil {
 		return linux.ECONNREFUSED
 	}
@@ -394,9 +420,7 @@ func (s *Socket) sendDgram(p *Process, b []byte, to *SockAddr) (int, linux.Errno
 	}
 	// Find the destination socket: linear scan over processes' sockets is
 	// avoided by a dgram registry keyed on bind address.
-	s.k.mu.Lock()
 	target := s.k.dgramFor(dest)
-	s.k.mu.Unlock()
 	if target == nil {
 		return 0, linux.ECONNREFUSED
 	}
@@ -432,15 +456,15 @@ func (s *Socket) recvDgram(b []byte, nonblock bool) (int, SockAddr, linux.Errno)
 	return n, d.from, 0
 }
 
-// dgramFor finds the datagram socket bound to addr (k.mu held).
+// dgramFor finds the datagram socket bound to addr.
 func (k *Kernel) dgramFor(addr SockAddr) *Socket {
 	if addr.Family == linux.AF_UNIX {
-		if l := k.unixSock[addr.Path]; l != nil {
+		if l := k.unixSock.get(addr.Path); l != nil {
 			return l.owner
 		}
 		return nil
 	}
-	if l := k.ports[addr.Port]; l != nil {
+	if l := k.ports.get(addr.Port); l != nil {
 		return l.owner
 	}
 	return nil
@@ -605,13 +629,11 @@ func (s *Socket) Close() linux.Errno {
 		l.closed = true
 		l.mu.Unlock()
 		l.cond.Broadcast()
-		s.k.mu.Lock()
 		if domain == linux.AF_INET {
-			delete(s.k.ports, local.Port)
+			s.k.ports.del(local.Port)
 		} else {
-			delete(s.k.unixSock, local.Path)
+			s.k.unixSock.del(local.Path)
 		}
-		s.k.mu.Unlock()
 	}
 	s.cond.Broadcast()
 	return 0

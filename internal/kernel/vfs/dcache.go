@@ -1,0 +1,76 @@
+package vfs
+
+import (
+	"hash/maphash"
+	"sync"
+)
+
+// Dentry cache: a sharded (directory ino, name) → inode map in front of
+// the per-directory children maps, so hot path components (/, /tmp,
+// shared prefixes) resolve without touching the directory's lock at all.
+//
+// Coherence protocol: a cache entry for (dir, name) is only ever
+// inserted while holding dir's inode lock in read mode, and only ever
+// invalidated while holding it in write mode (every namespace mutation
+// — create, unlink, link, rename — runs under the parent's write lock).
+// The two modes exclude each other, so a lookup can never re-populate an
+// entry a concurrent unlink just invalidated: there are no stale
+// entries, only misses. Shard locks nest strictly inside inode locks.
+const dcacheShards = 64
+
+// dcacheShardCap bounds each shard; beyond it a random entry is evicted.
+// Eviction is always safe — a miss falls back to the directory map.
+const dcacheShardCap = 4096
+
+type dentKey struct {
+	dir  uint64 // directory inode number
+	name string
+}
+
+type dcacheShard struct {
+	mu sync.RWMutex
+	m  map[dentKey]*Inode
+	_  [32]byte // round the 32-byte payload up to a full cache line
+}
+
+var dentSeed = maphash.MakeSeed()
+
+func (fs *FS) dshard(dir uint64, name string) *dcacheShard {
+	return &fs.dcache[maphash.Comparable(dentSeed, dentKey{dir, name})%dcacheShards]
+}
+
+// dcacheGet returns the cached child, or nil on miss.
+func (fs *FS) dcacheGet(dir uint64, name string) *Inode {
+	sh := fs.dshard(dir, name)
+	sh.mu.RLock()
+	n := sh.m[dentKey{dir, name}]
+	sh.mu.RUnlock()
+	return n
+}
+
+// dcachePut caches a positive lookup. Caller holds the directory's inode
+// lock in (at least) read mode.
+func (fs *FS) dcachePut(dir uint64, name string, n *Inode) {
+	sh := fs.dshard(dir, name)
+	sh.mu.Lock()
+	if sh.m == nil {
+		sh.m = make(map[dentKey]*Inode)
+	}
+	if len(sh.m) >= dcacheShardCap {
+		for k := range sh.m {
+			delete(sh.m, k)
+			break
+		}
+	}
+	sh.m[dentKey{dir, name}] = n
+	sh.mu.Unlock()
+}
+
+// dcacheDelete invalidates (dir, name). Caller holds the directory's
+// inode lock in write mode.
+func (fs *FS) dcacheDelete(dir uint64, name string) {
+	sh := fs.dshard(dir, name)
+	sh.mu.Lock()
+	delete(sh.m, dentKey{dir, name})
+	sh.mu.Unlock()
+}

@@ -3,18 +3,30 @@ package vfs
 import (
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"gowali/internal/linux"
 )
 
-// FS is the filesystem: a tree of inodes rooted at Root. Namespace
-// operations (create/unlink/rename/link) take the FS lock; inode content
-// operations take per-inode locks.
+// FS is the filesystem: a tree of inodes rooted at Root. There is no
+// filesystem-wide lock: path walking takes per-inode locks hand over
+// hand (with a sharded dentry cache in front, see dcache.go), namespace
+// mutations take the parent directory's write lock and re-verify the
+// walked entry under it, and cross-directory renames additionally
+// serialize on renameMu so directory-cycle checks stay sound. The lock
+// hierarchy is: renameMu → parent inode → child inode → dcache shard.
 type FS struct {
-	mu      sync.Mutex
 	Root    *Inode
-	nextIno uint64
+	nextIno atomic.Uint64
 	Clock   func() linux.Timespec
+
+	// renameMu serializes cross-directory renames: with it held, the
+	// tree's parent topology cannot change under the ancestry check
+	// (same-directory renames and create/unlink only add or remove
+	// leaves of an unchanged topology).
+	renameMu sync.Mutex
+
+	dcache [dcacheShards]dcacheShard
 }
 
 // New creates a filesystem with an empty root directory.
@@ -22,7 +34,7 @@ func New(clock func() linux.Timespec) *FS {
 	if clock == nil {
 		clock = func() linux.Timespec { return linux.Timespec{} }
 	}
-	fs := &FS{nextIno: 1, Clock: clock}
+	fs := &FS{Clock: clock}
 	fs.Root = fs.newInode(linux.S_IFDIR | 0o755)
 	fs.Root.children = make(map[string]*Inode)
 	fs.Root.parent = fs.Root
@@ -32,12 +44,8 @@ func New(clock func() linux.Timespec) *FS {
 
 func (fs *FS) newInode(mode uint32) *Inode {
 	now := fs.Clock()
-	fs.mu.Lock()
-	ino := fs.nextIno
-	fs.nextIno++
-	fs.mu.Unlock()
 	n := &Inode{
-		Ino:   ino,
+		Ino:   fs.nextIno.Add(1),
 		mode:  mode,
 		nlink: 1,
 		atime: now,
@@ -82,6 +90,22 @@ func (fs *FS) Walk(cwd, path string, followLast bool) (WalkResult, linux.Errno) 
 	return fs.walk(cwd, path, followLast, 0)
 }
 
+// lookup resolves one component: dentry cache first (lock-free of the
+// directory), then the directory's children map under its read lock,
+// populating the cache on a hit. See dcache.go for the coherence rules.
+func (fs *FS) lookup(dir *Inode, name string) (*Inode, bool) {
+	if n := fs.dcacheGet(dir.Ino, name); n != nil {
+		return n, true
+	}
+	dir.mu.RLock()
+	c, ok := dir.children[name]
+	if ok {
+		fs.dcachePut(dir.Ino, name, c)
+	}
+	dir.mu.RUnlock()
+	return c, ok
+}
+
 func (fs *FS) walk(cwd, path string, followLast bool, depth int) (WalkResult, linux.Errno) {
 	if depth > MaxSymlinkDepth {
 		return WalkResult{}, linux.ELOOP
@@ -112,10 +136,7 @@ func (fs *FS) walk(cwd, path string, followLast bool, depth int) (WalkResult, li
 			return WalkResult{}, linux.ENOTDIR
 		}
 		if name == ".." {
-			cur.mu.Lock()
-			p := cur.parent
-			cur.mu.Unlock()
-			if p != nil {
+			if p := cur.Parent(); p != nil {
 				cur = p
 			}
 			if last {
@@ -123,7 +144,7 @@ func (fs *FS) walk(cwd, path string, followLast bool, depth int) (WalkResult, li
 			}
 			continue
 		}
-		next, ok := cur.lookup(name)
+		next, ok := fs.lookup(cur, name)
 		if !ok {
 			if last {
 				return WalkResult{Parent: cur, Node: nil, Name: name}, 0
@@ -158,21 +179,19 @@ func (fs *FS) pathOf(dir *Inode) string {
 	var parts []string
 	cur := dir
 	for cur != fs.Root {
-		cur.mu.Lock()
-		p := cur.parent
-		cur.mu.Unlock()
+		p := cur.Parent()
 		if p == nil {
 			break
 		}
 		name := ""
-		p.mu.Lock()
+		p.mu.RLock()
 		for n, c := range p.children {
 			if c == cur {
 				name = n
 				break
 			}
 		}
-		p.mu.Unlock()
+		p.mu.RUnlock()
 		if name == "" {
 			break
 		}
@@ -204,12 +223,23 @@ func (fs *FS) Create(cwd, path string, mode uint32, uid, gid uint32, excl bool) 
 	}
 	n := fs.newInode(mode)
 	n.uid, n.gid = uid, gid
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
 	r.Parent.mu.Lock()
 	defer r.Parent.mu.Unlock()
-	if _, ok := r.Parent.children[r.Name]; ok {
-		return nil, linux.EEXIST
+	if r.Parent.nlink == 0 {
+		// The parent directory was rmdir'd between walk and lock; a file
+		// created now would live on an unreachable inode.
+		return nil, linux.ENOENT
+	}
+	if existing, ok := r.Parent.children[r.Name]; ok {
+		// Lost a create race: apply the same semantics to the entry that
+		// got there first.
+		if excl {
+			return nil, linux.EEXIST
+		}
+		if existing.IsDir() && mode&linux.S_IFMT == linux.S_IFREG {
+			return nil, linux.EISDIR
+		}
+		return existing, 0
 	}
 	if n.mode&linux.S_IFMT == linux.S_IFDIR {
 		n.parent = r.Parent
@@ -281,26 +311,44 @@ func (fs *FS) Unlink(cwd, path string, dir bool) linux.Errno {
 		if !r.Node.IsDir() {
 			return linux.ENOTDIR
 		}
-		if r.Node.childCount() > 0 {
-			return linux.ENOTEMPTY
-		}
 	} else if r.Node.IsDir() {
 		return linux.EISDIR
 	}
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
 	r.Parent.mu.Lock()
+	if r.Parent.children[r.Name] != r.Node {
+		// The entry changed between walk and lock; the caller's target is
+		// already gone.
+		r.Parent.mu.Unlock()
+		return linux.ENOENT
+	}
+	if dir {
+		// Check emptiness and mark the victim dead (nlink 0) under its
+		// own write lock, held together with the parent's: a concurrent
+		// Create into this directory serializes on that lock and then
+		// sees nlink == 0, so nothing can slip into a removed directory.
+		r.Node.mu.Lock()
+		if len(r.Node.children) > 0 {
+			r.Node.mu.Unlock()
+			r.Parent.mu.Unlock()
+			return linux.ENOTEMPTY
+		}
+		r.Node.nlink = 0
+		r.Node.mu.Unlock()
+	}
 	delete(r.Parent.children, r.Name)
+	fs.dcacheDelete(r.Parent.Ino, r.Name)
 	r.Parent.mtime = fs.Clock()
 	if dir {
 		r.Parent.nlink--
 	}
 	r.Parent.mu.Unlock()
-	r.Node.mu.Lock()
-	if r.Node.nlink > 0 {
-		r.Node.nlink--
+	if !dir {
+		r.Node.mu.Lock()
+		if r.Node.nlink > 0 {
+			r.Node.nlink--
+		}
+		r.Node.mu.Unlock()
 	}
-	r.Node.mu.Unlock()
 	return 0
 }
 
@@ -323,9 +371,15 @@ func (fs *FS) Link(cwd, oldpath, newpath string) linux.Errno {
 	if nr.Node != nil {
 		return linux.EEXIST
 	}
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
 	nr.Parent.mu.Lock()
+	if nr.Parent.nlink == 0 {
+		nr.Parent.mu.Unlock()
+		return linux.ENOENT // destination directory was rmdir'd
+	}
+	if _, ok := nr.Parent.children[nr.Name]; ok {
+		nr.Parent.mu.Unlock()
+		return linux.EEXIST
+	}
 	nr.Parent.children[nr.Name] = or.Node
 	nr.Parent.mtime = fs.Clock()
 	nr.Parent.mu.Unlock()
@@ -333,6 +387,60 @@ func (fs *FS) Link(cwd, oldpath, newpath string) linux.Errno {
 	or.Node.nlink++
 	or.Node.mu.Unlock()
 	return 0
+}
+
+// isAncestorOf reports whether a is dir or a strict ancestor of dir.
+// Callers serialize topology changes (renameMu held); only per-step
+// parent reads are locked.
+func (fs *FS) isAncestorOf(a, dir *Inode) bool {
+	for cur := dir; ; {
+		if cur == a {
+			return true
+		}
+		if cur == fs.Root {
+			return false
+		}
+		p := cur.Parent()
+		if p == nil || p == cur {
+			return false
+		}
+		cur = p
+	}
+}
+
+// lockTwoDirs acquires the write locks of both directories (identical
+// directories lock once). Related directories lock ancestor-first — the
+// same topological parent → child order Unlink and Create use — and
+// unrelated pairs fall back to inode-number order; unrelated pairs are
+// only ever held together by renames, which renameMu serializes, so the
+// combined order is acyclic. Callers must hold renameMu whenever the two
+// differ (it freezes the ancestor relation the choice depends on).
+func (fs *FS) lockTwoDirs(a, b *Inode) {
+	switch {
+	case a == b:
+		a.mu.Lock()
+	case fs.isAncestorOf(a, b):
+		a.mu.Lock()
+		b.mu.Lock()
+	case fs.isAncestorOf(b, a):
+		b.mu.Lock()
+		a.mu.Lock()
+	case a.Ino < b.Ino:
+		a.mu.Lock()
+		b.mu.Lock()
+	default:
+		b.mu.Lock()
+		a.mu.Lock()
+	}
+}
+
+func unlockTwoDirs(a, b *Inode) {
+	if a == b {
+		a.mu.Unlock()
+		return
+	}
+	a.mu.Unlock()
+	b.mu.Unlock()
 }
 
 // Rename moves oldpath to newpath, replacing a compatible existing target.
@@ -351,28 +459,83 @@ func (fs *FS) Rename(cwd, oldpath, newpath string) linux.Errno {
 	if nr.Node == or.Node {
 		return 0
 	}
-	if nr.Node != nil {
-		if nr.Node.IsDir() != or.Node.IsDir() {
-			if nr.Node.IsDir() {
+
+	crossDir := or.Parent != nr.Parent
+	srcIsDir := or.Node.IsDir()
+	targetIsDir := nr.Node != nil && nr.Node.IsDir()
+	if crossDir || targetIsDir {
+		// Serialize every rename that locks two directories or replaces
+		// one, so the ancestry analysis below cannot race a concurrent
+		// topology change (Linux's s_vfs_rename_mutex). Plain same-
+		// directory renames of non-directories skip it: they take one
+		// parent lock and do not alter or consult topology.
+		fs.renameMu.Lock()
+		defer fs.renameMu.Unlock()
+	}
+	// Ancestry checks run before any inode lock is held (isAncestorOf
+	// read-locks one chain node at a time).
+	if crossDir && srcIsDir && fs.isAncestorOf(or.Node, nr.Parent) {
+		return linux.EINVAL // would move a directory into itself
+	}
+	if targetIsDir && fs.isAncestorOf(nr.Node, or.Parent) {
+		// The replaced directory contains the chain down to the source's
+		// parent, so it is necessarily non-empty — and locking an
+		// ancestor of a directory we hold would invert the lock order.
+		return linux.ENOTEMPTY
+	}
+
+	fs.lockTwoDirs(or.Parent, nr.Parent)
+	defer unlockTwoDirs(or.Parent, nr.Parent)
+
+	if or.Parent.children[or.Name] != or.Node {
+		return linux.ENOENT // lost a race with unlink/rename of the source
+	}
+	if or.Parent.nlink == 0 || nr.Parent.nlink == 0 {
+		return linux.ENOENT // either directory was concurrently rmdir'd
+	}
+	target := nr.Parent.children[nr.Name]
+	if target == or.Node {
+		return 0
+	}
+	if target != nr.Node {
+		// The destination entry changed between walk and lock. The
+		// pre-lock type and ancestry analysis applied to nr.Node, not to
+		// this entry; report the race instead of acting on stale checks.
+		return linux.ENOENT
+	}
+	if target != nil {
+		if targetIsDir != srcIsDir {
+			if targetIsDir {
 				return linux.EISDIR
 			}
 			return linux.ENOTDIR
 		}
-		if nr.Node.IsDir() && nr.Node.childCount() > 0 {
-			return linux.ENOTEMPTY
+		if targetIsDir {
+			// A directory reachable as one of the locked parents is
+			// never empty; any other target passed the ancestry check,
+			// so its lock nests parent → child here. As in rmdir: check
+			// emptiness and mark the replaced directory dead under its
+			// own write lock, so concurrent creates into it cannot land
+			// after the replacement.
+			if target == or.Parent || target == nr.Parent {
+				return linux.ENOTEMPTY
+			}
+			target.mu.Lock()
+			if len(target.children) > 0 {
+				target.mu.Unlock()
+				return linux.ENOTEMPTY
+			}
+			target.nlink = 0
+			target.mu.Unlock()
 		}
 	}
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	or.Parent.mu.Lock()
 	delete(or.Parent.children, or.Name)
+	fs.dcacheDelete(or.Parent.Ino, or.Name)
 	or.Parent.mtime = fs.Clock()
-	or.Parent.mu.Unlock()
-	nr.Parent.mu.Lock()
 	nr.Parent.children[nr.Name] = or.Node
+	fs.dcacheDelete(nr.Parent.Ino, nr.Name)
 	nr.Parent.mtime = fs.Clock()
-	nr.Parent.mu.Unlock()
-	if or.Node.IsDir() {
+	if srcIsDir {
 		or.Node.mu.Lock()
 		or.Node.parent = nr.Parent
 		or.Node.mu.Unlock()

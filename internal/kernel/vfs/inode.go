@@ -27,11 +27,13 @@ type DeviceOps interface {
 
 // Inode is one filesystem object. The type is carried in Mode's S_IFMT
 // bits. Field access beyond immutable identity goes through methods that
-// take the inode lock, so concurrent WALI processes can share the tree.
+// take the inode's read-write lock (readers share it), so concurrent
+// WALI processes share the tree without a filesystem-wide lock; the FS
+// namespace operations in fs.go hold parent locks across mutations.
 type Inode struct {
 	Ino uint64
 
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	mode     uint32
 	uid, gid uint32
 	nlink    uint32
@@ -52,8 +54,8 @@ type Inode struct {
 
 // Mode returns the mode bits including the file type.
 func (n *Inode) Mode() uint32 {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	return n.mode
 }
 
@@ -98,10 +100,18 @@ func (n *Inode) SetTimes(atime, mtime *linux.Timespec) {
 	}
 }
 
+// Parent returns a directory's ".." link (nil for non-directories; the
+// root is its own parent).
+func (n *Inode) Parent() *Inode {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.parent
+}
+
 // Target returns the symlink target.
 func (n *Inode) Target() string {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	return n.target
 }
 
@@ -117,22 +127,22 @@ func (n *Inode) Pipe() *Pipe {
 
 // Device returns the DeviceOps of a character device inode, or nil.
 func (n *Inode) Device() DeviceOps {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	return n.dev
 }
 
 // Gen returns synthesized content for procfs-style inodes, or nil.
 func (n *Inode) Gen() func() []byte {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	return n.gen
 }
 
 // Size returns the current content size.
 func (n *Inode) Size() int64 {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	if n.gen != nil {
 		return int64(len(n.gen()))
 	}
@@ -141,8 +151,8 @@ func (n *Inode) Size() int64 {
 
 // Stat fills a kernel-native stat for the inode.
 func (n *Inode) Stat() linux.Stat {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	size := int64(len(n.data))
 	if n.gen != nil {
 		size = int64(len(n.gen()))
@@ -169,8 +179,8 @@ func (n *Inode) Stat() linux.Stat {
 // ReadAt copies file content at off into b, returning bytes copied (0 at
 // EOF). Only regular files reach here.
 func (n *Inode) ReadAt(b []byte, off int64) (int, linux.Errno) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	src := n.data
 	if n.gen != nil {
 		src = n.gen()
@@ -234,8 +244,8 @@ type DirEntry struct {
 
 // List returns the directory contents sorted by name (excluding . and ..).
 func (n *Inode) List() []DirEntry {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	out := make([]DirEntry, 0, len(n.children))
 	for name, c := range n.children {
 		out = append(out, DirEntry{Name: name, Ino: c.Ino, Type: dtype(c.mode)})
@@ -262,17 +272,9 @@ func dtype(mode uint32) byte {
 	return linux.DT_UNKNOWN
 }
 
-// lookup returns the named child (caller must not hold n.mu).
-func (n *Inode) lookup(name string) (*Inode, bool) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	c, ok := n.children[name]
-	return c, ok
-}
-
 // childCount returns the number of entries in a directory.
 func (n *Inode) childCount() int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	return len(n.children)
 }

@@ -6,20 +6,37 @@ package trace
 
 import (
 	"fmt"
+	"hash/maphash"
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gowali/internal/core"
 )
 
-// Collector accumulates syscall events for one run.
-type Collector struct {
+// collectorShards buckets the per-name counts so concurrent guests'
+// events rarely meet on one lock; the time/call totals are plain
+// atomics. One shard per common hot syscall name is plenty.
+const collectorShards = 16
+
+type collectorShard struct {
 	mu     sync.Mutex
 	counts map[string]uint64
-	total  time.Duration
-	calls  uint64
+	_      [48]byte // round the 16-byte payload up to a full cache line
+}
+
+var collectorSeed = maphash.MakeSeed()
+
+// Collector accumulates syscall events for one run. Observe is safe for
+// concurrent use and designed not to serialize the processes it
+// observes: totals are atomic counters and per-name counts are sharded
+// by syscall name.
+type Collector struct {
+	shards  [collectorShards]collectorShard
+	totalNs atomic.Int64
+	calls   atomic.Uint64
 
 	// Verbose, if non-nil, receives one line per syscall (E1's
 	// WALI_VERBOSE).
@@ -28,7 +45,11 @@ type Collector struct {
 
 // NewCollector returns an empty collector.
 func NewCollector() *Collector {
-	return &Collector{counts: make(map[string]uint64)}
+	c := &Collector{}
+	for i := range c.shards {
+		c.shards[i].counts = make(map[string]uint64)
+	}
+	return c
 }
 
 // Attach installs the collector on a WALI engine.
@@ -40,11 +61,12 @@ func (c *Collector) Attach(w *core.WALI) {
 // pass it to WALI.Hook (Attach does) or to the embedding facade's
 // WithSyscallHook option.
 func (c *Collector) Observe(ev core.SyscallEvent) {
-	c.mu.Lock()
-	c.counts[ev.Name]++
-	c.total += ev.Duration
-	c.calls++
-	c.mu.Unlock()
+	sh := &c.shards[maphash.String(collectorSeed, ev.Name)%collectorShards]
+	sh.mu.Lock()
+	sh.counts[ev.Name]++
+	sh.mu.Unlock()
+	c.totalNs.Add(int64(ev.Duration))
+	c.calls.Add(1)
 	if c.Verbose != nil {
 		c.Verbose(fmt.Sprintf("[pid %d] %s(...) = %d <%s>", ev.PID, ev.Name, ev.Ret, ev.Duration))
 	}
@@ -52,27 +74,33 @@ func (c *Collector) Observe(ev core.SyscallEvent) {
 
 // Counts returns a copy of the per-syscall invocation counts.
 func (c *Collector) Counts() map[string]uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make(map[string]uint64, len(c.counts))
-	for k, v := range c.counts {
-		out[k] = v
+	out := make(map[string]uint64)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for k, v := range sh.counts {
+			out[k] += v
+		}
+		sh.mu.Unlock()
 	}
 	return out
 }
 
 // Unique returns the number of distinct syscalls invoked.
 func (c *Collector) Unique() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.counts)
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.counts)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // Total returns accumulated handler time and call count.
 func (c *Collector) Total() (time.Duration, uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.total, c.calls
+	return time.Duration(c.totalNs.Load()), c.calls.Load()
 }
 
 // Profile is one Fig. 2 row: an app and its syscall counts.
