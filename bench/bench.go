@@ -20,7 +20,13 @@ type (
 	Fig8Point  = ib.Fig8Point
 	Fig8MemRow = ib.Fig8MemRow
 	Fig9Point  = ib.Fig9Point
+	FSMicroRow = ib.FSMicroRow
 )
+
+// ScaleoutConfig parameterizes Fig9ScaleoutCfg's filesystem backing:
+// a host directory mounted read-write for guest working files, and a
+// shared read-only hostfs image every guest re-reads each iteration.
+type ScaleoutConfig = ib.ScaleoutConfig
 
 // Profile is one Fig. 2 row: an application and its syscall counts.
 type Profile = trace.Profile
@@ -88,5 +94,17 @@ func Fig9Scaleout(iters int, guests []int) []Fig9Point { return ib.Fig9Scaleout(
 // scale-out curve: powers of two through 4×NumCPU.
 func DefaultScaleoutGuests() []int { return ib.DefaultScaleoutGuests() }
 
+// Fig9ScaleoutCfg is Fig9Scaleout with configurable filesystem backing
+// (hostfs-backed working files, shared read-only image).
+func Fig9ScaleoutCfg(cfg ScaleoutConfig) []Fig9Point { return ib.Fig9ScaleoutCfg(cfg) }
+
 // FormatFig9 renders the scale-out curve.
 func FormatFig9(pts []Fig9Point) string { return ib.FormatFig9(pts) }
+
+// FSMicro measures a guest open/pread64/close loop against the memfs,
+// hostfs and overlayfs mount backends (hostDir backs the host-mapped
+// rows).
+func FSMicro(iters int, hostDir string) []FSMicroRow { return ib.FSMicro(iters, hostDir) }
+
+// FormatFSMicro renders the backend micro-benchmark, memfs as baseline.
+func FormatFSMicro(rows []FSMicroRow) string { return ib.FormatFSMicro(rows) }

@@ -92,6 +92,37 @@ func BenchmarkFig9Scaleout(b *testing.B) {
 	}
 }
 
+// BenchmarkFSMicroBackends prices the mount-table backends on the
+// hottest file path — a guest open/pread64/close loop — against memfs,
+// hostfs and overlayfs (ns/syscall reported per backend).
+func BenchmarkFSMicroBackends(b *testing.B) {
+	dir := b.TempDir()
+	for i := 0; i < b.N; i++ {
+		rows := bench.FSMicro(500, dir)
+		for _, r := range rows {
+			b.ReportMetric(float64(r.PerOp.Nanoseconds()), r.Backend+"_ns/syscall")
+		}
+	}
+}
+
+// BenchmarkFig9ScaleoutHostFS is the hostfs-backed scale-out variant:
+// guest working files on a read-write hostfs mount plus one shared
+// read-only hostfs image every guest re-reads each iteration.
+func BenchmarkFig9ScaleoutHostFS(b *testing.B) {
+	work, shared := b.TempDir(), b.TempDir()
+	guests := []int{1, 2 * runtime.NumCPU()}
+	for i := 0; i < b.N; i++ {
+		pts := bench.Fig9ScaleoutCfg(bench.ScaleoutConfig{
+			Iters: 50, Guests: guests, WorkDir: work, SharedDir: shared,
+		})
+		for _, p := range pts {
+			if p.PerSec <= 0 {
+				b.Fatalf("N=%d degenerate throughput", p.Guests)
+			}
+		}
+	}
+}
+
 // BenchmarkFig8 runs the three-way virtualization comparison per app and
 // backend (Fig. 8b-d). The per-backend sub-benchmarks expose slope
 // comparisons directly in ns/op.

@@ -8,11 +8,14 @@
 //	benchvirt -table2 -iters 5000
 //	benchvirt -fig8time -scales 10000,50000,100000
 //	benchvirt -scaleout -scaleout-iters 500 -guests 1,2,4,8
+//	benchvirt -scaleout -scaleout-dir /tmp/work -scaleout-ro /srv/image
+//	benchvirt -fsmicro -fsmicro-dir /tmp/probe
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 	"strconv"
 	"strings"
 
@@ -28,16 +31,21 @@ func main() {
 	f8t := flag.Bool("fig8time", false, "execution time comparison (Fig. 8b-d)")
 	f8m := flag.Bool("fig8mem", false, "peak memory comparison (Fig. 8a)")
 	f9 := flag.Bool("scaleout", false, "multi-guest syscall throughput vs concurrency (Fig. 9)")
+	fsm := flag.Bool("fsmicro", false, "memfs vs hostfs vs overlayfs open/pread64 micro-benchmark")
 	iters := flag.Int("iters", 2000, "iterations for Table 2")
 	scaleIters := flag.Int("scaleout-iters", 200, "per-guest loop iterations for -scaleout")
 	guestList := flag.String("guests", "", "comma-separated guest counts for -scaleout (default: powers of two through 4xNumCPU)")
+	scaleoutDir := flag.String("scaleout-dir", "", "host dir mounted read-write at /data for -scaleout guest working files (default: memfs /tmp)")
+	scaleoutRO := flag.String("scaleout-ro", "", "host dir mounted read-only at /img; -scaleout guests share its image file each iteration")
+	fsmIters := flag.Int("fsmicro-iters", 2000, "loop iterations per backend for -fsmicro")
+	fsmDir := flag.String("fsmicro-dir", "", "host dir backing the -fsmicro hostfs/overlayfs rows (default: a temp dir)")
 	scaleList := flag.String("scales", "20000,60000,120000", "lua scales for -fig8time (bash/sqlite scaled down proportionally)")
 	flag.Parse()
 
 	if *all {
-		*t1, *t2, *t3, *f7, *f8t, *f8m, *f9 = true, true, true, true, true, true, true
+		*t1, *t2, *t3, *f7, *f8t, *f8m, *f9, *fsm = true, true, true, true, true, true, true, true
 	}
-	if !(*t1 || *t2 || *t3 || *f7 || *f8t || *f8m || *f9) {
+	if !(*t1 || *t2 || *t3 || *f7 || *f8t || *f8m || *f9 || *fsm) {
 		*t1, *t2 = true, true
 	}
 
@@ -91,8 +99,45 @@ func main() {
 		if *guestList == "" {
 			guests = bench.DefaultScaleoutGuests()
 		}
-		fmt.Print(bench.FormatFig9(bench.Fig9Scaleout(*scaleIters, guests)))
+		cfg := bench.ScaleoutConfig{
+			Iters:     *scaleIters,
+			Guests:    guests,
+			WorkDir:   *scaleoutDir,
+			SharedDir: *scaleoutRO,
+		}
+		if cfg.WorkDir != "" || cfg.SharedDir != "" {
+			fmt.Printf("fs backing: work=%s shared-ro=%s\n", orMemfs(cfg.WorkDir), orNone(cfg.SharedDir))
+		}
+		fmt.Print(bench.FormatFig9(bench.Fig9ScaleoutCfg(cfg)))
 	}
+	if *fsm {
+		fmt.Println("== VFS backends: open/pread64/close micro-benchmark ==")
+		dir := *fsmDir
+		if dir == "" {
+			tmp, err := os.MkdirTemp("", "gowali-fsmicro-*")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchvirt: %v\n", err)
+				os.Exit(1)
+			}
+			defer os.RemoveAll(tmp)
+			dir = tmp
+		}
+		fmt.Print(bench.FormatFSMicro(bench.FSMicro(*fsmIters, dir)))
+	}
+}
+
+func orMemfs(s string) string {
+	if s == "" {
+		return "memfs"
+	}
+	return s
+}
+
+func orNone(s string) string {
+	if s == "" {
+		return "none"
+	}
+	return s
 }
 
 func parseScales(s string) []int {

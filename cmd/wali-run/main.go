@@ -5,10 +5,13 @@
 //	wali-run -app lua -scale 50000
 //	wali-run -app bash -verbose
 //	wali-run program.wasm arg1 arg2
+//	wali-run -dir /srv/data=/data -dir /srv/image=/app:ro program.wasm
 //
-// -verbose mirrors WALI_VERBOSE: every dynamically executed syscall is
-// printed (experiment E1). The guest's exit status becomes the host
-// process exit status; guest traps print the Wasm backtrace.
+// -dir mounts a host directory into the guest filesystem (repeatable;
+// a ":ro" suffix makes the mount read-only). -verbose mirrors
+// WALI_VERBOSE: every dynamically executed syscall is printed
+// (experiment E1). The guest's exit status becomes the host process
+// exit status; guest traps print the Wasm backtrace.
 package main
 
 import (
@@ -17,22 +20,42 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"gowali"
 )
+
+// dirFlags collects repeatable -dir hostdir=/guestpath[:ro] mounts.
+type dirFlags []string
+
+func (d *dirFlags) String() string { return strings.Join(*d, ",") }
+func (d *dirFlags) Set(s string) error {
+	*d = append(*d, s)
+	return nil
+}
 
 func main() {
 	appName := flag.String("app", "", "run a built-in ported app (lua, bash, sqlite, memcached, paho-mqtt)")
 	scale := flag.Int("scale", 1000, "workload scale for built-in apps")
 	verbose := flag.Bool("verbose", false, "print every executed syscall (WALI_VERBOSE)")
 	stats := flag.Bool("stats", false, "print syscall statistics after the run")
+	var dirs dirFlags
+	flag.Var(&dirs, "dir", "mount a host directory: hostdir=/guestpath[:ro] (repeatable)")
 	flag.Parse()
 
 	col := gowali.NewCollector()
 	if *verbose {
 		col.Verbose = func(line string) { fmt.Fprintln(os.Stderr, line) }
 	}
-	rt, err := gowali.New(gowali.WithSyscallHook(col.Observe))
+	opts := []gowali.Option{gowali.WithSyscallHook(col.Observe)}
+	for _, spec := range dirs {
+		opt, err := gowali.WithMountSpec(spec)
+		if err != nil {
+			fatal(err)
+		}
+		opts = append(opts, opt)
+	}
+	rt, err := gowali.New(opts...)
 	if err != nil {
 		fatal(err)
 	}

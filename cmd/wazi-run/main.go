@@ -3,6 +3,12 @@
 // Zephyr). With no arguments it runs the built-in demo workload. The
 // guest's exit status becomes the host process exit status; traps print
 // the Wasm backtrace.
+//
+// -dir hostdir=/guestprefix[:ro] maps a host directory into the board:
+// Zephyr's flash filesystem is flat (names are whole paths, like
+// littlefs), so the files are preloaded as "/guestprefix/<relative>"
+// before the run and — unless the mapping is :ro — written back to the
+// host directory afterwards. Repeatable.
 package main
 
 import (
@@ -10,15 +16,91 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"gowali"
 	"gowali/wasm"
 )
 
+// dirFlags collects repeatable -dir hostdir=/guestprefix[:ro] mappings.
+type dirFlags []string
+
+func (d *dirFlags) String() string { return strings.Join(*d, ",") }
+func (d *dirFlags) Set(s string) error {
+	*d = append(*d, s)
+	return nil
+}
+
+type boardDir struct {
+	host, guest string
+	ro          bool
+}
+
+func parseBoardDir(spec string) (boardDir, error) {
+	s, ro := strings.CutSuffix(spec, ":ro")
+	host, guest, ok := strings.Cut(s, "=")
+	if !ok || host == "" || guest == "" || !strings.HasPrefix(guest, "/") {
+		return boardDir{}, fmt.Errorf("bad -dir spec %q (want hostdir=/guestprefix[:ro])", spec)
+	}
+	return boardDir{host: host, guest: strings.TrimSuffix(guest, "/"), ro: ro}, nil
+}
+
+// preload copies every regular file under d.host into the board flash.
+func preload(rt *gowali.Runtime, d boardDir) error {
+	return filepath.WalkDir(d.host, func(path string, ent fs.DirEntry, err error) error {
+		if err != nil || !ent.Type().IsRegular() {
+			return err
+		}
+		rel, err := filepath.Rel(d.host, path)
+		if err != nil {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return rt.InstallBoardFile(d.guest+"/"+filepath.ToSlash(rel), data)
+	})
+}
+
+// writeback syncs flash files under d.guest back to d.host.
+func writeback(rt *gowali.Runtime, d boardDir) error {
+	for name, data := range rt.BoardFiles() {
+		rel, ok := strings.CutPrefix(name, d.guest+"/")
+		if !ok || rel == "" {
+			continue
+		}
+		hostPath := filepath.Join(d.host, filepath.FromSlash(rel))
+		if prev, err := os.ReadFile(hostPath); err == nil && string(prev) == string(data) {
+			continue // unchanged
+		}
+		if err := os.MkdirAll(filepath.Dir(hostPath), 0o755); err != nil {
+			return err
+		}
+		if err := os.WriteFile(hostPath, data, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func main() {
 	iters := flag.Int("iters", 50000, "demo interpreter iterations")
+	var dirs dirFlags
+	flag.Var(&dirs, "dir", "map a host directory into the board flash: hostdir=/guestprefix[:ro] (repeatable)")
 	flag.Parse()
+
+	var mappings []boardDir
+	for _, spec := range dirs {
+		d, err := parseBoardDir(spec)
+		if err != nil {
+			fatal(err)
+		}
+		mappings = append(mappings, d)
+	}
 
 	var m *gowali.Module
 	var err error
@@ -35,11 +117,27 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	for _, d := range mappings {
+		if err := preload(rt, d); err != nil {
+			fatal(fmt.Errorf("preload %s: %w", d.host, err))
+		}
+	}
 	fmt.Fprintf(os.Stderr, "board: %s\n", rt.Board())
 	fmt.Fprintf(os.Stderr, "wazi: %.0f%% of bindings auto-generated from the syscall encoding\n",
 		100*gowali.WAZIPassthroughRatio())
 	status, runErr := rt.Run(context.Background(), m, nil, nil)
 	os.Stdout.Write(rt.ConsoleOutput())
+	for _, d := range mappings {
+		if d.ro {
+			continue
+		}
+		if err := writeback(rt, d); err != nil {
+			fmt.Fprintf(os.Stderr, "wazi-run: writeback %s: %v\n", d.host, err)
+			if status == 0 {
+				status = 1
+			}
+		}
+	}
 	if runErr != nil {
 		fmt.Fprintf(os.Stderr, "wazi-run: %v\n", runErr)
 		var trap *gowali.Trap

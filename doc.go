@@ -32,6 +32,8 @@
 //	WithStrict(true)         trap on known-but-unimplemented syscalls (§3.5)
 //	WithSyscallHook(fn)      observe every syscall (profiling, Fig. 2/7)
 //	WithStdio(in, out, errw) connect guest stdio to host streams
+//	WithMount(path, b, ...)  mount a filesystem backend at a guest path
+//	                         (NewHostFS / NewMemFS / NewOverlayFS)
 //
 // The host layer is chosen per-runtime, not per-codepath: the same
 // Spawn/Wait surface runs WALI binaries, pure-WASI modules (WASI

@@ -8,6 +8,8 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 
 	"gowali"
 	"gowali/wasm"
@@ -89,6 +91,61 @@ func ExampleWASIHost() {
 	// Output:
 	// status 0: hello via WASI
 	// WASI bottomed out in WALI calls: true
+}
+
+// ExampleWithMount: mount a real host directory into the guest and
+// have the guest read a host file with plain open/pread64 syscalls —
+// the mountable-VFS embedding path (hostfs; NewMemFS and NewOverlayFS
+// mount the same way).
+func ExampleWithMount() {
+	dir, err := os.MkdirTemp("", "gowali-mount-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	if err := os.WriteFile(filepath.Join(dir, "greeting.txt"), []byte("hello from the host\n"), 0o644); err != nil {
+		log.Fatal(err)
+	}
+
+	b := wasm.NewBuilder("mounted")
+	sysOpen := gowali.ImportWALISyscall(b, "open")
+	sysPread := gowali.ImportWALISyscall(b, "pread64")
+	sysWrite := gowali.ImportWALISyscall(b, "write")
+	sysExit := gowali.ImportWALISyscall(b, "exit_group")
+	b.Memory(1, 4, false)
+	b.Data(1024, []byte("/data/greeting.txt\x00"))
+	f := b.NewFunc(gowali.StartExport, nil, nil)
+	fd := f.Local(wasm.I64)
+	n := f.Local(wasm.I64)
+	f.I64Const(1024).I64Const(0).I64Const(0).Call(sysOpen).LocalSet(fd) // open(path, O_RDONLY)
+	f.LocalGet(fd).I64Const(2048).I64Const(128).I64Const(0).Call(sysPread).LocalSet(n)
+	f.I64Const(1).I64Const(2048).LocalGet(n).Call(sysWrite).Drop() // write(1, buf, n)
+	f.I64Const(0).Call(sysExit).Drop()
+	f.Finish()
+	built, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := gowali.CompileBuilt(built)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	host, err := gowali.NewHostFS(dir, true) // read-only host image
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt, err := gowali.New(gowali.WithMount("/data", host, gowali.MountReadOnly()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	status, err := rt.Run(context.Background(), m, []string{"mounted"}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("status %d: %s", status, rt.ConsoleOutput())
+	// Output:
+	// status 0: hello from the host
 }
 
 // ExampleRuntime_Spawn_cancellation: cancelling the spawn context

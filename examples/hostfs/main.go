@@ -1,0 +1,125 @@
+// Hostfs: mount a real host directory into the guest with
+// gowali.WithMount and watch a guest program process host files with
+// plain Linux syscalls — open, pread64, write — then verify the result
+// on the host side. The same guest module can be emitted as a .wasm
+// binary (-emit) and run with `wali-run -dir hostdir=/data guest.wasm`.
+//
+//	go run ./examples/hostfs                  # self-contained demo in a temp dir
+//	go run ./examples/hostfs -root /some/dir  # use an existing host dir
+//	go run ./examples/hostfs -emit guest.wasm # also write the guest binary
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"gowali"
+	"gowali/wasm"
+)
+
+// buildGuest compiles the guest: it reads /data/input.txt, echoes the
+// contents to the console, writes them to /data/out.txt, and exits 0.
+func buildGuest() (*wasm.Module, error) {
+	b := wasm.NewBuilder("hostfs-demo")
+	sysOpen := gowali.ImportWALISyscall(b, "open")
+	sysPread := gowali.ImportWALISyscall(b, "pread64")
+	sysWrite := gowali.ImportWALISyscall(b, "write")
+	sysClose := gowali.ImportWALISyscall(b, "close")
+	sysExit := gowali.ImportWALISyscall(b, "exit_group")
+	b.Memory(2, 16, false)
+	const (
+		srcPath = 1024
+		dstPath = 1280
+		ioBuf   = 4096
+	)
+	b.Data(srcPath, []byte("/data/input.txt\x00"))
+	b.Data(dstPath, []byte("/data/out.txt\x00"))
+
+	f := b.NewFunc(gowali.StartExport, nil, nil)
+	fd := f.Local(wasm.I64)
+	n := f.Local(wasm.I64)
+	// fd = open("/data/input.txt", O_RDONLY); n = pread64(fd, buf, 1024, 0)
+	f.I64Const(srcPath).I64Const(0).I64Const(0).Call(sysOpen).LocalSet(fd)
+	f.LocalGet(fd).I64Const(ioBuf).I64Const(1024).I64Const(0).Call(sysPread).LocalSet(n)
+	f.LocalGet(fd).Call(sysClose).Drop()
+	// write(1, buf, n): show the host file on the guest console.
+	f.I64Const(1).I64Const(ioBuf).LocalGet(n).Call(sysWrite).Drop()
+	// fd = open("/data/out.txt", O_CREAT|O_WRONLY|O_TRUNC, 0644); write; close
+	f.I64Const(dstPath).I64Const(0o101 | 0o1000).I64Const(0o644).Call(sysOpen).LocalSet(fd)
+	f.LocalGet(fd).I64Const(ioBuf).LocalGet(n).Call(sysWrite).Drop()
+	f.LocalGet(fd).Call(sysClose).Drop()
+	f.I64Const(0).Call(sysExit).Drop()
+	f.Finish()
+	return b.Build()
+}
+
+func main() {
+	root := flag.String("root", "", "host directory to mount at /data (default: a fresh temp dir)")
+	emit := flag.String("emit", "", "also write the guest module to this .wasm file")
+	flag.Parse()
+
+	// 1. A host directory with an input file.
+	dir := *root
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "gowali-hostfs-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	inputPath := filepath.Join(dir, "input.txt")
+	if _, err := os.Stat(inputPath); err != nil {
+		if err := os.WriteFile(inputPath, []byte("host data, guest syscalls\n"), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// 2. The guest program (optionally emitted as a standalone binary
+	//    for wali-run -dir).
+	built, err := buildGuest()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *emit != "" {
+		if err := os.WriteFile(*emit, wasm.Encode(built), 0o755); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("emitted guest binary: %s\n", *emit)
+	}
+	m, err := gowali.CompileBuilt(built)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Mount the host directory at /data and run.
+	host, err := gowali.NewHostFS(dir, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt, err := gowali.New(gowali.WithMount("/data", host))
+	if err != nil {
+		log.Fatal(err)
+	}
+	status, err := rt.Run(context.Background(), m, []string{"hostfs-demo"}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. The guest's write is a real host file now.
+	out, err := os.ReadFile(filepath.Join(dir, "out.txt"))
+	if err != nil {
+		log.Fatalf("guest output missing on host: %v", err)
+	}
+	fmt.Printf("exit status: %d\n", status)
+	fmt.Printf("guest console: %s", rt.ConsoleOutput())
+	fmt.Printf("host %s: %s", filepath.Join(dir, "out.txt"), out)
+	if string(out) != "host data, guest syscalls\n" {
+		log.Fatal("round trip mismatch")
+	}
+	fmt.Println("round trip ok")
+}

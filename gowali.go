@@ -3,11 +3,13 @@ package gowali
 import (
 	"fmt"
 	"io"
+	"strings"
 	"time"
 
 	"gowali/internal/apps"
 	"gowali/internal/core"
 	"gowali/internal/kernel"
+	"gowali/internal/kernel/vfs"
 	"gowali/internal/wasi"
 	"gowali/internal/wazi"
 )
@@ -20,10 +22,18 @@ type config struct {
 	strict bool
 	hook   func(SyscallEvent)
 	host   Host
+	mounts []mountSpec
 
 	stdin  io.Reader
 	stdout io.Writer
 	stderr io.Writer
+}
+
+// mountSpec is one WithMount request, applied at kernel boot.
+type mountSpec struct {
+	path string
+	b    Backend
+	opts vfs.MountOptions
 }
 
 // Option configures a Runtime under construction; see the With*
@@ -57,6 +67,68 @@ func WithStrict(strict bool) Option { return func(c *config) { c.strict = strict
 // hosts only.
 func WithSyscallHook(fn func(SyscallEvent)) Option {
 	return func(c *config) { c.hook = fn }
+}
+
+// WithMount mounts a filesystem backend at guestPath in the runtime's
+// kernel (WALI-backed hosts only). The mountpoint directory chain is
+// created if missing. Backends come from NewHostFS (a host directory),
+// NewMemFS (a scratch tmpfs) or NewOverlayFS (copy-up writes over a
+// read-only lower layer); anything implementing the vfs Backend
+// interface mounts the same way. Repeat the option for multiple
+// mounts; MountReadOnly() makes one read-only:
+//
+//	host, _ := gowali.NewHostFS("/srv/data", false)
+//	rt, _ := gowali.New(
+//		gowali.WithMount("/data", host),
+//		gowali.WithMount("/scratch", gowali.NewMemFS()),
+//	)
+func WithMount(guestPath string, b Backend, opts ...MountOption) Option {
+	return func(c *config) {
+		spec := mountSpec{path: guestPath, b: b}
+		for _, o := range opts {
+			o(&spec.opts)
+		}
+		c.mounts = append(c.mounts, spec)
+	}
+}
+
+// MountOption configures one WithMount (or Runtime.Mount) call.
+type MountOption func(*vfs.MountOptions)
+
+// MountReadOnly mounts the backend read-only: every mutation through
+// the mount fails with EROFS, whatever the backend itself allows.
+func MountReadOnly() MountOption {
+	return func(o *vfs.MountOptions) { o.ReadOnly = true }
+}
+
+// WithMountSpec parses a CLI-style mount specification of the form
+// "hostdir=/guestpath[:ro]" into a hostfs WithMount option. The cmd/
+// tools' repeatable -dir flags are built on it.
+func WithMountSpec(spec string) (Option, error) {
+	hostDir, guestPath, ro, err := parseMountSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	b, err := NewHostFS(hostDir, ro)
+	if err != nil {
+		return nil, fmt.Errorf("gowali: mount %q: %w", spec, err)
+	}
+	if ro {
+		return WithMount(guestPath, b, MountReadOnly()), nil
+	}
+	return WithMount(guestPath, b), nil
+}
+
+func parseMountSpec(spec string) (hostDir, guestPath string, ro bool, err error) {
+	s := spec
+	if rest, ok := strings.CutSuffix(s, ":ro"); ok {
+		s, ro = rest, true
+	}
+	hostDir, guestPath, ok := strings.Cut(s, "=")
+	if !ok || hostDir == "" || guestPath == "" || !strings.HasPrefix(guestPath, "/") {
+		return "", "", false, fmt.Errorf("gowali: bad mount spec %q (want hostdir=/guestpath[:ro])", spec)
+	}
+	return hostDir, guestPath, ro, nil
 }
 
 // WithStdio connects the guest's standard streams to host streams
@@ -124,6 +196,25 @@ func (h *waliHost) apply(r *Runtime, c *config) error {
 		r.stderrPath = "/dev/host-stderr"
 		k.Mkdev(r.stderrPath, &kernel.StreamDevice{W: c.stderr})
 	}
+	for _, spec := range c.mounts {
+		if err := mountOn(k, spec.path, spec.b, spec.opts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mountOn creates the mountpoint chain and grafts b there.
+func mountOn(k *Kernel, guestPath string, b Backend, opts vfs.MountOptions) error {
+	if b == nil {
+		return fmt.Errorf("gowali: WithMount %s: nil backend", guestPath)
+	}
+	if k.FS.MkdirAll(guestPath, 0o755) == nil {
+		return fmt.Errorf("gowali: WithMount %s: cannot create mountpoint", guestPath)
+	}
+	if errno := k.FS.Mount(guestPath, b, opts); errno != 0 {
+		return fmt.Errorf("gowali: mount %s: %v", guestPath, errno)
+	}
 	return nil
 }
 
@@ -156,6 +247,9 @@ func (waziHost) apply(r *Runtime, c *config) error {
 	}
 	if c.hook != nil {
 		return fmt.Errorf("gowali: WithSyscallHook requires a WALI-backed host")
+	}
+	if len(c.mounts) > 0 {
+		return fmt.Errorf("gowali: WithMount requires a WALI-backed host (the WAZI board has a flat flash filesystem; preload it with InstallBoardFile)")
 	}
 	w := wazi.New()
 	w.Scheme = c.scheme
@@ -245,6 +339,61 @@ func (r *Runtime) WaitAll() {
 	if r.wali != nil {
 		r.wali.WaitAll()
 	}
+}
+
+// Mount grafts a filesystem backend at guestPath on a live runtime
+// (the boot-time form is WithMount). WALI-backed hosts only.
+func (r *Runtime) Mount(guestPath string, b Backend, opts ...MountOption) error {
+	if r.wali == nil {
+		return fmt.Errorf("gowali: Mount requires a WALI-backed host")
+	}
+	var mo vfs.MountOptions
+	for _, o := range opts {
+		o(&mo)
+	}
+	return mountOn(r.wali.Kernel, guestPath, b, mo)
+}
+
+// Unmount detaches the mount at guestPath. Guests holding files open
+// on it keep using the old backend (lazy unmount); fresh path lookups
+// see the underlying directory.
+func (r *Runtime) Unmount(guestPath string) error {
+	if r.wali == nil {
+		return fmt.Errorf("gowali: Unmount requires a WALI-backed host")
+	}
+	if errno := r.wali.Kernel.FS.Unmount(guestPath); errno != 0 {
+		return fmt.Errorf("gowali: unmount %s: %v", guestPath, errno)
+	}
+	return nil
+}
+
+// Mounts lists the runtime kernel's mount table (nil for WAZI).
+func (r *Runtime) Mounts() []MountInfo {
+	if r.wali == nil {
+		return nil
+	}
+	return r.wali.Kernel.FS.Mounts()
+}
+
+// InstallBoardFile preloads a file into a WAZI runtime's flat flash
+// filesystem (the board analogue of a mount: wazi-run's -dir flag maps
+// a host directory in with it). WAZI hosts only.
+func (r *Runtime) InstallBoardFile(name string, data []byte) error {
+	if r.wazi == nil {
+		return fmt.Errorf("gowali: InstallBoardFile requires the WAZI host")
+	}
+	r.wazi.Z.PreloadFile(name, data)
+	return nil
+}
+
+// BoardFiles snapshots a WAZI runtime's flash filesystem (name →
+// contents), e.g. to write guest output back to the host after a run.
+// Nil for WALI-backed hosts.
+func (r *Runtime) BoardFiles() map[string][]byte {
+	if r.wazi == nil {
+		return nil
+	}
+	return r.wazi.Z.FileSnapshot()
 }
 
 // InstallBinary writes a compiled module into the kernel VFS as an

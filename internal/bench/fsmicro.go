@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"gowali/internal/core"
+	"gowali/internal/kernel/vfs"
+	"gowali/internal/linux"
+	"gowali/internal/wasm"
+)
+
+// ---------- VFS backend micro-benchmark ----------
+//
+// The mount-table redesign makes the filesystem behind a path a choice;
+// this harness prices that choice on the hottest file path: a guest
+// loop of open + pread64 + close against each shipped backend. memfs is
+// the baseline (pure in-memory, dentry-cache hit), hostfs adds a host
+// syscall per operation (amortized by the backend's handle cache), and
+// overlayfs adds the layer-resolution logic over a memfs upper.
+
+// FSMicroRow is one backend's measurement.
+type FSMicroRow struct {
+	Backend string
+	Ops     uint64 // total syscalls issued (3 per iteration)
+	Elapsed time.Duration
+	PerOp   time.Duration
+}
+
+// buildOpenPreadModule: loop iters times over open(path, O_RDONLY),
+// pread64(fd, buf, 64, 0), close(fd).
+func buildOpenPreadModule(iters int, path string) *wasm.Module {
+	b := wasm.NewBuilder("fsmicro")
+	sys := map[string]uint32{}
+	for _, s := range []string{"open", "pread64", "close"} {
+		sys[s] = core.ImportSyscall(b, s)
+	}
+	b.Memory(4, 16, false)
+	const (
+		pathBuf = 1024
+		ioBuf   = 4096
+	)
+	b.Data(pathBuf, append([]byte(path), 0))
+	f := b.NewFunc(core.StartExport, nil, nil)
+	fd := f.Local(wasm.I64)
+	i := f.Local(wasm.I32)
+	f.Block()
+	f.Loop()
+	f.LocalGet(i).I32Const(int32(iters)).Op(wasm.OpI32GeU).BrIf(1)
+	f.I64Const(pathBuf).I64Const(int64(linux.O_RDONLY)).I64Const(0).Call(sys["open"]).LocalSet(fd)
+	f.LocalGet(fd).I64Const(ioBuf).I64Const(64).I64Const(0).Call(sys["pread64"]).Drop()
+	f.LocalGet(fd).Call(sys["close"]).Drop()
+	f.LocalGet(i).I32Const(1).Op(wasm.OpI32Add).LocalSet(i)
+	f.Br(0)
+	f.End()
+	f.End()
+	f.Finish()
+	m, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// fsMicroRun boots a kernel, mounts b at /data when non-nil (memfs
+// baseline keeps the root filesystem), seeds /data/probe.dat, and
+// times the guest loop.
+func fsMicroRun(name string, iters int, b vfs.Backend) FSMicroRow {
+	w := core.New()
+	dir := "/tmp"
+	if b != nil {
+		w.Kernel.FS.MkdirAll("/data", 0o755)
+		if errno := w.Kernel.FS.Mount("/data", b, vfs.MountOptions{}); errno != 0 {
+			panic(fmt.Sprintf("fsmicro: mount: %v", errno))
+		}
+		dir = "/data"
+	}
+	path := dir + "/probe.dat"
+	if errno := w.Kernel.FS.WriteFile(path, make([]byte, 4096), 0o644); errno != 0 {
+		panic(fmt.Sprintf("fsmicro: seed: %v", errno))
+	}
+	m := buildOpenPreadModule(iters, path)
+	p, err := w.SpawnModule(m, "fsmicro", []string{"fsmicro"}, nil)
+	if err != nil {
+		panic(err)
+	}
+	start := time.Now()
+	status, runErr := p.Run()
+	el := time.Since(start)
+	w.WaitAll()
+	if runErr != nil || status != 0 {
+		panic(fmt.Sprintf("fsmicro %s: status=%d err=%v", name, status, runErr))
+	}
+	ops := uint64(iters) * 3
+	return FSMicroRow{Backend: name, Ops: ops, Elapsed: el, PerOp: el / time.Duration(ops)}
+}
+
+// FSMicro measures the open/pread64/close loop against memfs, hostfs
+// (over hostDir, which must exist) and overlayfs (read-only hostfs
+// lower, memfs upper; the probe file is copied up, so this prices the
+// layer resolution plus the upper-resident read path).
+func FSMicro(iters int, hostDir string) []FSMicroRow {
+	if iters <= 0 {
+		iters = 2000
+	}
+	rows := []FSMicroRow{fsMicroRun("memfs", iters, nil)}
+	h, err := vfs.NewHostFS(hostDir, false)
+	if err != nil {
+		panic(err)
+	}
+	defer h.Close()
+	rows = append(rows, fsMicroRun("hostfs", iters, h))
+	lower, err := vfs.NewHostFS(hostDir, true)
+	if err != nil {
+		panic(err)
+	}
+	defer lower.Close()
+	rows = append(rows, fsMicroRun("overlayfs", iters, vfs.NewOverlayFS(lower, nil)))
+	return rows
+}
+
+// FormatFSMicro renders the backend comparison with memfs as baseline.
+func FormatFSMicro(rows []FSMicroRow) string {
+	var b strings.Builder
+	base := time.Duration(0)
+	for _, r := range rows {
+		if r.Backend == "memfs" {
+			base = r.PerOp
+		}
+	}
+	fmt.Fprintf(&b, "%-10s %10s %12s %12s %10s\n", "backend", "syscalls", "elapsed", "ns/syscall", "vs memfs")
+	for _, r := range rows {
+		rel := 0.0
+		if base > 0 {
+			rel = float64(r.PerOp) / float64(base)
+		}
+		fmt.Fprintf(&b, "%-10s %10d %12s %12d %9.2fx\n", r.Backend, r.Ops, r.Elapsed, r.PerOp.Nanoseconds(), rel)
+	}
+	return b.String()
+}

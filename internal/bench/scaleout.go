@@ -2,6 +2,8 @@ package bench
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
@@ -9,6 +11,7 @@ import (
 
 	"gowali/internal/core"
 	"gowali/internal/interp"
+	"gowali/internal/kernel/vfs"
 	"gowali/internal/linux"
 	"gowali/internal/wasm"
 )
@@ -39,12 +42,25 @@ type Fig9Point struct {
 // itself perturb the contention being measured.
 const scaleoutCallsPerIter = 11
 
+// scaleoutSharedCalls are the extra per-iteration syscalls when guests
+// also read the shared read-only image: open+pread64+close.
+const scaleoutSharedCalls = 3
+
+// sharedImagePath is where the shared read-only hostfs image is
+// mounted and the file every guest re-reads each iteration.
+const (
+	sharedImageMount = "/img"
+	sharedImageFile  = "/img/shared.dat"
+)
+
 // buildScaleoutModule assembles the guest: it copies argv[1] (its
 // private file path) into memory, then loops iters times over the
 // syscall mix. Guests touch disjoint files, futex words and pipes, so
 // any cross-guest serialization observed is kernel-lock contention, not
-// workload sharing.
-func buildScaleoutModule(iters int) *wasm.Module {
+// workload sharing. With shared set, each iteration additionally
+// open+pread64+closes the shared read-only image file — the one point
+// of deliberate cross-guest sharing.
+func buildScaleoutModule(iters int, shared bool) *wasm.Module {
 	b := wasm.NewBuilder("scaleout")
 	sys := map[string]uint32{}
 	for _, s := range []string{"open", "write", "pread64", "close", "futex", "pipe2", "read"} {
@@ -57,11 +73,15 @@ func buildScaleoutModule(iters int) *wasm.Module {
 	b.Memory(16, 64, false)
 
 	const (
-		pathBuf = 1024 // argv[1]: this guest's private file path
-		ioBuf   = 4096 // 64-byte read/write payload
-		futexWd = 8192 // private futex word (stays 0)
-		pipeFds = 8256 // int32[2] from pipe2
+		pathBuf   = 1024 // argv[1]: this guest's private file path
+		sharedBuf = 2048 // NUL-terminated shared image path
+		ioBuf     = 4096 // 64-byte read/write payload
+		futexWd   = 8192 // private futex word (stays 0)
+		pipeFds   = 8256 // int32[2] from pipe2
 	)
+	if shared {
+		b.Data(sharedBuf, append([]byte(sharedImageFile), 0))
+	}
 
 	f := b.NewFunc(core.StartExport, nil, nil)
 	fd := f.Local(wasm.I64)
@@ -101,6 +121,14 @@ func buildScaleoutModule(iters int) *wasm.Module {
 	f.I32Const(pipeFds+4).Load(wasm.OpI32Load, 0).Op(wasm.OpI64ExtendI32U).Call(sys["close"]).Drop()
 	f.I32Const(pipeFds).Load(wasm.OpI32Load, 0).Op(wasm.OpI64ExtendI32U).Call(sys["close"]).Drop()
 
+	if shared {
+		// fd = open(shared, O_RDONLY); pread64(fd, ioBuf, 64, 0); close(fd)
+		f.I64Const(sharedBuf).I64Const(int64(linux.O_RDONLY)).I64Const(0)
+		f.Call(sys["open"]).LocalSet(fd)
+		f.LocalGet(fd).I64Const(ioBuf).I64Const(64).I64Const(0).Call(sys["pread64"]).Drop()
+		f.LocalGet(fd).Call(sys["close"]).Drop()
+	}
+
 	f.LocalGet(i).I32Const(1).Op(wasm.OpI32Add).LocalSet(i)
 	f.Br(0)
 	f.End()
@@ -134,29 +162,91 @@ func DefaultScaleoutGuests() []int {
 	return out
 }
 
+// ScaleoutConfig parameterizes the scale-out run's filesystem backing.
+type ScaleoutConfig struct {
+	Iters  int
+	Guests []int
+	// WorkDir, when non-empty, is a host directory mounted read-write
+	// at /data; guest working files live there instead of the memfs
+	// /tmp — the hostfs-backed variant of the curve.
+	WorkDir string
+	// SharedDir, when non-empty, is a host directory mounted read-only
+	// at /img holding one shared image file (created if missing) that
+	// every guest additionally open+pread64+closes each iteration —
+	// the Fig9 fleet sharing one read-only hostfs application image.
+	SharedDir string
+}
+
 // Fig9Scaleout measures aggregate syscall throughput at each guest
 // count. Each run boots a fresh kernel, pre-compiles the guest module
 // once (the cached-module spawn path), instantiates N guests with
 // disjoint working files, then releases them concurrently and times the
 // whole batch.
 func Fig9Scaleout(iters int, guests []int) []Fig9Point {
+	return Fig9ScaleoutCfg(ScaleoutConfig{Iters: iters, Guests: guests})
+}
+
+// Fig9ScaleoutCfg is Fig9Scaleout with configurable filesystem backing
+// (memfs by default; hostfs working files and/or a shared read-only
+// hostfs image via ScaleoutConfig).
+func Fig9ScaleoutCfg(cfg ScaleoutConfig) []Fig9Point {
+	iters := cfg.Iters
 	if iters <= 0 {
 		iters = 200
 	}
+	guests := cfg.Guests
 	if len(guests) == 0 {
 		guests = DefaultScaleoutGuests()
 	}
-	m := buildScaleoutModule(iters)
+	shared := cfg.SharedDir != ""
+	if shared {
+		p := filepath.Join(cfg.SharedDir, "shared.dat")
+		if _, err := os.Stat(p); err != nil {
+			if err := os.WriteFile(p, make([]byte, 4096), 0o644); err != nil {
+				panic(err)
+			}
+		}
+	}
+	m := buildScaleoutModule(iters, shared)
 	c, err := interp.Compile(m)
 	if err != nil {
 		panic(err)
 	}
+	callsPerIter := uint64(scaleoutCallsPerIter)
+	if shared {
+		callsPerIter += scaleoutSharedCalls
+	}
+	workPrefix := "/tmp"
 	var pts []Fig9Point
 	for _, n := range guests {
 		w := core.New()
+		var backends []*vfs.HostFS // closed after the run (root + handle fds)
+		if cfg.WorkDir != "" {
+			h, err := vfs.NewHostFS(cfg.WorkDir, false)
+			if err != nil {
+				panic(err)
+			}
+			backends = append(backends, h)
+			w.Kernel.FS.MkdirAll("/data", 0o755)
+			if errno := w.Kernel.FS.Mount("/data", h, vfs.MountOptions{}); errno != 0 {
+				panic(fmt.Sprintf("fig9: mount workdir: %v", errno))
+			}
+			workPrefix = "/data"
+		}
+		if shared {
+			h, err := vfs.NewHostFS(cfg.SharedDir, true)
+			if err != nil {
+				panic(err)
+			}
+			backends = append(backends, h)
+			w.Kernel.FS.MkdirAll(sharedImageMount, 0o755)
+			if errno := w.Kernel.FS.Mount(sharedImageMount, h, vfs.MountOptions{ReadOnly: true}); errno != 0 {
+				panic(fmt.Sprintf("fig9: mount shared image: %v", errno))
+			}
+		}
 		ps := make([]*core.Process, n)
 		for i := range ps {
-			argv := []string{"scaleout", fmt.Sprintf("/tmp/scaleout-%d.dat", i)}
+			argv := []string{"scaleout", fmt.Sprintf("%s/scaleout-%d.dat", workPrefix, i)}
 			p, err := w.SpawnCompiled(c, "scaleout", argv, nil)
 			if err != nil {
 				panic(err)
@@ -175,7 +265,10 @@ func Fig9Scaleout(iters int, guests []int) []Fig9Point {
 				panic(fmt.Sprintf("fig9 scaleout: status=%d err=%v", status, err))
 			}
 		}
-		total := uint64(n) * uint64(iters) * scaleoutCallsPerIter
+		for _, h := range backends {
+			h.Close()
+		}
+		total := uint64(n) * uint64(iters) * callsPerIter
 		pts = append(pts, Fig9Point{
 			Guests:   n,
 			Syscalls: total,

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+
+	"gowali/internal/kernel/vfs"
+)
+
+// mountHostfsAt mounts a writable hostfs over a temp host dir at /data.
+func mountHostfsAt(t *testing.T, w *WALI) *vfs.HostFS {
+	t.Helper()
+	h, err := vfs.NewHostFS(t.TempDir(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { h.Close() })
+	if w.Kernel.FS.MkdirAll("/data", 0o755) == nil {
+		t.Fatal("mkdir /data")
+	}
+	if errno := w.Kernel.FS.Mount("/data", h, vfs.MountOptions{}); errno != 0 {
+		t.Fatalf("mount: %v", errno)
+	}
+	return h
+}
+
+// TestLoadModuleCacheOnHostFS: the execve module cache keys by inode
+// identity and validates by (size, mtime) — both must hold for
+// binaries installed on a hostfs mount, where the inode is a proxy and
+// the metadata comes from the real host file.
+func TestLoadModuleCacheOnHostFS(t *testing.T) {
+	tb := newApp("exit")
+	tf := tb.NewFunc(StartExport, nil, nil)
+	tb.call(tf, "exit", 0)
+	tf.Drop()
+	tf.Finish()
+	m, err := tb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := New()
+	mountHostfsAt(t, w)
+	if err := w.InstallBinary("/data/a.wasm", m); err != nil {
+		t.Fatal(err)
+	}
+	c1, err := w.loadModule("/data/a.wasm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := w.loadModule("/data/a.wasm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Fatal("repeated exec of an unchanged hostfs binary re-translated the module")
+	}
+	// Rewriting the binary (through the mount) must miss the cache.
+	tb2 := newApp("exit")
+	tb2.Data(4096, []byte("pad so the image differs in size"))
+	tf2 := tb2.NewFunc(StartExport, nil, nil)
+	tb2.call(tf2, "exit", 0)
+	tf2.Drop()
+	tf2.Finish()
+	m2, err := tb2.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.InstallBinary("/data/a.wasm", m2); err != nil {
+		t.Fatal(err)
+	}
+	c3, err := w.loadModule("/data/a.wasm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c3 == c1 {
+		t.Fatal("stale translation served after the hostfs binary was rewritten")
+	}
+}
+
+// TestExecveFromHostFS: the full execve path — launcher execs a binary
+// that lives on a hostfs mount.
+func TestExecveFromHostFS(t *testing.T) {
+	target := newApp("write", "exit")
+	target.Data(1024, []byte("hostexec"))
+	f := target.NewFunc(StartExport, nil, nil)
+	target.call(f, "write", 1, 1024, 8)
+	f.Drop()
+	target.call(f, "exit", 7)
+	f.Drop()
+	f.Finish()
+	tm, err := target.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lb := newApp("execve", "exit")
+	lb.Data(1024, []byte("/data/target.wasm\x00"))
+	lf := lb.NewFunc(StartExport, nil, nil)
+	lb.call(lf, "execve", 1024, 0, 0)
+	lf.Drop()
+	lb.call(lf, "exit", 9) // only reached if execve failed
+	lf.Drop()
+	lf.Finish()
+	launcher, err := lb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w := New()
+	mountHostfsAt(t, w)
+	if err := w.InstallBinary("/data/target.wasm", tm); err != nil {
+		t.Fatal(err)
+	}
+	p, err := w.SpawnModule(launcher, "launcher", []string{"launcher"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, runErr := p.Run()
+	w.WaitAll()
+	if runErr != nil || status != 7 {
+		t.Fatalf("execve from hostfs: status=%d err=%v", status, runErr)
+	}
+	if got := string(w.Console().Output()); got != "hostexec" {
+		t.Fatalf("output = %q", got)
+	}
+}

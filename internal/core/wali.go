@@ -210,12 +210,19 @@ func (w *WALI) loadModule(path string) (*interp.Compiled, error) {
 		return nil, fmt.Errorf("exec %s: %v", path, linux.ENOENT)
 	}
 	st := r.Node.Stat()
-	w.modMu.Lock()
-	if ent, ok := w.modCache[r.Node]; ok && ent.size == st.Size && ent.mtime == st.Mtime {
+	// The cache is keyed by inode identity, so it works on any mount
+	// whose backend keeps a path's inode stable across lookups (memfs,
+	// hostfs and overlayfs all do); (size, mtime) validation catches
+	// rewrites, including ones made on the host side of a hostfs mount.
+	cacheable := r.Node.StableIno()
+	if cacheable {
+		w.modMu.Lock()
+		if ent, ok := w.modCache[r.Node]; ok && ent.size == st.Size && ent.mtime == st.Mtime {
+			w.modMu.Unlock()
+			return ent.c, nil
+		}
 		w.modMu.Unlock()
-		return ent.c, nil
 	}
-	w.modMu.Unlock()
 
 	size := r.Node.Size()
 	buf := make([]byte, size)
@@ -232,6 +239,9 @@ func (w *WALI) loadModule(path string) (*interp.Compiled, error) {
 	c, err := interp.Compile(m)
 	if err != nil {
 		return nil, fmt.Errorf("exec %s: %w (%v)", path, err, linux.ENOEXEC)
+	}
+	if !cacheable {
+		return c, nil
 	}
 	w.modMu.Lock()
 	if w.modCache == nil {

@@ -77,6 +77,9 @@ func (p *Process) OpenAt(dirfd int32, path string, flags int32, mode uint32) (in
 	if ino.IsDir() && flags&linux.O_ACCMODE != linux.O_RDONLY {
 		return -1, linux.EISDIR
 	}
+	if ino.ReadOnly() && (flags&linux.O_ACCMODE != linux.O_RDONLY || flags&linux.O_TRUNC != 0) {
+		return -1, linux.EROFS // write access on a read-only mount
+	}
 
 	fullPath := path
 	if !strings.HasPrefix(path, "/") {
@@ -86,6 +89,11 @@ func (p *Process) OpenAt(dirfd int32, path string, flags int32, mode uint32) (in
 	var file File
 	switch ino.Type() {
 	case linux.S_IFCHR:
+		if ino.Device() == nil {
+			// A device node with no driver attached (e.g. a host
+			// device file seen through a hostfs mount).
+			return -1, linux.ENXIO
+		}
 		file = newDevFile(ino, flags)
 	case linux.S_IFIFO:
 		// Opening a FIFO: read end or write end by access mode.
@@ -606,7 +614,7 @@ func (p *Process) StatfsPath(path string) (Statfs, linux.Errno) {
 		return Statfs{}, linux.ENOENT
 	}
 	return Statfs{
-		Type:    0x01021994, // TMPFS_MAGIC
+		Type:    p.K.FS.MagicFor(r.Node), // per-mount f_type (tmpfs default)
 		Bsize:   4096,
 		Blocks:  1 << 20,
 		Bfree:   1 << 19,

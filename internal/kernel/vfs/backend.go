@@ -1,0 +1,162 @@
+package vfs
+
+import (
+	"errors"
+	"io/fs"
+	"syscall"
+
+	"gowali/internal/linux"
+)
+
+// Backend is a mountable filesystem implementation. The VFS core owns
+// path resolution, the dentry cache and the inode table; a backend only
+// answers operations on mount-relative paths. Paths handed to a backend
+// are already normalized: slash-separated, no leading slash, and no "."
+// or ".." components ("" names the backend root). The VFS resolves
+// symlinks itself — a backend reports S_IFLNK nodes and is never asked
+// to walk through one.
+//
+// Three backends ship: MemFS (the in-memory tree, the default root
+// filesystem), HostFS (passthrough to a host directory) and OverlayFS
+// (copy-up writes over a read-only lower). Implementations must be safe
+// for concurrent use; the VFS serializes namespace mutations per parent
+// directory but issues reads concurrently.
+type Backend interface {
+	// Caps reports immutable backend capabilities.
+	Caps() Caps
+	// Lookup resolves name within the directory dir ("" = root),
+	// returning ENOENT when absent.
+	Lookup(dir, name string) (NodeInfo, linux.Errno)
+	// Stat describes the node at rel ("" = root).
+	Stat(rel string) (NodeInfo, linux.Errno)
+	// ReadDir lists a directory. Entry Ino values are advisory; the VFS
+	// substitutes its per-mount inode numbers.
+	ReadDir(rel string) ([]DirEntry, linux.Errno)
+	// ReadAt reads file content (0 at EOF, like Inode.ReadAt).
+	ReadAt(rel string, b []byte, off int64) (int, linux.Errno)
+	// WriteAt writes file content, growing the file as needed.
+	WriteAt(rel string, b []byte, off int64) (int, linux.Errno)
+	// Truncate resizes a regular file.
+	Truncate(rel string, size int64) linux.Errno
+	// Create makes a new regular file (exclusive: EEXIST if present).
+	Create(rel string, perm uint32) linux.Errno
+	// Mkdir makes a new directory.
+	Mkdir(rel string, perm uint32) linux.Errno
+	// Unlink removes a file (dir=false) or empty directory (dir=true,
+	// ENOTEMPTY otherwise).
+	Unlink(rel string, dir bool) linux.Errno
+	// Rename moves oldRel to newRel within the backend, replacing a
+	// compatible target. Cross-mount renames never reach a backend —
+	// the VFS returns EXDEV first.
+	Rename(oldRel, newRel string) linux.Errno
+}
+
+// SymlinkBackend is implemented by backends that support symbolic
+// links. Backends without it reject symlink creation with EPERM and
+// present any existing links as unreadable (empty target).
+type SymlinkBackend interface {
+	Symlink(rel, target string) linux.Errno
+	Readlink(rel string) (string, linux.Errno)
+}
+
+// Caps describes backend capabilities. The VFS consults them when
+// mounting (ReadOnly forces a read-only mount) and when deciding what
+// it may cache against an inode's identity.
+type Caps struct {
+	// ReadOnly backends reject every mutation; the mount is forced
+	// read-only and the VFS reports EROFS before calling in.
+	ReadOnly bool
+	// StableInos means a path keeps the same identity across lookups
+	// while mounted, so per-inode caches (the execve module cache,
+	// open file handles) remain valid between walks.
+	StableInos bool
+	// Magic is the statfs f_type this backend reports (0 = TMPFS).
+	Magic int64
+}
+
+// NodeInfo describes one backend node, the backend half of a stat.
+type NodeInfo struct {
+	Mode  uint32 // type (S_IFMT) and permission bits
+	Size  int64
+	Nlink uint32
+	Atime linux.Timespec
+	Mtime linux.Timespec
+	Ctime linux.Timespec
+}
+
+// Filesystem magic numbers reported through statfs (Linux values).
+const (
+	MagicTmpfs   = 0x01021994
+	MagicOverlay = 0x794c7630
+	MagicHostfs  = 0x958458f6 // HUGETLBFS repurposed: "host-backed"
+)
+
+// errnoFromHost maps a host filesystem error onto the simulated
+// kernel's errno space.
+func errnoFromHost(err error) linux.Errno {
+	if err == nil {
+		return 0
+	}
+	var sys syscall.Errno
+	if errors.As(err, &sys) {
+		switch sys {
+		case syscall.ENOENT:
+			return linux.ENOENT
+		case syscall.EEXIST:
+			return linux.EEXIST
+		case syscall.EACCES, syscall.EPERM:
+			return linux.EACCES
+		case syscall.ENOTDIR:
+			return linux.ENOTDIR
+		case syscall.EISDIR:
+			return linux.EISDIR
+		case syscall.ENOTEMPTY:
+			return linux.ENOTEMPTY
+		case syscall.EXDEV:
+			return linux.EXDEV
+		case syscall.EROFS:
+			return linux.EROFS
+		case syscall.ENOSPC:
+			return linux.ENOSPC
+		case syscall.EINVAL:
+			return linux.EINVAL
+		case syscall.ELOOP:
+			return linux.ELOOP
+		case syscall.ENAMETOOLONG:
+			return linux.ENAMETOOLONG
+		}
+	}
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		return linux.ENOENT
+	case errors.Is(err, fs.ErrExist):
+		return linux.EEXIST
+	case errors.Is(err, fs.ErrPermission):
+		return linux.EACCES
+	}
+	return linux.EIO
+}
+
+// infoFromMode builds the minimal NodeInfo a readdir-driven node
+// materialization needs (type bits only; Stat refreshes the rest).
+func infoFromMode(mode uint32) NodeInfo { return NodeInfo{Mode: mode} }
+
+// modeFromDT converts a DT_* directory-entry type to S_IFMT bits
+// (0 when unknown — the caller falls back to a Lookup).
+func modeFromDT(dt byte) uint32 {
+	switch dt {
+	case linux.DT_DIR:
+		return linux.S_IFDIR | 0o755
+	case linux.DT_REG:
+		return linux.S_IFREG | 0o644
+	case linux.DT_LNK:
+		return linux.S_IFLNK | 0o777
+	case linux.DT_CHR:
+		return linux.S_IFCHR | 0o666
+	case linux.DT_FIFO:
+		return linux.S_IFIFO | 0o644
+	case linux.DT_SOCK:
+		return linux.S_IFSOCK | 0o644
+	}
+	return 0
+}

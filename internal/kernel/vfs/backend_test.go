@@ -1,0 +1,535 @@
+package vfs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gowali/internal/linux"
+)
+
+// Differential suite: the namespace stress tests of stress_test.go run
+// identically against every shipped backend, mounted at /mnt of a
+// fresh FS — memfs natively grafted, hostfs over a temp host dir, and
+// overlayfs (memfs-seeded read-only lower, in-memory upper).
+
+type backendCase struct {
+	name string
+	make func(t *testing.T) Backend
+}
+
+func backendCases() []backendCase {
+	return []backendCase{
+		{"memfs", func(t *testing.T) Backend { return NewMemFS(nil) }},
+		{"hostfs", func(t *testing.T) Backend {
+			h, err := NewHostFS(t.TempDir(), false)
+			if err != nil {
+				t.Fatalf("hostfs: %v", err)
+			}
+			t.Cleanup(func() { h.Close() })
+			return h
+		}},
+		{"overlayfs", func(t *testing.T) Backend {
+			lower := NewMemFS(nil)
+			lower.Mkdir("seed", 0o755)
+			lower.Create("seed/base.txt", 0o644)
+			lower.WriteAt("seed/base.txt", []byte("lower"), 0)
+			return NewOverlayFS(lower, nil)
+		}},
+	}
+}
+
+// mountAt builds a fresh FS with backend b mounted at /mnt.
+func mountAt(t *testing.T, b Backend, opts MountOptions) *FS {
+	t.Helper()
+	fs := New(nil)
+	if fs.MkdirAll("/mnt", 0o755) == nil {
+		t.Fatal("mkdir /mnt")
+	}
+	if errno := fs.Mount("/mnt", b, opts); errno != 0 {
+		t.Fatalf("mount: %v", errno)
+	}
+	return fs
+}
+
+func TestBackendDifferential(t *testing.T) {
+	suites := []struct {
+		name string
+		run  func(*testing.T, *FS, string)
+	}{
+		{"NamespaceStress", runParallelNamespaceStress},
+		{"DirRenameCycle", runParallelDirRenameCycle},
+		{"RenameAncestorTarget", runRenameAncestorTargetNoDeadlock},
+		{"CreateIntoRemovedDir", runCreateIntoRemovedDir},
+		{"DentryCacheCoherence", runDentryCacheCoherence},
+	}
+	for _, bc := range backendCases() {
+		for _, s := range suites {
+			t.Run(bc.name+"/"+s.name, func(t *testing.T) {
+				fs := mountAt(t, bc.make(t), MountOptions{})
+				s.run(t, fs, "/mnt")
+			})
+		}
+	}
+}
+
+// TestBackendFileIO: the basic data path (create, write, pread, stat,
+// truncate, readdir, unlink) behaves identically across backends.
+func TestBackendFileIO(t *testing.T) {
+	for _, bc := range backendCases() {
+		t.Run(bc.name, func(t *testing.T) {
+			fs := mountAt(t, bc.make(t), MountOptions{})
+			if errno := fs.WriteFile("/mnt/f.txt", []byte("hello backend"), 0o644); errno != 0 {
+				t.Fatalf("write: %v", errno)
+			}
+			r, errno := fs.Walk("/", "/mnt/f.txt", true)
+			if errno != 0 || r.Node == nil {
+				t.Fatalf("walk: %v", errno)
+			}
+			if got := r.Node.Size(); got != 13 {
+				t.Fatalf("size %d, want 13", got)
+			}
+			st := r.Node.Stat()
+			if st.Mode&linux.S_IFMT != linux.S_IFREG {
+				t.Fatalf("mode %o", st.Mode)
+			}
+			buf := make([]byte, 5)
+			if n, errno := r.Node.ReadAt(buf, 6); errno != 0 || string(buf[:n]) != "backe" {
+				t.Fatalf("pread: %q %v", buf[:n], errno)
+			}
+			// Walking again must yield the same inode (stable identity).
+			r2, _ := fs.Walk("/", "/mnt/f.txt", true)
+			if r2.Node != r.Node {
+				t.Fatal("inode identity not stable across walks")
+			}
+			if errno := r.Node.Truncate(5); errno != 0 {
+				t.Fatalf("truncate: %v", errno)
+			}
+			if got := r.Node.Size(); got != 5 {
+				t.Fatalf("size after truncate %d", got)
+			}
+			fs.MkdirAll("/mnt/sub", 0o755)
+			dr, _ := fs.Walk("/", "/mnt", true)
+			var names []string
+			for _, e := range dr.Node.List() {
+				names = append(names, e.Name)
+			}
+			want := map[string]bool{"f.txt": true, "sub": true}
+			for _, n := range names {
+				delete(want, n)
+			}
+			if len(want) != 0 {
+				t.Fatalf("readdir missing %v (got %v)", want, names)
+			}
+			if errno := fs.Unlink("/", "/mnt/f.txt", false); errno != 0 {
+				t.Fatalf("unlink: %v", errno)
+			}
+			if r, _ := fs.Walk("/", "/mnt/f.txt", true); r.Node != nil {
+				t.Fatal("unlinked file still resolves")
+			}
+		})
+	}
+}
+
+// TestCrossMountRenameEXDEV: renames and hard links never cross a
+// mount boundary.
+func TestCrossMountRenameEXDEV(t *testing.T) {
+	for _, bc := range backendCases() {
+		t.Run(bc.name, func(t *testing.T) {
+			fs := mountAt(t, bc.make(t), MountOptions{})
+			fs.WriteFile("/mnt/a.txt", []byte("x"), 0o644)
+			fs.WriteFile("/rootfile", []byte("y"), 0o644)
+			if errno := fs.Rename("/", "/mnt/a.txt", "/a.txt"); errno != linux.EXDEV {
+				t.Fatalf("rename mount->root: got %v, want EXDEV", errno)
+			}
+			if errno := fs.Rename("/", "/rootfile", "/mnt/rootfile"); errno != linux.EXDEV {
+				t.Fatalf("rename root->mount: got %v, want EXDEV", errno)
+			}
+			if errno := fs.Link("/", "/mnt/a.txt", "/a.txt"); errno != linux.EXDEV {
+				t.Fatalf("link across mounts: got %v, want EXDEV", errno)
+			}
+		})
+	}
+}
+
+// TestReadOnlyMountEROFS: every mutation through a read-only mount
+// fails with EROFS while reads keep working — for both a read-only
+// backend (hostfs ro) and a read-only mount of a writable backend.
+func TestReadOnlyMountEROFS(t *testing.T) {
+	cases := []struct {
+		name string
+		make func(t *testing.T) (Backend, MountOptions)
+	}{
+		{"hostfs-ro-backend", func(t *testing.T) (Backend, MountOptions) {
+			dir := t.TempDir()
+			os.WriteFile(filepath.Join(dir, "ro.txt"), []byte("stay"), 0o644)
+			h, err := NewHostFS(dir, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { h.Close() })
+			return h, MountOptions{}
+		}},
+		{"memfs-ro-mount", func(t *testing.T) (Backend, MountOptions) {
+			m := NewMemFS(nil)
+			m.Create("ro.txt", 0o644)
+			m.WriteAt("ro.txt", []byte("stay"), 0)
+			return m, MountOptions{ReadOnly: true}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b, opts := tc.make(t)
+			fs := mountAt(t, b, opts)
+			r, errno := fs.Walk("/", "/mnt/ro.txt", true)
+			if errno != 0 || r.Node == nil {
+				t.Fatalf("walk ro file: %v", errno)
+			}
+			buf := make([]byte, 4)
+			if n, errno := r.Node.ReadAt(buf, 0); errno != 0 || string(buf[:n]) != "stay" {
+				t.Fatalf("read on ro mount: %q %v", buf[:n], errno)
+			}
+			if _, errno := r.Node.WriteAt([]byte("z"), 0); errno != linux.EROFS {
+				t.Fatalf("write: got %v, want EROFS", errno)
+			}
+			if errno := r.Node.Truncate(0); errno != linux.EROFS {
+				t.Fatalf("truncate: got %v, want EROFS", errno)
+			}
+			if _, errno := fs.Create("/", "/mnt/new", linux.S_IFREG|0o644, 0, 0, true); errno != linux.EROFS {
+				t.Fatalf("create: got %v, want EROFS", errno)
+			}
+			if _, errno := fs.Mkdir("/", "/mnt/newdir", 0o755, 0, 0); errno != linux.EROFS {
+				t.Fatalf("mkdir: got %v, want EROFS", errno)
+			}
+			if errno := fs.Unlink("/", "/mnt/ro.txt", false); errno != linux.EROFS {
+				t.Fatalf("unlink: got %v, want EROFS", errno)
+			}
+			if errno := fs.Rename("/", "/mnt/ro.txt", "/mnt/moved"); errno != linux.EROFS {
+				t.Fatalf("rename: got %v, want EROFS", errno)
+			}
+			// Reads still fine after the failed mutations.
+			if n, errno := r.Node.ReadAt(buf, 0); errno != 0 || string(buf[:n]) != "stay" {
+				t.Fatalf("read after EROFS storm: %q %v", buf[:n], errno)
+			}
+		})
+	}
+}
+
+// TestOverlayCopyUp: writes through an overlay land in the upper layer
+// and never touch the lower backend; deletions whiteout lower entries;
+// a fresh directory over a deleted one hides the old contents.
+func TestOverlayCopyUp(t *testing.T) {
+	lower := NewMemFS(nil)
+	lower.Mkdir("dir", 0o755)
+	lower.Create("dir/keep.txt", 0o644)
+	lower.WriteAt("dir/keep.txt", []byte("keep"), 0)
+	lower.Create("dir/edit.txt", 0o644)
+	lower.WriteAt("dir/edit.txt", []byte("original"), 0)
+	lower.Create("dir/gone.txt", 0o644)
+
+	upper := NewMemFS(nil)
+	fs := mountAt(t, NewOverlayFS(lower, upper), MountOptions{})
+
+	// Copy-up write: merged view changes, lower stays pristine.
+	r, errno := fs.Walk("/", "/mnt/dir/edit.txt", true)
+	if errno != 0 || r.Node == nil {
+		t.Fatalf("walk: %v", errno)
+	}
+	preIno := r.Node.Ino
+	if _, errno := r.Node.WriteAt([]byte("REWRITE!"), 0); errno != 0 {
+		t.Fatalf("copy-up write: %v", errno)
+	}
+	buf := make([]byte, 16)
+	n, _ := r.Node.ReadAt(buf, 0)
+	if string(buf[:n]) != "REWRITE!" {
+		t.Fatalf("merged read %q", buf[:n])
+	}
+	ln := make([]byte, 16)
+	cnt, errno := lower.ReadAt("dir/edit.txt", ln, 0)
+	if errno != 0 || string(ln[:cnt]) != "original" {
+		t.Fatalf("lower mutated: %q %v", ln[:cnt], errno)
+	}
+	// Copy-up preserves the VFS inode (open fds stay valid) — the
+	// dentry cache must not serve a stale pre-copy-up identity either.
+	r2, _ := fs.Walk("/", "/mnt/dir/edit.txt", true)
+	if r2.Node == nil || r2.Node.Ino != preIno {
+		t.Fatal("copy-up changed the inode identity")
+	}
+
+	// Partial copy-up: writing a slice preserves the untouched bytes.
+	r3, _ := fs.Walk("/", "/mnt/dir/keep.txt", true)
+	if _, errno := r3.Node.WriteAt([]byte("K"), 0); errno != 0 {
+		t.Fatalf("partial write: %v", errno)
+	}
+	n, _ = r3.Node.ReadAt(buf, 0)
+	if string(buf[:n]) != "Keep" {
+		t.Fatalf("partial copy-up read %q, want Keep", buf[:n])
+	}
+
+	// Whiteout: unlink of a lower-only file hides it; lower keeps it.
+	if errno := fs.Unlink("/", "/mnt/dir/gone.txt", false); errno != 0 {
+		t.Fatalf("unlink lower: %v", errno)
+	}
+	if r, _ := fs.Walk("/", "/mnt/dir/gone.txt", true); r.Node != nil {
+		t.Fatal("whiteout ineffective")
+	}
+	if _, errno := lower.Stat("dir/gone.txt"); errno != 0 {
+		t.Fatal("lower lost the whiteout'd file")
+	}
+	// Readdir merge reflects the whiteout.
+	dr, _ := fs.Walk("/", "/mnt/dir", true)
+	for _, e := range dr.Node.List() {
+		if e.Name == "gone.txt" {
+			t.Fatal("whiteout'd entry still listed")
+		}
+	}
+
+	// Re-created file over a whiteout is upper-only and independent.
+	if errno := fs.WriteFile("/mnt/dir/gone.txt", []byte("new life"), 0o644); errno != 0 {
+		t.Fatalf("recreate over whiteout: %v", errno)
+	}
+	r4, _ := fs.Walk("/", "/mnt/dir/gone.txt", true)
+	n, _ = r4.Node.ReadAt(buf, 0)
+	if string(buf[:n]) != "new life" {
+		t.Fatalf("recreated read %q", buf[:n])
+	}
+
+	// Opaque dir: rmdir an (emptied) lower dir, recreate, and the old
+	// lower contents must not show through.
+	lower.Mkdir("od", 0o755)
+	lower.Create("od/ghost.txt", 0o644)
+	// Fresh overlay so /mnt2/od is visible with its lower content.
+	fs2 := New(nil)
+	fs2.MkdirAll("/mnt2", 0o755)
+	if errno := fs2.Mount("/mnt2", NewOverlayFS(lower, nil), MountOptions{}); errno != 0 {
+		t.Fatalf("mount2: %v", errno)
+	}
+	if errno := fs2.Unlink("/", "/mnt2/od/ghost.txt", false); errno != 0 {
+		t.Fatalf("unlink ghost: %v", errno)
+	}
+	if errno := fs2.Unlink("/", "/mnt2/od", true); errno != 0 {
+		t.Fatalf("rmdir od: %v", errno)
+	}
+	if _, errno := fs2.Mkdir("/", "/mnt2/od", 0o755, 0, 0); errno != 0 {
+		t.Fatalf("recreate od: %v", errno)
+	}
+	od, _ := fs2.Walk("/", "/mnt2/od", true)
+	if ents := od.Node.List(); len(ents) != 0 {
+		t.Fatalf("opaque dir leaks lower contents: %v", ents)
+	}
+}
+
+// TestOverlayDirRenameEXDEV: renaming a lower-visible directory
+// through an overlay reports EXDEV (no redirect_dir), while an
+// upper-only directory renames fine.
+func TestOverlayDirRenameEXDEV(t *testing.T) {
+	lower := NewMemFS(nil)
+	lower.Mkdir("ldir", 0o755)
+	fs := mountAt(t, NewOverlayFS(lower, nil), MountOptions{})
+	if errno := fs.Rename("/", "/mnt/ldir", "/mnt/moved"); errno != linux.EXDEV {
+		t.Fatalf("lower dir rename: got %v, want EXDEV", errno)
+	}
+	fs.MkdirAll("/mnt/udir", 0o755)
+	if errno := fs.Rename("/", "/mnt/udir", "/mnt/urenamed"); errno != 0 {
+		t.Fatalf("upper dir rename: %v", errno)
+	}
+	if r, _ := fs.Walk("/", "/mnt/urenamed", true); r.Node == nil {
+		t.Fatal("upper dir rename lost the directory")
+	}
+}
+
+// TestOverlayRenameOverNonEmptyDir: renaming over a directory whose
+// merged view is non-empty (lower entries showing through an empty
+// upper target) must fail with ENOTEMPTY, not leak the lower contents
+// into the renamed directory.
+func TestOverlayRenameOverNonEmptyDir(t *testing.T) {
+	lower := NewMemFS(nil)
+	lower.Mkdir("full", 0o755)
+	lower.Create("full/child.txt", 0o644)
+	fs := mountAt(t, NewOverlayFS(lower, nil), MountOptions{})
+	fs.MkdirAll("/mnt/src", 0o755) // upper-only, freely renamable
+	if errno := fs.Rename("/", "/mnt/src", "/mnt/full"); errno != linux.ENOTEMPTY {
+		t.Fatalf("rename over merged-non-empty dir: got %v, want ENOTEMPTY", errno)
+	}
+	// Empty the target through the overlay; then the rename succeeds
+	// and the renamed directory is empty (no lower leak-through).
+	if errno := fs.Unlink("/", "/mnt/full/child.txt", false); errno != 0 {
+		t.Fatalf("whiteout child: %v", errno)
+	}
+	if errno := fs.Rename("/", "/mnt/src", "/mnt/full"); errno != 0 {
+		t.Fatalf("rename over emptied dir: %v", errno)
+	}
+	r, _ := fs.Walk("/", "/mnt/full", true)
+	if r.Node == nil || !r.Node.IsDir() {
+		t.Fatal("renamed dir missing")
+	}
+	if ents := r.Node.List(); len(ents) != 0 {
+		t.Fatalf("lower contents leaked into renamed dir: %v", ents)
+	}
+}
+
+// TestHostFSPassthrough: guest-side writes appear on the host and host
+// writes appear in the guest.
+func TestHostFSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	os.MkdirAll(filepath.Join(dir, "in"), 0o755)
+	os.WriteFile(filepath.Join(dir, "in", "host.txt"), []byte("from host"), 0o644)
+	h, err := NewHostFS(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	fs := mountAt(t, h, MountOptions{})
+
+	r, errno := fs.Walk("/", "/mnt/in/host.txt", true)
+	if errno != 0 || r.Node == nil {
+		t.Fatalf("walk host file: %v", errno)
+	}
+	buf := make([]byte, 16)
+	n, _ := r.Node.ReadAt(buf, 0)
+	if string(buf[:n]) != "from host" {
+		t.Fatalf("read %q", buf[:n])
+	}
+	if errno := fs.WriteFile("/mnt/out.txt", []byte("from guest"), 0o644); errno != 0 {
+		t.Fatalf("guest write: %v", errno)
+	}
+	got, err := os.ReadFile(filepath.Join(dir, "out.txt"))
+	if err != nil || string(got) != "from guest" {
+		t.Fatalf("host sees %q, %v", got, err)
+	}
+	// Rename on the host-backed mount moves the real file.
+	if errno := fs.Rename("/", "/mnt/out.txt", "/mnt/in/renamed.txt"); errno != 0 {
+		t.Fatalf("rename: %v", errno)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "in", "renamed.txt")); err != nil {
+		t.Fatalf("host missing renamed file: %v", err)
+	}
+	// Host-side mutation is visible through the mount (no stale cache).
+	os.WriteFile(filepath.Join(dir, "external.txt"), []byte("late"), 0o644)
+	if r, _ := fs.Walk("/", "/mnt/external.txt", true); r.Node == nil {
+		t.Fatal("host-created file invisible")
+	}
+}
+
+// TestMountPointSemantics: mountpoint crossing, ".." escaping a mount
+// root, EBUSY on unlinking a mountpoint, and statfs magic.
+func TestMountPointSemantics(t *testing.T) {
+	fs := New(nil)
+	fs.MkdirAll("/a/mnt", 0o755)
+	fs.WriteFile("/a/sibling.txt", []byte("s"), 0o644)
+	mem := NewMemFS(nil)
+	if errno := fs.Mount("/a/mnt", mem, MountOptions{}); errno != 0 {
+		t.Fatalf("mount: %v", errno)
+	}
+	fs.WriteFile("/a/mnt/inside.txt", []byte("i"), 0o644)
+	// ".." from inside the mount escapes to the mountpoint's parent.
+	r, errno := fs.Walk("/", "/a/mnt/../sibling.txt", true)
+	if errno != 0 || r.Node == nil {
+		t.Fatalf("dotdot across mount root: %v", errno)
+	}
+	// The covered directory is busy.
+	if errno := fs.Unlink("/", "/a/mnt", true); errno != linux.EBUSY {
+		t.Fatalf("rmdir mountpoint: got %v, want EBUSY", errno)
+	}
+	if errno := fs.Rename("/", "/a/mnt", "/a/elsewhere"); errno != linux.EBUSY {
+		t.Fatalf("rename mountpoint: got %v, want EBUSY", errno)
+	}
+	// Mounting the same tree twice is refused.
+	fs.MkdirAll("/b", 0o755)
+	if errno := fs.Mount("/b", mem, MountOptions{}); errno != linux.EBUSY {
+		t.Fatalf("double mount of one MemFS: got %v, want EBUSY", errno)
+	}
+	// Unmount: the in-memory content is hidden, the mountpoint returns.
+	if errno := fs.Unmount("/a/mnt"); errno != 0 {
+		t.Fatalf("unmount: %v", errno)
+	}
+	if r, _ := fs.Walk("/", "/a/mnt/inside.txt", true); r.Node != nil {
+		t.Fatal("unmounted content still visible")
+	}
+	if r, errno := fs.Walk("/", "/a/mnt", true); errno != 0 || r.Node == nil || !r.Node.IsDir() {
+		t.Fatalf("mountpoint dir gone after unmount: %v", errno)
+	}
+	// And it can be mounted again (fresh backend, fresh ID).
+	mem2 := NewMemFS(nil)
+	mem2.Create("second.txt", 0o644)
+	if errno := fs.Mount("/a/mnt", mem2, MountOptions{}); errno != 0 {
+		t.Fatalf("remount: %v", errno)
+	}
+	if r, _ := fs.Walk("/", "/a/mnt/second.txt", true); r.Node == nil {
+		t.Fatal("remounted backend invisible")
+	}
+	if r, _ := fs.Walk("/", "/a/mnt/inside.txt", true); r.Node != nil {
+		t.Fatal("stale dentry from previous mount served after remount")
+	}
+}
+
+// TestNestedMountLongestPrefix: a mount inside a mount resolves by the
+// deepest mountpoint on the path.
+func TestNestedMountLongestPrefix(t *testing.T) {
+	fs := New(nil)
+	fs.MkdirAll("/top", 0o755)
+	outer := NewMemFS(nil)
+	if errno := fs.Mount("/top", outer, MountOptions{}); errno != 0 {
+		t.Fatalf("outer mount: %v", errno)
+	}
+	fs.MkdirAll("/top/inner", 0o755)
+	fs.WriteFile("/top/outer.txt", []byte("o"), 0o644)
+	inner, err := NewHostFS(t.TempDir(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inner.Close()
+	if errno := fs.Mount("/top/inner", inner, MountOptions{}); errno != 0 {
+		t.Fatalf("inner mount: %v", errno)
+	}
+	if errno := fs.WriteFile("/top/inner/deep.txt", []byte("d"), 0o644); errno != 0 {
+		t.Fatalf("write through nested mount: %v", errno)
+	}
+	st, errno := fs.Walk("/", "/top/inner/deep.txt", true)
+	if errno != 0 || st.Node == nil {
+		t.Fatalf("walk nested: %v", errno)
+	}
+	ost, _ := fs.Walk("/", "/top/outer.txt", true)
+	if st.Node.Stat().Dev == ost.Node.Stat().Dev {
+		t.Fatal("nested mount did not get its own device id")
+	}
+	if _, err := os.Stat(filepath.Join(inner.Dir(), "deep.txt")); err != nil {
+		t.Fatalf("nested hostfs write missing on host: %v", err)
+	}
+	// ".." chain from the inner mount climbs both mount roots.
+	if r, errno := fs.Walk("/", "/top/inner/../outer.txt", true); errno != 0 || r.Node == nil {
+		t.Fatalf("dotdot through nested mounts: %v", errno)
+	}
+}
+
+// TestExecCacheStatValidation: the (size, mtime) pair that validates
+// the execve module cache changes when a file is rewritten through any
+// backend.
+func TestExecCacheStatValidation(t *testing.T) {
+	for _, bc := range backendCases() {
+		t.Run(bc.name, func(t *testing.T) {
+			fs := mountAt(t, bc.make(t), MountOptions{})
+			if errno := fs.WriteFile("/mnt/bin", []byte("AAAA"), 0o755); errno != 0 {
+				t.Fatalf("write: %v", errno)
+			}
+			r, _ := fs.Walk("/", "/mnt/bin", true)
+			if !r.Node.StableIno() {
+				t.Fatal("shipped backends must report stable inos")
+			}
+			st1 := r.Node.Stat()
+			if errno := fs.WriteFile("/mnt/bin", []byte("BBBBBBBB"), 0o755); errno != 0 {
+				t.Fatalf("rewrite: %v", errno)
+			}
+			r2, _ := fs.Walk("/", "/mnt/bin", true)
+			if r2.Node != r.Node {
+				t.Fatal("rewrite changed inode identity")
+			}
+			st2 := r2.Node.Stat()
+			if st1.Size == st2.Size {
+				t.Fatal("size did not change")
+			}
+			_ = fmt.Sprintf("%v", st2.Mtime) // mtime validity is backend-dependent (zero clock on memfs)
+		})
+	}
+}

@@ -5,25 +5,34 @@ import (
 	"sync"
 )
 
-// Dentry cache: a sharded (directory ino, name) → inode map in front of
-// the per-directory children maps, so hot path components (/, /tmp,
-// shared prefixes) resolve without touching the directory's lock at all.
+// Dentry cache: a sharded (mount, directory ino, name) → inode map in
+// front of the per-directory children maps and backend lookups, so hot
+// path components (/, /tmp, shared prefixes) resolve without touching
+// the directory's lock — or the backend — at all.
 //
-// Coherence protocol: a cache entry for (dir, name) is only ever
+// Coherence protocol: a cache entry for (mnt, dir, name) is only ever
 // inserted while holding dir's inode lock in read mode, and only ever
 // invalidated while holding it in write mode (every namespace mutation
-// — create, unlink, link, rename — runs under the parent's write lock).
-// The two modes exclude each other, so a lookup can never re-populate an
-// entry a concurrent unlink just invalidated: there are no stale
-// entries, only misses. Shard locks nest strictly inside inode locks.
+// — create, unlink, link, rename — runs under the parent's write lock,
+// on proxy mounts too). The two modes exclude each other, so a lookup
+// can never re-populate an entry a concurrent unlink just invalidated:
+// there are no stale entries, only misses. Shard locks nest strictly
+// inside inode locks.
+//
+// Keys carry the mount ID so distinct mounts can never alias (inode
+// numbers are per-mount), and so unmount can sweep a whole mount's
+// entries; mount IDs are never reused, which makes any entry surviving
+// the sweep (an insert racing the unmount) unreachable garbage rather
+// than a stale hit for a later mount at the same path.
 const dcacheShards = 64
 
 // dcacheShardCap bounds each shard; beyond it a random entry is evicted.
-// Eviction is always safe — a miss falls back to the directory map.
+// Eviction is always safe — a miss falls back to the filesystem.
 const dcacheShardCap = 4096
 
 type dentKey struct {
-	dir  uint64 // directory inode number
+	mnt  uint64 // mount ID
+	dir  uint64 // directory inode number within the mount
 	name string
 }
 
@@ -35,23 +44,23 @@ type dcacheShard struct {
 
 var dentSeed = maphash.MakeSeed()
 
-func (fs *FS) dshard(dir uint64, name string) *dcacheShard {
-	return &fs.dcache[maphash.Comparable(dentSeed, dentKey{dir, name})%dcacheShards]
+func (fs *FS) dshard(mnt, dir uint64, name string) *dcacheShard {
+	return &fs.dcache[maphash.Comparable(dentSeed, dentKey{mnt, dir, name})%dcacheShards]
 }
 
 // dcacheGet returns the cached child, or nil on miss.
-func (fs *FS) dcacheGet(dir uint64, name string) *Inode {
-	sh := fs.dshard(dir, name)
+func (fs *FS) dcacheGet(mnt, dir uint64, name string) *Inode {
+	sh := fs.dshard(mnt, dir, name)
 	sh.mu.RLock()
-	n := sh.m[dentKey{dir, name}]
+	n := sh.m[dentKey{mnt, dir, name}]
 	sh.mu.RUnlock()
 	return n
 }
 
 // dcachePut caches a positive lookup. Caller holds the directory's inode
 // lock in (at least) read mode.
-func (fs *FS) dcachePut(dir uint64, name string, n *Inode) {
-	sh := fs.dshard(dir, name)
+func (fs *FS) dcachePut(mnt, dir uint64, name string, n *Inode) {
+	sh := fs.dshard(mnt, dir, name)
 	sh.mu.Lock()
 	if sh.m == nil {
 		sh.m = make(map[dentKey]*Inode)
@@ -62,15 +71,29 @@ func (fs *FS) dcachePut(dir uint64, name string, n *Inode) {
 			break
 		}
 	}
-	sh.m[dentKey{dir, name}] = n
+	sh.m[dentKey{mnt, dir, name}] = n
 	sh.mu.Unlock()
 }
 
-// dcacheDelete invalidates (dir, name). Caller holds the directory's
+// dcacheDelete invalidates (mnt, dir, name). Caller holds the directory's
 // inode lock in write mode.
-func (fs *FS) dcacheDelete(dir uint64, name string) {
-	sh := fs.dshard(dir, name)
+func (fs *FS) dcacheDelete(mnt, dir uint64, name string) {
+	sh := fs.dshard(mnt, dir, name)
 	sh.mu.Lock()
-	delete(sh.m, dentKey{dir, name})
+	delete(sh.m, dentKey{mnt, dir, name})
 	sh.mu.Unlock()
+}
+
+// dcacheDropMount sweeps every entry belonging to one mount (unmount).
+func (fs *FS) dcacheDropMount(mnt uint64) {
+	for i := range fs.dcache {
+		sh := &fs.dcache[i]
+		sh.mu.Lock()
+		for k := range sh.m {
+			if k.mnt == mnt {
+				delete(sh.m, k)
+			}
+		}
+		sh.mu.Unlock()
+	}
 }

@@ -8,17 +8,24 @@ import (
 	"gowali/internal/linux"
 )
 
-// FS is the filesystem: a tree of inodes rooted at Root. There is no
-// filesystem-wide lock: path walking takes per-inode locks hand over
-// hand (with a sharded dentry cache in front, see dcache.go), namespace
-// mutations take the parent directory's write lock and re-verify the
-// walked entry under it, and cross-directory renames additionally
-// serialize on renameMu so directory-cycle checks stay sound. The lock
-// hierarchy is: renameMu → parent inode → child inode → dcache shard.
+// FS is the filesystem namespace: a mount table of pluggable backends
+// rooted at a MemFS tree. There is no filesystem-wide lock: path
+// walking takes per-inode locks hand over hand (with a sharded dentry
+// cache in front, see dcache.go), crossing mountpoints as it descends;
+// namespace mutations take the parent directory's write lock and
+// re-verify the walked entry under it, and cross-directory renames
+// additionally serialize on renameMu so directory-cycle checks stay
+// sound. The lock hierarchy is: renameMu → parent inode → child inode
+// → {dcache shard, mount node table}.
 type FS struct {
-	Root    *Inode
-	nextIno atomic.Uint64
-	Clock   func() linux.Timespec
+	Root  *Inode
+	Clock func() linux.Timespec
+
+	rootFS *MemFS
+
+	mntMu   sync.Mutex
+	mounts  []*Mount
+	nextMnt atomic.Uint64
 
 	// renameMu serializes cross-directory renames: with it held, the
 	// tree's parent topology cannot change under the ancestry check
@@ -29,34 +36,25 @@ type FS struct {
 	dcache [dcacheShards]dcacheShard
 }
 
-// New creates a filesystem with an empty root directory.
+// New creates a filesystem whose root is an empty MemFS directory.
 func New(clock func() linux.Timespec) *FS {
 	if clock == nil {
 		clock = func() linux.Timespec { return linux.Timespec{} }
 	}
 	fs := &FS{Clock: clock}
-	fs.Root = fs.newInode(linux.S_IFDIR | 0o755)
-	fs.Root.children = make(map[string]*Inode)
-	fs.Root.parent = fs.Root
-	fs.Root.nlink = 2
+	fs.rootFS = NewMemFS(clock)
+	fs.Root = fs.rootFS.root
+	m := &Mount{
+		ID:      fs.nextMnt.Add(1), // 1: guests see st_dev == 1 on the root fs
+		fs:      fs,
+		path:    "/",
+		backend: fs.rootFS,
+		mem:     fs.rootFS,
+		root:    fs.Root,
+	}
+	fs.rootFS.mnt.Store(m)
+	fs.mounts = []*Mount{m}
 	return fs
-}
-
-func (fs *FS) newInode(mode uint32) *Inode {
-	now := fs.Clock()
-	n := &Inode{
-		Ino:   fs.nextIno.Add(1),
-		mode:  mode,
-		nlink: 1,
-		atime: now,
-		mtime: now,
-		ctime: now,
-	}
-	if mode&linux.S_IFMT == linux.S_IFDIR {
-		n.children = make(map[string]*Inode)
-		n.nlink = 2
-	}
-	return n
 }
 
 // MaxSymlinkDepth bounds symlink chains, as ELOOP does.
@@ -91,16 +89,26 @@ func (fs *FS) Walk(cwd, path string, followLast bool) (WalkResult, linux.Errno) 
 }
 
 // lookup resolves one component: dentry cache first (lock-free of the
-// directory), then the directory's children map under its read lock,
-// populating the cache on a hit. See dcache.go for the coherence rules.
+// directory), then the filesystem under the directory's read lock —
+// the children map for native directories, the mount's backend for
+// proxies — populating the cache on a hit. See dcache.go for the
+// coherence rules.
 func (fs *FS) lookup(dir *Inode, name string) (*Inode, bool) {
-	if n := fs.dcacheGet(dir.Ino, name); n != nil {
+	m := dir.mount()
+	var mntID uint64
+	if m != nil {
+		mntID = m.ID
+	}
+	if n := fs.dcacheGet(mntID, dir.Ino, name); n != nil {
 		return n, true
+	}
+	if dir.isProxy() {
+		return m.lookupProxy(fs, dir, name)
 	}
 	dir.mu.RLock()
 	c, ok := dir.children[name]
 	if ok {
-		fs.dcachePut(dir.Ino, name, c)
+		fs.dcachePut(mntID, dir.Ino, name, c)
 	}
 	dir.mu.RUnlock()
 	return c, ok
@@ -136,6 +144,16 @@ func (fs *FS) walk(cwd, path string, followLast bool, depth int) (WalkResult, li
 			return WalkResult{}, linux.ENOTDIR
 		}
 		if name == ".." {
+			// Escape mount roots first: ".." at a mount root continues
+			// from the covered mountpoint, as in the real dcache walk.
+			for {
+				m := cur.mount()
+				if m != nil && cur == m.root && m.point != nil {
+					cur = m.point
+					continue
+				}
+				break
+			}
 			if p := cur.Parent(); p != nil {
 				cur = p
 			}
@@ -150,6 +168,15 @@ func (fs *FS) walk(cwd, path string, followLast bool, depth int) (WalkResult, li
 				return WalkResult{Parent: cur, Node: nil, Name: name}, 0
 			}
 			return WalkResult{}, linux.ENOENT
+		}
+		// Cross into mounted filesystems. Longest-prefix resolution is
+		// emergent: the deepest mount on the walked path is crossed last.
+		for {
+			if m := next.mountedOn(); m != nil {
+				next = m.root
+				continue
+			}
+			break
 		}
 		if next.IsSymlink() && (!last || followLast) {
 			target := next.Target()
@@ -174,13 +201,34 @@ func (fs *FS) pathOf(dir *Inode) string {
 	if dir == fs.Root {
 		return "/"
 	}
+	if dir.isProxy() {
+		m := dir.mnt
+		rel := dir.rel()
+		if rel == "" {
+			return m.path
+		}
+		if m.path == "/" {
+			return "/" + rel
+		}
+		return m.path + "/" + rel
+	}
 	// Walk up via parent pointers, searching each parent for the child
 	// name. O(depth * width); fine for the simulated tree sizes.
 	var parts []string
 	cur := dir
 	for cur != fs.Root {
+		if m := cur.mount(); m != nil && cur == m.root && m.point != nil {
+			// Native mount root: the mountpoint path is the prefix.
+			if len(parts) == 0 {
+				return m.path
+			}
+			if m.path == "/" {
+				break
+			}
+			return m.path + "/" + strings.Join(parts, "/")
+		}
 		p := cur.Parent()
-		if p == nil {
+		if p == nil || p == cur {
 			break
 		}
 		name := ""
@@ -199,6 +247,13 @@ func (fs *FS) pathOf(dir *Inode) string {
 		cur = p
 	}
 	return "/" + strings.Join(parts, "/")
+}
+
+// mountRoot reports whether n is the root of a non-root mount (and so
+// busy for unlink/rename purposes).
+func mountRoot(n *Inode) bool {
+	m := n.mount()
+	return m != nil && n == m.root && m.point != nil
 }
 
 // Create makes a new inode of the given mode at path. With excl set an
@@ -221,7 +276,14 @@ func (fs *FS) Create(cwd, path string, mode uint32, uid, gid uint32, excl bool) 
 	if r.Name == ".." || r.Name == "/" {
 		return nil, linux.EEXIST
 	}
-	n := fs.newInode(mode)
+	m := r.Parent.mount()
+	if m != nil && m.readonly {
+		return nil, linux.EROFS
+	}
+	if r.Parent.isProxy() {
+		return m.createProxy(fs, r.Parent, r.Name, mode, excl)
+	}
+	n := r.Parent.fsys.newInode(mode)
 	n.uid, n.gid = uid, gid
 	r.Parent.mu.Lock()
 	defer r.Parent.mu.Unlock()
@@ -262,19 +324,41 @@ func (fs *FS) Mkdir(cwd, path string, perm uint32, uid, gid uint32) (*Inode, lin
 	return fs.Create(cwd, path, linux.S_IFDIR|perm&0o7777, uid, gid, true)
 }
 
-// Symlink creates a symbolic link at path pointing to target.
+// Symlink creates a symbolic link at path pointing to target. The
+// final component is not followed: an existing dangling symlink at
+// path is EEXIST, as symlink(2) specifies.
 func (fs *FS) Symlink(cwd, target, path string, uid, gid uint32) linux.Errno {
-	n, errno := fs.Create(cwd, path, linux.S_IFLNK|0o777, uid, gid, true)
+	r, errno := fs.Walk(cwd, path, false)
 	if errno != 0 {
 		return errno
 	}
-	n.mu.Lock()
+	if r.Node != nil || r.Name == ".." || r.Name == "/" {
+		return linux.EEXIST
+	}
+	if m := r.Parent.mount(); m != nil && m.readonly {
+		return linux.EROFS
+	}
+	if r.Parent.isProxy() {
+		return r.Parent.mnt.symlinkProxy(r.Parent, r.Name, target)
+	}
+	n := r.Parent.fsys.newInode(linux.S_IFLNK | 0o777)
+	n.uid, n.gid = uid, gid
 	n.target = target
-	n.mu.Unlock()
+	r.Parent.mu.Lock()
+	defer r.Parent.mu.Unlock()
+	if r.Parent.nlink == 0 {
+		return linux.ENOENT // parent was rmdir'd between walk and lock
+	}
+	if _, ok := r.Parent.children[r.Name]; ok {
+		return linux.EEXIST // lost a create race
+	}
+	r.Parent.children[r.Name] = n
+	r.Parent.mtime = fs.Clock()
 	return 0
 }
 
-// Mknod creates a special file (FIFO, device, socket).
+// Mknod creates a special file (FIFO, device, socket). Special files
+// live on memfs mounts only; proxy backends reject them with EPERM.
 func (fs *FS) Mknod(cwd, path string, mode uint32, uid, gid uint32, dev DeviceOps) (*Inode, linux.Errno) {
 	n, errno := fs.Create(cwd, path, mode, uid, gid, true)
 	if errno != 0 {
@@ -307,12 +391,26 @@ func (fs *FS) Unlink(cwd, path string, dir bool) linux.Errno {
 	if r.Node == fs.Root {
 		return linux.EBUSY
 	}
+	if mountRoot(r.Node) {
+		return linux.EBUSY // the entry is covered by a mount
+	}
 	if dir {
 		if !r.Node.IsDir() {
 			return linux.ENOTDIR
 		}
 	} else if r.Node.IsDir() {
 		return linux.EISDIR
+	}
+	m := r.Parent.mount()
+	if m != nil && m.readonly {
+		return linux.EROFS
+	}
+	if r.Parent.isProxy() {
+		return m.unlinkProxy(fs, r.Parent, r.Name, dir)
+	}
+	var mntID uint64
+	if m != nil {
+		mntID = m.ID
 	}
 	r.Parent.mu.Lock()
 	if r.Parent.children[r.Name] != r.Node {
@@ -336,7 +434,7 @@ func (fs *FS) Unlink(cwd, path string, dir bool) linux.Errno {
 		r.Node.mu.Unlock()
 	}
 	delete(r.Parent.children, r.Name)
-	fs.dcacheDelete(r.Parent.Ino, r.Name)
+	fs.dcacheDelete(mntID, r.Parent.Ino, r.Name)
 	r.Parent.mtime = fs.Clock()
 	if dir {
 		r.Parent.nlink--
@@ -352,7 +450,9 @@ func (fs *FS) Unlink(cwd, path string, dir bool) linux.Errno {
 	return 0
 }
 
-// Link creates a hard link newpath referring to oldpath's inode.
+// Link creates a hard link newpath referring to oldpath's inode. Hard
+// links are a memfs capability; cross-mount links fail with EXDEV and
+// proxy mounts with EPERM.
 func (fs *FS) Link(cwd, oldpath, newpath string) linux.Errno {
 	or, errno := fs.Walk(cwd, oldpath, false)
 	if errno != 0 {
@@ -370,6 +470,16 @@ func (fs *FS) Link(cwd, oldpath, newpath string) linux.Errno {
 	}
 	if nr.Node != nil {
 		return linux.EEXIST
+	}
+	m := nr.Parent.mount()
+	if or.Node.mount() != m {
+		return linux.EXDEV
+	}
+	if m != nil && m.readonly {
+		return linux.EROFS
+	}
+	if nr.Parent.isProxy() {
+		return linux.EPERM
 	}
 	nr.Parent.mu.Lock()
 	if nr.Parent.nlink == 0 {
@@ -443,7 +553,9 @@ func unlockTwoDirs(a, b *Inode) {
 	b.mu.Unlock()
 }
 
-// Rename moves oldpath to newpath, replacing a compatible existing target.
+// Rename moves oldpath to newpath, replacing a compatible existing
+// target. Renames never cross a mount boundary (EXDEV), matching
+// rename(2) across filesystems.
 func (fs *FS) Rename(cwd, oldpath, newpath string) linux.Errno {
 	or, errno := fs.Walk(cwd, oldpath, false)
 	if errno != 0 {
@@ -458,6 +570,19 @@ func (fs *FS) Rename(cwd, oldpath, newpath string) linux.Errno {
 	}
 	if nr.Node == or.Node {
 		return 0
+	}
+	mo := or.Parent.mount()
+	if mo != nr.Parent.mount() {
+		return linux.EXDEV
+	}
+	if mo != nil && mo.readonly {
+		return linux.EROFS
+	}
+	if mountRoot(or.Node) || (nr.Node != nil && mountRoot(nr.Node)) {
+		return linux.EBUSY // mountpoints cannot be moved or replaced
+	}
+	if or.Parent.isProxy() {
+		return fs.renameProxy(mo, or, nr)
 	}
 
 	crossDir := or.Parent != nr.Parent
@@ -529,17 +654,59 @@ func (fs *FS) Rename(cwd, oldpath, newpath string) linux.Errno {
 			target.mu.Unlock()
 		}
 	}
+	var mntID uint64
+	if mo != nil {
+		mntID = mo.ID
+	}
 	delete(or.Parent.children, or.Name)
-	fs.dcacheDelete(or.Parent.Ino, or.Name)
+	fs.dcacheDelete(mntID, or.Parent.Ino, or.Name)
 	or.Parent.mtime = fs.Clock()
 	nr.Parent.children[nr.Name] = or.Node
-	fs.dcacheDelete(nr.Parent.Ino, nr.Name)
+	fs.dcacheDelete(mntID, nr.Parent.Ino, nr.Name)
 	nr.Parent.mtime = fs.Clock()
 	if srcIsDir {
 		or.Node.mu.Lock()
 		or.Node.parent = nr.Parent
 		or.Node.mu.Unlock()
 	}
+	return 0
+}
+
+// renameProxy delegates a rename within one proxy mount to its backend
+// and re-keys the moved proxy subtree. renameMu serializes it (subtree
+// re-keying must not interleave with another rename's).
+func (fs *FS) renameProxy(m *Mount, or, nr WalkResult) linux.Errno {
+	srcIsDir := or.Node.IsDir()
+	if nr.Node != nil {
+		targetIsDir := nr.Node.IsDir()
+		if targetIsDir != srcIsDir {
+			if targetIsDir {
+				return linux.EISDIR
+			}
+			return linux.ENOTDIR
+		}
+	}
+	fs.renameMu.Lock()
+	defer fs.renameMu.Unlock()
+	fs.lockTwoDirs(or.Parent, nr.Parent)
+	defer unlockTwoDirs(or.Parent, nr.Parent)
+	oldRel := joinRel(or.Parent.brel, or.Name)
+	newRel := joinRel(nr.Parent.brel, nr.Name)
+	if oldRel == newRel {
+		return 0
+	}
+	if strings.HasPrefix(newRel, oldRel+"/") {
+		return linux.EINVAL // would move a directory into itself
+	}
+	if strings.HasPrefix(oldRel, newRel+"/") {
+		return linux.ENOTEMPTY // target contains the source: never empty
+	}
+	if errno := m.backend.Rename(oldRel, newRel); errno != 0 {
+		return errno
+	}
+	fs.dcacheDelete(m.ID, or.Parent.Ino, or.Name)
+	fs.dcacheDelete(m.ID, nr.Parent.Ino, nr.Name)
+	m.renameNodes(oldRel, newRel, nr.Parent)
 	return 0
 }
 

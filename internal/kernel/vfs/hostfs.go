@@ -1,0 +1,362 @@
+package vfs
+
+import (
+	"io"
+	iofs "io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"gowali/internal/linux"
+)
+
+// HostFS is a passthrough backend rooted at a host directory: guests
+// mounted on it read and write real host files. Containment relies on
+// os.Root — every open, create, stat and remove resolves inside the
+// root directory, with symlink escapes rejected by the host kernel.
+// Paths reaching a backend are VFS-normalized (no "..", no absolute
+// components), so the only escape vector left is a hostile symlink
+// inside the tree, which os.Root refuses to follow outward.
+//
+// Host symlinks are surfaced as symlinks; their targets are resolved
+// by the VFS walk inside the guest namespace (like a chroot, an
+// absolute target points at the guest root, not the host's). Creating
+// new symlinks or hard links through hostfs is not supported (EPERM).
+type HostFS struct {
+	dir  string
+	root *os.Root
+	ro   bool
+
+	// Open-handle cache: opening the host file per ReadAt would put a
+	// host open() on every guest pread64. Bounded FIFO; entries are
+	// dropped on unlink/truncate-to-rename hazards by rel key.
+	hmu     sync.Mutex
+	handles map[string]*hostHandle
+	horder  []string
+}
+
+// hostHandle is one cached open host file. rw records whether it was
+// opened read-write: a read may be served by a read-only fallback
+// (host file not writable by us), but a write through such a handle
+// must re-open or fail with the open-time errno, never EBADF.
+type hostHandle struct {
+	f  *os.File
+	rw bool
+}
+
+// hostHandleCap bounds the open-handle cache.
+const hostHandleCap = 64
+
+// NewHostFS opens a host directory as a mountable backend. With
+// readOnly set, every mutation fails with EROFS (and the mount is
+// forced read-only).
+func NewHostFS(dir string, readOnly bool) (*HostFS, error) {
+	root, err := os.OpenRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &HostFS{dir: dir, root: root, ro: readOnly, handles: map[string]*hostHandle{}}, nil
+}
+
+// Dir returns the host directory this backend is rooted at.
+func (h *HostFS) Dir() string { return h.dir }
+
+// Close releases the root handle and every cached file handle.
+func (h *HostFS) Close() error {
+	h.hmu.Lock()
+	for _, hh := range h.handles {
+		hh.f.Close()
+	}
+	h.handles = map[string]*hostHandle{}
+	h.horder = nil
+	h.hmu.Unlock()
+	return h.root.Close()
+}
+
+// Caps implements Backend.
+func (h *HostFS) Caps() Caps {
+	return Caps{ReadOnly: h.ro, StableInos: true, Magic: MagicHostfs}
+}
+
+// hostRel maps a mount-relative path onto an os.Root operand.
+func hostRel(rel string) string {
+	if rel == "" {
+		return "."
+	}
+	return rel
+}
+
+func infoFromFileInfo(fi iofs.FileInfo) NodeInfo {
+	mode := uint32(fi.Mode().Perm())
+	switch {
+	case fi.Mode().IsDir():
+		mode |= linux.S_IFDIR
+	case fi.Mode()&iofs.ModeSymlink != 0:
+		mode |= linux.S_IFLNK
+	case fi.Mode()&iofs.ModeNamedPipe != 0:
+		mode |= linux.S_IFIFO
+	case fi.Mode()&iofs.ModeSocket != 0:
+		mode |= linux.S_IFSOCK
+	case fi.Mode()&iofs.ModeCharDevice != 0:
+		mode |= linux.S_IFCHR
+	default:
+		mode |= linux.S_IFREG
+	}
+	mt := linux.TimespecFromNanos(fi.ModTime().UnixNano())
+	return NodeInfo{
+		Mode:  mode,
+		Size:  fi.Size(),
+		Nlink: 1,
+		Atime: mt,
+		Mtime: mt,
+		Ctime: mt,
+	}
+}
+
+// Lookup implements Backend.
+func (h *HostFS) Lookup(dir, name string) (NodeInfo, linux.Errno) {
+	fi, err := h.root.Lstat(hostRel(joinRel(dir, name)))
+	if err != nil {
+		return NodeInfo{}, errnoFromHost(err)
+	}
+	return infoFromFileInfo(fi), 0
+}
+
+// Stat implements Backend.
+func (h *HostFS) Stat(rel string) (NodeInfo, linux.Errno) {
+	fi, err := h.root.Lstat(hostRel(rel))
+	if err != nil {
+		return NodeInfo{}, errnoFromHost(err)
+	}
+	return infoFromFileInfo(fi), 0
+}
+
+// ReadDir implements Backend.
+func (h *HostFS) ReadDir(rel string) ([]DirEntry, linux.Errno) {
+	f, err := h.root.Open(hostRel(rel))
+	if err != nil {
+		return nil, errnoFromHost(err)
+	}
+	defer f.Close()
+	ents, err := f.ReadDir(-1)
+	if err != nil {
+		return nil, errnoFromHost(err)
+	}
+	out := make([]DirEntry, 0, len(ents))
+	for _, e := range ents {
+		var dt byte = linux.DT_REG
+		switch {
+		case e.IsDir():
+			dt = linux.DT_DIR
+		case e.Type()&iofs.ModeSymlink != 0:
+			dt = linux.DT_LNK
+		case e.Type()&iofs.ModeNamedPipe != 0:
+			dt = linux.DT_FIFO
+		case e.Type()&iofs.ModeSocket != 0:
+			dt = linux.DT_SOCK
+		case e.Type()&iofs.ModeCharDevice != 0:
+			dt = linux.DT_CHR
+		}
+		out = append(out, DirEntry{Name: e.Name(), Type: dt})
+	}
+	return out, 0
+}
+
+// handle returns a (cached) open host file for rel. Files are opened
+// read-write on writable backends so one handle serves both paths;
+// when the host file itself is not writable by us, reads fall back to
+// a read-only handle, and a write asking for that handle surfaces the
+// read-write open's errno (EACCES) instead of silently failing later.
+func (h *HostFS) handle(rel string, write bool) (*os.File, linux.Errno) {
+	if write && h.ro {
+		return nil, linux.EROFS
+	}
+	h.hmu.Lock()
+	if hh, ok := h.handles[rel]; ok && (hh.rw || !write) {
+		f := hh.f
+		h.hmu.Unlock()
+		return f, 0
+	}
+	h.hmu.Unlock()
+	flags := os.O_RDWR
+	if h.ro {
+		flags = os.O_RDONLY
+	}
+	f, err := h.root.OpenFile(hostRel(rel), flags, 0)
+	rw := err == nil && !h.ro
+	if err != nil && !h.ro {
+		if write {
+			return nil, errnoFromHost(err)
+		}
+		// Host file not writable by us: fall back to read-only.
+		f, err = h.root.OpenFile(hostRel(rel), os.O_RDONLY, 0)
+	}
+	if err != nil {
+		return nil, errnoFromHost(err)
+	}
+	h.hmu.Lock()
+	if prev, ok := h.handles[rel]; ok {
+		if prev.rw || !rw {
+			pf := prev.f
+			h.hmu.Unlock()
+			f.Close()
+			return pf, 0
+		}
+		// Upgrade a cached read-only handle to the fresh read-write one.
+		prev.f.Close()
+		delete(h.handles, rel)
+		h.horder = dropKey(h.horder, rel)
+	}
+	if len(h.horder) >= hostHandleCap {
+		victim := h.horder[0]
+		h.horder = h.horder[1:]
+		if vh, ok := h.handles[victim]; ok {
+			delete(h.handles, victim)
+			vh.f.Close()
+		}
+	}
+	h.handles[rel] = &hostHandle{f: f, rw: rw}
+	h.horder = append(h.horder, rel)
+	h.hmu.Unlock()
+	return f, 0
+}
+
+func dropKey(order []string, key string) []string {
+	keep := order[:0]
+	for _, k := range order {
+		if k != key {
+			keep = append(keep, k)
+		}
+	}
+	return keep
+}
+
+// dropHandles closes cached handles under rel (itself or its subtree).
+func (h *HostFS) dropHandles(rel string) {
+	h.hmu.Lock()
+	for k, hh := range h.handles {
+		if k == rel || strings.HasPrefix(k, rel+"/") {
+			hh.f.Close()
+			delete(h.handles, k)
+		}
+	}
+	keep := h.horder[:0]
+	for _, k := range h.horder {
+		if _, ok := h.handles[k]; ok {
+			keep = append(keep, k)
+		}
+	}
+	h.horder = keep
+	h.hmu.Unlock()
+}
+
+// ReadAt implements Backend.
+func (h *HostFS) ReadAt(rel string, b []byte, off int64) (int, linux.Errno) {
+	f, errno := h.handle(rel, false)
+	if errno != 0 {
+		return 0, errno
+	}
+	n, err := f.ReadAt(b, off)
+	if err != nil && err != io.EOF {
+		return n, errnoFromHost(err)
+	}
+	return n, 0
+}
+
+// WriteAt implements Backend.
+func (h *HostFS) WriteAt(rel string, b []byte, off int64) (int, linux.Errno) {
+	f, errno := h.handle(rel, true)
+	if errno != 0 {
+		return 0, errno
+	}
+	n, err := f.WriteAt(b, off)
+	if err != nil {
+		return n, errnoFromHost(err)
+	}
+	return n, 0
+}
+
+// Truncate implements Backend.
+func (h *HostFS) Truncate(rel string, size int64) linux.Errno {
+	f, errno := h.handle(rel, true)
+	if errno != 0 {
+		return errno
+	}
+	return errnoFromHost(f.Truncate(size))
+}
+
+// Create implements Backend.
+func (h *HostFS) Create(rel string, perm uint32) linux.Errno {
+	if h.ro {
+		return linux.EROFS
+	}
+	f, err := h.root.OpenFile(rel, os.O_CREATE|os.O_EXCL|os.O_RDWR, os.FileMode(perm&0o777))
+	if err != nil {
+		return errnoFromHost(err)
+	}
+	f.Close()
+	return 0
+}
+
+// Mkdir implements Backend.
+func (h *HostFS) Mkdir(rel string, perm uint32) linux.Errno {
+	if h.ro {
+		return linux.EROFS
+	}
+	return errnoFromHost(h.root.Mkdir(rel, os.FileMode(perm&0o777)))
+}
+
+// Unlink implements Backend.
+func (h *HostFS) Unlink(rel string, dir bool) linux.Errno {
+	if h.ro {
+		return linux.EROFS
+	}
+	// Root.Remove deletes files and empty directories alike; the VFS
+	// has already type-checked against the proxy inode.
+	if err := h.root.Remove(rel); err != nil {
+		return errnoFromHost(err)
+	}
+	h.dropHandles(rel)
+	return 0
+}
+
+// Rename implements Backend. Go 1.24's os.Root has no Rename, so the
+// paths are joined under the root explicitly; both operands are
+// VFS-normalized (no dot-dots), and the source is verified to resolve
+// inside the root first, which keeps the join inside the tree short of
+// a concurrently planted symlink on the host side.
+func (h *HostFS) Rename(oldRel, newRel string) linux.Errno {
+	if h.ro {
+		return linux.EROFS
+	}
+	if _, err := h.root.Lstat(hostRel(oldRel)); err != nil {
+		return errnoFromHost(err)
+	}
+	err := os.Rename(
+		filepath.Join(h.dir, filepath.FromSlash(oldRel)),
+		filepath.Join(h.dir, filepath.FromSlash(newRel)),
+	)
+	if err != nil {
+		return errnoFromHost(err)
+	}
+	h.dropHandles(oldRel)
+	h.dropHandles(newRel)
+	return 0
+}
+
+// Readlink implements the read half of SymlinkBackend; creating links
+// through hostfs is rejected (os.Root has no symlink support yet).
+func (h *HostFS) Readlink(rel string) (string, linux.Errno) {
+	if _, err := h.root.Lstat(hostRel(rel)); err != nil {
+		return "", errnoFromHost(err)
+	}
+	t, err := os.Readlink(filepath.Join(h.dir, filepath.FromSlash(rel)))
+	if err != nil {
+		return "", errnoFromHost(err)
+	}
+	return filepath.ToSlash(t), 0
+}
+
+// Symlink implements SymlinkBackend (unsupported: EPERM).
+func (h *HostFS) Symlink(rel, target string) linux.Errno { return linux.EPERM }

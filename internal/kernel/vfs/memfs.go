@@ -1,0 +1,388 @@
+package vfs
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"gowali/internal/linux"
+)
+
+// MemFS is the in-memory filesystem: an inode tree with per-inode
+// locking, the repository's original (and default) VFS implementation.
+// It is used two ways:
+//
+//   - natively mounted: FS grafts the tree straight into the namespace
+//     (the root filesystem is a MemFS; the hand-over-hand walk and the
+//     dentry cache operate on its inodes directly, with no indirection);
+//   - as a Backend: the path-based interface below serves other
+//     composers, most notably as OverlayFS's writable upper layer.
+//
+// A MemFS may be natively mounted in at most one place at a time.
+type MemFS struct {
+	clock   func() linux.Timespec
+	nextIno atomic.Uint64
+	root    *Inode
+
+	// mnt is the native mount this tree is grafted under, nil while
+	// unmounted. All the tree's inodes reach their mount through it.
+	mnt atomic.Pointer[Mount]
+
+	// nsMu serializes namespace mutations arriving through the Backend
+	// interface (the native path uses FS.renameMu + parent locks; the
+	// backend path is the overlay upper layer, where simplicity wins).
+	nsMu sync.Mutex
+}
+
+// NewMemFS creates an empty in-memory filesystem. A nil clock yields
+// zero timestamps (matching FS.New's default).
+func NewMemFS(clock func() linux.Timespec) *MemFS {
+	if clock == nil {
+		clock = func() linux.Timespec { return linux.Timespec{} }
+	}
+	m := &MemFS{clock: clock}
+	m.root = m.newInode(linux.S_IFDIR | 0o755)
+	m.root.children = make(map[string]*Inode)
+	m.root.parent = m.root
+	m.root.nlink = 2
+	return m
+}
+
+func (m *MemFS) newInode(mode uint32) *Inode {
+	now := m.clock()
+	n := &Inode{
+		Ino:   m.nextIno.Add(1),
+		typ:   mode & linux.S_IFMT,
+		fsys:  m,
+		mode:  mode,
+		nlink: 1,
+		atime: now,
+		mtime: now,
+		ctime: now,
+	}
+	if mode&linux.S_IFMT == linux.S_IFDIR {
+		n.children = make(map[string]*Inode)
+		n.nlink = 2
+	}
+	return n
+}
+
+// --- the path-based Backend interface over the tree ---
+
+// Caps implements Backend.
+func (m *MemFS) Caps() Caps {
+	return Caps{StableInos: true, Magic: MagicTmpfs}
+}
+
+// resolve walks rel through the children maps ("" = root). It never
+// follows symlinks: backend paths are pre-resolved by the VFS.
+func (m *MemFS) resolve(rel string) (*Inode, linux.Errno) {
+	cur := m.root
+	if rel == "" {
+		return cur, 0
+	}
+	for _, name := range strings.Split(rel, "/") {
+		if !cur.IsDir() {
+			return nil, linux.ENOTDIR
+		}
+		cur.mu.RLock()
+		next, ok := cur.children[name]
+		cur.mu.RUnlock()
+		if !ok {
+			return nil, linux.ENOENT
+		}
+		cur = next
+	}
+	return cur, 0
+}
+
+// splitRel separates rel into its parent directory path and final name.
+func splitRel(rel string) (dir, name string) {
+	if i := strings.LastIndexByte(rel, '/'); i >= 0 {
+		return rel[:i], rel[i+1:]
+	}
+	return "", rel
+}
+
+func infoOf(n *Inode) NodeInfo {
+	st := n.Stat()
+	return NodeInfo{
+		Mode:  st.Mode,
+		Size:  st.Size,
+		Nlink: st.Nlink,
+		Atime: st.Atime,
+		Mtime: st.Mtime,
+		Ctime: st.Ctime,
+	}
+}
+
+// Lookup implements Backend.
+func (m *MemFS) Lookup(dir, name string) (NodeInfo, linux.Errno) {
+	d, errno := m.resolve(dir)
+	if errno != 0 {
+		return NodeInfo{}, errno
+	}
+	if !d.IsDir() {
+		return NodeInfo{}, linux.ENOTDIR
+	}
+	d.mu.RLock()
+	c, ok := d.children[name]
+	d.mu.RUnlock()
+	if !ok {
+		return NodeInfo{}, linux.ENOENT
+	}
+	return infoOf(c), 0
+}
+
+// Stat implements Backend.
+func (m *MemFS) Stat(rel string) (NodeInfo, linux.Errno) {
+	n, errno := m.resolve(rel)
+	if errno != 0 {
+		return NodeInfo{}, errno
+	}
+	return infoOf(n), 0
+}
+
+// ReadDir implements Backend.
+func (m *MemFS) ReadDir(rel string) ([]DirEntry, linux.Errno) {
+	n, errno := m.resolve(rel)
+	if errno != 0 {
+		return nil, errno
+	}
+	if !n.IsDir() {
+		return nil, linux.ENOTDIR
+	}
+	return n.List(), 0
+}
+
+// ReadAt implements Backend.
+func (m *MemFS) ReadAt(rel string, b []byte, off int64) (int, linux.Errno) {
+	n, errno := m.resolve(rel)
+	if errno != 0 {
+		return 0, errno
+	}
+	if n.IsDir() {
+		return 0, linux.EISDIR
+	}
+	return n.ReadAt(b, off)
+}
+
+// WriteAt implements Backend.
+func (m *MemFS) WriteAt(rel string, b []byte, off int64) (int, linux.Errno) {
+	n, errno := m.resolve(rel)
+	if errno != 0 {
+		return 0, errno
+	}
+	if n.IsDir() {
+		return 0, linux.EISDIR
+	}
+	return n.WriteAt(b, off)
+}
+
+// Truncate implements Backend.
+func (m *MemFS) Truncate(rel string, size int64) linux.Errno {
+	n, errno := m.resolve(rel)
+	if errno != 0 {
+		return errno
+	}
+	if n.IsDir() {
+		return linux.EISDIR
+	}
+	return n.Truncate(size)
+}
+
+// insert adds a fresh inode of the given mode under rel's parent.
+func (m *MemFS) insert(rel string, mode uint32) (*Inode, linux.Errno) {
+	dir, name := splitRel(rel)
+	if name == "" {
+		return nil, linux.EEXIST
+	}
+	d, errno := m.resolve(dir)
+	if errno != 0 {
+		return nil, errno
+	}
+	if !d.IsDir() {
+		return nil, linux.ENOTDIR
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.nlink == 0 {
+		return nil, linux.ENOENT
+	}
+	if _, ok := d.children[name]; ok {
+		return nil, linux.EEXIST
+	}
+	n := m.newInode(mode)
+	if n.mode&linux.S_IFMT == linux.S_IFDIR {
+		n.parent = d
+		d.nlink++
+	}
+	d.children[name] = n
+	d.mtime = m.clock()
+	return n, 0
+}
+
+// Create implements Backend.
+func (m *MemFS) Create(rel string, perm uint32) linux.Errno {
+	m.nsMu.Lock()
+	defer m.nsMu.Unlock()
+	_, errno := m.insert(rel, linux.S_IFREG|perm&0o7777)
+	return errno
+}
+
+// Mkdir implements Backend.
+func (m *MemFS) Mkdir(rel string, perm uint32) linux.Errno {
+	m.nsMu.Lock()
+	defer m.nsMu.Unlock()
+	_, errno := m.insert(rel, linux.S_IFDIR|perm&0o7777)
+	return errno
+}
+
+// Symlink implements SymlinkBackend.
+func (m *MemFS) Symlink(rel, target string) linux.Errno {
+	m.nsMu.Lock()
+	defer m.nsMu.Unlock()
+	n, errno := m.insert(rel, linux.S_IFLNK|0o777)
+	if errno != 0 {
+		return errno
+	}
+	n.mu.Lock()
+	n.target = target
+	n.mu.Unlock()
+	return 0
+}
+
+// Readlink implements SymlinkBackend.
+func (m *MemFS) Readlink(rel string) (string, linux.Errno) {
+	n, errno := m.resolve(rel)
+	if errno != 0 {
+		return "", errno
+	}
+	if !n.IsSymlink() {
+		return "", linux.EINVAL
+	}
+	return n.Target(), 0
+}
+
+// Unlink implements Backend.
+func (m *MemFS) Unlink(rel string, dir bool) linux.Errno {
+	m.nsMu.Lock()
+	defer m.nsMu.Unlock()
+	pdir, name := splitRel(rel)
+	d, errno := m.resolve(pdir)
+	if errno != 0 {
+		return errno
+	}
+	if !d.IsDir() {
+		return linux.ENOTDIR
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n, ok := d.children[name]
+	if !ok {
+		return linux.ENOENT
+	}
+	if dir {
+		if !n.IsDir() {
+			return linux.ENOTDIR
+		}
+		n.mu.Lock()
+		if len(n.children) > 0 {
+			n.mu.Unlock()
+			return linux.ENOTEMPTY
+		}
+		n.nlink = 0
+		n.mu.Unlock()
+		d.nlink--
+	} else {
+		if n.IsDir() {
+			return linux.EISDIR
+		}
+		n.mu.Lock()
+		if n.nlink > 0 {
+			n.nlink--
+		}
+		n.mu.Unlock()
+	}
+	delete(d.children, name)
+	d.mtime = m.clock()
+	return 0
+}
+
+// Rename implements Backend. nsMu serializes every backend-path
+// mutation, so the two-parent update below needs no ordering protocol.
+func (m *MemFS) Rename(oldRel, newRel string) linux.Errno {
+	if oldRel == newRel {
+		return 0
+	}
+	if strings.HasPrefix(newRel, oldRel+"/") {
+		return linux.EINVAL // would move a directory into itself
+	}
+	m.nsMu.Lock()
+	defer m.nsMu.Unlock()
+	odir, oname := splitRel(oldRel)
+	ndir, nname := splitRel(newRel)
+	op, errno := m.resolve(odir)
+	if errno != 0 {
+		return errno
+	}
+	np, errno := m.resolve(ndir)
+	if errno != 0 {
+		return errno
+	}
+	if !op.IsDir() || !np.IsDir() {
+		return linux.ENOTDIR
+	}
+	op.mu.RLock()
+	src, ok := op.children[oname]
+	op.mu.RUnlock()
+	if !ok {
+		return linux.ENOENT
+	}
+	np.mu.RLock()
+	target, hasTarget := np.children[nname]
+	np.mu.RUnlock()
+	if hasTarget {
+		if target == src {
+			return 0
+		}
+		if target.IsDir() != src.IsDir() {
+			if target.IsDir() {
+				return linux.EISDIR
+			}
+			return linux.ENOTDIR
+		}
+		if target.IsDir() && target.childCount() > 0 {
+			return linux.ENOTEMPTY
+		}
+	}
+	// Detach, then attach (nsMu held: no concurrent backend mutation).
+	op.mu.Lock()
+	delete(op.children, oname)
+	if src.IsDir() {
+		op.nlink--
+	}
+	op.mtime = m.clock()
+	op.mu.Unlock()
+	np.mu.Lock()
+	if hasTarget && target.IsDir() {
+		np.nlink--
+	}
+	np.children[nname] = src
+	if src.IsDir() {
+		np.nlink++
+	}
+	np.mtime = m.clock()
+	np.mu.Unlock()
+	if src.IsDir() {
+		src.mu.Lock()
+		src.parent = np
+		src.mu.Unlock()
+	}
+	if hasTarget {
+		target.mu.Lock()
+		target.nlink = 0
+		target.mu.Unlock()
+	}
+	return 0
+}

@@ -1,0 +1,510 @@
+package vfs
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"gowali/internal/linux"
+)
+
+// OverlayFS stacks a writable upper backend over a read-only view of a
+// lower backend: reads come from the upper layer when present and fall
+// through to the lower one otherwise; the first write to a lower file
+// copies it up in full, and deletions of lower entries are recorded as
+// whiteouts. The lower backend is never mutated. This is the classic
+// container idiom: many guests sharing one read-only application image
+// (a hostfs mount, say) with private scratch state on top.
+//
+// Renaming a directory that is visible in the lower layer fails with
+// EXDEV (the kernel overlayfs does the same without redirect_dir);
+// file renames copy up first. Upper-only directories rename freely.
+type OverlayFS struct {
+	lower Backend
+	upper Backend
+
+	// mu guards the whiteout/opaque sets and serializes copy-up, so
+	// two concurrent first-writes to one lower file produce a single
+	// coherent upper copy.
+	mu     sync.Mutex
+	wh     map[string]bool // deleted-from-lower paths
+	opaque map[string]bool // upper dirs that hide lower contents
+}
+
+// NewOverlayFS stacks upper (writable; a fresh MemFS when nil) over
+// lower.
+func NewOverlayFS(lower, upper Backend) *OverlayFS {
+	if upper == nil {
+		upper = NewMemFS(nil)
+	}
+	return &OverlayFS{lower: lower, upper: upper, wh: map[string]bool{}, opaque: map[string]bool{}}
+}
+
+// Caps implements Backend.
+func (o *OverlayFS) Caps() Caps {
+	return Caps{StableInos: true, Magic: MagicOverlay}
+}
+
+// hiddenLocked reports whether rel's lower entry is masked by a
+// whiteout or an opaque ancestor. Caller holds o.mu.
+func (o *OverlayFS) hiddenLocked(rel string) bool {
+	if o.wh[rel] {
+		return true
+	}
+	for cur := rel; cur != ""; {
+		dir, _ := splitRel(cur)
+		if o.wh[dir] || o.opaque[dir] {
+			return true
+		}
+		cur = dir
+	}
+	return false
+}
+
+func (o *OverlayFS) hidden(rel string) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.hiddenLocked(rel)
+}
+
+// statLayer resolves rel to (info, fromUpper).
+func (o *OverlayFS) statLayer(rel string) (NodeInfo, bool, linux.Errno) {
+	if info, errno := o.upper.Stat(rel); errno == 0 {
+		return info, true, 0
+	} else if errno != linux.ENOENT {
+		return NodeInfo{}, false, errno
+	}
+	if o.hidden(rel) {
+		return NodeInfo{}, false, linux.ENOENT
+	}
+	info, errno := o.lower.Stat(rel)
+	return info, false, errno
+}
+
+// Lookup implements Backend.
+func (o *OverlayFS) Lookup(dir, name string) (NodeInfo, linux.Errno) {
+	info, _, errno := o.statLayer(joinRel(dir, name))
+	return info, errno
+}
+
+// Stat implements Backend.
+func (o *OverlayFS) Stat(rel string) (NodeInfo, linux.Errno) {
+	info, _, errno := o.statLayer(rel)
+	return info, errno
+}
+
+// ReadDir implements Backend: the merged listing, upper entries
+// shadowing lower ones of the same name.
+func (o *OverlayFS) ReadDir(rel string) ([]DirEntry, linux.Errno) {
+	info, fromUpper, errno := o.statLayer(rel)
+	if errno != 0 {
+		return nil, errno
+	}
+	if info.Mode&linux.S_IFMT != linux.S_IFDIR {
+		return nil, linux.ENOTDIR
+	}
+	seen := map[string]DirEntry{}
+	var names []string
+	add := func(ents []DirEntry) {
+		for _, e := range ents {
+			if _, ok := seen[e.Name]; !ok {
+				seen[e.Name] = e
+				names = append(names, e.Name)
+			}
+		}
+	}
+	if upper, errno := o.upper.ReadDir(rel); errno == 0 {
+		add(upper)
+	} else if fromUpper && errno != linux.ENOENT {
+		return nil, errno
+	}
+	o.mu.Lock()
+	dirHidden := o.hiddenLocked(rel) || o.opaque[rel]
+	o.mu.Unlock()
+	if !dirHidden {
+		if lower, errno := o.lower.ReadDir(rel); errno == 0 {
+			o.mu.Lock()
+			for _, e := range lower {
+				if !o.wh[joinRel(rel, e.Name)] {
+					if _, ok := seen[e.Name]; !ok {
+						seen[e.Name] = e
+						names = append(names, e.Name)
+					}
+				}
+			}
+			o.mu.Unlock()
+		}
+	}
+	sort.Strings(names)
+	out := make([]DirEntry, 0, len(names))
+	for _, n := range names {
+		out = append(out, seen[n])
+	}
+	return out, 0
+}
+
+// ensureUpperDirLocked materializes rel's directory chain in the upper
+// layer (copying directory identity, not contents). Caller holds o.mu.
+func (o *OverlayFS) ensureUpperDirLocked(rel string) linux.Errno {
+	if rel == "" {
+		return 0
+	}
+	if info, errno := o.upper.Stat(rel); errno == 0 {
+		if info.Mode&linux.S_IFMT != linux.S_IFDIR {
+			return linux.ENOTDIR
+		}
+		return 0
+	}
+	dir, _ := splitRel(rel)
+	if errno := o.ensureUpperDirLocked(dir); errno != 0 {
+		return errno
+	}
+	perm := uint32(0o755)
+	if info, errno := o.lower.Stat(rel); errno == 0 {
+		perm = info.Mode & 0o7777
+	}
+	if errno := o.upper.Mkdir(rel, perm); errno != 0 && errno != linux.EEXIST {
+		return errno
+	}
+	return 0
+}
+
+// copyUpLocked copies a lower file into the upper layer byte for byte.
+// Caller holds o.mu (serializing concurrent first-writes).
+func (o *OverlayFS) copyUpLocked(rel string) linux.Errno {
+	if _, errno := o.upper.Stat(rel); errno == 0 {
+		return 0 // already up
+	}
+	if o.hiddenLocked(rel) {
+		return linux.ENOENT
+	}
+	info, errno := o.lower.Stat(rel)
+	if errno != 0 {
+		return errno
+	}
+	switch info.Mode & linux.S_IFMT {
+	case linux.S_IFDIR:
+		return o.ensureUpperDirLocked(rel)
+	case linux.S_IFLNK:
+		lsb, ok1 := o.lower.(SymlinkBackend)
+		usb, ok2 := o.upper.(SymlinkBackend)
+		if !ok1 || !ok2 {
+			return linux.EPERM
+		}
+		t, errno := lsb.Readlink(rel)
+		if errno != 0 {
+			return errno
+		}
+		dir, _ := splitRel(rel)
+		if errno := o.ensureUpperDirLocked(dir); errno != 0 {
+			return errno
+		}
+		return usb.Symlink(rel, t)
+	case linux.S_IFREG:
+	default:
+		return linux.EPERM
+	}
+	dir, _ := splitRel(rel)
+	if errno := o.ensureUpperDirLocked(dir); errno != 0 {
+		return errno
+	}
+	if errno := o.upper.Create(rel, info.Mode&0o7777); errno != 0 && errno != linux.EEXIST {
+		return errno
+	}
+	buf := make([]byte, 64*1024)
+	var off int64
+	for {
+		n, errno := o.lower.ReadAt(rel, buf, off)
+		if errno != 0 {
+			return errno
+		}
+		if n == 0 {
+			break
+		}
+		if _, errno := o.upper.WriteAt(rel, buf[:n], off); errno != 0 {
+			return errno
+		}
+		off += int64(n)
+	}
+	return 0
+}
+
+// ReadAt implements Backend.
+func (o *OverlayFS) ReadAt(rel string, b []byte, off int64) (int, linux.Errno) {
+	if n, errno := o.upper.ReadAt(rel, b, off); errno != linux.ENOENT {
+		return n, errno
+	}
+	if o.hidden(rel) {
+		return 0, linux.ENOENT
+	}
+	return o.lower.ReadAt(rel, b, off)
+}
+
+// WriteAt implements Backend (copy-up on first write to a lower file).
+func (o *OverlayFS) WriteAt(rel string, b []byte, off int64) (int, linux.Errno) {
+	o.mu.Lock()
+	errno := o.copyUpLocked(rel)
+	o.mu.Unlock()
+	if errno != 0 {
+		return 0, errno
+	}
+	return o.upper.WriteAt(rel, b, off)
+}
+
+// Truncate implements Backend (copy-up, then truncate the copy).
+func (o *OverlayFS) Truncate(rel string, size int64) linux.Errno {
+	o.mu.Lock()
+	errno := o.copyUpLocked(rel)
+	o.mu.Unlock()
+	if errno != 0 {
+		return errno
+	}
+	return o.upper.Truncate(rel, size)
+}
+
+// Create implements Backend.
+func (o *OverlayFS) Create(rel string, perm uint32) linux.Errno {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if !o.hiddenLocked(rel) {
+		if _, errno := o.lower.Stat(rel); errno == 0 {
+			return linux.EEXIST
+		}
+	}
+	dir, _ := splitRel(rel)
+	if errno := o.ensureUpperDirLocked(dir); errno != 0 {
+		return errno
+	}
+	if errno := o.upper.Create(rel, perm); errno != 0 {
+		return errno
+	}
+	delete(o.wh, rel)
+	return 0
+}
+
+// Mkdir implements Backend. Re-creating a directory over a whiteout
+// marks it opaque: the lower directory's old contents stay hidden.
+func (o *OverlayFS) Mkdir(rel string, perm uint32) linux.Errno {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	lowerHidden := o.hiddenLocked(rel)
+	if !lowerHidden {
+		if _, errno := o.lower.Stat(rel); errno == 0 {
+			return linux.EEXIST
+		}
+	}
+	dir, _ := splitRel(rel)
+	if errno := o.ensureUpperDirLocked(dir); errno != 0 {
+		return errno
+	}
+	if errno := o.upper.Mkdir(rel, perm); errno != 0 {
+		return errno
+	}
+	if o.wh[rel] {
+		delete(o.wh, rel)
+		o.opaque[rel] = true
+	}
+	return 0
+}
+
+// Symlink implements SymlinkBackend when the upper layer does.
+func (o *OverlayFS) Symlink(rel, target string) linux.Errno {
+	usb, ok := o.upper.(SymlinkBackend)
+	if !ok {
+		return linux.EPERM
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if !o.hiddenLocked(rel) {
+		if _, errno := o.lower.Stat(rel); errno == 0 {
+			return linux.EEXIST
+		}
+	}
+	dir, _ := splitRel(rel)
+	if errno := o.ensureUpperDirLocked(dir); errno != 0 {
+		return errno
+	}
+	if errno := usb.Symlink(rel, target); errno != 0 {
+		return errno
+	}
+	delete(o.wh, rel)
+	return 0
+}
+
+// Readlink implements SymlinkBackend.
+func (o *OverlayFS) Readlink(rel string) (string, linux.Errno) {
+	if usb, ok := o.upper.(SymlinkBackend); ok {
+		if t, errno := usb.Readlink(rel); errno != linux.ENOENT {
+			return t, errno
+		}
+	}
+	if o.hidden(rel) {
+		return "", linux.ENOENT
+	}
+	lsb, ok := o.lower.(SymlinkBackend)
+	if !ok {
+		return "", linux.EINVAL
+	}
+	return lsb.Readlink(rel)
+}
+
+// mergedEmptyLocked reports whether the merged view of directory rel
+// is empty: no upper entries and no lower entries that survive the
+// whiteout/opacity masks. Caller holds o.mu.
+func (o *OverlayFS) mergedEmptyLocked(rel string) (bool, linux.Errno) {
+	if upper, errno := o.upper.ReadDir(rel); errno == 0 {
+		if len(upper) > 0 {
+			return false, 0
+		}
+	} else if errno != linux.ENOENT {
+		return false, errno
+	}
+	if o.hiddenLocked(rel) || o.opaque[rel] {
+		return true, 0
+	}
+	lower, errno := o.lower.ReadDir(rel)
+	if errno != 0 {
+		return true, 0 // no lower dir: upper-only and empty
+	}
+	for _, e := range lower {
+		if !o.wh[joinRel(rel, e.Name)] {
+			return false, 0
+		}
+	}
+	return true, 0
+}
+
+// Unlink implements Backend: remove the upper entry if present, and
+// whiteout the lower one if visible.
+func (o *OverlayFS) Unlink(rel string, dir bool) linux.Errno {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	info, fromUpper, errno := o.statLayerLocked(rel)
+	if errno != 0 {
+		return errno
+	}
+	isDir := info.Mode&linux.S_IFMT == linux.S_IFDIR
+	if dir && !isDir {
+		return linux.ENOTDIR
+	}
+	if !dir && isDir {
+		return linux.EISDIR
+	}
+	if dir {
+		// Merged emptiness: the upper dir may be empty while lower
+		// entries still show through (or vice versa). Checked under
+		// o.mu so a concurrent create cannot slip in between the
+		// check and the whiteout.
+		empty, errno := o.mergedEmptyLocked(rel)
+		if errno != 0 {
+			return errno
+		}
+		if !empty {
+			return linux.ENOTEMPTY
+		}
+	}
+	if fromUpper {
+		if errno := o.upper.Unlink(rel, dir); errno != 0 {
+			return errno
+		}
+	}
+	delete(o.opaque, rel)
+	lowerVisible := false
+	if !o.hiddenLocked(rel) {
+		if _, errno := o.lower.Stat(rel); errno == 0 {
+			lowerVisible = true
+		}
+	}
+	if lowerVisible {
+		o.wh[rel] = true
+	}
+	return 0
+}
+
+func (o *OverlayFS) statLayerLocked(rel string) (NodeInfo, bool, linux.Errno) {
+	if info, errno := o.upper.Stat(rel); errno == 0 {
+		return info, true, 0
+	} else if errno != linux.ENOENT {
+		return NodeInfo{}, false, errno
+	}
+	if o.hiddenLocked(rel) {
+		return NodeInfo{}, false, linux.ENOENT
+	}
+	info, errno := o.lower.Stat(rel)
+	return info, false, errno
+}
+
+// Rename implements Backend. Files copy up and move in the upper
+// layer; directories move only when the lower layer has no visible
+// entry at the old path (EXDEV otherwise, like overlayfs without
+// redirect_dir — callers fall back to copy semantics).
+func (o *OverlayFS) Rename(oldRel, newRel string) linux.Errno {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	info, _, errno := o.statLayerLocked(oldRel)
+	if errno != 0 {
+		return errno
+	}
+	isDir := info.Mode&linux.S_IFMT == linux.S_IFDIR
+	lowerOld := false
+	if !o.hiddenLocked(oldRel) {
+		if _, errno := o.lower.Stat(oldRel); errno == 0 {
+			lowerOld = true
+		}
+	}
+	if isDir {
+		if lowerOld {
+			return linux.EXDEV // lower-visible directory: no redirects
+		}
+	} else if lowerOld {
+		if errno := o.copyUpLocked(oldRel); errno != 0 {
+			return errno
+		}
+	}
+	// Target checks: type compatibility and, for directories, merged
+	// emptiness (rename(2) only replaces empty directories — the upper
+	// backend would only see its own layer's entries, so the merged
+	// view must be checked here). A conflicting upper target is then
+	// replaced by the backend rename; a lower-only target ends up
+	// shadowed by the new upper entry.
+	if tinfo, _, errno := o.statLayerLocked(newRel); errno == 0 {
+		tIsDir := tinfo.Mode&linux.S_IFMT == linux.S_IFDIR
+		if tIsDir != isDir {
+			if tIsDir {
+				return linux.EISDIR
+			}
+			return linux.ENOTDIR
+		}
+		if tIsDir {
+			empty, errno := o.mergedEmptyLocked(newRel)
+			if errno != 0 {
+				return errno
+			}
+			if !empty {
+				return linux.ENOTEMPTY
+			}
+		}
+	}
+	dir, _ := splitRel(newRel)
+	if errno := o.ensureUpperDirLocked(dir); errno != 0 {
+		return errno
+	}
+	if errno := o.upper.Rename(oldRel, newRel); errno != 0 {
+		return errno
+	}
+	// Re-key whiteouts/opacity under the moved subtree and mask the
+	// vacated lower path.
+	for _, set := range []map[string]bool{o.wh, o.opaque} {
+		for k := range set {
+			if k == oldRel || strings.HasPrefix(k, oldRel+"/") {
+				delete(set, k)
+				set[newRel+k[len(oldRel):]] = true
+			}
+		}
+	}
+	delete(o.wh, newRel)
+	if lowerOld {
+		o.wh[oldRel] = true
+	}
+	return 0
+}

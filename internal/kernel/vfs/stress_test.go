@@ -10,16 +10,37 @@ import (
 	"gowali/internal/linux"
 )
 
-// TestParallelNamespaceStress drives create/rename/unlink/readdir/walk
-// from many goroutines over overlapping directory trees. It is primarily
-// a -race exercise of the fine-grained locking (per-inode RWMutex,
-// sharded dentry cache, parent-ordered rename), plus a consistency check
+// The namespace stress suite is parameterized over a root prefix so the
+// differential backend tests (backend_test.go) can run the identical
+// workload against memfs (the root tree), a mounted MemFS, hostfs and
+// overlayfs. The plain tests below run it on the root tree, exactly as
+// before.
+
+// stressRoot walks prefix ("" = root) to the subtree root inode.
+func stressRoot(t *testing.T, fs *FS, prefix string) *Inode {
+	t.Helper()
+	if prefix == "" {
+		return fs.Root
+	}
+	r, errno := fs.Walk("/", prefix, true)
+	if errno != 0 || r.Node == nil {
+		t.Fatalf("walk stress root %s: errno=%v", prefix, errno)
+	}
+	return r.Node
+}
+
+// runParallelNamespaceStress drives create/rename/unlink/readdir/walk
+// from many goroutines over overlapping directory trees under prefix.
+// It is primarily a -race exercise of the fine-grained locking
+// (per-inode RWMutex, sharded dentry cache, parent-ordered rename, and
+// on non-memfs mounts the proxy-inode table), plus a consistency check
 // that the tree survives: every directory still lists and walks.
-func TestParallelNamespaceStress(t *testing.T) {
-	fs := New(nil)
+func runParallelNamespaceStress(t *testing.T, fs *FS, prefix string) {
 	const dirs = 4
 	for i := 0; i < dirs; i++ {
-		fs.MkdirAll(fmt.Sprintf("/d%d/sub", i), 0o755)
+		if fs.MkdirAll(fmt.Sprintf("%s/d%d/sub", prefix, i), 0o755) == nil {
+			t.Fatalf("mkdirall %s/d%d/sub failed", prefix, i)
+		}
 	}
 
 	const workers = 8
@@ -37,8 +58,8 @@ func TestParallelNamespaceStress(t *testing.T) {
 				d1 := rng.Intn(dirs)
 				d2 := rng.Intn(dirs)
 				name := fmt.Sprintf("f%d", rng.Intn(16))
-				src := fmt.Sprintf("/d%d/%s", d1, name)
-				dst := fmt.Sprintf("/d%d/sub/%s", d2, name)
+				src := fmt.Sprintf("%s/d%d/%s", prefix, d1, name)
+				dst := fmt.Sprintf("%s/d%d/sub/%s", prefix, d2, name)
 				switch rng.Intn(6) {
 				case 0:
 					fs.Create("/", src, linux.S_IFREG|0o644, 0, 0, false)
@@ -49,7 +70,7 @@ func TestParallelNamespaceStress(t *testing.T) {
 				case 3:
 					fs.Unlink("/", src, false)
 				case 4:
-					if r, errno := fs.Walk("/", fmt.Sprintf("/d%d", d1), true); errno == 0 && r.Node != nil {
+					if r, errno := fs.Walk("/", fmt.Sprintf("%s/d%d", prefix, d1), true); errno == 0 && r.Node != nil {
 						r.Node.List()
 					}
 				case 5:
@@ -62,7 +83,7 @@ func TestParallelNamespaceStress(t *testing.T) {
 
 	// The tree must still be fully walkable and every entry resolvable.
 	for i := 0; i < dirs; i++ {
-		dir := fmt.Sprintf("/d%d", i)
+		dir := fmt.Sprintf("%s/d%d", prefix, i)
 		r, errno := fs.Walk("/", dir, true)
 		if errno != 0 || r.Node == nil {
 			t.Fatalf("walk %s after stress: errno=%v", dir, errno)
@@ -75,16 +96,19 @@ func TestParallelNamespaceStress(t *testing.T) {
 	}
 }
 
-// TestParallelDirRenameCycle: concurrent cross-directory renames of
-// directories must never create a cycle (a directory inside itself) or
-// deadlock. The ancestry check under renameMu rejects such moves with
-// EINVAL.
-func TestParallelDirRenameCycle(t *testing.T) {
-	fs := New(nil)
-	fs.MkdirAll("/a/b/c", 0o755)
-	fs.MkdirAll("/x", 0o755)
+func TestParallelNamespaceStress(t *testing.T) {
+	runParallelNamespaceStress(t, New(nil), "")
+}
 
-	if errno := fs.Rename("/", "/a", "/a/b/c/a"); errno != linux.EINVAL {
+// runParallelDirRenameCycle: concurrent cross-directory renames of
+// directories must never create a cycle (a directory inside itself) or
+// deadlock. The ancestry check under renameMu (prefix check on proxy
+// mounts) rejects such moves with EINVAL.
+func runParallelDirRenameCycle(t *testing.T, fs *FS, prefix string) {
+	fs.MkdirAll(prefix+"/a/b/c", 0o755)
+	fs.MkdirAll(prefix+"/x", 0o755)
+
+	if errno := fs.Rename("/", prefix+"/a", prefix+"/a/b/c/a"); errno != linux.EINVAL {
 		t.Fatalf("rename into own subtree: got %v, want EINVAL", errno)
 	}
 
@@ -99,14 +123,14 @@ func TestParallelDirRenameCycle(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < iters; i++ {
 				// Shuttle /x under /a/b and back while another goroutine
-				// attempts the inverse; EINVAL/ENOENT outcomes are fine,
-				// cycles and deadlocks are not.
+				// attempts the inverse; EINVAL/ENOENT/EXDEV outcomes are
+				// fine, cycles and deadlocks are not.
 				if g%2 == 0 {
-					fs.Rename("/", "/x", "/a/b/x")
-					fs.Rename("/", "/a/b/x", "/x")
+					fs.Rename("/", prefix+"/x", prefix+"/a/b/x")
+					fs.Rename("/", prefix+"/a/b/x", prefix+"/x")
 				} else {
-					fs.Rename("/", "/a/b", "/x/b")
-					fs.Rename("/", "/x/b", "/a/b")
+					fs.Rename("/", prefix+"/a/b", prefix+"/x/b")
+					fs.Rename("/", prefix+"/x/b", prefix+"/a/b")
 				}
 			}
 		}(g)
@@ -114,32 +138,39 @@ func TestParallelDirRenameCycle(t *testing.T) {
 	wg.Wait()
 
 	// No node may be its own ancestor.
-	for _, path := range []string{"/a", "/a/b", "/x"} {
+	root := stressRoot(t, fs, prefix)
+	for _, path := range []string{prefix + "/a", prefix + "/a/b", prefix + "/x"} {
 		r, errno := fs.Walk("/", path, true)
 		if errno != 0 || r.Node == nil {
 			continue // may legitimately have moved
 		}
 		seen := map[*Inode]bool{}
-		for cur := r.Node; cur != fs.Root; cur = cur.Parent() {
+		for cur := r.Node; cur != root && cur != fs.Root; cur = cur.Parent() {
 			if seen[cur] {
 				t.Fatalf("cycle detected through %s", path)
 			}
 			seen[cur] = true
+			if cur.Parent() == cur {
+				break
+			}
 		}
 	}
 }
 
-// TestRenameAncestorTargetNoDeadlock: renaming over a directory that is
+func TestParallelDirRenameCycle(t *testing.T) {
+	runParallelDirRenameCycle(t, New(nil), "")
+}
+
+// runRenameAncestorTargetNoDeadlock: renaming over a directory that is
 // an ancestor of the source's parent must fail (ENOTEMPTY — it contains
 // the source chain) without ever locking the ancestor, and must not
 // deadlock against concurrent renames replacing directories lower in
 // the same chain.
-func TestRenameAncestorTargetNoDeadlock(t *testing.T) {
-	fs := New(nil)
-	fs.MkdirAll("/a/b/x", 0o755)
-	fs.MkdirAll("/a/w", 0o755)
+func runRenameAncestorTargetNoDeadlock(t *testing.T, fs *FS, prefix string) {
+	fs.MkdirAll(prefix+"/a/b/x", 0o755)
+	fs.MkdirAll(prefix+"/a/w", 0o755)
 
-	if errno := fs.Rename("/", "/a/b/x", "/a"); errno != linux.ENOTEMPTY {
+	if errno := fs.Rename("/", prefix+"/a/b/x", prefix+"/a"); errno != linux.ENOTEMPTY {
 		t.Fatalf("rename over ancestor: got %v, want ENOTEMPTY", errno)
 	}
 
@@ -157,9 +188,9 @@ func TestRenameAncestorTargetNoDeadlock(t *testing.T) {
 				defer wg.Done()
 				for i := 0; i < iters; i++ {
 					if g == 0 {
-						fs.Rename("/", "/a/b/x", "/a") // ENOTEMPTY, ancestor target
+						fs.Rename("/", prefix+"/a/b/x", prefix+"/a") // ENOTEMPTY, ancestor target
 					} else {
-						fs.Rename("/", "/a/w", "/a/b") // ENOTEMPTY, dir-replacing
+						fs.Rename("/", prefix+"/a/w", prefix+"/a/b") // ENOTEMPTY, dir-replacing
 					}
 				}
 			}(g)
@@ -173,17 +204,20 @@ func TestRenameAncestorTargetNoDeadlock(t *testing.T) {
 	}
 }
 
-// TestCreateIntoRemovedDir: creating into a directory that has been
+func TestRenameAncestorTargetNoDeadlock(t *testing.T) {
+	runRenameAncestorTargetNoDeadlock(t, New(nil), "")
+}
+
+// runCreateIntoRemovedDir: creating into a directory that has been
 // rmdir'd (a walk can race ahead of the removal) must fail with ENOENT,
 // not succeed onto an unreachable inode.
-func TestCreateIntoRemovedDir(t *testing.T) {
-	fs := New(nil)
-	fs.MkdirAll("/gone", 0o755)
-	r, errno := fs.Walk("/", "/gone", true)
+func runCreateIntoRemovedDir(t *testing.T, fs *FS, prefix string) {
+	fs.MkdirAll(prefix+"/gone", 0o755)
+	r, errno := fs.Walk("/", prefix+"/gone", true)
 	if errno != 0 || r.Node == nil {
 		t.Fatalf("walk: %v", errno)
 	}
-	if errno := fs.Unlink("/", "/gone", true); errno != 0 {
+	if errno := fs.Unlink("/", prefix+"/gone", true); errno != 0 {
 		t.Fatalf("rmdir: %v", errno)
 	}
 	// Simulate the racer that already resolved /gone: insert through the
@@ -195,18 +229,21 @@ func TestCreateIntoRemovedDir(t *testing.T) {
 	if nlink != 0 {
 		t.Fatalf("removed dir nlink=%d, want 0 (dead mark)", nlink)
 	}
-	if _, errno := fs.Create("/", "/gone/f", linux.S_IFREG|0o644, 0, 0, false); errno != linux.ENOENT {
+	if _, errno := fs.Create("/", prefix+"/gone/f", linux.S_IFREG|0o644, 0, 0, false); errno != linux.ENOENT {
 		t.Fatalf("create into removed dir: got %v, want ENOENT", errno)
 	}
 }
 
-// TestDentryCacheCoherence: a cached lookup must never resurface an
+func TestCreateIntoRemovedDir(t *testing.T) {
+	runCreateIntoRemovedDir(t, New(nil), "")
+}
+
+// runDentryCacheCoherence: a cached lookup must never resurface an
 // unlinked or renamed-away entry.
-func TestDentryCacheCoherence(t *testing.T) {
-	fs := New(nil)
-	fs.MkdirAll("/d", 0o755)
+func runDentryCacheCoherence(t *testing.T, fs *FS, prefix string) {
+	fs.MkdirAll(prefix+"/d", 0o755)
 	for i := 0; i < 200; i++ {
-		p := fmt.Sprintf("/d/f%d", i%8)
+		p := fmt.Sprintf("%s/d/f%d", prefix, i%8)
 		if _, errno := fs.Create("/", p, linux.S_IFREG|0o644, 0, 0, true); errno != 0 {
 			t.Fatalf("create %s: %v", p, errno)
 		}
@@ -222,15 +259,19 @@ func TestDentryCacheCoherence(t *testing.T) {
 		}
 	}
 	// Rename invalidates both names.
-	fs.Create("/", "/d/old", linux.S_IFREG|0o644, 0, 0, true)
-	fs.Walk("/", "/d/old", true)
-	if errno := fs.Rename("/", "/d/old", "/d/new"); errno != 0 {
+	fs.Create("/", prefix+"/d/old", linux.S_IFREG|0o644, 0, 0, true)
+	fs.Walk("/", prefix+"/d/old", true)
+	if errno := fs.Rename("/", prefix+"/d/old", prefix+"/d/new"); errno != 0 {
 		t.Fatalf("rename: %v", errno)
 	}
-	if r, _ := fs.Walk("/", "/d/old", true); r.Node != nil {
+	if r, _ := fs.Walk("/", prefix+"/d/old", true); r.Node != nil {
 		t.Fatal("renamed-away name still resolves")
 	}
-	if r, _ := fs.Walk("/", "/d/new", true); r.Node == nil {
+	if r, _ := fs.Walk("/", prefix+"/d/new", true); r.Node == nil {
 		t.Fatal("rename target does not resolve")
 	}
+}
+
+func TestDentryCacheCoherence(t *testing.T) {
+	runDentryCacheCoherence(t, New(nil), "")
 }

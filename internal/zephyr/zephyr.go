@@ -115,6 +115,26 @@ func New() *Kernel {
 	}
 }
 
+// PreloadFile installs a file in the flat flash filesystem before (or
+// between) runs — the board analogue of mounting a host directory.
+func (z *Kernel) PreloadFile(name string, data []byte) {
+	z.fsMu.Lock()
+	z.files[name] = append([]byte(nil), data...)
+	z.fsMu.Unlock()
+}
+
+// FileSnapshot copies the current flash filesystem contents (name →
+// data), e.g. to sync guest output back to a host directory.
+func (z *Kernel) FileSnapshot() map[string][]byte {
+	z.fsMu.Lock()
+	defer z.fsMu.Unlock()
+	out := make(map[string][]byte, len(z.files))
+	for name, data := range z.files {
+		out[name] = append([]byte(nil), data...)
+	}
+	return out
+}
+
 // ConsoleOutput returns everything printed to the UART console.
 func (z *Kernel) ConsoleOutput() []byte {
 	z.consoleMu.Lock()

@@ -1,0 +1,245 @@
+package gowali
+
+// Mount-table facade tests: a guest spawned through the public API
+// reads and writes real host files through WithMount, read-only mounts
+// surface EROFS at the syscall boundary, and overlays keep the lower
+// layer pristine under guest writes.
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gowali/internal/linux"
+	"gowali/internal/wasm"
+)
+
+// copyModule builds a guest that copies src → dst with raw WALI
+// syscalls: open(src, O_RDONLY); n = pread64(fd, buf, 256, 0);
+// open(dst, O_CREAT|O_WRONLY|O_TRUNC, 0644); write(fd2, buf, n);
+// exit_group(0).
+func copyModule(t testing.TB, src, dst string) *Module {
+	t.Helper()
+	b := wasm.NewBuilder("copy")
+	sysOpen := ImportWALISyscall(b, "open")
+	sysPread := ImportWALISyscall(b, "pread64")
+	sysWrite := ImportWALISyscall(b, "write")
+	sysClose := ImportWALISyscall(b, "close")
+	sysExit := ImportWALISyscall(b, "exit_group")
+	b.Memory(1, 4, false)
+	const (
+		srcPtr = 1024
+		dstPtr = 1280
+		ioBuf  = 2048
+	)
+	b.Data(srcPtr, append([]byte(src), 0))
+	b.Data(dstPtr, append([]byte(dst), 0))
+	f := b.NewFunc(StartExport, nil, nil)
+	fd := f.Local(wasm.I64)
+	n := f.Local(wasm.I64)
+	f.I64Const(srcPtr).I64Const(int64(linux.O_RDONLY)).I64Const(0).Call(sysOpen).LocalSet(fd)
+	f.LocalGet(fd).I64Const(ioBuf).I64Const(256).I64Const(0).Call(sysPread).LocalSet(n)
+	f.LocalGet(fd).Call(sysClose).Drop()
+	f.I64Const(dstPtr).I64Const(int64(linux.O_CREAT | linux.O_WRONLY | linux.O_TRUNC)).I64Const(0o644)
+	f.Call(sysOpen).LocalSet(fd)
+	f.LocalGet(fd).I64Const(ioBuf).LocalGet(n).Call(sysWrite).Drop()
+	f.LocalGet(fd).Call(sysClose).Drop()
+	f.I64Const(0).Call(sysExit).Drop()
+	f.Finish()
+	built, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := CompileBuilt(built)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// openStatusModule builds a guest that exits with -open(path, flags)
+// on failure (so the errno becomes the exit status) and 0 on success.
+func openStatusModule(t testing.TB, path string, flags int32) *Module {
+	t.Helper()
+	b := wasm.NewBuilder("openstatus")
+	sysOpen := ImportWALISyscall(b, "open")
+	sysExit := ImportWALISyscall(b, "exit_group")
+	b.Memory(1, 4, false)
+	const pathPtr = 1024
+	b.Data(pathPtr, append([]byte(path), 0))
+	f := b.NewFunc(StartExport, nil, nil)
+	ret := f.Local(wasm.I64)
+	f.I64Const(pathPtr).I64Const(int64(flags)).I64Const(0o644).Call(sysOpen).LocalSet(ret)
+	f.Block()
+	f.LocalGet(ret).I64Const(0).Op(wasm.OpI64LtS).Op(wasm.OpI32Eqz).BrIf(0)
+	f.I64Const(0).LocalGet(ret).Op(wasm.OpI64Sub).Call(sysExit).Drop()
+	f.End()
+	f.I64Const(0).Call(sysExit).Drop()
+	f.Finish()
+	built, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := CompileBuilt(built)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestWithMountEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "input.txt"), []byte("mounted hello"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	host, err := NewHostFS(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := New(WithMount("/data", host))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, mi := range rt.Mounts() {
+		if mi.Path == "/data" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("mount table missing /data: %+v", rt.Mounts())
+	}
+	status, err := rt.Run(context.Background(), copyModule(t, "/data/input.txt", "/data/out.txt"), []string{"copy"}, nil)
+	if err != nil || status != 0 {
+		t.Fatalf("guest: status=%d err=%v", status, err)
+	}
+	got, err := os.ReadFile(filepath.Join(dir, "out.txt"))
+	if err != nil {
+		t.Fatalf("host missing guest output: %v", err)
+	}
+	if string(got) != "mounted hello" {
+		t.Fatalf("guest copied %q", got)
+	}
+}
+
+func TestWithMountReadOnlyEROFS(t *testing.T) {
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "ro.txt"), []byte("x"), 0o644)
+	host, err := NewHostFS(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := New(WithMount("/ro", host, MountReadOnly()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// Opening an existing file for write on a read-only mount: EROFS.
+	status, err := rt.Run(ctx, openStatusModule(t, "/ro/ro.txt", linux.O_WRONLY), []string{"w"}, nil)
+	if err != nil || status != int32(linux.EROFS) {
+		t.Fatalf("O_WRONLY on ro mount: status=%d err=%v, want %d (EROFS)", status, err, linux.EROFS)
+	}
+	// Creating a new file: EROFS too.
+	status, err = rt.Run(ctx, openStatusModule(t, "/ro/new.txt", linux.O_CREAT|linux.O_WRONLY), []string{"c"}, nil)
+	if err != nil || status != int32(linux.EROFS) {
+		t.Fatalf("O_CREAT on ro mount: status=%d err=%v, want EROFS", status, err)
+	}
+	// Reading still works.
+	status, err = rt.Run(ctx, openStatusModule(t, "/ro/ro.txt", linux.O_RDONLY), []string{"r"}, nil)
+	if err != nil || status != 0 {
+		t.Fatalf("O_RDONLY on ro mount: status=%d err=%v", status, err)
+	}
+}
+
+func TestWithMountOverlayKeepsLowerPristine(t *testing.T) {
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "input.txt"), []byte("image data"), 0o644)
+	lower, err := NewHostFS(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := New(WithMount("/app", NewOverlayFS(lower)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The guest copies a lower file to a new path *and* overwrites the
+	// original — both writes land in the overlay's upper layer.
+	status, err := rt.Run(context.Background(), copyModule(t, "/app/input.txt", "/app/copy.txt"), []string{"c"}, nil)
+	if err != nil || status != 0 {
+		t.Fatalf("copy: status=%d err=%v", status, err)
+	}
+	status, err = rt.Run(context.Background(), copyModule(t, "/app/copy.txt", "/app/input.txt"), []string{"c2"}, nil)
+	if err != nil || status != 0 {
+		t.Fatalf("overwrite: status=%d err=%v", status, err)
+	}
+	// Host image untouched; no copy.txt appeared on the host.
+	got, _ := os.ReadFile(filepath.Join(dir, "input.txt"))
+	if string(got) != "image data" {
+		t.Fatalf("lower image mutated: %q", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "copy.txt")); err == nil {
+		t.Fatal("overlay write leaked into the read-only lower layer")
+	}
+}
+
+func TestRuntimeMountUnmountLive(t *testing.T) {
+	rt, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Mount("/scratch", NewMemFS()); err != nil {
+		t.Fatal(err)
+	}
+	k := rt.Kernel()
+	if errno := k.FS.WriteFile("/scratch/s.txt", []byte("s"), 0o644); errno != 0 {
+		t.Fatalf("write on live mount: %v", errno)
+	}
+	if err := rt.Unmount("/scratch"); err != nil {
+		t.Fatal(err)
+	}
+	if r, _ := k.FS.Walk("/", "/scratch/s.txt", true); r.Node != nil {
+		t.Fatal("unmounted scratch content still visible")
+	}
+	if err := rt.Unmount("/scratch"); err == nil {
+		t.Fatal("double unmount succeeded")
+	}
+}
+
+func TestWithMountSpecParsing(t *testing.T) {
+	dir := t.TempDir()
+	opt, err := WithMountSpec(dir + "=/data:ro")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mi *MountInfo
+	for i := range rt.Mounts() {
+		if rt.Mounts()[i].Path == "/data" {
+			m := rt.Mounts()[i]
+			mi = &m
+		}
+	}
+	if mi == nil || !mi.ReadOnly {
+		t.Fatalf("spec mount wrong: %+v", rt.Mounts())
+	}
+	for _, bad := range []string{"", "nodir", "=/g", "h=", "h=relative"} {
+		if _, err := WithMountSpec(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+func TestWithMountRejectedOnWAZI(t *testing.T) {
+	dir := t.TempDir()
+	host, err := NewHostFS(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(WithHost(WAZIHost()), WithMount("/d", host)); err == nil {
+		t.Fatal("WithMount on WAZI host accepted")
+	}
+}

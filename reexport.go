@@ -4,6 +4,7 @@ import (
 	"gowali/internal/core"
 	"gowali/internal/interp"
 	"gowali/internal/kernel"
+	"gowali/internal/kernel/vfs"
 	"gowali/internal/trace"
 	"gowali/internal/wasi"
 	"gowali/internal/wasm"
@@ -54,6 +55,50 @@ func NewKernel() *Kernel { return kernel.NewKernel() }
 // Preopen grants a WASI directory capability: the guest path maps onto
 // the given path in the runtime's kernel filesystem.
 type Preopen = wasi.Preopen
+
+// Backend is a mountable filesystem implementation; see WithMount.
+// Three ship with the runtime — NewMemFS, NewHostFS and NewOverlayFS —
+// and embedders can mount their own implementations of the interface.
+type Backend = vfs.Backend
+
+// BackendCaps reports a backend's capability flags (read-only, stable
+// inode identity, statfs magic).
+type BackendCaps = vfs.Caps
+
+// BackendNodeInfo describes one node of a backend (the backend half of
+// a stat), for embedders implementing their own Backend.
+type BackendNodeInfo = vfs.NodeInfo
+
+// BackendDirEntry is one directory entry a Backend lists.
+type BackendDirEntry = vfs.DirEntry
+
+// MountInfo is one row of Runtime.Mounts.
+type MountInfo = vfs.MountInfo
+
+// NewMemFS creates an empty in-memory filesystem backend — a private
+// scratch tmpfs when mounted (the kernel's root filesystem is the same
+// implementation).
+func NewMemFS() Backend { return vfs.NewMemFS(nil) }
+
+// NewHostFS opens a host directory as a mountable backend: guests read
+// and write real host files under it, contained by os.Root (symlink
+// escapes are rejected by the host kernel). With readOnly set every
+// mutation fails with EROFS.
+func NewHostFS(hostDir string, readOnly bool) (Backend, error) {
+	return vfs.NewHostFS(hostDir, readOnly)
+}
+
+// NewOverlayFS stacks copy-up writes over a read-only view of lower:
+// reads fall through to lower until a path is first written, deletes
+// are recorded as whiteouts, and lower is never mutated. Writes land
+// in a fresh in-memory upper layer; use NewOverlayFSOn to supply a
+// persistent one. The container idiom: a fleet of guests sharing one
+// read-only hostfs image, each with private scratch state on top.
+func NewOverlayFS(lower Backend) Backend { return vfs.NewOverlayFS(lower, nil) }
+
+// NewOverlayFSOn is NewOverlayFS with an explicit writable upper
+// backend (e.g. a hostfs directory that persists the deltas).
+func NewOverlayFSOn(lower, upper Backend) Backend { return vfs.NewOverlayFS(lower, upper) }
 
 // Collector accumulates syscall profiles from a run; install its Observe
 // method with WithSyscallHook.
