@@ -21,6 +21,7 @@ type (
 	Fig8MemRow = ib.Fig8MemRow
 	Fig9Point  = ib.Fig9Point
 	FSMicroRow = ib.FSMicroRow
+	NetEchoRow = ib.NetEchoRow
 )
 
 // ScaleoutConfig parameterizes Fig9ScaleoutCfg's filesystem backing:
@@ -100,6 +101,20 @@ func Fig9ScaleoutCfg(cfg ScaleoutConfig) []Fig9Point { return ib.Fig9ScaleoutCfg
 
 // FormatFig9 renders the scale-out curve.
 func FormatFig9(pts []Fig9Point) string { return ib.FormatFig9(pts) }
+
+// NetEcho measures socket round-trip latency and throughput through
+// the netstack backends: a poll-driven guest echo server against a
+// client sending msgs size-byte messages. backends selects rows from
+// "loopback" (one kernel), "switch" (two kernels over a virtual
+// switch) and "host" (a real host TCP client through HostNet); nil
+// runs all three. Every read on both sides blocks in poll first, so
+// RTT/2 bounds the poll wakeup latency.
+func NetEcho(msgs, size int, backends []string) []NetEchoRow {
+	return ib.NetEcho(msgs, size, backends)
+}
+
+// FormatNetEcho renders the echo table.
+func FormatNetEcho(rows []NetEchoRow) string { return ib.FormatNetEcho(rows) }
 
 // FSMicro measures a guest open/pread64/close loop against the memfs,
 // hostfs and overlayfs mount backends (hostDir backs the host-mapped

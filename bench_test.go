@@ -92,6 +92,24 @@ func BenchmarkFig9Scaleout(b *testing.B) {
 	}
 }
 
+// BenchmarkNetEcho measures socket echo RTT through the netstack
+// backends: every read on both sides blocks in poll(2) first, so the
+// reported rtt_ns is two event-driven poll wakeups plus the copies —
+// the paper-floor comparison for the wait-queue readiness path (the
+// old sampled path could not go below ~50µs/RTT).
+func BenchmarkNetEcho(b *testing.B) {
+	for _, backend := range []string{"loopback", "switch", "host"} {
+		backend := backend
+		b.Run(backend, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rows := bench.NetEcho(500, 64, []string{backend})
+				b.ReportMetric(float64(rows[0].RTT.Nanoseconds()), "rtt_ns")
+				b.ReportMetric(float64(rows[0].Wakeup.Nanoseconds()), "wakeup_ns")
+			}
+		})
+	}
+}
+
 // BenchmarkFSMicroBackends prices the mount-table backends on the
 // hottest file path — a guest open/pread64/close loop — against memfs,
 // hostfs and overlayfs (ns/syscall reported per backend).

@@ -32,6 +32,7 @@ func main() {
 	f8m := flag.Bool("fig8mem", false, "peak memory comparison (Fig. 8a)")
 	f9 := flag.Bool("scaleout", false, "multi-guest syscall throughput vs concurrency (Fig. 9)")
 	fsm := flag.Bool("fsmicro", false, "memfs vs hostfs vs overlayfs open/pread64 micro-benchmark")
+	ne := flag.Bool("netecho", false, "socket echo RTT/throughput across net backends (loopback, switch, hostnet)")
 	iters := flag.Int("iters", 2000, "iterations for Table 2")
 	scaleIters := flag.Int("scaleout-iters", 200, "per-guest loop iterations for -scaleout")
 	guestList := flag.String("guests", "", "comma-separated guest counts for -scaleout (default: powers of two through 4xNumCPU)")
@@ -39,13 +40,16 @@ func main() {
 	scaleoutRO := flag.String("scaleout-ro", "", "host dir mounted read-only at /img; -scaleout guests share its image file each iteration")
 	fsmIters := flag.Int("fsmicro-iters", 2000, "loop iterations per backend for -fsmicro")
 	fsmDir := flag.String("fsmicro-dir", "", "host dir backing the -fsmicro hostfs/overlayfs rows (default: a temp dir)")
+	neMsgs := flag.Int("netecho-msgs", 2000, "round trips per backend for -netecho")
+	neSize := flag.Int("netecho-size", 64, "message size in bytes for -netecho")
+	neBackends := flag.String("netecho-backends", "", "comma-separated -netecho backends (default: loopback,switch,host)")
 	scaleList := flag.String("scales", "20000,60000,120000", "lua scales for -fig8time (bash/sqlite scaled down proportionally)")
 	flag.Parse()
 
 	if *all {
-		*t1, *t2, *t3, *f7, *f8t, *f8m, *f9, *fsm = true, true, true, true, true, true, true, true
+		*t1, *t2, *t3, *f7, *f8t, *f8m, *f9, *fsm, *ne = true, true, true, true, true, true, true, true, true
 	}
-	if !(*t1 || *t2 || *t3 || *f7 || *f8t || *f8m || *f9 || *fsm) {
+	if !(*t1 || *t2 || *t3 || *f7 || *f8t || *f8m || *f9 || *fsm || *ne) {
 		*t1, *t2 = true, true
 	}
 
@@ -109,6 +113,17 @@ func main() {
 			fmt.Printf("fs backing: work=%s shared-ro=%s\n", orMemfs(cfg.WorkDir), orNone(cfg.SharedDir))
 		}
 		fmt.Print(bench.FormatFig9(bench.Fig9ScaleoutCfg(cfg)))
+	}
+	if *ne {
+		fmt.Println("== NetEcho: socket RTT across net backends ==")
+		var backends []string
+		for _, b := range strings.Split(*neBackends, ",") {
+			if b = strings.TrimSpace(b); b != "" {
+				backends = append(backends, b)
+			}
+		}
+		fmt.Print(bench.FormatNetEcho(bench.NetEcho(*neMsgs, *neSize, backends)))
+		fmt.Println()
 	}
 	if *fsm {
 		fmt.Println("== VFS backends: open/pread64/close micro-benchmark ==")

@@ -6,12 +6,16 @@
 //	wali-run -app bash -verbose
 //	wali-run program.wasm arg1 arg2
 //	wali-run -dir /srv/data=/data -dir /srv/image=/app:ro program.wasm
+//	wali-run -net host=8080:127.0.0.1:18080 server.wasm
 //
 // -dir mounts a host directory into the guest filesystem (repeatable;
-// a ":ro" suffix makes the mount read-only). -verbose mirrors
-// WALI_VERBOSE: every dynamically executed syscall is printed
-// (experiment E1). The guest's exit status becomes the host process
-// exit status; guest traps print the Wasm backtrace.
+// a ":ro" suffix makes the mount read-only). -net selects the guest
+// network stack (repeatable directives): "host=PORT:HOSTADDR" maps a
+// guest listener port to a real host listen address, "allow=PATTERN"
+// permits outbound dials, plain "loop" is the default in-kernel
+// loopback. -verbose mirrors WALI_VERBOSE: every dynamically executed
+// syscall is printed (experiment E1). The guest's exit status becomes
+// the host process exit status; guest traps print the Wasm backtrace.
 package main
 
 import (
@@ -41,6 +45,8 @@ func main() {
 	stats := flag.Bool("stats", false, "print syscall statistics after the run")
 	var dirs dirFlags
 	flag.Var(&dirs, "dir", "mount a host directory: hostdir=/guestpath[:ro] (repeatable)")
+	var nets dirFlags
+	flag.Var(&nets, "net", "network stack directive: loop | host=PORT:HOSTADDR | allow=PATTERN (repeatable)")
 	flag.Parse()
 
 	col := gowali.NewCollector()
@@ -55,6 +61,11 @@ func main() {
 		}
 		opts = append(opts, opt)
 	}
+	netOpt, err := gowali.WithNetFlags(nets...)
+	if err != nil {
+		fatal(err)
+	}
+	opts = append(opts, netOpt)
 	rt, err := gowali.New(opts...)
 	if err != nil {
 		fatal(err)

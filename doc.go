@@ -34,6 +34,9 @@
 //	WithStdio(in, out, errw) connect guest stdio to host streams
 //	WithMount(path, b, ...)  mount a filesystem backend at a guest path
 //	                         (NewHostFS / NewMemFS / NewOverlayFS)
+//	WithNet(backend)         AF_INET netstack: loopback (default),
+//	                         NewHostNet (real host sockets under policy),
+//	                         NewSwitch().Node (cross-kernel virtual switch)
 //
 // The host layer is chosen per-runtime, not per-codepath: the same
 // Spawn/Wait surface runs WALI binaries, pure-WASI modules (WASI

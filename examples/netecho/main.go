@@ -1,0 +1,187 @@
+// Netecho: serve a guest TCP echo server to real host clients through
+// gowali's HostNet backend — the first end-to-end path from a host
+// socket into a guest. The guest binds 0.0.0.0:7070 with plain Linux
+// syscalls (socket, bind, listen, poll, accept, recvfrom, sendto);
+// WithNet maps that guest port onto a real host listener, and a host
+// TCP client round-trips messages through it. The same guest module
+// can be emitted as a .wasm binary (-emit) and served with
+// `wali-run -net host=7070:127.0.0.1:18080 guest.wasm`.
+//
+//	go run ./examples/netecho                     # self-contained round trip
+//	go run ./examples/netecho -listen 127.0.0.1:18080
+//	go run ./examples/netecho -emit guest.wasm    # also write the guest binary
+//	go run ./examples/netecho -dial 127.0.0.1:18080 -msg "ping"
+//
+// -dial skips the runtime entirely and acts as a plain host client
+// (the CI e2e uses it to probe a wali-run-served guest).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"time"
+
+	"gowali"
+	"gowali/wasm"
+)
+
+// guestPort is the port the guest server binds inside its kernel.
+const guestPort = 7070
+
+// buildGuest compiles the echo server: bind/listen/accept one
+// connection, then echo poll-driven until the client closes.
+func buildGuest() (*wasm.Module, error) {
+	b := wasm.NewBuilder("netecho-guest")
+	sys := map[string]uint32{}
+	for _, s := range []string{
+		"socket", "bind", "listen", "accept", "poll",
+		"recvfrom", "sendto", "close", "exit_group",
+	} {
+		sys[s] = gowali.ImportWALISyscall(b, s)
+	}
+	b.Memory(2, 16, false)
+	const (
+		addrBuf = 1024 // sockaddr_in {AF_INET, htons(7070), 0.0.0.0}
+		pollBuf = 2048 // struct pollfd
+		ioBuf   = 4096
+	)
+	b.Data(addrBuf, []byte{2, 0, byte(guestPort >> 8), byte(guestPort & 0xff), 0, 0, 0, 0})
+
+	const pollin = 0x001
+	f := b.NewFunc(gowali.StartExport, nil, nil)
+	ls := f.Local(wasm.I64)
+	cs := f.Local(wasm.I64)
+	n := f.Local(wasm.I64)
+	pollOn := func(fd uint32) {
+		f.I32Const(pollBuf).LocalGet(fd).Op(wasm.OpI32WrapI64).Store(wasm.OpI32Store, 0)
+		f.I32Const(pollBuf+4).I32Const(pollin).Store(wasm.OpI32Store16, 0)
+		f.I32Const(pollBuf+6).I32Const(0).Store(wasm.OpI32Store16, 0)
+	}
+
+	// ls = socket(AF_INET=2, SOCK_STREAM=1, 0); bind; listen
+	f.I64Const(2).I64Const(1).I64Const(0).Call(sys["socket"]).LocalSet(ls)
+	f.LocalGet(ls).I64Const(addrBuf).I64Const(8).Call(sys["bind"]).Drop()
+	f.LocalGet(ls).I64Const(16).Call(sys["listen"]).Drop()
+	// Block in poll until a host client connects, then accept it.
+	pollOn(ls)
+	f.I64Const(pollBuf).I64Const(1).I64Const(-1).Call(sys["poll"]).Drop()
+	f.LocalGet(ls).I64Const(0).I64Const(0).Call(sys["accept"]).LocalSet(cs)
+	// Echo until EOF, blocking in poll before every read.
+	pollOn(cs)
+	f.Block()
+	f.Loop()
+	f.I64Const(pollBuf).I64Const(1).I64Const(-1).Call(sys["poll"]).Drop()
+	f.LocalGet(cs).I64Const(ioBuf).I64Const(32768).I64Const(0).I64Const(0).I64Const(0)
+	f.Call(sys["recvfrom"]).LocalSet(n)
+	f.LocalGet(n).I64Const(0).Op(wasm.OpI64LeS).BrIf(1)
+	f.LocalGet(cs).I64Const(ioBuf).LocalGet(n).I64Const(0).I64Const(0).I64Const(0)
+	f.Call(sys["sendto"]).Drop()
+	f.Br(0)
+	f.End()
+	f.End()
+	f.LocalGet(cs).Call(sys["close"]).Drop()
+	f.LocalGet(ls).Call(sys["close"]).Drop()
+	f.I64Const(0).Call(sys["exit_group"]).Drop()
+	f.Finish()
+	return b.Build()
+}
+
+// probe round-trips msg through addr and returns the echo.
+func probe(addr, msg string) (string, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte(msg)); err != nil {
+		return "", err
+	}
+	buf := make([]byte, len(msg))
+	got := 0
+	for got < len(msg) {
+		n, err := c.Read(buf[got:])
+		if err != nil {
+			return "", err
+		}
+		got += n
+	}
+	return string(buf[:got]), nil
+}
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:0", "host address backing the guest listener")
+	emit := flag.String("emit", "", "also write the guest module to this .wasm file")
+	dial := flag.String("dial", "", "client-only mode: probe an already-running echo server at this host address")
+	msg := flag.String("msg", "hello from the host", "message to round-trip")
+	flag.Parse()
+
+	// Client-only mode: probe and report.
+	if *dial != "" {
+		echo, err := probe(*dial, *msg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if echo != *msg {
+			log.Fatalf("echo mismatch: sent %q, got %q", *msg, echo)
+		}
+		fmt.Printf("echo ok: %q\n", echo)
+		return
+	}
+
+	// 1. The guest echo server (optionally emitted for wali-run -net).
+	built, err := buildGuest()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *emit != "" {
+		if err := os.WriteFile(*emit, wasm.Encode(built), 0o755); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("emitted guest binary: %s\n", *emit)
+	}
+	m, err := gowali.CompileBuilt(built)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. A runtime whose network maps guest port 7070 onto a host
+	//    listener.
+	hn := gowali.NewHostNet(gowali.HostNetConfig{
+		Binds: map[uint16]string{guestPort: *listen},
+	})
+	rt, err := gowali.New(gowali.WithNet(hn))
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := rt.Spawn(context.Background(), m, []string{"netecho"}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. The guest's listen(2) became a real host listener; dial it.
+	addr := hn.BoundAddr(guestPort)
+	for i := 0; addr == "" && i < 5000; i++ {
+		time.Sleep(time.Millisecond)
+		addr = hn.BoundAddr(guestPort)
+	}
+	if addr == "" {
+		log.Fatal("guest listener never appeared on the host")
+	}
+	fmt.Printf("guest echo server listening on host %s\n", addr)
+	echo, err := probe(addr, *msg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("host sent %q, guest echoed %q\n", *msg, echo)
+	if echo != *msg {
+		log.Fatal("round trip mismatch")
+	}
+	if _, err := p.Wait(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("round trip ok")
+}

@@ -192,3 +192,100 @@ func BenchmarkSpawnColdModule(b *testing.B) {
 		}
 	}
 }
+
+// TestWithNetFlags proves the -net directive parser: accepted forms
+// build a backend, malformed ones error, and conflicting directives
+// are rejected.
+func TestWithNetFlags(t *testing.T) {
+	good := [][]string{
+		nil,
+		{"loop"},
+		{"loopback"},
+		{"host"},
+		{"host=8080:127.0.0.1:18080"},
+		{"host=8080:127.0.0.1:0", "host=9090:127.0.0.1:0", "allow=*"},
+		{"allow=10.0.0.1:443"},
+	}
+	for _, specs := range good {
+		if _, err := WithNetFlags(specs...); err != nil {
+			t.Errorf("WithNetFlags(%v): %v", specs, err)
+		}
+	}
+	bad := [][]string{
+		{"tcp"},
+		{"host=nope"},
+		{"host=8080"},
+		{"host=99999:127.0.0.1:1"},
+		{"allow="},
+		{"loop", "host=8080:127.0.0.1:1"},
+	}
+	for _, specs := range bad {
+		if _, err := WithNetFlags(specs...); err == nil {
+			t.Errorf("WithNetFlags(%v) accepted", specs)
+		}
+	}
+}
+
+// TestWithNetWAZIRejected: the WAZI board has no socket surface.
+func TestWithNetWAZIRejected(t *testing.T) {
+	if _, err := New(WithHost(WAZIHost()), WithNet(NewLoopbackNet())); err == nil {
+		t.Fatal("WithNet over WAZI should fail")
+	}
+}
+
+// TestSwitchAcrossRuntimes joins two independently built runtimes with
+// a virtual switch and exchanges a message between their kernels.
+func TestSwitchAcrossRuntimes(t *testing.T) {
+	sw := NewSwitch()
+	nodeA, err := sw.Node("10.9.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodeB, err := sw.Node("10.9.0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtA, err := New(WithNet(nodeA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtB, err := New(WithNet(nodeB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := rtA.Kernel().NewProcess("srv", nil, nil)
+	client := rtB.Kernel().NewProcess("cli", nil, nil)
+
+	ls, errno := server.SocketSyscall(2, 1, 0) // AF_INET, SOCK_STREAM
+	if errno != 0 {
+		t.Fatalf("socket: %v", errno)
+	}
+	if errno := server.Bind(ls, NetAddr{Family: 2, Port: 7100}); errno != 0 {
+		t.Fatalf("bind: %v", errno)
+	}
+	if errno := server.Listen(ls, 1); errno != 0 {
+		t.Fatalf("listen: %v", errno)
+	}
+	cfd, errno := client.SocketSyscall(2, 1, 0)
+	if errno != 0 {
+		t.Fatalf("client socket: %v", errno)
+	}
+	if errno := client.Connect(cfd, NetAddr{Family: 2, Port: 7100, Addr: [4]byte{10, 9, 0, 1}}); errno != 0 {
+		t.Fatalf("cross-runtime connect: %v", errno)
+	}
+	sfd, peer, errno := server.Accept(ls, 0)
+	if errno != 0 {
+		t.Fatalf("accept: %v", errno)
+	}
+	if peer.Addr != [4]byte{10, 9, 0, 2} {
+		t.Fatalf("peer = %v, want 10.9.0.2", peer)
+	}
+	if _, errno := client.SendTo(cfd, []byte("cross"), 0, nil); errno != 0 {
+		t.Fatalf("send: %v", errno)
+	}
+	buf := make([]byte, 8)
+	n, _, errno := server.RecvFrom(sfd, buf, 0)
+	if errno != 0 || string(buf[:n]) != "cross" {
+		t.Fatalf("recv: %q %v", buf[:n], errno)
+	}
+}

@@ -3,6 +3,7 @@ package gowali
 import (
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 	"time"
 
@@ -23,6 +24,7 @@ type config struct {
 	hook   func(SyscallEvent)
 	host   Host
 	mounts []mountSpec
+	net    NetBackend
 
 	stdin  io.Reader
 	stdout io.Writer
@@ -131,6 +133,73 @@ func parseMountSpec(spec string) (hostDir, guestPath string, ro bool, err error)
 	return hostDir, guestPath, ro, nil
 }
 
+// WithNet selects the runtime kernel's AF_INET network stack
+// (WALI-backed hosts only). The default is the in-kernel loopback;
+// NewHostNet passes guest sockets through to real host sockets under
+// an explicit bind-map and allowlist, and NewSwitch().Node attaches
+// the kernel to a cross-kernel virtual switch so guests in different
+// runtimes exchange traffic:
+//
+//	hn := gowali.NewHostNet(gowali.HostNetConfig{
+//		Binds: map[uint16]string{8080: "127.0.0.1:18080"},
+//	})
+//	rt, _ := gowali.New(gowali.WithNet(hn))
+//
+// AF_UNIX sockets always stay on the kernel-private loopback, like a
+// network namespace's abstract socket space.
+func WithNet(b NetBackend) Option { return func(c *config) { c.net = b } }
+
+// WithNetFlags parses CLI-style -net directives into one WithNet
+// option (the cmd/ tools' repeatable -net flag feeds it):
+//
+//	loop                     the in-kernel loopback (default)
+//	host                     host passthrough, deny-all policy
+//	host=PORT:HOSTADDR       map guest PORT to a host listen address
+//	                         (repeatable; ":0" picks a free host port)
+//	allow=PATTERN            allow outbound dials: "ip:port", "*:port",
+//	                         "ip:*" or "*" (repeatable; implies host)
+//
+// No directives means no option (loopback).
+func WithNetFlags(specs ...string) (Option, error) {
+	if len(specs) == 0 {
+		return func(*config) {}, nil
+	}
+	cfg := HostNetConfig{Binds: map[uint16]string{}}
+	hostNet, loop := false, false
+	for _, spec := range specs {
+		switch {
+		case spec == "loop" || spec == "loopback":
+			loop = true
+		case spec == "host":
+			hostNet = true
+		case strings.HasPrefix(spec, "host="):
+			portStr, hostAddr, ok := strings.Cut(strings.TrimPrefix(spec, "host="), ":")
+			port, err := strconv.ParseUint(portStr, 10, 16)
+			if !ok || err != nil || hostAddr == "" {
+				return nil, fmt.Errorf("gowali: bad -net spec %q (want host=GUESTPORT:HOSTADDR)", spec)
+			}
+			cfg.Binds[uint16(port)] = hostAddr
+			hostNet = true
+		case strings.HasPrefix(spec, "allow="):
+			pat := strings.TrimPrefix(spec, "allow=")
+			if pat == "" {
+				return nil, fmt.Errorf("gowali: bad -net spec %q", spec)
+			}
+			cfg.Allow = append(cfg.Allow, pat)
+			hostNet = true
+		default:
+			return nil, fmt.Errorf("gowali: bad -net spec %q", spec)
+		}
+	}
+	if hostNet && loop {
+		return nil, fmt.Errorf("gowali: -net loop conflicts with host directives")
+	}
+	if !hostNet {
+		return WithNet(nil), nil // explicit loopback
+	}
+	return WithNet(NewHostNet(cfg)), nil
+}
+
 // WithStdio connects the guest's standard streams to host streams
 // (WALI-backed hosts; the WAZI board console is not redirectable):
 //
@@ -201,6 +270,9 @@ func (h *waliHost) apply(r *Runtime, c *config) error {
 			return err
 		}
 	}
+	if c.net != nil {
+		k.SetNetBackend(c.net)
+	}
 	return nil
 }
 
@@ -250,6 +322,9 @@ func (waziHost) apply(r *Runtime, c *config) error {
 	}
 	if len(c.mounts) > 0 {
 		return fmt.Errorf("gowali: WithMount requires a WALI-backed host (the WAZI board has a flat flash filesystem; preload it with InstallBoardFile)")
+	}
+	if c.net != nil {
+		return fmt.Errorf("gowali: WithNet requires a WALI-backed host (the WAZI board has no socket surface)")
 	}
 	w := wazi.New()
 	w.Scheme = c.scheme

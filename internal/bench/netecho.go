@@ -1,0 +1,359 @@
+package bench
+
+import (
+	"fmt"
+	gonet "net"
+	"strings"
+	"time"
+
+	"gowali/internal/core"
+	"gowali/internal/interp"
+	"gowali/internal/isa"
+	"gowali/internal/kernel"
+	knet "gowali/internal/kernel/net"
+	"gowali/internal/linux"
+	"gowali/internal/wasm"
+)
+
+// ---------- NetEcho (guest networking) ----------
+//
+// NetEcho measures socket round-trip latency and throughput through
+// the netstack backends: a poll-driven guest echo server, and a client
+// hammering it with fixed-size messages. Every receive on both sides
+// blocks in poll(2) first, so each round trip pays two poll wakeups —
+// the number under test. With the old 25µs readiness sampling the
+// floor was ~50-100µs per round trip; with event-driven wait queues a
+// round trip is a handful of microseconds.
+//
+// Three rows:
+//
+//	loopback  client and server guests in one kernel
+//	switch    client and server guests in different kernels joined by
+//	          a virtual switch (cross-kernel traffic)
+//	host      guest server behind HostNet; a real host TCP client
+//	          round-trips through actual host sockets
+
+// NetEchoRow is one backend measurement.
+type NetEchoRow struct {
+	Backend string
+	Msgs    int
+	Size    int
+	Elapsed time.Duration
+	RTT     time.Duration // per round trip (2 poll wakeups)
+	Wakeup  time.Duration // RTT/2: one poll-wakeup + copy bound
+	PerSec  float64       // round trips per second
+}
+
+// netEchoPort is the guest-side port the echo server binds.
+const netEchoPort = 7777
+
+const (
+	neAddrBuf = 1024 // sockaddr_in
+	nePollBuf = 2048 // struct pollfd
+	neTsBuf   = 2064 // 1ms timespec for connect retries
+	neIoBuf   = 4096 // message payload
+)
+
+// neImports declares the syscalls both echo guests use.
+func neImports(b *wasm.Builder) map[string]uint32 {
+	sys := map[string]uint32{}
+	for _, s := range []string{
+		"socket", "bind", "listen", "accept", "connect", "poll",
+		"recvfrom", "sendto", "close", "nanosleep", "exit_group",
+	} {
+		sys[s] = core.ImportSyscall(b, s)
+	}
+	return sys
+}
+
+// nePollSetup stores {fd, POLLIN} into the pollfd buffer.
+func nePollSetup(f *wasm.FuncBuilder, fd uint32) {
+	f.I32Const(nePollBuf).LocalGet(fd).Op(wasm.OpI32WrapI64).Store(wasm.OpI32Store, 0)
+	f.I32Const(nePollBuf+4).I32Const(linux.POLLIN).Store(wasm.OpI32Store16, 0)
+	f.I32Const(nePollBuf+6).I32Const(0).Store(wasm.OpI32Store16, 0)
+}
+
+// buildNetEchoServer assembles the echo server guest: bind, listen,
+// poll for the connection, accept it, then echo poll-driven until the
+// peer closes. (examples/netecho carries its own deliberately
+// self-contained copy built on the public facade — the example is the
+// embedding guide and must not reach into internal packages.)
+func buildNetEchoServer(port uint16) *wasm.Module {
+	b := wasm.NewBuilder("netecho-server")
+	sys := neImports(b)
+	b.Memory(2, 16, false)
+	addr := make([]byte, 8)
+	isa.PutSockaddrIn(addr, port, [4]byte{})
+	b.Data(neAddrBuf, addr)
+
+	f := b.NewFunc(core.StartExport, nil, nil)
+	ls := f.Local(wasm.I64)
+	cs := f.Local(wasm.I64)
+	n := f.Local(wasm.I64)
+
+	// ls = socket(AF_INET, SOCK_STREAM, 0); bind; listen
+	f.I64Const(linux.AF_INET).I64Const(linux.SOCK_STREAM).I64Const(0).Call(sys["socket"]).LocalSet(ls)
+	f.LocalGet(ls).I64Const(neAddrBuf).I64Const(8).Call(sys["bind"]).Drop()
+	f.LocalGet(ls).I64Const(128).Call(sys["listen"]).Drop()
+
+	// poll({ls, POLLIN}, 1, -1); cs = accept(ls, 0, 0)
+	nePollSetup(f, ls)
+	f.I64Const(nePollBuf).I64Const(1).I64Const(-1).Call(sys["poll"]).Drop()
+	f.LocalGet(ls).I64Const(0).I64Const(0).Call(sys["accept"]).LocalSet(cs)
+
+	// Echo until EOF, blocking in poll before every read.
+	nePollSetup(f, cs)
+	f.Block()
+	f.Loop()
+	f.I64Const(nePollBuf).I64Const(1).I64Const(-1).Call(sys["poll"]).Drop()
+	f.LocalGet(cs).I64Const(neIoBuf).I64Const(32768).I64Const(0).I64Const(0).I64Const(0)
+	f.Call(sys["recvfrom"]).LocalSet(n)
+	f.LocalGet(n).I64Const(0).Op(wasm.OpI64LeS).BrIf(1)
+	f.LocalGet(cs).I64Const(neIoBuf).LocalGet(n).I64Const(0).I64Const(0).I64Const(0)
+	f.Call(sys["sendto"]).Drop()
+	f.Br(0)
+	f.End()
+	f.End()
+
+	f.LocalGet(cs).Call(sys["close"]).Drop()
+	f.LocalGet(ls).Call(sys["close"]).Drop()
+	f.I64Const(0).Call(sys["exit_group"]).Drop()
+	f.Finish()
+
+	m, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// buildNetEchoClient assembles the echo client guest: connect (with
+// retry while the server races to listen), then msgs round trips of
+// size bytes, blocking in poll before every read.
+func buildNetEchoClient(dest knet.Addr, msgs, size int) *wasm.Module {
+	b := wasm.NewBuilder("netecho-client")
+	sys := neImports(b)
+	b.Memory(2, 16, false)
+	addr := make([]byte, 8)
+	isa.PutSockaddrIn(addr, dest.Port, dest.Addr)
+	b.Data(neAddrBuf, addr)
+	// 1ms timespec {sec i64 = 0, nsec i64 = 1e6}.
+	b.Data(neTsBuf, []byte{0, 0, 0, 0, 0, 0, 0, 0, 0x40, 0x42, 0x0F, 0, 0, 0, 0, 0})
+
+	f := b.NewFunc(core.StartExport, nil, nil)
+	cs := f.Local(wasm.I64)
+	n := f.Local(wasm.I64)
+	i := f.Local(wasm.I32)
+	got := f.Local(wasm.I32)
+
+	f.I64Const(linux.AF_INET).I64Const(linux.SOCK_STREAM).I64Const(0).Call(sys["socket"]).LocalSet(cs)
+
+	// Connect retry loop (the server may not be listening yet).
+	f.Block()
+	f.Loop()
+	f.LocalGet(cs).I64Const(neAddrBuf).I64Const(8).Call(sys["connect"])
+	f.Op(wasm.OpI64Eqz).BrIf(1)
+	f.I64Const(neTsBuf).I64Const(0).Call(sys["nanosleep"]).Drop()
+	f.Br(0)
+	f.End()
+	f.End()
+
+	nePollSetup(f, cs)
+	f.Block()
+	f.Loop()
+	f.LocalGet(i).I32Const(int32(msgs)).Op(wasm.OpI32GeU).BrIf(1)
+	// send one message, then read the full echo back.
+	f.LocalGet(cs).I64Const(neIoBuf).I64Const(int64(size)).I64Const(0).I64Const(0).I64Const(0)
+	f.Call(sys["sendto"]).Drop()
+	f.I32Const(0).LocalSet(got)
+	f.Block()
+	f.Loop()
+	f.LocalGet(got).I32Const(int32(size)).Op(wasm.OpI32GeU).BrIf(1)
+	f.I64Const(nePollBuf).I64Const(1).I64Const(-1).Call(sys["poll"]).Drop()
+	f.LocalGet(cs).I64Const(neIoBuf).I64Const(int64(size)).I64Const(0).I64Const(0).I64Const(0)
+	f.Call(sys["recvfrom"]).LocalSet(n)
+	f.LocalGet(n).I64Const(0).Op(wasm.OpI64LeS).BrIf(1) // peer died: bail
+	f.LocalGet(got).LocalGet(n).Op(wasm.OpI32WrapI64).Op(wasm.OpI32Add).LocalSet(got)
+	f.Br(0)
+	f.End()
+	f.End()
+	f.LocalGet(i).I32Const(1).Op(wasm.OpI32Add).LocalSet(i)
+	f.Br(0)
+	f.End()
+	f.End()
+
+	f.LocalGet(cs).Call(sys["close"]).Drop()
+	f.I64Const(0).Call(sys["exit_group"]).Drop()
+	f.Finish()
+
+	m, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// NetEcho runs the echo benchmark on the named backends (nil = all:
+// loopback, switch, host).
+func NetEcho(msgs, size int, backends []string) []NetEchoRow {
+	if msgs <= 0 {
+		msgs = 2000
+	}
+	if size <= 0 {
+		size = 64
+	}
+	if size > 32768 {
+		size = 32768
+	}
+	if len(backends) == 0 {
+		backends = []string{"loopback", "switch", "host"}
+	}
+	var rows []NetEchoRow
+	for _, be := range backends {
+		var el time.Duration
+		switch be {
+		case "loopback", "loop":
+			el = netEchoLoopback(msgs, size)
+			be = "loopback"
+		case "switch":
+			el = netEchoSwitch(msgs, size)
+		case "host", "hostnet":
+			el = netEchoHost(msgs, size)
+			be = "host"
+		default:
+			panic(fmt.Sprintf("netecho: unknown backend %q", be))
+		}
+		rtt := el / time.Duration(msgs)
+		rows = append(rows, NetEchoRow{
+			Backend: be, Msgs: msgs, Size: size, Elapsed: el,
+			RTT: rtt, Wakeup: rtt / 2,
+			PerSec: float64(msgs) / el.Seconds(),
+		})
+	}
+	return rows
+}
+
+// runEchoPair spawns the server and client modules on their target
+// WALI engines and times the whole exchange.
+func runEchoPair(serverW, clientW *core.WALI, server, client *wasm.Module) time.Duration {
+	sc, err := interp.Compile(server)
+	if err != nil {
+		panic(err)
+	}
+	cc, err := interp.Compile(client)
+	if err != nil {
+		panic(err)
+	}
+	sp, err := serverW.SpawnCompiled(sc, "netecho-server", []string{"server"}, nil)
+	if err != nil {
+		panic(err)
+	}
+	cp, err := clientW.SpawnCompiled(cc, "netecho-client", []string{"client"}, nil)
+	if err != nil {
+		panic(err)
+	}
+	start := time.Now()
+	sp.RunAsync()
+	cp.RunAsync()
+	if status, err := cp.Wait(); err != nil || status != 0 {
+		panic(fmt.Sprintf("netecho client: status=%d err=%v", status, err))
+	}
+	if status, err := sp.Wait(); err != nil || status != 0 {
+		panic(fmt.Sprintf("netecho server: status=%d err=%v", status, err))
+	}
+	return time.Since(start)
+}
+
+// netEchoLoopback: both guests in one kernel over the default loopback.
+func netEchoLoopback(msgs, size int) time.Duration {
+	w := core.New()
+	dest := knet.Addr{Family: linux.AF_INET, Port: netEchoPort, Addr: [4]byte{127, 0, 0, 1}}
+	return runEchoPair(w, w, buildNetEchoServer(netEchoPort), buildNetEchoClient(dest, msgs, size))
+}
+
+// netEchoSwitch: guests in two kernels joined by a virtual switch.
+func netEchoSwitch(msgs, size int) time.Duration {
+	sw := knet.NewSwitch()
+	nodeA, err := sw.Node("10.0.0.1")
+	if err != nil {
+		panic(err)
+	}
+	nodeB, err := sw.Node("10.0.0.2")
+	if err != nil {
+		panic(err)
+	}
+	ka, kb := kernel.NewKernel(), kernel.NewKernel()
+	ka.SetNetBackend(nodeA)
+	kb.SetNetBackend(nodeB)
+	wa, wb := core.NewWith(ka), core.NewWith(kb)
+	dest := knet.Addr{Family: linux.AF_INET, Port: netEchoPort, Addr: [4]byte{10, 0, 0, 1}}
+	return runEchoPair(wa, wb, buildNetEchoServer(netEchoPort), buildNetEchoClient(dest, msgs, size))
+}
+
+// netEchoHost: the guest server behind HostNet, a real host TCP client.
+func netEchoHost(msgs, size int) time.Duration {
+	hn := knet.NewHostNet(knet.HostNetConfig{
+		Binds: map[uint16]string{netEchoPort: "127.0.0.1:0"},
+	})
+	defer hn.Close()
+	k := kernel.NewKernel()
+	k.SetNetBackend(hn)
+	w := core.NewWith(k)
+	sc, err := interp.Compile(buildNetEchoServer(netEchoPort))
+	if err != nil {
+		panic(err)
+	}
+	sp, err := w.SpawnCompiled(sc, "netecho-server", []string{"server"}, nil)
+	if err != nil {
+		panic(err)
+	}
+	sp.RunAsync()
+
+	// The guest binds asynchronously; wait for the host listener.
+	var hostAddr string
+	for i := 0; i < 5000; i++ {
+		if hostAddr = hn.BoundAddr(netEchoPort); hostAddr != "" {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if hostAddr == "" {
+		panic("netecho: guest listener never appeared on the host")
+	}
+	c, err := gonet.Dial("tcp", hostAddr)
+	if err != nil {
+		panic(err)
+	}
+	buf := make([]byte, size)
+	start := time.Now()
+	for i := 0; i < msgs; i++ {
+		if _, err := c.Write(buf); err != nil {
+			panic(err)
+		}
+		for got := 0; got < size; {
+			n, err := c.Read(buf[got:])
+			if err != nil {
+				panic(err)
+			}
+			got += n
+		}
+	}
+	el := time.Since(start)
+	c.Close()
+	if status, err := sp.Wait(); err != nil || status != 0 {
+		panic(fmt.Sprintf("netecho host server: status=%d err=%v", status, err))
+	}
+	return el
+}
+
+// FormatNetEcho renders the echo table.
+func FormatNetEcho(rows []NetEchoRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %8s %6s %12s %12s %12s %14s\n",
+		"backend", "msgs", "size", "elapsed", "rtt", "wakeup", "roundtrips/s")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %8d %6d %12s %12s %12s %14.0f\n",
+			r.Backend, r.Msgs, r.Size, r.Elapsed, r.RTT, r.Wakeup, r.PerSec)
+	}
+	return b.String()
+}

@@ -1,0 +1,34 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// The acceptance bar for the wait-queue readiness path: round trips
+// through poll-blocked guests must come in under the former 100µs
+// sampling floor. Each RTT pays two poll wakeups, so the old sampled
+// path could not do better than ~50µs/RTT even unloaded; the bound
+// here (on the median-ish aggregate over hundreds of trips) still
+// leaves headroom for CI noise.
+func TestNetEchoBeatsSamplingFloor(t *testing.T) {
+	rows := NetEcho(500, 64, []string{"loopback"})
+	r := rows[0]
+	t.Logf("loopback: rtt=%v wakeup=%v (%.0f rt/s)", r.RTT, r.Wakeup, r.PerSec)
+	if r.Wakeup >= 100*time.Microsecond {
+		t.Fatalf("poll wakeup %v has not beaten the former 100µs sampling floor", r.Wakeup)
+	}
+}
+
+func TestNetEchoSwitchAndHost(t *testing.T) {
+	rows := NetEcho(200, 128, []string{"switch", "host"})
+	for _, r := range rows {
+		t.Logf("%s: rtt=%v wakeup=%v", r.Backend, r.RTT, r.Wakeup)
+		if r.PerSec <= 0 {
+			t.Fatalf("%s: no throughput", r.Backend)
+		}
+	}
+	if out := FormatNetEcho(rows); len(out) == 0 {
+		t.Fatal("empty table")
+	}
+}

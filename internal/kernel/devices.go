@@ -4,6 +4,7 @@ import (
 	"io"
 	"sync"
 
+	"gowali/internal/kernel/waitq"
 	"gowali/internal/linux"
 )
 
@@ -16,6 +17,7 @@ type ConsoleDevice struct {
 	in   []byte
 	eof  bool
 	ws   linux.Winsize
+	q    waitq.Queue
 
 	teeMu sync.Mutex // serializes tee writes, outside mu
 	tee   io.Writer
@@ -34,6 +36,7 @@ func (c *ConsoleDevice) FeedInput(b []byte) {
 	c.in = append(c.in, b...)
 	c.mu.Unlock()
 	c.cond.Broadcast()
+	c.q.Wake()
 }
 
 // CloseInput marks end-of-input; readers see EOF once drained.
@@ -42,7 +45,11 @@ func (c *ConsoleDevice) CloseInput() {
 	c.eof = true
 	c.mu.Unlock()
 	c.cond.Broadcast()
+	c.q.Wake()
 }
+
+// PollQueues implements event-driven poll readiness for stdin.
+func (c *ConsoleDevice) PollQueues() []*waitq.Queue { return []*waitq.Queue{&c.q} }
 
 // Output returns everything written so far.
 func (c *ConsoleDevice) Output() []byte {

@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"gowali/internal/kernel/vfs"
+	"gowali/internal/kernel/waitq"
 	"gowali/internal/linux"
 )
 
@@ -174,6 +175,10 @@ func (f *regFile) Close() linux.Errno { return 0 }
 
 func (f *regFile) Poll() int16 { return linux.POLLIN | linux.POLLOUT }
 
+// PollQueues implements event-driven poll readiness. Regular files are
+// always ready, so no queue ever needs arming.
+func (f *regFile) PollQueues() []*waitq.Queue { return nil }
+
 func (f *regFile) Ioctl(cmd uint32, arg []byte) (int32, linux.Errno) {
 	return 0, linux.ENOTTY
 }
@@ -256,6 +261,9 @@ func (f *pipeFile) Close() linux.Errno {
 
 func (f *pipeFile) Poll() int16 { return f.pipe.Poll(f.readEnd) }
 
+// PollQueues implements event-driven poll readiness.
+func (f *pipeFile) PollQueues() []*waitq.Queue { return []*waitq.Queue{f.pipe.Queue()} }
+
 func (f *pipeFile) Ioctl(cmd uint32, arg []byte) (int32, linux.Errno) {
 	if cmd == linux.FIONREAD {
 		return int32(f.pipe.Buffered()), 0
@@ -301,6 +309,15 @@ func (f *devFile) Stat() (linux.Stat, linux.Errno) { return f.ino.Stat(), 0 }
 func (f *devFile) Truncate(int64) linux.Errno      { return 0 }
 func (f *devFile) Close() linux.Errno              { return 0 }
 func (f *devFile) Poll() int16                     { return f.dev.Poll() }
+
+// PollQueues delegates to the device when it supports event-driven
+// readiness (the console); always-ready devices need no queues.
+func (f *devFile) PollQueues() []*waitq.Queue {
+	if pw, ok := f.dev.(pollWaitable); ok {
+		return pw.PollQueues()
+	}
+	return nil
+}
 func (f *devFile) Ioctl(cmd uint32, arg []byte) (int32, linux.Errno) {
 	return f.dev.Ioctl(cmd, arg)
 }
@@ -318,6 +335,41 @@ type FDTable struct {
 	mu    sync.Mutex
 	slots []fdEntry
 	limit int
+	// epolls counts installed EpollFiles so the common close path can
+	// skip the interest-list sweep entirely.
+	epolls int
+}
+
+// bookInstall/bookRemove maintain the epoll count; callers hold mu.
+func (t *FDTable) bookInstall(f File) {
+	if _, ok := f.(*EpollFile); ok {
+		t.epolls++
+	}
+}
+
+func (t *FDTable) bookRemove(f File) {
+	if _, ok := f.(*EpollFile); ok {
+		t.epolls--
+	}
+}
+
+// forgetEpollLocked deregisters a closed or replaced descriptor from
+// every epoll instance in the table, so a recycled fd number never
+// reports the dead file's events. Callers hold mu; the sweep runs only
+// when the table actually contains epolls. Forked tables share File
+// instances (including EpollFiles) without refcounting — a close in
+// any table closes the description everywhere — so dropping the
+// shared registration on the first close matches the model's existing
+// fork semantics, unlike Linux's per-description refcounted teardown.
+func (t *FDTable) forgetEpollLocked(fd int32) {
+	if t.epolls <= 0 {
+		return
+	}
+	for _, e := range t.slots {
+		if ef, ok := e.file.(*EpollFile); ok {
+			ef.forget(fd)
+		}
+	}
 }
 
 // DefaultNOFILE is the default RLIMIT_NOFILE.
@@ -351,6 +403,7 @@ func (t *FDTable) Alloc(f File, cloexec bool, min int32) (int32, linux.Errno) {
 		}
 		if t.slots[fd].file == nil {
 			t.slots[fd] = fdEntry{file: f, cloexec: cloexec}
+			t.bookInstall(f)
 			return int32(fd), 0
 		}
 	}
@@ -367,6 +420,11 @@ func (t *FDTable) Set(fd int32, f File, cloexec bool) linux.Errno {
 	}
 	old := t.slots[fd].file
 	t.slots[fd] = fdEntry{file: f, cloexec: cloexec}
+	if old != nil {
+		t.bookRemove(old)
+		t.forgetEpollLocked(fd) // dup2 over a registered fd drops its interest
+	}
+	t.bookInstall(f)
 	t.mu.Unlock()
 	if old != nil {
 		old.Close()
@@ -383,6 +441,8 @@ func (t *FDTable) Close(fd int32) linux.Errno {
 	}
 	f := t.slots[fd].file
 	t.slots[fd] = fdEntry{}
+	t.bookRemove(f)
+	t.forgetEpollLocked(fd)
 	t.mu.Unlock()
 	return f.Close()
 }
@@ -412,7 +472,7 @@ func (t *FDTable) SetCloexec(fd int32, v bool) linux.Errno {
 func (t *FDTable) Clone() *FDTable {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	c := &FDTable{limit: t.limit, slots: append([]fdEntry(nil), t.slots...)}
+	c := &FDTable{limit: t.limit, slots: append([]fdEntry(nil), t.slots...), epolls: t.epolls}
 	return c
 }
 
@@ -421,6 +481,7 @@ func (t *FDTable) CloseAll() {
 	t.mu.Lock()
 	slots := t.slots
 	t.slots = nil
+	t.epolls = 0
 	t.mu.Unlock()
 	for _, e := range slots {
 		if e.file != nil {
@@ -435,8 +496,11 @@ func (t *FDTable) CloseExec() {
 	var toClose []File
 	for i := range t.slots {
 		if t.slots[i].file != nil && t.slots[i].cloexec {
-			toClose = append(toClose, t.slots[i].file)
+			f := t.slots[i].file
+			toClose = append(toClose, f)
 			t.slots[i] = fdEntry{}
+			t.bookRemove(f)
+			t.forgetEpollLocked(int32(i))
 		}
 	}
 	t.mu.Unlock()

@@ -7,9 +7,14 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gowali/internal/kernel/net"
 	"gowali/internal/kernel/vfs"
 	"gowali/internal/linux"
 )
+
+// netBackendBox wraps the AF_INET backend for atomic replacement
+// (SetNetBackend races only against socket creation, never teardown).
+type netBackendBox struct{ b net.Backend }
 
 // Kernel is the simulated Linux kernel: a filesystem, a process table,
 // futexes, sockets and clocks. One Kernel corresponds to one booted
@@ -32,8 +37,12 @@ type Kernel struct {
 
 	futexes [futexShardCount]futexShard
 
-	ports    listenerReg[uint16] // loopback TCP port space
-	unixSock listenerReg[string] // bound unix sockets
+	// inet is the pluggable AF_INET network stack (loopback by
+	// default; a switch node or host passthrough via SetNetBackend).
+	// unixNet is the kernel-private loopback serving AF_UNIX: unix
+	// addresses are per-machine names, whatever fabric inet joins.
+	inet    atomic.Pointer[netBackendBox]
+	unixNet net.Backend
 
 	bootWall time.Time
 	bootMono time.Time
@@ -77,8 +86,8 @@ func NewKernel() *Kernel {
 		hostname: "gowali",
 		totalRAM: 512 << 20,
 	}
-	k.ports.m = make(map[uint16]*listenerSocket)
-	k.unixSock.m = make(map[string]*listenerSocket)
+	k.inet.Store(&netBackendBox{b: net.NewLoopback()})
+	k.unixNet = net.NewLoopback()
 	for i := range k.rngStripes {
 		k.rngStripes[i].rng = rand.New(rand.NewSource(rngSeedBase + int64(i)))
 	}
@@ -110,6 +119,21 @@ func (k *Kernel) mkdev(path string, ops vfs.DeviceOps) {
 // uses it to expose host stream devices (stdio redirection) inside the
 // simulated filesystem.
 func (k *Kernel) Mkdev(path string, ops vfs.DeviceOps) { k.mkdev(path, ops) }
+
+// NetBackend returns the AF_INET network stack.
+func (k *Kernel) NetBackend() net.Backend { return k.inet.Load().b }
+
+// SetNetBackend replaces the AF_INET network stack (loopback by
+// default): a switch node connects this kernel to a cross-kernel
+// fabric, a HostNet passes through to real host sockets. Existing
+// sockets keep the backend they were created over; call before
+// spawning guests. AF_UNIX sockets are unaffected.
+func (k *Kernel) SetNetBackend(b net.Backend) {
+	if b == nil {
+		b = net.NewLoopback()
+	}
+	k.inet.Store(&netBackendBox{b: b})
+}
 
 // allocPID hands out the next process id.
 func (k *Kernel) allocPID() int32 { return k.nextPID.Add(1) }

@@ -1,0 +1,431 @@
+package net
+
+import (
+	gonet "net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gowali/internal/kernel/vfs"
+	"gowali/internal/linux"
+)
+
+// HostNetConfig is the address-translation and admission policy of a
+// HostNet backend. Nothing is reachable by default: a guest listener
+// works only through an explicit bind mapping, and outbound connects
+// only through the allowlist.
+type HostNetConfig struct {
+	// Binds maps a guest port to the host address the listener or
+	// datagram socket actually binds — "127.0.0.1:18080", or a ":0"
+	// suffix for a host-assigned port (query it with BoundAddr). A
+	// guest `bind 0.0.0.0:8080; listen` becomes a real host listener
+	// at Binds[8080].
+	Binds map[uint16]string
+	// Allow lists outbound dial patterns: "ip:port", "*:port",
+	// "ip:*" or "*". An empty list denies all outbound traffic.
+	Allow []string
+	// DialTimeout bounds outbound connect attempts (default 5s).
+	DialTimeout time.Duration
+}
+
+// HostNet passes guest sockets through to real host sockets via the
+// Go net package. Each established stream runs two pump goroutines
+// bridging the host connection to a pair of vfs.Pipes, which supply
+// the guest-side nonblocking semantics, backpressure and wait-queue
+// readiness; UDP uses a packet pump into a bounded queue.
+type HostNet struct {
+	cfg   HostNetConfig
+	ephem atomic.Uint32
+
+	mu        sync.Mutex
+	bound     map[uint16]string        // guest port → resolved host address
+	active    map[uint16]*hostListener // claimed guest listener ports
+	listeners []*hostListener
+	closed    bool
+}
+
+// NewHostNet builds a host-passthrough backend from cfg.
+func NewHostNet(cfg HostNetConfig) *HostNet {
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	return &HostNet{cfg: cfg, bound: make(map[uint16]string), active: make(map[uint16]*hostListener)}
+}
+
+func (h *HostNet) Name() string { return "host" }
+
+// BoundAddr reports the real host address serving a guest port's
+// listener ("" before listen) — how a host client finds a ":0" bind.
+func (h *HostNet) BoundAddr(guestPort uint16) string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.bound[guestPort]
+}
+
+// BindAddr fills ephemeral guest ports; host-side claims happen at
+// Listen/Dgram time.
+func (h *HostNet) BindAddr(a Addr) (Addr, linux.Errno) {
+	if a.Family == linux.AF_UNIX {
+		return a, linux.EAFNOSUPPORT
+	}
+	if a.Port == 0 {
+		a.Port = uint16(ephemeralBase + h.ephem.Add(1)%(65535-ephemeralBase))
+	}
+	return a, 0
+}
+
+// allowed matches dest ("d.d.d.d:port") against the outbound policy.
+func (h *HostNet) allowed(a Addr) bool {
+	ip := a.Addr
+	ipStr := strconv.Itoa(int(ip[0])) + "." + strconv.Itoa(int(ip[1])) + "." +
+		strconv.Itoa(int(ip[2])) + "." + strconv.Itoa(int(ip[3]))
+	port := strconv.Itoa(int(a.Port))
+	for _, pat := range h.cfg.Allow {
+		if pat == "*" {
+			return true
+		}
+		pip, pport, ok := strings.Cut(pat, ":")
+		if !ok {
+			continue
+		}
+		if (pip == "*" || pip == ipStr) && (pport == "*" || pport == port) {
+			return true
+		}
+	}
+	return false
+}
+
+func (h *HostNet) Listen(a Addr, backlog int) (Listener, linux.Errno) {
+	if a.Family != linux.AF_INET {
+		return nil, linux.EAFNOSUPPORT
+	}
+	hostAddr, ok := h.cfg.Binds[a.Port]
+	if !ok {
+		return nil, linux.EACCES // no mapping: policy denies the bind
+	}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil, linux.EINVAL
+	}
+	if _, used := h.active[a.Port]; used {
+		h.mu.Unlock()
+		return nil, linux.EADDRINUSE // the guest port is claimed even when the host side is ":0"
+	}
+	h.mu.Unlock()
+	hl, err := gonet.Listen("tcp", hostAddr)
+	if err != nil {
+		return nil, errnoFromNet(err)
+	}
+	l := &hostListener{h: h, hl: hl, addr: a}
+	l.init(backlog)
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		hl.Close()
+		return nil, linux.EINVAL
+	}
+	if _, used := h.active[a.Port]; used {
+		h.mu.Unlock()
+		hl.Close()
+		return nil, linux.EADDRINUSE
+	}
+	h.active[a.Port] = l
+	h.bound[a.Port] = hl.Addr().String()
+	h.listeners = append(h.listeners, l)
+	h.mu.Unlock()
+	go l.acceptLoop()
+	return l, 0
+}
+
+func (h *HostNet) Connect(a Addr, local Addr) (Conn, linux.Errno) {
+	if a.Family != linux.AF_INET {
+		return nil, linux.EAFNOSUPPORT
+	}
+	if !h.allowed(a) {
+		return nil, linux.EACCES
+	}
+	c, err := gonet.DialTimeout("tcp", a.String(), h.cfg.DialTimeout)
+	if err != nil {
+		return nil, errnoFromNet(err)
+	}
+	return newHostConn(c, local, a), 0
+}
+
+func (h *HostNet) Dgram(a Addr) (DgramConn, linux.Errno) {
+	if a.Family != linux.AF_INET {
+		return nil, linux.EAFNOSUPPORT
+	}
+	hostAddr, mapped := h.cfg.Binds[a.Port]
+	if !mapped {
+		// Unmapped binds get an outbound-only host socket; inbound
+		// reachability requires an explicit mapping.
+		hostAddr = "127.0.0.1:0"
+	}
+	pc, err := gonet.ListenPacket("udp", hostAddr)
+	if err != nil {
+		return nil, errnoFromNet(err)
+	}
+	if mapped {
+		h.mu.Lock()
+		h.bound[a.Port] = pc.LocalAddr().String()
+		h.mu.Unlock()
+	}
+	d := &hostDgram{h: h, pc: pc}
+	d.dgramQueue.init(nil, a)
+	go d.recvLoop()
+	return d, 0
+}
+
+// Close shuts every active listener down (established connections keep
+// their pumps until closed by either side).
+func (h *HostNet) Close() {
+	h.mu.Lock()
+	ls := h.listeners
+	h.listeners = nil
+	h.closed = true
+	h.mu.Unlock()
+	for _, l := range ls {
+		l.Close()
+	}
+}
+
+// hostListener bridges a host TCP listener to the shared accept-queue
+// state machine: a pump goroutine feeds real accepted connections in.
+type hostListener struct {
+	acceptQueue
+	h    *HostNet
+	hl   gonet.Listener
+	addr Addr
+}
+
+func (l *hostListener) acceptLoop() {
+	for {
+		c, err := l.hl.Accept()
+		if err != nil {
+			l.Close()
+			return
+		}
+		hc := newHostConn(c, l.addr, addrFromHost(c.RemoteAddr()))
+		if errno := l.push(hc, hc.peer); errno != 0 {
+			hc.Close()
+		}
+	}
+}
+
+func (l *hostListener) Close() linux.Errno {
+	orphans := l.shutdown()
+	l.h.mu.Lock()
+	if l.h.active[l.addr.Port] == l {
+		delete(l.h.active, l.addr.Port)
+		// BoundAddr must stop advertising a dead host address.
+		delete(l.h.bound, l.addr.Port)
+	}
+	for i, x := range l.h.listeners {
+		if x == l {
+			l.h.listeners = append(l.h.listeners[:i], l.h.listeners[i+1:]...)
+			break
+		}
+	}
+	l.h.mu.Unlock()
+	l.hl.Close()
+	for _, pc := range orphans {
+		pc.c.Close()
+	}
+	return 0
+}
+
+// hostConn is one established host stream: the shared pipeConn
+// guest-facing half, bridged to the host connection by two pump
+// goroutines (rxPump host→rx pipe, txPump tx pipe→host). Pipe
+// capacity supplies backpressure in both directions.
+type hostConn struct {
+	pipeConn
+	c gonet.Conn
+}
+
+func newHostConn(c gonet.Conn, local, peer Addr) *hostConn {
+	hc := &hostConn{c: c}
+	hc.rx, hc.tx = vfs.NewPipe(), vfs.NewPipe()
+	hc.local, hc.peer = local, peer
+	// rx: pump writes, guest reads. tx: guest writes, pump reads.
+	for _, p := range []*vfs.Pipe{hc.rx, hc.tx} {
+		p.AddReader()
+		p.AddWriter()
+	}
+	go hc.rxPump()
+	go hc.txPump()
+	return hc
+}
+
+func (hc *hostConn) rxPump() {
+	buf := make([]byte, 32*1024)
+	for {
+		n, err := hc.c.Read(buf)
+		if n > 0 {
+			if _, werr := hc.rx.Write(buf[:n], false); werr != 0 {
+				// Guest closed its read side: stop pulling host data.
+				hc.c.Close()
+				return
+			}
+		}
+		if err != nil {
+			hc.rx.CloseWriter() // guest sees EOF / POLLHUP
+			return
+		}
+	}
+}
+
+func (hc *hostConn) txPump() {
+	buf := make([]byte, 32*1024)
+	for {
+		n, errno := hc.tx.Read(buf, false)
+		if n > 0 {
+			if _, err := hc.c.Write(buf[:n]); err != nil {
+				hc.tx.CloseReader() // guest writes turn into EPIPE
+				return
+			}
+			continue
+		}
+		if errno == 0 { // EOF: guest closed its write side
+			if t, ok := hc.c.(*gonet.TCPConn); ok {
+				t.CloseWrite()
+			}
+			hc.mu.Lock()
+			closed := hc.closed
+			hc.mu.Unlock()
+			if closed {
+				hc.c.Close()
+			}
+			return
+		}
+	}
+}
+
+// Close overrides pipeConn's: a fully closed guest end also releases
+// the host connection (after txPump drains any buffered bytes).
+func (hc *hostConn) Close() linux.Errno {
+	hc.mu.Lock()
+	if hc.closed {
+		hc.mu.Unlock()
+		return 0
+	}
+	rdOpen, wrOpen := !hc.readShut, !hc.writeShut
+	hc.closed = true
+	hc.mu.Unlock()
+	if rdOpen {
+		hc.rx.CloseReader()
+	}
+	if wrOpen {
+		hc.tx.CloseWriter() // txPump drains, half-closes, then fully closes
+	} else {
+		hc.c.Close()
+	}
+	return 0
+}
+
+// SetOpt overrides pipeConn's no-op with the options real TCP honors.
+func (hc *hostConn) SetOpt(level, opt, val int32) {
+	t, ok := hc.c.(*gonet.TCPConn)
+	if !ok {
+		return
+	}
+	switch {
+	case level == linux.IPPROTO_TCP && opt == linux.TCP_NODELAY:
+		t.SetNoDelay(val != 0)
+	case level == linux.SOL_SOCKET && opt == linux.SO_KEEPALIVE:
+		t.SetKeepAlive(val != 0)
+	}
+}
+
+// hostDgram is a host UDP socket: the shared dgramQueue receive side
+// fed by a packet pump, with sends going straight to the host socket
+// under the outbound policy.
+type hostDgram struct {
+	dgramQueue
+	h  *HostNet
+	pc gonet.PacketConn
+}
+
+func (d *hostDgram) recvLoop() {
+	buf := make([]byte, 64*1024)
+	for {
+		n, from, err := d.pc.ReadFrom(buf)
+		if n > 0 {
+			d.enqueue(addrFromHost(from), buf[:n]) // ENOBUFS drops, per UDP
+		}
+		if err != nil {
+			d.Close()
+			return
+		}
+	}
+}
+
+func (d *hostDgram) SendTo(b []byte, to Addr) (int, linux.Errno) {
+	if !d.h.allowed(to) {
+		return 0, linux.EACCES
+	}
+	ua, err := gonet.ResolveUDPAddr("udp", to.String())
+	if err != nil {
+		return 0, linux.EINVAL
+	}
+	if _, err := d.pc.WriteTo(b, ua); err != nil {
+		return 0, errnoFromNet(err)
+	}
+	return len(b), 0
+}
+
+func (d *hostDgram) Close() linux.Errno {
+	d.dgramQueue.Close()
+	d.pc.Close()
+	return 0
+}
+
+// addrFromHost converts a host net.Addr into the guest address space
+// (IPv4 only; anything else reports as 0.0.0.0).
+func addrFromHost(a gonet.Addr) Addr {
+	out := Addr{Family: linux.AF_INET}
+	var ip gonet.IP
+	var port int
+	switch v := a.(type) {
+	case *gonet.TCPAddr:
+		ip, port = v.IP, v.Port
+	case *gonet.UDPAddr:
+		ip, port = v.IP, v.Port
+	default:
+		return out
+	}
+	if ip4 := ip.To4(); ip4 != nil {
+		copy(out.Addr[:], ip4)
+	}
+	out.Port = uint16(port)
+	return out
+}
+
+// errnoFromNet maps host dial/listen errors onto guest errnos.
+func errnoFromNet(err error) linux.Errno {
+	if err == nil {
+		return 0
+	}
+	if ne, ok := err.(gonet.Error); ok && ne.Timeout() {
+		return linux.ETIMEDOUT
+	}
+	s := err.Error()
+	switch {
+	case strings.Contains(s, "connection refused"):
+		return linux.ECONNREFUSED
+	case strings.Contains(s, "address already in use"):
+		return linux.EADDRINUSE
+	case strings.Contains(s, "permission denied"):
+		return linux.EACCES
+	case strings.Contains(s, "cannot assign requested address"):
+		return linux.EADDRNOTAVAIL
+	case strings.Contains(s, "network is unreachable"):
+		return linux.ENETUNREACH
+	case strings.Contains(s, "no route to host"):
+		return linux.EHOSTUNREACH
+	}
+	return linux.ECONNREFUSED
+}

@@ -1,0 +1,332 @@
+package net
+
+import (
+	gonet "net"
+	"testing"
+
+	"gowali/internal/linux"
+)
+
+// testBackends builds one instance of every backend. The hostnet rows
+// bind real 127.0.0.1 sockets with host-assigned ports.
+func testBackends(t *testing.T) map[string]Backend {
+	t.Helper()
+	sw := NewSwitch()
+	node, err := sw.Node("10.1.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hn := NewHostNet(HostNetConfig{
+		Binds: map[uint16]string{9090: "127.0.0.1:0"},
+		Allow: []string{"127.0.0.1:*"},
+	})
+	t.Cleanup(hn.Close)
+	return map[string]Backend{"loopback": NewLoopback(), "switch": node, "host": hn}
+}
+
+// hostDial adjusts the dial address for the host backend, which
+// rewrites the listen side: guests still dial the guest address, but
+// the test's in-process "guest" must too.
+func connectTo(t *testing.T, b Backend, port uint16) Conn {
+	t.Helper()
+	c, errno := b.Connect(Addr{Family: linux.AF_INET, Port: port, Addr: [4]byte{127, 0, 0, 1}}, Addr{})
+	if errno != 0 {
+		t.Fatalf("%s: connect: %v", b.Name(), errno)
+	}
+	return c
+}
+
+func TestStreamEchoDifferential(t *testing.T) {
+	for name, b := range testBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			addr := Addr{Family: linux.AF_INET, Port: 9090}
+			l, errno := b.Listen(addr, 8)
+			if errno != 0 {
+				t.Fatalf("listen: %v", errno)
+			}
+			defer l.Close()
+
+			var dial Addr
+			if b.Name() == "host" {
+				// Dial the real host listener the mapping produced.
+				ta, err := gonet.ResolveTCPAddr("tcp", b.(*HostNet).BoundAddr(9090))
+				if err != nil {
+					t.Fatal(err)
+				}
+				dial = Addr{Family: linux.AF_INET, Port: uint16(ta.Port), Addr: [4]byte{127, 0, 0, 1}}
+			} else {
+				dial = Addr{Family: linux.AF_INET, Port: 9090, Addr: [4]byte{127, 0, 0, 1}}
+			}
+
+			cli, errno := b.Connect(dial, Addr{})
+			if errno != 0 {
+				t.Fatalf("connect: %v", errno)
+			}
+			srv, _, errno := l.Accept(false)
+			if errno != 0 {
+				t.Fatalf("accept: %v", errno)
+			}
+
+			if _, errno := cli.Write([]byte("GET"), false); errno != 0 {
+				t.Fatalf("write: %v", errno)
+			}
+			buf := make([]byte, 16)
+			n, errno := srv.Read(buf, false)
+			if errno != 0 || string(buf[:n]) != "GET" {
+				t.Fatalf("read: %q %v", buf[:n], errno)
+			}
+			if _, errno := srv.Write([]byte("OK"), false); errno != 0 {
+				t.Fatalf("echo write: %v", errno)
+			}
+			got := 0
+			for got < 2 {
+				n, errno = cli.Read(buf[got:], false)
+				if errno != 0 || n == 0 {
+					t.Fatalf("echo read: n=%d %v", n, errno)
+				}
+				got += n
+			}
+			if string(buf[:2]) != "OK" {
+				t.Fatalf("echo: %q", buf[:2])
+			}
+
+			// Close server end: client drains to EOF.
+			srv.Close()
+			for {
+				n, errno := cli.Read(buf, false)
+				if errno != 0 {
+					t.Fatalf("EOF read: %v", errno)
+				}
+				if n == 0 {
+					break
+				}
+			}
+			cli.Close()
+		})
+	}
+}
+
+func TestConnectRefusedDifferential(t *testing.T) {
+	for name, b := range testBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			dial := Addr{Family: linux.AF_INET, Port: 1, Addr: [4]byte{127, 0, 0, 1}}
+			if b.Name() == "host" {
+				// Port 1 is allowed by pattern but nothing listens.
+				if _, errno := b.Connect(dial, Addr{}); errno == 0 {
+					t.Fatal("connect to closed host port succeeded")
+				}
+				return
+			}
+			if _, errno := b.Connect(dial, Addr{}); errno != linux.ECONNREFUSED {
+				t.Fatalf("connect: %v, want ECONNREFUSED", errno)
+			}
+		})
+	}
+}
+
+func TestListenConflictDifferential(t *testing.T) {
+	for name, b := range testBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			addr := Addr{Family: linux.AF_INET, Port: 9090}
+			l, errno := b.Listen(addr, 1)
+			if errno != 0 {
+				t.Fatalf("listen: %v", errno)
+			}
+			defer l.Close()
+			if _, errno := b.Listen(addr, 1); errno != linux.EADDRINUSE {
+				t.Fatalf("double listen: %v, want EADDRINUSE", errno)
+			}
+		})
+	}
+}
+
+func TestEphemeralBind(t *testing.T) {
+	for name, b := range testBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			a, errno := b.BindAddr(Addr{Family: linux.AF_INET})
+			if errno != 0 || a.Port == 0 {
+				t.Fatalf("BindAddr: port=%d %v", a.Port, errno)
+			}
+		})
+	}
+}
+
+func TestDgramRoundTrip(t *testing.T) {
+	// Loopback and switch deliver in-process; hostnet through real UDP.
+	for name, b := range testBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			recvAddr := Addr{Family: linux.AF_INET, Port: 9090}
+			rx, errno := b.Dgram(recvAddr)
+			if errno != 0 {
+				t.Fatalf("dgram bind: %v", errno)
+			}
+			defer rx.Close()
+			txAddr, _ := b.BindAddr(Addr{Family: linux.AF_INET})
+			tx, errno := b.Dgram(txAddr)
+			if errno != 0 {
+				t.Fatalf("dgram tx bind: %v", errno)
+			}
+			defer tx.Close()
+
+			dest := Addr{Family: linux.AF_INET, Port: 9090, Addr: [4]byte{127, 0, 0, 1}}
+			if b.Name() == "host" {
+				ua, err := gonet.ResolveUDPAddr("udp", b.(*HostNet).BoundAddr(9090))
+				if err != nil {
+					t.Fatal(err)
+				}
+				dest.Port = uint16(ua.Port)
+			}
+			if _, errno := tx.SendTo([]byte("dgram"), dest); errno != 0 {
+				t.Fatalf("sendto: %v", errno)
+			}
+			// Blocking receive: host UDP delivery is asynchronous.
+			buf := make([]byte, 16)
+			n, _, errno := rx.RecvFrom(buf, false)
+			if errno != 0 || string(buf[:n]) != "dgram" {
+				t.Fatalf("recvfrom: %q %v", buf[:n], errno)
+			}
+		})
+	}
+}
+
+func TestSwitchCrossNodeRouting(t *testing.T) {
+	sw := NewSwitch()
+	a, err := sw.Node("10.0.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bn, err := sw.Node("10.0.0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sw.Node("10.0.0.1"); err == nil {
+		t.Fatal("duplicate node address accepted")
+	}
+
+	// Node A listens on its wildcard; node B dials A's address.
+	l, errno := a.Listen(Addr{Family: linux.AF_INET, Port: 80}, 4)
+	if errno != 0 {
+		t.Fatalf("listen: %v", errno)
+	}
+	defer l.Close()
+	cli, errno := bn.Connect(Addr{Family: linux.AF_INET, Port: 80, Addr: [4]byte{10, 0, 0, 1}}, Addr{Family: linux.AF_INET})
+	if errno != 0 {
+		t.Fatalf("cross-node connect: %v", errno)
+	}
+	srv, peer, errno := l.Accept(false)
+	if errno != 0 {
+		t.Fatalf("accept: %v", errno)
+	}
+	// The wildcard client source must have been rewritten to B's IP so
+	// the server can name (and reply to) the right node.
+	if peer.Addr != [4]byte{10, 0, 0, 2} {
+		t.Fatalf("peer addr = %v, want 10.0.0.2", peer)
+	}
+	if _, errno := cli.Write([]byte("x"), false); errno != 0 {
+		t.Fatalf("write: %v", errno)
+	}
+	buf := make([]byte, 4)
+	if n, errno := srv.Read(buf, false); errno != 0 || n != 1 {
+		t.Fatalf("read: %d %v", n, errno)
+	}
+
+	// B's loopback port space is disjoint from A's: dialing 127.0.0.1
+	// from B must not reach A's listener.
+	if _, errno := bn.Connect(Addr{Family: linux.AF_INET, Port: 80, Addr: [4]byte{127, 0, 0, 1}}, Addr{}); errno != linux.ECONNREFUSED {
+		t.Fatalf("loopback leak across nodes: %v", errno)
+	}
+	// A kernel cannot bind another node's address.
+	if _, errno := a.BindAddr(Addr{Family: linux.AF_INET, Port: 81, Addr: [4]byte{10, 0, 0, 2}}); errno != linux.EADDRNOTAVAIL {
+		t.Fatalf("foreign bind: %v", errno)
+	}
+}
+
+func TestSwitchCrossNodeDgram(t *testing.T) {
+	sw := NewSwitch()
+	a, _ := sw.Node("10.0.0.1")
+	b, _ := sw.Node("10.0.0.2")
+	rx, errno := a.Dgram(Addr{Family: linux.AF_INET, Port: 53})
+	if errno != 0 {
+		t.Fatalf("dgram: %v", errno)
+	}
+	tx, errno := b.Dgram(Addr{Family: linux.AF_INET, Port: 1053})
+	if errno != 0 {
+		t.Fatalf("dgram: %v", errno)
+	}
+	if _, errno := tx.SendTo([]byte("q"), Addr{Family: linux.AF_INET, Port: 53, Addr: [4]byte{10, 0, 0, 1}}); errno != 0 {
+		t.Fatalf("sendto: %v", errno)
+	}
+	buf := make([]byte, 4)
+	n, from, errno := rx.RecvFrom(buf, false)
+	if errno != 0 || n != 1 {
+		t.Fatalf("recv: %d %v", n, errno)
+	}
+	if from.Addr != [4]byte{10, 0, 0, 2} || from.Port != 1053 {
+		t.Fatalf("from = %v, want 10.0.0.2:1053", from)
+	}
+	// Reply routes back by the observed source.
+	if _, errno := rx.SendTo([]byte("r"), from); errno != 0 {
+		t.Fatalf("reply: %v", errno)
+	}
+	if n, _, errno := tx.RecvFrom(buf, false); errno != 0 || n != 1 {
+		t.Fatalf("reply recv: %d %v", n, errno)
+	}
+}
+
+func TestHostNetPolicy(t *testing.T) {
+	hn := NewHostNet(HostNetConfig{})
+	defer hn.Close()
+	// No bind mapping: guest listen is denied.
+	if _, errno := hn.Listen(Addr{Family: linux.AF_INET, Port: 80}, 1); errno != linux.EACCES {
+		t.Fatalf("unmapped listen: %v, want EACCES", errno)
+	}
+	// Empty allowlist: outbound denied before any dial happens.
+	if _, errno := hn.Connect(Addr{Family: linux.AF_INET, Port: 80, Addr: [4]byte{127, 0, 0, 1}}, Addr{}); errno != linux.EACCES {
+		t.Fatalf("denied connect: %v, want EACCES", errno)
+	}
+	// Unix sockets are not hostnet's business.
+	if _, errno := hn.Listen(Addr{Family: linux.AF_UNIX, Path: "/x"}, 1); errno != linux.EAFNOSUPPORT {
+		t.Fatalf("unix listen: %v, want EAFNOSUPPORT", errno)
+	}
+}
+
+func TestHostNetAllowPatterns(t *testing.T) {
+	cases := []struct {
+		allow []string
+		want  bool
+	}{
+		{nil, false},
+		{[]string{"*"}, true},
+		{[]string{"127.0.0.1:80"}, true},
+		{[]string{"127.0.0.1:*"}, true},
+		{[]string{"*:80"}, true},
+		{[]string{"*:81"}, false},
+		{[]string{"10.0.0.1:*"}, false},
+	}
+	for _, c := range cases {
+		hn := NewHostNet(HostNetConfig{Allow: c.allow})
+		got := hn.allowed(Addr{Family: linux.AF_INET, Port: 80, Addr: [4]byte{127, 0, 0, 1}})
+		hn.Close()
+		if got != c.want {
+			t.Errorf("allow=%v: got %v, want %v", c.allow, got, c.want)
+		}
+	}
+}
+
+func TestStreamPairEOFAndEPIPE(t *testing.T) {
+	a, b := NewStreamPair()
+	if _, errno := a.Write([]byte("hi"), false); errno != 0 {
+		t.Fatalf("write: %v", errno)
+	}
+	buf := make([]byte, 4)
+	if n, errno := b.Read(buf, false); errno != 0 || string(buf[:n]) != "hi" {
+		t.Fatalf("read: %q %v", buf[:n], errno)
+	}
+	b.Close()
+	if n, errno := a.Read(buf, false); n != 0 || errno != 0 {
+		t.Fatalf("EOF after peer close: n=%d %v", n, errno)
+	}
+	if _, errno := a.Write([]byte("x"), false); errno != linux.EPIPE {
+		t.Fatalf("write after peer close: %v, want EPIPE", errno)
+	}
+}

@@ -1,0 +1,273 @@
+package net
+
+import (
+	"fmt"
+	"sync"
+
+	"gowali/internal/linux"
+)
+
+// Switch is a virtual L4 switch: a shared address fabric that any
+// number of kernels attach to as nodes. Streams and datagrams route by
+// (node, port) for AF_INET and by path for AF_UNIX; wildcard and
+// loopback destinations resolve to the sending node, and a node's own
+// IPv4 address is reachable from every other node — so guests in
+// different kernels exchange traffic entirely in-process.
+//
+// A single-node switch in wildcard mode is exactly the classic
+// loopback network (see NewLoopback).
+type Switch struct {
+	mu       sync.Mutex
+	streams  map[swKey]*swListener
+	dgrams   map[swKey]*dgramQueue
+	nodes    map[[4]byte]string // attached node IPs → node ids
+	nextNode int
+	ephem    uint16
+
+	// single marks the degenerate loopback fabric: every address is
+	// local to the one node, whatever IP it names.
+	single bool
+}
+
+// swKey addresses one claimed socket: node scopes AF_INET ports; unix
+// paths are fabric-global (the kernel keeps per-machine unix sockets
+// on its own private loopback instance, so fabric-global unix names
+// only arise when a switch node is used for AF_UNIX deliberately).
+type swKey struct {
+	node string
+	port uint16
+	path string
+}
+
+// NewSwitch builds an empty fabric; attach kernels with Node.
+func NewSwitch() *Switch {
+	return &Switch{
+		streams: make(map[swKey]*swListener),
+		dgrams:  make(map[swKey]*dgramQueue),
+		nodes:   make(map[[4]byte]string),
+	}
+}
+
+// NewLoopback returns the default in-kernel network: a private
+// single-node switch where every address is local.
+func NewLoopback() Backend {
+	sw := NewSwitch()
+	sw.single = true
+	return &swNode{sw: sw, id: "lo", name: "loopback"}
+}
+
+// Node attaches a kernel to the fabric under the given IPv4 address
+// ("10.0.0.1"). Guests on other nodes reach this node's listeners by
+// dialing that address.
+func (sw *Switch) Node(ip string) (Backend, error) {
+	var b [4]byte
+	if _, err := fmt.Sscanf(ip, "%d.%d.%d.%d", &b[0], &b[1], &b[2], &b[3]); err != nil {
+		return nil, fmt.Errorf("net: bad switch node address %q", ip)
+	}
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	if _, taken := sw.nodes[b]; taken {
+		return nil, fmt.Errorf("net: switch node %s already attached", ip)
+	}
+	sw.nextNode++
+	id := fmt.Sprintf("n%d", sw.nextNode)
+	sw.nodes[b] = id
+	return &swNode{sw: sw, id: id, ip: b, name: "switch"}, nil
+}
+
+// swNode is one kernel's view of the fabric (a Backend).
+type swNode struct {
+	sw   *Switch
+	id   string
+	ip   [4]byte
+	name string
+}
+
+func (n *swNode) Name() string { return n.name }
+
+// localDest reports whether a names this node (wildcard, loopback or
+// the node's own address).
+func (n *swNode) localDest(a Addr) bool {
+	return n.sw.single || a.IsWildcard() || a.IsLoopbackIP() || a.Addr == n.ip
+}
+
+// keyFor resolves a to its fabric key; bind restricts foreign
+// addresses (you cannot bind another node's IP).
+func (n *swNode) keyFor(a Addr, bind bool) (swKey, linux.Errno) {
+	if a.Family == linux.AF_UNIX {
+		if a.Path == "" {
+			return swKey{}, linux.EINVAL
+		}
+		return swKey{path: a.Path}, 0
+	}
+	if n.localDest(a) {
+		return swKey{node: n.id, port: a.Port}, 0
+	}
+	if bind {
+		return swKey{}, linux.EADDRNOTAVAIL
+	}
+	n.sw.mu.Lock()
+	id, ok := n.sw.nodes[a.Addr]
+	n.sw.mu.Unlock()
+	if !ok {
+		return swKey{}, linux.ECONNREFUSED
+	}
+	return swKey{node: id, port: a.Port}, 0
+}
+
+// BindAddr fills in an ephemeral port for wildcard INET binds.
+func (n *swNode) BindAddr(a Addr) (Addr, linux.Errno) {
+	if a.Family == linux.AF_UNIX {
+		if a.Path == "" {
+			return a, linux.EINVAL
+		}
+		return a, 0
+	}
+	if !n.localDest(a) {
+		return a, linux.EADDRNOTAVAIL
+	}
+	if a.Port != 0 {
+		return a, 0
+	}
+	sw := n.sw
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	for tries := 0; tries < 65536; tries++ {
+		sw.ephem++
+		port := ephemeralBase + sw.ephem%(65535-ephemeralBase)
+		k := swKey{node: n.id, port: port}
+		if _, used := sw.streams[k]; used {
+			continue
+		}
+		if _, used := sw.dgrams[k]; used {
+			continue
+		}
+		a.Port = port
+		return a, 0
+	}
+	return a, linux.EADDRNOTAVAIL
+}
+
+func (n *swNode) Listen(a Addr, backlog int) (Listener, linux.Errno) {
+	k, errno := n.keyFor(a, true)
+	if errno != 0 {
+		return nil, errno
+	}
+	l := &swListener{node: n, key: k, addr: a}
+	l.init(backlog)
+	sw := n.sw
+	sw.mu.Lock()
+	if _, used := sw.streams[k]; used {
+		sw.mu.Unlock()
+		return nil, linux.EADDRINUSE
+	}
+	sw.streams[k] = l
+	sw.mu.Unlock()
+	return l, 0
+}
+
+func (n *swNode) Connect(a Addr, local Addr) (Conn, linux.Errno) {
+	k, errno := n.keyFor(a, false)
+	if errno != 0 {
+		return nil, errno
+	}
+	sw := n.sw
+	sw.mu.Lock()
+	l := sw.streams[k]
+	sw.mu.Unlock()
+	if l == nil {
+		return nil, linux.ECONNREFUSED
+	}
+	// Cross-node traffic must carry a routable source address so the
+	// accepting side's getpeername (and any reply) names the client's
+	// node rather than a wildcard (unbound clients have a zero local).
+	if local.Family != linux.AF_UNIX && !n.sw.single && (local.IsWildcard() || local.IsLoopbackIP()) {
+		local.Family = linux.AF_INET
+		local.Addr = n.ip
+	}
+	client, server := newConnPair(local, a)
+	if errno := l.push(server, server.peer); errno != 0 {
+		client.Close()
+		return nil, errno
+	}
+	return client, 0
+}
+
+func (n *swNode) Dgram(a Addr) (DgramConn, linux.Errno) {
+	k, errno := n.keyFor(a, true)
+	if errno != 0 {
+		return nil, errno
+	}
+	d := newDgramQueue(n, a)
+	sw := n.sw
+	sw.mu.Lock()
+	if _, used := sw.dgrams[k]; used {
+		sw.mu.Unlock()
+		return nil, linux.EADDRINUSE
+	}
+	sw.dgrams[k] = d
+	sw.mu.Unlock()
+	return d, 0
+}
+
+// routeDgram delivers one datagram from a node-local source address.
+func (n *swNode) routeDgram(from Addr, b []byte, to Addr) (int, linux.Errno) {
+	k, errno := n.keyFor(to, false)
+	if errno != 0 {
+		return 0, errno
+	}
+	sw := n.sw
+	sw.mu.Lock()
+	d := sw.dgrams[k]
+	sw.mu.Unlock()
+	if d == nil {
+		return 0, linux.ECONNREFUSED
+	}
+	if from.Family == linux.AF_INET && (from.IsWildcard() || from.IsLoopbackIP()) && !n.sw.single {
+		from.Addr = n.ip
+	}
+	if errno := d.enqueue(from, b); errno != 0 {
+		return 0, errno
+	}
+	return len(b), 0
+}
+
+// dropDgram removes a closed datagram socket from the fabric.
+func (n *swNode) dropDgram(d *dgramQueue) {
+	k, errno := n.keyFor(d.local, true)
+	if errno != 0 {
+		return
+	}
+	sw := n.sw
+	sw.mu.Lock()
+	if sw.dgrams[k] == d {
+		delete(sw.dgrams, k)
+	}
+	sw.mu.Unlock()
+}
+
+func (n *swNode) Close() {}
+
+// swListener is a claimed stream address's accept queue (the shared
+// acceptQueue state machine plus fabric registration).
+type swListener struct {
+	acceptQueue
+	node *swNode
+	key  swKey
+	addr Addr
+}
+
+func (l *swListener) Close() linux.Errno {
+	orphans := l.shutdown()
+	sw := l.node.sw
+	sw.mu.Lock()
+	if sw.streams[l.key] == l {
+		delete(sw.streams, l.key)
+	}
+	sw.mu.Unlock()
+	// Unaccepted connections are reset: their clients see EOF/EPIPE.
+	for _, pc := range orphans {
+		pc.c.Close()
+	}
+	return 0
+}

@@ -4,15 +4,27 @@ import (
 	"sync"
 	"time"
 
+	"gowali/internal/kernel/waitq"
 	"gowali/internal/linux"
 )
 
-// poll(2) and epoll. Readiness is level-triggered by sampling each file's
-// Poll(); blocking waits use a modest poll interval rather than wiring
-// wait queues through every file type — the latency floor (~100µs) is well
-// inside the experiment noise this substrate feeds.
+// poll(2), select and epoll. Readiness is level-triggered. Blocking
+// waits are event-driven: each file exposes its wait queues through
+// the pollWaitable interface, the waiter arms on all of them (plus
+// the signal queue, for EINTR), re-checks, and sleeps until a wakeup
+// or the deadline — so a socket or pipe becoming ready turns into a
+// poll return at wakeup cost, not at the ~100µs floor of the old
+// 25µs sampling loop. Files that cannot provide queues (none of the
+// built-in types today) degrade to the sampled loop.
 
 const pollInterval = 25 * time.Microsecond
+
+// pollWaitable is implemented by files with event-driven readiness:
+// PollQueues returns every wait queue whose wakeup may change the
+// file's Poll result. A file that is currently ready needs no queues.
+type pollWaitable interface {
+	PollQueues() []*waitq.Queue
+}
 
 // PollFD mirrors struct pollfd.
 type PollFD struct {
@@ -21,45 +33,123 @@ type PollFD struct {
 	Revents int16
 }
 
+// pollScan samples every fd once, filling Revents; returns the ready
+// count and whether every not-ready file can provide wait queues
+// (armed onto w when non-nil). Per fd the order is arm-then-check:
+// the waiter registers on the file's queues BEFORE sampling Poll(),
+// so a readiness edge between the two lands a wakeup instead of
+// falling into the no-waiter fast path and getting lost.
+func (p *Process) pollScan(fds []PollFD, w *waitq.Waiter, armed *[]*waitq.Queue) (int, bool) {
+	ready := 0
+	eventable := true
+	for i := range fds {
+		fds[i].Revents = 0
+		if fds[i].FD < 0 {
+			continue
+		}
+		f, errno := p.FDs.Get(fds[i].FD)
+		if errno != 0 {
+			fds[i].Revents = linux.POLLNVAL
+			ready++
+			continue
+		}
+		var qs []*waitq.Queue
+		if pw, ok := f.(pollWaitable); ok {
+			qs = pw.PollQueues()
+		}
+		if w != nil {
+			for _, q := range qs {
+				q.Add(w)
+				*armed = append(*armed, q)
+			}
+		}
+		ev := f.Poll()
+		mask := fds[i].Events | linux.POLLHUP | linux.POLLERR
+		if got := ev & mask; got != 0 {
+			fds[i].Revents = got
+			ready++
+			continue
+		}
+		if len(qs) == 0 {
+			// Not ready and nothing to arm on: this file forces the
+			// sampled fallback.
+			eventable = false
+		}
+	}
+	return ready, eventable
+}
+
 // Poll implements poll(2)/ppoll(2). timeoutNs < 0 blocks indefinitely.
 func (p *Process) Poll(fds []PollFD, timeoutNs int64) (int, linux.Errno) {
 	var deadline time.Time
 	if timeoutNs >= 0 {
 		deadline = time.Now().Add(time.Duration(timeoutNs))
 	}
-	for {
-		ready := 0
-		for i := range fds {
-			fds[i].Revents = 0
-			if fds[i].FD < 0 {
-				continue
-			}
-			f, errno := p.FDs.Get(fds[i].FD)
-			if errno != 0 {
-				fds[i].Revents = linux.POLLNVAL
-				ready++
-				continue
-			}
-			ev := f.Poll()
-			mask := fds[i].Events | linux.POLLHUP | linux.POLLERR
-			if got := ev & mask; got != 0 {
-				fds[i].Revents = got
-				ready++
-			}
+	var w *waitq.Waiter
+	var armed []*waitq.Queue
+	disarm := func() {
+		for _, q := range armed {
+			q.Remove(w)
 		}
+		armed = armed[:0]
+	}
+	for {
+		// Arm-then-check: queues are registered during the scan, so a
+		// readiness edge after the scan still lands a wakeup.
+		if w != nil {
+			w.Clear()
+		}
+		ready, eventable := p.pollScan(fds, w, &armed)
 		if ready > 0 {
+			disarm()
 			return ready, 0
 		}
 		if timeoutNs == 0 {
+			disarm()
 			return 0, 0
 		}
 		if timeoutNs > 0 && !time.Now().Before(deadline) {
+			disarm()
 			return 0, 0
 		}
 		if p.HasDeliverableSignal() {
+			disarm()
 			return 0, linux.EINTR
 		}
-		time.Sleep(pollInterval)
+		if w == nil {
+			// First not-ready pass: build the waiter, register for
+			// signal wakeups, and rescan with arming enabled.
+			w = waitq.NewWaiter()
+			p.sig.pollQ.Add(w)
+			defer p.sig.pollQ.Remove(w)
+			continue
+		}
+		if !eventable {
+			// Mixed set with a queue-less file: sample.
+			disarm()
+			time.Sleep(pollInterval)
+			continue
+		}
+		p.pollBlock(w, timeoutNs, deadline)
+		disarm()
+	}
+}
+
+// pollBlock sleeps until a wakeup or the deadline.
+func (p *Process) pollBlock(w *waitq.Waiter, timeoutNs int64, deadline time.Time) {
+	if timeoutNs < 0 {
+		<-w.C
+		return
+	}
+	d := time.Until(deadline)
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-w.C:
+	case <-t.C:
 	}
 }
 
@@ -123,13 +213,20 @@ type epollEntry struct {
 	data   uint64
 }
 
-// EpollFile is an epoll instance as a File.
+// EpollFile is an epoll instance as a File. The interest list is keyed
+// by guest fd; the descriptor table deregisters an fd when it is
+// closed or replaced (dup2), so a recycled descriptor never reports
+// the dead file's events.
 type EpollFile struct {
 	flagHolder
 	p  *Process
 	mu sync.Mutex
 	// interest list keyed by fd
 	items map[int32]epollEntry
+	// q wakes blocked EpollWait calls when the interest list itself
+	// changes (EPOLL_CTL_ADD of an already-ready fd must end a wait
+	// that armed only on the old snapshot's queues).
+	q waitq.Queue
 }
 
 // EpollCreate implements epoll_create1.
@@ -146,6 +243,9 @@ func (p *Process) EpollCtl(epfd, op, fd int32, events uint32, data uint64) linux
 	}
 	ef, ok := f.(*EpollFile)
 	if !ok {
+		return linux.EINVAL
+	}
+	if fd == epfd {
 		return linux.EINVAL
 	}
 	if _, errno := p.FDs.Get(fd); errno != 0 {
@@ -172,13 +272,70 @@ func (p *Process) EpollCtl(epfd, op, fd int32, events uint32, data uint64) linux
 	default:
 		return linux.EINVAL
 	}
+	ef.q.Wake() // a blocked wait re-snapshots the interest list
 	return 0
+}
+
+// forget drops fd from the interest list (descriptor closed or
+// replaced). Part of the FDTable teardown path.
+func (e *EpollFile) forget(fd int32) {
+	e.mu.Lock()
+	delete(e.items, fd)
+	e.mu.Unlock()
+	e.q.Wake()
 }
 
 // EpollEvent is one ready event.
 type EpollEvent struct {
 	Events uint32
 	Data   uint64
+}
+
+// epollScan samples the interest list, arming w (when non-nil) on
+// every waitable file. As in pollScan, each file is armed BEFORE its
+// readiness sample so an edge between the two cannot be lost.
+func (p *Process) epollScan(ef *EpollFile, maxEvents int, w *waitq.Waiter, armed *[]*waitq.Queue) ([]EpollEvent, bool) {
+	if w != nil {
+		// Interest-list mutations (EpollCtl) must also end the wait.
+		ef.q.Add(w)
+		*armed = append(*armed, &ef.q)
+	}
+	ef.mu.Lock()
+	items := make([]epollEntry, 0, len(ef.items))
+	for _, it := range ef.items {
+		items = append(items, it)
+	}
+	ef.mu.Unlock()
+
+	var out []EpollEvent
+	eventable := true
+	for _, it := range items {
+		file, errno := p.FDs.Get(it.fd)
+		if errno != 0 {
+			continue
+		}
+		var qs []*waitq.Queue
+		if pw, ok := file.(pollWaitable); ok {
+			qs = pw.PollQueues()
+		}
+		if w != nil {
+			for _, q := range qs {
+				q.Add(w)
+				*armed = append(*armed, q)
+			}
+		}
+		ev := uint32(uint16(file.Poll()))
+		if got := ev & (it.events | linux.EPOLLHUP | linux.EPOLLERR); got != 0 {
+			if len(out) < maxEvents {
+				out = append(out, EpollEvent{Events: got, Data: it.data})
+			}
+			continue
+		}
+		if len(qs) == 0 {
+			eventable = false
+		}
+	}
+	return out, eventable
 }
 
 // EpollWait implements epoll_wait (level-triggered).
@@ -195,41 +352,48 @@ func (p *Process) EpollWait(epfd int32, maxEvents int, timeoutNs int64) ([]Epoll
 	if timeoutNs >= 0 {
 		deadline = time.Now().Add(time.Duration(timeoutNs))
 	}
+	var w *waitq.Waiter
+	var armed []*waitq.Queue
+	disarm := func() {
+		for _, q := range armed {
+			q.Remove(w)
+		}
+		armed = armed[:0]
+	}
 	for {
-		ef.mu.Lock()
-		items := make([]epollEntry, 0, len(ef.items))
-		for _, it := range ef.items {
-			items = append(items, it)
+		if w != nil {
+			w.Clear()
 		}
-		ef.mu.Unlock()
-
-		var out []EpollEvent
-		for _, it := range items {
-			if len(out) >= maxEvents {
-				break
-			}
-			file, errno := p.FDs.Get(it.fd)
-			if errno != 0 {
-				continue
-			}
-			ev := uint32(uint16(file.Poll()))
-			if got := ev & (it.events | linux.EPOLLHUP | linux.EPOLLERR); got != 0 {
-				out = append(out, EpollEvent{Events: got, Data: it.data})
-			}
-		}
+		out, eventable := p.epollScan(ef, maxEvents, w, &armed)
 		if len(out) > 0 {
+			disarm()
 			return out, 0
 		}
 		if timeoutNs == 0 {
+			disarm()
 			return nil, 0
 		}
 		if timeoutNs > 0 && !time.Now().Before(deadline) {
+			disarm()
 			return nil, 0
 		}
 		if p.HasDeliverableSignal() {
+			disarm()
 			return nil, linux.EINTR
 		}
-		time.Sleep(pollInterval)
+		if w == nil {
+			w = waitq.NewWaiter()
+			p.sig.pollQ.Add(w)
+			defer p.sig.pollQ.Remove(w)
+			continue
+		}
+		if !eventable {
+			disarm()
+			time.Sleep(pollInterval)
+			continue
+		}
+		p.pollBlock(w, timeoutNs, deadline)
+		disarm()
 	}
 }
 

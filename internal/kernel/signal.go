@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gowali/internal/kernel/waitq"
 	"gowali/internal/linux"
 )
 
@@ -29,6 +30,11 @@ type SignalState struct {
 	// what orders the threads' shared wasm memory accesses (futex wake
 	// protocols rely on it), matching the pre-fast-path behavior.
 	threaded atomic.Bool
+
+	// pollQ wakes group members blocked in event-driven poll/epoll
+	// waits so a process-directed signal turns into EINTR immediately
+	// instead of at the next readiness event.
+	pollQ waitq.Queue
 }
 
 // refreshFast republishes the lock-free pending summary; callers hold s.mu.
@@ -151,6 +157,7 @@ func (p *Process) PostSignal(sig int32) linux.Errno {
 	s.refreshFast()
 	s.mu.Unlock()
 	s.cond.Broadcast()
+	s.pollQ.Wake()
 	// Wake only this group's blocked wait4 calls (EINTR re-check); a
 	// process-directed signal is deliverable to any thread in the group.
 	p.group.notifyWaiters()
@@ -176,6 +183,7 @@ func (p *Process) PostThreadSignal(sig int32) linux.Errno {
 		p.sig.mu.Unlock()
 	}
 	p.sig.cond.Broadcast()
+	p.sig.pollQ.Wake()
 	// Thread-directed: only this task's wait4 needs the EINTR re-check.
 	p.notifyWaiters()
 	return 0

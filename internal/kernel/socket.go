@@ -1,32 +1,26 @@
 package kernel
 
 import (
-	"fmt"
+	"strconv"
 	"sync"
+	"sync/atomic"
 
-	"gowali/internal/kernel/vfs"
+	"gowali/internal/kernel/net"
+	"gowali/internal/kernel/waitq"
 	"gowali/internal/linux"
 )
 
-// Loopback socket layer: AF_INET and AF_UNIX stream sockets plus datagram
-// sockets, all within the simulated kernel. This is the substrate for the
-// memcached- and MQTT-style workloads.
+// Socket layer: AF_INET and AF_UNIX stream and datagram sockets as
+// kernel files. The kernel owns descriptor semantics (flags, SIGPIPE,
+// poll integration, shutdown state); the transport and address space
+// behind every socket is a pluggable net.Backend — the loopback
+// registry by default, a cross-kernel virtual switch or host-socket
+// passthrough when configured (Kernel.SetNetBackend). AF_UNIX always
+// stays on the kernel's private loopback instance: unix addresses are
+// per-machine filesystem names, exactly as in a network namespace.
 
 // SockAddr is the kernel-native socket address.
-type SockAddr struct {
-	Family uint16
-	Port   uint16  // AF_INET
-	Addr   [4]byte // AF_INET (ignored: everything is loopback)
-	Path   string  // AF_UNIX
-}
-
-// String formats the address for diagnostics.
-func (a SockAddr) String() string {
-	if a.Family == linux.AF_UNIX {
-		return "unix:" + a.Path
-	}
-	return fmt.Sprintf("%d.%d.%d.%d:%d", a.Addr[0], a.Addr[1], a.Addr[2], a.Addr[3], a.Port)
-}
+type SockAddr = net.Addr
 
 type sockState int
 
@@ -34,86 +28,49 @@ const (
 	sockUnbound sockState = iota
 	sockBound
 	sockListening
+	sockConnecting // nonblocking connect in flight (EINPROGRESS)
 	sockConnected
 	sockClosed
 )
 
-// datagram is one queued UDP packet.
-type datagram struct {
-	from SockAddr
-	data []byte
-}
-
-// Socket is a socket file. Stream sockets use a pipe per direction;
-// datagram sockets use a packet queue.
+// Socket is a socket file over a net.Backend object.
 type Socket struct {
 	flagHolder
 	k      *Kernel
 	domain int32
 	typ    int32
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	state    sockState
-	local    SockAddr
-	peer     SockAddr
-	rx, tx   *vfs.Pipe // stream: rx = peer->us, tx = us->peer
-	peerSock *Socket   // stream peer (for shutdown bookkeeping)
-	dgrams   []datagram
-	sockErr  linux.Errno
-	opts     map[int32]int32
-	closed   bool
-	shutRd   bool
-	shutWr   bool
-	listener *listenerSocket
-}
-
-// listenerSocket carries the accept queue for a listening address.
-type listenerSocket struct {
 	mu      sync.Mutex
-	cond    *sync.Cond
-	pending []*Socket // server-side ends awaiting accept
+	state   sockState
+	local   SockAddr
+	peer    SockAddr
+	ln      net.Listener
+	conn    net.Conn
+	dg      net.DgramConn
+	sockErr linux.Errno
+	opts    map[int32]int32
 	closed  bool
-	owner   *Socket
-}
+	shutRd  bool
+	shutWr  bool
 
-// listenerReg is one bound-address registry (TCP ports or unix paths).
-// Each registry carries its own lock, so binds and connects in one
-// address family never serialize the other — or anything else in the
-// kernel.
-type listenerReg[K comparable] struct {
-	mu sync.Mutex
-	m  map[K]*listenerSocket
-}
-
-func (r *listenerReg[K]) get(k K) *listenerSocket {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.m[k]
-}
-
-// put registers l at k; reports false when the address is taken.
-func (r *listenerReg[K]) put(k K, l *listenerSocket) bool {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if _, used := r.m[k]; used {
-		return false
-	}
-	r.m[k] = l
-	return true
-}
-
-func (r *listenerReg[K]) del(k K) {
-	r.mu.Lock()
-	delete(r.m, k)
-	r.mu.Unlock()
+	// stateQ wakes pollers on lifecycle edges the transport queues
+	// can't see (listen, connect, close).
+	stateQ waitq.Queue
 }
 
 func newSocket(k *Kernel, domain, typ int32, flags int32) *Socket {
 	s := &Socket{k: k, domain: domain, typ: typ, opts: map[int32]int32{}}
-	s.cond = sync.NewCond(&s.mu)
 	s.flags = flags
 	return s
+}
+
+// backend routes the socket to its address space: the configured
+// AF_INET backend, or the kernel-private loopback for AF_UNIX.
+func (s *Socket) backend() net.Backend {
+	if s.domain == linux.AF_UNIX {
+		return s.k.unixNet
+	}
+	return s.k.NetBackend()
 }
 
 // SocketSyscall implements socket(2).
@@ -143,11 +100,11 @@ func (p *Process) SocketPair(domain, typ, proto int32) (int32, int32, linux.Errn
 	if typ&linux.SOCK_NONBLOCK != 0 {
 		flags |= linux.O_NONBLOCK
 	}
+	ca, cb := net.NewStreamPair()
 	a := newSocket(p.K, domain, base, flags)
 	b := newSocket(p.K, domain, base, flags)
-	ab := vfs.NewPipe()
-	ba := vfs.NewPipe()
-	wirePair(a, b, ab, ba)
+	a.conn, a.state = ca, sockConnected
+	b.conn, b.state = cb, sockConnected
 	cloexec := typ&linux.SOCK_CLOEXEC != 0
 	afd, errno := p.FDs.Alloc(a, cloexec, 0)
 	if errno != 0 {
@@ -159,24 +116,6 @@ func (p *Process) SocketPair(domain, typ, proto int32) (int32, int32, linux.Errn
 		return -1, -1, errno
 	}
 	return afd, bfd, 0
-}
-
-// wirePair connects two stream sockets with pipes ab (a→b) and ba (b→a).
-func wirePair(a, b *Socket, ab, ba *vfs.Pipe) {
-	ab.AddReader()
-	ab.AddWriter()
-	ba.AddReader()
-	ba.AddWriter()
-	a.mu.Lock()
-	a.state = sockConnected
-	a.tx, a.rx = ab, ba
-	a.peerSock = b
-	a.mu.Unlock()
-	b.mu.Lock()
-	b.state = sockConnected
-	b.tx, b.rx = ba, ab
-	b.peerSock = a
-	b.mu.Unlock()
 }
 
 func (p *Process) getSocket(fd int32) (*Socket, linux.Errno) {
@@ -191,7 +130,8 @@ func (p *Process) getSocket(fd int32) (*Socket, linux.Errno) {
 	return s, 0
 }
 
-// Bind implements bind(2).
+// Bind implements bind(2). Datagram sockets claim their address (and
+// packet queue) immediately; stream sockets claim at listen(2).
 func (p *Process) Bind(fd int32, addr SockAddr) linux.Errno {
 	s, errno := p.getSocket(fd)
 	if errno != 0 {
@@ -202,27 +142,27 @@ func (p *Process) Bind(fd int32, addr SockAddr) linux.Errno {
 	if s.state != sockUnbound {
 		return linux.EINVAL
 	}
-	k := p.K
-	if s.domain == linux.AF_INET {
-		if addr.Port == 0 {
-			// Ephemeral port assignment.
-			k.ports.mu.Lock()
-			for port := uint16(32768); port != 0; port++ {
-				if _, used := k.ports.m[port]; !used {
-					addr.Port = port
-					break
-				}
-			}
-			k.ports.mu.Unlock()
-		}
+	resolved, errno := s.backend().BindAddr(addr)
+	if errno != 0 {
+		return errno
 	}
-	s.local = addr
+	if s.typ == linux.SOCK_DGRAM {
+		dg, errno := s.backend().Dgram(resolved)
+		if errno != 0 {
+			return errno
+		}
+		s.dg = dg
+		// A poller armed before the bind knows only stateQ; wake it
+		// so it re-arms on the new packet queue.
+		defer s.stateQ.Wake()
+	}
+	s.local = resolved
 	s.state = sockBound
 	return 0
 }
 
-// Listen implements listen(2), registering the address in the loopback
-// port space.
+// Listen implements listen(2), claiming the bound address in the
+// backend's address space.
 func (p *Process) Listen(fd int32, backlog int32) linux.Errno {
 	s, errno := p.getSocket(fd)
 	if errno != 0 {
@@ -232,29 +172,17 @@ func (p *Process) Listen(fd int32, backlog int32) linux.Errno {
 		return linux.EOPNOTSUPP
 	}
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.state != sockBound {
-		s.mu.Unlock()
 		return linux.EINVAL
 	}
-	l := &listenerSocket{owner: s}
-	l.cond = sync.NewCond(&l.mu)
-	s.state = sockListening
-	local := s.local
-	s.mu.Unlock()
-
-	k := p.K
-	if s.domain == linux.AF_INET {
-		if !k.ports.put(local.Port, l) {
-			return linux.EADDRINUSE
-		}
-	} else {
-		if !k.unixSock.put(local.Path, l) {
-			return linux.EADDRINUSE
-		}
+	l, errno := s.backend().Listen(s.local, int(backlog))
+	if errno != 0 {
+		return errno
 	}
-	s.mu.Lock()
-	s.listener = l
-	s.mu.Unlock()
+	s.ln = l
+	s.state = sockListening
+	s.stateQ.Wake()
 	return 0
 }
 
@@ -265,45 +193,34 @@ func (p *Process) Accept(fd int32, flags int32) (int32, SockAddr, linux.Errno) {
 		return -1, SockAddr{}, errno
 	}
 	s.mu.Lock()
-	l := s.listener
-	nb := s.flagHolder.nonblock()
+	l := s.ln
+	local := s.local
 	s.mu.Unlock()
 	if l == nil {
 		return -1, SockAddr{}, linux.EINVAL
 	}
-	l.mu.Lock()
-	for len(l.pending) == 0 && !l.closed {
-		if nb {
-			l.mu.Unlock()
-			return -1, SockAddr{}, linux.EAGAIN
-		}
-		l.cond.Wait()
+	conn, peer, errno := l.Accept(s.nonblock())
+	if errno != 0 {
+		return -1, SockAddr{}, errno
 	}
-	if l.closed && len(l.pending) == 0 {
-		l.mu.Unlock()
-		return -1, SockAddr{}, linux.EINVAL
-	}
-	conn := l.pending[0]
-	l.pending = l.pending[1:]
-	l.mu.Unlock()
 
-	var connFlags int32
+	ns := newSocket(p.K, s.domain, s.typ, 0)
 	if flags&linux.SOCK_NONBLOCK != 0 {
-		connFlags |= linux.O_NONBLOCK
+		ns.SetFlags(linux.O_NONBLOCK)
 	}
-	conn.SetFlags(connFlags)
-	nfd, errno := p.FDs.Alloc(conn, flags&linux.SOCK_CLOEXEC != 0, 0)
+	ns.conn = conn
+	ns.state = sockConnected
+	ns.local = local
+	ns.peer = peer
+	nfd, errno := p.FDs.Alloc(ns, flags&linux.SOCK_CLOEXEC != 0, 0)
 	if errno != 0 {
 		conn.Close()
 		return -1, SockAddr{}, errno
 	}
-	conn.mu.Lock()
-	peer := conn.peer
-	conn.mu.Unlock()
 	return nfd, peer, 0
 }
 
-// Connect implements connect(2) against the loopback address space.
+// Connect implements connect(2).
 func (p *Process) Connect(fd int32, addr SockAddr) linux.Errno {
 	s, errno := p.getSocket(fd)
 	if errno != 0 {
@@ -314,40 +231,93 @@ func (p *Process) Connect(fd int32, addr SockAddr) linux.Errno {
 		s.peer = addr
 		s.state = sockConnected
 		s.mu.Unlock()
+		s.stateQ.Wake()
 		return 0
 	}
-	k := p.K
-	var l *listenerSocket
-	if s.domain == linux.AF_INET {
-		l = k.ports.get(addr.Port)
-	} else {
-		l = k.unixSock.get(addr.Path)
-	}
-	if l == nil {
-		return linux.ECONNREFUSED
-	}
-
-	server := newSocket(k, s.domain, s.typ, 0)
-	c2s := vfs.NewPipe()
-	s2c := vfs.NewPipe()
-	wirePair(s, server, c2s, s2c)
 	s.mu.Lock()
-	s.peer = addr
-	s.mu.Unlock()
-	server.mu.Lock()
-	server.local = addr
-	server.peer = s.local
-	server.mu.Unlock()
-
-	l.mu.Lock()
-	if l.closed {
-		l.mu.Unlock()
-		return linux.ECONNREFUSED
+	switch s.state {
+	case sockConnected:
+		s.mu.Unlock()
+		return linux.EISCONN
+	case sockConnecting:
+		s.mu.Unlock()
+		return linux.EALREADY
+	case sockListening, sockClosed:
+		s.mu.Unlock()
+		return linux.EINVAL
 	}
-	l.pending = append(l.pending, server)
-	l.mu.Unlock()
-	l.cond.Broadcast()
+	local := s.local
+	b := s.backend()
+	if s.nonblock() {
+		// Nonblocking connect: dial off-thread (HostNet dials can take
+		// real time), report EINPROGRESS, complete via POLLOUT +
+		// SO_ERROR like a real kernel.
+		s.state = sockConnecting
+		s.peer = addr
+		s.mu.Unlock()
+		go s.finishConnect(b, addr, local)
+		return linux.EINPROGRESS
+	}
+	s.mu.Unlock()
+
+	conn, errno := b.Connect(addr, local)
+	if errno != 0 {
+		return errno
+	}
+	return s.installConn(conn, addr)
+}
+
+// finishConnect completes an asynchronous connect: success installs
+// the connection, failure parks the errno in SO_ERROR and returns the
+// socket to its pre-connect state. Either way pollers wake (POLLOUT;
+// POLLERR on failure).
+func (s *Socket) finishConnect(b net.Backend, addr, local SockAddr) {
+	conn, errno := b.Connect(addr, local)
+	if errno != 0 {
+		s.mu.Lock()
+		if s.state == sockConnecting {
+			s.sockErr = errno
+			if local.Family != 0 {
+				s.state = sockBound
+			} else {
+				s.state = sockUnbound
+			}
+		}
+		s.mu.Unlock()
+		s.stateQ.Wake()
+		return
+	}
+	s.installConn(conn, addr)
+}
+
+// installConn publishes an established connection unless the socket
+// raced into another terminal state, in which case the newcomer is
+// torn down (keeping a concurrent winner's peer alive).
+func (s *Socket) installConn(conn net.Conn, addr SockAddr) linux.Errno {
+	s.mu.Lock()
+	switch s.state {
+	case sockClosed:
+		s.mu.Unlock()
+		conn.Close()
+		return linux.EINVAL
+	case sockConnected:
+		s.mu.Unlock()
+		conn.Close()
+		return linux.EISCONN
+	}
+	s.conn = conn
+	s.peer = addr
+	s.state = sockConnected
+	s.mu.Unlock()
+	s.stateQ.Wake()
 	return 0
+}
+
+// connFor snapshots the stream connection and shutdown state.
+func (s *Socket) connFor() (net.Conn, bool, bool, sockState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.conn, s.shutRd, s.shutWr, s.state
 }
 
 // SendTo implements sendto(2).
@@ -357,20 +327,17 @@ func (p *Process) SendTo(fd int32, b []byte, msgFlags int32, to *SockAddr) (int,
 		return 0, errno
 	}
 	if s.typ == linux.SOCK_DGRAM {
-		return s.sendDgram(p, b, to)
+		return s.sendDgram(b, to)
 	}
-	nb := s.flagHolder.nonblock() || msgFlags&linux.MSG_DONTWAIT != 0
-	s.mu.Lock()
-	tx := s.tx
-	shut := s.shutWr
-	s.mu.Unlock()
-	if tx == nil || s.stateOf() != sockConnected {
+	nb := s.nonblock() || msgFlags&linux.MSG_DONTWAIT != 0
+	conn, _, shutWr, state := s.connFor()
+	if conn == nil || state != sockConnected {
 		return 0, linux.ENOTCONN
 	}
-	if shut {
+	if shutWr {
 		return 0, linux.EPIPE
 	}
-	n, errno := tx.Write(b, nb)
+	n, errno := conn.Write(b, nb)
 	if errno == linux.EPIPE && msgFlags&linux.MSG_NOSIGNAL == 0 {
 		p.PostSignal(linux.SIGPIPE)
 	}
@@ -383,32 +350,60 @@ func (p *Process) RecvFrom(fd int32, b []byte, msgFlags int32) (int, SockAddr, l
 	if errno != 0 {
 		return 0, SockAddr{}, errno
 	}
-	nb := s.flagHolder.nonblock() || msgFlags&linux.MSG_DONTWAIT != 0
+	nb := s.nonblock() || msgFlags&linux.MSG_DONTWAIT != 0
 	if s.typ == linux.SOCK_DGRAM {
 		return s.recvDgram(b, nb)
 	}
+	conn, shutRd, _, _ := s.connFor()
 	s.mu.Lock()
-	rx := s.rx
 	peer := s.peer
-	shut := s.shutRd
 	s.mu.Unlock()
-	if rx == nil {
+	if conn == nil {
 		return 0, SockAddr{}, linux.ENOTCONN
 	}
-	if shut {
+	if shutRd {
 		return 0, peer, 0
 	}
-	n, errno := rx.Read(b, nb)
+	n, errno := conn.Read(b, nb)
 	return n, peer, errno
 }
 
-func (s *Socket) stateOf() sockState {
+// ensureDgram lazily binds an unbound datagram socket to an ephemeral
+// address (the implicit bind of a first sendto/recvfrom).
+func (s *Socket) ensureDgram() (net.DgramConn, linux.Errno) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.state
+	if s.dg != nil {
+		return s.dg, 0
+	}
+	if s.closed {
+		return nil, linux.EBADF
+	}
+	addr := SockAddr{Family: uint16(s.domain)}
+	if s.domain == linux.AF_UNIX {
+		// Autobind: a machine-unique abstract-style name.
+		addr.Path = "@autobind-" + strconv.Itoa(int(autoSeq.Add(1)))
+	}
+	resolved, errno := s.backend().BindAddr(addr)
+	if errno != 0 {
+		return nil, errno
+	}
+	dg, errno := s.backend().Dgram(resolved)
+	if errno != 0 {
+		return nil, errno
+	}
+	s.dg = dg
+	if s.state == sockUnbound {
+		s.local = resolved
+	}
+	defer s.stateQ.Wake() // re-arm pollers onto the new packet queue
+	return dg, 0
 }
 
-func (s *Socket) sendDgram(p *Process, b []byte, to *SockAddr) (int, linux.Errno) {
+// autoSeq numbers unix datagram autobind names.
+var autoSeq atomic.Int64
+
+func (s *Socket) sendDgram(b []byte, to *SockAddr) (int, linux.Errno) {
 	s.mu.Lock()
 	dest := s.peer
 	s.mu.Unlock()
@@ -418,56 +413,22 @@ func (s *Socket) sendDgram(p *Process, b []byte, to *SockAddr) (int, linux.Errno
 	if dest.Family == 0 {
 		return 0, linux.EDESTADDRREQ
 	}
-	// Find the destination socket: linear scan over processes' sockets is
-	// avoided by a dgram registry keyed on bind address.
-	target := s.k.dgramFor(dest)
-	if target == nil {
-		return 0, linux.ECONNREFUSED
+	dg, errno := s.ensureDgram()
+	if errno != 0 {
+		return 0, errno
 	}
-	target.mu.Lock()
-	if len(target.dgrams) >= 1024 {
-		target.mu.Unlock()
-		return 0, linux.ENOBUFS
-	}
-	s.mu.Lock()
-	from := s.local
-	s.mu.Unlock()
-	target.dgrams = append(target.dgrams, datagram{from: from, data: append([]byte(nil), b...)})
-	target.mu.Unlock()
-	target.cond.Broadcast()
-	return len(b), 0
+	return dg.SendTo(b, dest)
 }
 
 func (s *Socket) recvDgram(b []byte, nonblock bool) (int, SockAddr, linux.Errno) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for len(s.dgrams) == 0 {
-		if s.closed {
-			return 0, SockAddr{}, 0
+	dg, errno := s.ensureDgram()
+	if errno != 0 {
+		if errno == linux.EBADF {
+			return 0, SockAddr{}, 0 // closed: drained
 		}
-		if nonblock {
-			return 0, SockAddr{}, linux.EAGAIN
-		}
-		s.cond.Wait()
+		return 0, SockAddr{}, errno
 	}
-	d := s.dgrams[0]
-	s.dgrams = s.dgrams[1:]
-	n := copy(b, d.data) // excess datagram bytes are discarded, per UDP
-	return n, d.from, 0
-}
-
-// dgramFor finds the datagram socket bound to addr.
-func (k *Kernel) dgramFor(addr SockAddr) *Socket {
-	if addr.Family == linux.AF_UNIX {
-		if l := k.unixSock.get(addr.Path); l != nil {
-			return l.owner
-		}
-		return nil
-	}
-	if l := k.ports.get(addr.Port); l != nil {
-		return l.owner
-	}
-	return nil
+	return dg.RecvFrom(b, nonblock)
 }
 
 // Shutdown implements shutdown(2).
@@ -477,22 +438,28 @@ func (p *Process) Shutdown(fd int32, how int32) linux.Errno {
 		return errno
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.state != sockConnected {
+		s.mu.Unlock()
 		return linux.ENOTCONN
 	}
+	conn := s.conn
 	if how == linux.SHUT_RD || how == linux.SHUT_RDWR {
 		s.shutRd = true
-		if s.rx != nil {
-			s.rx.CloseReader()
-		}
 	}
 	if how == linux.SHUT_WR || how == linux.SHUT_RDWR {
 		s.shutWr = true
-		if s.tx != nil {
-			s.tx.CloseWriter()
+	}
+	rd, wr := s.shutRd, s.shutWr
+	s.mu.Unlock()
+	if conn != nil {
+		if rd {
+			conn.CloseRead()
+		}
+		if wr {
+			conn.CloseWrite()
 		}
 	}
+	s.stateQ.Wake()
 	return 0
 }
 
@@ -521,31 +488,95 @@ func (p *Process) GetPeerName(fd int32) (SockAddr, linux.Errno) {
 	return s.peer, 0
 }
 
-// SetSockOpt stores an option value (stored and reported; semantics beyond
-// SO_ERROR are accept-and-record, which is what the ported apps need).
+// sockOptKnown is the accepted option matrix: the options libc and
+// common servers actually set, honored as record-and-report (and
+// forwarded to the transport where it can do better, e.g. TCP_NODELAY
+// on host sockets). Anything outside the matrix is ENOPROTOOPT, like
+// a real kernel — silent acceptance of arbitrary options masked real
+// porting bugs.
+func sockOptKnown(level, opt int32) bool {
+	switch level {
+	case linux.SOL_SOCKET:
+		switch opt {
+		case linux.SO_REUSEADDR, linux.SO_REUSEPORT, linux.SO_KEEPALIVE,
+			linux.SO_SNDBUF, linux.SO_RCVBUF, linux.SO_RCVTIMEO,
+			linux.SO_SNDTIMEO, linux.SO_LINGER, linux.SO_BROADCAST,
+			linux.SO_DONTROUTE, linux.SO_OOBINLINE, linux.SO_PRIORITY,
+			linux.SO_ERROR, linux.SO_TYPE, linux.SO_ACCEPTCONN:
+			return true
+		}
+	case linux.IPPROTO_IP:
+		switch opt {
+		case linux.IP_TOS, linux.IP_TTL:
+			return true
+		}
+	case linux.IPPROTO_TCP:
+		switch opt {
+		case linux.TCP_NODELAY, linux.TCP_KEEPIDLE, linux.TCP_KEEPINTVL,
+			linux.TCP_KEEPCNT, linux.TCP_QUICKACK:
+			return true
+		}
+	case linux.IPPROTO_IPV6:
+		switch opt {
+		case linux.IPV6_V6ONLY:
+			return true
+		}
+	}
+	return false
+}
+
+// SetSockOpt implements setsockopt(2) over the known-option matrix.
 func (p *Process) SetSockOpt(fd int32, level, opt, val int32) linux.Errno {
 	s, errno := p.getSocket(fd)
 	if errno != 0 {
 		return errno
 	}
+	if !sockOptKnown(level, opt) {
+		return linux.ENOPROTOOPT
+	}
+	if level == linux.SOL_SOCKET && (opt == linux.SO_ERROR || opt == linux.SO_TYPE || opt == linux.SO_ACCEPTCONN) {
+		return linux.ENOPROTOOPT // read-only options
+	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.opts[level<<16|opt] = val
+	conn := s.conn
+	s.mu.Unlock()
+	if conn != nil {
+		conn.SetOpt(level, opt, val)
+	}
 	return 0
 }
 
-// GetSockOpt retrieves an option value.
+// GetSockOpt implements getsockopt(2).
 func (p *Process) GetSockOpt(fd int32, level, opt int32) (int32, linux.Errno) {
 	s, errno := p.getSocket(fd)
 	if errno != 0 {
 		return 0, errno
 	}
+	if !sockOptKnown(level, opt) {
+		return 0, linux.ENOPROTOOPT
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if level == linux.SOL_SOCKET && opt == linux.SO_ERROR {
-		e := int32(s.sockErr)
-		s.sockErr = 0
-		return e, 0
+	if level == linux.SOL_SOCKET {
+		switch opt {
+		case linux.SO_ERROR:
+			e := int32(s.sockErr)
+			s.sockErr = 0
+			return e, 0
+		case linux.SO_TYPE:
+			return s.typ, 0
+		case linux.SO_ACCEPTCONN:
+			if s.state == sockListening {
+				return 1, 0
+			}
+			return 0, 0
+		case linux.SO_SNDBUF, linux.SO_RCVBUF:
+			if v, ok := s.opts[level<<16|opt]; ok {
+				return v, 0
+			}
+			return 64 * 1024, 0 // the pipe capacity behind every stream
+		}
 	}
 	return s.opts[level<<16|opt], 0
 }
@@ -558,32 +589,30 @@ func (s *Socket) Read(b []byte) (int, linux.Errno) {
 		n, _, errno := s.recvDgram(b, s.nonblock())
 		return n, errno
 	}
-	s.mu.Lock()
-	rx := s.rx
-	shut := s.shutRd
-	s.mu.Unlock()
-	if rx == nil {
+	conn, shutRd, _, _ := s.connFor()
+	if conn == nil {
 		return 0, linux.ENOTCONN
 	}
-	if shut {
+	if shutRd {
 		return 0, 0
 	}
-	return rx.Read(b, s.nonblock())
+	return conn.Read(b, s.nonblock())
 }
 
 // Write implements File.
 func (s *Socket) Write(b []byte) (int, linux.Errno) {
-	s.mu.Lock()
-	tx := s.tx
-	shut := s.shutWr
-	s.mu.Unlock()
-	if tx == nil {
+	if s.typ == linux.SOCK_DGRAM {
+		n, errno := s.sendDgram(b, nil)
+		return n, errno
+	}
+	conn, _, shutWr, _ := s.connFor()
+	if conn == nil {
 		return 0, linux.ENOTCONN
 	}
-	if shut {
+	if shutWr {
 		return 0, linux.EPIPE
 	}
-	return tx.Write(b, s.nonblock())
+	return conn.Write(b, s.nonblock())
 }
 
 // Pread implements File (ESPIPE).
@@ -603,7 +632,8 @@ func (s *Socket) Stat() (linux.Stat, linux.Errno) {
 // Truncate implements File.
 func (s *Socket) Truncate(int64) linux.Errno { return linux.EINVAL }
 
-// Close implements File: tears down pipes and deregisters listeners.
+// Close implements File: tears down the transport objects and releases
+// the claimed addresses.
 func (s *Socket) Close() linux.Errno {
 	s.mu.Lock()
 	if s.closed {
@@ -611,87 +641,103 @@ func (s *Socket) Close() linux.Errno {
 		return 0
 	}
 	s.closed = true
-	rx, tx := s.rx, s.tx
-	l := s.listener
-	local := s.local
-	domain := s.domain
+	ln, conn, dg := s.ln, s.conn, s.dg
 	s.state = sockClosed
 	s.mu.Unlock()
 
-	if rx != nil {
-		rx.CloseReader()
+	if conn != nil {
+		conn.Close()
 	}
-	if tx != nil {
-		tx.CloseWriter()
+	if ln != nil {
+		ln.Close()
 	}
-	if l != nil {
-		l.mu.Lock()
-		l.closed = true
-		l.mu.Unlock()
-		l.cond.Broadcast()
-		if domain == linux.AF_INET {
-			s.k.ports.del(local.Port)
-		} else {
-			s.k.unixSock.del(local.Path)
-		}
+	if dg != nil {
+		dg.Close()
 	}
-	s.cond.Broadcast()
+	s.stateQ.Wake()
 	return 0
 }
 
 // Poll implements File.
 func (s *Socket) Poll() int16 {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	var ev int16
-	switch s.state {
+	state := s.state
+	ln, conn, dg := s.ln, s.conn, s.dg
+	shutRd := s.shutRd
+	sockErr := s.sockErr
+	s.mu.Unlock()
+	switch state {
 	case sockListening:
-		l := s.listener
-		if l != nil {
-			l.mu.Lock()
-			if len(l.pending) > 0 {
-				ev |= linux.POLLIN
-			}
-			l.mu.Unlock()
+		if ln != nil {
+			// Pass POLLHUP through: an asynchronously closed listener
+			// (HostNet teardown, accept-loop death) must end a
+			// blocked poll rather than strand it.
+			return ln.Readiness()
 		}
+	case sockConnecting:
+		return 0 // not writable until the async connect resolves
 	case sockConnected:
 		if s.typ == linux.SOCK_DGRAM {
-			if len(s.dgrams) > 0 {
-				ev |= linux.POLLIN
+			if dg != nil {
+				return dg.Readiness()
 			}
-			ev |= linux.POLLOUT
-			break
+			return linux.POLLOUT
 		}
-		if s.rx != nil {
-			ev |= s.rx.Poll(true) & (linux.POLLIN | linux.POLLHUP)
-		}
-		if s.tx != nil && s.tx.Poll(false)&linux.POLLOUT != 0 {
-			ev |= linux.POLLOUT
+		if conn != nil {
+			ev := conn.Readiness()
+			if shutRd {
+				ev |= linux.POLLIN // reads return 0 without blocking
+			}
+			return ev
 		}
 	default:
 		if s.typ == linux.SOCK_DGRAM {
-			if len(s.dgrams) > 0 {
-				ev |= linux.POLLIN
+			if dg != nil {
+				return dg.Readiness()
 			}
-			ev |= linux.POLLOUT
+			return linux.POLLOUT
+		}
+		if sockErr != 0 {
+			// A failed nonblocking connect: writable-with-error so the
+			// event loop's POLLOUT wait ends and SO_ERROR reports why.
+			return linux.POLLOUT | linux.POLLERR
 		}
 	}
-	return ev
+	return 0
+}
+
+// PollQueues implements the event-driven readiness hookup: every wait
+// queue whose wakeup can change this socket's Poll result.
+func (s *Socket) PollQueues() []*waitq.Queue {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	qs := []*waitq.Queue{&s.stateQ}
+	if s.ln != nil {
+		qs = append(qs, s.ln.Queue())
+	}
+	if s.conn != nil {
+		qs = append(qs, s.conn.Queues()...)
+	}
+	if s.dg != nil {
+		qs = append(qs, s.dg.Queue())
+	}
+	return qs
 }
 
 // Ioctl implements File.
 func (s *Socket) Ioctl(cmd uint32, arg []byte) (int32, linux.Errno) {
 	if cmd == linux.FIONREAD {
 		s.mu.Lock()
-		defer s.mu.Unlock()
+		conn, dg := s.conn, s.dg
+		s.mu.Unlock()
 		if s.typ == linux.SOCK_DGRAM {
-			if len(s.dgrams) > 0 {
-				return int32(len(s.dgrams[0].data)), 0
+			if dg != nil {
+				return int32(dg.Buffered()), 0
 			}
 			return 0, 0
 		}
-		if s.rx != nil {
-			return int32(s.rx.Buffered()), 0
+		if conn != nil {
+			return int32(conn.Buffered()), 0
 		}
 		return 0, 0
 	}

@@ -3,6 +3,7 @@ package vfs
 import (
 	"sync"
 
+	"gowali/internal/kernel/waitq"
 	"gowali/internal/linux"
 )
 
@@ -12,6 +13,10 @@ const PipeCapacity = 64 * 1024
 // Pipe is a byte stream with POSIX pipe semantics: reads block while the
 // buffer is empty and writers remain; writes block while full and readers
 // remain; EOF when all writers close; EPIPE when all readers close.
+//
+// Besides the internal condition (which serves blocking reads and
+// writes), every state change wakes the pipe's wait queue, so pollers
+// blocked on either end get event-driven readiness instead of sampling.
 type Pipe struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -19,6 +24,7 @@ type Pipe struct {
 	cap     int
 	readers int
 	writers int
+	q       waitq.Queue
 }
 
 // NewPipe returns an empty pipe with the default capacity and no
@@ -35,6 +41,7 @@ func (p *Pipe) AddReader() {
 	p.readers++
 	p.mu.Unlock()
 	p.cond.Broadcast()
+	p.q.Wake()
 }
 
 // AddWriter registers a write end.
@@ -43,6 +50,7 @@ func (p *Pipe) AddWriter() {
 	p.writers++
 	p.mu.Unlock()
 	p.cond.Broadcast()
+	p.q.Wake()
 }
 
 // CloseReader drops a read end.
@@ -51,6 +59,7 @@ func (p *Pipe) CloseReader() {
 	p.readers--
 	p.mu.Unlock()
 	p.cond.Broadcast()
+	p.q.Wake()
 }
 
 // CloseWriter drops a write end.
@@ -59,6 +68,7 @@ func (p *Pipe) CloseWriter() {
 	p.writers--
 	p.mu.Unlock()
 	p.cond.Broadcast()
+	p.q.Wake()
 }
 
 // Read implements pipe read semantics. A zero return with errno 0 is EOF.
@@ -77,6 +87,7 @@ func (p *Pipe) Read(b []byte, nonblock bool) (int, linux.Errno) {
 	n := copy(b, p.buf)
 	p.buf = p.buf[n:]
 	p.cond.Broadcast()
+	p.q.Wake()
 	return n, 0
 }
 
@@ -112,6 +123,7 @@ func (p *Pipe) Write(b []byte, nonblock bool) (int, linux.Errno) {
 		b = b[n:]
 		total += n
 		p.cond.Broadcast()
+		p.q.Wake()
 	}
 	return total, 0
 }
@@ -138,6 +150,11 @@ func (p *Pipe) Poll(readEnd bool) int16 {
 	}
 	return ev
 }
+
+// Queue returns the pipe's wait queue, woken on every state change
+// (data written, space freed, an end closed). Pollers of either end
+// arm on it for event-driven readiness.
+func (p *Pipe) Queue() *waitq.Queue { return &p.q }
 
 // Buffered returns the number of bytes waiting (FIONREAD).
 func (p *Pipe) Buffered() int {

@@ -1,0 +1,90 @@
+// Package waitq provides the kernel's wait queues: the event-driven
+// readiness substrate behind poll/select/epoll. A Queue belongs to a
+// waitable object (a pipe, a socket buffer, a listener's accept queue)
+// and is woken whenever the object's readiness may have changed; a
+// Waiter is one blocked task, registrable on any number of queues at
+// once (poll over many fds = one waiter on many queues).
+//
+// The protocol is level-triggered and tolerant of spurious wakeups:
+// a waiter arms itself on every relevant queue, re-checks readiness,
+// and only then blocks on its channel. Wake happens after the state
+// change it advertises, so the re-check closes the lost-wakeup window.
+// Queues with no waiters — the overwhelmingly common case on data-path
+// operations — pay one atomic load per Wake.
+package waitq
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Waiter is one blocked task. C carries at most one pending wakeup;
+// waking an already-woken waiter is a no-op, and a waiter re-checks
+// readiness after every receive, so collapsing wakeups is safe.
+type Waiter struct {
+	C chan struct{}
+}
+
+// NewWaiter returns a waiter ready to arm on queues.
+func NewWaiter() *Waiter { return &Waiter{C: make(chan struct{}, 1)} }
+
+// Clear drains a pending wakeup so the next block waits for a fresh
+// one. Call between readiness re-checks when reusing a waiter.
+func (w *Waiter) Clear() {
+	select {
+	case <-w.C:
+	default:
+	}
+}
+
+// wake delivers a (collapsing) wakeup.
+func (w *Waiter) wake() {
+	select {
+	case w.C <- struct{}{}:
+	default:
+	}
+}
+
+// Queue is one object's set of blocked waiters.
+type Queue struct {
+	// armed mirrors len(waiters) so the no-waiter Wake fast path is a
+	// single atomic load, keeping wait queues ~free for data-path
+	// operations nobody is polling.
+	armed   atomic.Int32
+	mu      sync.Mutex
+	waiters map[*Waiter]struct{}
+}
+
+// Add arms w on q. The caller must re-check readiness after arming
+// (and before blocking) to close the lost-wakeup window.
+func (q *Queue) Add(w *Waiter) {
+	q.mu.Lock()
+	if q.waiters == nil {
+		q.waiters = make(map[*Waiter]struct{})
+	}
+	q.waiters[w] = struct{}{}
+	q.armed.Store(int32(len(q.waiters)))
+	q.mu.Unlock()
+}
+
+// Remove disarms w from q. Safe to call whether or not w is armed.
+func (q *Queue) Remove(w *Waiter) {
+	q.mu.Lock()
+	delete(q.waiters, w)
+	q.armed.Store(int32(len(q.waiters)))
+	q.mu.Unlock()
+}
+
+// Wake notifies every armed waiter that readiness may have changed.
+// Call after releasing the object's own lock where possible; calling
+// under it is also correct (waiters only re-check, never call back).
+func (q *Queue) Wake() {
+	if q.armed.Load() == 0 {
+		return
+	}
+	q.mu.Lock()
+	for w := range q.waiters {
+		w.wake()
+	}
+	q.mu.Unlock()
+}

@@ -1,0 +1,111 @@
+package waitq
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestWakeBeforeArmIsNotLost(t *testing.T) {
+	// The poll protocol: arm, re-check, block. A Wake between the state
+	// change and Add is handled by the re-check; a Wake after Add must
+	// reach the channel.
+	var q Queue
+	w := NewWaiter()
+	q.Add(w)
+	q.Wake()
+	select {
+	case <-w.C:
+	case <-time.After(time.Second):
+		t.Fatal("armed waiter missed a wake")
+	}
+}
+
+func TestWakeCollapses(t *testing.T) {
+	var q Queue
+	w := NewWaiter()
+	q.Add(w)
+	q.Wake()
+	q.Wake()
+	q.Wake()
+	<-w.C
+	select {
+	case <-w.C:
+		t.Fatal("wakeups should collapse to one")
+	default:
+	}
+}
+
+func TestRemoveStopsWakeups(t *testing.T) {
+	var q Queue
+	w := NewWaiter()
+	q.Add(w)
+	q.Remove(w)
+	q.Wake()
+	select {
+	case <-w.C:
+		t.Fatal("removed waiter woke")
+	default:
+	}
+}
+
+func TestOneWaiterManyQueues(t *testing.T) {
+	var a, b Queue
+	w := NewWaiter()
+	a.Add(w)
+	b.Add(w)
+	defer a.Remove(w)
+	defer b.Remove(w)
+	b.Wake()
+	select {
+	case <-w.C:
+	case <-time.After(time.Second):
+		t.Fatal("second queue did not wake the shared waiter")
+	}
+}
+
+func TestConcurrentArmWake(t *testing.T) {
+	// Race Add/Remove against Wake: every armed waiter that observes
+	// not-ready must eventually be woken by the Wake that follows the
+	// state change.
+	var q Queue
+	var ready sync.Map
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := NewWaiter()
+			for j := 0; j < 200; j++ {
+				q.Add(w)
+				if _, ok := ready.Load(j); !ok {
+					select {
+					case <-w.C:
+					case <-time.After(5 * time.Second):
+						t.Errorf("waiter %d stuck at round %d", i, j)
+						q.Remove(w)
+						return
+					}
+				}
+				q.Remove(w)
+				w.Clear()
+			}
+		}(i)
+	}
+	for j := 0; j < 200; j++ {
+		ready.Store(j, true)
+		q.Wake()
+		time.Sleep(50 * time.Microsecond)
+		q.Wake() // stragglers that armed after the first wake
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		select {
+		case <-done:
+			return
+		case <-time.After(10 * time.Millisecond):
+			q.Wake() // keep nudging until everyone drains
+		}
+	}
+}

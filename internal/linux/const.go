@@ -209,17 +209,36 @@ const (
 	SOCK_NONBLOCK = 0x800
 	SOCK_CLOEXEC  = 0x80000
 
-	SOL_SOCKET   = 1
-	SO_REUSEADDR = 2
-	SO_ERROR     = 4
-	SO_SNDBUF    = 7
-	SO_RCVBUF    = 8
-	SO_KEEPALIVE = 9
-	SO_RCVTIMEO  = 20
-	SO_SNDTIMEO  = 21
+	SOL_SOCKET    = 1
+	SO_REUSEADDR  = 2
+	SO_TYPE       = 3
+	SO_ERROR      = 4
+	SO_DONTROUTE  = 5
+	SO_BROADCAST  = 6
+	SO_SNDBUF     = 7
+	SO_RCVBUF     = 8
+	SO_KEEPALIVE  = 9
+	SO_OOBINLINE  = 10
+	SO_PRIORITY   = 12
+	SO_LINGER     = 13
+	SO_REUSEPORT  = 15
+	SO_RCVTIMEO   = 20
+	SO_SNDTIMEO   = 21
+	SO_ACCEPTCONN = 30
 
-	IPPROTO_TCP = 6
-	TCP_NODELAY = 1
+	IPPROTO_IP = 0
+	IP_TOS     = 1
+	IP_TTL     = 2
+
+	IPPROTO_TCP   = 6
+	TCP_NODELAY   = 1
+	TCP_KEEPIDLE  = 4
+	TCP_KEEPINTVL = 5
+	TCP_KEEPCNT   = 6
+	TCP_QUICKACK  = 12
+
+	IPPROTO_IPV6 = 41
+	IPV6_V6ONLY  = 26
 
 	SHUT_RD   = 0
 	SHUT_WR   = 1

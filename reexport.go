@@ -4,6 +4,7 @@ import (
 	"gowali/internal/core"
 	"gowali/internal/interp"
 	"gowali/internal/kernel"
+	knet "gowali/internal/kernel/net"
 	"gowali/internal/kernel/vfs"
 	"gowali/internal/trace"
 	"gowali/internal/wasi"
@@ -99,6 +100,48 @@ func NewOverlayFS(lower Backend) Backend { return vfs.NewOverlayFS(lower, nil) }
 // NewOverlayFSOn is NewOverlayFS with an explicit writable upper
 // backend (e.g. a hostfs directory that persists the deltas).
 func NewOverlayFSOn(lower, upper Backend) Backend { return vfs.NewOverlayFS(lower, upper) }
+
+// NetBackend is a pluggable network stack serving a runtime kernel's
+// AF_INET sockets; see WithNet. Three ship: the default in-kernel
+// loopback (NewLoopbackNet), host-socket passthrough (NewHostNet) and
+// cross-kernel virtual switch nodes (NewSwitch + Switch.Node).
+type NetBackend = knet.Backend
+
+// NetAddr is the kernel-native socket address a NetBackend routes.
+type NetAddr = knet.Addr
+
+// HostNet passes guest sockets through to real host TCP/UDP sockets
+// under an explicit policy; see WithNet and HostNetConfig.
+type HostNet = knet.HostNet
+
+// HostNetConfig is a HostNet's bind-map and outbound allowlist. An
+// empty config denies everything.
+type HostNetConfig = knet.HostNetConfig
+
+// NewHostNet builds a host-passthrough network backend. A guest
+// `bind 0.0.0.0:p; listen` becomes a real host listener at Binds[p]
+// (query the resolved address with HostNet.BoundAddr); outbound
+// connects must match the Allow patterns.
+func NewHostNet(cfg HostNetConfig) *HostNet { return knet.NewHostNet(cfg) }
+
+// Switch is a virtual L4 switch connecting multiple runtime kernels in
+// one process; each kernel attaches as a node with its own IPv4
+// address and guests exchange stream and datagram traffic across
+// kernels. See WithNet.
+type Switch = knet.Switch
+
+// NewSwitch builds an empty switch fabric; attach runtimes with
+// Switch.Node:
+//
+//	sw := gowali.NewSwitch()
+//	nodeA, _ := sw.Node("10.0.0.1")
+//	rtA, _ := gowali.New(gowali.WithNet(nodeA))
+func NewSwitch() *Switch { return knet.NewSwitch() }
+
+// NewLoopbackNet returns a fresh in-kernel loopback network — the
+// default AF_INET backend every kernel boots with (useful to restore
+// after a WithKernel-shared kernel had a different backend).
+func NewLoopbackNet() NetBackend { return knet.NewLoopback() }
 
 // Collector accumulates syscall profiles from a run; install its Observe
 // method with WithSyscallHook.
