@@ -22,7 +22,13 @@ type (
 	Fig9Point  = ib.Fig9Point
 	FSMicroRow = ib.FSMicroRow
 	NetEchoRow = ib.NetEchoRow
+	FleetRow   = ib.FleetRow
 )
+
+// FleetConfig parameterizes a fleet run: the guest class mix (CPU
+// spinners, syscall loops, poll-blocked echo pairs), the scheduler's
+// worker count and quantum, and the measurement window.
+type FleetConfig = ib.FleetConfig
 
 // ScaleoutConfig parameterizes Fig9ScaleoutCfg's filesystem backing:
 // a host directory mounted read-write for guest working files, and a
@@ -115,6 +121,22 @@ func NetEcho(msgs, size int, backends []string) []NetEchoRow {
 
 // FormatNetEcho renders the echo table.
 func FormatNetEcho(rows []NetEchoRow) string { return ib.FormatNetEcho(rows) }
+
+// FleetOnce runs one scheduler-fleet window at the current GOMAXPROCS:
+// an adversarial mix of CPU spinners, syscall loops and poll-blocked
+// echo pairs multiplexed onto the slot-token scheduler, reporting
+// aggregate throughput, spinner fairness and in-guest round-trip
+// latency (the starvation bound).
+func FleetOnce(cfg FleetConfig) FleetRow { return ib.FleetOnce(cfg) }
+
+// FleetSweep runs the fleet at each GOMAXPROCS value — the multicore
+// scaling curve.
+func FleetSweep(cfg FleetConfig, gomaxprocs []int) []FleetRow {
+	return ib.FleetSweep(cfg, gomaxprocs)
+}
+
+// FormatFleet renders the fleet table.
+func FormatFleet(rows []FleetRow) string { return ib.FormatFleet(rows) }
 
 // FSMicro measures a guest open/pread64/close loop against the memfs,
 // hostfs and overlayfs mount backends (hostDir backs the host-mapped

@@ -10,6 +10,7 @@
 //	benchvirt -scaleout -scaleout-iters 500 -guests 1,2,4,8
 //	benchvirt -scaleout -scaleout-dir /tmp/work -scaleout-ro /srv/image
 //	benchvirt -fsmicro -fsmicro-dir /tmp/probe
+//	benchvirt -fleet -fleet-guests 200 -fleet-gomax 1,2,4,8
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"gowali/bench"
 )
@@ -33,6 +35,7 @@ func main() {
 	f9 := flag.Bool("scaleout", false, "multi-guest syscall throughput vs concurrency (Fig. 9)")
 	fsm := flag.Bool("fsmicro", false, "memfs vs hostfs vs overlayfs open/pread64 micro-benchmark")
 	ne := flag.Bool("netecho", false, "socket echo RTT/throughput across net backends (loopback, switch, hostnet)")
+	fleet := flag.Bool("fleet", false, "multicore scheduler fleet: spinner/syscall/poll guest mix across GOMAXPROCS values")
 	iters := flag.Int("iters", 2000, "iterations for Table 2")
 	scaleIters := flag.Int("scaleout-iters", 200, "per-guest loop iterations for -scaleout")
 	guestList := flag.String("guests", "", "comma-separated guest counts for -scaleout (default: powers of two through 4xNumCPU)")
@@ -43,13 +46,18 @@ func main() {
 	neMsgs := flag.Int("netecho-msgs", 2000, "round trips per backend for -netecho")
 	neSize := flag.Int("netecho-size", 64, "message size in bytes for -netecho")
 	neBackends := flag.String("netecho-backends", "", "comma-separated -netecho backends (default: loopback,switch,host)")
+	fleetGuests := flag.Int("fleet-guests", 200, "total guest count for -fleet (60% spinners, 30% syscallers, 10% poll-pair guests)")
+	fleetWindow := flag.Duration("fleet-window", time.Second, "measurement window per -fleet row")
+	fleetWorkers := flag.Int("fleet-workers", 0, "scheduler run slots for -fleet (0 = GOMAXPROCS)")
+	fleetQuantum := flag.Duration("fleet-quantum", 0, "scheduler time slice for -fleet (0 = default)")
+	fleetGomax := flag.String("fleet-gomax", "1,2,4,8", "comma-separated GOMAXPROCS values for -fleet")
 	scaleList := flag.String("scales", "20000,60000,120000", "lua scales for -fig8time (bash/sqlite scaled down proportionally)")
 	flag.Parse()
 
 	if *all {
-		*t1, *t2, *t3, *f7, *f8t, *f8m, *f9, *fsm, *ne = true, true, true, true, true, true, true, true, true
+		*t1, *t2, *t3, *f7, *f8t, *f8m, *f9, *fsm, *ne, *fleet = true, true, true, true, true, true, true, true, true, true
 	}
-	if !(*t1 || *t2 || *t3 || *f7 || *f8t || *f8m || *f9 || *fsm || *ne) {
+	if !(*t1 || *t2 || *t3 || *f7 || *f8t || *f8m || *f9 || *fsm || *ne || *fleet) {
 		*t1, *t2 = true, true
 	}
 
@@ -123,6 +131,21 @@ func main() {
 			}
 		}
 		fmt.Print(bench.FormatNetEcho(bench.NetEcho(*neMsgs, *neSize, backends)))
+		fmt.Println()
+	}
+	if *fleet {
+		fmt.Println("== Fleet: multicore scheduler (spinner/syscall/poll mix) ==")
+		n := *fleetGuests
+		pairs := maxInt(1, n/20) // 10% of guests = 5% pairs
+		cfg := bench.FleetConfig{
+			Spinners:   maxInt(1, n*6/10),
+			Syscallers: maxInt(1, n*3/10),
+			PollPairs:  pairs,
+			Workers:    *fleetWorkers,
+			Quantum:    *fleetQuantum,
+			Window:     *fleetWindow,
+		}
+		fmt.Print(bench.FormatFleet(bench.FleetSweep(cfg, parseScales(*fleetGomax))))
 		fmt.Println()
 	}
 	if *fsm {

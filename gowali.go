@@ -10,6 +10,7 @@ import (
 	"gowali/internal/apps"
 	"gowali/internal/core"
 	"gowali/internal/kernel"
+	"gowali/internal/kernel/sched"
 	"gowali/internal/kernel/vfs"
 	"gowali/internal/wasi"
 	"gowali/internal/wazi"
@@ -25,10 +26,18 @@ type config struct {
 	host   Host
 	mounts []mountSpec
 	net    NetBackend
+	sched  *schedSpec
+	budget *Budget
 
 	stdin  io.Reader
 	stdout io.Writer
 	stderr io.Writer
+}
+
+// schedSpec is one WithScheduler request.
+type schedSpec struct {
+	workers int
+	quantum time.Duration
 }
 
 // mountSpec is one WithMount request, applied at kernel boot.
@@ -200,6 +209,27 @@ func WithNetFlags(specs ...string) (Option, error) {
 	return WithNet(NewHostNet(cfg)), nil
 }
 
+// WithScheduler puts the runtime's guests under the multicore guest
+// scheduler: guest goroutines multiplex onto `workers` run slots
+// (0 = GOMAXPROCS) with safepoint-driven time-slice preemption every
+// `quantum` (0 = the 2ms default). Without this option every guest runs
+// unconstrained on its own goroutine, the original behavior. Preemption
+// is invisible to guests: it happens only at safepoints, where execution
+// state is fully resumable. WALI-backed hosts only.
+func WithScheduler(workers int, quantum time.Duration) Option {
+	return func(c *config) { c.sched = &schedSpec{workers: workers, quantum: quantum} }
+}
+
+// WithBudget places every process of the runtime under one tenant budget
+// domain: memory ceilings enforced at memory.grow/mmap/brk and fork, fd
+// caps in the descriptor table, and (when WithScheduler is active) CPU
+// ceilings and shares charged from scheduled run time. A CPU overrun
+// kills the tenant's processes with SIGKILL. Zero fields are unlimited.
+// WALI-backed hosts only.
+func WithBudget(b Budget) Option {
+	return func(c *config) { c.budget = &b }
+}
+
 // WithStdio connects the guest's standard streams to host streams
 // (WALI-backed hosts; the WAZI board console is not redirectable):
 //
@@ -249,6 +279,12 @@ func (h *waliHost) apply(r *Runtime, c *config) error {
 	w.Strict = c.strict
 	if c.hook != nil {
 		w.Hook = c.hook
+	}
+	if c.sched != nil {
+		w.Sched = sched.New(sched.Config{Workers: c.sched.workers, Quantum: c.sched.quantum})
+	}
+	if c.budget != nil {
+		w.DefaultTenant = w.NewTenant("runtime", *c.budget)
 	}
 	if h.wasi {
 		wasi.Attach(w, h.preopens...)
@@ -325,6 +361,12 @@ func (waziHost) apply(r *Runtime, c *config) error {
 	}
 	if c.net != nil {
 		return fmt.Errorf("gowali: WithNet requires a WALI-backed host (the WAZI board has no socket surface)")
+	}
+	if c.sched != nil {
+		return fmt.Errorf("gowali: WithScheduler requires a WALI-backed host")
+	}
+	if c.budget != nil {
+		return fmt.Errorf("gowali: WithBudget requires a WALI-backed host")
 	}
 	w := wazi.New()
 	w.Scheme = c.scheme
@@ -488,6 +530,15 @@ func (r *Runtime) SyscallStats(pid int32) (time.Duration, uint64) {
 		return 0, 0
 	}
 	return r.wali.SyscallStats(pid)
+}
+
+// SchedStats snapshots the guest scheduler's activity counters, or the
+// zero Stats when the runtime was built without WithScheduler.
+func (r *Runtime) SchedStats() SchedStats {
+	if r.wali == nil || r.wali.Sched == nil {
+		return SchedStats{}
+	}
+	return r.wali.Sched.Stats()
 }
 
 // Apps returns the names of the built-in ported applications (the

@@ -1,0 +1,107 @@
+package bench
+
+import (
+	gonet "net"
+	"runtime"
+	"testing"
+	"time"
+
+	"gowali/internal/core"
+	"gowali/internal/interp"
+	"gowali/internal/kernel"
+	knet "gowali/internal/kernel/net"
+	"gowali/internal/kernel/sched"
+	"gowali/internal/linux"
+)
+
+// TestKillNoPumpLeak: forcibly killing a guest with an established
+// HostNet connection must unwind every goroutine the run created —
+// the guest goroutine, the scheduler's sysmon, the listener accept
+// loop and both stream pump goroutines. The guest is SIGKILLed while
+// parked in poll (the worst case: nothing on the guest side will ever
+// close the socket cooperatively), so the teardown must flow purely
+// from the kernel's exit-time fd sweep: hostConn.Close closes the rx
+// reader and tx writer, txPump drains to EOF and closes the host
+// socket, which errors rxPump's blocked Read out.
+func TestKillNoPumpLeak(t *testing.T) {
+	base := runtime.NumGoroutine()
+
+	hn := knet.NewHostNet(knet.HostNetConfig{
+		Binds: map[uint16]string{netEchoPort: "127.0.0.1:0"},
+	})
+	k := kernel.NewKernel()
+	k.SetNetBackend(hn)
+	w := core.NewWith(k)
+	w.Sched = sched.New(sched.Config{Workers: 1, Quantum: time.Millisecond})
+
+	sc, err := interp.Compile(buildNetEchoServer(netEchoPort))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := w.SpawnCompiled(sc, "leak-server", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.RunAsync()
+
+	var hostAddr string
+	for i := 0; i < 5000; i++ {
+		if hostAddr = hn.BoundAddr(netEchoPort); hostAddr != "" {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if hostAddr == "" {
+		t.Fatal("guest listener never appeared on the host")
+	}
+	c, err := gonet.Dial("tcp", hostAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// One full round trip proves the connection is established and both
+	// pumps are live; afterwards the guest parks in poll waiting for
+	// more data that never comes.
+	msg := make([]byte, 64)
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	for got := 0; got < len(msg); {
+		n, err := c.Read(msg[got:])
+		if err != nil {
+			t.Fatalf("echo read: %v", err)
+		}
+		got += n
+	}
+
+	sp.KP.PostSignal(linux.SIGKILL)
+	select {
+	case <-sp.Done():
+	case <-time.After(5 * time.Second):
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		t.Fatalf("killed guest never exited\n%s", buf)
+	}
+	if status, _ := sp.Wait(); status != 128+linux.SIGKILL {
+		t.Fatalf("status %d, want %d", status, 128+linux.SIGKILL)
+	}
+	c.Close()
+	hn.Close()
+
+	// Every goroutine above is torn down asynchronously; give the
+	// unwind a bounded window to converge back to the baseline.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= base+1 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutines leaked after kill: %d -> %d\n%s",
+				base, runtime.NumGoroutine(), buf)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

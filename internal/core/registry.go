@@ -111,6 +111,17 @@ func (w *WALI) RegisterHost(l *interp.Linker) {
 					w.emitSyscall(p.KP.PID, d.Name, dur, ret)
 				}()
 				ret = d.Fn(p, e, iargs)
+				// Linux delivers pending signals on the return to
+				// userspace; without this, a fatal signal that
+				// interrupted the syscall (EINTR) could be outrun by
+				// straight-line guest code — close/exit with no
+				// safepoint back-edge — and the kill status lost.
+				// Only dispositions that terminate are acted on here;
+				// handler-backed signals stay queued for the next
+				// safepoint, which may reenter Wasm safely.
+				if sig, fatal := p.KP.PendingFatal(); fatal {
+					panic(&interp.Exit{Status: 128 + sig})
+				}
 				return []uint64{uint64(ret)}
 			})
 	}

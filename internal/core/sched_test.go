@@ -1,0 +1,464 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"gowali/internal/interp"
+	"gowali/internal/kernel/sched"
+	"gowali/internal/linux"
+	"gowali/internal/wasm"
+)
+
+// Scheduler integration tests: preemption invisibility, worker release
+// on forced termination, and budget enforcement at the engine's
+// accounting boundaries.
+
+// buildComputeApp returns a module that computes a deterministic
+// checksum over iters loop iterations and exits with it: the
+// scheduler-invisibility probe (any lost or corrupted execution state
+// under preemption changes the status).
+func buildComputeApp(iters int) *wasm.Module {
+	b := newApp("exit_group")
+	f := b.NewFunc(StartExport, nil, nil)
+	i := f.Local(wasm.I64)
+	sum := f.Local(wasm.I64)
+	f.Block()
+	f.Loop()
+	f.LocalGet(i).I64Const(int64(iters)).Op(wasm.OpI64GeU).BrIf(1)
+	// sum = sum*31 + i (mod 2^64)
+	f.LocalGet(sum).I64Const(31).Op(wasm.OpI64Mul).LocalGet(i).Op(wasm.OpI64Add).LocalSet(sum)
+	f.LocalGet(i).I64Const(1).Op(wasm.OpI64Add).LocalSet(i)
+	f.Br(0)
+	f.End()
+	f.End()
+	// exit_group(sum & 0x7f)
+	f.LocalGet(sum).I64Const(0x7f).Op(wasm.OpI64And)
+	f.Call(b.sys["exit_group"]).Drop()
+	f.Finish()
+	m, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// buildSpinApp returns a module that loops forever (killed externally).
+func buildSpinApp() *wasm.Module {
+	b := newApp()
+	f := b.NewFunc(StartExport, nil, nil)
+	f.Block()
+	f.Loop()
+	f.I32Const(1).BrIf(0)
+	f.End()
+	f.End()
+	f.Finish()
+	m, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// TestSchedulerInvisible is the preemption correctness oracle at the
+// process level: the same compute guest must produce the same
+// guest-observable result with and without the scheduler, under every
+// safepoint scheme, with a quantum small enough that the scheduled run
+// is preempted constantly.
+func TestSchedulerInvisible(t *testing.T) {
+	c, err := interp.Compile(buildComputeApp(120_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: unscheduled run.
+	wRef := New()
+	pRef, err := wRef.SpawnCompiled(c, "compute", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, runErr := pRef.Run()
+	if runErr != nil {
+		t.Fatalf("reference run: %v", runErr)
+	}
+
+	schemes := []interp.SafepointScheme{
+		interp.SafepointNone, interp.SafepointLoop,
+		interp.SafepointFunc, interp.SafepointEveryInst,
+	}
+	for _, scheme := range schemes {
+		w := New()
+		w.Scheme = scheme
+		w.Sched = sched.New(sched.Config{Workers: 1, Quantum: 200 * time.Microsecond})
+		var ps []*Process
+		for i := 0; i < 3; i++ {
+			p, err := w.SpawnCompiled(c, fmt.Sprintf("compute-%d", i), nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ps = append(ps, p)
+		}
+		for _, p := range ps {
+			p.RunAsync()
+		}
+		w.WaitAll()
+		for i, p := range ps {
+			status, err := p.Wait()
+			if err != nil {
+				t.Fatalf("scheme %v guest %d: %v", scheme, i, err)
+			}
+			if status != want {
+				t.Fatalf("scheme %v guest %d: status %d, want %d (preemption visible to guest)",
+					scheme, i, status, want)
+			}
+		}
+	}
+}
+
+// TestKillReleasesWorker: a SIGKILLed guest must release its run slot,
+// not strand it — with one worker held by a spinner, a queued compute
+// guest completes only if the kill frees the slot.
+func TestKillReleasesWorker(t *testing.T) {
+	spinC, err := interp.Compile(buildSpinApp())
+	if err != nil {
+		t.Fatal(err)
+	}
+	compC, err := interp.Compile(buildComputeApp(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := New()
+	// Big quantum: the spinner would hold the only slot for 10s on its
+	// own; only the kill can release it in time.
+	w.Sched = sched.New(sched.Config{Workers: 1, Quantum: 10 * time.Second})
+	spin, err := w.SpawnCompiled(spinC, "spin", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := w.SpawnCompiled(compC, "compute", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spin.RunAsync()
+	time.Sleep(20 * time.Millisecond) // spinner owns the slot
+	comp.RunAsync()
+	time.Sleep(20 * time.Millisecond) // compute guest is queued behind it
+
+	spin.KP.PostSignal(linux.SIGKILL)
+	select {
+	case <-comp.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued guest never ran: killed guest did not release its worker")
+	}
+	if status, err := comp.Wait(); err != nil || status < 0 {
+		t.Fatalf("compute after kill: status=%d err=%v", status, err)
+	}
+	if status, _ := spin.Wait(); status != 128+linux.SIGKILL {
+		t.Fatalf("spinner status %d, want %d", status, 128+linux.SIGKILL)
+	}
+}
+
+// buildGrowApp returns a guest that counts successful memory.grow(1)
+// calls until one is refused (-1), then exits with the count.
+func buildGrowApp() *interp.Compiled {
+	b := newApp("exit_group")
+	f := b.NewFunc(StartExport, nil, nil)
+	n := f.Local(wasm.I32)
+	f.Block()
+	f.Loop()
+	f.I32Const(1).MemoryGrow()
+	f.I32Const(-1).Op(wasm.OpI32Eq).BrIf(1)
+	f.LocalGet(n).I32Const(1).Op(wasm.OpI32Add).LocalSet(n)
+	f.Br(0)
+	f.End()
+	f.End()
+	f.LocalGet(n).Op(wasm.OpI64ExtendI32U).Call(b.sys["exit_group"]).Drop()
+	f.Finish()
+	m, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	c, err := interp.Compile(m)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// TestMemoryBudgetEnforced: a refused memory.grow surfaces as -1 to the
+// guest exactly at the tenant ceiling, and exit releases the charge.
+func TestMemoryBudgetEnforced(t *testing.T) {
+	// One guest, 4 initial pages reserved at spawn, 16 spare pages in
+	// the budget: exactly 16 grows succeed (the module itself would
+	// allow 60 more, so the budget binds first).
+	const wasmPage = 64 * 1024
+	const spare = 16
+	w := New()
+	tn := w.NewTenant("mem", sched.Budget{MaxMemory: (4 + spare) * wasmPage})
+	p, err := w.SpawnCompiledTenant(buildGrowApp(), "grow", nil, nil, tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, runErr := p.Run()
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if status != spare {
+		t.Fatalf("guest grew %d pages, budget allowed exactly %d", status, spare)
+	}
+	if inUse := tn.MemoryInUse(); inUse != 0 {
+		t.Fatalf("tenant still charged %d bytes after exit", inUse)
+	}
+}
+
+// TestMemoryBudgetSharedCeiling: guests of one tenant racing
+// memory.grow against a shared ceiling never overshoot it at any
+// instant. The total grown across guests exceeds the initial spare
+// because each exiting guest releases its charge back to the budget
+// (recycling is correct — the ceiling is a concurrent cap, not a
+// lifetime quota), so the test samples the ledger for overshoot
+// rather than summing exit counts against the spare.
+func TestMemoryBudgetSharedCeiling(t *testing.T) {
+	// 4 guests x 4 initial pages = 16 pages reserved at spawn; 16 more
+	// to fight over.
+	const wasmPage = 64 * 1024
+	const spare = 16
+	tenantMax := int64((16 + spare) * wasmPage)
+	c := buildGrowApp()
+	w := New()
+	w.Sched = sched.New(sched.Config{Workers: 2, Quantum: 200 * time.Microsecond})
+	tn := w.NewTenant("mem", sched.Budget{MaxMemory: tenantMax})
+	var ps []*Process
+	for i := 0; i < 4; i++ {
+		p, err := w.SpawnCompiledTenant(c, fmt.Sprintf("grow-%d", i), nil, nil, tn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps = append(ps, p)
+	}
+
+	// Overshoot sampler: the ledger is a lock-free atomic, so reading
+	// it concurrently is safe; CAS reservation means it must never
+	// exceed the ceiling even transiently.
+	stop := make(chan struct{})
+	overshoot := make(chan int64, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if v := tn.MemoryInUse(); v > tenantMax {
+				select {
+				case overshoot <- v:
+				default:
+				}
+				return
+			}
+		}
+	}()
+
+	for _, p := range ps {
+		p.RunAsync()
+	}
+	w.WaitAll()
+	close(stop)
+	wg.Wait()
+	select {
+	case v := <-overshoot:
+		t.Fatalf("tenant ledger hit %d bytes, ceiling %d", v, tenantMax)
+	default:
+	}
+	var grown int32
+	for i, p := range ps {
+		status, err := p.Wait()
+		if err != nil || status < 0 {
+			t.Fatalf("guest %d: status=%d err=%v", i, status, err)
+		}
+		grown += status
+	}
+	// Every guest ran until refusal, so collectively they drained at
+	// least the initial spare (recycled releases can only add more).
+	if grown < spare {
+		t.Fatalf("guests grew %d pages total, expected at least the %d spare", grown, spare)
+	}
+	if inUse := tn.MemoryInUse(); inUse != 0 {
+		t.Fatalf("tenant still charged %d bytes after all guests exited", inUse)
+	}
+}
+
+// TestFDBudgetEnforced: the fd cap counts stdio and refuses open at the
+// ceiling with EMFILE.
+func TestFDBudgetEnforced(t *testing.T) {
+	b := newApp("open", "exit_group")
+	b.Data(1024, []byte("/tmp/fdcap\x00"))
+	f := b.NewFunc(StartExport, nil, nil)
+	n := f.Local(wasm.I32)
+	f.Block()
+	f.Loop()
+	f.LocalGet(n).I32Const(64).Op(wasm.OpI32GeU).BrIf(1) // runaway guard
+	f.I64Const(1024).I64Const(int64(linux.O_CREAT | linux.O_RDWR)).I64Const(0o644)
+	f.Call(b.sys["open"])
+	f.I64Const(0).Op(wasm.OpI64LtS).BrIf(1)
+	f.LocalGet(n).I32Const(1).Op(wasm.OpI32Add).LocalSet(n)
+	f.Br(0)
+	f.End()
+	f.End()
+	f.LocalGet(n).Op(wasm.OpI64ExtendI32U).Call(b.sys["exit_group"]).Drop()
+	f.Finish()
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := interp.Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := New()
+	tn := w.NewTenant("fds", sched.Budget{MaxFDs: 8})
+	p, err := w.SpawnCompiledTenant(c, "fdcap", nil, nil, tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, runErr := p.Run()
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	// 8 fds minus stdin/stdout/stderr = 5 opens.
+	if status != 5 {
+		t.Fatalf("guest opened %d files under MaxFDs=8 (stdio holds 3), want 5", status)
+	}
+	if got := tn.FDsInUse(); got != 0 {
+		t.Fatalf("tenant still charged %d fds after exit", got)
+	}
+}
+
+// TestCPUBudgetKills: a tenant crossing MaxCPU is SIGKILLed by the
+// overrun sweep — even a lone spinner that is never preempted (sysmon
+// flushes its accumulating slice to the ledger).
+func TestCPUBudgetKills(t *testing.T) {
+	c, err := interp.Compile(buildSpinApp())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := New()
+	w.Sched = sched.New(sched.Config{Workers: 1, Quantum: time.Millisecond})
+	tn := w.NewTenant("cpu", sched.Budget{MaxCPU: 30 * time.Millisecond})
+	p, err := w.SpawnCompiledTenant(c, "spin", nil, nil, tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.RunAsync()
+	select {
+	case <-p.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("spinner survived its CPU budget")
+	}
+	if status, _ := p.Wait(); status != 128+linux.SIGKILL {
+		t.Fatalf("status %d, want %d", status, 128+linux.SIGKILL)
+	}
+	if !tn.Overrun() {
+		t.Fatal("tenant not marked overrun")
+	}
+	if tn.CPUTime() < 30*time.Millisecond {
+		t.Fatalf("ledger %v below the budget that tripped", tn.CPUTime())
+	}
+}
+
+// TestParkResumeSignalStress races safepoint parking against signal
+// delivery, fork and wait4 under a tiny quantum — the -race exercise
+// for the scheduler's interaction with the kernel's blocking sites.
+func TestParkResumeSignalStress(t *testing.T) {
+	// The TestSignalTerminatesChild guest: fork, child spins, parent
+	// kills it with SIGTERM and reaps it via wait4.
+	b := newApp("fork", "kill", "wait4", "exit_group")
+	f := b.NewFunc(StartExport, nil, nil)
+	r := f.Local(wasm.I64)
+	b.call(f, "fork")
+	f.LocalSet(r)
+	f.LocalGet(r).Op(wasm.OpI64Eqz)
+	f.If()
+	{
+		f.Loop()
+		f.Br(0)
+		f.End()
+	}
+	f.End()
+	f.LocalGet(r).I64Const(linux.SIGTERM)
+	b.pad(f, "kill", 2)
+	f.Drop()
+	// wait4 is interruptible by any pending unblocked signal — the
+	// SIGWINCH shower below makes EINTR routine — so retry until it
+	// actually reaps (pid > 0).
+	f.Block()
+	f.Loop()
+	b.call(f, "wait4", -1, 2000, 0, 0)
+	f.I64Const(0).Op(wasm.OpI64GtS).BrIf(1)
+	f.Br(0)
+	f.End()
+	f.End()
+	f.I32Const(2000).Load(wasm.OpI32Load, 0)
+	f.I32Const(8).Op(wasm.OpI32ShrU).I32Const(0xFF).Op(wasm.OpI32And)
+	f.Op(wasm.OpI64ExtendI32U)
+	f.Call(b.sys["exit_group"]).Drop()
+	f.Finish()
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := interp.Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w := New()
+	w.Sched = sched.New(sched.Config{Workers: 2, Quantum: 200 * time.Microsecond})
+	var ps []*Process
+	for i := 0; i < 6; i++ {
+		p, err := w.SpawnCompiled(c, fmt.Sprintf("forker-%d", i), nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps = append(ps, p)
+	}
+	for _, p := range ps {
+		p.RunAsync()
+	}
+	// Shower the fleet with ignored-by-default signals while it forks,
+	// parks and reaps: every post exercises wake paths racing parks.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, p := range ps {
+				p.KP.PostSignal(linux.SIGWINCH)
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+	w.WaitAll()
+	close(stop)
+	wg.Wait()
+	for i, p := range ps {
+		status, err := p.Wait()
+		if err != nil {
+			t.Fatalf("forker %d: %v", i, err)
+		}
+		if status != 128+linux.SIGTERM {
+			t.Fatalf("forker %d: status %d, want %d", i, status, 128+linux.SIGTERM)
+		}
+	}
+}

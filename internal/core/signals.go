@@ -85,10 +85,19 @@ func (t *Sigtable) endHandler(sig int32) {
 // drains deliverable virtual signals, executing Wasm handlers reentrantly
 // — the paper's sig_poll → get_handler → call(handler) sequence.
 func (p *Process) pollSignals(e *interp.Exec) {
-	if !p.KP.HasDeliverableSignal() {
-		return
+	// Signals first, then the scheduler: a SIGKILLed guest terminates
+	// here (unwinding as Exit) without parking for a slot grant it would
+	// never use.
+	if p.KP.HasDeliverableSignal() {
+		p.DeliverPending(e)
 	}
-	p.DeliverPending(e)
+	// Time-slice preemption: when the sysmon flagged this task (quantum
+	// expired with runnable guests waiting, or a blocked guest woke
+	// needing a slot), park at this safepoint. Execution state is fully
+	// observable here, so preemption is invisible to the guest.
+	if t := p.task; t != nil && t.NeedYield() {
+		t.Yield()
+	}
 }
 
 // DeliverPending dequeues and dispatches all deliverable signals. SIG_DFL

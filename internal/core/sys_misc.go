@@ -160,7 +160,12 @@ func sysNanosleep(p *Process, e *interp.Exec, a []int64) int64 {
 	if !ok {
 		return errnoRet(linux.EFAULT)
 	}
-	errno := p.W.Kernel.Nanosleep(isa.GetTimespec(buf))
+	ts := isa.GetTimespec(buf)
+	// Sleeps release the run slot: a sleeping guest must not pin a
+	// scheduler worker (the kernel's Nanosleep is a plain host sleep).
+	p.KP.BeginBlock()
+	errno := p.W.Kernel.Nanosleep(ts)
+	p.KP.EndBlock()
 	if errno != 0 {
 		return errnoRet(errno)
 	}
@@ -187,7 +192,10 @@ func sysClockNanosleep(p *Process, e *interp.Exec, a []int64) int64 {
 		}
 		ts = linux.TimespecFromNanos(delta)
 	}
-	return errnoRet(p.W.Kernel.Nanosleep(ts))
+	p.KP.BeginBlock()
+	errno := p.W.Kernel.Nanosleep(ts)
+	p.KP.EndBlock()
+	return errnoRet(errno)
 }
 
 func sysGettimeofday(p *Process, e *interp.Exec, a []int64) int64 {

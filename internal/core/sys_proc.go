@@ -65,6 +65,12 @@ func init() {
 // clone of instance and execution (§3.1 1-to-1 model). The clone resumes
 // on its own goroutine; the parent returns the child pid, the child 0.
 func sysFork(p *Process, e *interp.Exec, a []int64) int64 {
+	// Budget gate: the child duplicates the address space, so its full
+	// size is reserved against the tenant before cloning; Linux reports
+	// fork failure for exceeded resource ceilings as EAGAIN.
+	if p.Tenant != nil && !p.Tenant.ReserveMemory(int64(len(p.Inst.Mem.Data))) {
+		return errnoRet(linux.EAGAIN)
+	}
 	c := p.forkChild(e)
 	c.Exec.Push(0) // child's fork() return value
 	p.W.wg.Add(1)
@@ -360,7 +366,7 @@ func sysFutex(p *Process, e *interp.Exec, a []int64) int64 {
 		errno := p.W.Kernel.FutexWait(mem, addr, val, func() uint32 {
 			v, _ := mem.AtomicReadU32(addr)
 			return v
-		}, timeout)
+		}, timeout, p.KP.Blocker())
 		return errnoRet(errno)
 	case linux.FUTEX_WAKE:
 		return int64(p.W.Kernel.FutexWake(mem, addr, int32(val)))

@@ -22,6 +22,7 @@ import (
 
 	"gowali/internal/interp"
 	"gowali/internal/kernel"
+	"gowali/internal/kernel/sched"
 	"gowali/internal/kernel/vfs"
 	"gowali/internal/linux"
 	"gowali/internal/wasm"
@@ -62,6 +63,17 @@ type WALI struct {
 	// every process linker. The WASI-over-WALI layer (internal/wasi)
 	// installs itself here.
 	ExtendLinker func(*interp.Linker)
+
+	// Sched, when non-nil, multiplexes guest goroutines onto a bounded
+	// set of run slots with safepoint preemption (see kernel/sched). Nil
+	// keeps the original unconstrained one-goroutine-per-guest behavior.
+	// Set before spawning.
+	Sched *sched.Scheduler
+
+	// DefaultTenant, when non-nil, is the budget domain processes
+	// spawned through SpawnCompiled/SpawnModule/SpawnPath join; use
+	// SpawnCompiledTenant for per-spawn domains. Set before spawning.
+	DefaultTenant *sched.Tenant
 
 	mu    sync.Mutex
 	procs map[int32]*Process
@@ -124,6 +136,15 @@ type Process struct {
 	// every return, aggregated on demand (never a shared map).
 	stats syscallCounters
 
+	// task is the scheduler handle (nil when W.Sched is nil); Tenant is
+	// the budget domain (nil = unbudgeted); charge tracks this address
+	// space's share of the tenant's memory budget (shared by threads,
+	// swapped by exec, released at last-thread exit). All three are set
+	// before the process goroutine starts.
+	task   *sched.Task
+	Tenant *sched.Tenant
+	charge *memCharge
+
 	execReq *execRequest
 
 	doneMu sync.Mutex
@@ -162,7 +183,7 @@ func (w *WALI) SpawnModule(m *wasm.Module, name string, argv, env []string) (*Pr
 // multi-tenant fan-out skip re-translation entirely.
 func (w *WALI) SpawnCompiled(c *interp.Compiled, name string, argv, env []string) (*Process, error) {
 	kp := w.Kernel.NewProcess(name, argv, env)
-	return w.newProcess(kp, c, argv, env)
+	return w.newProcess(kp, c, argv, env, w.DefaultTenant)
 }
 
 // SpawnPath loads a .wasm binary from the simulated kernel's filesystem
@@ -259,7 +280,7 @@ func (w *WALI) loadModule(path string) (*interp.Compiled, error) {
 }
 
 // newProcess wires a module instance to a kernel task.
-func (w *WALI) newProcess(kp *kernel.Process, c *interp.Compiled, argv, env []string) (*Process, error) {
+func (w *WALI) newProcess(kp *kernel.Process, c *interp.Compiled, argv, env []string, tenant *sched.Tenant) (*Process, error) {
 	p := &Process{
 		W:        w,
 		KP:       kp,
@@ -287,6 +308,11 @@ func (w *WALI) newProcess(kp *kernel.Process, c *interp.Compiled, argv, env []st
 	p.Exec.Poll = p.pollSignals
 	inst.HostCtx = p
 
+	if err := p.attachBudget(tenant); err != nil {
+		return nil, err
+	}
+	p.attachTask()
+
 	w.mu.Lock()
 	w.procs[kp.PID] = p
 	w.mu.Unlock()
@@ -309,6 +335,10 @@ func fromExec(e *interp.Exec) *Process {
 // final status. Returns the exit status and any trap.
 func (p *Process) Run() (int32, error) {
 	defer close(p.done)
+	if p.task != nil {
+		p.task.Start()
+		defer p.task.Finish()
+	}
 	status, err := p.runLoop()
 	p.doneMu.Lock()
 	p.status = status
@@ -403,6 +433,20 @@ func (p *Process) doExec() error {
 	if err != nil {
 		return err
 	}
+	if p.Tenant != nil {
+		// Charge the fresh image before releasing the old one (the two
+		// address spaces briefly coexist, exactly as during a real
+		// execve); failure surfaces as a failed exec.
+		if !p.Tenant.ReserveMemory(int64(len(inst.Mem.Data))) {
+			return fmt.Errorf("wali: tenant %q: memory budget exhausted on exec", p.Tenant.Name())
+		}
+		old := p.charge
+		p.charge = newMemCharge(p.Tenant, int64(len(inst.Mem.Data)))
+		inst.Mem.Reserve = p.charge.reserve
+		if old != nil {
+			old.release()
+		}
+	}
 	p.Module = c.Module
 	p.compiled = c
 	p.Inst = inst
@@ -430,7 +474,13 @@ func (p *Process) exitKernel(status int32) {
 			p.W.Kernel.FutexWake(p.Inst.Mem, addr, 1)
 		}
 	}
-	p.KP.Exit(linux.WaitStatusExited(status))
+	last := p.KP.Exit(linux.WaitStatusExited(status))
+	// The memory charge belongs to the address space: threads share it,
+	// so it is returned to the tenant only when the group's final thread
+	// exits (descriptor charges drain via FDTable.CloseAll, same path).
+	if last && p.charge != nil {
+		p.charge.release()
+	}
 }
 
 // forkChild builds the WALI-side child of fork: cloned kernel task,
@@ -455,6 +505,15 @@ func (p *Process) forkChild(e *interp.Exec) *Process {
 	cexec.HostCtx = c
 	cexec.Poll = c.pollSignals
 	cinst.HostCtx = c
+	// Budget: the caller (sysFork) reserved the child's initial memory
+	// before cloning (EAGAIN on failure, Linux semantics); descriptor
+	// inheritance was force-charged by FDTable.Clone inside KP.Fork.
+	c.Tenant = p.Tenant
+	if p.Tenant != nil {
+		c.charge = newMemCharge(p.Tenant, int64(len(cinst.Mem.Data)))
+		cinst.Mem.Reserve = c.charge.reserve
+	}
+	c.attachTask()
 	p.W.mu.Lock()
 	p.W.procs[ckp.PID] = c
 	p.W.mu.Unlock()
@@ -465,6 +524,10 @@ func (p *Process) forkChild(e *interp.Exec) *Process {
 // goroutine).
 func (c *Process) resumeForked() {
 	defer close(c.done)
+	if c.task != nil {
+		c.task.Start()
+		defer c.task.Finish()
+	}
 	var status int32
 	var err error
 	func() {
@@ -531,6 +594,11 @@ func (p *Process) spawnThread(fnTableIdx, arg, ctid uint32, flags int64) (int32,
 	t.Exec.HostCtx = t
 	t.Exec.Poll = t.pollSignals
 	tinst.HostCtx = t
+	// Threads share the address space and therefore the memory charge;
+	// each is its own schedulable task.
+	t.Tenant = p.Tenant
+	t.charge = p.charge
+	t.attachTask()
 
 	if flags&linux.CLONE_CHILD_SETTID != 0 && ctid != 0 {
 		p.Inst.Mem.AtomicWriteU32(ctid, uint32(tkp.PID))
@@ -547,6 +615,10 @@ func (p *Process) spawnThread(fnTableIdx, arg, ctid uint32, flags int64) (int32,
 	go func() {
 		defer p.W.wg.Done()
 		defer close(t.done)
+		if t.task != nil {
+			t.task.Start()
+			defer t.task.Finish()
+		}
 		var status int32
 		_, err := t.Exec.Invoke(uint32(fidx), uint64(arg))
 		if exit, ok := err.(*interp.Exit); ok {

@@ -21,6 +21,14 @@ type Memory struct {
 	// sync/atomic so futex-word protocols are sound under the Go memory
 	// model (see atomicmem.go).
 	concurrent atomic.Bool
+
+	// Reserve, when set, gates growth against an external budget: Grow
+	// calls it with the byte delta before allocating and fails (-1, which
+	// memory.grow and the embedder's mmap/brk paths surface as ENOMEM)
+	// when it returns false. Installed by the embedder per address space;
+	// Clone deliberately does not copy it (a fork child joins its own
+	// accounting).
+	Reserve func(delta int64) bool
 }
 
 // MarkConcurrent records that a second thread now shares this memory.
@@ -61,6 +69,9 @@ func (m *Memory) Grow(delta uint32) int32 {
 		return -1
 	}
 	if delta > 0 {
+		if m.Reserve != nil && !m.Reserve(int64(uint64(delta)*wasm.PageSize)) {
+			return -1
+		}
 		grown := make([]byte, newLen)
 		copy(grown, m.Data)
 		m.Data = grown

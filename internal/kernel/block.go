@@ -1,0 +1,109 @@
+package kernel
+
+import (
+	"gowali/internal/kernel/waitq"
+	"gowali/internal/linux"
+)
+
+// blockOn is the kernel's single signal-aware blocking primitive for
+// descriptor I/O: it retries attempt (which must behave as if
+// O_NONBLOCK were set, returning EAGAIN to keep waiting) until it
+// produces a result, parking event-driven on the file's wait queues
+// between attempts.
+//
+// Every blocking fd syscall needs the same three properties, supplied
+// here in one place:
+//
+//   - signal interruption: the waiter is registered on the signal
+//     pollQ, so a posted signal — including the SIGKILL of a forced
+//     termination or a budget overrun sweep — turns the park into
+//     EINTR instead of a condition-variable sleep nothing can end;
+//   - scheduler integration: the sleep is bracketed by
+//     BeginBlock/EndBlock, so a scheduled guest blocked in read(2) or
+//     recvfrom(2) releases its run slot instead of pinning a worker;
+//   - no lost wakeups: queues are armed BEFORE each attempt, so a
+//     readiness edge between the attempt and the sleep lands on the
+//     waiter (the same arm-then-check protocol as poll).
+//
+// queues is re-evaluated every round because a file's wakeup sources
+// can change with its state (connect, accept, lazy datagram bind).
+// nbIO is implemented by files whose blocking behavior is supplied by
+// blockOn instead of an internal condition variable: ReadNB/WriteNB
+// always act as if O_NONBLOCK were set, and blocking reports whether
+// the descriptor wants blocking semantics at all. Files that never
+// return EAGAIN (regular files, always-ready devices) simply don't
+// implement it and keep their direct Read/Write paths.
+type nbIO interface {
+	pollWaitable
+	ReadNB(b []byte) (int, linux.Errno)
+	WriteNB(b []byte) (int, linux.Errno)
+	blocking() bool
+}
+
+// readBlocking performs blocking read(2) semantics over an nbIO file.
+func (p *Process) readBlocking(f nbIO, b []byte) (int, linux.Errno) {
+	var n int
+	errno := p.blockOn(f.PollQueues, func() linux.Errno {
+		var e linux.Errno
+		n, e = f.ReadNB(b)
+		return e
+	})
+	return n, errno
+}
+
+// writeBlocking performs blocking write(2) semantics over an nbIO
+// file: the whole buffer is pushed, parking on back-pressure; a signal
+// after a partial transfer returns the partial count, as Linux does.
+func (p *Process) writeBlocking(f nbIO, b []byte) (int, linux.Errno) {
+	total := 0
+	errno := p.blockOn(f.PollQueues, func() linux.Errno {
+		n, e := f.WriteNB(b[total:])
+		total += n
+		if e == 0 && total < len(b) {
+			return linux.EAGAIN // partial: keep pushing
+		}
+		return e
+	})
+	if total > 0 {
+		return total, 0
+	}
+	return 0, errno
+}
+
+func (p *Process) blockOn(queues func() []*waitq.Queue, attempt func() linux.Errno) linux.Errno {
+	// Fast path: the data (or a terminal condition) is already there.
+	if errno := attempt(); errno != linux.EAGAIN {
+		return errno
+	}
+	w := waitq.NewWaiter()
+	p.sig.pollQ.Add(w)
+	defer p.sig.pollQ.Remove(w)
+	var armed []*waitq.Queue
+	disarm := func() {
+		for _, q := range armed {
+			q.Remove(w)
+		}
+		armed = armed[:0]
+	}
+	for {
+		w.Clear()
+		for _, q := range queues() {
+			q.Add(w)
+			armed = append(armed, q)
+		}
+		if errno := attempt(); errno != linux.EAGAIN {
+			disarm()
+			return errno
+		}
+		// Level-triggered, so checking after the arm is sufficient: a
+		// signal posted past this point wakes w through sig.pollQ.
+		if p.HasDeliverableSignal() {
+			disarm()
+			return linux.EINTR
+		}
+		p.BeginBlock()
+		<-w.C
+		p.EndBlock()
+		disarm()
+	}
+}

@@ -236,6 +236,25 @@ func (f *pipeFile) Write(b []byte) (int, linux.Errno) {
 	return f.pipe.Write(b, f.nonblock())
 }
 
+// ReadNB / WriteNB / blocking implement nbIO: the Process syscall
+// layer drives blocking semantics through the signal-aware blockOn
+// loop, never the pipe's internal condition variable.
+func (f *pipeFile) ReadNB(b []byte) (int, linux.Errno) {
+	if !f.readEnd {
+		return 0, linux.EBADF
+	}
+	return f.pipe.Read(b, true)
+}
+
+func (f *pipeFile) WriteNB(b []byte) (int, linux.Errno) {
+	if f.readEnd {
+		return 0, linux.EBADF
+	}
+	return f.pipe.Write(b, true)
+}
+
+func (f *pipeFile) blocking() bool { return !f.nonblock() }
+
 func (f *pipeFile) Pread(b []byte, off int64) (int, linux.Errno)  { return 0, linux.ESPIPE }
 func (f *pipeFile) Pwrite(b []byte, off int64) (int, linux.Errno) { return 0, linux.ESPIPE }
 func (f *pipeFile) Lseek(off int64, whence int32) (int64, linux.Errno) {
@@ -322,11 +341,35 @@ func (f *devFile) Ioctl(cmd uint32, arg []byte) (int32, linux.Errno) {
 	return f.dev.Ioctl(cmd, arg)
 }
 
+// ReadNB / WriteNB / blocking implement nbIO for waitable devices (the
+// console): a guest blocked reading stdin parks signal-aware instead
+// of inside the device's condition variable. Devices without wait
+// queues never block, so blocking reports false and the direct path
+// serves them.
+func (f *devFile) ReadNB(b []byte) (int, linux.Errno)  { return f.dev.Read(b, true) }
+func (f *devFile) WriteNB(b []byte) (int, linux.Errno) { return f.dev.Write(b) }
+func (f *devFile) blocking() bool {
+	if _, ok := f.dev.(pollWaitable); !ok {
+		return false
+	}
+	return !f.nonblock()
+}
+
 // --- FD table ---
 
 type fdEntry struct {
 	file    File
 	cloexec bool
+}
+
+// FDReserver is a per-tenant descriptor budget hook (sched.Tenant
+// implements it). ReserveFD charges one descriptor and may refuse;
+// ForceFDs charges without enforcement (fork inheritance, stdio);
+// ReleaseFDs uncharges.
+type FDReserver interface {
+	ReserveFD() bool
+	ForceFDs(n int)
+	ReleaseFDs(n int)
 }
 
 // FDTable maps descriptor numbers to open files. Threads share one table;
@@ -338,6 +381,17 @@ type FDTable struct {
 	// epolls counts installed EpollFiles so the common close path can
 	// skip the interest-list sweep entirely.
 	epolls int
+	// res, when set, charges descriptor allocations against a tenant
+	// budget (EMFILE at the cap, like the table's own limit).
+	res FDReserver
+}
+
+// SetReserver installs the tenant descriptor budget hook; existing open
+// descriptors are not retro-charged (the engine force-charges them).
+func (t *FDTable) SetReserver(r FDReserver) {
+	t.mu.Lock()
+	t.res = r
+	t.mu.Unlock()
 }
 
 // bookInstall/bookRemove maintain the epoll count; callers hold mu.
@@ -402,6 +456,9 @@ func (t *FDTable) Alloc(f File, cloexec bool, min int32) (int32, linux.Errno) {
 			t.slots = append(t.slots, fdEntry{})
 		}
 		if t.slots[fd].file == nil {
+			if t.res != nil && !t.res.ReserveFD() {
+				return -1, linux.EMFILE
+			}
 			t.slots[fd] = fdEntry{file: f, cloexec: cloexec}
 			t.bookInstall(f)
 			return int32(fd), 0
@@ -419,6 +476,12 @@ func (t *FDTable) Set(fd int32, f File, cloexec bool) linux.Errno {
 		t.slots = append(t.slots, fdEntry{})
 	}
 	old := t.slots[fd].file
+	// dup2 over an occupied slot is budget-neutral; only filling an
+	// empty slot charges the tenant.
+	if old == nil && t.res != nil && !t.res.ReserveFD() {
+		t.mu.Unlock()
+		return linux.EMFILE
+	}
 	t.slots[fd] = fdEntry{file: f, cloexec: cloexec}
 	if old != nil {
 		t.bookRemove(old)
@@ -443,6 +506,9 @@ func (t *FDTable) Close(fd int32) linux.Errno {
 	t.slots[fd] = fdEntry{}
 	t.bookRemove(f)
 	t.forgetEpollLocked(fd)
+	if t.res != nil {
+		t.res.ReleaseFDs(1)
+	}
 	t.mu.Unlock()
 	return f.Close()
 }
@@ -468,11 +534,23 @@ func (t *FDTable) SetCloexec(fd int32, v bool) linux.Errno {
 	return 0
 }
 
-// Clone copies the table for fork: same Files, same flags.
+// Clone copies the table for fork: same Files, same flags. Inherited
+// descriptors are force-charged to the tenant (fork never fails on the
+// descriptor limit, so the tenant may transiently overshoot; fresh
+// allocations then fail until it drains).
 func (t *FDTable) Clone() *FDTable {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	c := &FDTable{limit: t.limit, slots: append([]fdEntry(nil), t.slots...), epolls: t.epolls}
+	c := &FDTable{limit: t.limit, slots: append([]fdEntry(nil), t.slots...), epolls: t.epolls, res: t.res}
+	if t.res != nil {
+		n := 0
+		for _, e := range t.slots {
+			if e.file != nil {
+				n++
+			}
+		}
+		t.res.ForceFDs(n)
+	}
 	return c
 }
 
@@ -482,11 +560,17 @@ func (t *FDTable) CloseAll() {
 	slots := t.slots
 	t.slots = nil
 	t.epolls = 0
+	res := t.res
 	t.mu.Unlock()
+	n := 0
 	for _, e := range slots {
 		if e.file != nil {
+			n++
 			e.file.Close()
 		}
+	}
+	if res != nil {
+		res.ReleaseFDs(n)
 	}
 }
 
@@ -502,6 +586,9 @@ func (t *FDTable) CloseExec() {
 			t.bookRemove(f)
 			t.forgetEpollLocked(int32(i))
 		}
+	}
+	if t.res != nil {
+		t.res.ReleaseFDs(len(toClose))
 	}
 	t.mu.Unlock()
 	for _, f := range toClose {

@@ -119,6 +119,13 @@ func (p *Process) Read(fd int32, b []byte) (int, linux.Errno) {
 	if errno != 0 {
 		return 0, errno
 	}
+	// Files with kernel-driven blocking (pipes, sockets, the console)
+	// park through the signal-aware blockOn loop, so a blocked read is
+	// interruptible and releases its scheduler slot. Everything else
+	// (regular files, always-ready devices) never blocks.
+	if nf, ok := f.(nbIO); ok && nf.blocking() {
+		return p.readBlocking(nf, b)
+	}
 	return f.Read(b)
 }
 
@@ -129,7 +136,12 @@ func (p *Process) Write(fd int32, b []byte) (int, linux.Errno) {
 	if errno != 0 {
 		return 0, errno
 	}
-	n, errno := f.Write(b)
+	var n int
+	if nf, ok := f.(nbIO); ok && nf.blocking() {
+		n, errno = p.writeBlocking(nf, b)
+	} else {
+		n, errno = f.Write(b)
+	}
 	if errno == linux.EPIPE {
 		p.PostSignal(linux.SIGPIPE)
 	}

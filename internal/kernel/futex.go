@@ -53,7 +53,13 @@ type futexQueue struct {
 // the futex word, and an atomic pairing is what makes the protocol sound
 // under the Go memory model. timeout nil means wait forever. Returns
 // EAGAIN when the value already changed, ETIMEDOUT on timeout.
-func (k *Kernel) FutexWait(space any, addr uint32, val uint32, load func() uint32, timeout *linux.Timespec) linux.Errno {
+//
+// blk (nil ok) is the caller's scheduler hook: the run slot is released
+// only past the EAGAIN fast path — after this waiter is registered and
+// the wake sequence snapshotted, so dropping and retaking the shard lock
+// around BeginBlock cannot lose a wakeup (a wake in the window bumps
+// q.seq and the wait loop falls through).
+func (k *Kernel) FutexWait(space any, addr uint32, val uint32, load func() uint32, timeout *linux.Timespec, blk Blocker) linux.Errno {
 	key := futexKey{space, addr}
 	sh := k.shardFor(key)
 	sh.mu.Lock()
@@ -74,6 +80,11 @@ func (k *Kernel) FutexWait(space any, addr uint32, val uint32, load func() uint3
 	}
 	q.waiters++
 	start := q.seq
+	if blk != nil {
+		sh.mu.Unlock()
+		blk.BeginBlock()
+		sh.mu.Lock()
+	}
 
 	var timedOut bool
 	var timer *time.Timer
@@ -99,6 +110,9 @@ func (k *Kernel) FutexWait(space any, addr uint32, val uint32, load func() uint3
 	sh.mu.Unlock()
 	if timer != nil {
 		timer.Stop()
+	}
+	if blk != nil {
+		blk.EndBlock()
 	}
 	if expired {
 		return linux.ETIMEDOUT

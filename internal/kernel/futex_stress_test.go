@@ -40,7 +40,7 @@ func TestFutexShardedStress(t *testing.T) {
 			defer wg.Done()
 			for r := 0; r < rounds; r++ {
 				for words[i].Load() == uint32(r) {
-					k.FutexWait(spaces[i], addr, uint32(r), load, nil)
+					k.FutexWait(spaces[i], addr, uint32(r), load, nil, nil)
 				}
 			}
 		}()
@@ -51,7 +51,7 @@ func TestFutexShardedStress(t *testing.T) {
 				k.FutexWake(spaces[i], addr, 1)
 				// Fast paths against a neighboring key's shard.
 				k.FutexWake(spaces[(i+1)%keys], addr, 1)
-				k.FutexWait(spaces[i], addr, uint32(r), load, nil) // EAGAIN
+				k.FutexWait(spaces[i], addr, uint32(r), load, nil, nil) // EAGAIN
 			}
 		}()
 	}
@@ -80,7 +80,7 @@ func TestFutexTimeoutAcrossShards(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			to := linux.TimespecFromNanos(int64(2e6)) // 2ms
-			if errno := k.FutexWait(space, 0, 0, func() uint32 { return word.Load() }, &to); errno != linux.ETIMEDOUT {
+			if errno := k.FutexWait(space, 0, 0, func() uint32 { return word.Load() }, &to, nil); errno != linux.ETIMEDOUT {
 				t.Errorf("timed wait: got %v, want ETIMEDOUT", errno)
 			}
 		}()

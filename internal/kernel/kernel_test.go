@@ -495,7 +495,7 @@ func TestFutexWaitWake(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			woken <- k.FutexWait(space, 64, 1, func() uint32 { return val }, nil)
+			woken <- k.FutexWait(space, 64, 1, func() uint32 { return val }, nil, nil)
 		}()
 	}
 	time.Sleep(2 * time.Millisecond)
@@ -509,11 +509,11 @@ func TestFutexWaitWake(t *testing.T) {
 		}
 	}
 	// Value mismatch: immediate EAGAIN.
-	if e := k.FutexWait(space, 64, 2, func() uint32 { return val }, nil); e != linux.EAGAIN {
+	if e := k.FutexWait(space, 64, 2, func() uint32 { return val }, nil, nil); e != linux.EAGAIN {
 		t.Errorf("mismatch wait: %v", e)
 	}
 	// Timeout.
-	if e := k.FutexWait(space, 64, 1, func() uint32 { return val }, &linux.Timespec{Nsec: 1e6}); e != linux.ETIMEDOUT {
+	if e := k.FutexWait(space, 64, 1, func() uint32 { return val }, &linux.Timespec{Nsec: 1e6}, nil); e != linux.ETIMEDOUT {
 		t.Errorf("timeout wait: %v", e)
 	}
 }
@@ -523,7 +523,7 @@ func TestFutexSpacesIsolated(t *testing.T) {
 	a, b := new(int), new(int)
 	done := make(chan struct{})
 	go func() {
-		k.FutexWait(a, 0, 0, func() uint32 { return 0 }, nil)
+		k.FutexWait(a, 0, 0, func() uint32 { return 0 }, nil, nil)
 		close(done)
 	}()
 	time.Sleep(time.Millisecond)

@@ -125,12 +125,20 @@ func (p *Process) Poll(fds []PollFD, timeoutNs int64) (int, linux.Errno) {
 			continue
 		}
 		if !eventable {
-			// Mixed set with a queue-less file: sample.
+			// Mixed set with a queue-less file: sample. The slot is
+			// released around each sample sleep so a scheduled guest in
+			// a sampled poll does not pin a worker.
 			disarm()
+			p.BeginBlock()
 			time.Sleep(pollInterval)
+			p.EndBlock()
 			continue
 		}
+		// No locks are held here, so the slot release brackets the
+		// event wait directly; wakeups land on w.C regardless.
+		p.BeginBlock()
 		p.pollBlock(w, timeoutNs, deadline)
+		p.EndBlock()
 		disarm()
 	}
 }
@@ -389,10 +397,14 @@ func (p *Process) EpollWait(epfd int32, maxEvents int, timeoutNs int64) ([]Epoll
 		}
 		if !eventable {
 			disarm()
+			p.BeginBlock()
 			time.Sleep(pollInterval)
+			p.EndBlock()
 			continue
 		}
+		p.BeginBlock()
 		p.pollBlock(w, timeoutNs, deadline)
+		p.EndBlock()
 		disarm()
 	}
 }

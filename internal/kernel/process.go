@@ -116,6 +116,10 @@ type Process struct {
 	// Limits (prlimit64); only NOFILE is enforced.
 	limits map[int32][2]uint64
 
+	// blocker is the guest scheduler's slot hook (nil = unscheduled).
+	// Set once before the task's goroutine runs; see SetBlocker.
+	blocker Blocker
+
 	// Wait condition: Wait4 blocks here instead of on a kernel-wide
 	// cond, so one exit wakes only the parent (and signal posts wake
 	// only their targets). waitGen is a generation counter bumped by
@@ -281,8 +285,10 @@ func (p *Process) Exec(comm string, argv, envp []string) {
 
 // Exit terminates the task. For the last thread in a group the process
 // becomes a zombie, descriptors close, SIGCHLD is posted to the parent and
-// waiters wake. Earlier threads just disappear.
-func (p *Process) Exit(status int32) {
+// waiters wake. Earlier threads just disappear. The return value reports
+// whether this was the group's final thread (the engine releases
+// address-space-wide accounting only then).
+func (p *Process) Exit(status int32) bool {
 	k := p.K
 
 	p.group.mu.Lock()
@@ -300,7 +306,7 @@ func (p *Process) Exit(status int32) {
 		// A non-final thread: remove from the table and vanish (joiners
 		// rendezvous on the clear-tid futex, not on wait4).
 		k.delProc(p.PID)
-		return
+		return false
 	}
 
 	leader.FDs.CloseAll()
@@ -342,6 +348,7 @@ func (p *Process) Exit(status int32) {
 		// No parent: init reaps immediately.
 		k.reap(leader)
 	}
+	return true
 }
 
 // reap removes a zombie from the process table.
@@ -431,11 +438,23 @@ func (p *Process) Wait4(pid int32, options int32) (int32, int32, linux.Rusage, l
 		}
 		// Block until this task is notified: its children change state or
 		// a signal targets it — not until any process anywhere exits.
+		// Release the run slot only if actually about to sleep: the
+		// generation snapshot makes the gen==gen check safe to repeat
+		// after the unlocked BeginBlock (a notify in the window bumps
+		// gen, so the second check falls through without sleeping).
 		p.waitMu.Lock()
-		for p.waitGen == gen {
-			p.waitCond.Wait()
+		if p.waitGen == gen {
+			p.waitMu.Unlock()
+			p.BeginBlock()
+			p.waitMu.Lock()
+			for p.waitGen == gen {
+				p.waitCond.Wait()
+			}
+			p.waitMu.Unlock()
+			p.EndBlock()
+		} else {
+			p.waitMu.Unlock()
 		}
-		p.waitMu.Unlock()
 	}
 }
 

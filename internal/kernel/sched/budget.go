@@ -1,0 +1,201 @@
+package sched
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// DefaultShares is the CPU weight of an unconfigured tenant; shares
+// scale the effective quantum linearly (200 shares = double slice).
+const DefaultShares = 100
+
+// Budget is a tenant's resource ceiling set. Zero fields mean
+// unlimited (the resource is still metered for observability).
+type Budget struct {
+	// MaxMemory caps the tenant's total guest linear memory in bytes,
+	// enforced at every growth site (memory.grow, mmap, brk, mremap —
+	// they all funnel through the engine's Memory.Grow) and at fork.
+	MaxMemory int64
+	// MaxFDs caps open descriptors across all the tenant's processes,
+	// enforced in FDTable allocation. Fork inheritance force-charges
+	// (Linux semantics: fork does not fail on RLIMIT_NOFILE), so a
+	// tenant may transiently overshoot; new allocations then fail with
+	// EMFILE until it drains below the cap.
+	MaxFDs int64
+	// MaxCPU caps total scheduled CPU time. Charged at every off-CPU
+	// transition from the run-slice wall clock; overrun invokes the
+	// tenant's overrun handler exactly once (the engine kills the
+	// tenant's processes).
+	MaxCPU time.Duration
+	// CPUShares is the relative weight (default DefaultShares). Higher
+	// shares stretch the effective quantum, clamped to [1/4, 4]× base.
+	CPUShares int
+	// Priority is the static run-queue level (PrioHigh, PrioNormal,
+	// PrioLow); the zero value is PrioNormal.
+	Priority int
+}
+
+// Tenant is a budget domain shared by a set of guest processes. All
+// counters are lock-free; reservation is compare-and-swap against the
+// ceiling so concurrent growers in different processes cannot jointly
+// overshoot. A nil *Tenant is valid and unbudgeted: every method is
+// nil-safe.
+type Tenant struct {
+	name string
+	b    Budget
+
+	mem atomic.Int64
+	fds atomic.Int64
+	cpu atomic.Int64
+
+	overrun   atomic.Bool
+	onOverrun func(resource string)
+}
+
+// NewTenant builds a tenant with the given budget. The overrun handler
+// (SetOverrunHandler) is optional.
+func NewTenant(name string, b Budget) *Tenant {
+	return &Tenant{name: name, b: b}
+}
+
+// Name returns the tenant's label.
+func (t *Tenant) Name() string {
+	if t == nil {
+		return ""
+	}
+	return t.name
+}
+
+// Budget returns the configured ceilings.
+func (t *Tenant) Budget() Budget {
+	if t == nil {
+		return Budget{}
+	}
+	return t.b
+}
+
+// SetOverrunHandler installs the callback invoked (exactly once, on the
+// first overrun of any once-latched resource — currently CPU) when a
+// hard budget is exceeded. The handler runs on the charging goroutine
+// with no scheduler locks held, so it may call into the kernel (post
+// signals, sweep processes).
+func (t *Tenant) SetOverrunHandler(fn func(resource string)) {
+	if t == nil {
+		return
+	}
+	t.onOverrun = fn
+}
+
+// ReserveMemory attempts to charge n bytes against the memory ceiling,
+// returning false (and charging nothing) if it would overshoot.
+func (t *Tenant) ReserveMemory(n int64) bool {
+	if t == nil || n == 0 {
+		return true
+	}
+	if t.b.MaxMemory <= 0 {
+		t.mem.Add(n)
+		return true
+	}
+	for {
+		cur := t.mem.Load()
+		if cur+n > t.b.MaxMemory {
+			return false
+		}
+		if t.mem.CompareAndSwap(cur, cur+n) {
+			return true
+		}
+	}
+}
+
+// ReleaseMemory returns n bytes to the budget.
+func (t *Tenant) ReleaseMemory(n int64) {
+	if t == nil || n == 0 {
+		return
+	}
+	t.mem.Add(-n)
+}
+
+// MemoryInUse returns the tenant's charged guest memory in bytes.
+func (t *Tenant) MemoryInUse() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.mem.Load()
+}
+
+// ReserveFD charges one descriptor, returning false at the cap.
+func (t *Tenant) ReserveFD() bool {
+	if t == nil {
+		return true
+	}
+	if t.b.MaxFDs <= 0 {
+		t.fds.Add(1)
+		return true
+	}
+	for {
+		cur := t.fds.Load()
+		if cur+1 > t.b.MaxFDs {
+			return false
+		}
+		if t.fds.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
+}
+
+// ForceFDs charges n descriptors without enforcement — used for fork
+// inheritance and the initial stdio descriptors, which Linux never
+// fails on the descriptor limit.
+func (t *Tenant) ForceFDs(n int) {
+	if t == nil || n == 0 {
+		return
+	}
+	t.fds.Add(int64(n))
+}
+
+// ReleaseFDs returns n descriptors to the budget.
+func (t *Tenant) ReleaseFDs(n int) {
+	if t == nil || n == 0 {
+		return
+	}
+	t.fds.Add(-int64(n))
+}
+
+// FDsInUse returns the tenant's open descriptor count.
+func (t *Tenant) FDsInUse() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.fds.Load()
+}
+
+// ChargeCPU adds ns nanoseconds of scheduled CPU. Crossing MaxCPU
+// latches the overrun and invokes the handler once. Called with no
+// scheduler locks held.
+func (t *Tenant) ChargeCPU(ns int64) {
+	if t == nil || ns <= 0 {
+		return
+	}
+	total := t.cpu.Add(ns)
+	if t.b.MaxCPU > 0 && total > int64(t.b.MaxCPU) && t.overrun.CompareAndSwap(false, true) {
+		if t.onOverrun != nil {
+			t.onOverrun("cpu")
+		}
+	}
+}
+
+// CPUTime returns the tenant's accumulated scheduled CPU.
+func (t *Tenant) CPUTime() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Duration(t.cpu.Load())
+}
+
+// Overrun reports whether a hard budget has been latched as exceeded.
+func (t *Tenant) Overrun() bool {
+	if t == nil {
+		return false
+	}
+	return t.overrun.Load()
+}

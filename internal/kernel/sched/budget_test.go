@@ -1,0 +1,155 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestReserveMemoryRace: concurrent reservations never overshoot the
+// ceiling (the CAS loop is the only enforcement).
+func TestReserveMemoryRace(t *testing.T) {
+	const max = 1 << 20
+	tn := NewTenant("m", Budget{MaxMemory: max})
+	var granted atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; n < 1000; n++ {
+				if tn.ReserveMemory(4096) {
+					granted.Add(4096)
+					if n%3 == 0 {
+						tn.ReleaseMemory(4096)
+						granted.Add(-4096)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tn.MemoryInUse(); got > max {
+		t.Fatalf("in-use %d exceeds ceiling %d", got, max)
+	}
+	if got := tn.MemoryInUse(); got != granted.Load() {
+		t.Fatalf("in-use %d != granted ledger %d", got, granted.Load())
+	}
+	// A full tenant refuses; releasing makes room again.
+	for tn.ReserveMemory(4096) {
+	}
+	if tn.ReserveMemory(1) {
+		t.Fatal("reservation above ceiling granted")
+	}
+	tn.ReleaseMemory(4096)
+	if !tn.ReserveMemory(4096) {
+		t.Fatal("reservation refused after release made room")
+	}
+}
+
+// TestReserveFDRace: fd caps hold under concurrency, and ForceFDs
+// bypasses enforcement (inherited descriptors must never fail).
+func TestReserveFDRace(t *testing.T) {
+	tn := NewTenant("f", Budget{MaxFDs: 64})
+	var granted atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; n < 500; n++ {
+				if tn.ReserveFD() {
+					granted.Add(1)
+					if n%2 == 0 {
+						tn.ReleaseFDs(1)
+						granted.Add(-1)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tn.FDsInUse(); got > 64 {
+		t.Fatalf("fds in use %d exceeds cap 64", got)
+	}
+	if got := tn.FDsInUse(); got != granted.Load() {
+		t.Fatalf("fds in use %d != ledger %d", got, granted.Load())
+	}
+	tn.ForceFDs(100) // fork inheritance: allowed to overshoot
+	if tn.FDsInUse() != granted.Load()+100 {
+		t.Fatal("ForceFDs not charged")
+	}
+	if tn.ReserveFD() {
+		t.Fatal("reservation granted while over cap")
+	}
+}
+
+// TestCPUOverrunOnce: crossing MaxCPU fires the overrun handler exactly
+// once, even with concurrent chargers.
+func TestCPUOverrunOnce(t *testing.T) {
+	tn := NewTenant("c", Budget{MaxCPU: time.Millisecond})
+	var fired atomic.Int64
+	tn.SetOverrunHandler(func(resource string) {
+		if resource != "cpu" {
+			t.Errorf("handler got resource %q, want %q", resource, "cpu")
+		}
+		fired.Add(1)
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; n < 100; n++ {
+				tn.ChargeCPU(int64(100 * time.Microsecond))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := fired.Load(); got != 1 {
+		t.Fatalf("overrun handler fired %d times, want exactly 1", got)
+	}
+	if !tn.Overrun() {
+		t.Fatal("Overrun() false after the handler fired")
+	}
+	if tn.CPUTime() < time.Millisecond {
+		t.Fatalf("CPUTime %v below the ceiling that tripped", tn.CPUTime())
+	}
+}
+
+// TestNilTenant: every method is a safe no-op on a nil tenant (the
+// unbudgeted fast path throughout the engine).
+func TestNilTenant(t *testing.T) {
+	var tn *Tenant
+	if !tn.ReserveMemory(1 << 30) {
+		t.Fatal("nil tenant refused memory")
+	}
+	tn.ReleaseMemory(1 << 30)
+	if !tn.ReserveFD() {
+		t.Fatal("nil tenant refused an fd")
+	}
+	tn.ForceFDs(3)
+	tn.ReleaseFDs(4)
+	tn.ChargeCPU(123)
+	if tn.Overrun() || tn.MemoryInUse() != 0 || tn.FDsInUse() != 0 || tn.CPUTime() != 0 || tn.Name() != "" {
+		t.Fatal("nil tenant reported non-zero state")
+	}
+}
+
+// TestUnlimitedBudget: a zero Budget enforces nothing.
+func TestUnlimitedBudget(t *testing.T) {
+	tn := NewTenant("z", Budget{})
+	if !tn.ReserveMemory(1 << 40) {
+		t.Fatal("unlimited tenant refused memory")
+	}
+	for i := 0; i < 10000; i++ {
+		if !tn.ReserveFD() {
+			t.Fatal("unlimited tenant refused an fd")
+		}
+	}
+	tn.ChargeCPU(int64(time.Hour))
+	if tn.Overrun() {
+		t.Fatal("unlimited tenant reported overrun")
+	}
+}

@@ -1,0 +1,522 @@
+// Package sched implements the multicore guest scheduler: it multiplexes
+// the engine's one-goroutine-per-guest tasks onto a bounded set of run
+// slots ("workers", default GOMAXPROCS) with safepoint-driven time-slice
+// preemption, priority run queues, and per-tenant resource budgets.
+//
+// The design mirrors the Go runtime's P/sysmon split rather than a
+// classic worker pool: guests keep their own goroutines (so blocking
+// kernel syscalls stay natural blocking calls), and what is scheduled is
+// the right to execute — a slot token. The interpreter never unwinds to
+// park a guest; parking is the guest's goroutine blocking inside its
+// safepoint poll callback, which is legal exactly because the engine
+// keeps execution state resumable at every safepoint.
+//
+//   - Running: the task holds a slot and interprets wasm. Its only
+//     scheduler cost is one atomic load (NeedYield) per safepoint.
+//   - Preemption: a sysmon goroutine ticks at quantum/4; when runnable
+//     tasks are waiting it flags any task whose slice expired. The task
+//     observes the flag at its next safepoint and parks in Yield.
+//   - Blocking: instrumented blocking sites (futex wait, poll/epoll,
+//     wait4, sigsuspend/pause, nanosleep) bracket their sleep with
+//     BeginBlock/EndBlock, releasing the slot while the guest is off-CPU
+//     so W slots always map to W tasks making progress.
+//   - Handoff: a flagged task that does not reach a safepoint within the
+//     handoff delay is assumed stuck in an uninstrumented host call
+//     (console read, pipe write to a full pipe, host dial); sysmon
+//     reclaims its slot Go-sysmon-style. The task reacquires at its next
+//     scheduler interaction. This guarantees liveness for every blocking
+//     site without instrumenting all of them.
+//   - Wake boost: EndBlock enqueues at the front of the task's priority
+//     queue and flags the longest-running task, so an I/O wakeup turns
+//     into CPU within roughly one safepoint interval even under a full
+//     complement of CPU spinners — the bounded-latency half of fairness.
+//
+// Lock hierarchy: the scheduler mutex is a leaf. Tasks call into the
+// scheduler only while holding no kernel locks (blocking sites drop
+// their condition locks before BeginBlock and reacquire after), and the
+// scheduler never calls into the kernel; tenant overrun handlers (which
+// post SIGKILL and so take kernel locks) are invoked only after the
+// scheduler mutex is released.
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Priorities. A task's priority comes from its tenant's budget; the
+// zero value (and a nil tenant) is PrioNormal.
+const (
+	PrioNormal = iota
+	PrioHigh
+	PrioLow
+	nPrio
+)
+
+// queueIndex maps a priority constant to its run-queue index (queues
+// are ordered highest-first, but PrioNormal must be the zero value so
+// an unconfigured Budget is mid-band).
+func queueIndex(prio int) int {
+	switch prio {
+	case PrioHigh:
+		return 0
+	case PrioLow:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// DefaultQuantum is the time slice granted per run before preemption
+// eligibility.
+const DefaultQuantum = 2 * time.Millisecond
+
+// Config sizes a Scheduler.
+type Config struct {
+	// Workers is the number of run slots (guests executing
+	// concurrently). 0 means GOMAXPROCS.
+	Workers int
+	// Quantum is the time slice; 0 means DefaultQuantum.
+	Quantum time.Duration
+}
+
+// Stats is a snapshot of scheduler event counters.
+type Stats struct {
+	Yields   uint64 // tasks parked at a safepoint after preemption
+	Preempts uint64 // preempt flags raised (sysmon ticks + wake boosts)
+	Handoffs uint64 // slots reclaimed from tasks stuck off-safepoint
+	Boosts   uint64 // front-of-queue enqueues after blocking wakeups
+}
+
+type taskState int32
+
+const (
+	stateNew taskState = iota
+	stateQueued
+	stateRunning // holds a run slot
+	stateBlocked // parked in a blocking syscall; slot released
+	stateHandoff // still on CPU but sysmon reclaimed the slot
+	stateDone
+)
+
+// Scheduler multiplexes tasks onto Workers run slots. Safe for
+// concurrent use. The sysmon goroutine starts with the first live task
+// and exits when the last finishes, so an idle Scheduler holds no
+// resources.
+type Scheduler struct {
+	workers int
+	quantum time.Duration
+	handoff time.Duration
+
+	mu      sync.Mutex
+	free    int
+	queues  [nPrio][]*Task
+	running map[*Task]struct{}
+	active  int  // live (not yet finished) tasks
+	sysmon  bool // sysmon goroutine running
+
+	yields, preempts, handoffs, boosts uint64
+}
+
+// New builds a scheduler. Zero config fields take defaults.
+func New(cfg Config) *Scheduler {
+	w := cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	q := cfg.Quantum
+	if q <= 0 {
+		q = DefaultQuantum
+	}
+	h := 8 * q
+	if h < 20*time.Millisecond {
+		h = 20 * time.Millisecond
+	}
+	return &Scheduler{
+		workers: w,
+		quantum: q,
+		handoff: h,
+		free:    w,
+		running: make(map[*Task]struct{}),
+	}
+}
+
+// Workers returns the slot count.
+func (s *Scheduler) Workers() int { return s.workers }
+
+// Quantum returns the base time slice.
+func (s *Scheduler) Quantum() time.Duration { return s.quantum }
+
+// Stats snapshots the event counters.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{Yields: s.yields, Preempts: s.preempts, Handoffs: s.handoffs, Boosts: s.boosts}
+}
+
+// Task is one schedulable guest (a WALI process or thread). All methods
+// are called from the guest's own goroutine except NeedYield's producer
+// side (sysmon sets the flag).
+type Task struct {
+	s       *Scheduler
+	tenant  *Tenant
+	prio    int
+	quantum time.Duration // effective slice, shares-scaled
+
+	// preempt is the flag the interpreter polls at safepoints: one
+	// atomic load on the fast path.
+	preempt atomic.Bool
+
+	// polls counts NeedYield calls for the periodic self-check. Owner
+	// goroutine only.
+	polls uint32
+
+	// grant carries the slot to a parked task; buffered so granting
+	// under the scheduler lock never blocks.
+	grant chan struct{}
+
+	// The fields below are guarded by s.mu. runStart anchors the
+	// scheduling slice (preemption expiry); chargeStart anchors CPU
+	// accounting — they differ because the keep-slot fast path in Yield
+	// restarts the slice without an off-CPU transition, and sysmon
+	// flushes partial slices to tenant ledgers (so a lone guest's
+	// MaxCPU budget fires without it ever being preempted) without
+	// restarting the slice.
+	state       taskState
+	runStart    time.Time
+	chargeStart time.Time
+	preemptAt   time.Time
+}
+
+// NewTask registers a task for a tenant (nil = unbudgeted, normal
+// priority). The task owns no slot until Start.
+func (s *Scheduler) NewTask(t *Tenant) *Task {
+	task := &Task{
+		s:       s,
+		tenant:  t,
+		prio:    queueIndex(PrioNormal),
+		quantum: s.quantum,
+		grant:   make(chan struct{}, 1),
+	}
+	if t != nil {
+		b := t.Budget()
+		task.prio = queueIndex(b.Priority)
+		shares := b.CPUShares
+		if shares <= 0 {
+			shares = DefaultShares
+		}
+		q := time.Duration(int64(s.quantum) * int64(shares) / DefaultShares)
+		if q < s.quantum/4 {
+			q = s.quantum / 4
+		}
+		if q > 4*s.quantum {
+			q = 4 * s.quantum
+		}
+		task.quantum = q
+	}
+	s.mu.Lock()
+	s.active++
+	if !s.sysmon {
+		s.sysmon = true
+		go s.sysmonLoop()
+	}
+	s.mu.Unlock()
+	return task
+}
+
+// Tenant returns the task's budget domain (nil if unbudgeted).
+func (t *Task) Tenant() *Tenant { return t.tenant }
+
+// selfCheckMask picks every 1024th safepoint for the owner-side slice
+// check (~tens of microseconds of interpretation between checks).
+const selfCheckMask = 1 << 10
+
+// NeedYield reports whether the task should park at the next safepoint.
+// The per-safepoint fast path is one atomic load plus a local counter;
+// every 1024th call the task also checks its own slice against the
+// clock. The self-check matters on a saturated GOMAXPROCS=1 box: a
+// CPU-spinning guest goroutine can starve the sysmon goroutine of the
+// only P for Go's own preemption interval (~10ms+), and without it
+// preemption granularity would degrade from the quantum to that.
+func (t *Task) NeedYield() bool {
+	if t.preempt.Load() {
+		return true
+	}
+	t.polls++
+	if t.polls%selfCheckMask != 0 {
+		return false
+	}
+	now := time.Now()
+	s := t.s
+	s.mu.Lock()
+	if t.state == stateRunning && s.queuedLocked() && now.Sub(t.runStart) >= t.quantum {
+		t.preemptAt = now
+		t.preempt.Store(true)
+		s.preempts++
+	}
+	s.mu.Unlock()
+	return t.preempt.Load()
+}
+
+// popLocked removes the highest-priority runnable task.
+func (s *Scheduler) popLocked() *Task {
+	for i := 0; i < nPrio; i++ {
+		if q := s.queues[i]; len(q) > 0 {
+			t := q[0]
+			q[0] = nil
+			s.queues[i] = q[1:]
+			return t
+		}
+	}
+	return nil
+}
+
+// grantLocked hands a slot to a queued task.
+func (s *Scheduler) grantLocked(t *Task, now time.Time) {
+	t.state = stateRunning
+	t.runStart = now
+	t.chargeStart = now
+	t.preempt.Store(false)
+	s.running[t] = struct{}{}
+	t.grant <- struct{}{}
+}
+
+// releaseSlotLocked passes a freed slot to the next runnable task, or
+// returns it to the pool.
+func (s *Scheduler) releaseSlotLocked(now time.Time) {
+	if next := s.popLocked(); next != nil {
+		s.grantLocked(next, now)
+		return
+	}
+	s.free++
+}
+
+// Start acquires the task's first slot, blocking until one is granted.
+// Invariant: free > 0 implies every queue is empty (releases grant
+// queued tasks before returning slots to the pool), so taking a free
+// slot never jumps the queue.
+func (t *Task) Start() {
+	s := t.s
+	s.mu.Lock()
+	if s.free > 0 {
+		s.free--
+		t.state = stateRunning
+		t.runStart = time.Now()
+		t.chargeStart = t.runStart
+		s.running[t] = struct{}{}
+		s.mu.Unlock()
+		return
+	}
+	t.state = stateQueued
+	s.queues[t.prio] = append(s.queues[t.prio], t)
+	s.mu.Unlock()
+	<-t.grant
+}
+
+// Yield parks the task if other work is runnable, releasing its slot to
+// the head of the queue and requeueing itself at the tail; with nothing
+// queued it just restarts its slice. Called from the safepoint poll when
+// NeedYield reports true.
+func (t *Task) Yield() {
+	s := t.s
+	now := time.Now()
+	var chargeNs int64
+	s.mu.Lock()
+	switch t.state {
+	case stateRunning:
+		next := s.popLocked()
+		if next == nil {
+			// Work-conserving: alone, keep the slot and a fresh slice
+			// (chargeStart stays: no off-CPU transition, sysmon flushes
+			// the accumulating slice to the tenant ledger).
+			t.runStart = now
+			t.preempt.Store(false)
+			s.mu.Unlock()
+			return
+		}
+		s.yields++
+		chargeNs = now.Sub(t.chargeStart).Nanoseconds()
+		delete(s.running, t)
+		s.grantLocked(next, now)
+		t.state = stateQueued
+		s.queues[t.prio] = append(s.queues[t.prio], t)
+	case stateHandoff:
+		// sysmon already reclaimed the slot (and charged the slice);
+		// reattach: take a free slot if one opened up, else rejoin the
+		// queue. (A free slot implies an empty queue, so waiting for a
+		// grant here would wait forever.)
+		if s.free > 0 {
+			s.free--
+			t.state = stateRunning
+			t.runStart = now
+			t.chargeStart = now
+			t.preempt.Store(false)
+			s.running[t] = struct{}{}
+			s.mu.Unlock()
+			return
+		}
+		s.yields++
+		t.state = stateQueued
+		s.queues[t.prio] = append(s.queues[t.prio], t)
+	default:
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+	t.tenant.ChargeCPU(chargeNs)
+	<-t.grant
+}
+
+// BeginBlock releases the task's slot before a blocking sleep. Callers
+// must hold no kernel locks (drop the condition lock first, reacquire
+// after) — the scheduler mutex is a leaf.
+func (t *Task) BeginBlock() {
+	s := t.s
+	now := time.Now()
+	var chargeNs int64
+	s.mu.Lock()
+	if t.state == stateRunning {
+		chargeNs = now.Sub(t.chargeStart).Nanoseconds()
+		delete(s.running, t)
+		s.releaseSlotLocked(now)
+	}
+	t.state = stateBlocked
+	s.mu.Unlock()
+	t.tenant.ChargeCPU(chargeNs)
+}
+
+// EndBlock reacquires a slot after a blocking sleep. The wakeup is
+// boosted: the task enqueues at the FRONT of its priority queue and the
+// longest-running task is flagged to yield, so a poll-blocked guest that
+// just became ready gets CPU within about one safepoint interval even
+// when every slot is held by a CPU spinner.
+func (t *Task) EndBlock() {
+	s := t.s
+	now := time.Now()
+	s.mu.Lock()
+	if s.free > 0 {
+		s.free--
+		t.state = stateRunning
+		t.runStart = now
+		t.chargeStart = now
+		t.preempt.Store(false)
+		s.running[t] = struct{}{}
+		s.mu.Unlock()
+		return
+	}
+	s.boosts++
+	t.state = stateQueued
+	q := s.queues[t.prio]
+	q = append(q, nil)
+	copy(q[1:], q)
+	q[0] = t
+	s.queues[t.prio] = q
+	var victim *Task
+	for r := range s.running {
+		if r.preempt.Load() {
+			continue
+		}
+		if victim == nil || r.runStart.Before(victim.runStart) {
+			victim = r
+		}
+	}
+	if victim != nil {
+		victim.preemptAt = now
+		victim.preempt.Store(true)
+		s.preempts++
+	}
+	s.mu.Unlock()
+	<-t.grant
+}
+
+// Finish releases the task's slot (if held) and retires it. The guest
+// goroutine must not touch the scheduler afterwards.
+func (t *Task) Finish() {
+	s := t.s
+	now := time.Now()
+	var chargeNs int64
+	s.mu.Lock()
+	if t.state == stateRunning {
+		chargeNs = now.Sub(t.chargeStart).Nanoseconds()
+		delete(s.running, t)
+		s.releaseSlotLocked(now)
+	}
+	t.state = stateDone
+	s.active--
+	s.mu.Unlock()
+	t.tenant.ChargeCPU(chargeNs)
+}
+
+// queuedLocked reports whether any task is runnable.
+func (s *Scheduler) queuedLocked() bool {
+	for i := 0; i < nPrio; i++ {
+		if len(s.queues[i]) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// sysmonLoop is the preemption timer: it flags expired slices when work
+// is waiting, and reclaims slots from tasks stuck off-safepoint. It
+// exits when the last task finishes (a fresh one restarts it).
+func (s *Scheduler) sysmonLoop() {
+	tick := s.quantum / 4
+	if tick < 100*time.Microsecond {
+		tick = 100 * time.Microsecond
+	}
+	type charge struct {
+		tenant *Tenant
+		ns     int64
+	}
+	for {
+		time.Sleep(tick)
+		now := time.Now()
+		var charges []charge
+		s.mu.Lock()
+		if s.active == 0 {
+			s.sysmon = false
+			s.mu.Unlock()
+			return
+		}
+		if s.queuedLocked() {
+			for t := range s.running {
+				if !t.preempt.Load() {
+					if now.Sub(t.runStart) >= t.quantum {
+						t.preemptAt = now
+						t.preempt.Store(true)
+						s.preempts++
+					}
+				} else if now.Sub(t.preemptAt) >= s.handoff {
+					// Off-safepoint too long: stuck in an uninstrumented
+					// blocking host call. Reclaim the slot (Go sysmon
+					// style); the task reattaches at its next scheduler
+					// interaction.
+					s.handoffs++
+					charges = append(charges, charge{t.tenant, now.Sub(t.chargeStart).Nanoseconds()})
+					t.chargeStart = now
+					delete(s.running, t)
+					t.state = stateHandoff
+					s.releaseSlotLocked(now)
+				}
+			}
+		}
+		// Flush accumulating slices of budgeted tenants to their CPU
+		// ledgers, so MaxCPU fires even for a lone guest that is never
+		// preempted (the work-conserving fast path keeps its slot).
+		for t := range s.running {
+			if t.tenant != nil && now.Sub(t.chargeStart) >= t.quantum {
+				charges = append(charges, charge{t.tenant, now.Sub(t.chargeStart).Nanoseconds()})
+				t.chargeStart = now
+			}
+		}
+		s.mu.Unlock()
+		// Tenant charging (which may invoke overrun kill handlers that
+		// take kernel locks) happens outside the scheduler mutex.
+		for _, c := range charges {
+			c.tenant.ChargeCPU(c.ns)
+		}
+	}
+}

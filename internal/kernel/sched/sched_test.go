@@ -1,0 +1,330 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// spin keeps a task "on CPU" until stop, yielding at its simulated
+// safepoints exactly like the interpreter's poll callback does.
+func spin(t *Task, stop *atomic.Bool, onCPU, max *atomic.Int64) {
+	for !stop.Load() {
+		n := onCPU.Add(1)
+		for {
+			old := max.Load()
+			if n <= old || max.CompareAndSwap(old, n) {
+				break
+			}
+		}
+		time.Sleep(50 * time.Microsecond) // simulated interpretation
+		onCPU.Add(-1)
+		if t.NeedYield() {
+			t.Yield()
+		}
+	}
+}
+
+// TestSlotLimit: with W slots, no more than W tasks are ever on CPU at
+// once, regardless of how many tasks contend.
+func TestSlotLimit(t *testing.T) {
+	s := New(Config{Workers: 2, Quantum: time.Millisecond})
+	var stop atomic.Bool
+	var onCPU, max atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		task := s.NewTask(nil)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			task.Start()
+			spin(task, &stop, &onCPU, &max)
+			task.Finish()
+		}()
+	}
+	time.Sleep(100 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+	if got := max.Load(); got > 2 {
+		t.Fatalf("max concurrent tasks = %d, want <= 2", got)
+	}
+	if max.Load() < 1 {
+		t.Fatal("no task ever ran")
+	}
+	st := s.Stats()
+	if st.Preempts == 0 || st.Yields == 0 {
+		t.Fatalf("expected preemption activity with 8 tasks on 2 slots: %+v", st)
+	}
+}
+
+// TestBlockReleasesSlot: a task entering a blocking syscall hands its
+// slot to a queued task, and its wakeup boost preempts the new holder.
+func TestBlockReleasesSlot(t *testing.T) {
+	s := New(Config{Workers: 1, Quantum: time.Millisecond})
+	a := s.NewTask(nil)
+	b := s.NewTask(nil)
+	a.Start()
+
+	bRunning := make(chan struct{})
+	go func() {
+		b.Start() // must block until a releases the slot
+		close(bRunning)
+	}()
+	// Within the handoff window (20ms) a stuck holder keeps the slot.
+	select {
+	case <-bRunning:
+		t.Fatal("b ran while a held the only slot")
+	case <-time.After(8 * time.Millisecond):
+	}
+
+	a.BeginBlock()
+	select {
+	case <-bRunning:
+	case <-time.After(2 * time.Second):
+		t.Fatal("b never granted the slot after a blocked")
+	}
+
+	// a's wakeup flags b; b yielding lets a back on and frees the slot
+	// again when a finishes.
+	aDone := make(chan struct{})
+	go func() {
+		a.EndBlock()
+		a.Finish()
+		close(aDone)
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for !b.NeedYield() {
+		if time.Now().After(deadline) {
+			t.Fatal("running task never flagged after blocked task woke")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	b.Yield() // grants a; returns once a finishes and the slot comes back
+	select {
+	case <-aDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("a never resumed after b yielded")
+	}
+	b.Finish()
+}
+
+// TestPreemptFlagRaised: sysmon flags an expired slice when, and only
+// when, another task is waiting (work-conserving preemption).
+func TestPreemptFlagRaised(t *testing.T) {
+	s := New(Config{Workers: 1, Quantum: time.Millisecond})
+	a := s.NewTask(nil)
+	a.Start()
+
+	// Alone: the slice expires but nothing is queued, so no flag.
+	time.Sleep(10 * time.Millisecond)
+	if a.NeedYield() {
+		t.Fatal("flagged with no queued work (not work-conserving)")
+	}
+
+	// A contender appears: a must be flagged within a few ticks.
+	b := s.NewTask(nil)
+	var stopB atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		b.Start()
+		for !stopB.Load() {
+			time.Sleep(50 * time.Microsecond)
+			if b.NeedYield() {
+				b.Yield()
+			}
+		}
+		b.Finish()
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for !a.NeedYield() {
+		if time.Now().After(deadline) {
+			t.Fatal("slice never flagged with work queued")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	a.Yield() // parks until b's loop yields back
+	stopB.Store(true)
+	a.Finish()
+	wg.Wait()
+}
+
+// TestHandoffReclaimsSlot: a flagged task stuck off-safepoint loses its
+// slot after the handoff delay, so queued work still runs.
+func TestHandoffReclaimsSlot(t *testing.T) {
+	s := New(Config{Workers: 1, Quantum: time.Millisecond})
+	a := s.NewTask(nil)
+	a.Start()
+	b := s.NewTask(nil)
+	granted := make(chan struct{})
+	go func() {
+		b.Start()
+		close(granted)
+	}()
+	// a never reaches a safepoint (simulated stuck host call): sysmon
+	// must hand its slot to b within handoff (20ms) plus slack.
+	select {
+	case <-granted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("slot never reclaimed from stuck task")
+	}
+	if st := s.Stats(); st.Handoffs == 0 {
+		t.Fatalf("expected a handoff, got %+v", st)
+	}
+	// a eventually reaches its safepoint and reattaches (immediately if
+	// b has finished, else when b's slot frees).
+	aParked := make(chan struct{})
+	go func() {
+		a.Yield()
+		close(aParked)
+	}()
+	b.Finish()
+	select {
+	case <-aParked:
+	case <-time.After(2 * time.Second):
+		t.Fatal("handed-off task never rejoined")
+	}
+	a.Finish()
+}
+
+// TestWakeBoostOrdering: a task waking from a block enqueues ahead of
+// an already-queued same-priority task.
+func TestWakeBoostOrdering(t *testing.T) {
+	s := New(Config{Workers: 1, Quantum: 100 * time.Millisecond})
+	a := s.NewTask(nil)
+	b := s.NewTask(nil)
+	c := s.NewTask(nil)
+	a.Start()
+	b.BeginBlock() // b goes off-CPU without ever holding a slot
+
+	order := make(chan string, 2)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		c.Start()
+		order <- "c"
+		c.Finish()
+	}()
+	time.Sleep(20 * time.Millisecond) // c is queued
+	go func() {
+		defer wg.Done()
+		b.EndBlock() // wakes: boosts to the front, ahead of c
+		order <- "b"
+		b.Finish()
+	}()
+	time.Sleep(20 * time.Millisecond)
+	a.Finish() // slot goes to the queue head
+	wg.Wait()
+	if first := <-order; first != "b" {
+		t.Fatalf("first granted = %q, want boosted waker %q", first, "b")
+	}
+	if st := s.Stats(); st.Boosts == 0 {
+		t.Fatalf("expected a boost, got %+v", st)
+	}
+}
+
+// TestPriorityOrdering: a high-priority tenant's task is granted before
+// an earlier-queued normal one.
+func TestPriorityOrdering(t *testing.T) {
+	s := New(Config{Workers: 1, Quantum: 100 * time.Millisecond})
+	a := s.NewTask(nil)
+	norm := s.NewTask(nil)
+	hi := s.NewTask(NewTenant("hi", Budget{Priority: PrioHigh}))
+	a.Start()
+
+	order := make(chan string, 2)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		norm.Start()
+		order <- "norm"
+		norm.Finish()
+	}()
+	time.Sleep(20 * time.Millisecond) // norm queued first
+	go func() {
+		defer wg.Done()
+		hi.Start()
+		order <- "hi"
+		hi.Finish()
+	}()
+	time.Sleep(20 * time.Millisecond)
+	a.Finish()
+	wg.Wait()
+	if first := <-order; first != "hi" {
+		t.Fatalf("first granted = %q, want %q", first, "hi")
+	}
+}
+
+// TestSharesScaleQuantum: CPU shares stretch and shrink the effective
+// slice within the clamp band.
+func TestSharesScaleQuantum(t *testing.T) {
+	s := New(Config{Workers: 1, Quantum: 2 * time.Millisecond})
+	cases := []struct {
+		shares int
+		want   time.Duration
+	}{
+		{0, 2 * time.Millisecond},     // default
+		{100, 2 * time.Millisecond},   // baseline
+		{200, 4 * time.Millisecond},   // double share, double slice
+		{50, time.Millisecond},        // half
+		{1, 500 * time.Microsecond},   // clamped to quantum/4
+		{10000, 8 * time.Millisecond}, // clamped to 4x quantum
+	}
+	for _, c := range cases {
+		task := s.NewTask(NewTenant("t", Budget{CPUShares: c.shares}))
+		if task.quantum != c.want {
+			t.Errorf("shares=%d: quantum=%v, want %v", c.shares, task.quantum, c.want)
+		}
+		task.Finish()
+	}
+}
+
+// TestStressRace exercises the full task state machine from many
+// goroutines at once (meaningful mainly under -race).
+func TestStressRace(t *testing.T) {
+	s := New(Config{Workers: 3, Quantum: 200 * time.Microsecond})
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		task := s.NewTask(nil)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			task.Start()
+			for n := 0; n < 50; n++ {
+				if task.NeedYield() {
+					task.Yield()
+				}
+				switch n % 5 {
+				case 0:
+					task.BeginBlock()
+					time.Sleep(time.Duration(i%3) * 100 * time.Microsecond)
+					task.EndBlock()
+				case 3:
+					task.Yield() // voluntary; keep-slot fast path if alone
+				default:
+					time.Sleep(20 * time.Microsecond)
+				}
+			}
+			task.Finish()
+		}(i)
+	}
+	wg.Wait()
+	// Sysmon must wind down once the fleet exits.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		s.mu.Lock()
+		done := !s.sysmon
+		s.mu.Unlock()
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sysmon still running after all tasks finished")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

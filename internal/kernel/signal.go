@@ -224,6 +224,43 @@ func (p *Process) HasDeliverableSignal() bool {
 	return (t|p.sig.pending)&^mask != 0 || p.sig.killed
 }
 
+// PendingFatal reports — without consuming anything — whether an
+// unblocked pending signal would terminate the process under its
+// current disposition. The frontend checks this on every syscall
+// return, mirroring Linux's return-to-userspace delivery point: a
+// guest whose blocking syscall was interrupted by SIGKILL must die at
+// the syscall boundary, not survive through straight-line code (with
+// no safepoint back-edge) to a voluntary exit. Handler-backed and
+// ignorable signals are left pending for safepoint delivery, where a
+// Wasm handler can legally be invoked.
+func (p *Process) PendingFatal() (int32, bool) {
+	if !p.sig.threaded.Load() && p.pendingTFast.Load() == 0 && p.sig.fast.Load() == 0 {
+		return 0, false
+	}
+	p.mu.Lock()
+	mask := p.sigMask
+	tPending := p.pendingT
+	p.mu.Unlock()
+
+	s := p.sig
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.killed {
+		return linux.SIGKILL, true
+	}
+	pend := tPending | s.pending
+	for sig := int32(1); sig <= linux.NSIG; sig++ {
+		b := sigBit(sig)
+		if pend&b == 0 || mask&b != 0 {
+			continue
+		}
+		if s.actions[sig].Handler == linux.SIG_DFL && DefaultTerminates(sig) {
+			return sig, true
+		}
+	}
+	return 0, false
+}
+
 // DeliverableSignal is a dequeued signal ready for handler dispatch.
 type DeliverableSignal struct {
 	Sig    int32
@@ -292,12 +329,7 @@ func (p *Process) SigSuspend(tempMask uint64) linux.Errno {
 	p.sigMask = tempMask &^ (sigBit(linux.SIGKILL) | sigBit(linux.SIGSTOP))
 	p.mu.Unlock()
 
-	s := p.sig
-	s.mu.Lock()
-	for !p.hasDeliverableLocked(s) {
-		s.cond.Wait()
-	}
-	s.mu.Unlock()
+	p.waitDeliverable()
 
 	p.mu.Lock()
 	p.sigMask = old
@@ -307,13 +339,33 @@ func (p *Process) SigSuspend(tempMask uint64) linux.Errno {
 
 // Pause waits until any deliverable signal arrives.
 func (p *Process) Pause() linux.Errno {
+	p.waitDeliverable()
+	return linux.EINTR
+}
+
+// waitDeliverable blocks until a deliverable signal is pending. The run
+// slot is released only when actually about to sleep: the first
+// not-deliverable check drops s.mu for BeginBlock and then rechecks —
+// the predicate is state-based (pending bits), so a signal posted in
+// the unlocked window is seen by the recheck, not lost.
+func (p *Process) waitDeliverable() {
 	s := p.sig
+	blocked := false
 	s.mu.Lock()
 	for !p.hasDeliverableLocked(s) {
+		if !blocked {
+			s.mu.Unlock()
+			blocked = true
+			p.BeginBlock()
+			s.mu.Lock()
+			continue
+		}
 		s.cond.Wait()
 	}
 	s.mu.Unlock()
-	return linux.EINTR
+	if blocked {
+		p.EndBlock()
+	}
 }
 
 // hasDeliverableLocked requires s.mu held.
@@ -333,6 +385,14 @@ func (p *Process) SigTimedWait(set uint64, timeout *linux.Timespec) (int32, linu
 		deadline = time.Now().Add(time.Duration(timeout.Nanos()))
 	}
 	s := p.sig
+	// One BeginBlock for the whole wait, ended on any return path; the
+	// state-based pending check makes the unlocked window benign.
+	blocked := false
+	endBlock := func() {
+		if blocked {
+			p.EndBlock()
+		}
+	}
 	for {
 		s.mu.Lock()
 		p.mu.Lock()
@@ -358,6 +418,7 @@ func (p *Process) SigTimedWait(set uint64, timeout *linux.Timespec) (int32, linu
 				}
 				p.mu.Unlock()
 				s.mu.Unlock()
+				endBlock()
 				return sig, 0
 			}
 		}
@@ -366,12 +427,23 @@ func (p *Process) SigTimedWait(set uint64, timeout *linux.Timespec) (int32, linu
 		if timeout != nil {
 			if !time.Now().Before(deadline) {
 				s.mu.Unlock()
+				endBlock()
 				return -1, linux.EAGAIN
 			}
 			// Timed wait: poll with a short sleep (the sim trades precise
 			// timer queues for simplicity).
 			s.mu.Unlock()
+			if !blocked {
+				blocked = true
+				p.BeginBlock()
+			}
 			time.Sleep(200 * time.Microsecond)
+			continue
+		}
+		if !blocked {
+			s.mu.Unlock()
+			blocked = true
+			p.BeginBlock()
 			continue
 		}
 		s.cond.Wait()

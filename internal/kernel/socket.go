@@ -199,7 +199,22 @@ func (p *Process) Accept(fd int32, flags int32) (int32, SockAddr, linux.Errno) {
 	if l == nil {
 		return -1, SockAddr{}, linux.EINVAL
 	}
-	conn, peer, errno := l.Accept(s.nonblock())
+	var (
+		conn net.Conn
+		peer SockAddr
+	)
+	if s.nonblock() {
+		conn, peer, errno = l.Accept(true)
+	} else {
+		// Blocking accept parks signal-aware so a forced termination
+		// interrupts it instead of stranding the goroutine on the
+		// accept queue's condition variable.
+		errno = p.blockOn(s.PollQueues, func() linux.Errno {
+			var e linux.Errno
+			conn, peer, e = l.Accept(true)
+			return e
+		})
+	}
 	if errno != 0 {
 		return -1, SockAddr{}, errno
 	}
@@ -337,7 +352,27 @@ func (p *Process) SendTo(fd int32, b []byte, msgFlags int32, to *SockAddr) (int,
 	if shutWr {
 		return 0, linux.EPIPE
 	}
-	n, errno := conn.Write(b, nb)
+	var n int
+	if nb {
+		n, errno = conn.Write(b, true)
+	} else {
+		// Blocking send(2) pushes the whole buffer, parking signal-aware
+		// on back-pressure; a signal after a partial transfer returns
+		// the partial count, as Linux does.
+		total := 0
+		errno = p.blockOn(s.PollQueues, func() linux.Errno {
+			wn, e := conn.Write(b[total:], true)
+			total += wn
+			if e == 0 && total < len(b) {
+				return linux.EAGAIN // partial: keep pushing
+			}
+			return e
+		})
+		n = total
+		if total > 0 {
+			errno = 0
+		}
+	}
 	if errno == linux.EPIPE && msgFlags&linux.MSG_NOSIGNAL == 0 {
 		p.PostSignal(linux.SIGPIPE)
 	}
@@ -352,7 +387,19 @@ func (p *Process) RecvFrom(fd int32, b []byte, msgFlags int32) (int, SockAddr, l
 	}
 	nb := s.nonblock() || msgFlags&linux.MSG_DONTWAIT != 0
 	if s.typ == linux.SOCK_DGRAM {
-		return s.recvDgram(b, nb)
+		if nb {
+			return s.recvDgram(b, true)
+		}
+		var (
+			n    int
+			from SockAddr
+		)
+		e := p.blockOn(s.PollQueues, func() linux.Errno {
+			var errno linux.Errno
+			n, from, errno = s.recvDgram(b, true)
+			return errno
+		})
+		return n, from, e
 	}
 	conn, shutRd, _, _ := s.connFor()
 	s.mu.Lock()
@@ -364,8 +411,21 @@ func (p *Process) RecvFrom(fd int32, b []byte, msgFlags int32) (int, SockAddr, l
 	if shutRd {
 		return 0, peer, 0
 	}
-	n, errno := conn.Read(b, nb)
-	return n, peer, errno
+	if nb {
+		n, errno := conn.Read(b, true)
+		return n, peer, errno
+	}
+	// Blocking receive parks through blockOn: interruptible by signals
+	// (EINTR) and slot-releasing under the scheduler. The attempt
+	// re-runs conn.Read, so a shutdown or close while parked surfaces
+	// as EOF on the next pass.
+	var n int
+	e := p.blockOn(s.PollQueues, func() linux.Errno {
+		var errno linux.Errno
+		n, errno = conn.Read(b, true)
+		return errno
+	})
+	return n, peer, e
 }
 
 // ensureDgram lazily binds an unbound datagram socket to an ephemeral
@@ -598,6 +658,41 @@ func (s *Socket) Read(b []byte) (int, linux.Errno) {
 	}
 	return conn.Read(b, s.nonblock())
 }
+
+// ReadNB / WriteNB / blocking implement nbIO: the Process syscall
+// layer supplies blocking semantics through the signal-aware blockOn
+// loop, so a blocked recv parks interruptibly and releases its
+// scheduler slot rather than sleeping in a pipe condition variable.
+func (s *Socket) ReadNB(b []byte) (int, linux.Errno) {
+	if s.typ == linux.SOCK_DGRAM {
+		n, _, errno := s.recvDgram(b, true)
+		return n, errno
+	}
+	conn, shutRd, _, _ := s.connFor()
+	if conn == nil {
+		return 0, linux.ENOTCONN
+	}
+	if shutRd {
+		return 0, 0
+	}
+	return conn.Read(b, true)
+}
+
+func (s *Socket) WriteNB(b []byte) (int, linux.Errno) {
+	if s.typ == linux.SOCK_DGRAM {
+		return s.sendDgram(b, nil)
+	}
+	conn, _, shutWr, _ := s.connFor()
+	if conn == nil {
+		return 0, linux.ENOTCONN
+	}
+	if shutWr {
+		return 0, linux.EPIPE
+	}
+	return conn.Write(b, true)
+}
+
+func (s *Socket) blocking() bool { return !s.nonblock() }
 
 // Write implements File.
 func (s *Socket) Write(b []byte) (int, linux.Errno) {

@@ -5,6 +5,7 @@ import (
 	"gowali/internal/interp"
 	"gowali/internal/kernel"
 	knet "gowali/internal/kernel/net"
+	"gowali/internal/kernel/sched"
 	"gowali/internal/kernel/vfs"
 	"gowali/internal/trace"
 	"gowali/internal/wasi"
@@ -43,6 +44,22 @@ const (
 
 // SyscallEvent is one observed syscall; see WithSyscallHook.
 type SyscallEvent = core.SyscallEvent
+
+// Budget caps a tenant's resources; see WithBudget. The zero value is
+// unlimited: each field enforces only when set.
+type Budget = sched.Budget
+
+// SchedStats is a snapshot of scheduler activity counters; see
+// Runtime.SchedStats.
+type SchedStats = sched.Stats
+
+// Scheduling priorities for Budget.Priority. The zero value is
+// PriorityNormal.
+const (
+	PriorityNormal = sched.PrioNormal
+	PriorityHigh   = sched.PrioHigh
+	PriorityLow    = sched.PrioLow
+)
 
 // Kernel is the simulated Linux kernel a WALI-backed runtime executes
 // over: VFS, process table, devices, futexes, signals. Obtain a
