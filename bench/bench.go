@@ -23,6 +23,7 @@ type (
 	FSMicroRow = ib.FSMicroRow
 	NetEchoRow = ib.NetEchoRow
 	FleetRow   = ib.FleetRow
+	SnapRow    = ib.SnapRow
 )
 
 // FleetConfig parameterizes a fleet run: the guest class mix (CPU
@@ -137,6 +138,16 @@ func FleetSweep(cfg FleetConfig, gomaxprocs []int) []FleetRow {
 
 // FormatFleet renders the fleet table.
 func FormatFleet(rows []FleetRow) string { return ib.FormatFleet(rows) }
+
+// SnapRestore runs the snapshot/restore benchmark: warm one guest,
+// checkpoint it, restore it iters times sequentially (cold-start
+// latency), then fan out forkN copy-on-write children from the image
+// at once (fork rate, per-child heap vs a full memory copy, dirtied
+// pages). Zero arguments pick the defaults (50 restores, 100 forks).
+func SnapRestore(iters, forkN int) SnapRow { return ib.SnapRestore(iters, forkN) }
+
+// FormatSnapRestore renders the snapshot/restore table.
+func FormatSnapRestore(r SnapRow) string { return ib.FormatSnapRestore(r) }
 
 // FSMicro measures a guest open/pread64/close loop against the memfs,
 // hostfs and overlayfs mount backends (hostDir backs the host-mapped

@@ -18,6 +18,8 @@ import (
 	"gowali/internal/core"
 	"gowali/internal/emu"
 	"gowali/internal/interp"
+	"gowali/internal/kernel/snap"
+	"gowali/internal/linux"
 	"gowali/internal/trace"
 )
 
@@ -251,8 +253,124 @@ func BenchmarkAblationMmapAllocator(b *testing.B) {
 	b.Run("freelist", func(b *testing.B) { run(b, false) })
 }
 
+// snapRestoreSetup spawns and warms the snapshot guest, checkpoints it,
+// and returns engine, live guest and image for the restore benchmarks.
+func snapRestoreSetup(b *testing.B) (*core.WALI, *core.Process, *snap.Image) {
+	b.Helper()
+	w := core.New()
+	c, err := interp.Compile(bench.BuildSnapGuest())
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := w.SpawnCompiled(c, "snapguest", []string{"snapguest"}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p.RunAsync()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, n := w.SyscallStats(p.KP.PID); n >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			b.Fatal("snapshot guest did not warm up")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	img, err := w.Snapshot(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w, p, img
+}
+
+func snapRestoreTeardown(b *testing.B, w *core.WALI, p *core.Process) {
+	b.Helper()
+	p.KP.PostSignal(linux.SIGKILL)
+	<-p.Done()
+	w.WaitAll()
+}
+
+// BenchmarkRestore measures the snapshot cold start: building a fully
+// runnable process from a warmed image (hash-cache module, CoW memory,
+// re-opened fd table). The spawn-path baseline is
+// BenchmarkSpawnCachedModule — the whole point of the image is beating
+// it by well over 5×, since restore skips instantiation, zero-fill and
+// the guest's own warm-up entirely.
+func BenchmarkRestore(b *testing.B) {
+	w, p, img := snapRestoreSetup(b)
+	defer snapRestoreTeardown(b, w, p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch, err := w.Restore(img, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		ch.Inst.Mem.WriteU64(bench.SnapReqAddr, 1)
+		if status, runErr := ch.Resume(); runErr != nil || status != 0 {
+			b.Fatalf("status=%d err=%v", status, runErr)
+		}
+		b.StartTimer()
+	}
+}
+
+// BenchmarkRestoreServe is the end-to-end invocation: restore, inject a
+// request into the still-parked child, resume, and wait for its answer
+// and exit — the serverless cold-start-to-response number.
+func BenchmarkRestoreServe(b *testing.B) {
+	w, p, img := snapRestoreSetup(b)
+	defer snapRestoreTeardown(b, w, p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch, err := w.Restore(img, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ch.Inst.Mem.WriteU64(bench.SnapReqAddr, uint64(i+1))
+		if status, runErr := ch.Resume(); runErr != nil || status != 0 {
+			b.Fatalf("status=%d err=%v", status, runErr)
+		}
+	}
+}
+
+// BenchmarkForkFanOut measures fleet fan-out: 100 copy-on-write
+// children restored back-to-back from one image per iteration (the
+// children run and exit untimed). heap_bytes/child comes from the
+// measured fork-sharing test; here the metric is restores/sec.
+func BenchmarkForkFanOut(b *testing.B) {
+	const fanOut = 100
+	w, p, img := snapRestoreSetup(b)
+	defer snapRestoreTeardown(b, w, p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		children := make([]*core.Process, fanOut)
+		var err error
+		for j := range children {
+			if children[j], err = w.Restore(img, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		for j, ch := range children {
+			ch.Inst.Mem.WriteU64(bench.SnapReqAddr, uint64(j+1))
+			ch.ResumeAsync()
+		}
+		for _, ch := range children {
+			if status, runErr := ch.Wait(); runErr != nil || status != 0 {
+				b.Fatalf("status=%d err=%v", status, runErr)
+			}
+		}
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(fanOut), "forks/op")
+}
+
 // BenchmarkInterpreter measures raw bytecode throughput (context for the
-// §4.3 "engine speed is orthogonal" argument).
+// §4.3 "engine speed is orthogonal" argument). It doubles as the
+// copy-on-write barrier guard: these guests never run under CoW, so the
+// barrier's inactive cost (one nil check per memory access) must keep
+// this within 2%% of its pre-CoW baseline.
 func BenchmarkInterpreter(b *testing.B) {
 	app, _ := apps.ByName("lua")
 	w := core.New()

@@ -36,6 +36,7 @@ func main() {
 	fsm := flag.Bool("fsmicro", false, "memfs vs hostfs vs overlayfs open/pread64 micro-benchmark")
 	ne := flag.Bool("netecho", false, "socket echo RTT/throughput across net backends (loopback, switch, hostnet)")
 	fleet := flag.Bool("fleet", false, "multicore scheduler fleet: spinner/syscall/poll guest mix across GOMAXPROCS values")
+	snap := flag.Bool("snap", false, "snapshot/restore: checkpoint a warmed guest, restore latency + CoW fork fan-out")
 	iters := flag.Int("iters", 2000, "iterations for Table 2")
 	scaleIters := flag.Int("scaleout-iters", 200, "per-guest loop iterations for -scaleout")
 	guestList := flag.String("guests", "", "comma-separated guest counts for -scaleout (default: powers of two through 4xNumCPU)")
@@ -51,13 +52,15 @@ func main() {
 	fleetWorkers := flag.Int("fleet-workers", 0, "scheduler run slots for -fleet (0 = GOMAXPROCS)")
 	fleetQuantum := flag.Duration("fleet-quantum", 0, "scheduler time slice for -fleet (0 = default)")
 	fleetGomax := flag.String("fleet-gomax", "1,2,4,8", "comma-separated GOMAXPROCS values for -fleet")
+	snapIters := flag.Int("snap-iters", 50, "sequential restores for -snap (latency sample)")
+	snapFork := flag.Int("snap-fork", 100, "fan-out width for -snap (children restored from one image)")
 	scaleList := flag.String("scales", "20000,60000,120000", "lua scales for -fig8time (bash/sqlite scaled down proportionally)")
 	flag.Parse()
 
 	if *all {
-		*t1, *t2, *t3, *f7, *f8t, *f8m, *f9, *fsm, *ne, *fleet = true, true, true, true, true, true, true, true, true, true
+		*t1, *t2, *t3, *f7, *f8t, *f8m, *f9, *fsm, *ne, *fleet, *snap = true, true, true, true, true, true, true, true, true, true, true
 	}
-	if !(*t1 || *t2 || *t3 || *f7 || *f8t || *f8m || *f9 || *fsm || *ne || *fleet) {
+	if !(*t1 || *t2 || *t3 || *f7 || *f8t || *f8m || *f9 || *fsm || *ne || *fleet || *snap) {
 		*t1, *t2 = true, true
 	}
 
@@ -146,6 +149,11 @@ func main() {
 			Window:     *fleetWindow,
 		}
 		fmt.Print(bench.FormatFleet(bench.FleetSweep(cfg, parseScales(*fleetGomax))))
+		fmt.Println()
+	}
+	if *snap {
+		fmt.Println("== Snapshot / restore: cold-start latency and CoW fork fan-out ==")
+		fmt.Print(bench.FormatSnapRestore(bench.SnapRestore(*snapIters, *snapFork)))
 		fmt.Println()
 	}
 	if *fsm {

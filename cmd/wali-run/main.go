@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"gowali"
 )
@@ -47,6 +48,9 @@ func main() {
 	flag.Var(&dirs, "dir", "mount a host directory: hostdir=/guestpath[:ro] (repeatable)")
 	var nets dirFlags
 	flag.Var(&nets, "net", "network stack directive: loop | host=PORT:HOSTADDR | allow=PATTERN (repeatable)")
+	snapFile := flag.String("snapshot", "", "checkpoint the warmed guest to this image file, then let it finish")
+	snapDelay := flag.Duration("snapshot-delay", 50*time.Millisecond, "how long to warm the guest before -snapshot checkpoints it")
+	restoreFile := flag.String("restore", "", "restore a guest from an image file instead of running a .wasm binary")
 	flag.Parse()
 
 	col := gowali.NewCollector()
@@ -73,8 +77,12 @@ func main() {
 
 	var status int32
 	switch {
+	case *restoreFile != "":
+		status, err = restoreImage(rt, *restoreFile)
 	case *appName != "":
 		status, err = rt.RunApp(*appName, *scale)
+	case flag.NArg() > 0 && *snapFile != "":
+		status, err = runAndSnapshot(rt, flag.Arg(0), flag.Args(), *snapFile, *snapDelay)
 	case flag.NArg() > 0:
 		status, err = runFile(rt, flag.Arg(0), flag.Args())
 	default:
@@ -111,6 +119,45 @@ func runFile(rt *gowali.Runtime, path string, argv []string) (int32, error) {
 		return 127, err
 	}
 	status, runErr := rt.Run(context.Background(), m, argv, os.Environ())
+	rt.WaitAll()
+	return status, runErr
+}
+
+// runAndSnapshot spawns the guest, checkpoints it once warmed, writes the
+// image, and lets the guest run to completion.
+func runAndSnapshot(rt *gowali.Runtime, path string, argv []string, imgPath string, delay time.Duration) (int32, error) {
+	m, err := gowali.CompileFile(path)
+	if err != nil {
+		return 127, err
+	}
+	p, err := rt.Spawn(context.Background(), m, argv, os.Environ())
+	if err != nil {
+		return 127, err
+	}
+	time.Sleep(delay)
+	img, snapErr := gowali.Snapshot(p)
+	if snapErr == nil {
+		snapErr = img.WriteImageFile(imgPath)
+	}
+	status, runErr := p.Wait(context.Background())
+	rt.WaitAll()
+	if runErr == nil {
+		runErr = snapErr
+	}
+	return status, runErr
+}
+
+// restoreImage resumes a checkpointed guest from an on-disk image.
+func restoreImage(rt *gowali.Runtime, imgPath string) (int32, error) {
+	img, err := gowali.ReadImageFile(imgPath)
+	if err != nil {
+		return 127, err
+	}
+	p, err := rt.Restore(img)
+	if err != nil {
+		return 127, err
+	}
+	status, runErr := p.Wait(context.Background())
 	rt.WaitAll()
 	return status, runErr
 }

@@ -1,0 +1,194 @@
+// Snapshot: checkpoint a warmed guest into an image, restore it on a
+// fresh runtime — in microseconds, skipping the guest's warm-up — and
+// fork a small fleet from the same image, all sharing memory
+// copy-on-write. The guest is self-verifying: after its service rounds
+// it re-checksums the working set it warmed before the checkpoint and
+// prints "snapshot state intact" only if the state survived.
+//
+//	go run ./examples/snapshot                   # in-process demo
+//	go run ./examples/snapshot -emit guest.wasm  # emit the guest binary
+//
+// The emitted binary pairs with wali-run's checkpoint flags:
+//
+//	wali-run -snapshot g.snap -snapshot-delay 300ms guest.wasm
+//	wali-run -restore g.snap
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"gowali"
+	"gowali/wasm"
+)
+
+// Guest memory layout.
+const (
+	sumAddr   = 64      // i64: checksum of the warmed working set
+	tsBuf     = 96      // timespec {0, 100ms} for the service rounds
+	msgOK     = 256     // "snapshot state intact\n"
+	msgBad    = 512     // "working set corrupt\n"
+	warmBase  = 1 << 16 // warmed working set: pages 1-8
+	warmBytes = 8 << 16
+	warmStep  = 512
+	rounds    = 10 // 100ms service rounds before the self-check
+)
+
+var okLine = []byte("snapshot state intact\n")
+var badLine = []byte("working set corrupt\n")
+
+// checksumLoop emits: for i over the warm region { body(i); i += step }.
+func checksumLoop(f *wasm.FuncBuilder, i uint32, body func()) {
+	f.I32Const(warmBase).LocalSet(i)
+	f.Block()
+	f.Loop()
+	body()
+	f.LocalGet(i).I32Const(warmStep).Op(wasm.OpI32Add).LocalSet(i)
+	f.LocalGet(i).I32Const(warmBase + warmBytes).Op(wasm.OpI32LtU).BrIf(0)
+	f.End()
+	f.End()
+}
+
+// buildGuest assembles the self-verifying guest: warm a 512 KiB working
+// set and record its checksum, idle through the service rounds (where
+// the checkpoint lands), then re-checksum and report.
+func buildGuest() (*wasm.Module, error) {
+	b := wasm.NewBuilder("snapshot-demo")
+	sysSleep := gowali.ImportWALISyscall(b, "nanosleep")
+	sysWrite := gowali.ImportWALISyscall(b, "write")
+	sysExit := gowali.ImportWALISyscall(b, "exit_group")
+	b.Memory(16, 32, false)
+	// 100ms timespec {sec=0, nsec=1e8}.
+	b.Data(tsBuf, []byte{0, 0, 0, 0, 0, 0, 0, 0, 0x00, 0xE1, 0xF5, 0x05, 0, 0, 0, 0})
+	b.Data(msgOK, okLine)
+	b.Data(msgBad, badLine)
+
+	f := b.NewFunc(gowali.StartExport, nil, nil)
+	i := f.Local(wasm.I32)
+	sum := f.Local(wasm.I64)
+	r := f.Local(wasm.I32)
+
+	// Warm: mem[i] = i*2654435761 (a spread pattern), sum it up.
+	checksumLoop(f, i, func() {
+		f.LocalGet(i)
+		f.LocalGet(i).I32Const(-1640531527).Op(wasm.OpI32Mul) // 2654435761 as i32
+		f.Store(wasm.OpI32Store, 0)
+		f.LocalGet(sum)
+		f.LocalGet(i).Load(wasm.OpI32Load, 0).Op(wasm.OpI64ExtendI32U)
+		f.Op(wasm.OpI64Add).LocalSet(sum)
+	})
+	f.I32Const(sumAddr).LocalGet(sum).Store(wasm.OpI64Store, 0)
+
+	// Service rounds: the checkpoint interrupts one of these sleeps.
+	f.Block()
+	f.Loop()
+	f.I64Const(tsBuf).I64Const(0).Call(sysSleep).Drop()
+	f.LocalGet(r).I32Const(1).Op(wasm.OpI32Add).LocalTee(r)
+	f.I32Const(rounds).Op(wasm.OpI32LtU).BrIf(0)
+	f.End()
+	f.End()
+
+	// Re-checksum the working set and compare with the recorded sum.
+	f.I64Const(0).LocalSet(sum)
+	checksumLoop(f, i, func() {
+		f.LocalGet(sum)
+		f.LocalGet(i).Load(wasm.OpI32Load, 0).Op(wasm.OpI64ExtendI32U)
+		f.Op(wasm.OpI64Add).LocalSet(sum)
+	})
+	f.LocalGet(sum).I32Const(sumAddr).Load(wasm.OpI64Load, 0).Op(wasm.OpI64Eq)
+	f.If()
+	f.I64Const(1).I64Const(msgOK).I64Const(int64(len(okLine))).Call(sysWrite).Drop()
+	f.I64Const(0).Call(sysExit).Drop()
+	f.End()
+	f.I64Const(1).I64Const(msgBad).I64Const(int64(len(badLine))).Call(sysWrite).Drop()
+	f.I64Const(1).Call(sysExit).Drop()
+	f.Finish()
+	return b.Build()
+}
+
+func main() {
+	emit := flag.String("emit", "", "also write the guest module to this .wasm file")
+	flag.Parse()
+
+	built, err := buildGuest()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *emit != "" {
+		if err := os.WriteFile(*emit, wasm.Encode(built), 0o755); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("emitted guest binary: %s\n", *emit)
+		return
+	}
+	m, err := gowali.CompileBuilt(built)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Spawn and let the guest warm its working set.
+	rt, err := gowali.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	p, err := rt.Spawn(ctx, m, []string{"snapshot-demo"}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	time.Sleep(250 * time.Millisecond)
+
+	// 2. Checkpoint it mid-run; the original keeps going.
+	start := time.Now()
+	img, err := gowali.Snapshot(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("snapshot taken in %s\n", time.Since(start).Round(time.Microsecond))
+
+	// 3. Restore on a fresh runtime: the child picks up mid-service,
+	//    warm-up already paid.
+	rt2, err := gowali.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+	start = time.Now()
+	p2, err := rt2.Restore(img)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("restored in %s\n", time.Since(start).Round(time.Microsecond))
+
+	// 4. Fork two more children from the same image on that runtime.
+	kids, err := img.Fork(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. Everyone must finish with the working set intact.
+	if status, err := p.Wait(ctx); err != nil || status != 0 {
+		log.Fatalf("original: status=%d err=%v", status, err)
+	}
+	if status, err := p2.Wait(ctx); err != nil || status != 0 {
+		log.Fatalf("restored: status=%d err=%v", status, err)
+	}
+	for i, k := range kids {
+		if status, err := k.Wait(ctx); err != nil || status != 0 {
+			log.Fatalf("fork %d: status=%d err=%v", i, status, err)
+		}
+	}
+	rt.WaitAll()
+	rt2.WaitAll()
+
+	if !bytes.Contains(rt.ConsoleOutput(), okLine) || !bytes.Contains(rt2.ConsoleOutput(), okLine) {
+		log.Fatalf("consoles: original %q, restored %q", rt.ConsoleOutput(), rt2.ConsoleOutput())
+	}
+	fmt.Printf("original console: %s", rt.ConsoleOutput())
+	fmt.Printf("restored+forked console: %s", rt2.ConsoleOutput())
+	fmt.Println("round trip ok")
+}

@@ -1,0 +1,255 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"time"
+
+	"gowali/internal/core"
+	"gowali/internal/interp"
+	"gowali/internal/linux"
+	"gowali/internal/wasm"
+)
+
+// ---------- SnapRestore (snapshot / restore / CoW fork) ----------
+//
+// The cold-start benchmark for the snapshot subsystem: one guest is
+// spawned and warmed (it fills a 1 MiB working set, then parks in a
+// nanosleep service loop), checkpointed once, and then restored over
+// and over from the same image. Three numbers matter: restore latency
+// (the microsecond cold start the image buys over a fresh spawn),
+// fork fan-out rate (how fast one image becomes a fleet), and the
+// per-child heap cost (copy-on-write children must cost pages-dirtied,
+// not memory-size).
+
+// Snapshot-guest memory layout. The request/response words are the
+// benchmark's "serverless invocation": the harness writes a request
+// into a restored child's (still-parked) memory, resumes it, and the
+// child answers 2*req+1 and exits — proving the warmed state survived
+// the image round trip.
+const (
+	SnapReqAddr   = 64 // i64: request word; nonzero = respond and exit
+	SnapRespAddr  = 72 // i64: response word, 2*req+1
+	SnapReadyAddr = 80 // i64: set to 1 once the working set is warm
+	snapTsBuf     = 96 // timespec {0, 200µs} for the service loop
+
+	snapWarmBase  = 1 << 16 // warmed working set: pages 1..16
+	snapWarmBytes = 16 << 16
+	snapWarmStep  = 512
+)
+
+// BuildSnapGuest assembles the snapshottable guest: warm the working
+// set, publish readiness, then sleep-poll the request word forever.
+// Single-threaded, console fds only — exactly the snapshottable shape.
+func BuildSnapGuest() *wasm.Module {
+	b := wasm.NewBuilder("snapguest")
+	sys := map[string]uint32{}
+	for _, s := range []string{"nanosleep", "exit_group"} {
+		sys[s] = core.ImportSyscall(b, s)
+	}
+	b.Memory(32, 64, false)
+	// 200µs timespec {sec=0, nsec=200_000}.
+	b.Data(snapTsBuf, []byte{0, 0, 0, 0, 0, 0, 0, 0, 0x40, 0x0D, 0x03, 0, 0, 0, 0, 0})
+
+	f := b.NewFunc(core.StartExport, nil, nil)
+	i := f.Local(wasm.I32)
+
+	// Warm the working set: mem[i] = i every snapWarmStep bytes.
+	f.I32Const(snapWarmBase).LocalSet(i)
+	f.Block()
+	f.Loop()
+	f.LocalGet(i).LocalGet(i).Store(wasm.OpI32Store, 0)
+	f.LocalGet(i).I32Const(snapWarmStep).Op(wasm.OpI32Add).LocalSet(i)
+	f.LocalGet(i).I32Const(snapWarmBase + snapWarmBytes).Op(wasm.OpI32LtU).BrIf(0)
+	f.End()
+	f.End()
+	f.I32Const(SnapReadyAddr).I64Const(1).Store(wasm.OpI64Store, 0)
+
+	// Service loop: sleep until the request word goes nonzero.
+	f.Block()
+	f.Loop()
+	f.I32Const(SnapReqAddr).Load(wasm.OpI64Load, 0).I64Const(0).Op(wasm.OpI64Ne).BrIf(1)
+	f.I64Const(snapTsBuf).I64Const(0).Call(sys["nanosleep"]).Drop()
+	f.Br(0)
+	f.End()
+	f.End()
+
+	// resp = 2*req + 1, then exit 0.
+	f.I32Const(SnapRespAddr)
+	f.I32Const(SnapReqAddr).Load(wasm.OpI64Load, 0)
+	f.I64Const(2).Op(wasm.OpI64Mul).I64Const(1).Op(wasm.OpI64Add)
+	f.Store(wasm.OpI64Store, 0)
+	f.I64Const(0).Call(sys["exit_group"]).Drop()
+	f.Finish()
+	m, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// SnapRow is one snapshot/restore measurement.
+type SnapRow struct {
+	WarmTime     time.Duration // spawn → warmed (the cost a restore skips)
+	SnapshotTime time.Duration // quiesce rendezvous + capture
+	ImageBytes   int64         // serialized image size
+	MemBytes     int           // guest linear memory size
+
+	Restores    int
+	RestoreMin  time.Duration // fastest Restore() call
+	RestoreMean time.Duration // mean Restore() call
+	RoundTrip   time.Duration // mean restore → inject request → exited
+
+	ForkN            int
+	ForkWall         time.Duration // restoring ForkN children back-to-back
+	ForkPerSec       float64
+	ForkHeapPerChild int64   // measured Go heap per CoW child
+	FullCopyPerChild int64   // what a non-CoW child would cost (= MemBytes)
+	DirtyPages       float64 // mean 64 KiB pages a child dirtied before exit
+}
+
+// SnapRestore runs the snapshot benchmark: warm one guest, checkpoint
+// it, restore it iters times sequentially (latency), then fan out
+// forkN children from the image at once (rate + memory sharing).
+func SnapRestore(iters, forkN int) SnapRow {
+	if iters <= 0 {
+		iters = 50
+	}
+	if forkN <= 0 {
+		forkN = 100
+	}
+	w := core.New()
+	c, err := interp.Compile(BuildSnapGuest())
+	if err != nil {
+		panic(err)
+	}
+
+	t0 := time.Now()
+	p, err := w.SpawnCompiled(c, "snapguest", []string{"snapguest"}, nil)
+	if err != nil {
+		panic(err)
+	}
+	p.RunAsync()
+	waitSnapReady(w, p)
+	row := SnapRow{WarmTime: time.Since(t0), Restores: iters, ForkN: forkN}
+
+	t0 = time.Now()
+	img, err := w.Snapshot(p)
+	if err != nil {
+		panic(err)
+	}
+	row.SnapshotTime = time.Since(t0)
+	n, err := img.WriteTo(io.Discard)
+	if err != nil {
+		panic(err)
+	}
+	row.ImageBytes = n
+	row.MemBytes = len(img.Mem.Data)
+	row.FullCopyPerChild = int64(row.MemBytes)
+
+	// Sequential restore latency: each child gets its request injected
+	// while still parked (pre-resume writes need no synchronization),
+	// runs the few service-loop instructions, answers and exits.
+	for i := 0; i < iters; i++ {
+		t := time.Now()
+		ch, err := w.Restore(img, nil)
+		if err != nil {
+			panic(err)
+		}
+		d := time.Since(t)
+		row.RestoreMean += d
+		if i == 0 || d < row.RestoreMin {
+			row.RestoreMin = d
+		}
+		req := uint64(i + 1)
+		ch.Inst.Mem.WriteU64(SnapReqAddr, req)
+		status, runErr := ch.Resume()
+		if runErr != nil || status != 0 {
+			panic(fmt.Sprintf("snaprestore: child %d: status=%d err=%v", i, status, runErr))
+		}
+		row.RoundTrip += time.Since(t)
+		if resp, _ := ch.Inst.Mem.ReadU64(SnapRespAddr); resp != 2*req+1 {
+			panic(fmt.Sprintf("snaprestore: child %d: resp=%d want %d", i, resp, 2*req+1))
+		}
+	}
+	row.RestoreMean /= time.Duration(iters)
+	row.RoundTrip /= time.Duration(iters)
+
+	// Fork fan-out: restore forkN children back-to-back, measuring the
+	// Go heap they cost while all alive — CoW sharing must make this
+	// pages-dirtied, not forkN full memory copies.
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	t0 = time.Now()
+	children := make([]*core.Process, forkN)
+	for i := range children {
+		if children[i], err = w.Restore(img, nil); err != nil {
+			panic(err)
+		}
+	}
+	row.ForkWall = time.Since(t0)
+	row.ForkPerSec = float64(forkN) / row.ForkWall.Seconds()
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	row.ForkHeapPerChild = (int64(after.HeapAlloc) - int64(before.HeapAlloc)) / int64(forkN)
+
+	var dirty int
+	for i, ch := range children {
+		req := uint64(1000 + i)
+		ch.Inst.Mem.WriteU64(SnapReqAddr, req)
+		ch.ResumeAsync()
+	}
+	for i, ch := range children {
+		status, runErr := ch.Wait()
+		if runErr != nil || status != 0 {
+			panic(fmt.Sprintf("snaprestore: fork %d: status=%d err=%v", i, status, runErr))
+		}
+		if resp, _ := ch.Inst.Mem.ReadU64(SnapRespAddr); resp != 2*uint64(1000+i)+1 {
+			panic(fmt.Sprintf("snaprestore: fork %d: resp=%d", i, resp))
+		}
+		dirty += ch.Inst.Mem.DirtyPages()
+	}
+	row.DirtyPages = float64(dirty) / float64(forkN)
+
+	p.KP.PostSignal(linux.SIGKILL)
+	<-p.Done()
+	w.WaitAll()
+	return row
+}
+
+// waitSnapReady blocks until the guest has published readiness. The
+// first nanosleep only happens after the ready store, so the syscall
+// counter is a race-free warmth signal.
+func waitSnapReady(w *core.WALI, p *core.Process) {
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, n := w.SyscallStats(p.KP.PID); n >= 1 {
+			return
+		}
+		if time.Now().After(deadline) {
+			panic("snaprestore: guest did not warm up within 10s")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// FormatSnapRestore renders the snapshot/restore table.
+func FormatSnapRestore(r SnapRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "snapshot/restore: %d KiB memory, %d KiB image\n",
+		r.MemBytes/1024, r.ImageBytes/1024)
+	fmt.Fprintf(&b, "  warm spawn          %12s   (what a restore skips)\n", r.WarmTime.Round(time.Microsecond))
+	fmt.Fprintf(&b, "  snapshot            %12s\n", r.SnapshotTime.Round(time.Microsecond))
+	fmt.Fprintf(&b, "  restore mean        %12s   min %s over %d restores\n",
+		r.RestoreMean.Round(time.Microsecond), r.RestoreMin.Round(time.Microsecond), r.Restores)
+	fmt.Fprintf(&b, "  request round trip  %12s   (restore + serve + exit)\n", r.RoundTrip.Round(time.Microsecond))
+	fmt.Fprintf(&b, "  fork fan-out        %12.0f /s  (%d children in %s)\n",
+		r.ForkPerSec, r.ForkN, r.ForkWall.Round(time.Microsecond))
+	fmt.Fprintf(&b, "  heap per child      %12d B  vs %d B full copy (%.1f%%), %.1f pages dirtied\n",
+		r.ForkHeapPerChild, r.FullCopyPerChild,
+		100*float64(r.ForkHeapPerChild)/float64(r.FullCopyPerChild), r.DirtyPages)
+	return b.String()
+}

@@ -1,0 +1,33 @@
+package bench
+
+import "testing"
+
+// TestSnapRestore runs the snapshot harness at the full 100-way fan-out
+// and asserts the subsystem's two headline claims: restores are far
+// cheaper than warm spawns, and 100 CoW children cost a small fraction
+// of 100 full memory copies.
+func TestSnapRestore(t *testing.T) {
+	row := SnapRestore(5, 100)
+	t.Logf("\n%s", FormatSnapRestore(row))
+
+	if row.RestoreMin <= 0 || row.RestoreMean <= 0 {
+		t.Fatal("degenerate restore latency")
+	}
+	if row.RestoreMin >= row.WarmTime {
+		t.Fatalf("restore (%v) not faster than warm spawn (%v)", row.RestoreMin, row.WarmTime)
+	}
+	if row.ForkPerSec <= 0 {
+		t.Fatal("degenerate fork rate")
+	}
+	// The memory-sharing claim, measured: a CoW child must cost under a
+	// tenth of a full linear-memory copy (in practice well under 1%).
+	if row.ForkHeapPerChild*10 >= row.FullCopyPerChild {
+		t.Fatalf("fork sharing broken: %d B heap per child vs %d B full copy",
+			row.ForkHeapPerChild, row.FullCopyPerChild)
+	}
+	// Children dirty only the pages they write (request/response words
+	// share one page here).
+	if row.DirtyPages > 4 {
+		t.Fatalf("children dirtied %.1f pages each; CoW should confine writes to ~1", row.DirtyPages)
+	}
+}

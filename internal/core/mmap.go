@@ -165,9 +165,19 @@ func (p *MmapPool) Map(addr uint32, length uint32, prot, flags int32, file kerne
 	}
 
 	// Fresh anonymous contents are zero; MAP_FIXED reuse must re-zero.
-	zero(p.mem.Data[addr : addr+ln])
+	// All content writes go through the cow-aware Memory helpers so a
+	// restored guest's mmap traffic dirties pages instead of writing
+	// through the shared snapshot base.
+	p.mem.ZeroRange(addr, ln)
 	if file != nil && flags&linux.MAP_ANONYMOUS == 0 {
-		if n, errno := file.Pread(p.mem.Data[addr:addr+ln], offset); errno != 0 && n == 0 {
+		if p.mem.CowActive() {
+			buf := make([]byte, ln)
+			n, errno := file.Pread(buf, offset)
+			if errno != 0 && n == 0 {
+				return 0, errno
+			}
+			p.mem.WriteBytes(addr, buf[:n])
+		} else if n, errno := file.Pread(p.mem.Data[addr:addr+ln], offset); errno != 0 && n == 0 {
 			return 0, errno
 		}
 	}
@@ -222,6 +232,12 @@ func (p *MmapPool) syncRegionLocked(r *Region) {
 	if end > uint64(len(p.mem.Data)) {
 		return
 	}
+	if p.mem.CowActive() {
+		buf := make([]byte, r.Len)
+		p.mem.ReadBytes(r.Addr, buf)
+		r.File.Pwrite(buf, r.Offset)
+		return
+	}
 	r.File.Pwrite(p.mem.Data[r.Addr:end], r.Offset)
 }
 
@@ -267,7 +283,7 @@ func (p *MmapPool) Remap(oldAddr, oldLen, newLen uint32, flags int32) (uint32, l
 		if errno := p.ensureMemory(oldAddr + newSz); errno != 0 {
 			return 0, errno
 		}
-		zero(p.mem.Data[oldAddr+oldSz : oldAddr+newSz])
+		p.mem.ZeroRange(oldAddr+oldSz, newSz-oldSz)
 		reg.Len = newSz
 		return oldAddr, 0
 	}
@@ -282,8 +298,8 @@ func (p *MmapPool) Remap(oldAddr, oldLen, newLen uint32, flags int32) (uint32, l
 	if errno := p.ensureMemory(newAddr + newSz); errno != 0 {
 		return 0, errno
 	}
-	zero(p.mem.Data[newAddr : newAddr+newSz])
-	copy(p.mem.Data[newAddr:], p.mem.Data[oldAddr:oldAddr+oldSz])
+	p.mem.ZeroRange(newAddr+oldSz, newSz-oldSz)
+	p.mem.CopyRange(newAddr, oldAddr, oldSz)
 	moved := *reg
 	moved.Addr = newAddr
 	moved.Len = newSz
@@ -361,7 +377,7 @@ func (p *MmapPool) Brk(addr uint32) uint32 {
 		return p.brk
 	}
 	if end > p.brk {
-		zero(p.mem.Data[p.brk:end])
+		p.mem.ZeroRange(p.brk, end-p.brk)
 	}
 	p.brk = end
 	return p.brk

@@ -91,6 +91,12 @@ func (p *Process) pollSignals(e *interp.Exec) {
 	if p.KP.HasDeliverableSignal() {
 		p.DeliverPending(e)
 	}
+	// Snapshot rendezvous: a quiesce request parks this guest here, at a
+	// safepoint, where its execution state is fully observable; the
+	// snapshotter captures it and releases the park (see snapshot.go).
+	if p.KP.QuiesceRequested() {
+		p.snapParkAt(e)
+	}
 	// Time-slice preemption: when the sysmon flagged this task (quantum
 	// expired with runnable guests waiting, or a blocked guest woke
 	// needing a slot), park at this safepoint. Execution state is fully

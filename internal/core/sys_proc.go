@@ -366,7 +366,7 @@ func sysFutex(p *Process, e *interp.Exec, a []int64) int64 {
 		errno := p.W.Kernel.FutexWait(mem, addr, val, func() uint32 {
 			v, _ := mem.AtomicReadU32(addr)
 			return v
-		}, timeout, p.KP.Blocker())
+		}, timeout, p.KP)
 		return errnoRet(errno)
 	case linux.FUTEX_WAKE:
 		return int64(p.W.Kernel.FutexWake(mem, addr, int32(val)))

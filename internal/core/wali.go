@@ -96,6 +96,13 @@ type WALI struct {
 	retMu    sync.Mutex
 	retained map[int32]statTotals
 	retOrder []int32
+
+	// snapMods caches restore material by module content hash: the
+	// compiled translation plus a prototype instance whose resolved
+	// functions every restore of that module shares. Keyed by hash (not
+	// VFS inode) because images travel between engines as bytes.
+	snapModMu sync.Mutex
+	snapMods  map[[32]byte]*snapModule
 }
 
 // New creates a WALI engine extension over a freshly booted kernel.
@@ -146,6 +153,12 @@ type Process struct {
 	charge *memCharge
 
 	execReq *execRequest
+
+	// snapReq, when non-nil, is the pending snapshot rendezvous: the
+	// guest parks at its next safepoint and hands its Exec to the
+	// snapshotter (see snapshot.go).
+	snapMu  sync.Mutex
+	snapReq *snapPark
 
 	doneMu sync.Mutex
 	done   chan struct{}

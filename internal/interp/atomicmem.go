@@ -73,8 +73,13 @@ func atomicStoreLEU64(b *byte, v uint64) {
 }
 
 // sharedLoadU32 reads a u32 from memory, atomically when the memory is
-// shared and the address naturally aligned.
+// shared and the address naturally aligned. The leading cow check is the
+// copy-on-write read barrier (a cow memory is never concurrent:
+// MarkConcurrent collapses the overlay first).
 func sharedLoadU32(m *Memory, a uint64) uint32 {
+	if m.cow != nil {
+		return m.cowLoad32(a)
+	}
 	if a&3 == 0 && m.racy() {
 		return atomicLoadLEU32(&m.Data[a])
 	}
@@ -83,6 +88,10 @@ func sharedLoadU32(m *Memory, a uint64) uint32 {
 
 // sharedStoreU32 writes a u32, atomically when shared and aligned.
 func sharedStoreU32(m *Memory, a uint64, v uint32) {
+	if m.cow != nil {
+		m.cowStore32(a, v)
+		return
+	}
 	if a&3 == 0 && m.racy() {
 		atomicStoreLEU32(&m.Data[a], v)
 		return
@@ -92,6 +101,9 @@ func sharedStoreU32(m *Memory, a uint64, v uint32) {
 
 // sharedLoadU64 reads a u64, atomically when shared and aligned.
 func sharedLoadU64(m *Memory, a uint64) uint64 {
+	if m.cow != nil {
+		return m.cowLoad64(a)
+	}
 	if a&7 == 0 && m.racy() {
 		return atomicLoadLEU64(&m.Data[a])
 	}
@@ -100,6 +112,10 @@ func sharedLoadU64(m *Memory, a uint64) uint64 {
 
 // sharedStoreU64 writes a u64, atomically when shared and aligned.
 func sharedStoreU64(m *Memory, a uint64, v uint64) {
+	if m.cow != nil {
+		m.cowStore64(a, v)
+		return
+	}
 	if a&7 == 0 && m.racy() {
 		atomicStoreLEU64(&m.Data[a], v)
 		return
@@ -115,6 +131,10 @@ func (m *Memory) AtomicReadU32(addr uint32) (uint32, bool) {
 	if addr&3 != 0 || !m.InRange(addr, 4) {
 		return 0, false
 	}
+	if m.cow != nil {
+		// cow implies single-threaded: a plain overlay read is sound.
+		return m.cowLoad32(uint64(addr)), true
+	}
 	return atomicLoadLEU32(&m.Data[addr]), true
 }
 
@@ -124,6 +144,10 @@ func (m *Memory) AtomicReadU32(addr uint32) (uint32, bool) {
 func (m *Memory) AtomicWriteU32(addr uint32, v uint32) bool {
 	if addr&3 != 0 || !m.InRange(addr, 4) {
 		return false
+	}
+	if m.cow != nil {
+		m.cowStore32(uint64(addr), v)
+		return true
 	}
 	atomicStoreLEU32(&m.Data[addr], v)
 	return true

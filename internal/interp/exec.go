@@ -493,7 +493,11 @@ func (e *Exec) runIR(minFrames int) {
 				if !mem.InRange(src, ln) || !mem.InRange(dst, ln) {
 					Throw(TrapMemOutOfBounds, "memory.copy dst=%d src=%d len=%d", dst, src, ln)
 				}
-				copy(mem.Data[dst:dst+ln], mem.Data[src:src+ln])
+				if mem.cow != nil {
+					mem.cowCopyWithin(dst, src, ln)
+				} else {
+					copy(mem.Data[dst:dst+ln], mem.Data[src:src+ln])
+				}
 			case iMemFill:
 				ln := uint32(e.pop())
 				val := byte(e.pop())
@@ -502,8 +506,12 @@ func (e *Exec) runIR(minFrames int) {
 				if !mem.InRange(dst, ln) {
 					Throw(TrapMemOutOfBounds, "memory.fill dst=%d len=%d", dst, ln)
 				}
-				for i := uint32(0); i < ln; i++ {
-					mem.Data[dst+i] = val
+				if mem.cow != nil {
+					mem.cowFill(dst, val, ln)
+				} else {
+					for i := uint32(0); i < ln; i++ {
+						mem.Data[dst+i] = val
+					}
 				}
 			case iTruncSat:
 				e.execTruncSat(in.a)
@@ -824,7 +832,11 @@ func (e *Exec) runWire(minFrames int) {
 				if !mem.InRange(src, ln) || !mem.InRange(dst, ln) {
 					Throw(TrapMemOutOfBounds, "memory.copy dst=%d src=%d len=%d", dst, src, ln)
 				}
-				copy(mem.Data[dst:dst+ln], mem.Data[src:src+ln])
+				if mem.cow != nil {
+					mem.cowCopyWithin(dst, src, ln)
+				} else {
+					copy(mem.Data[dst:dst+ln], mem.Data[src:src+ln])
+				}
 			case wasm.FCMemoryFill:
 				_, n := readU32(body, pc)
 				pc += n
@@ -835,8 +847,12 @@ func (e *Exec) runWire(minFrames int) {
 				if !mem.InRange(dst, ln) {
 					Throw(TrapMemOutOfBounds, "memory.fill dst=%d len=%d", dst, ln)
 				}
-				for i := uint32(0); i < ln; i++ {
-					mem.Data[dst+i] = val
+				if mem.cow != nil {
+					mem.cowFill(dst, val, ln)
+				} else {
+					for i := uint32(0); i < ln; i++ {
+						mem.Data[dst+i] = val
+					}
 				}
 			default:
 				e.execTruncSat(sub)
@@ -886,28 +902,28 @@ func (e *Exec) execMemAccess(mem *Memory, op byte, off uint32) {
 		e.push(sharedLoadU64(mem, a))
 	case wasm.OpI32Load8S:
 		a := effAddr(mem, uint32(e.pop()), off, 1)
-		e.push(uint64(uint32(int32(int8(mem.Data[a])))))
+		e.push(uint64(uint32(int32(int8(memLoad8(mem, a))))))
 	case wasm.OpI32Load8U:
 		a := effAddr(mem, uint32(e.pop()), off, 1)
-		e.push(uint64(mem.Data[a]))
+		e.push(uint64(memLoad8(mem, a)))
 	case wasm.OpI32Load16S:
 		a := effAddr(mem, uint32(e.pop()), off, 2)
-		e.push(uint64(uint32(int32(int16(binary.LittleEndian.Uint16(mem.Data[a:]))))))
+		e.push(uint64(uint32(int32(int16(memLoad16(mem, a))))))
 	case wasm.OpI32Load16U:
 		a := effAddr(mem, uint32(e.pop()), off, 2)
-		e.push(uint64(binary.LittleEndian.Uint16(mem.Data[a:])))
+		e.push(uint64(memLoad16(mem, a)))
 	case wasm.OpI64Load8S:
 		a := effAddr(mem, uint32(e.pop()), off, 1)
-		e.push(uint64(int64(int8(mem.Data[a]))))
+		e.push(uint64(int64(int8(memLoad8(mem, a)))))
 	case wasm.OpI64Load8U:
 		a := effAddr(mem, uint32(e.pop()), off, 1)
-		e.push(uint64(mem.Data[a]))
+		e.push(uint64(memLoad8(mem, a)))
 	case wasm.OpI64Load16S:
 		a := effAddr(mem, uint32(e.pop()), off, 2)
-		e.push(uint64(int64(int16(binary.LittleEndian.Uint16(mem.Data[a:])))))
+		e.push(uint64(int64(int16(memLoad16(mem, a)))))
 	case wasm.OpI64Load16U:
 		a := effAddr(mem, uint32(e.pop()), off, 2)
-		e.push(uint64(binary.LittleEndian.Uint16(mem.Data[a:])))
+		e.push(uint64(memLoad16(mem, a)))
 	case wasm.OpI64Load32S:
 		a := effAddr(mem, uint32(e.pop()), off, 4)
 		e.push(uint64(int64(int32(sharedLoadU32(mem, a)))))
@@ -933,11 +949,11 @@ func (e *Exec) execMemAccess(mem *Memory, op byte, off uint32) {
 	case wasm.OpI32Store8, wasm.OpI64Store8:
 		v := byte(e.pop())
 		a := effAddr(mem, uint32(e.pop()), off, 1)
-		mem.Data[a] = v
+		memStore8(mem, a, v)
 	case wasm.OpI32Store16, wasm.OpI64Store16:
 		v := uint16(e.pop())
 		a := effAddr(mem, uint32(e.pop()), off, 2)
-		binary.LittleEndian.PutUint16(mem.Data[a:], v)
+		memStore16(mem, a, v)
 	case wasm.OpI64Store32:
 		v := uint32(e.pop())
 		a := effAddr(mem, uint32(e.pop()), off, 4)

@@ -1,0 +1,136 @@
+package interp
+
+import (
+	"fmt"
+)
+
+// Serializable execution state. A snapshot captures an Exec parked at a
+// safepoint — pc always points at the next instruction to execute (the
+// frame invariant fork relies on), so the captured (value stack, frame
+// stack) pair resumes cleanly via Resume() in a fresh Exec over a
+// rehydrated instance. Function references serialize as indices into the
+// module's function index space; the restoring side rebuilds the
+// *resolvedFunc pointers against its own (cache-shared) instance.
+
+// LabelState is one control label of a frame.
+type LabelState struct {
+	Cont   int32
+	Height int32
+	Carry  int32
+	IsLoop bool
+}
+
+// FrameState is one activation record.
+type FrameState struct {
+	Fn     uint32 // function index-space index
+	Base   int32  // locals base in the value stack
+	PC     int64
+	Labels []LabelState
+}
+
+// ExecState is the serializable resume state of one guest thread.
+type ExecState struct {
+	Stack  []uint64
+	Frames []FrameState
+	Wire   bool // pc space differs between the IR and wire engines
+	Steps  uint64
+}
+
+// CaptureState snapshots the execution state. It must run on the guest's
+// own goroutine while it is parked at a safepoint (the quiesce
+// rendezvous guarantees this). Frames executing in a foreign instance
+// (cross-instance calls) are not serializable and error out.
+func (e *Exec) CaptureState() (*ExecState, error) {
+	st := &ExecState{
+		Stack:  append([]uint64(nil), e.stack...),
+		Frames: make([]FrameState, len(e.frames)),
+		Wire:   e.Wire,
+		Steps:  e.Steps,
+	}
+	for i := range e.frames {
+		f := &e.frames[i]
+		if f.inst != e.Inst {
+			return nil, fmt.Errorf("interp: frame %d executes in a foreign instance; not snapshottable", i)
+		}
+		idx, ok := funcIndexOf(e.Inst, f.fn)
+		if !ok {
+			return nil, fmt.Errorf("interp: frame %d: function not in instance index space", i)
+		}
+		fs := FrameState{Fn: idx, Base: int32(f.base), PC: int64(f.pc)}
+		if len(f.labels) > 0 {
+			fs.Labels = make([]LabelState, len(f.labels))
+			for j, l := range f.labels {
+				fs.Labels[j] = LabelState{
+					Cont:   int32(l.cont),
+					Height: int32(l.height),
+					Carry:  int32(l.carry),
+					IsLoop: l.isLoop,
+				}
+			}
+		}
+		st.Frames[i] = fs
+	}
+	return st, nil
+}
+
+// funcIndexOf maps a frame's resolved-function pointer back to its index
+// in the instance's function index space (the funcs slice is contiguous,
+// so a linear pointer scan is exact).
+func funcIndexOf(inst *Instance, fn *resolvedFunc) (uint32, bool) {
+	for i := range inst.funcs {
+		if &inst.funcs[i] == fn {
+			return uint32(i), true
+		}
+	}
+	return 0, false
+}
+
+// RestoreState rebuilds the execution state over e.Inst. The instance
+// must come from the same module (same function index space and
+// pre-decoded pc spaces) as the captured one; Wire selects the matching
+// engine.
+func (e *Exec) RestoreState(st *ExecState) error {
+	e.stack = append(e.stack[:0], st.Stack...)
+	e.frames = e.frames[:0]
+	e.Wire = st.Wire
+	e.Steps = st.Steps
+	for i, fs := range st.Frames {
+		if int(fs.Fn) >= len(e.Inst.funcs) {
+			return fmt.Errorf("interp: restore frame %d: function index %d out of range", i, fs.Fn)
+		}
+		fn := &e.Inst.funcs[fs.Fn]
+		if fn.kind != kindWasm {
+			return fmt.Errorf("interp: restore frame %d: func[%d] is a host function", i, fs.Fn)
+		}
+		f := frame{fn: fn, inst: e.Inst, base: int(fs.Base), pc: int(fs.PC)}
+		if len(fs.Labels) > 0 {
+			f.labels = make([]label, len(fs.Labels))
+			for j, ls := range fs.Labels {
+				f.labels[j] = label{
+					cont:   int(ls.Cont),
+					height: int(ls.Height),
+					carry:  int(ls.Carry),
+					isLoop: ls.IsLoop,
+				}
+			}
+		}
+		e.frames = append(e.frames, f)
+	}
+	return nil
+}
+
+// Rehydrate builds an instance for a restored process: resolved functions
+// (immutable, host-function bindings included) are shared with the proto
+// instance the module cache holds, while the mutable state — memory,
+// globals, table — comes from the image. Host functions recover their
+// per-process state through Exec.HostCtx, so sharing them across
+// processes is sound.
+func (inst *Instance) Rehydrate(mem *Memory, globals []uint64, table []int32) *Instance {
+	return &Instance{
+		Module:  inst.Module,
+		Mem:     mem,
+		Globals: append([]uint64(nil), globals...),
+		Table:   append([]int32(nil), table...),
+		funcs:   inst.funcs,
+	}
+}

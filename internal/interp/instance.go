@@ -1,7 +1,9 @@
 package interp
 
 import (
+	"crypto/sha256"
 	"fmt"
+	"sync"
 
 	"gowali/internal/wasm"
 )
@@ -124,6 +126,18 @@ type Compiled struct {
 	// funcs holds the resolved local (kindWasm) functions; import slots
 	// are resolved per-instantiation by the linker.
 	funcs []resolvedFunc
+
+	hashOnce sync.Once
+	hash     [32]byte
+}
+
+// Hash returns the content hash of the module's canonical encoding.
+// Snapshot images embed it so a restore can be matched against an
+// already-compiled module by content, independent of which file (or VFS
+// inode) the bytes came from.
+func (c *Compiled) Hash() [32]byte {
+	c.hashOnce.Do(func() { c.hash = sha256.Sum256(wasm.Encode(c.Module)) })
+	return c.hash
 }
 
 // Compile translates a validated module: side tables and pre-decoded IR

@@ -29,10 +29,22 @@ type Memory struct {
 	// Clone deliberately does not copy it (a fork child joins its own
 	// accounting).
 	Reserve func(delta int64) bool
+
+	// cow, when non-nil, makes this a copy-on-write view over a frozen
+	// shared base image (see memory_cow.go). Data aliases the base and is
+	// read-only; writes land in a per-page overlay.
+	cow *cowState
 }
 
 // MarkConcurrent records that a second thread now shares this memory.
-func (m *Memory) MarkConcurrent() { m.concurrent.Store(true) }
+// A copy-on-write overlay collapses first: the atomic shared-memory
+// access paths assume a single stable backing array.
+func (m *Memory) MarkConcurrent() {
+	if m.cow != nil {
+		m.mustMaterialize()
+	}
+	m.concurrent.Store(true)
+}
 
 // racy reports whether accesses to this memory may be concurrent.
 func (m *Memory) racy() bool { return m.Shared || m.concurrent.Load() }
@@ -69,6 +81,9 @@ func (m *Memory) Grow(delta uint32) int32 {
 		return -1
 	}
 	if delta > 0 {
+		if m.cow != nil && !m.Materialize() {
+			return -1
+		}
 		if m.Reserve != nil && !m.Reserve(int64(uint64(delta)*wasm.PageSize)) {
 			return -1
 		}
@@ -92,44 +107,70 @@ func (m *Memory) Bytes(addr, size uint32) ([]byte, bool) {
 	if !m.InRange(addr, size) {
 		return nil, false
 	}
+	if m.cow != nil {
+		// The caller gets a writable alias, so the window must live in
+		// private pages. Within one page that costs one materialization;
+		// a window straddling pages needs a contiguous buffer, which only
+		// the collapsed form provides.
+		end := uint64(addr) + uint64(size)
+		if size > 0 && uint64(addr)>>cowPageShift == (end-1)>>cowPageShift {
+			pg := m.materializePage(int(addr >> cowPageShift))
+			off := addr & (cowPageSize - 1)
+			return pg[off : uint64(off)+uint64(size)], true
+		}
+		if size > 0 && !m.Materialize() {
+			return nil, false
+		}
+	}
 	return m.Data[addr : uint64(addr)+uint64(size)], true
 }
 
-// ReadU32 loads a little-endian u32 at addr.
+// ReadU32 loads a little-endian u32 at addr. Reading through a
+// copy-on-write overlay does not materialize the page.
 func (m *Memory) ReadU32(addr uint32) (uint32, bool) {
-	b, ok := m.Bytes(addr, 4)
-	if !ok {
+	if !m.InRange(addr, 4) {
 		return 0, false
 	}
-	return binary.LittleEndian.Uint32(b), true
+	if m.cow != nil {
+		return m.cowLoad32(uint64(addr)), true
+	}
+	return binary.LittleEndian.Uint32(m.Data[addr:]), true
 }
 
 // ReadU64 loads a little-endian u64 at addr.
 func (m *Memory) ReadU64(addr uint32) (uint64, bool) {
-	b, ok := m.Bytes(addr, 8)
-	if !ok {
+	if !m.InRange(addr, 8) {
 		return 0, false
 	}
-	return binary.LittleEndian.Uint64(b), true
+	if m.cow != nil {
+		return m.cowLoad64(uint64(addr)), true
+	}
+	return binary.LittleEndian.Uint64(m.Data[addr:]), true
 }
 
 // WriteU32 stores a little-endian u32 at addr.
 func (m *Memory) WriteU32(addr uint32, v uint32) bool {
-	b, ok := m.Bytes(addr, 4)
-	if !ok {
+	if !m.InRange(addr, 4) {
 		return false
 	}
-	binary.LittleEndian.PutUint32(b, v)
+	if m.cow != nil {
+		m.cowStore32(uint64(addr), v)
+		return true
+	}
+	binary.LittleEndian.PutUint32(m.Data[addr:], v)
 	return true
 }
 
 // WriteU64 stores a little-endian u64 at addr.
 func (m *Memory) WriteU64(addr uint32, v uint64) bool {
-	b, ok := m.Bytes(addr, 8)
-	if !ok {
+	if !m.InRange(addr, 8) {
 		return false
 	}
-	binary.LittleEndian.PutUint64(b, v)
+	if m.cow != nil {
+		m.cowStore64(uint64(addr), v)
+		return true
+	}
+	binary.LittleEndian.PutUint64(m.Data[addr:], v)
 	return true
 }
 
@@ -140,14 +181,25 @@ func (m *Memory) ReadCString(addr uint32, maxLen uint32) (string, bool) {
 		if !m.InRange(addr+i, 1) {
 			return "", false
 		}
-		if m.Data[addr+i] == 0 {
+		if m.byteAt(addr+i) == 0 {
+			if m.cow != nil {
+				s := make([]byte, i)
+				m.cowReadInto(s, uint64(addr))
+				return string(s), true
+			}
 			return string(m.Data[addr : addr+i]), true
 		}
 	}
 	return "", false
 }
 
-// Clone returns a deep copy of the memory; used by fork.
+// Clone returns a deep copy of the memory; used by fork. A copy-on-write
+// view composes base and overlay into a plain private memory.
 func (m *Memory) Clone() *Memory {
-	return &Memory{Data: append([]byte(nil), m.Data...), MaxLen: m.MaxLen, Shared: m.Shared}
+	return &Memory{Data: m.SnapshotBytes(), MaxLen: m.MaxLen, Shared: m.Shared}
 }
+
+// Concurrent reports whether this memory is (or ever was) shared between
+// threads. Snapshot excludes multi-threaded guests: their sibling
+// threads' execution state cannot be captured from one safepoint.
+func (m *Memory) Concurrent() bool { return m.racy() }

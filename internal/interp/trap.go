@@ -27,6 +27,7 @@ const (
 	TrapStackExhausted
 	TrapUnlinked
 	TrapHost
+	TrapMemBudget
 )
 
 var trapNames = map[TrapCode]string{
@@ -41,6 +42,7 @@ var trapNames = map[TrapCode]string{
 	TrapStackExhausted:    "call stack exhausted",
 	TrapUnlinked:          "unlinked import called",
 	TrapHost:              "host trap",
+	TrapMemBudget:         "memory budget exhausted",
 }
 
 // Trap is a WebAssembly trap. Inside the interpreter it propagates by

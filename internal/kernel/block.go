@@ -96,8 +96,9 @@ func (p *Process) blockOn(queues func() []*waitq.Queue, attempt func() linux.Err
 			return errno
 		}
 		// Level-triggered, so checking after the arm is sufficient: a
-		// signal posted past this point wakes w through sig.pollQ.
-		if p.HasDeliverableSignal() {
+		// signal posted past this point wakes w through sig.pollQ, as
+		// does a snapshot quiesce request.
+		if p.HasDeliverableSignal() || p.QuiesceRequested() {
 			disarm()
 			return linux.EINTR
 		}

@@ -294,8 +294,9 @@ func (f *pipeFile) Ioctl(cmd uint32, arg []byte) (int32, linux.Errno) {
 
 type devFile struct {
 	flagHolder
-	ino *vfs.Inode
-	dev vfs.DeviceOps
+	ino  *vfs.Inode
+	dev  vfs.DeviceOps
+	path string // absolute path the device was opened by (snapshot re-open)
 }
 
 // OpenDevOn rebinds descriptor fd of p's table onto the character device
@@ -306,11 +307,11 @@ func (p *Process) OpenDevOn(fd int32, path string) linux.Errno {
 	if errno != 0 || r.Node == nil || r.Node.Device() == nil {
 		return linux.ENOENT
 	}
-	return p.FDs.Set(fd, newDevFile(r.Node, linux.O_RDWR), false)
+	return p.FDs.Set(fd, newDevFile(r.Node, path, linux.O_RDWR), false)
 }
 
-func newDevFile(ino *vfs.Inode, flags int32) *devFile {
-	f := &devFile{ino: ino, dev: ino.Device()}
+func newDevFile(ino *vfs.Inode, path string, flags int32) *devFile {
+	f := &devFile{ino: ino, dev: ino.Device(), path: path}
 	f.flags = flags
 	return f
 }

@@ -94,7 +94,7 @@ func (p *Process) OpenAt(dirfd int32, path string, flags int32, mode uint32) (in
 			// device file seen through a hostfs mount).
 			return -1, linux.ENXIO
 		}
-		file = newDevFile(ino, flags)
+		file = newDevFile(ino, fullPath, flags)
 	case linux.S_IFIFO:
 		// Opening a FIFO: read end or write end by access mode.
 		pipe := ino.Pipe()

@@ -3,8 +3,10 @@ package kernel
 import (
 	"hash/maphash"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"gowali/internal/kernel/waitq"
 	"gowali/internal/linux"
 )
 
@@ -16,7 +18,13 @@ import (
 // The table is sharded: each key hashes to one of futexShardCount
 // buckets with an independent lock, so guests parked on unrelated words
 // — or hammering wake/wait fast paths — never contend on a kernel-wide
-// futex lock. Waiter conditions are built on the owning shard's mutex.
+// futex lock.
+//
+// Waiters park on a wait queue, the same substrate as poll and blockOn,
+// registered simultaneously on the calling process's signal pollQ — so a
+// parked futex_wait is interruptible: a posted fatal signal (SIGKILL,
+// budget-overrun sweep) or a snapshot quiesce request turns the park
+// into EINTR, as Linux does, instead of a sleep only a waker can end.
 
 type futexKey struct {
 	space any
@@ -41,7 +49,7 @@ func (k *Kernel) shardFor(key futexKey) *futexShard {
 }
 
 type futexQueue struct {
-	cond    *sync.Cond
+	q       waitq.Queue
 	waiters int
 	seq     uint64 // bumped on every wake to let waiters detect wakeups
 }
@@ -52,14 +60,15 @@ type futexQueue struct {
 // Memory.AtomicReadU32): it races by design with waker threads' stores to
 // the futex word, and an atomic pairing is what makes the protocol sound
 // under the Go memory model. timeout nil means wait forever. Returns
-// EAGAIN when the value already changed, ETIMEDOUT on timeout.
+// EAGAIN when the value already changed, ETIMEDOUT on timeout, EINTR when
+// a deliverable signal or a quiesce request interrupts the wait.
 //
-// blk (nil ok) is the caller's scheduler hook: the run slot is released
-// only past the EAGAIN fast path — after this waiter is registered and
-// the wake sequence snapshotted, so dropping and retaking the shard lock
-// around BeginBlock cannot lose a wakeup (a wake in the window bumps
-// q.seq and the wait loop falls through).
-func (k *Kernel) FutexWait(space any, addr uint32, val uint32, load func() uint32, timeout *linux.Timespec, blk Blocker) linux.Errno {
+// p (nil ok for kernel-internal waits) supplies signal interruption and
+// the scheduler hook: the park is bracketed by BeginBlock/EndBlock so a
+// scheduled guest releases its run slot, and the waiter is armed on the
+// signal pollQ with the same arm → re-check → sleep protocol as blockOn,
+// so no wakeup — futex, signal or quiesce — can be lost.
+func (k *Kernel) FutexWait(space any, addr uint32, val uint32, load func() uint32, timeout *linux.Timespec, p *Process) linux.Errno {
 	key := futexKey{space, addr}
 	sh := k.shardFor(key)
 	sh.mu.Lock()
@@ -68,7 +77,7 @@ func (k *Kernel) FutexWait(space any, addr uint32, val uint32, load func() uint3
 		if sh.m == nil {
 			sh.m = make(map[futexKey]*futexQueue)
 		}
-		q = &futexQueue{cond: sync.NewCond(&sh.mu)}
+		q = &futexQueue{}
 		sh.m[key] = q
 	}
 	if load() != val {
@@ -80,44 +89,65 @@ func (k *Kernel) FutexWait(space any, addr uint32, val uint32, load func() uint3
 	}
 	q.waiters++
 	start := q.seq
-	if blk != nil {
-		sh.mu.Unlock()
-		blk.BeginBlock()
+	sh.mu.Unlock()
+
+	w := waitq.NewWaiter()
+	q.q.Add(w)
+	if p != nil {
+		p.sig.pollQ.Add(w)
+	}
+	defer func() {
+		if p != nil {
+			p.sig.pollQ.Remove(w)
+		}
+		q.q.Remove(w)
 		sh.mu.Lock()
+		q.waiters--
+		if q.waiters == 0 {
+			delete(sh.m, key)
+		}
+		sh.mu.Unlock()
+	}()
+
+	var timedOut atomic.Bool
+	if timeout != nil {
+		timer := time.AfterFunc(time.Duration(timeout.Nanos()), func() {
+			timedOut.Store(true)
+			// Over-waking the word's other waiters is indistinguishable
+			// from the spurious wakeups futex semantics permit.
+			q.q.Wake()
+		})
+		defer timer.Stop()
 	}
 
-	var timedOut bool
-	var timer *time.Timer
-	if timeout != nil {
-		d := time.Duration(timeout.Nanos())
-		timer = time.AfterFunc(d, func() {
-			sh.mu.Lock()
-			timedOut = true
-			sh.mu.Unlock()
-			q.cond.Broadcast()
-		})
+	blocked := false
+	defer func() {
+		if blocked && p != nil {
+			p.EndBlock()
+		}
+	}()
+	for {
+		// Clear-then-check: any wake landing after the Clear parks on
+		// w.C; wakes before it are visible in the state checked below.
+		w.Clear()
+		sh.mu.Lock()
+		woken := q.seq != start
+		sh.mu.Unlock()
+		if woken {
+			return 0
+		}
+		if timedOut.Load() {
+			return linux.ETIMEDOUT
+		}
+		if p != nil && (p.HasDeliverableSignal() || p.QuiesceRequested()) {
+			return linux.EINTR
+		}
+		if p != nil && !blocked {
+			blocked = true
+			p.BeginBlock()
+		}
+		<-w.C
 	}
-	for q.seq == start && !timedOut {
-		q.cond.Wait()
-	}
-	q.waiters--
-	if q.waiters == 0 {
-		delete(sh.m, key)
-	}
-	// Snapshot under sh.mu: the timer callback writes timedOut under the
-	// same lock and may still be running after Stop returns.
-	expired := timedOut
-	sh.mu.Unlock()
-	if timer != nil {
-		timer.Stop()
-	}
-	if blk != nil {
-		blk.EndBlock()
-	}
-	if expired {
-		return linux.ETIMEDOUT
-	}
-	return 0
 }
 
 // FutexWake wakes up to n waiters on (space, addr), returning the number
@@ -138,6 +168,6 @@ func (k *Kernel) FutexWake(space any, addr uint32, n int32) int32 {
 	}
 	q.seq++
 	sh.mu.Unlock()
-	q.cond.Broadcast()
+	q.q.Wake()
 	return woken
 }

@@ -120,6 +120,10 @@ type Process struct {
 	// Set once before the task's goroutine runs; see SetBlocker.
 	blocker Blocker
 
+	// quiesce is the snapshot rendezvous flag (see quiesce.go): checked
+	// at safepoints and at every interruptible blocking site.
+	quiesce atomic.Bool
+
 	// Wait condition: Wait4 blocks here instead of on a kernel-wide
 	// cond, so one exit wakes only the parent (and signal posts wake
 	// only their targets). waitGen is a generation counter bumped by
@@ -183,7 +187,7 @@ func (k *Kernel) NewProcess(comm string, argv, envp []string) *Process {
 	if errno == 0 && r.Node != nil {
 		for fd := int32(0); fd < 3; fd++ {
 			flags := int32(linux.O_RDWR)
-			p.FDs.Alloc(newDevFile(r.Node, flags), false, fd)
+			p.FDs.Alloc(newDevFile(r.Node, "/dev/console", flags), false, fd)
 		}
 	}
 
@@ -433,7 +437,7 @@ func (p *Process) Wait4(pid int32, options int32) (int32, int32, linux.Rusage, l
 		}
 		// Interruptible by pending unblocked signals (EINTR) so job
 		// control works.
-		if p.HasDeliverableSignal() {
+		if p.HasDeliverableSignal() || p.QuiesceRequested() {
 			return -1, 0, linux.Rusage{}, linux.EINTR
 		}
 		// Block until this task is notified: its children change state or
@@ -447,7 +451,7 @@ func (p *Process) Wait4(pid int32, options int32) (int32, int32, linux.Rusage, l
 			p.waitMu.Unlock()
 			p.BeginBlock()
 			p.waitMu.Lock()
-			for p.waitGen == gen {
+			for p.waitGen == gen && !p.quiesce.Load() {
 				p.waitCond.Wait()
 			}
 			p.waitMu.Unlock()

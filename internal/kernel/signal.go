@@ -352,7 +352,7 @@ func (p *Process) waitDeliverable() {
 	s := p.sig
 	blocked := false
 	s.mu.Lock()
-	for !p.hasDeliverableLocked(s) {
+	for !p.hasDeliverableLocked(s) && !p.quiesce.Load() {
 		if !blocked {
 			s.mu.Unlock()
 			blocked = true
@@ -424,6 +424,11 @@ func (p *Process) SigTimedWait(set uint64, timeout *linux.Timespec) (int32, linu
 		}
 		p.mu.Unlock()
 
+		if p.quiesce.Load() {
+			s.mu.Unlock()
+			endBlock()
+			return -1, linux.EINTR
+		}
 		if timeout != nil {
 			if !time.Now().Before(deadline) {
 				s.mu.Unlock()

@@ -1,0 +1,391 @@
+package snap
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"gowali/internal/interp"
+	"gowali/internal/linux"
+)
+
+// Binary codec. Layout: magic, u32 version, then the image fields in
+// declaration order, all little-endian with u32 length prefixes for
+// variable-size data, and a trailing CRC32 of everything after the
+// magic. The format is versioned, not self-describing: Version gates
+// compatibility and any layout change bumps it.
+
+const maxSliceLen = 1 << 31 // decode hard cap against corrupt lengths
+
+type writer struct {
+	w   *bufio.Writer
+	crc uint32
+	n   int64
+	err error
+}
+
+func (w *writer) write(b []byte) {
+	if w.err != nil {
+		return
+	}
+	n, err := w.w.Write(b)
+	w.n += int64(n)
+	w.crc = crc32.Update(w.crc, crc32.IEEETable, b[:n])
+	w.err = err
+}
+
+func (w *writer) u8(v byte)    { w.write([]byte{v}) }
+func (w *writer) u32(v uint32) { var b [4]byte; binary.LittleEndian.PutUint32(b[:], v); w.write(b[:]) }
+func (w *writer) u64(v uint64) { var b [8]byte; binary.LittleEndian.PutUint64(b[:], v); w.write(b[:]) }
+func (w *writer) i32(v int32)  { w.u32(uint32(v)) }
+func (w *writer) i64(v int64)  { w.u64(uint64(v)) }
+func (w *writer) bool(v bool) {
+	if v {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+func (w *writer) bytes(b []byte) { w.u32(uint32(len(b))); w.write(b) }
+func (w *writer) str(s string)   { w.bytes([]byte(s)) }
+func (w *writer) strs(s []string) {
+	w.u32(uint32(len(s)))
+	for _, v := range s {
+		w.str(v)
+	}
+}
+
+type reader struct {
+	r   *bufio.Reader
+	crc uint32
+	n   int64
+	err error
+}
+
+func (r *reader) read(b []byte) {
+	if r.err != nil {
+		return
+	}
+	n, err := io.ReadFull(r.r, b)
+	r.n += int64(n)
+	r.crc = crc32.Update(r.crc, crc32.IEEETable, b[:n])
+	if err != nil {
+		r.err = fmt.Errorf("snap: truncated image: %w", err)
+	}
+}
+
+func (r *reader) u8() byte    { var b [1]byte; r.read(b[:]); return b[0] }
+func (r *reader) u32() uint32 { var b [4]byte; r.read(b[:]); return binary.LittleEndian.Uint32(b[:]) }
+func (r *reader) u64() uint64 { var b [8]byte; r.read(b[:]); return binary.LittleEndian.Uint64(b[:]) }
+func (r *reader) i32() int32  { return int32(r.u32()) }
+func (r *reader) i64() int64  { return int64(r.u64()) }
+func (r *reader) boolv() bool { return r.u8() != 0 }
+func (r *reader) count() int {
+	n := r.u32()
+	if r.err == nil && uint64(n) > maxSliceLen {
+		r.err = fmt.Errorf("snap: corrupt length %d", n)
+		return 0
+	}
+	return int(n)
+}
+func (r *reader) bytes() []byte {
+	n := r.count()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	b := make([]byte, n)
+	r.read(b)
+	return b
+}
+func (r *reader) str() string { return string(r.bytes()) }
+func (r *reader) strs() []string {
+	n := r.count()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = r.str()
+	}
+	return out
+}
+
+// WriteTo serializes the image. Implements io.WriterTo.
+func (img *Image) WriteTo(out io.Writer) (int64, error) {
+	if err := img.Validate(); err != nil {
+		return 0, err
+	}
+	w := &writer{w: bufio.NewWriter(out)}
+	w.write([]byte(Magic))
+	w.crc = 0 // CRC covers everything after the magic
+	w.u32(Version)
+
+	w.bytes(img.Module)
+	w.write(img.Hash[:])
+
+	w.bytes(img.Mem.Data)
+	w.u64(img.Mem.MaxLen)
+	w.bool(img.Mem.Shared)
+
+	// Exec state.
+	w.u32(uint32(len(img.Exec.Stack)))
+	for _, v := range img.Exec.Stack {
+		w.u64(v)
+	}
+	w.u32(uint32(len(img.Exec.Frames)))
+	for _, f := range img.Exec.Frames {
+		w.u32(f.Fn)
+		w.i32(f.Base)
+		w.i64(f.PC)
+		w.u32(uint32(len(f.Labels)))
+		for _, l := range f.Labels {
+			w.i32(l.Cont)
+			w.i32(l.Height)
+			w.i32(l.Carry)
+			w.bool(l.IsLoop)
+		}
+	}
+	w.bool(img.Exec.Wire)
+	w.u64(img.Exec.Steps)
+
+	w.u32(uint32(len(img.Globals)))
+	for _, v := range img.Globals {
+		w.u64(v)
+	}
+	w.u32(uint32(len(img.Table)))
+	for _, v := range img.Table {
+		w.i32(v)
+	}
+
+	// Kernel state.
+	k := &img.Kernel
+	w.str(k.Comm)
+	w.strs(k.Argv)
+	w.strs(k.Envp)
+	w.str(k.Cwd)
+	w.u32(k.Umask)
+	w.u64(k.SigMask)
+	w.u32(k.ClearTID)
+	w.u32(uint32(len(k.Actions)))
+	for _, a := range k.Actions {
+		w.u64(a.Handler)
+		w.u64(a.Flags)
+		w.u64(a.Mask)
+		w.u64(a.Restorer)
+	}
+	w.u32(uint32(len(k.FDs)))
+	for _, f := range k.FDs {
+		w.i32(f.FD)
+		w.i32(f.Kind)
+		w.str(f.Path)
+		w.i32(f.Flags)
+		w.i64(f.Pos)
+		w.bool(f.Cloexec)
+	}
+	w.u32(uint32(len(k.Limits)))
+	for _, l := range k.Limits {
+		w.i32(l.Resource)
+		w.u64(l.Cur)
+		w.u64(l.Max)
+	}
+
+	// Mmap layout.
+	w.u32(img.Mmap.Base)
+	w.u32(img.Mmap.Brk)
+	w.u32(img.Mmap.Bump)
+	w.u32(img.Mmap.BumpTop)
+	w.u32(uint32(len(img.Mmap.Regions)))
+	for _, rg := range img.Mmap.Regions {
+		w.u32(rg.Addr)
+		w.u32(rg.Len)
+		w.i32(rg.Prot)
+		w.i32(rg.Flags)
+		w.i64(rg.Offset)
+		w.str(rg.Path)
+		w.i32(rg.FileFlags)
+	}
+
+	// Engine sigtable.
+	w.u32(uint32(len(img.Sig.Entries)))
+	for _, e := range img.Sig.Entries {
+		w.u32(e.TableIdx)
+		w.i32(e.FuncIdx)
+		w.u32(e.Flags)
+		w.u64(e.Mask)
+	}
+	w.bool(img.Sig.Active)
+
+	// Overlay upper layers.
+	w.u32(uint32(len(img.Overlays)))
+	for _, ov := range img.Overlays {
+		w.str(ov.Mount)
+		w.u32(uint32(len(ov.Files)))
+		for _, f := range ov.Files {
+			w.str(f.Path)
+			w.u32(f.Mode)
+			w.bool(f.IsDir)
+			w.str(f.Symlink)
+			w.bytes(f.Data)
+		}
+		w.strs(ov.Whiteouts)
+		w.strs(ov.Opaque)
+	}
+
+	sum := w.crc
+	w.u32(sum)
+	if w.err == nil {
+		w.err = w.w.Flush()
+	}
+	return w.n, w.err
+}
+
+// ReadFrom deserializes an image written by WriteTo, verifying magic,
+// version and checksum. Implements io.ReaderFrom.
+func (img *Image) ReadFrom(in io.Reader) (int64, error) {
+	r := &reader{r: bufio.NewReader(in)}
+	magic := make([]byte, len(Magic))
+	r.read(magic)
+	if r.err != nil {
+		return r.n, r.err
+	}
+	if string(magic) != Magic {
+		return r.n, fmt.Errorf("snap: bad magic (not a snapshot image)")
+	}
+	r.crc = 0
+	if v := r.u32(); r.err == nil && v != Version {
+		return r.n, fmt.Errorf("snap: image version %d, this build reads %d", v, Version)
+	}
+
+	img.Module = r.bytes()
+	r.read(img.Hash[:])
+
+	img.Mem.Data = r.bytes()
+	img.Mem.MaxLen = r.u64()
+	img.Mem.Shared = r.boolv()
+
+	if n := r.count(); r.err == nil {
+		img.Exec.Stack = make([]uint64, n)
+		for i := range img.Exec.Stack {
+			img.Exec.Stack[i] = r.u64()
+		}
+	}
+	if n := r.count(); r.err == nil {
+		img.Exec.Frames = make([]interp.FrameState, n)
+		for i := range img.Exec.Frames {
+			f := &img.Exec.Frames[i]
+			f.Fn = r.u32()
+			f.Base = r.i32()
+			f.PC = r.i64()
+			if ln := r.count(); r.err == nil && ln > 0 {
+				f.Labels = make([]interp.LabelState, ln)
+				for j := range f.Labels {
+					f.Labels[j] = interp.LabelState{
+						Cont: r.i32(), Height: r.i32(), Carry: r.i32(), IsLoop: r.boolv(),
+					}
+				}
+			}
+		}
+	}
+	img.Exec.Wire = r.boolv()
+	img.Exec.Steps = r.u64()
+
+	if n := r.count(); r.err == nil {
+		img.Globals = make([]uint64, n)
+		for i := range img.Globals {
+			img.Globals[i] = r.u64()
+		}
+	}
+	if n := r.count(); r.err == nil {
+		img.Table = make([]int32, n)
+		for i := range img.Table {
+			img.Table[i] = r.i32()
+		}
+	}
+
+	k := &img.Kernel
+	k.Comm = r.str()
+	k.Argv = r.strs()
+	k.Envp = r.strs()
+	k.Cwd = r.str()
+	k.Umask = r.u32()
+	k.SigMask = r.u64()
+	k.ClearTID = r.u32()
+	if n := r.count(); r.err == nil {
+		k.Actions = make([]linux.Sigaction, n)
+		for i := range k.Actions {
+			k.Actions[i] = linux.Sigaction{
+				Handler: r.u64(), Flags: r.u64(), Mask: r.u64(), Restorer: r.u64(),
+			}
+		}
+	}
+	if n := r.count(); r.err == nil {
+		k.FDs = make([]FDImage, n)
+		for i := range k.FDs {
+			k.FDs[i] = FDImage{
+				FD: r.i32(), Kind: r.i32(), Path: r.str(),
+				Flags: r.i32(), Pos: r.i64(), Cloexec: r.boolv(),
+			}
+		}
+	}
+	if n := r.count(); r.err == nil {
+		k.Limits = make([]LimitImage, n)
+		for i := range k.Limits {
+			k.Limits[i] = LimitImage{Resource: r.i32(), Cur: r.u64(), Max: r.u64()}
+		}
+	}
+
+	img.Mmap.Base = r.u32()
+	img.Mmap.Brk = r.u32()
+	img.Mmap.Bump = r.u32()
+	img.Mmap.BumpTop = r.u32()
+	if n := r.count(); r.err == nil {
+		img.Mmap.Regions = make([]RegionImage, n)
+		for i := range img.Mmap.Regions {
+			img.Mmap.Regions[i] = RegionImage{
+				Addr: r.u32(), Len: r.u32(), Prot: r.i32(), Flags: r.i32(),
+				Offset: r.i64(), Path: r.str(), FileFlags: r.i32(),
+			}
+		}
+	}
+
+	if n := r.count(); r.err == nil {
+		img.Sig.Entries = make([]SigEntryImage, n)
+		for i := range img.Sig.Entries {
+			img.Sig.Entries[i] = SigEntryImage{
+				TableIdx: r.u32(), FuncIdx: r.i32(), Flags: r.u32(), Mask: r.u64(),
+			}
+		}
+	}
+	img.Sig.Active = r.boolv()
+
+	if n := r.count(); r.err == nil {
+		img.Overlays = make([]OverlayImage, n)
+		for i := range img.Overlays {
+			ov := &img.Overlays[i]
+			ov.Mount = r.str()
+			if ln := r.count(); r.err == nil {
+				ov.Files = make([]OverlayFile, ln)
+				for j := range ov.Files {
+					ov.Files[j] = OverlayFile{
+						Path: r.str(), Mode: r.u32(), IsDir: r.boolv(),
+						Symlink: r.str(), Data: r.bytes(),
+					}
+				}
+			}
+			ov.Whiteouts = r.strs()
+			ov.Opaque = r.strs()
+		}
+	}
+
+	sum := r.crc // checksum of payload, before reading the stored value
+	stored := r.u32()
+	if r.err != nil {
+		return r.n, r.err
+	}
+	if stored != sum {
+		return r.n, fmt.Errorf("snap: checksum mismatch (corrupt image)")
+	}
+	return r.n, img.Validate()
+}

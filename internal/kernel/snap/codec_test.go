@@ -1,0 +1,120 @@
+package snap
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"gowali/internal/interp"
+	"gowali/internal/linux"
+)
+
+// fullImage populates every field of an Image so the round trip covers
+// the whole codec surface.
+func fullImage() *Image {
+	mem := make([]byte, 2*65536)
+	for i := range mem {
+		mem[i] = byte(i * 7)
+	}
+	return &Image{
+		Module: []byte{0x00, 0x61, 0x73, 0x6D, 1, 0, 0, 0},
+		Hash:   [32]byte{1, 2, 3, 31: 9},
+		Mem:    MemImage{Data: mem, MaxLen: 1 << 24, Shared: false},
+		Exec: interp.ExecState{
+			Stack: []uint64{1, 2, 3},
+			Frames: []interp.FrameState{
+				{Fn: 4, Base: 0, PC: 17, Labels: []interp.LabelState{{Cont: 3, Height: 1, Carry: 1, IsLoop: true}}},
+			},
+			Wire:  true,
+			Steps: 12345,
+		},
+		Globals: []uint64{7, 8, 9},
+		Table:   []int32{-1, 4, 2},
+		Kernel: KernelImage{
+			Comm: "guest", Argv: []string{"guest", "-x"}, Envp: []string{"A=1"},
+			Cwd: "/work", Umask: 0o22, SigMask: 1 << 10, ClearTID: 4096,
+			Actions: []linux.Sigaction{{}, {Handler: 1, Mask: 2}},
+			FDs: []FDImage{
+				{FD: 0, Kind: FDDevice, Path: "/dev/console", Flags: 0},
+				{FD: 3, Kind: FDRegular, Path: "/work/log", Flags: 2, Pos: 512, Cloexec: true},
+			},
+			Limits: []LimitImage{{Resource: 7, Cur: 1024, Max: 4096}},
+		},
+		Mmap: MmapImage{
+			Base: 1 << 20, Brk: 1<<20 + 4096, Bump: 1, BumpTop: 1 << 21,
+			Regions: []RegionImage{
+				{Addr: 1 << 20, Len: 8192, Prot: 3, Flags: 2, Offset: 0},
+				{Addr: 1<<20 + 8192, Len: 4096, Prot: 1, Flags: 1, Offset: 4096, Path: "/work/lib.so", FileFlags: 0},
+			},
+		},
+		Sig: SigtableImage{
+			Entries: []SigEntryImage{{}, {TableIdx: 1, FuncIdx: 3, Flags: 4, Mask: 5}},
+			Active:  true,
+		},
+		Overlays: []OverlayImage{{
+			Mount: "/etc",
+			Files: []OverlayFile{
+				{Path: "conf", Mode: 0o755, IsDir: true},
+				{Path: "conf/app.ini", Mode: 0o644, Data: []byte("k=v\n")},
+				{Path: "conf/link", Mode: 0o777, Symlink: "app.ini"},
+			},
+			Whiteouts: []string{"hosts"},
+			Opaque:    []string{"conf.d"},
+		}},
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	img := fullImage()
+	var buf bytes.Buffer
+	n, err := img.WriteTo(&buf)
+	if err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got := &Image{}
+	rn, err := got.ReadFrom(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadFrom: %v", err)
+	}
+	if rn != n {
+		t.Fatalf("ReadFrom consumed %d bytes, image is %d", rn, n)
+	}
+	if !reflect.DeepEqual(img, got) {
+		t.Fatal("decoded image differs from the original")
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestCodecRejectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := fullImage().WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	good := buf.Bytes()
+
+	decode := func(raw []byte) error {
+		img := &Image{}
+		_, err := img.ReadFrom(bytes.NewReader(raw))
+		return err
+	}
+	// Every single-byte flip must be caught by the checksum (or an
+	// earlier structural check). Step through the image sparsely to
+	// keep the test fast but cover header, payload and trailer.
+	for _, off := range []int{0, 3, len(Magic), len(Magic) + 1, len(good) / 3, len(good) / 2, len(good) - 2} {
+		bad := append([]byte(nil), good...)
+		bad[off] ^= 0x20
+		if decode(bad) == nil {
+			t.Fatalf("flip at offset %d decoded without error", off)
+		}
+	}
+	for _, cut := range []int{0, 4, len(good) / 2, len(good) - 1} {
+		if decode(good[:cut]) == nil {
+			t.Fatalf("truncation to %d bytes decoded without error", cut)
+		}
+	}
+}

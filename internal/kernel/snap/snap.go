@@ -1,0 +1,158 @@
+// Package snap defines the checkpoint image of a running, quiesced WALI
+// guest and its versioned binary codec. An Image is pure data: the
+// module's canonical bytes (and content hash, for matching against an
+// already-compiled module cache entry), the composed linear memory, the
+// interpreter resume state captured at a safepoint, the kernel-visible
+// process state (fd table by path+offset, cwd, signal dispositions,
+// brk/mmap layout), and the overlay-filesystem upper layers. The layers
+// above (kernel, core, the facade) populate and consume it; this package
+// never touches live kernel objects, so it sits at the bottom of the
+// import graph next to interp and linux.
+package snap
+
+import (
+	"fmt"
+
+	"gowali/internal/interp"
+	"gowali/internal/linux"
+)
+
+// Version is the image format version this build writes and the only one
+// it accepts. Bump on any layout change.
+const Version = 1
+
+// Magic identifies an on-disk image.
+const Magic = "GWSNAP\x00"
+
+// FD kinds in FDImage.
+const (
+	FDRegular = iota // VFS-backed file or directory: re-open by path, seek to Pos
+	FDDevice         // character device node: re-bind by path
+)
+
+// Image is one checkpointed guest.
+type Image struct {
+	// Module is the canonical wasm encoding; Hash its content hash. A
+	// restorer first tries to match Hash against compiled modules it
+	// already holds and only decodes Module on a miss, so images stay
+	// self-contained without forcing a re-compile.
+	Module []byte
+	Hash   [32]byte
+
+	Mem     MemImage
+	Exec    interp.ExecState
+	Globals []uint64
+	Table   []int32
+
+	Kernel   KernelImage
+	Mmap     MmapImage
+	Sig      SigtableImage
+	Overlays []OverlayImage
+}
+
+// MemImage is the composed linear memory at quiesce time. Data is frozen
+// once the image is built: restores alias it as a shared copy-on-write
+// base, so one image fans out into N instances without N copies.
+type MemImage struct {
+	Data   []byte
+	MaxLen uint64
+	Shared bool
+}
+
+// KernelImage is the kernel-visible process state.
+type KernelImage struct {
+	Comm     string
+	Argv     []string
+	Envp     []string
+	Cwd      string
+	Umask    uint32
+	SigMask  uint64
+	ClearTID uint32
+	Actions  []linux.Sigaction // index = signal number, 0..NSIG
+	FDs      []FDImage
+	Limits   []LimitImage
+}
+
+// FDImage is one open descriptor, re-openable by path.
+type FDImage struct {
+	FD      int32
+	Kind    int32 // FDRegular | FDDevice
+	Path    string
+	Flags   int32
+	Pos     int64
+	Cloexec bool
+}
+
+// LimitImage is one prlimit64 entry.
+type LimitImage struct {
+	Resource int32
+	Cur, Max uint64
+}
+
+// MmapImage is the address-space layout the mmap pool manages.
+type MmapImage struct {
+	Base    uint32
+	Brk     uint32
+	Bump    uint32
+	BumpTop uint32
+	Regions []RegionImage
+}
+
+// RegionImage is one mapped region. File-backed regions record the
+// backing path and reattach on restore; the page contents themselves
+// live in MemImage.
+type RegionImage struct {
+	Addr, Len uint32
+	Prot      int32
+	Flags     int32
+	Offset    int64
+	Path      string // "" = anonymous
+	FileFlags int32  // open flags for re-opening Path
+}
+
+// SigtableImage is the engine-level signal dispatch table (wasm handler
+// function indices per signal), separate from the kernel Sigaction set.
+type SigtableImage struct {
+	Entries []SigEntryImage // index = signal number, 0..NSIG
+	Active  bool
+}
+
+// SigEntryImage mirrors one engine sigtable slot.
+type SigEntryImage struct {
+	TableIdx uint32
+	FuncIdx  int32
+	Flags    uint32
+	Mask     uint64
+}
+
+// OverlayImage is the captured upper layer of one overlay mount: the
+// per-instance FS delta the whiteout machinery isolates.
+type OverlayImage struct {
+	Mount     string // mountpoint path in the guest namespace
+	Files     []OverlayFile
+	Whiteouts []string
+	Opaque    []string
+}
+
+// OverlayFile is one upper-layer node.
+type OverlayFile struct {
+	Path    string // relative to the mount root, "a/b/c"
+	Mode    uint32
+	IsDir   bool
+	Symlink string // target when non-empty
+	Data    []byte
+}
+
+// Validate performs structural sanity checks shared by every consumer.
+func (img *Image) Validate() error {
+	if len(img.Mem.Data)%65536 != 0 {
+		return fmt.Errorf("snap: memory size %d not page-aligned", len(img.Mem.Data))
+	}
+	if len(img.Module) == 0 {
+		return fmt.Errorf("snap: empty module")
+	}
+	if len(img.Kernel.Actions) > linux.NSIG+1 || len(img.Sig.Entries) > linux.NSIG+1 {
+		return fmt.Errorf("snap: oversized signal tables")
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+package vfs
+
+import (
+	"fmt"
+	"sort"
+
+	"gowali/internal/kernel/snap"
+	"gowali/internal/linux"
+)
+
+// Snapshot support: an overlay's upper layer IS the guest's filesystem
+// delta — everything it created or modified over the shared lower image —
+// so checkpointing the filesystem reduces to serializing the upper layer
+// plus the whiteout/opacity masks, and restoring to replaying them into a
+// fresh overlay over the same lower backend.
+
+// Delta captures the upper layer and deletion masks. The walk reads
+// through the upper backend directly, so lower-layer content (shared,
+// immutable, re-mountable by the restorer) is never duplicated into the
+// image.
+func (o *OverlayFS) Delta() (*snap.OverlayImage, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	img := &snap.OverlayImage{}
+	for p := range o.wh {
+		img.Whiteouts = append(img.Whiteouts, p)
+	}
+	for p := range o.opaque {
+		img.Opaque = append(img.Opaque, p)
+	}
+	sort.Strings(img.Whiteouts)
+	sort.Strings(img.Opaque)
+	if err := o.deltaWalk(img, ""); err != nil {
+		return nil, err
+	}
+	return img, nil
+}
+
+// deltaWalk appends rel's upper subtree (parents before children, so
+// replay can create in order). Caller holds o.mu.
+func (o *OverlayFS) deltaWalk(img *snap.OverlayImage, rel string) error {
+	ents, errno := o.upper.ReadDir(rel)
+	if errno != 0 {
+		if errno == linux.ENOENT && rel == "" {
+			return nil // pristine upper layer
+		}
+		return fmt.Errorf("overlay delta: readdir %q: errno %d", rel, errno)
+	}
+	sort.Slice(ents, func(i, j int) bool { return ents[i].Name < ents[j].Name })
+	for _, e := range ents {
+		p := joinRel(rel, e.Name)
+		info, errno := o.upper.Stat(p)
+		if errno != 0 {
+			return fmt.Errorf("overlay delta: stat %q: errno %d", p, errno)
+		}
+		f := snap.OverlayFile{Path: p, Mode: info.Mode & 0o7777}
+		switch info.Mode & linux.S_IFMT {
+		case linux.S_IFDIR:
+			f.IsDir = true
+			img.Files = append(img.Files, f)
+			if err := o.deltaWalk(img, p); err != nil {
+				return err
+			}
+			continue
+		case linux.S_IFLNK:
+			sb, ok := o.upper.(SymlinkBackend)
+			if !ok {
+				return fmt.Errorf("overlay delta: %q: symlink on non-symlink backend", p)
+			}
+			t, errno := sb.Readlink(p)
+			if errno != 0 {
+				return fmt.Errorf("overlay delta: readlink %q: errno %d", p, errno)
+			}
+			f.Symlink = t
+		case linux.S_IFREG:
+			f.Data = make([]byte, info.Size)
+			if info.Size > 0 {
+				n, errno := o.upper.ReadAt(p, f.Data, 0)
+				if errno != 0 {
+					return fmt.Errorf("overlay delta: read %q: errno %d", p, errno)
+				}
+				f.Data = f.Data[:n]
+			}
+		default:
+			return fmt.Errorf("overlay delta: %q: unsupported type %#o", p, info.Mode&linux.S_IFMT)
+		}
+		img.Files = append(img.Files, f)
+	}
+	return nil
+}
+
+// ApplyDelta replays a captured delta into this overlay's (fresh) upper
+// layer and installs the deletion masks. The overlay must be stacked over
+// the same lower image the delta was captured against.
+func (o *OverlayFS) ApplyDelta(img *snap.OverlayImage) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for _, f := range img.Files {
+		switch {
+		case f.IsDir:
+			if errno := o.upper.Mkdir(f.Path, f.Mode); errno != 0 && errno != linux.EEXIST {
+				return fmt.Errorf("overlay restore: mkdir %q: errno %d", f.Path, errno)
+			}
+		case f.Symlink != "":
+			sb, ok := o.upper.(SymlinkBackend)
+			if !ok {
+				return fmt.Errorf("overlay restore: %q: upper layer lacks symlinks", f.Path)
+			}
+			if errno := sb.Symlink(f.Path, f.Symlink); errno != 0 {
+				return fmt.Errorf("overlay restore: symlink %q: errno %d", f.Path, errno)
+			}
+		default:
+			if errno := o.upper.Create(f.Path, f.Mode); errno != 0 && errno != linux.EEXIST {
+				return fmt.Errorf("overlay restore: create %q: errno %d", f.Path, errno)
+			}
+			if len(f.Data) > 0 {
+				if _, errno := o.upper.WriteAt(f.Path, f.Data, 0); errno != 0 {
+					return fmt.Errorf("overlay restore: write %q: errno %d", f.Path, errno)
+				}
+			}
+		}
+	}
+	for _, p := range img.Whiteouts {
+		o.wh[p] = true
+	}
+	for _, p := range img.Opaque {
+		o.opaque[p] = true
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+package gowali
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"gowali/internal/bench"
+)
+
+// warmSnapGuest spawns the snapshot bench guest through the facade and
+// waits until it has warmed its working set (first syscall executed).
+func warmSnapGuest(t *testing.T, rt *Runtime) *Process {
+	t.Helper()
+	m, err := CompileBuilt(bench.BuildSnapGuest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := rt.Spawn(context.Background(), m, []string{"snapguest"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, n := p.wp.W.SyscallStats(p.wp.KP.PID); n >= 1 {
+			return p
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("guest did not warm up within 10s")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// checkWarm verifies the bench guest's warmed working set in a process
+// that is no longer running.
+func checkWarm(t *testing.T, p *Process, who string) {
+	t.Helper()
+	for _, off := range []uint32{0, 512, 65536 - 512} {
+		a := uint32(1<<16) + off
+		if v, ok := p.wp.Inst.Mem.ReadU32(a); !ok || v != a {
+			t.Fatalf("%s: warm word at %#x = %d (ok=%v)", who, a, v, ok)
+		}
+	}
+}
+
+// TestSnapshotRestoreFacade drives the public surface end to end:
+// Snapshot a warmed guest, serialize the image to disk, read it back,
+// Restore on a fresh runtime, and Fork a small fleet — every child
+// carrying the warmed state, none of them re-running the warm-up.
+func TestSnapshotRestoreFacade(t *testing.T) {
+	rt, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := warmSnapGuest(t, rt)
+	img, err := Snapshot(p)
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+
+	// File round trip.
+	path := filepath.Join(t.TempDir(), "guest.snap")
+	if err := img.WriteImageFile(path); err != nil {
+		t.Fatalf("WriteImageFile: %v", err)
+	}
+	img2, err := ReadImageFile(path)
+	if err != nil {
+		t.Fatalf("ReadImageFile: %v", err)
+	}
+
+	// A freshly read image has no engine binding yet: Fork must refuse.
+	if _, err := img2.Fork(1); err == nil {
+		t.Fatal("Fork on an unbound image succeeded")
+	}
+
+	// Restore on a fresh runtime; the child resumes its service loop.
+	rt2, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	p2, err := rt2.Restore(img2, RestoreWithContext(ctx))
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	time.Sleep(5 * time.Millisecond) // let it run a few service rounds
+	cancel()                         // context cancellation SIGKILLs it, as with Spawn
+	if _, err := p2.Wait(context.Background()); err != nil {
+		t.Fatalf("Wait after cancel: %v", err)
+	}
+	checkWarm(t, p2, "restored child")
+	if d := p2.DirtyPages(); d > 4 {
+		t.Fatalf("restored child dirtied %d pages while idling", d)
+	}
+
+	// Fork a fleet from the now-bound image.
+	children, err := img2.Fork(3)
+	if err != nil {
+		t.Fatalf("Fork: %v", err)
+	}
+	if len(children) != 3 {
+		t.Fatalf("Fork returned %d children", len(children))
+	}
+	time.Sleep(5 * time.Millisecond)
+	for i, ch := range children {
+		if err := ch.Kill(9); err != nil {
+			t.Fatalf("kill child %d: %v", i, err)
+		}
+	}
+	for i, ch := range children {
+		if _, err := ch.Wait(context.Background()); err != nil {
+			t.Fatalf("wait child %d: %v", i, err)
+		}
+		checkWarm(t, ch, "forked child")
+	}
+
+	// The original guest kept running through all of it.
+	if err := p.Kill(9); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	rt.WaitAll()
+	rt2.WaitAll()
+}
