@@ -8,6 +8,7 @@ package bench
 import (
 	"time"
 
+	"gowali"
 	ib "gowali/internal/bench"
 	"gowali/internal/trace"
 )
@@ -24,7 +25,24 @@ type (
 	NetEchoRow = ib.NetEchoRow
 	FleetRow   = ib.FleetRow
 	SnapRow    = ib.SnapRow
+	OpProfile  = ib.OpProfile
+	OpTierRow  = ib.OpTierRow
+	Report     = ib.Report
 )
+
+// ExecTier selects the execution engine every harness runs on; see
+// gowali.WithExecTier for the tiers.
+type ExecTier = gowali.ExecTier
+
+// SetTier selects the execution engine for all subsequent harness runs
+// (benchvirt's -tier flag). Default: the fused superinstruction tier.
+func SetTier(t ExecTier) { ib.SetTier(t) }
+
+// Tier reports the currently selected execution engine.
+func Tier() ExecTier { return ib.Tier() }
+
+// ParseTier parses a -tier flag value ("fused", "ir" or "wire").
+func ParseTier(s string) (ExecTier, error) { return gowali.ParseTier(s) }
 
 // FleetConfig parameterizes a fleet run: the guest class mix (CPU
 // spinners, syscall loops, poll-blocked echo pairs), the scheduler's
@@ -148,6 +166,20 @@ func SnapRestore(iters, forkN int) SnapRow { return ib.SnapRestore(iters, forkN)
 
 // FormatSnapRestore renders the snapshot/restore table.
 func FormatSnapRestore(r SnapRow) string { return ib.FormatSnapRestore(r) }
+
+// OpStatsProfile profiles a built-in app's dynamic opcode/sequence
+// frequencies on the wire tier (the evidence base for superinstruction
+// selection), then times the identical workload on every execution tier,
+// reporting ns/instr and the fraction of instructions retired inside
+// fused slots (coverage).
+func OpStatsProfile(app string, scale int) OpProfile { return ib.OpStatsProfile(app, scale) }
+
+// FormatOpProfile renders the opstats profile and per-tier cost table.
+func FormatOpProfile(r OpProfile) string { return ib.FormatOpProfile(r) }
+
+// NewReport creates an empty machine-readable benchmark report stamped
+// with the environment; benchvirt -json fills and writes it.
+func NewReport() *Report { return ib.NewReport() }
 
 // FSMicro measures a guest open/pread64/close loop against the memfs,
 // hostfs and overlayfs mount backends (hostDir backs the host-mapped

@@ -11,6 +11,15 @@
 //	benchvirt -scaleout -scaleout-dir /tmp/work -scaleout-ro /srv/image
 //	benchvirt -fsmicro -fsmicro-dir /tmp/probe
 //	benchvirt -fleet -fleet-guests 200 -fleet-gomax 1,2,4,8
+//	benchvirt -opstats -opstats-app lua -opstats-scale 100000
+//	benchvirt -tier ir -fig8time
+//	benchvirt -json -scaleout -netecho -snap
+//
+// -tier selects the execution engine (fused | ir | wire) for every
+// harness. -opstats prints the dynamic opcode/sequence frequency profile
+// that selects superinstruction candidates, plus a per-tier ns/instr and
+// fusion-coverage table. -json additionally writes the machine-readable
+// results of the run to BENCH_<date>.json.
 package main
 
 import (
@@ -37,6 +46,12 @@ func main() {
 	ne := flag.Bool("netecho", false, "socket echo RTT/throughput across net backends (loopback, switch, hostnet)")
 	fleet := flag.Bool("fleet", false, "multicore scheduler fleet: spinner/syscall/poll guest mix across GOMAXPROCS values")
 	snap := flag.Bool("snap", false, "snapshot/restore: checkpoint a warmed guest, restore latency + CoW fork fan-out")
+	opstats := flag.Bool("opstats", false, "dynamic opcode/sequence frequency profile + per-tier cost table")
+	opstatsApp := flag.String("opstats-app", "lua", "built-in app to profile for -opstats")
+	opstatsScale := flag.Int("opstats-scale", 100000, "workload scale for -opstats")
+	tierName := flag.String("tier", "fused", "execution engine for all harnesses: fused | ir | wire")
+	jsonOut := flag.Bool("json", false, "also write machine-readable results to BENCH_<date>.json")
+	jsonDir := flag.String("json-dir", "", "directory for the -json report (default: current directory)")
 	iters := flag.Int("iters", 2000, "iterations for Table 2")
 	scaleIters := flag.Int("scaleout-iters", 200, "per-guest loop iterations for -scaleout")
 	guestList := flag.String("guests", "", "comma-separated guest counts for -scaleout (default: powers of two through 4xNumCPU)")
@@ -57,11 +72,22 @@ func main() {
 	scaleList := flag.String("scales", "20000,60000,120000", "lua scales for -fig8time (bash/sqlite scaled down proportionally)")
 	flag.Parse()
 
-	if *all {
-		*t1, *t2, *t3, *f7, *f8t, *f8m, *f9, *fsm, *ne, *fleet, *snap = true, true, true, true, true, true, true, true, true, true, true
+	tier, err := bench.ParseTier(*tierName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchvirt: %v\n", err)
+		os.Exit(2)
 	}
-	if !(*t1 || *t2 || *t3 || *f7 || *f8t || *f8m || *f9 || *fsm || *ne || *fleet || *snap) {
+	bench.SetTier(tier)
+
+	if *all {
+		*t1, *t2, *t3, *f7, *f8t, *f8m, *f9, *fsm, *ne, *fleet, *snap, *opstats = true, true, true, true, true, true, true, true, true, true, true, true
+	}
+	if !(*t1 || *t2 || *t3 || *f7 || *f8t || *f8m || *f9 || *fsm || *ne || *fleet || *snap || *opstats) {
 		*t1, *t2 = true, true
+	}
+	var report *bench.Report
+	if *jsonOut {
+		report = bench.NewReport()
 	}
 
 	if *t1 {
@@ -123,7 +149,11 @@ func main() {
 		if cfg.WorkDir != "" || cfg.SharedDir != "" {
 			fmt.Printf("fs backing: work=%s shared-ro=%s\n", orMemfs(cfg.WorkDir), orNone(cfg.SharedDir))
 		}
-		fmt.Print(bench.FormatFig9(bench.Fig9ScaleoutCfg(cfg)))
+		pts := bench.Fig9ScaleoutCfg(cfg)
+		if report != nil {
+			report.Fig9 = pts
+		}
+		fmt.Print(bench.FormatFig9(pts))
 	}
 	if *ne {
 		fmt.Println("== NetEcho: socket RTT across net backends ==")
@@ -133,7 +163,11 @@ func main() {
 				backends = append(backends, b)
 			}
 		}
-		fmt.Print(bench.FormatNetEcho(bench.NetEcho(*neMsgs, *neSize, backends)))
+		rows := bench.NetEcho(*neMsgs, *neSize, backends)
+		if report != nil {
+			report.NetEcho = rows
+		}
+		fmt.Print(bench.FormatNetEcho(rows))
 		fmt.Println()
 	}
 	if *fleet {
@@ -153,7 +187,20 @@ func main() {
 	}
 	if *snap {
 		fmt.Println("== Snapshot / restore: cold-start latency and CoW fork fan-out ==")
-		fmt.Print(bench.FormatSnapRestore(bench.SnapRestore(*snapIters, *snapFork)))
+		row := bench.SnapRestore(*snapIters, *snapFork)
+		if report != nil {
+			report.Snap = &row
+		}
+		fmt.Print(bench.FormatSnapRestore(row))
+		fmt.Println()
+	}
+	if *opstats {
+		fmt.Println("== OpStats: dynamic opcode profile + execution tiers ==")
+		prof := bench.OpStatsProfile(*opstatsApp, *opstatsScale)
+		if report != nil {
+			report.Interpreter = prof.Tiers
+		}
+		fmt.Print(bench.FormatOpProfile(prof))
 		fmt.Println()
 	}
 	if *fsm {
@@ -169,6 +216,14 @@ func main() {
 			dir = tmp
 		}
 		fmt.Print(bench.FormatFSMicro(bench.FSMicro(*fsmIters, dir)))
+	}
+	if report != nil {
+		path, err := report.Write(*jsonDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchvirt: writing report: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("json report: %s\n", path)
 	}
 }
 

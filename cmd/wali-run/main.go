@@ -51,13 +51,19 @@ func main() {
 	snapFile := flag.String("snapshot", "", "checkpoint the warmed guest to this image file, then let it finish")
 	snapDelay := flag.Duration("snapshot-delay", 50*time.Millisecond, "how long to warm the guest before -snapshot checkpoints it")
 	restoreFile := flag.String("restore", "", "restore a guest from an image file instead of running a .wasm binary")
+	tierName := flag.String("tier", "fused", "execution engine: fused | ir | wire")
 	flag.Parse()
+
+	tier, err := gowali.ParseTier(*tierName)
+	if err != nil {
+		fatal(err)
+	}
 
 	col := gowali.NewCollector()
 	if *verbose {
 		col.Verbose = func(line string) { fmt.Fprintln(os.Stderr, line) }
 	}
-	opts := []gowali.Option{gowali.WithSyscallHook(col.Observe)}
+	opts := []gowali.Option{gowali.WithSyscallHook(col.Observe), gowali.WithExecTier(tier)}
 	for _, spec := range dirs {
 		opt, err := gowali.WithMountSpec(spec)
 		if err != nil {

@@ -21,6 +21,7 @@ import (
 type config struct {
 	kernel *Kernel
 	scheme SafepointScheme
+	tier   ExecTier
 	strict bool
 	hook   func(SyscallEvent)
 	host   Host
@@ -66,6 +67,14 @@ func WithHost(h Host) Option { return func(c *config) { c.host = h } }
 // implementation choice.
 func WithSafepointScheme(s SafepointScheme) Option {
 	return func(c *config) { c.scheme = s }
+}
+
+// WithExecTier selects the execution engine: TierFused (default, the
+// superinstruction engine), TierIR (plain pre-decoded IR) or TierWire
+// (the legacy wire-bytecode engine, kept for differential testing). All
+// tiers are semantically identical; they differ only in dispatch cost.
+func WithExecTier(t ExecTier) Option {
+	return func(c *config) { c.tier = t }
 }
 
 // WithStrict makes known-but-unimplemented syscalls trap instead of
@@ -276,6 +285,7 @@ func (h *waliHost) apply(r *Runtime, c *config) error {
 	}
 	w := core.NewWith(k)
 	w.Scheme = c.scheme
+	w.Tier = c.tier
 	w.Strict = c.strict
 	if c.hook != nil {
 		w.Hook = c.hook
@@ -370,6 +380,7 @@ func (waziHost) apply(r *Runtime, c *config) error {
 	}
 	w := wazi.New()
 	w.Scheme = c.scheme
+	w.Tier = c.tier
 	r.wazi = w
 	return nil
 }

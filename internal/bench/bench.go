@@ -25,6 +25,24 @@ import (
 	"gowali/internal/wasm"
 )
 
+// tier is the execution engine every harness in this package runs on.
+// benchvirt's -tier flag sets it; default is the fused superinstruction
+// tier, matching production configuration.
+var tier interp.ExecTier
+
+// SetTier selects the execution engine for all subsequent harness runs.
+func SetTier(t interp.ExecTier) { tier = t }
+
+// Tier reports the currently selected execution engine.
+func Tier() interp.ExecTier { return tier }
+
+// newWALI builds a fresh engine on the selected tier.
+func newWALI() *core.WALI {
+	w := core.New()
+	w.Tier = tier
+	return w
+}
+
 // ---------- Table 1 ----------
 
 // Table1Row is one porting-matrix row.
@@ -110,7 +128,7 @@ func newTable2Env() *table2Env {
 	if err != nil {
 		panic(err)
 	}
-	w := core.New()
+	w := newWALI()
 	p, err := w.SpawnModule(m, "t2", []string{"t2"}, nil)
 	if err != nil {
 		panic(err)
@@ -277,7 +295,7 @@ func measureFork(name string, iters int) time.Duration {
 	if err != nil {
 		panic(err)
 	}
-	w := core.New()
+	w := newWALI()
 	p, err := w.SpawnModule(m, "forkbench", nil, nil)
 	if err != nil {
 		panic(err)
@@ -340,7 +358,7 @@ func Table3() []Table3Row {
 			// Min of three runs: the stable estimator for timing noise.
 			el := time.Duration(1 << 62)
 			for rep := 0; rep < 3; rep++ {
-				w := core.New()
+				w := newWALI()
 				w.Scheme = s
 				start := time.Now()
 				_, status, err := apps.RunOn(w, app, scale)
@@ -398,7 +416,7 @@ var Fig2Scales = map[string]int{
 func Fig2Profiles() []trace.Profile {
 	var profiles []trace.Profile
 	for _, a := range apps.Runnable() {
-		w := core.New()
+		w := newWALI()
 		col := trace.NewCollector()
 		col.Attach(w)
 		_, status, err := apps.RunOn(w, a, Fig2Scales[a.Name])
@@ -453,7 +471,7 @@ func Fig7() []trace.Breakdown {
 	perCall := CalibrateDispatch(20000)
 	var out []trace.Breakdown
 	for _, a := range apps.Runnable() {
-		w := core.New()
+		w := newWALI()
 		col := trace.NewCollector()
 		col.Attach(w)
 		start := time.Now()
@@ -545,7 +563,7 @@ func Fig8Time(name string, scales []int) []Fig8Point {
 
 		// WALI: startup = module build+validate+instantiate; run follows.
 		t0 = time.Now()
-		w := core.New()
+		w := newWALI()
 		if app.Setup != nil {
 			app.Setup(w)
 		}
@@ -609,7 +627,7 @@ func Fig8Mem() []Fig8MemRow {
 		rows = append(rows, Fig8MemRow{name, BackendNative, nativeBytes})
 
 		// WALI: actual linear memory after the run + engine overhead.
-		w := core.New()
+		w := newWALI()
 		if app.Setup != nil {
 			app.Setup(w)
 		}

@@ -333,7 +333,7 @@ func FleetOnce(cfg FleetConfig) FleetRow {
 		cfg.Window = 500 * time.Millisecond
 	}
 
-	w := core.New()
+	w := newWALI()
 	w.Sched = sched.New(sched.Config{Workers: cfg.Workers, Quantum: cfg.Quantum})
 	spinT := w.NewTenant("spin", sched.Budget{})
 	sysT := w.NewTenant("sys", sched.Budget{})

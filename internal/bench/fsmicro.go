@@ -67,7 +67,7 @@ func buildOpenPreadModule(iters int, path string) *wasm.Module {
 // baseline keeps the root filesystem), seeds /data/probe.dat, and
 // times the guest loop.
 func fsMicroRun(name string, iters int, b vfs.Backend) FSMicroRow {
-	w := core.New()
+	w := newWALI()
 	dir := "/tmp"
 	if b != nil {
 		w.Kernel.FS.MkdirAll("/data", 0o755)

@@ -266,7 +266,7 @@ func runEchoPair(serverW, clientW *core.WALI, server, client *wasm.Module) time.
 
 // netEchoLoopback: both guests in one kernel over the default loopback.
 func netEchoLoopback(msgs, size int) time.Duration {
-	w := core.New()
+	w := newWALI()
 	dest := knet.Addr{Family: linux.AF_INET, Port: netEchoPort, Addr: [4]byte{127, 0, 0, 1}}
 	return runEchoPair(w, w, buildNetEchoServer(netEchoPort), buildNetEchoClient(dest, msgs, size))
 }

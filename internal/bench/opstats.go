@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"gowali/internal/apps"
+	"gowali/internal/interp"
+)
+
+// OpTierRow is one execution tier's dynamic cost on the profiled workload.
+type OpTierRow struct {
+	Tier       string
+	Elapsed    time.Duration
+	Steps      uint64  // retired wasm instructions (tier-independent)
+	Dispatches uint64  // dispatch-loop iterations (0 = not counted: wire)
+	NsPerInstr float64 // Elapsed / Steps
+	Coverage   float64 // % of instructions retired inside fused slots
+}
+
+// OpProfile is the output of the -opstats harness: the dynamic opcode /
+// sequence frequency profile of a workload (collected on the wire tier,
+// where every architectural opcode is still visible), plus the per-tier
+// cost table that shows what the fusion pass bought on that profile.
+type OpProfile struct {
+	App     string
+	Scale   int
+	Total   uint64 // opcodes profiled
+	Top     []interp.OpCount
+	Pairs   []interp.OpCount
+	Triples []interp.OpCount
+	Tiers   []OpTierRow
+}
+
+// runTier executes an app once on the given tier, returning the Exec for
+// its counters and the wall time of the guest run.
+func runTier(a apps.App, scale int, t interp.ExecTier, ops *interp.OpStats) (*interp.Exec, time.Duration) {
+	w := newWALI()
+	w.Tier = t
+	w.Ops = ops
+	if a.Setup != nil {
+		if err := a.Setup(w); err != nil {
+			panic(fmt.Sprintf("opstats %s: setup: %v", a.Name, err))
+		}
+	}
+	m := a.Build(scale)
+	p, err := w.SpawnModule(m, a.Name, []string{a.Name}, []string{"HOME=/root", "TERM=dumb"})
+	if err != nil {
+		panic(fmt.Sprintf("opstats %s: spawn: %v", a.Name, err))
+	}
+	start := time.Now()
+	status, runErr := p.Run()
+	el := time.Since(start)
+	w.WaitAll()
+	if runErr != nil || status != 0 {
+		panic(fmt.Sprintf("opstats %s/%v: status=%d err=%v", a.Name, t, status, runErr))
+	}
+	return p.Exec, el
+}
+
+// OpStatsProfile profiles one built-in app: a wire-tier run records the
+// opcode/bigram/trigram frequencies that select fusion candidates, then
+// each tier runs the identical workload to prove (or disprove) coverage —
+// Steps vs Dispatches is the fraction of retired instructions that
+// executed inside fused superinstruction slots.
+func OpStatsProfile(appName string, scale int) OpProfile {
+	a, err := apps.ByName(appName)
+	if err != nil {
+		panic(err)
+	}
+	ops := interp.NewOpStats()
+	runTier(a, scale, interp.TierWire, ops)
+
+	r := OpProfile{
+		App:     appName,
+		Scale:   scale,
+		Total:   ops.Total(),
+		Top:     ops.Top(10),
+		Pairs:   ops.TopPairs(10),
+		Triples: ops.TopTriples(10),
+	}
+	for _, t := range []interp.ExecTier{interp.TierFused, interp.TierIR, interp.TierWire} {
+		e, el := runTier(a, scale, t, nil)
+		row := OpTierRow{
+			Tier:       t.String(),
+			Elapsed:    el,
+			Steps:      e.Steps,
+			Dispatches: e.Dispatches,
+			NsPerInstr: float64(el.Nanoseconds()) / float64(e.Steps),
+		}
+		if e.Dispatches > 0 {
+			row.Coverage = 100 * float64(e.Steps-e.Dispatches) / float64(e.Steps)
+		}
+		r.Tiers = append(r.Tiers, row)
+	}
+	return r
+}
+
+// FormatOpProfile renders the profile the way EXPERIMENTS.md quotes it.
+func FormatOpProfile(r OpProfile) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "workload: %s scale=%d, %d opcodes profiled (wire tier)\n", r.App, r.Scale, r.Total)
+	section := func(title string, rows []interp.OpCount) {
+		fmt.Fprintf(&b, "%s:\n", title)
+		for _, rc := range rows {
+			fmt.Fprintf(&b, "  %-40s %10d  %5.1f%%\n", rc.Name, rc.Count,
+				100*float64(rc.Count)/float64(r.Total))
+		}
+	}
+	section("top opcodes", r.Top)
+	section("top pairs", r.Pairs)
+	section("top triples", r.Triples)
+	fmt.Fprintf(&b, "%-6s %12s %14s %14s %12s %10s\n",
+		"tier", "time", "instructions", "dispatches", "ns/instr", "fused%")
+	for _, t := range r.Tiers {
+		disp := "-"
+		cov := "-"
+		if t.Dispatches > 0 {
+			disp = fmt.Sprintf("%d", t.Dispatches)
+			cov = fmt.Sprintf("%.1f", t.Coverage)
+		}
+		fmt.Fprintf(&b, "%-6s %12s %14d %14s %12.2f %10s\n",
+			t.Tier, t.Elapsed.Round(time.Microsecond), t.Steps, disp, t.NsPerInstr, cov)
+	}
+	return b.String()
+}

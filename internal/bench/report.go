@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+)
+
+// Report is the machine-readable benchmark record benchvirt -json emits.
+// One file per run, BENCH_<date>.json, so the performance trajectory of
+// the repo is diffable across PRs without re-parsing console tables.
+type Report struct {
+	Date      string `json:"date"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	Tier      string `json:"tier"` // tier the non-interpreter sections ran on
+
+	// Interpreter is the per-tier ns/instr table from the opstats
+	// harness (lua workload), the acceptance metric for engine work.
+	Interpreter []OpTierRow `json:"interpreter,omitempty"`
+
+	Fig9    []Fig9Point  `json:"fig9,omitempty"`
+	NetEcho []NetEchoRow `json:"netecho,omitempty"`
+	Snap    *SnapRow     `json:"snap,omitempty"`
+}
+
+// NewReport stamps an empty report with the environment.
+func NewReport() *Report {
+	return &Report{
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Tier:      tier.String(),
+	}
+}
+
+// Write serializes the report to BENCH_<date>.json in dir ("" = cwd) and
+// returns the path.
+func (r *Report) Write(dir string) (string, error) {
+	if dir == "" {
+		dir = "."
+	}
+	path := fmt.Sprintf("%s/BENCH_%s.json", dir, r.Date)
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

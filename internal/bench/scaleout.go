@@ -219,7 +219,7 @@ func Fig9ScaleoutCfg(cfg ScaleoutConfig) []Fig9Point {
 	workPrefix := "/tmp"
 	var pts []Fig9Point
 	for _, n := range guests {
-		w := core.New()
+		w := newWALI()
 		var backends []*vfs.HostFS // closed after the run (root + handle fds)
 		if cfg.WorkDir != "" {
 			h, err := vfs.NewHostFS(cfg.WorkDir, false)

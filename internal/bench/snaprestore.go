@@ -120,7 +120,7 @@ func SnapRestore(iters, forkN int) SnapRow {
 	if forkN <= 0 {
 		forkN = 100
 	}
-	w := core.New()
+	w := newWALI()
 	c, err := interp.Compile(BuildSnapGuest())
 	if err != nil {
 		panic(err)

@@ -257,6 +257,7 @@ func (w *WALI) Restore(img *snap.Image, tenant *sched.Tenant) (*Process, error) 
 	p.Pool = pool
 	p.Exec = interp.NewExec(inst)
 	p.Exec.Scheme = w.Scheme
+	p.Exec.Tier = w.Tier
 	p.Exec.HostCtx = p
 	p.Exec.Poll = p.pollSignals
 	inst.HostCtx = p

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"gowali/internal/interp"
 	"gowali/internal/kernel/snap"
 	"gowali/internal/linux"
 	"gowali/internal/wasm"
@@ -199,7 +200,16 @@ func TestSnapshotQuiescesFutexWait(t *testing.T) {
 // memory copy-on-write — each child sees only its own writes, and
 // nothing leaks back into the image or into siblings.
 func TestRestoreCowIsolation(t *testing.T) {
+	// CoW isolation is a write-barrier property; it must hold identically
+	// under the fused superinstruction tier and the plain IR tier.
+	for _, tier := range []interp.ExecTier{interp.TierFused, interp.TierIR} {
+		t.Run(tier.String(), func(t *testing.T) { testRestoreCowIsolation(t, tier) })
+	}
+}
+
+func testRestoreCowIsolation(t *testing.T, tier interp.ExecTier) {
 	w := New()
+	w.Tier = tier
 	p := spawnWarm(t, w, buildFutexServeGuest(), "futexserve")
 	img, err := w.Snapshot(p)
 	if err != nil {
@@ -374,7 +384,25 @@ func (r *traceRec) servedTail() []string {
 // receive the same request; their serving syscall traces, console
 // output and final memory must match exactly.
 func TestSnapshotGoldenTwin(t *testing.T) {
+	// Determinism must hold per tier AND across tiers: the fused code
+	// array shares the IR pc space, so an image captured under the fused
+	// tier restores mid-loop on the plain IR tier (and vice versa) with
+	// no translation — the cross pairs prove that deopt contract.
+	for _, tiers := range [][2]interp.ExecTier{
+		{interp.TierFused, interp.TierFused},
+		{interp.TierIR, interp.TierIR},
+		{interp.TierFused, interp.TierIR},
+		{interp.TierIR, interp.TierFused},
+	} {
+		t.Run(tiers[0].String()+"_to_"+tiers[1].String(), func(t *testing.T) {
+			testSnapshotGoldenTwin(t, tiers[0], tiers[1])
+		})
+	}
+}
+
+func testSnapshotGoldenTwin(t *testing.T, tierOrig, tierRestored interp.ExecTier) {
 	w1 := New()
+	w1.Tier = tierOrig
 	rec1 := &traceRec{}
 	w1.AddHook(rec1.hook)
 	p := spawnWarm(t, w1, buildGoldenGuest(), "golden")
@@ -391,6 +419,7 @@ func TestSnapshotGoldenTwin(t *testing.T) {
 	img2 := imageFromBytes(t, buf.Bytes())
 
 	w2 := New()
+	w2.Tier = tierRestored
 	rec2 := &traceRec{}
 	w2.AddHook(rec2.hook)
 	ch, err := w2.Restore(img2, nil)

@@ -49,6 +49,16 @@ type WALI struct {
 	// the paper's implementation choice.
 	Scheme interp.SafepointScheme
 
+	// Tier selects the execution engine for every process this WALI
+	// manufactures (fork/exec/thread children inherit it). Default:
+	// TierFused, the superinstruction engine.
+	Tier interp.ExecTier
+
+	// Ops, when non-nil, collects a dynamic opcode-frequency profile from
+	// every process (wire tier only; see interp.OpStats). Profiling runs
+	// are single-guest, so the collector is not synchronized.
+	Ops *interp.OpStats
+
 	// Hook, if non-nil, observes every syscall (Fig. 2 profiles and
 	// Fig. 7 attribution are built on it). Called after the syscall
 	// completes; must be safe for concurrent use.
@@ -317,6 +327,8 @@ func (w *WALI) newProcess(kp *kernel.Process, c *interp.Compiled, argv, env []st
 	p.Pool = NewMmapPool(inst.Mem)
 	p.Exec = interp.NewExec(inst)
 	p.Exec.Scheme = w.Scheme
+	p.Exec.Tier = w.Tier
+	p.Exec.Ops = w.Ops
 	p.Exec.HostCtx = p
 	p.Exec.Poll = p.pollSignals
 	inst.HostCtx = p
@@ -470,6 +482,8 @@ func (p *Process) doExec() error {
 	// via the process (not the host engine) — p.env above.
 	p.Exec = interp.NewExec(inst)
 	p.Exec.Scheme = p.W.Scheme
+	p.Exec.Tier = p.W.Tier
+	p.Exec.Ops = p.W.Ops
 	p.Exec.HostCtx = p
 	p.Exec.Poll = p.pollSignals
 	inst.HostCtx = p
@@ -604,6 +618,7 @@ func (p *Process) spawnThread(fnTableIdx, arg, ctid uint32, flags int64) (int32,
 	}
 	t.Exec = interp.NewExec(tinst)
 	t.Exec.Scheme = p.W.Scheme
+	t.Exec.Tier = p.W.Tier
 	t.Exec.HostCtx = t
 	t.Exec.Poll = t.pollSignals
 	tinst.HostCtx = t

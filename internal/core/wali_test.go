@@ -46,11 +46,18 @@ func (b *appBuilder) call(f *wasm.FuncBuilder, name string, args ...int64) {
 // completion, returning the WALI, process, status and error.
 func runApp(t *testing.T, b *appBuilder, argv []string, env []string) (*WALI, *Process, int32, error) {
 	t.Helper()
+	return runAppOn(t, b, argv, env, interp.TierFused)
+}
+
+// runAppOn is runApp pinned to a specific execution tier.
+func runAppOn(t *testing.T, b *appBuilder, argv []string, env []string, tier interp.ExecTier) (*WALI, *Process, int32, error) {
+	t.Helper()
 	m, err := b.Build()
 	if err != nil {
 		t.Fatalf("build: %v", err)
 	}
 	w := New()
+	w.Tier = tier
 	name := "app"
 	if len(argv) > 0 {
 		name = argv[0]
@@ -260,9 +267,15 @@ func TestForkMemoryIsolation(t *testing.T) {
 	f.I32Const(512).Load(wasm.OpI32Load, 0).Op(wasm.OpI64ExtendI32U)
 	f.Call(b.sys["exit"]).Drop()
 	f.Finish()
-	_, _, status, err := runApp(t, b, nil, nil)
-	if err != nil || status != 11 {
-		t.Fatalf("parent sees %d, want isolated 11 (err %v)", status, err)
+	// Fork clones resumable interpreter state, so isolation must hold on
+	// both IR-space execution tiers.
+	for _, tier := range []interp.ExecTier{interp.TierFused, interp.TierIR} {
+		t.Run(tier.String(), func(t *testing.T) {
+			_, _, status, err := runAppOn(t, b, nil, nil, tier)
+			if err != nil || status != 11 {
+				t.Fatalf("parent sees %d, want isolated 11 (err %v)", status, err)
+			}
+		})
 	}
 }
 

@@ -30,8 +30,11 @@ func benchModule() *wasm.Module {
 	return b.Module()
 }
 
-// BenchmarkEngines compares the pre-decoded IR engine against the legacy
-// wire-bytecode engine on identical code, per safepoint scheme.
+// BenchmarkEngines compares the three execution tiers — fused
+// superinstructions, plain pre-decoded IR, and the legacy wire-bytecode
+// engine — on identical code, per safepoint scheme. The fused tier is
+// additionally held to being no slower than plain IR on this workload
+// (the whole point of the tier); a regression fails the benchmark.
 func BenchmarkEngines(b *testing.B) {
 	m := benchModule()
 	if err := wasm.Validate(m); err != nil {
@@ -39,12 +42,9 @@ func BenchmarkEngines(b *testing.B) {
 	}
 	fidx, _ := m.ExportedFunc("spin")
 	const iters = 100000
-	for _, wire := range []bool{false, true} {
-		name := "ir"
-		if wire {
-			name = "wire"
-		}
-		b.Run(name, func(b *testing.B) {
+	perIter := map[string]float64{}
+	for _, tier := range []ExecTier{TierFused, TierIR, TierWire} {
+		b.Run(tier.String(), func(b *testing.B) {
 			for _, scheme := range []SafepointScheme{SafepointNone, SafepointLoop} {
 				b.Run(scheme.String(), func(b *testing.B) {
 					inst, err := NewInstance(m, NewLinker())
@@ -52,7 +52,7 @@ func BenchmarkEngines(b *testing.B) {
 						b.Fatal(err)
 					}
 					e := NewExec(inst)
-					e.Wire = wire
+					e.Tier = tier
 					e.Scheme = scheme
 					e.Poll = func(*Exec) {}
 					b.ResetTimer()
@@ -61,9 +61,18 @@ func BenchmarkEngines(b *testing.B) {
 							b.Fatal(err)
 						}
 					}
-					b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(iters), "ns/iter")
+					ns := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / float64(iters)
+					b.ReportMetric(ns, "ns/iter")
+					perIter[tier.String()+"/"+scheme.String()] = ns
 				})
 			}
 		})
+	}
+	for _, scheme := range []string{"none", "loop"} {
+		fu, ir := perIter["fused/"+scheme], perIter["ir/"+scheme]
+		// 10% headroom absorbs benchmark noise on short runs.
+		if fu > ir*1.10 {
+			b.Errorf("fused tier slower than IR on %s: %.2f ns/iter vs %.2f", scheme, fu, ir)
+		}
 	}
 }

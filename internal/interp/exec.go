@@ -41,6 +41,51 @@ func (s SafepointScheme) String() string {
 	return "invalid"
 }
 
+// ExecTier selects the execution engine. TierFused and TierIR share one pc
+// space (fuse.go), so an Exec may move between them at any safepoint;
+// TierWire interprets the raw bytecode with its own pc space and must be
+// chosen for an Exec's whole lifetime.
+type ExecTier uint8
+
+// Execution tiers.
+const (
+	// TierFused executes the superinstruction-fused IR (the default):
+	// dominant dynamic sequences fold into single dispatch slots that
+	// read and write the locals frame directly.
+	TierFused ExecTier = iota
+	// TierIR executes the plain pre-decoded flat IR (predecode.go).
+	TierIR
+	// TierWire interprets the wire bytecode directly, decoding LEB
+	// immediates and keeping a runtime label stack. The reference engine
+	// for differential testing, and the tier the opcode profiler hooks.
+	TierWire
+)
+
+func (t ExecTier) String() string {
+	switch t {
+	case TierFused:
+		return "fused"
+	case TierIR:
+		return "ir"
+	case TierWire:
+		return "wire"
+	}
+	return "invalid"
+}
+
+// ParseTier parses a -tier flag value.
+func ParseTier(s string) (ExecTier, error) {
+	switch s {
+	case "fused", "":
+		return TierFused, nil
+	case "ir":
+		return TierIR, nil
+	case "wire":
+		return TierWire, nil
+	}
+	return TierFused, fmt.Errorf("interp: unknown exec tier %q (want fused, ir or wire)", s)
+}
+
 // label is a runtime control label within a frame.
 type label struct {
 	cont   int // continuation pc on branch
@@ -79,19 +124,29 @@ type Exec struct {
 	Poll   func(*Exec)
 	Scheme SafepointScheme
 
-	// Wire selects the legacy wire-bytecode engine instead of the
-	// pre-decoded IR (see predecode.go). The two engines use different pc
-	// spaces, so the flag must not change while frames are live; it exists
-	// for differential testing and as a fallback.
-	Wire bool
+	// Tier selects the execution engine. TierFused and TierIR may be
+	// swapped whenever the Exec is parked at a safepoint (shared pc
+	// space); TierWire must not change while frames are live.
+	Tier ExecTier
 
 	MaxFrames int
 	MaxStack  int
 
-	// Steps counts executed instructions; SafepointCount counts executed
-	// polls. Both feed the Table 3 / Fig 7 instrumentation.
+	// Steps counts executed instructions in IR units (a fused slot counts
+	// its fold width, so the metric is tier-independent); SafepointCount
+	// counts executed polls. Both feed the Table 3 / Fig 7
+	// instrumentation. Dispatches counts dispatch-loop iterations: under
+	// TierIR it equals the instructions executed, under TierFused the
+	// Steps/Dispatches ratio is the measured fusion coverage
+	// (benchvirt -opstats).
 	Steps          uint64
+	Dispatches     uint64
 	SafepointCount uint64
+
+	// Ops, if non-nil, accumulates a dynamic opcode/sequence frequency
+	// profile. Only the wire engine records into it (the profiler runs
+	// TierWire), so the IR/fused hot loops stay instrumentation-free.
+	Ops *OpStats
 
 	// HostCtx carries embedder per-thread state (the WALI process).
 	HostCtx any
@@ -217,7 +272,7 @@ func (e *Exec) CloneWith(inst *Instance) *Exec {
 		Inst:      inst,
 		stack:     append([]uint64(nil), e.stack...),
 		Scheme:    e.Scheme,
-		Wire:      e.Wire,
+		Tier:      e.Tier,
 		MaxFrames: e.MaxFrames,
 		MaxStack:  e.MaxStack,
 	}
@@ -306,9 +361,17 @@ func (e *Exec) branch(f *frame, depth int) bool {
 	return false
 }
 
+// slide moves a branch's carried values down to the target label height —
+// the IR engines' entire runtime cost of taking a branch. Small enough to
+// inline into every fused branch arm.
+func (e *Exec) slide(h, c int) {
+	copy(e.stack[h:], e.stack[len(e.stack)-c:])
+	e.stack = e.stack[:h+c]
+}
+
 // run executes until the frame stack shrinks to minFrames.
 func (e *Exec) run(minFrames int) {
-	if e.Wire {
+	if e.Tier == TierWire {
 		e.runWire(minFrames)
 	} else {
 		e.runIR(minFrames)
@@ -342,11 +405,15 @@ func (e *Exec) runIR(minFrames int) {
 	// keeping the per-instruction fast path free of heap writes. The defer
 	// preserves the count when a trap unwinds mid-burst; on normal return
 	// every exit path has already flushed, so it adds zero.
-	var steps uint64
-	defer func() { e.Steps += steps }()
+	var steps, disp uint64
+	defer func() { e.Steps += steps; e.Dispatches += disp }()
+	fused := e.Tier == TierFused
 	for len(e.frames) > minFrames {
 		f := &e.frames[len(e.frames)-1]
 		ins := f.fn.code.ins
+		if fused && f.fn.fused != nil {
+			ins = f.fn.fused.ins
+		}
 		inst := f.inst
 		base := f.base
 		lbase := base + f.fn.numLocal
@@ -369,8 +436,12 @@ func (e *Exec) runIR(minFrames int) {
 				// frame pointer must be refetched.
 				f = &e.frames[len(e.frames)-1]
 			}
-			pc++
-			steps++
+			// n is 1 for plain IR; a fused superinstruction advances past
+			// its whole folded sequence and accounts for every slot in it,
+			// keeping Steps tier-independent.
+			pc += int(in.n)
+			steps += uint64(in.n)
+			disp++
 
 			switch in.op {
 			case iLoopEnter:
@@ -616,12 +687,558 @@ func (e *Exec) runIR(minFrames int) {
 			case iI32WrapI64, iI64ExtendI32U:
 				v := &e.stack[len(e.stack)-1]
 				*v = uint64(uint32(*v))
+
+			// Fused superinstructions (fuse.go), present only in the
+			// TierFused code array. Each variant is written out so the
+			// dispatch switch stays a single jump table — one indirect
+			// branch per folded sequence instead of one per instruction.
+
+			// [const, binop]
+			case iFConstBin + fAdd:
+				v := &e.stack[len(e.stack)-1]
+				*v = uint64(uint32(*v) + uint32(in.imm))
+			case iFConstBin + fSub:
+				v := &e.stack[len(e.stack)-1]
+				*v = uint64(uint32(*v) - uint32(in.imm))
+			case iFConstBin + fMul:
+				v := &e.stack[len(e.stack)-1]
+				*v = uint64(uint32(*v) * uint32(in.imm))
+			case iFConstBin + fAnd:
+				v := &e.stack[len(e.stack)-1]
+				*v = uint64(uint32(*v) & uint32(in.imm))
+			case iFConstBin + fOr:
+				v := &e.stack[len(e.stack)-1]
+				*v = uint64(uint32(*v) | uint32(in.imm))
+			case iFConstBin + fXor:
+				v := &e.stack[len(e.stack)-1]
+				*v = uint64(uint32(*v) ^ uint32(in.imm))
+			case iFConstBin + fShl:
+				v := &e.stack[len(e.stack)-1]
+				*v = uint64(uint32(*v) << (uint32(in.imm) & 31))
+			case iFConstBin + fShrS:
+				v := &e.stack[len(e.stack)-1]
+				*v = uint64(uint32(int32(*v) >> (uint32(in.imm) & 31)))
+			case iFConstBin + fShrU:
+				v := &e.stack[len(e.stack)-1]
+				*v = uint64(uint32(*v) >> (uint32(in.imm) & 31))
+
+			// [get, const, binop]
+			case iFGetConstBin + fAdd:
+				e.push(uint64(uint32(e.stack[base+int(in.a)]) + uint32(in.imm)))
+			case iFGetConstBin + fSub:
+				e.push(uint64(uint32(e.stack[base+int(in.a)]) - uint32(in.imm)))
+			case iFGetConstBin + fMul:
+				e.push(uint64(uint32(e.stack[base+int(in.a)]) * uint32(in.imm)))
+			case iFGetConstBin + fAnd:
+				e.push(uint64(uint32(e.stack[base+int(in.a)]) & uint32(in.imm)))
+			case iFGetConstBin + fOr:
+				e.push(uint64(uint32(e.stack[base+int(in.a)]) | uint32(in.imm)))
+			case iFGetConstBin + fXor:
+				e.push(uint64(uint32(e.stack[base+int(in.a)]) ^ uint32(in.imm)))
+			case iFGetConstBin + fShl:
+				e.push(uint64(uint32(e.stack[base+int(in.a)]) << (uint32(in.imm) & 31)))
+			case iFGetConstBin + fShrS:
+				e.push(uint64(uint32(int32(e.stack[base+int(in.a)]) >> (uint32(in.imm) & 31))))
+			case iFGetConstBin + fShrU:
+				e.push(uint64(uint32(e.stack[base+int(in.a)]) >> (uint32(in.imm) & 31)))
+
+			// [get, const, binop, set] — fully register-ized: no operand
+			// stack traffic at all.
+			case iFGetConstBinSet + fAdd:
+				e.stack[base+int(in.c)] = uint64(uint32(e.stack[base+int(in.a)]) + uint32(in.imm))
+			case iFGetConstBinSet + fSub:
+				e.stack[base+int(in.c)] = uint64(uint32(e.stack[base+int(in.a)]) - uint32(in.imm))
+			case iFGetConstBinSet + fMul:
+				e.stack[base+int(in.c)] = uint64(uint32(e.stack[base+int(in.a)]) * uint32(in.imm))
+			case iFGetConstBinSet + fAnd:
+				e.stack[base+int(in.c)] = uint64(uint32(e.stack[base+int(in.a)]) & uint32(in.imm))
+			case iFGetConstBinSet + fOr:
+				e.stack[base+int(in.c)] = uint64(uint32(e.stack[base+int(in.a)]) | uint32(in.imm))
+			case iFGetConstBinSet + fXor:
+				e.stack[base+int(in.c)] = uint64(uint32(e.stack[base+int(in.a)]) ^ uint32(in.imm))
+			case iFGetConstBinSet + fShl:
+				e.stack[base+int(in.c)] = uint64(uint32(e.stack[base+int(in.a)]) << (uint32(in.imm) & 31))
+			case iFGetConstBinSet + fShrS:
+				e.stack[base+int(in.c)] = uint64(uint32(int32(e.stack[base+int(in.a)]) >> (uint32(in.imm) & 31)))
+			case iFGetConstBinSet + fShrU:
+				e.stack[base+int(in.c)] = uint64(uint32(e.stack[base+int(in.a)]) >> (uint32(in.imm) & 31))
+
+			// [get, get, binop]
+			case iFGetGetBin + fAdd:
+				e.push(uint64(uint32(e.stack[base+int(in.a)]) + uint32(e.stack[base+int(in.b)])))
+			case iFGetGetBin + fSub:
+				e.push(uint64(uint32(e.stack[base+int(in.a)]) - uint32(e.stack[base+int(in.b)])))
+			case iFGetGetBin + fMul:
+				e.push(uint64(uint32(e.stack[base+int(in.a)]) * uint32(e.stack[base+int(in.b)])))
+			case iFGetGetBin + fAnd:
+				e.push(uint64(uint32(e.stack[base+int(in.a)]) & uint32(e.stack[base+int(in.b)])))
+			case iFGetGetBin + fOr:
+				e.push(uint64(uint32(e.stack[base+int(in.a)]) | uint32(e.stack[base+int(in.b)])))
+			case iFGetGetBin + fXor:
+				e.push(uint64(uint32(e.stack[base+int(in.a)]) ^ uint32(e.stack[base+int(in.b)])))
+			case iFGetGetBin + fShl:
+				e.push(uint64(uint32(e.stack[base+int(in.a)]) << (uint32(e.stack[base+int(in.b)]) & 31)))
+			case iFGetGetBin + fShrS:
+				e.push(uint64(uint32(int32(e.stack[base+int(in.a)]) >> (uint32(e.stack[base+int(in.b)]) & 31))))
+			case iFGetGetBin + fShrU:
+				e.push(uint64(uint32(e.stack[base+int(in.a)]) >> (uint32(e.stack[base+int(in.b)]) & 31)))
+
+			// [get, get, binop, set]
+			case iFGetGetBinSet + fAdd:
+				e.stack[base+int(in.c)] = uint64(uint32(e.stack[base+int(in.a)]) + uint32(e.stack[base+int(in.b)]))
+			case iFGetGetBinSet + fSub:
+				e.stack[base+int(in.c)] = uint64(uint32(e.stack[base+int(in.a)]) - uint32(e.stack[base+int(in.b)]))
+			case iFGetGetBinSet + fMul:
+				e.stack[base+int(in.c)] = uint64(uint32(e.stack[base+int(in.a)]) * uint32(e.stack[base+int(in.b)]))
+			case iFGetGetBinSet + fAnd:
+				e.stack[base+int(in.c)] = uint64(uint32(e.stack[base+int(in.a)]) & uint32(e.stack[base+int(in.b)]))
+			case iFGetGetBinSet + fOr:
+				e.stack[base+int(in.c)] = uint64(uint32(e.stack[base+int(in.a)]) | uint32(e.stack[base+int(in.b)]))
+			case iFGetGetBinSet + fXor:
+				e.stack[base+int(in.c)] = uint64(uint32(e.stack[base+int(in.a)]) ^ uint32(e.stack[base+int(in.b)]))
+			case iFGetGetBinSet + fShl:
+				e.stack[base+int(in.c)] = uint64(uint32(e.stack[base+int(in.a)]) << (uint32(e.stack[base+int(in.b)]) & 31))
+			case iFGetGetBinSet + fShrS:
+				e.stack[base+int(in.c)] = uint64(uint32(int32(e.stack[base+int(in.a)]) >> (uint32(e.stack[base+int(in.b)]) & 31)))
+			case iFGetGetBinSet + fShrU:
+				e.stack[base+int(in.c)] = uint64(uint32(e.stack[base+int(in.a)]) >> (uint32(e.stack[base+int(in.b)]) & 31))
+
+			// [binop, set]
+			case iFBinSet + fAdd:
+				n := len(e.stack)
+				e.stack[base+int(in.a)] = uint64(uint32(e.stack[n-2]) + uint32(e.stack[n-1]))
+				e.stack = e.stack[:n-2]
+			case iFBinSet + fSub:
+				n := len(e.stack)
+				e.stack[base+int(in.a)] = uint64(uint32(e.stack[n-2]) - uint32(e.stack[n-1]))
+				e.stack = e.stack[:n-2]
+			case iFBinSet + fMul:
+				n := len(e.stack)
+				e.stack[base+int(in.a)] = uint64(uint32(e.stack[n-2]) * uint32(e.stack[n-1]))
+				e.stack = e.stack[:n-2]
+			case iFBinSet + fAnd:
+				n := len(e.stack)
+				e.stack[base+int(in.a)] = uint64(uint32(e.stack[n-2]) & uint32(e.stack[n-1]))
+				e.stack = e.stack[:n-2]
+			case iFBinSet + fOr:
+				n := len(e.stack)
+				e.stack[base+int(in.a)] = uint64(uint32(e.stack[n-2]) | uint32(e.stack[n-1]))
+				e.stack = e.stack[:n-2]
+			case iFBinSet + fXor:
+				n := len(e.stack)
+				e.stack[base+int(in.a)] = uint64(uint32(e.stack[n-2]) ^ uint32(e.stack[n-1]))
+				e.stack = e.stack[:n-2]
+			case iFBinSet + fShl:
+				n := len(e.stack)
+				e.stack[base+int(in.a)] = uint64(uint32(e.stack[n-2]) << (uint32(e.stack[n-1]) & 31))
+				e.stack = e.stack[:n-2]
+			case iFBinSet + fShrS:
+				n := len(e.stack)
+				e.stack[base+int(in.a)] = uint64(uint32(int32(e.stack[n-2]) >> (uint32(e.stack[n-1]) & 31)))
+				e.stack = e.stack[:n-2]
+			case iFBinSet + fShrU:
+				n := len(e.stack)
+				e.stack[base+int(in.a)] = uint64(uint32(e.stack[n-2]) >> (uint32(e.stack[n-1]) & 31))
+				e.stack = e.stack[:n-2]
+
+			// [cmp, br_if] — the condition is consumed whether or not the
+			// branch is taken, exactly like the unfused pair.
+			case iFCmpBr + fEq:
+				n := len(e.stack)
+				x, y := e.stack[n-2], e.stack[n-1]
+				e.stack = e.stack[:n-2]
+				if uint32(x) == uint32(y) {
+					e.slide(lbase+int(in.b), int(in.c))
+					pc = int(in.a)
+				}
+			case iFCmpBr + fNe:
+				n := len(e.stack)
+				x, y := e.stack[n-2], e.stack[n-1]
+				e.stack = e.stack[:n-2]
+				if uint32(x) != uint32(y) {
+					e.slide(lbase+int(in.b), int(in.c))
+					pc = int(in.a)
+				}
+			case iFCmpBr + fLtS:
+				n := len(e.stack)
+				x, y := e.stack[n-2], e.stack[n-1]
+				e.stack = e.stack[:n-2]
+				if int32(x) < int32(y) {
+					e.slide(lbase+int(in.b), int(in.c))
+					pc = int(in.a)
+				}
+			case iFCmpBr + fLtU:
+				n := len(e.stack)
+				x, y := e.stack[n-2], e.stack[n-1]
+				e.stack = e.stack[:n-2]
+				if uint32(x) < uint32(y) {
+					e.slide(lbase+int(in.b), int(in.c))
+					pc = int(in.a)
+				}
+			case iFCmpBr + fGtS:
+				n := len(e.stack)
+				x, y := e.stack[n-2], e.stack[n-1]
+				e.stack = e.stack[:n-2]
+				if int32(x) > int32(y) {
+					e.slide(lbase+int(in.b), int(in.c))
+					pc = int(in.a)
+				}
+			case iFCmpBr + fGtU:
+				n := len(e.stack)
+				x, y := e.stack[n-2], e.stack[n-1]
+				e.stack = e.stack[:n-2]
+				if uint32(x) > uint32(y) {
+					e.slide(lbase+int(in.b), int(in.c))
+					pc = int(in.a)
+				}
+			case iFCmpBr + fLeS:
+				n := len(e.stack)
+				x, y := e.stack[n-2], e.stack[n-1]
+				e.stack = e.stack[:n-2]
+				if int32(x) <= int32(y) {
+					e.slide(lbase+int(in.b), int(in.c))
+					pc = int(in.a)
+				}
+			case iFCmpBr + fLeU:
+				n := len(e.stack)
+				x, y := e.stack[n-2], e.stack[n-1]
+				e.stack = e.stack[:n-2]
+				if uint32(x) <= uint32(y) {
+					e.slide(lbase+int(in.b), int(in.c))
+					pc = int(in.a)
+				}
+			case iFCmpBr + fGeS:
+				n := len(e.stack)
+				x, y := e.stack[n-2], e.stack[n-1]
+				e.stack = e.stack[:n-2]
+				if int32(x) >= int32(y) {
+					e.slide(lbase+int(in.b), int(in.c))
+					pc = int(in.a)
+				}
+			case iFCmpBr + fGeU:
+				n := len(e.stack)
+				x, y := e.stack[n-2], e.stack[n-1]
+				e.stack = e.stack[:n-2]
+				if uint32(x) >= uint32(y) {
+					e.slide(lbase+int(in.b), int(in.c))
+					pc = int(in.a)
+				}
+
+			// [cmp, if] — if jumps to its false-target when the compare
+			// fails, so each arm tests the negation.
+			case iFCmpIf + fEq:
+				n := len(e.stack)
+				x, y := e.stack[n-2], e.stack[n-1]
+				e.stack = e.stack[:n-2]
+				if uint32(x) != uint32(y) {
+					pc = int(in.a)
+				}
+			case iFCmpIf + fNe:
+				n := len(e.stack)
+				x, y := e.stack[n-2], e.stack[n-1]
+				e.stack = e.stack[:n-2]
+				if uint32(x) == uint32(y) {
+					pc = int(in.a)
+				}
+			case iFCmpIf + fLtS:
+				n := len(e.stack)
+				x, y := e.stack[n-2], e.stack[n-1]
+				e.stack = e.stack[:n-2]
+				if int32(x) >= int32(y) {
+					pc = int(in.a)
+				}
+			case iFCmpIf + fLtU:
+				n := len(e.stack)
+				x, y := e.stack[n-2], e.stack[n-1]
+				e.stack = e.stack[:n-2]
+				if uint32(x) >= uint32(y) {
+					pc = int(in.a)
+				}
+			case iFCmpIf + fGtS:
+				n := len(e.stack)
+				x, y := e.stack[n-2], e.stack[n-1]
+				e.stack = e.stack[:n-2]
+				if int32(x) <= int32(y) {
+					pc = int(in.a)
+				}
+			case iFCmpIf + fGtU:
+				n := len(e.stack)
+				x, y := e.stack[n-2], e.stack[n-1]
+				e.stack = e.stack[:n-2]
+				if uint32(x) <= uint32(y) {
+					pc = int(in.a)
+				}
+			case iFCmpIf + fLeS:
+				n := len(e.stack)
+				x, y := e.stack[n-2], e.stack[n-1]
+				e.stack = e.stack[:n-2]
+				if int32(x) > int32(y) {
+					pc = int(in.a)
+				}
+			case iFCmpIf + fLeU:
+				n := len(e.stack)
+				x, y := e.stack[n-2], e.stack[n-1]
+				e.stack = e.stack[:n-2]
+				if uint32(x) > uint32(y) {
+					pc = int(in.a)
+				}
+			case iFCmpIf + fGeS:
+				n := len(e.stack)
+				x, y := e.stack[n-2], e.stack[n-1]
+				e.stack = e.stack[:n-2]
+				if int32(x) < int32(y) {
+					pc = int(in.a)
+				}
+			case iFCmpIf + fGeU:
+				n := len(e.stack)
+				x, y := e.stack[n-2], e.stack[n-1]
+				e.stack = e.stack[:n-2]
+				if uint32(x) < uint32(y) {
+					pc = int(in.a)
+				}
+
+			// [get, const, cmp, br_if] — the loop-exit shape
+			// (local.get i; i32.const N; i32.ge_u; br_if): one dispatch,
+			// zero stack traffic.
+			case iFGetConstCmpBr + fEq:
+				if uint32(e.stack[base+int(in.imm>>32)]) == uint32(in.imm) {
+					e.slide(lbase+int(in.b), int(in.c))
+					pc = int(in.a)
+				}
+			case iFGetConstCmpBr + fNe:
+				if uint32(e.stack[base+int(in.imm>>32)]) != uint32(in.imm) {
+					e.slide(lbase+int(in.b), int(in.c))
+					pc = int(in.a)
+				}
+			case iFGetConstCmpBr + fLtS:
+				if int32(e.stack[base+int(in.imm>>32)]) < int32(in.imm) {
+					e.slide(lbase+int(in.b), int(in.c))
+					pc = int(in.a)
+				}
+			case iFGetConstCmpBr + fLtU:
+				if uint32(e.stack[base+int(in.imm>>32)]) < uint32(in.imm) {
+					e.slide(lbase+int(in.b), int(in.c))
+					pc = int(in.a)
+				}
+			case iFGetConstCmpBr + fGtS:
+				if int32(e.stack[base+int(in.imm>>32)]) > int32(in.imm) {
+					e.slide(lbase+int(in.b), int(in.c))
+					pc = int(in.a)
+				}
+			case iFGetConstCmpBr + fGtU:
+				if uint32(e.stack[base+int(in.imm>>32)]) > uint32(in.imm) {
+					e.slide(lbase+int(in.b), int(in.c))
+					pc = int(in.a)
+				}
+			case iFGetConstCmpBr + fLeS:
+				if int32(e.stack[base+int(in.imm>>32)]) <= int32(in.imm) {
+					e.slide(lbase+int(in.b), int(in.c))
+					pc = int(in.a)
+				}
+			case iFGetConstCmpBr + fLeU:
+				if uint32(e.stack[base+int(in.imm>>32)]) <= uint32(in.imm) {
+					e.slide(lbase+int(in.b), int(in.c))
+					pc = int(in.a)
+				}
+			case iFGetConstCmpBr + fGeS:
+				if int32(e.stack[base+int(in.imm>>32)]) >= int32(in.imm) {
+					e.slide(lbase+int(in.b), int(in.c))
+					pc = int(in.a)
+				}
+			case iFGetConstCmpBr + fGeU:
+				if uint32(e.stack[base+int(in.imm>>32)]) >= uint32(in.imm) {
+					e.slide(lbase+int(in.b), int(in.c))
+					pc = int(in.a)
+				}
+
+			// [get, const, cmp, if]
+			case iFGetConstCmpIf + fEq:
+				if uint32(e.stack[base+int(in.imm>>32)]) != uint32(in.imm) {
+					pc = int(in.a)
+				}
+			case iFGetConstCmpIf + fNe:
+				if uint32(e.stack[base+int(in.imm>>32)]) == uint32(in.imm) {
+					pc = int(in.a)
+				}
+			case iFGetConstCmpIf + fLtS:
+				if int32(e.stack[base+int(in.imm>>32)]) >= int32(in.imm) {
+					pc = int(in.a)
+				}
+			case iFGetConstCmpIf + fLtU:
+				if uint32(e.stack[base+int(in.imm>>32)]) >= uint32(in.imm) {
+					pc = int(in.a)
+				}
+			case iFGetConstCmpIf + fGtS:
+				if int32(e.stack[base+int(in.imm>>32)]) <= int32(in.imm) {
+					pc = int(in.a)
+				}
+			case iFGetConstCmpIf + fGtU:
+				if uint32(e.stack[base+int(in.imm>>32)]) <= uint32(in.imm) {
+					pc = int(in.a)
+				}
+			case iFGetConstCmpIf + fLeS:
+				if int32(e.stack[base+int(in.imm>>32)]) > int32(in.imm) {
+					pc = int(in.a)
+				}
+			case iFGetConstCmpIf + fLeU:
+				if uint32(e.stack[base+int(in.imm>>32)]) > uint32(in.imm) {
+					pc = int(in.a)
+				}
+			case iFGetConstCmpIf + fGeS:
+				if int32(e.stack[base+int(in.imm>>32)]) < int32(in.imm) {
+					pc = int(in.a)
+				}
+			case iFGetConstCmpIf + fGeU:
+				if uint32(e.stack[base+int(in.imm>>32)]) < uint32(in.imm) {
+					pc = int(in.a)
+				}
+
+			// [get, get, cmp, br_if]
+			case iFGetGetCmpBr + fEq:
+				if uint32(e.stack[base+int(in.imm>>32)]) == uint32(e.stack[base+int(uint32(in.imm))]) {
+					e.slide(lbase+int(in.b), int(in.c))
+					pc = int(in.a)
+				}
+			case iFGetGetCmpBr + fNe:
+				if uint32(e.stack[base+int(in.imm>>32)]) != uint32(e.stack[base+int(uint32(in.imm))]) {
+					e.slide(lbase+int(in.b), int(in.c))
+					pc = int(in.a)
+				}
+			case iFGetGetCmpBr + fLtS:
+				if int32(e.stack[base+int(in.imm>>32)]) < int32(e.stack[base+int(uint32(in.imm))]) {
+					e.slide(lbase+int(in.b), int(in.c))
+					pc = int(in.a)
+				}
+			case iFGetGetCmpBr + fLtU:
+				if uint32(e.stack[base+int(in.imm>>32)]) < uint32(e.stack[base+int(uint32(in.imm))]) {
+					e.slide(lbase+int(in.b), int(in.c))
+					pc = int(in.a)
+				}
+			case iFGetGetCmpBr + fGtS:
+				if int32(e.stack[base+int(in.imm>>32)]) > int32(e.stack[base+int(uint32(in.imm))]) {
+					e.slide(lbase+int(in.b), int(in.c))
+					pc = int(in.a)
+				}
+			case iFGetGetCmpBr + fGtU:
+				if uint32(e.stack[base+int(in.imm>>32)]) > uint32(e.stack[base+int(uint32(in.imm))]) {
+					e.slide(lbase+int(in.b), int(in.c))
+					pc = int(in.a)
+				}
+			case iFGetGetCmpBr + fLeS:
+				if int32(e.stack[base+int(in.imm>>32)]) <= int32(e.stack[base+int(uint32(in.imm))]) {
+					e.slide(lbase+int(in.b), int(in.c))
+					pc = int(in.a)
+				}
+			case iFGetGetCmpBr + fLeU:
+				if uint32(e.stack[base+int(in.imm>>32)]) <= uint32(e.stack[base+int(uint32(in.imm))]) {
+					e.slide(lbase+int(in.b), int(in.c))
+					pc = int(in.a)
+				}
+			case iFGetGetCmpBr + fGeS:
+				if int32(e.stack[base+int(in.imm>>32)]) >= int32(e.stack[base+int(uint32(in.imm))]) {
+					e.slide(lbase+int(in.b), int(in.c))
+					pc = int(in.a)
+				}
+			case iFGetGetCmpBr + fGeU:
+				if uint32(e.stack[base+int(in.imm>>32)]) >= uint32(e.stack[base+int(uint32(in.imm))]) {
+					e.slide(lbase+int(in.b), int(in.c))
+					pc = int(in.a)
+				}
+
+			// [get, get, cmp, if]
+			case iFGetGetCmpIf + fEq:
+				if uint32(e.stack[base+int(in.imm>>32)]) != uint32(e.stack[base+int(uint32(in.imm))]) {
+					pc = int(in.a)
+				}
+			case iFGetGetCmpIf + fNe:
+				if uint32(e.stack[base+int(in.imm>>32)]) == uint32(e.stack[base+int(uint32(in.imm))]) {
+					pc = int(in.a)
+				}
+			case iFGetGetCmpIf + fLtS:
+				if int32(e.stack[base+int(in.imm>>32)]) >= int32(e.stack[base+int(uint32(in.imm))]) {
+					pc = int(in.a)
+				}
+			case iFGetGetCmpIf + fLtU:
+				if uint32(e.stack[base+int(in.imm>>32)]) >= uint32(e.stack[base+int(uint32(in.imm))]) {
+					pc = int(in.a)
+				}
+			case iFGetGetCmpIf + fGtS:
+				if int32(e.stack[base+int(in.imm>>32)]) <= int32(e.stack[base+int(uint32(in.imm))]) {
+					pc = int(in.a)
+				}
+			case iFGetGetCmpIf + fGtU:
+				if uint32(e.stack[base+int(in.imm>>32)]) <= uint32(e.stack[base+int(uint32(in.imm))]) {
+					pc = int(in.a)
+				}
+			case iFGetGetCmpIf + fLeS:
+				if int32(e.stack[base+int(in.imm>>32)]) > int32(e.stack[base+int(uint32(in.imm))]) {
+					pc = int(in.a)
+				}
+			case iFGetGetCmpIf + fLeU:
+				if uint32(e.stack[base+int(in.imm>>32)]) > uint32(e.stack[base+int(uint32(in.imm))]) {
+					pc = int(in.a)
+				}
+			case iFGetGetCmpIf + fGeS:
+				if int32(e.stack[base+int(in.imm>>32)]) < int32(e.stack[base+int(uint32(in.imm))]) {
+					pc = int(in.a)
+				}
+			case iFGetGetCmpIf + fGeU:
+				if uint32(e.stack[base+int(in.imm>>32)]) < uint32(e.stack[base+int(uint32(in.imm))]) {
+					pc = int(in.a)
+				}
+
+			case iFEqzBr:
+				if uint32(e.pop()) == 0 {
+					e.slide(lbase+int(in.b), int(in.c))
+					pc = int(in.a)
+				}
+			case iFEqzIf:
+				if uint32(e.pop()) != 0 {
+					pc = int(in.a)
+				}
+			case iFConstSet:
+				e.stack[base+int(in.a)] = in.imm
+			case iFGetSet:
+				e.stack[base+int(in.c)] = e.stack[base+int(in.a)]
+			case iFGetBrIf:
+				if uint32(e.stack[base+int(in.imm)]) != 0 {
+					e.slide(lbase+int(in.b), int(in.c))
+					pc = int(in.a)
+				}
+			case iFGetLoad:
+				// Push the address local, then run the shared load tail:
+				// bounds traps throw from exactly the plain-tier state.
+				e.push(e.stack[base+int(in.imm)])
+				e.execMemAccess(inst.Mem, byte(in.b), in.a)
+
+			// The xorshift/mix step: local[c] = local[a] ^ (local[b] ⊙ k).
+			case iFShlXorSet:
+				e.stack[base+int(in.c)] = uint64(uint32(e.stack[base+int(in.a)]) ^
+					uint32(e.stack[base+int(in.b)])<<(uint32(in.imm)&31))
+			case iFShrXorSet:
+				e.stack[base+int(in.c)] = uint64(uint32(e.stack[base+int(in.a)]) ^
+					uint32(e.stack[base+int(in.b)])>>(uint32(in.imm)&31))
+
+			case iFGetConstAndEqzBr:
+				if uint32(e.stack[base+int(in.imm>>32)])&uint32(in.imm) == 0 {
+					e.slide(lbase+int(in.b), int(in.c))
+					pc = int(in.a)
+				}
+			case iFGetConstAndEqzIf:
+				if uint32(e.stack[base+int(in.imm>>32)])&uint32(in.imm) != 0 {
+					pc = int(in.a)
+				}
+			case iFGetConstAddSetBr:
+				e.stack[base+int((in.imm>>32)&0xffff)] =
+					uint64(uint32(e.stack[base+int(in.imm>>48)]) + uint32(in.imm))
+				e.slide(lbase+int(in.b), int(in.c))
+				pc = int(in.a)
 			}
 		}
 	}
 }
 
-// runWire executes the legacy wire-bytecode engine (Exec.Wire), decoding
+// runWire executes the legacy wire-bytecode engine (TierWire), decoding
 // LEB immediates and maintaining a runtime label stack per frame. Kept for
 // differential testing against the IR engine.
 func (e *Exec) runWire(minFrames int) {
@@ -640,6 +1257,9 @@ func (e *Exec) runWire(minFrames int) {
 		op := body[pc]
 		pc++
 		e.Steps++
+		if e.Ops != nil {
+			e.Ops.note(op)
+		}
 
 		switch op {
 		case wasm.OpUnreachable:

@@ -614,15 +614,15 @@ func TestOverlongLEBImmediates(t *testing.T) {
 	if err != nil {
 		t.Fatalf("instantiate: %v", err)
 	}
-	for _, wire := range []bool{false, true} {
+	for _, tier := range []ExecTier{TierFused, TierIR, TierWire} {
 		e := NewExec(inst)
-		e.Wire = wire
+		e.Tier = tier
 		res, err := e.Invoke(0)
 		if err != nil {
-			t.Fatalf("wire=%v: %v", wire, err)
+			t.Fatalf("tier=%v: %v", tier, err)
 		}
 		if uint32(res[0]) != 1 {
-			t.Errorf("wire=%v: memory.size = %d, want 1", wire, res[0])
+			t.Errorf("tier=%v: memory.size = %d, want 1", tier, res[0])
 		}
 	}
 }

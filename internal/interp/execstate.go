@@ -32,8 +32,13 @@ type FrameState struct {
 type ExecState struct {
 	Stack  []uint64
 	Frames []FrameState
-	Wire   bool // pc space differs between the IR and wire engines
-	Steps  uint64
+	// Wire records which pc space the captured frames use. The IR and
+	// fused tiers share one pc space (the fused code array is
+	// position-preserving, see fuse.go), so only the wire/non-wire split
+	// matters here — which also keeps the snapshot codec's wire format
+	// stable across the introduction of the fused tier.
+	Wire  bool
+	Steps uint64
 }
 
 // CaptureState snapshots the execution state. It must run on the guest's
@@ -44,7 +49,7 @@ func (e *Exec) CaptureState() (*ExecState, error) {
 	st := &ExecState{
 		Stack:  append([]uint64(nil), e.stack...),
 		Frames: make([]FrameState, len(e.frames)),
-		Wire:   e.Wire,
+		Wire:   e.Tier == TierWire,
 		Steps:  e.Steps,
 	}
 	for i := range e.frames {
@@ -88,11 +93,18 @@ func funcIndexOf(inst *Instance, fn *resolvedFunc) (uint32, bool) {
 // RestoreState rebuilds the execution state over e.Inst. The instance
 // must come from the same module (same function index space and
 // pre-decoded pc spaces) as the captured one; Wire selects the matching
-// engine.
+// pc space (wire vs. the shared IR/fused space).
 func (e *Exec) RestoreState(st *ExecState) error {
 	e.stack = append(e.stack[:0], st.Stack...)
 	e.frames = e.frames[:0]
-	e.Wire = st.Wire
+	// Wire pcs only make sense on the wire engine; IR pcs run on either of
+	// the IR-space tiers, so a non-wire image keeps the Exec's configured
+	// tier (defaulting a stale wire setting back to fused).
+	if st.Wire {
+		e.Tier = TierWire
+	} else if e.Tier == TierWire {
+		e.Tier = TierFused
+	}
 	e.Steps = st.Steps
 	for i, fs := range st.Frames {
 		if int(fs.Fn) >= len(e.Inst.funcs) {

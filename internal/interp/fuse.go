@@ -1,0 +1,357 @@
+// Superinstruction fusion: the tier-2 execution engine over the flat IR.
+//
+// # Design
+//
+// The fusion pass rewrites a pre-decoded function body (predecode.go) into
+// a second code array of THE SAME LENGTH, in the same pc space. At every
+// position where one of the patterns below matches, the head slot becomes a
+// single superinstruction whose n field carries the fold count; the
+// interior slots KEEP their original instructions. The hot loop advances
+// pc by n, so straight-line execution dispatches once per fused sequence,
+// while a branch that lands inside a fused region (loop back-edges,
+// forward targets, restored snapshots) simply executes the preserved
+// originals — every pc is a valid entry point in both tiers.
+//
+// Sharing the pc space is what keeps the rest of the system untouched:
+//
+//   - Deopt is free. An ExecState captured at a safepoint under the fused
+//     tier restores into the plain-IR tier (or vice versa) with no pc
+//     mapping: frame pcs mean the same thing in both arrays. Snapshots,
+//     fork, and the golden-twin determinism test need no tier awareness.
+//   - Trap.Stack pc→wasm attribution is unchanged: fused pcs are IR pcs.
+//   - Steps parity: the loop counts n per dispatch, so the instruction
+//     count an embedder observes (Fig 8's wasm_instructions metric, the
+//     snapshot Steps field) is identical across tiers.
+//   - Safepoint polls are preserved exactly: iLoopEnter is never part of a
+//     pattern, so loop-entry and back-edge polls under SafepointLoop fire
+//     dispatch-for-dispatch like the IR tier; SafepointFunc polls live in
+//     invokeIndex, outside any pattern. (SafepointEveryInst polls once per
+//     dispatch slot by definition, as documented on the scheme.)
+//
+// # What fuses
+//
+// Only sequences whose interior cannot trap and cannot be observed
+// mid-flight: local.get/local.set/const plus the non-trapping inlined i32
+// ALU ops (add sub mul and or xor shl shr_s shr_u) and the ten i32
+// compares. div/rem keep their trap semantics by staying unfused. The two
+// memory-touching patterns (local.get+load, load+extend) reuse the shared
+// execMemAccess tail, so bounds traps throw from exactly the state the
+// plain tier would be in. Candidate selection came from the dynamic
+// opcode/bigram/trigram profile (benchvirt -opstats) over the ported app
+// suite; coverage is proven the same way (Steps vs Dispatches).
+//
+// Every position gets its own best (longest) match computed independently
+// against the ORIGINAL instruction array, so overlapping fused sequences
+// coexist: out[5] may fold [5..8] while out[6] — reachable only as a
+// branch target — folds [6..8].
+package interp
+
+import "gowali/internal/wasm"
+
+// Fused superinstruction opcodes. ALU families span 9 consecutive codes
+// indexed fAdd..fShrU; compare families span 10, indexed fEq..fGeU. The
+// space stays dense so the dispatch switch remains one jump table.
+const (
+	// [const, binop]: top = top ⊙ imm
+	iFConstBin uint16 = iI64ExtendI32U + 1
+	// [get, const, binop]: push(local[a] ⊙ imm)
+	iFGetConstBin = iFConstBin + 9
+	// [get, const, binop, set]: local[c] = local[a] ⊙ imm
+	iFGetConstBinSet = iFGetConstBin + 9
+	// [get, get, binop]: push(local[a] ⊙ local[b])
+	iFGetGetBin = iFGetConstBinSet + 9
+	// [get, get, binop, set]: local[c] = local[a] ⊙ local[b]
+	iFGetGetBinSet = iFGetGetBin + 9
+	// [binop, set]: local[a] = nos ⊙ tos, pop both
+	iFBinSet = iFGetGetBinSet + 9
+
+	// [cmp, br_if]: pop y, x; branch(a,b,c) when cmp(x,y)
+	iFCmpBr = iFBinSet + 9
+	// [cmp, if]: pop y, x; jump to a when !cmp(x,y)
+	iFCmpIf = iFCmpBr + 10
+	// [get, const, cmp, br_if]: branch when cmp(local[imm>>32], imm32)
+	iFGetConstCmpBr = iFCmpIf + 10
+	// [get, const, cmp, if]: jump to a when !cmp(local[imm>>32], imm32)
+	iFGetConstCmpIf = iFGetConstCmpBr + 10
+	// [get, get, cmp, br_if]: branch when cmp(local[imm>>32], local[imm32])
+	iFGetGetCmpBr = iFGetConstCmpIf + 10
+	// [get, get, cmp, if]: jump to a when !cmp(local[imm>>32], local[imm32])
+	iFGetGetCmpIf = iFGetGetCmpBr + 10
+
+	// [eqz, br_if]: pop v; branch(a,b,c) when v == 0
+	iFEqzBr = iFGetGetCmpIf + 10
+	// [eqz, if]: pop v; jump to a when v != 0
+	iFEqzIf = iFEqzBr + 1
+	// [const, set]: local[a] = imm (any value type)
+	iFConstSet = iFEqzIf + 1
+	// [get, set]: local[c] = local[a] (register move, any value type)
+	iFGetSet = iFConstSet + 1
+	// [get, br_if]: branch(a,b,c) when local[imm] != 0
+	iFGetBrIf = iFGetSet + 1
+	// [get, load(, extend)]: push local[imm], then execMemAccess(b, a)
+	iFGetLoad = iFGetBrIf + 1
+	// [get, get, const, shl, xor, set]: local[c] = local[a] ^ (local[b] << imm)
+	iFShlXorSet = iFGetLoad + 1
+	// [get, get, const, shr_u, xor, set]: local[c] = local[a] ^ (local[b] >> imm)
+	iFShrXorSet = iFShlXorSet + 1
+	// [get, const, and, eqz, br_if]: branch(a,b,c) when (local[imm>>32] & imm32) == 0
+	iFGetConstAndEqzBr = iFShrXorSet + 1
+	// [get, const, and, eqz, if]: jump to a when (local[imm>>32] & imm32) != 0
+	iFGetConstAndEqzIf = iFGetConstAndEqzBr + 1
+	// [get, const, add, set, br]: local[imm>>32 & 0xffff] = local[imm>>48] + imm32,
+	// then branch(a,b,c) — the universal counted-loop increment + back edge.
+	iFGetConstAddSetBr = iFGetConstAndEqzIf + 1
+)
+
+// ALU family sub-indices, in iI32Add..iI32ShrU order.
+const (
+	fAdd = iota
+	fSub
+	fMul
+	fAnd
+	fOr
+	fXor
+	fShl
+	fShrS
+	fShrU
+)
+
+// Compare family sub-indices, in iI32Eq..iI32GeU order.
+const (
+	fEq = iota
+	fNe
+	fLtS
+	fLtU
+	fGtS
+	fGtU
+	fLeS
+	fLeU
+	fGeS
+	fGeU
+)
+
+// aluIdx returns the dense family index of a fusible (non-trapping) inlined
+// i32 ALU opcode.
+func aluIdx(op uint16) (uint16, bool) {
+	if op >= iI32Add && op <= iI32ShrU {
+		return op - iI32Add, true
+	}
+	return 0, false
+}
+
+// cmpIdx returns the dense family index of an inlined i32 compare opcode.
+func cmpIdx(op uint16) (uint16, bool) {
+	if op >= iI32Eq && op <= iI32GeU {
+		return op - iI32Eq, true
+	}
+	return 0, false
+}
+
+// isLoad reports whether an iMemAccess instruction is a load.
+func isLoad(in *instr) bool {
+	return in.op == iMemAccess && byte(in.b) >= wasm.OpI32Load && byte(in.b) <= wasm.OpI64Load32U
+}
+
+// loadExtendRewrite folds a load followed by a redundant-width extension
+// into the wider load opcode (i32.load + i64.extend_i32_u ≡ i64.load32_u
+// on the 64-bit value representation, and so on). Returns the rewritten
+// wire opcode.
+func loadExtendRewrite(loadOp byte, next *instr) (byte, bool) {
+	switch loadOp {
+	case wasm.OpI32Load:
+		if next.op == iI64ExtendI32U {
+			return wasm.OpI64Load32U, true
+		}
+		if next.op == iNumeric && byte(next.a) == wasm.OpI64ExtendI32S {
+			return wasm.OpI64Load32S, true
+		}
+	case wasm.OpI32Load8U:
+		if next.op == iNumeric && byte(next.a) == wasm.OpI32Extend8S {
+			return wasm.OpI32Load8S, true
+		}
+	case wasm.OpI32Load16U:
+		if next.op == iNumeric && byte(next.a) == wasm.OpI32Extend16S {
+			return wasm.OpI32Load16S, true
+		}
+	}
+	return 0, false
+}
+
+// fuse builds the tier-2 code array for one function body: same length,
+// same pc space, same br_table pool, with superinstructions installed at
+// every pattern head. The input irCode is left untouched (it is the shared,
+// immutable plain-IR tier).
+func fuse(code *irCode) *irCode {
+	out := make([]instr, len(code.ins))
+	copy(out, code.ins)
+	for pc := range code.ins {
+		fuseAt(code.ins, pc, &out[pc])
+	}
+	return &irCode{ins: out, tables: code.tables}
+}
+
+// fuseAt matches the longest pattern starting at ins[pc] and, on a match,
+// overwrites *dst (a copy of ins[pc]) with the superinstruction head.
+// Patterns are matched against the original array, so interior slots of an
+// earlier match are themselves candidates — that is what makes branch
+// targets inside fused regions fast rather than merely correct.
+func fuseAt(ins []instr, pc int, dst *instr) {
+	rest := ins[pc:]
+	in0 := &rest[0]
+
+	switch in0.op {
+	case iLocalGet:
+		if len(rest) >= 2 && rest[1].op == iLocalGet {
+			// get A, get B, ...
+			a, b := in0.a, rest[1].a
+			if len(rest) >= 6 && rest[2].op == iConst && rest[5].op == iLocalSet &&
+				rest[4].op == iI32Xor && (rest[3].op == iI32Shl || rest[3].op == iI32ShrU) {
+				// The xorshift step: local[C] = local[A] ^ (local[B] <</>> k).
+				op := uint16(iFShlXorSet)
+				if rest[3].op == iI32ShrU {
+					op = iFShrXorSet
+				}
+				*dst = instr{op: op, n: 6, a: a, b: b, c: rest[5].a, imm: rest[2].imm}
+				return
+			}
+			if len(rest) >= 4 {
+				if k, ok := cmpIdx(rest[2].op); ok {
+					packed := uint64(a)<<32 | uint64(b)
+					if rest[3].op == iBrIf {
+						*dst = instr{op: iFGetGetCmpBr + k, n: 4,
+							a: rest[3].a, b: rest[3].b, c: rest[3].c, imm: packed}
+						return
+					}
+					if rest[3].op == iIf {
+						*dst = instr{op: iFGetGetCmpIf + k, n: 4, a: rest[3].a, imm: packed}
+						return
+					}
+				}
+				if k, ok := aluIdx(rest[2].op); ok && rest[3].op == iLocalSet {
+					*dst = instr{op: iFGetGetBinSet + k, n: 4, a: a, b: b, c: rest[3].a}
+					return
+				}
+			}
+			if len(rest) >= 3 {
+				if k, ok := aluIdx(rest[2].op); ok {
+					*dst = instr{op: iFGetGetBin + k, n: 3, a: a, b: b}
+					return
+				}
+			}
+			return
+		}
+		if len(rest) >= 2 && rest[1].op == iConst {
+			// get A, const k, ...
+			a := in0.a
+			if len(rest) >= 5 && a < 1<<16 {
+				k32 := uint64(uint32(rest[1].imm))
+				if rest[2].op == iI32And && rest[3].op == iI32Eqz {
+					// The periodic-work check: if ((i & mask) == 0) { ... }.
+					if rest[4].op == iBrIf {
+						*dst = instr{op: iFGetConstAndEqzBr, n: 5,
+							a: rest[4].a, b: rest[4].b, c: rest[4].c, imm: uint64(a)<<32 | k32}
+						return
+					}
+					if rest[4].op == iIf {
+						*dst = instr{op: iFGetConstAndEqzIf, n: 5,
+							a: rest[4].a, imm: uint64(a)<<32 | k32}
+						return
+					}
+				}
+				if rest[2].op == iI32Add && rest[3].op == iLocalSet &&
+					rest[4].op == iBr && rest[3].a < 1<<16 {
+					// Counted-loop increment + back edge in one dispatch.
+					*dst = instr{op: iFGetConstAddSetBr, n: 5,
+						a: rest[4].a, b: rest[4].b, c: rest[4].c,
+						imm: uint64(a)<<48 | uint64(rest[3].a)<<32 | k32}
+					return
+				}
+			}
+			if len(rest) >= 4 {
+				if k, ok := cmpIdx(rest[2].op); ok {
+					packed := uint64(a)<<32 | uint64(uint32(rest[1].imm))
+					if rest[3].op == iBrIf {
+						*dst = instr{op: iFGetConstCmpBr + k, n: 4,
+							a: rest[3].a, b: rest[3].b, c: rest[3].c, imm: packed}
+						return
+					}
+					if rest[3].op == iIf {
+						*dst = instr{op: iFGetConstCmpIf + k, n: 4, a: rest[3].a, imm: packed}
+						return
+					}
+				}
+				if k, ok := aluIdx(rest[2].op); ok && rest[3].op == iLocalSet {
+					*dst = instr{op: iFGetConstBinSet + k, n: 4, a: a, c: rest[3].a, imm: rest[1].imm}
+					return
+				}
+			}
+			if len(rest) >= 3 {
+				if k, ok := aluIdx(rest[2].op); ok {
+					*dst = instr{op: iFGetConstBin + k, n: 3, a: a, imm: rest[1].imm}
+					return
+				}
+			}
+			return
+		}
+		if len(rest) >= 2 {
+			switch {
+			case rest[1].op == iLocalSet:
+				*dst = instr{op: iFGetSet, n: 2, a: in0.a, c: rest[1].a}
+			case rest[1].op == iBrIf:
+				*dst = instr{op: iFGetBrIf, n: 2,
+					a: rest[1].a, b: rest[1].b, c: rest[1].c, imm: uint64(in0.a)}
+			case isLoad(&rest[1]):
+				n, b := uint16(2), rest[1].b
+				if len(rest) >= 3 {
+					if wop, ok := loadExtendRewrite(byte(b), &rest[2]); ok {
+						n, b = 3, uint32(wop)
+					}
+				}
+				*dst = instr{op: iFGetLoad, n: n, a: rest[1].a, b: b, imm: uint64(in0.a)}
+			}
+		}
+
+	case iConst:
+		if len(rest) < 2 {
+			return
+		}
+		if rest[1].op == iLocalSet {
+			*dst = instr{op: iFConstSet, n: 2, a: rest[1].a, imm: in0.imm}
+			return
+		}
+		if k, ok := aluIdx(rest[1].op); ok {
+			*dst = instr{op: iFConstBin + k, n: 2, imm: in0.imm}
+		}
+
+	case iI32Eqz:
+		if len(rest) >= 2 {
+			if rest[1].op == iBrIf {
+				*dst = instr{op: iFEqzBr, n: 2, a: rest[1].a, b: rest[1].b, c: rest[1].c}
+			} else if rest[1].op == iIf {
+				*dst = instr{op: iFEqzIf, n: 2, a: rest[1].a}
+			}
+		}
+
+	case iMemAccess:
+		if isLoad(in0) && len(rest) >= 2 {
+			if wop, ok := loadExtendRewrite(byte(in0.b), &rest[1]); ok {
+				*dst = instr{op: iMemAccess, n: 2, a: in0.a, b: uint32(wop)}
+			}
+		}
+
+	default:
+		if len(rest) >= 2 {
+			if k, ok := aluIdx(in0.op); ok && rest[1].op == iLocalSet {
+				*dst = instr{op: iFBinSet + k, n: 2, a: rest[1].a}
+				return
+			}
+			if k, ok := cmpIdx(in0.op); ok {
+				if rest[1].op == iBrIf {
+					*dst = instr{op: iFCmpBr + k, n: 2, a: rest[1].a, b: rest[1].b, c: rest[1].c}
+				} else if rest[1].op == iIf {
+					*dst = instr{op: iFCmpIf + k, n: 2, a: rest[1].a}
+				}
+			}
+		}
+	}
+}

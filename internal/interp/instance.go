@@ -79,7 +79,8 @@ type resolvedFunc struct {
 	body     []byte
 	locals   []wasm.ValType // non-param locals
 	side     *sideTable
-	code     *irCode // pre-decoded body (predecode.go); the default engine
+	code     *irCode // pre-decoded body (predecode.go); TierIR executes this
+	fused    *irCode // superinstruction overlay (fuse.go); TierFused executes this
 	numParam int
 	numLocal int // including params
 }
@@ -173,6 +174,7 @@ func Compile(m *wasm.Module) (*Compiled, error) {
 			locals:   f.Locals,
 			side:     side,
 			code:     code,
+			fused:    fuse(code),
 			numParam: len(ft.Params),
 			numLocal: len(ft.Params) + len(f.Locals),
 		})

@@ -1,0 +1,243 @@
+package interp
+
+import (
+	"fmt"
+	"sort"
+
+	"gowali/internal/wasm"
+)
+
+// OpStats is a dynamic opcode-frequency profile recorded by the wire-format
+// engine (TierWire). It counts single opcodes plus consecutive pairs and
+// triples of non-control opcodes, which is exactly the evidence the fusion
+// pass (fuse.go) is built on: the top bigrams/trigrams of a workload are the
+// sequences worth folding into superinstructions, and re-running the profile
+// after a change proves (or disproves) coverage.
+//
+// Recording is gated on Exec.Ops != nil and only ever consulted by runWire,
+// so the IR and fused tiers pay nothing for it.
+type OpStats struct {
+	// Uni counts every executed wire opcode.
+	Uni [256]uint64
+	// Bi counts consecutive opcode pairs, keyed first<<8 | second.
+	Bi map[uint16]uint64
+	// Tri counts consecutive opcode triples, keyed a<<16 | b<<8 | c.
+	Tri map[uint32]uint64
+
+	prev  uint16 // last opcode | 0x100 marker once valid
+	prev2 uint32 // last two opcodes | 0x10000 marker once valid
+}
+
+// NewOpStats returns an empty profile ready to hang on Exec.Ops.
+func NewOpStats() *OpStats {
+	return &OpStats{
+		Bi:  make(map[uint16]uint64),
+		Tri: make(map[uint32]uint64),
+	}
+}
+
+// breaksRun reports opcodes that end a straight-line run. Sequences spanning
+// a control transfer are not fusion candidates, so the pair/triple windows
+// reset at them rather than recording a misleading adjacency.
+func breaksRun(op byte) bool {
+	switch op {
+	case wasm.OpBlock, wasm.OpLoop, wasm.OpIf, wasm.OpElse, wasm.OpEnd,
+		wasm.OpBr, wasm.OpBrIf, wasm.OpBrTable, wasm.OpReturn,
+		wasm.OpCall, wasm.OpCallIndirect, wasm.OpUnreachable:
+		return true
+	}
+	return false
+}
+
+func (s *OpStats) note(op byte) {
+	s.Uni[op]++
+	if breaksRun(op) {
+		// Record the pair/triple ENDING at a branch (cmp+br_if is a prime
+		// fusion target), then reset the window.
+		if s.prev&0x100 != 0 {
+			s.Bi[uint16(s.prev&0xff)<<8|uint16(op)]++
+		}
+		if s.prev2&0x10000 != 0 {
+			s.Tri[(s.prev2&0xffff)<<8|uint32(op)]++
+		}
+		s.prev, s.prev2 = 0, 0
+		return
+	}
+	if s.prev&0x100 != 0 {
+		s.Bi[uint16(s.prev&0xff)<<8|uint16(op)]++
+	}
+	if s.prev2&0x10000 != 0 {
+		s.Tri[(s.prev2&0xffff)<<8|uint32(op)]++
+	}
+	s.prev2 = 0x10000 | (uint32(s.prev&0xff) << 8) | uint32(op)
+	if s.prev&0x100 == 0 {
+		s.prev2 = 0 // need two valid opcodes before a triple window opens
+	}
+	s.prev = 0x100 | uint16(op)
+}
+
+// Total returns the number of opcodes recorded.
+func (s *OpStats) Total() uint64 {
+	var t uint64
+	for _, c := range s.Uni {
+		t += c
+	}
+	return t
+}
+
+// OpCount is one row of a ranked profile report.
+type OpCount struct {
+	Name  string
+	Count uint64
+}
+
+// Top returns the n most frequent single opcodes, descending.
+func (s *OpStats) Top(n int) []OpCount {
+	var out []OpCount
+	for op, c := range s.Uni {
+		if c > 0 {
+			out = append(out, OpCount{OpName(byte(op)), c})
+		}
+	}
+	sortCounts(out)
+	return clampCounts(out, n)
+}
+
+// TopPairs returns the n most frequent straight-line opcode pairs, descending.
+func (s *OpStats) TopPairs(n int) []OpCount {
+	var out []OpCount
+	for k, c := range s.Bi {
+		out = append(out, OpCount{
+			OpName(byte(k>>8)) + " " + OpName(byte(k)), c,
+		})
+	}
+	sortCounts(out)
+	return clampCounts(out, n)
+}
+
+// TopTriples returns the n most frequent straight-line opcode triples,
+// descending.
+func (s *OpStats) TopTriples(n int) []OpCount {
+	var out []OpCount
+	for k, c := range s.Tri {
+		out = append(out, OpCount{
+			OpName(byte(k>>16)) + " " + OpName(byte(k>>8)) + " " + OpName(byte(k)), c,
+		})
+	}
+	sortCounts(out)
+	return clampCounts(out, n)
+}
+
+func sortCounts(rows []OpCount) {
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Count != rows[j].Count {
+			return rows[i].Count > rows[j].Count
+		}
+		return rows[i].Name < rows[j].Name
+	})
+}
+
+func clampCounts(rows []OpCount, n int) []OpCount {
+	if n > 0 && len(rows) > n {
+		rows = rows[:n]
+	}
+	return rows
+}
+
+// OpName renders a wire opcode for profile reports.
+func OpName(op byte) string {
+	if name, ok := opNames[op]; ok {
+		return name
+	}
+	return fmt.Sprintf("0x%02x", op)
+}
+
+var opNames = map[byte]string{
+	wasm.OpUnreachable:   "unreachable",
+	wasm.OpNop:           "nop",
+	wasm.OpBlock:         "block",
+	wasm.OpLoop:          "loop",
+	wasm.OpIf:            "if",
+	wasm.OpElse:          "else",
+	wasm.OpEnd:           "end",
+	wasm.OpBr:            "br",
+	wasm.OpBrIf:          "br_if",
+	wasm.OpBrTable:       "br_table",
+	wasm.OpReturn:        "return",
+	wasm.OpCall:          "call",
+	wasm.OpCallIndirect:  "call_indirect",
+	wasm.OpDrop:          "drop",
+	wasm.OpSelect:        "select",
+	wasm.OpLocalGet:      "local.get",
+	wasm.OpLocalSet:      "local.set",
+	wasm.OpLocalTee:      "local.tee",
+	wasm.OpGlobalGet:     "global.get",
+	wasm.OpGlobalSet:     "global.set",
+	wasm.OpI32Load:       "i32.load",
+	wasm.OpI64Load:       "i64.load",
+	wasm.OpI32Load8S:     "i32.load8_s",
+	wasm.OpI32Load8U:     "i32.load8_u",
+	wasm.OpI32Load16S:    "i32.load16_s",
+	wasm.OpI32Load16U:    "i32.load16_u",
+	wasm.OpI64Load32S:    "i64.load32_s",
+	wasm.OpI64Load32U:    "i64.load32_u",
+	wasm.OpI32Store:      "i32.store",
+	wasm.OpI64Store:      "i64.store",
+	wasm.OpI32Store8:     "i32.store8",
+	wasm.OpI32Store16:    "i32.store16",
+	wasm.OpMemorySize:    "memory.size",
+	wasm.OpMemoryGrow:    "memory.grow",
+	wasm.OpI32Const:      "i32.const",
+	wasm.OpI64Const:      "i64.const",
+	wasm.OpI32Eqz:        "i32.eqz",
+	wasm.OpI32Eq:         "i32.eq",
+	wasm.OpI32Ne:         "i32.ne",
+	wasm.OpI32LtS:        "i32.lt_s",
+	wasm.OpI32LtU:        "i32.lt_u",
+	wasm.OpI32GtS:        "i32.gt_s",
+	wasm.OpI32GtU:        "i32.gt_u",
+	wasm.OpI32LeS:        "i32.le_s",
+	wasm.OpI32LeU:        "i32.le_u",
+	wasm.OpI32GeS:        "i32.ge_s",
+	wasm.OpI32GeU:        "i32.ge_u",
+	wasm.OpI64Eqz:        "i64.eqz",
+	wasm.OpI64Eq:         "i64.eq",
+	wasm.OpI64Ne:         "i64.ne",
+	wasm.OpI64LtS:        "i64.lt_s",
+	wasm.OpI64LtU:        "i64.lt_u",
+	wasm.OpI64GtS:        "i64.gt_s",
+	wasm.OpI64GtU:        "i64.gt_u",
+	wasm.OpI64LeS:        "i64.le_s",
+	wasm.OpI64LeU:        "i64.le_u",
+	wasm.OpI64GeS:        "i64.ge_s",
+	wasm.OpI64GeU:        "i64.ge_u",
+	wasm.OpI32Add:        "i32.add",
+	wasm.OpI32Sub:        "i32.sub",
+	wasm.OpI32Mul:        "i32.mul",
+	wasm.OpI32DivS:       "i32.div_s",
+	wasm.OpI32DivU:       "i32.div_u",
+	wasm.OpI32RemS:       "i32.rem_s",
+	wasm.OpI32RemU:       "i32.rem_u",
+	wasm.OpI32And:        "i32.and",
+	wasm.OpI32Or:         "i32.or",
+	wasm.OpI32Xor:        "i32.xor",
+	wasm.OpI32Shl:        "i32.shl",
+	wasm.OpI32ShrS:       "i32.shr_s",
+	wasm.OpI32ShrU:       "i32.shr_u",
+	wasm.OpI64Add:        "i64.add",
+	wasm.OpI64Sub:        "i64.sub",
+	wasm.OpI64Mul:        "i64.mul",
+	wasm.OpI64DivS:       "i64.div_s",
+	wasm.OpI64DivU:       "i64.div_u",
+	wasm.OpI64RemS:       "i64.rem_s",
+	wasm.OpI64RemU:       "i64.rem_u",
+	wasm.OpI64And:        "i64.and",
+	wasm.OpI64Or:         "i64.or",
+	wasm.OpI64Xor:        "i64.xor",
+	wasm.OpI64Shl:        "i64.shl",
+	wasm.OpI64ShrS:       "i64.shr_s",
+	wasm.OpI64ShrU:       "i64.shr_u",
+	wasm.OpI32WrapI64:    "i32.wrap_i64",
+	wasm.OpI64ExtendI32S: "i64.extend_i32_s",
+	wasm.OpI64ExtendI32U: "i64.extend_i32_u",
+}

@@ -64,9 +64,10 @@
 //
 // Unreachable wire code (after br/return/unreachable until the enclosing
 // else/end) is never emitted: it cannot execute, and no resumable pc can
-// point into it. The wire bytecode path (Exec.Wire) is retained for
-// differential testing; the two engines' pcs are NOT interchangeable, so an
-// Exec must keep one engine for its whole lifetime (CloneWith preserves it).
+// point into it. The wire bytecode path (Exec.Tier == TierWire) is retained
+// for differential testing; wire pcs and IR pcs are NOT interchangeable, so
+// an Exec must keep one pc space for its whole lifetime (CloneWith preserves
+// the tier). The IR and fused tiers share the IR pc space — see fuse.go.
 package interp
 
 import (
@@ -192,9 +193,14 @@ func aluCode(op byte) (uint16, bool) {
 }
 
 // instr is one fixed-width pre-decoded instruction. See the package comment
-// for field roles per opcode.
+// for field roles per opcode. n is the dispatch width: the number of
+// original IR slots this instruction accounts for. Plain IR always has
+// n == 1; a fused superinstruction (fuse.go) has n == fold count, and the
+// hot loop advances pc (and the Steps counter) by n, so both tiers share
+// one pc space and one instruction-count metric.
 type instr struct {
 	op  uint16
+	n   uint16
 	a   uint32
 	b   uint32
 	c   uint32
@@ -331,6 +337,9 @@ func predecode(f *wasm.Func, ft wasm.FuncType, sigs []wasm.FuncType, types []was
 				// Function end: the implicit return. Always emitted so pc
 				// never runs off the instruction array.
 				emit(instr{op: iReturn})
+				for i := range code.ins {
+					code.ins[i].n = 1
+				}
 				return code, nil
 			}
 			continue

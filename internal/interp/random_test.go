@@ -129,11 +129,14 @@ func randomProgram(rng *rand.Rand) *wasm.Module {
 
 // TestDifferentialWireVsIR is the engine-equivalence harness: every random
 // program must produce identical results (or identical trap codes) on the
-// legacy wire-bytecode engine and the pre-decoded IR engine, under all four
-// safepoint schemes. Poll counts must also agree for the schemes whose
-// placement is semantic (none/loop/func); every-inst polls per executed
-// instruction and the engines execute different instruction streams by
-// design, so only its results are compared.
+// legacy wire-bytecode engine, the pre-decoded IR engine, and the fused
+// superinstruction engine, under all four safepoint schemes. Poll counts
+// must also agree for the schemes whose placement is semantic
+// (none/loop/func); every-inst polls per executed dispatch and the engines
+// execute different dispatch streams by design, so only its results are
+// compared. The IR and fused tiers additionally must agree on Steps
+// (retired wasm instructions) on non-trap paths — fusion changes dispatch
+// counts, never the architectural instruction count.
 func TestDifferentialWireVsIR(t *testing.T) {
 	schemes := []SafepointScheme{SafepointNone, SafepointLoop, SafepointFunc, SafepointEveryInst}
 	rng := rand.New(rand.NewSource(0xBEEF))
@@ -150,19 +153,20 @@ func TestDifferentialWireVsIR(t *testing.T) {
 				res   []uint64
 				trap  *Trap
 				polls uint64
+				steps uint64
 			}
-			run := func(wire bool) outcome {
+			run := func(tier ExecTier) outcome {
 				inst, err := NewInstance(m, NewLinker())
 				if err != nil {
 					t.Fatalf("trial %d: instantiate: %v", trial, err)
 				}
 				e := NewExec(inst)
-				e.Wire = wire
+				e.Tier = tier
 				e.Scheme = scheme
 				e.Poll = func(*Exec) {}
 				e.MaxFrames = 64
 				res, err := e.Invoke(fidx, a0, a1)
-				o := outcome{res: res, polls: e.SafepointCount}
+				o := outcome{res: res, polls: e.SafepointCount, steps: e.Steps}
 				if err != nil {
 					var trap *Trap
 					if !errors.As(err, &trap) {
@@ -172,26 +176,42 @@ func TestDifferentialWireVsIR(t *testing.T) {
 				}
 				return o
 			}
-			w, ir := run(true), run(false)
+			w := run(TierWire)
+			ir := run(TierIR)
+			fu := run(TierFused)
 
-			switch {
-			case w.trap == nil && ir.trap == nil:
-				if len(w.res) != len(ir.res) || (len(w.res) == 1 && w.res[0] != ir.res[0]) {
-					t.Fatalf("trial %d scheme %v: wire result %v, IR result %v",
-						trial, scheme, w.res, ir.res)
+			for _, eng := range []struct {
+				name string
+				o    outcome
+			}{{"IR", ir}, {"fused", fu}} {
+				o := eng.o
+				switch {
+				case w.trap == nil && o.trap == nil:
+					if len(w.res) != len(o.res) || (len(w.res) == 1 && w.res[0] != o.res[0]) {
+						t.Fatalf("trial %d scheme %v: wire result %v, %s result %v",
+							trial, scheme, w.res, eng.name, o.res)
+					}
+				case w.trap != nil && o.trap != nil:
+					if w.trap.Code != o.trap.Code {
+						t.Fatalf("trial %d scheme %v: wire trap %v, %s trap %v",
+							trial, scheme, w.trap, eng.name, o.trap)
+					}
+				default:
+					t.Fatalf("trial %d scheme %v: wire (res=%v trap=%v) vs %s (res=%v trap=%v)",
+						trial, scheme, w.res, w.trap, eng.name, o.res, o.trap)
 				}
-			case w.trap != nil && ir.trap != nil:
-				if w.trap.Code != ir.trap.Code {
-					t.Fatalf("trial %d scheme %v: wire trap %v, IR trap %v",
-						trial, scheme, w.trap, ir.trap)
+				if scheme != SafepointEveryInst && w.polls != o.polls {
+					t.Fatalf("trial %d scheme %v: wire polled %d times, %s %d times",
+						trial, scheme, w.polls, eng.name, o.polls)
 				}
-			default:
-				t.Fatalf("trial %d scheme %v: wire (res=%v trap=%v) vs IR (res=%v trap=%v)",
-					trial, scheme, w.res, w.trap, ir.res, ir.trap)
 			}
-			if scheme != SafepointEveryInst && w.polls != ir.polls {
-				t.Fatalf("trial %d scheme %v: wire polled %d times, IR %d times",
-					trial, scheme, w.polls, ir.polls)
+			// Steps must be tier-independent between the IR-space tiers on
+			// completed runs. (Trap paths can legitimately differ: the
+			// load+extend rewrite retires the fused pair before the bounds
+			// check fires.)
+			if ir.trap == nil && fu.trap == nil && ir.steps != fu.steps {
+				t.Fatalf("trial %d scheme %v: IR retired %d steps, fused %d",
+					trial, scheme, ir.steps, fu.steps)
 			}
 		}
 	}

@@ -32,6 +32,7 @@ const Namespace = "wazi"
 type WAZI struct {
 	Z      *zephyr.Kernel
 	Scheme interp.SafepointScheme
+	Tier   interp.ExecTier
 
 	wg sync.WaitGroup
 }
@@ -146,6 +147,7 @@ func (w *WAZI) SpawnCompiled(c *interp.Compiled) (*Process, error) {
 	p := &Process{W: w, Inst: inst}
 	p.Exec = interp.NewExec(inst)
 	p.Exec.Scheme = w.Scheme
+	p.Exec.Tier = w.Tier
 
 	// Recipe step 4: thread bridge via instance-per-thread. Threads
 	// inherit the main exec's safepoint Poll as installed at spawn time,
@@ -158,6 +160,7 @@ func (w *WAZI) SpawnCompiled(c *interp.Compiled) (*Process, error) {
 		tinst := inst.ShareForThread()
 		texec := interp.NewExec(tinst)
 		texec.Scheme = w.Scheme
+		texec.Tier = w.Tier
 		texec.Poll = p.Exec.Poll
 		w.wg.Add(1)
 		go func() {

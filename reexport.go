@@ -42,6 +42,19 @@ const (
 	SafepointEveryInst = interp.SafepointEveryInst
 )
 
+// ExecTier selects the execution engine; see WithExecTier.
+type ExecTier = interp.ExecTier
+
+// Execution tiers, fastest first.
+const (
+	TierFused = interp.TierFused
+	TierIR    = interp.TierIR
+	TierWire  = interp.TierWire
+)
+
+// ParseTier parses a -tier flag value ("fused", "ir" or "wire").
+func ParseTier(s string) (ExecTier, error) { return interp.ParseTier(s) }
+
 // SyscallEvent is one observed syscall; see WithSyscallHook.
 type SyscallEvent = core.SyscallEvent
 
