@@ -28,6 +28,10 @@ type (
 	OpProfile  = ib.OpProfile
 	OpTierRow  = ib.OpTierRow
 	Report     = ib.Report
+
+	TrafficRow      = ib.TrafficRow
+	BackpressureRow = ib.BackpressureRow
+	FabricReport    = ib.FabricReport
 )
 
 // ExecTier selects the execution engine every harness runs on; see
@@ -140,6 +144,33 @@ func NetEcho(msgs, size int, backends []string) []NetEchoRow {
 
 // FormatNetEcho renders the echo table.
 func FormatNetEcho(rows []NetEchoRow) string { return ib.FormatNetEcho(rows) }
+
+// TrafficConfig parameterizes the distributed-fabric traffic runs:
+// fabric size, per-flow bytes and the pattern subset.
+type TrafficConfig = ib.TrafficConfig
+
+// Traffic drives htsim-style traffic patterns (permutation, incast,
+// all-to-all) between guest fleets on a distributed switch fabric:
+// one single-kernel switch per node, each with its own subnet, joined
+// over real localhost TCP trunks in a star, so cross-spoke flows
+// relay through the hub. Every receiver exits nonzero on a lost byte;
+// per-flow completion times give Jain's fairness index.
+func Traffic(cfg TrafficConfig) []TrafficRow { return ib.Traffic(cfg) }
+
+// FormatTraffic renders the traffic-pattern table.
+func FormatTraffic(rows []TrafficRow) string { return ib.FormatTraffic(rows) }
+
+// TrafficBackpressure measures the slow-receiver case: one flow
+// across a two-switch trunk where the receiver drains at a fixed
+// rate. Bounded buffering pins the sender to ≈ the drain rate
+// (Stall ≈ 1); unbounded buffering would let it finish at trunk
+// speed.
+func TrafficBackpressure(bytes int, delay time.Duration) BackpressureRow {
+	return ib.TrafficBackpressure(bytes, delay)
+}
+
+// FormatBackpressure renders the slow-receiver probe.
+func FormatBackpressure(r BackpressureRow) string { return ib.FormatBackpressure(r) }
 
 // FleetOnce runs one scheduler-fleet window at the current GOMAXPROCS:
 // an adversarial mix of CPU spinners, syscall loops and poll-blocked

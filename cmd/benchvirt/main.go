@@ -12,13 +12,17 @@
 //	benchvirt -fsmicro -fsmicro-dir /tmp/probe
 //	benchvirt -fleet -fleet-guests 200 -fleet-gomax 1,2,4,8
 //	benchvirt -opstats -opstats-app lua -opstats-scale 100000
+//	benchvirt -traffic -traffic-nodes 4 -traffic-bytes 4194304
 //	benchvirt -tier ir -fig8time
-//	benchvirt -json -scaleout -netecho -snap
+//	benchvirt -json -scaleout -netecho -snap -traffic
 //
 // -tier selects the execution engine (fused | ir | wire) for every
 // harness. -opstats prints the dynamic opcode/sequence frequency profile
 // that selects superinstruction candidates, plus a per-tier ns/instr and
-// fusion-coverage table. -json additionally writes the machine-readable
+// fusion-coverage table. -traffic drives permutation/incast/all-to-all
+// flows between guest fleets on a distributed switch fabric (one switch
+// per node, trunked over localhost TCP) plus a slow-receiver
+// backpressure probe. -json additionally writes the machine-readable
 // results of the run to BENCH_<date>.json.
 package main
 
@@ -47,6 +51,10 @@ func main() {
 	fleet := flag.Bool("fleet", false, "multicore scheduler fleet: spinner/syscall/poll guest mix across GOMAXPROCS values")
 	snap := flag.Bool("snap", false, "snapshot/restore: checkpoint a warmed guest, restore latency + CoW fork fan-out")
 	opstats := flag.Bool("opstats", false, "dynamic opcode/sequence frequency profile + per-tier cost table")
+	traffic := flag.Bool("traffic", false, "distributed-fabric traffic patterns (permutation/incast/all-to-all) + backpressure probe")
+	trafficNodes := flag.Int("traffic-nodes", 4, "fabric size for -traffic (switches, one guest kernel each)")
+	trafficBytes := flag.Int("traffic-bytes", 4<<20, "per-flow transfer size for -traffic")
+	trafficPatterns := flag.String("traffic-patterns", "", "comma-separated -traffic patterns (default: permutation,incast,alltoall)")
 	opstatsApp := flag.String("opstats-app", "lua", "built-in app to profile for -opstats")
 	opstatsScale := flag.Int("opstats-scale", 100000, "workload scale for -opstats")
 	tierName := flag.String("tier", "fused", "execution engine for all harnesses: fused | ir | wire")
@@ -80,9 +88,9 @@ func main() {
 	bench.SetTier(tier)
 
 	if *all {
-		*t1, *t2, *t3, *f7, *f8t, *f8m, *f9, *fsm, *ne, *fleet, *snap, *opstats = true, true, true, true, true, true, true, true, true, true, true, true
+		*t1, *t2, *t3, *f7, *f8t, *f8m, *f9, *fsm, *ne, *fleet, *snap, *opstats, *traffic = true, true, true, true, true, true, true, true, true, true, true, true, true
 	}
-	if !(*t1 || *t2 || *t3 || *f7 || *f8t || *f8m || *f9 || *fsm || *ne || *fleet || *snap || *opstats) {
+	if !(*t1 || *t2 || *t3 || *f7 || *f8t || *f8m || *f9 || *fsm || *ne || *fleet || *snap || *opstats || *traffic) {
 		*t1, *t2 = true, true
 	}
 	var report *bench.Report
@@ -201,6 +209,27 @@ func main() {
 			report.Interpreter = prof.Tiers
 		}
 		fmt.Print(bench.FormatOpProfile(prof))
+		fmt.Println()
+	}
+	if *traffic {
+		fmt.Println("== Fabric: distributed-switch traffic patterns ==")
+		var patterns []string
+		for _, p := range strings.Split(*trafficPatterns, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				patterns = append(patterns, p)
+			}
+		}
+		rows := bench.Traffic(bench.TrafficConfig{
+			Nodes:        *trafficNodes,
+			BytesPerFlow: *trafficBytes,
+			Patterns:     patterns,
+		})
+		bp := bench.TrafficBackpressure(*trafficBytes, time.Millisecond)
+		if report != nil {
+			report.Fabric = &bench.FabricReport{Patterns: rows, Backpressure: &bp}
+		}
+		fmt.Print(bench.FormatTraffic(rows))
+		fmt.Print(bench.FormatBackpressure(bp))
 		fmt.Println()
 	}
 	if *fsm {

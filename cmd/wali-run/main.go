@@ -7,13 +7,22 @@
 //	wali-run program.wasm arg1 arg2
 //	wali-run -dir /srv/data=/data -dir /srv/image=/app:ro program.wasm
 //	wali-run -net host=8080:127.0.0.1:18080 server.wasm
+//	wali-run -net subnet=10.9.1.0/24 -net bridge=0.0.0.0:19077 server.wasm
+//	wali-run -net subnet=10.9.2.0/24 -net join=hostA:19077 client.wasm
 //
 // -dir mounts a host directory into the guest filesystem (repeatable;
 // a ":ro" suffix makes the mount read-only). -net selects the guest
 // network stack (repeatable directives): "host=PORT:HOSTADDR" maps a
 // guest listener port to a real host listen address, "allow=PATTERN"
 // permits outbound dials, plain "loop" is the default in-kernel
-// loopback. -verbose mirrors WALI_VERBOSE: every dynamically executed
+// loopback. The fabric directives join this process to a distributed
+// switch fabric trunked over real TCP: "subnet=CIDR" declares the
+// local address block (the guest gets its first free address;
+// repeatable), "node=IP" pins the guest address instead,
+// "bridge=HOST:PORT" listens for other processes' trunks, and
+// "join=HOST:PORT" dials into a fabric (both repeatable) — guests then
+// dial guests in other processes or on other hosts by fabric address.
+// -verbose mirrors WALI_VERBOSE: every dynamically executed
 // syscall is printed (experiment E1). The guest's exit status becomes
 // the host process exit status; guest traps print the Wasm backtrace.
 package main

@@ -11,9 +11,15 @@
 //	go run ./examples/netecho -listen 127.0.0.1:18080
 //	go run ./examples/netecho -emit guest.wasm    # also write the guest binary
 //	go run ./examples/netecho -dial 127.0.0.1:18080 -msg "ping"
+//	go run ./examples/netecho -emit-client client.wasm -target 10.9.1.1:7070
 //
 // -dial skips the runtime entirely and acts as a plain host client
-// (the CI e2e uses it to probe a wali-run-served guest).
+// (the CI e2e uses it to probe a wali-run-served guest). -emit-client
+// writes a guest *client* that dials -target — a fabric address on
+// another wali-run process — round-trips a message and exits 0 on a
+// byte-exact echo; the CI two-process e2e runs it with
+// `wali-run -net subnet=... -net join=HOST:PORT client.wasm` against a
+// bridged server.
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 	"log"
 	"net"
 	"os"
+	"strconv"
 	"time"
 
 	"gowali"
@@ -90,6 +97,87 @@ func buildGuest() (*wasm.Module, error) {
 	return b.Build()
 }
 
+// buildClientGuest compiles a guest echo *client*: connect to target
+// (retrying while the remote listener and fabric routes come up), send
+// msg, read the echo back and exit 0 iff every byte returned.
+func buildClientGuest(target string, msg string) (*wasm.Module, error) {
+	host, portStr, err := net.SplitHostPort(target)
+	if err != nil {
+		return nil, err
+	}
+	ip := net.ParseIP(host).To4()
+	if ip == nil {
+		return nil, fmt.Errorf("target %q: need an IPv4 address", target)
+	}
+	port, err := strconv.ParseUint(portStr, 10, 16)
+	if err != nil {
+		return nil, err
+	}
+
+	b := wasm.NewBuilder("netecho-client")
+	sys := map[string]uint32{}
+	for _, s := range []string{
+		"socket", "connect", "poll", "recvfrom", "sendto",
+		"close", "nanosleep", "exit_group",
+	} {
+		sys[s] = gowali.ImportWALISyscall(b, s)
+	}
+	b.Memory(2, 16, false)
+	const (
+		addrBuf = 1024 // sockaddr_in of the target
+		pollBuf = 2048 // struct pollfd
+		tsBuf   = 2064 // 1ms timespec for the connect retry loop
+		ioBuf   = 4096
+	)
+	b.Data(addrBuf, []byte{2, 0, byte(port >> 8), byte(port & 0xff), ip[0], ip[1], ip[2], ip[3]})
+	b.Data(tsBuf, []byte{0, 0, 0, 0, 0, 0, 0, 0, 0x40, 0x42, 0x0F, 0, 0, 0, 0, 0})
+	b.Data(ioBuf, []byte(msg))
+
+	const pollin = 0x001
+	f := b.NewFunc(gowali.StartExport, nil, nil)
+	cs := f.Local(wasm.I64)
+	n := f.Local(wasm.I64)
+	got := f.Local(wasm.I32)
+
+	f.I64Const(2).I64Const(1).I64Const(0).Call(sys["socket"]).LocalSet(cs)
+	// Retry connect: the server process may still be booting, and across
+	// a fresh trunk the route announcement may still be in flight.
+	f.Block()
+	f.Loop()
+	f.LocalGet(cs).I64Const(addrBuf).I64Const(8).Call(sys["connect"])
+	f.Op(wasm.OpI64Eqz).BrIf(1)
+	f.I64Const(tsBuf).I64Const(0).Call(sys["nanosleep"]).Drop()
+	f.Br(0)
+	f.End()
+	f.End()
+
+	f.LocalGet(cs).I64Const(ioBuf).I64Const(int64(len(msg))).I64Const(0).I64Const(0).I64Const(0)
+	f.Call(sys["sendto"]).Drop()
+
+	// Read the echo back, blocking in poll before every read.
+	f.I32Const(pollBuf).LocalGet(cs).Op(wasm.OpI32WrapI64).Store(wasm.OpI32Store, 0)
+	f.I32Const(pollBuf+4).I32Const(pollin).Store(wasm.OpI32Store16, 0)
+	f.I32Const(pollBuf+6).I32Const(0).Store(wasm.OpI32Store16, 0)
+	f.Block()
+	f.Loop()
+	f.LocalGet(got).I32Const(int32(len(msg))).Op(wasm.OpI32GeU).BrIf(1)
+	f.I64Const(pollBuf).I64Const(1).I64Const(-1).Call(sys["poll"]).Drop()
+	f.LocalGet(cs).I64Const(ioBuf).I64Const(int64(len(msg))).I64Const(0).I64Const(0).I64Const(0)
+	f.Call(sys["recvfrom"]).LocalSet(n)
+	f.LocalGet(n).I64Const(0).Op(wasm.OpI64LeS).BrIf(1)
+	f.LocalGet(got).LocalGet(n).Op(wasm.OpI32WrapI64).Op(wasm.OpI32Add).LocalSet(got)
+	f.Br(0)
+	f.End()
+	f.End()
+
+	f.LocalGet(cs).Call(sys["close"]).Drop()
+	// exit(got != len(msg)): a short echo is a loud failure.
+	f.LocalGet(got).I32Const(int32(len(msg))).Op(wasm.OpI32Ne).Op(wasm.OpI64ExtendI32U)
+	f.Call(sys["exit_group"]).Drop()
+	f.Finish()
+	return b.Build()
+}
+
 // probe round-trips msg through addr and returns the echo.
 func probe(addr, msg string) (string, error) {
 	c, err := net.Dial("tcp", addr)
@@ -115,9 +203,27 @@ func probe(addr, msg string) (string, error) {
 func main() {
 	listen := flag.String("listen", "127.0.0.1:0", "host address backing the guest listener")
 	emit := flag.String("emit", "", "also write the guest module to this .wasm file")
+	emitClient := flag.String("emit-client", "", "write a guest echo client dialing -target to this .wasm file, then exit")
+	target := flag.String("target", "", "fabric IP:PORT the -emit-client guest dials (a bridged server's address)")
 	dial := flag.String("dial", "", "client-only mode: probe an already-running echo server at this host address")
 	msg := flag.String("msg", "hello from the host", "message to round-trip")
 	flag.Parse()
+
+	// Emit-client mode: write the dialing guest and exit.
+	if *emitClient != "" {
+		if *target == "" {
+			log.Fatal("-emit-client requires -target IP:PORT")
+		}
+		built, err := buildClientGuest(*target, *msg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*emitClient, wasm.Encode(built), 0o755); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("emitted client binary: %s (dials %s)\n", *emitClient, *target)
+		return
+	}
 
 	// Client-only mode: probe and report.
 	if *dial != "" {

@@ -176,14 +176,29 @@ func WithNet(b NetBackend) Option { return func(c *config) { c.net = b } }
 //	                         (repeatable; ":0" picks a free host port)
 //	allow=PATTERN            allow outbound dials: "ip:port", "*:port",
 //	                         "ip:*" or "*" (repeatable; implies host)
+//	subnet=CIDR              fabric mode: this process's local subnet
+//	                         ("10.0.1.0/24", repeatable); the kernel's
+//	                         node address is allocated from it
+//	node=IP                  fabric mode: attach the kernel under an
+//	                         explicit node address instead
+//	bridge=HOST:PORT         fabric mode: accept trunk links from
+//	                         other processes at this TCP endpoint
+//	join=HOST:PORT           fabric mode: dial into a fabric through
+//	                         a remote bridge= endpoint (repeatable)
 //
-// No directives means no option (loopback).
+// The fabric directives build a distributed switch: two wali-run
+// processes, one with -net bridge=, the other with -net join=, form
+// one address space their guests exchange traffic across. Fabric mode
+// conflicts with the host/loop directives. No directives means no
+// option (loopback).
 func WithNetFlags(specs ...string) (Option, error) {
 	if len(specs) == 0 {
 		return func(*config) {}, nil
 	}
 	cfg := HostNetConfig{Binds: map[uint16]string{}}
-	hostNet, loop := false, false
+	hostNet, loop, fabric := false, false, false
+	var subnets, bridges, joins []string
+	nodeIP := ""
 	for _, spec := range specs {
 		switch {
 		case spec == "loop" || spec == "loopback":
@@ -205,12 +220,75 @@ func WithNetFlags(specs ...string) (Option, error) {
 			}
 			cfg.Allow = append(cfg.Allow, pat)
 			hostNet = true
+		case strings.HasPrefix(spec, "subnet="):
+			cidr := strings.TrimPrefix(spec, "subnet=")
+			if _, err := ParseCIDR(cidr); err != nil {
+				return nil, fmt.Errorf("gowali: bad -net spec %q: %v", spec, err)
+			}
+			subnets = append(subnets, cidr)
+			fabric = true
+		case strings.HasPrefix(spec, "node="):
+			if nodeIP != "" {
+				return nil, fmt.Errorf("gowali: -net node= given twice (one kernel, one node)")
+			}
+			nodeIP = strings.TrimPrefix(spec, "node=")
+			if nodeIP == "" {
+				return nil, fmt.Errorf("gowali: bad -net spec %q", spec)
+			}
+			fabric = true
+		case strings.HasPrefix(spec, "bridge="):
+			addr := strings.TrimPrefix(spec, "bridge=")
+			if addr == "" {
+				return nil, fmt.Errorf("gowali: bad -net spec %q", spec)
+			}
+			bridges = append(bridges, addr)
+			fabric = true
+		case strings.HasPrefix(spec, "join="):
+			addr := strings.TrimPrefix(spec, "join=")
+			if addr == "" {
+				return nil, fmt.Errorf("gowali: bad -net spec %q", spec)
+			}
+			joins = append(joins, addr)
+			fabric = true
 		default:
 			return nil, fmt.Errorf("gowali: bad -net spec %q", spec)
 		}
 	}
+	if fabric && (hostNet || loop) {
+		return nil, fmt.Errorf("gowali: fabric directives (subnet/node/bridge/join) conflict with host/loop")
+	}
 	if hostNet && loop {
 		return nil, fmt.Errorf("gowali: -net loop conflicts with host directives")
+	}
+	if fabric {
+		if len(subnets) == 0 && nodeIP == "" {
+			return nil, fmt.Errorf("gowali: fabric mode needs -net subnet=CIDR or -net node=IP")
+		}
+		sw := NewSwitch()
+		if err := sw.SetSubnets(subnets...); err != nil {
+			return nil, err
+		}
+		var node NetBackend
+		var err error
+		if nodeIP != "" {
+			node, err = sw.Node(nodeIP)
+		} else {
+			node, _, err = sw.AllocNode()
+		}
+		if err != nil {
+			return nil, err
+		}
+		for _, addr := range bridges {
+			if _, err := sw.BridgeListen(addr); err != nil {
+				return nil, fmt.Errorf("gowali: -net bridge=%s: %v", addr, err)
+			}
+		}
+		for _, addr := range joins {
+			if _, err := sw.BridgeDial(addr); err != nil {
+				return nil, fmt.Errorf("gowali: -net join=%s: %v", addr, err)
+			}
+		}
+		return WithNet(node), nil
 	}
 	if !hostNet {
 		return WithNet(nil), nil // explicit loopback
@@ -467,6 +545,18 @@ func (r *Runtime) WaitAll() {
 	if r.wali != nil {
 		r.wali.WaitAll()
 	}
+}
+
+// Close shuts the runtime's kernel down: its network backends release
+// their listeners, queues and (for switch-fabric nodes) the node
+// address, so a shared Switch can reuse it. Idempotent. Callers
+// sharing one kernel across runtimes (WithKernel) should Close only
+// once, when the kernel is done for good.
+func (r *Runtime) Close() error {
+	if r.wali != nil {
+		r.wali.Kernel.Shutdown()
+	}
+	return nil
 }
 
 // Mount grafts a filesystem backend at guestPath on a live runtime

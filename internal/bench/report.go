@@ -26,6 +26,10 @@ type Report struct {
 	Fig9    []Fig9Point  `json:"fig9,omitempty"`
 	NetEcho []NetEchoRow `json:"netecho,omitempty"`
 	Snap    *SnapRow     `json:"snap,omitempty"`
+
+	// Fabric is the distributed-switch traffic section (-traffic):
+	// pattern rows plus the slow-receiver backpressure probe.
+	Fabric *FabricReport `json:"fabric,omitempty"`
 }
 
 // NewReport stamps an empty report with the environment.

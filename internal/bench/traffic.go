@@ -1,0 +1,489 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"gowali/internal/core"
+	"gowali/internal/interp"
+	"gowali/internal/isa"
+	"gowali/internal/kernel"
+	knet "gowali/internal/kernel/net"
+	"gowali/internal/linux"
+	"gowali/internal/wasm"
+)
+
+// ---------- Traffic (distributed fabric patterns) ----------
+//
+// Traffic drives htsim-style traffic patterns between guest fleets on
+// a distributed switch fabric: N single-kernel switches, each with its
+// own subnet, joined over real localhost TCP trunks in a star (every
+// spoke trunks to node 0, so cross-spoke flows relay through the hub).
+// Three patterns:
+//
+//	permutation  node i → node (i+1) mod N: N disjoint flows, the
+//	             fabric's aggregate-bandwidth case
+//	incast       nodes 1..N-1 → node 0: the convergence case — must
+//	             complete with no deadlock and no silent drops
+//	alltoall     every ordered pair: N(N-1) flows, the relay-pressure
+//	             and fairness case
+//
+// Every flow is one sender guest streaming BytesPerFlow to one
+// receiver guest that counts to EOF and exits nonzero on any byte
+// lost — silent drops fail the harness, they don't skew it. Per-flow
+// completion times give Jain's fairness index; TrafficBackpressure
+// measures the slow-receiver case (sender throughput must collapse to
+// the receiver's drain rate, bounded buffering, not unbounded queues).
+
+// TrafficRow is one pattern measurement.
+type TrafficRow struct {
+	Pattern      string        `json:"pattern"`
+	Nodes        int           `json:"nodes"`
+	Flows        int           `json:"flows"`
+	BytesPerFlow int64         `json:"bytes_per_flow"`
+	Elapsed      time.Duration `json:"elapsed_ns"` // slowest flow
+	AggMBps      float64       `json:"agg_mbps"`
+	MinMBps      float64       `json:"min_flow_mbps"`
+	MaxMBps      float64       `json:"max_flow_mbps"`
+	Fairness     float64       `json:"fairness"` // Jain's index over flow rates
+}
+
+// BackpressureRow is the slow-receiver probe: a sender across the
+// trunk against a receiver draining at a fixed rate. With bounded
+// buffering the sender's rate converges on the drain rate; Stall is
+// the ratio (≈1 proves backpressure; >>1 would mean the fabric
+// buffered the flow instead of pushing back).
+type BackpressureRow struct {
+	Bytes         int64         `json:"bytes"`
+	DrainMBps     float64       `json:"drain_mbps"`
+	SenderElapsed time.Duration `json:"sender_elapsed_ns"`
+	SenderMBps    float64       `json:"sender_mbps"`
+	Stall         float64       `json:"sender_vs_drain"`
+}
+
+// FabricReport is the benchvirt -json "fabric" section.
+type FabricReport struct {
+	Patterns     []TrafficRow     `json:"patterns,omitempty"`
+	Backpressure *BackpressureRow `json:"backpressure,omitempty"`
+}
+
+// TrafficConfig parameterizes the pattern runs.
+type TrafficConfig struct {
+	Nodes        int      // fabric size (default 4)
+	BytesPerFlow int      // per-flow transfer (default 4 MiB)
+	Patterns     []string // subset of permutation/incast/alltoall (default all)
+}
+
+const (
+	tfAddrBuf = 1024 // sockaddr_in
+	tfPollBuf = 2048 // struct pollfd
+	tfTsBuf   = 2064 // timespec (connect retry / drain delay)
+	tfIoBuf   = 4096 // payload buffer
+	tfChunk   = 8192 // bytes per send/recv
+)
+
+// putTimespec encodes {sec, nsec} for a guest data segment.
+func putTimespec(d time.Duration) []byte {
+	b := make([]byte, 16)
+	binary.LittleEndian.PutUint64(b, uint64(d/time.Second))
+	binary.LittleEndian.PutUint64(b[8:], uint64(d%time.Second))
+	return b
+}
+
+// buildTrafficSender assembles a flow source: connect to dest (with
+// retry while listeners and routes race up), stream total bytes in
+// tfChunk sends, close, exit 0 — nonzero on any short write.
+func buildTrafficSender(dest knet.Addr, total int) *wasm.Module {
+	b := wasm.NewBuilder("traffic-sender")
+	sys := neImports(b)
+	b.Memory(2, 16, false)
+	addr := make([]byte, 8)
+	isa.PutSockaddrIn(addr, dest.Port, dest.Addr)
+	b.Data(tfAddrBuf, addr)
+	b.Data(tfTsBuf, putTimespec(time.Millisecond))
+
+	f := b.NewFunc(core.StartExport, nil, nil)
+	cs := f.Local(wasm.I64)
+	n := f.Local(wasm.I64)
+	sent := f.Local(wasm.I32)
+	want := f.Local(wasm.I32)
+
+	f.I64Const(linux.AF_INET).I64Const(linux.SOCK_STREAM).I64Const(0).Call(sys["socket"]).LocalSet(cs)
+
+	// Connect retry: the receiver may still be binding, and across a
+	// fresh trunk the route announcement may still be in flight.
+	f.Block()
+	f.Loop()
+	f.LocalGet(cs).I64Const(tfAddrBuf).I64Const(8).Call(sys["connect"])
+	f.Op(wasm.OpI64Eqz).BrIf(1)
+	f.I64Const(tfTsBuf).I64Const(0).Call(sys["nanosleep"]).Drop()
+	f.Br(0)
+	f.End()
+	f.End()
+
+	// while sent < total: sendto(min(tfChunk, total-sent))
+	f.Block()
+	f.Loop()
+	f.LocalGet(sent).I32Const(int32(total)).Op(wasm.OpI32GeU).BrIf(1)
+	f.I32Const(int32(total)).LocalGet(sent).Op(wasm.OpI32Sub).LocalSet(want)
+	f.LocalGet(want).I32Const(tfChunk).Op(wasm.OpI32GeU).If()
+	f.I32Const(tfChunk).LocalSet(want)
+	f.End()
+	f.LocalGet(cs).I64Const(tfIoBuf).LocalGet(want).Op(wasm.OpI64ExtendI32U).I64Const(0).I64Const(0).I64Const(0)
+	f.Call(sys["sendto"]).LocalSet(n)
+	f.LocalGet(n).I64Const(0).Op(wasm.OpI64LeS).If()
+	f.I64Const(1).Call(sys["exit_group"]).Drop() // peer vanished: fail loudly
+	f.End()
+	f.LocalGet(sent).LocalGet(n).Op(wasm.OpI32WrapI64).Op(wasm.OpI32Add).LocalSet(sent)
+	f.Br(0)
+	f.End()
+	f.End()
+
+	f.LocalGet(cs).Call(sys["close"]).Drop()
+	f.I64Const(0).Call(sys["exit_group"]).Drop()
+	f.Finish()
+
+	m, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// buildTrafficReceiver assembles a flow sink: accept one connection,
+// count bytes to EOF (optionally sleeping delay per chunk — the
+// slow-receiver drain rate), exit 0 iff exactly expected bytes
+// arrived. A lost or duplicated byte is a nonzero exit, so silent
+// drops fail the run instead of inflating it.
+func buildTrafficReceiver(port uint16, expected int, delay time.Duration) *wasm.Module {
+	b := wasm.NewBuilder("traffic-receiver")
+	sys := neImports(b)
+	b.Memory(2, 16, false)
+	addr := make([]byte, 8)
+	isa.PutSockaddrIn(addr, port, [4]byte{})
+	b.Data(tfAddrBuf, addr)
+	if delay > 0 {
+		b.Data(tfTsBuf, putTimespec(delay))
+	}
+
+	f := b.NewFunc(core.StartExport, nil, nil)
+	ls := f.Local(wasm.I64)
+	cs := f.Local(wasm.I64)
+	n := f.Local(wasm.I64)
+	got := f.Local(wasm.I32)
+
+	f.I64Const(linux.AF_INET).I64Const(linux.SOCK_STREAM).I64Const(0).Call(sys["socket"]).LocalSet(ls)
+	f.LocalGet(ls).I64Const(tfAddrBuf).I64Const(8).Call(sys["bind"]).Drop()
+	f.LocalGet(ls).I64Const(128).Call(sys["listen"]).Drop()
+	nePollSetup(f, ls)
+	f.I64Const(tfPollBuf).I64Const(1).I64Const(-1).Call(sys["poll"]).Drop()
+	f.LocalGet(ls).I64Const(0).I64Const(0).Call(sys["accept"]).LocalSet(cs)
+
+	nePollSetup(f, cs)
+	f.Block()
+	f.Loop()
+	f.I64Const(tfPollBuf).I64Const(1).I64Const(-1).Call(sys["poll"]).Drop()
+	f.LocalGet(cs).I64Const(tfIoBuf).I64Const(tfChunk).I64Const(0).I64Const(0).I64Const(0)
+	f.Call(sys["recvfrom"]).LocalSet(n)
+	f.LocalGet(n).I64Const(0).Op(wasm.OpI64LeS).BrIf(1) // EOF or reset
+	f.LocalGet(got).LocalGet(n).Op(wasm.OpI32WrapI64).Op(wasm.OpI32Add).LocalSet(got)
+	if delay > 0 {
+		f.I64Const(tfTsBuf).I64Const(0).Call(sys["nanosleep"]).Drop()
+	}
+	f.Br(0)
+	f.End()
+	f.End()
+
+	f.LocalGet(cs).Call(sys["close"]).Drop()
+	f.LocalGet(ls).Call(sys["close"]).Drop()
+	// exit(got != expected): byte-exact delivery or a loud failure.
+	f.LocalGet(got).I32Const(int32(expected)).Op(wasm.OpI32Ne).Op(wasm.OpI64ExtendI32U)
+	f.Call(sys["exit_group"]).Drop()
+	f.Finish()
+
+	m, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// fabricNode is one process-worth of the simulated deployment: its
+// own switch (subnet 10.40.k.0/24), one kernel attached as a node,
+// and a WALI engine for its guests.
+type fabricNode struct {
+	sw *knet.Switch
+	k  *kernel.Kernel
+	w  *core.WALI
+	ip [4]byte
+}
+
+// buildFabric stands up an n-switch star over localhost TCP trunks:
+// node 0 bridges, the rest join it. Cross-spoke traffic relays
+// through the hub, exactly the shape two wali-run processes (or a
+// rack of them) form with -net bridge=/join=.
+func buildFabric(n int) ([]fabricNode, func()) {
+	nodes := make([]fabricNode, n)
+	var hubAddr string
+	for i := range nodes {
+		sw := knet.NewSwitch()
+		if err := sw.SetSubnets(fmt.Sprintf("10.40.%d.0/24", i)); err != nil {
+			panic(err)
+		}
+		if i == 0 {
+			bs, err := sw.BridgeListen("127.0.0.1:0")
+			if err != nil {
+				panic(err)
+			}
+			hubAddr = bs.Addr()
+		}
+		be, ip, err := sw.AllocNode()
+		if err != nil {
+			panic(err)
+		}
+		if i > 0 {
+			if _, err := sw.BridgeDial(hubAddr); err != nil {
+				panic(err)
+			}
+		}
+		k := kernel.NewKernel()
+		k.SetNetBackend(be)
+		w := core.NewWith(k)
+		w.Tier = tier
+		p, err := knet.ParseCIDR(ip)
+		if err != nil {
+			panic(err)
+		}
+		nodes[i] = fabricNode{sw: sw, k: k, w: w, ip: p.IP}
+	}
+	cleanup := func() {
+		for _, fn := range nodes {
+			fn.k.Shutdown()
+			fn.sw.Close()
+		}
+	}
+	return nodes, cleanup
+}
+
+// flow is one src→dst transfer in a pattern.
+type flow struct {
+	src, dst int
+	port     uint16
+}
+
+func patternFlows(pattern string, n int) []flow {
+	var fs []flow
+	port := uint16(7100)
+	switch pattern {
+	case "permutation":
+		for i := 0; i < n; i++ {
+			fs = append(fs, flow{src: i, dst: (i + 1) % n, port: port})
+			port++
+		}
+	case "incast":
+		for i := 1; i < n; i++ {
+			fs = append(fs, flow{src: i, dst: 0, port: port})
+			port++
+		}
+	case "alltoall":
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				fs = append(fs, flow{src: i, dst: j, port: port})
+				port++
+			}
+		}
+	default:
+		panic(fmt.Sprintf("traffic: unknown pattern %q", pattern))
+	}
+	return fs
+}
+
+// runPattern executes one pattern on a fresh fabric and reports the
+// per-flow completion spread.
+func runPattern(pattern string, n, bytesPerFlow int) TrafficRow {
+	nodes, cleanup := buildFabric(n)
+	defer cleanup()
+	flows := patternFlows(pattern, n)
+
+	type proc struct {
+		recv, send *core.Process
+	}
+	procs := make([]proc, len(flows))
+	for i, fl := range flows {
+		rc, err := interp.Compile(buildTrafficReceiver(fl.port, bytesPerFlow, 0))
+		if err != nil {
+			panic(err)
+		}
+		rp, err := nodes[fl.dst].w.SpawnCompiled(rc, "traffic-recv", []string{"recv"}, nil)
+		if err != nil {
+			panic(err)
+		}
+		procs[i].recv = rp
+		rp.RunAsync()
+	}
+	for i, fl := range flows {
+		dest := knet.Addr{Family: linux.AF_INET, Port: fl.port, Addr: nodes[fl.dst].ip}
+		sc, err := interp.Compile(buildTrafficSender(dest, bytesPerFlow))
+		if err != nil {
+			panic(err)
+		}
+		sp, err := nodes[fl.src].w.SpawnCompiled(sc, "traffic-send", []string{"send"}, nil)
+		if err != nil {
+			panic(err)
+		}
+		procs[i].send = sp
+	}
+
+	start := time.Now()
+	for i := range procs {
+		procs[i].send.RunAsync()
+	}
+	elapsed := make([]time.Duration, len(flows))
+	var wg sync.WaitGroup
+	for i := range procs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if status, err := procs[i].recv.Wait(); err != nil || status != 0 {
+				panic(fmt.Sprintf("traffic %s flow %d receiver: status=%d err=%v (dropped bytes?)",
+					pattern, i, status, err))
+			}
+			elapsed[i] = time.Since(start)
+			if status, err := procs[i].send.Wait(); err != nil || status != 0 {
+				panic(fmt.Sprintf("traffic %s flow %d sender: status=%d err=%v", pattern, i, status, err))
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	row := TrafficRow{
+		Pattern:      pattern,
+		Nodes:        n,
+		Flows:        len(flows),
+		BytesPerFlow: int64(bytesPerFlow),
+	}
+	mb := float64(bytesPerFlow) / (1 << 20)
+	var sum, sumSq float64
+	for _, el := range elapsed {
+		if el > row.Elapsed {
+			row.Elapsed = el
+		}
+		rate := mb / el.Seconds()
+		if row.MinMBps == 0 || rate < row.MinMBps {
+			row.MinMBps = rate
+		}
+		if rate > row.MaxMBps {
+			row.MaxMBps = rate
+		}
+		sum += rate
+		sumSq += rate * rate
+	}
+	row.AggMBps = mb * float64(len(flows)) / row.Elapsed.Seconds()
+	if sumSq > 0 {
+		row.Fairness = sum * sum / (float64(len(flows)) * sumSq)
+	}
+	return row
+}
+
+// Traffic runs the requested patterns (default: all three) and
+// returns one row per pattern.
+func Traffic(cfg TrafficConfig) []TrafficRow {
+	if cfg.Nodes < 2 {
+		cfg.Nodes = 4
+	}
+	if cfg.BytesPerFlow <= 0 {
+		cfg.BytesPerFlow = 4 << 20
+	}
+	patterns := cfg.Patterns
+	if len(patterns) == 0 {
+		patterns = []string{"permutation", "incast", "alltoall"}
+	}
+	var rows []TrafficRow
+	for _, p := range patterns {
+		rows = append(rows, runPattern(strings.TrimSpace(p), cfg.Nodes, cfg.BytesPerFlow))
+	}
+	return rows
+}
+
+// TrafficBackpressure runs the slow-receiver probe: one flow across a
+// two-switch trunk where the receiver sleeps delay per tfChunk read
+// (drain rate = tfChunk/delay). The sender's completion time is the
+// measurement: bounded buffering pins it to ≈ bytes/drain-rate, while
+// unbounded buffering would let the sender finish at trunk speed.
+func TrafficBackpressure(bytes int, delay time.Duration) BackpressureRow {
+	if bytes <= 0 {
+		bytes = 4 << 20
+	}
+	if delay <= 0 {
+		delay = time.Millisecond
+	}
+	nodes, cleanup := buildFabric(2)
+	defer cleanup()
+
+	const port = 7099
+	rc, err := interp.Compile(buildTrafficReceiver(port, bytes, delay))
+	if err != nil {
+		panic(err)
+	}
+	rp, err := nodes[0].w.SpawnCompiled(rc, "traffic-recv", []string{"recv"}, nil)
+	if err != nil {
+		panic(err)
+	}
+	rp.RunAsync()
+
+	dest := knet.Addr{Family: linux.AF_INET, Port: port, Addr: nodes[0].ip}
+	sc, err := interp.Compile(buildTrafficSender(dest, bytes))
+	if err != nil {
+		panic(err)
+	}
+	sp, err := nodes[1].w.SpawnCompiled(sc, "traffic-send", []string{"send"}, nil)
+	if err != nil {
+		panic(err)
+	}
+	start := time.Now()
+	sp.RunAsync()
+	if status, err := sp.Wait(); err != nil || status != 0 {
+		panic(fmt.Sprintf("backpressure sender: status=%d err=%v", status, err))
+	}
+	senderElapsed := time.Since(start)
+	if status, err := rp.Wait(); err != nil || status != 0 {
+		panic(fmt.Sprintf("backpressure receiver: status=%d err=%v (dropped bytes?)", status, err))
+	}
+
+	mb := float64(bytes) / (1 << 20)
+	drain := (float64(tfChunk) / (1 << 20)) / delay.Seconds()
+	senderRate := mb / senderElapsed.Seconds()
+	return BackpressureRow{
+		Bytes:         int64(bytes),
+		DrainMBps:     drain,
+		SenderElapsed: senderElapsed,
+		SenderMBps:    senderRate,
+		Stall:         senderRate / drain,
+	}
+}
+
+// FormatTraffic renders the pattern table.
+func FormatTraffic(rows []TrafficRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %6s %6s %10s %12s %10s %10s %10s %9s\n",
+		"pattern", "nodes", "flows", "bytes", "elapsed", "agg MB/s", "min MB/s", "max MB/s", "fairness")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %6d %6d %10d %12s %10.1f %10.1f %10.1f %9.3f\n",
+			r.Pattern, r.Nodes, r.Flows, r.BytesPerFlow, r.Elapsed.Round(time.Millisecond),
+			r.AggMBps, r.MinMBps, r.MaxMBps, r.Fairness)
+	}
+	return b.String()
+}
+
+// FormatBackpressure renders the slow-receiver probe.
+func FormatBackpressure(r BackpressureRow) string {
+	return fmt.Sprintf(
+		"backpressure: %d bytes vs %.1f MB/s drain: sender %.1f MB/s in %s (sender/drain %.2f — ≈1 means bounded buffering)\n",
+		r.Bytes, r.DrainMBps, r.SenderMBps, r.SenderElapsed.Round(time.Millisecond), r.Stall)
+}

@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestTrafficPatterns runs all three patterns on a small fabric. The
+// harness itself asserts byte-exact delivery (receivers exit nonzero
+// on any lost byte), so completion without panic is the deadlock/drop
+// check; here we sanity-check the derived metrics.
+func TestTrafficPatterns(t *testing.T) {
+	rows := Traffic(TrafficConfig{Nodes: 3, BytesPerFlow: 256 << 10})
+	if len(rows) != 3 {
+		t.Fatalf("expected 3 pattern rows, got %d", len(rows))
+	}
+	wantFlows := map[string]int{"permutation": 3, "incast": 2, "alltoall": 6}
+	for _, r := range rows {
+		if r.Flows != wantFlows[r.Pattern] {
+			t.Errorf("%s: flows = %d, want %d", r.Pattern, r.Flows, wantFlows[r.Pattern])
+		}
+		if r.AggMBps <= 0 || r.MinMBps <= 0 || r.MaxMBps < r.MinMBps {
+			t.Errorf("%s: implausible rates agg=%.1f min=%.1f max=%.1f",
+				r.Pattern, r.AggMBps, r.MinMBps, r.MaxMBps)
+		}
+		if r.Fairness <= 0 || r.Fairness > 1.0001 {
+			t.Errorf("%s: Jain index out of range: %f", r.Pattern, r.Fairness)
+		}
+	}
+	t.Logf("\n%s", FormatTraffic(rows))
+}
+
+// TestTrafficBackpressure: a receiver draining ~8 MB/s must pin the
+// sender near the drain rate. With bounded buffering the sender can
+// run ahead by at most the in-flight budget (bridge window + pipe
+// capacities + TCP socket buffers ≪ the 2 MiB transfer), so its
+// overall rate cannot exceed the drain rate by much; a large Stall
+// ratio would mean the fabric absorbed the flow into unbounded queues
+// instead of pushing back.
+func TestTrafficBackpressure(t *testing.T) {
+	r := TrafficBackpressure(2<<20, time.Millisecond)
+	t.Logf("%s", FormatBackpressure(r))
+	if r.Stall > 2.0 {
+		t.Errorf("sender ran %.2fx faster than the receiver drain — backpressure not bounding the flow", r.Stall)
+	}
+	if r.Stall < 0.3 {
+		t.Errorf("sender at %.2fx drain rate — harness overhead swamping the measurement", r.Stall)
+	}
+}

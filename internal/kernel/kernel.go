@@ -135,6 +135,16 @@ func (k *Kernel) SetNetBackend(b net.Backend) {
 	k.inet.Store(&netBackendBox{b: b})
 }
 
+// Shutdown detaches the kernel from its network fabrics: the AF_INET
+// backend and the private AF_UNIX loopback release their listeners,
+// queues and (for switch nodes) the node address, so a fabric outlives
+// its kernels with no address leaks. Idempotent; existing sockets
+// drain through the kernel's fd tables as their processes exit.
+func (k *Kernel) Shutdown() {
+	k.NetBackend().Close()
+	k.unixNet.Close()
+}
+
 // allocPID hands out the next process id.
 func (k *Kernel) allocPID() int32 { return k.nextPID.Add(1) }
 

@@ -1,0 +1,706 @@
+package net
+
+import (
+	"bufio"
+	gonet "net"
+	"sync"
+	"time"
+
+	"gowali/internal/kernel/vfs"
+	"gowali/internal/linux"
+)
+
+// bridgeOpenTimeout bounds a blocking cross-fabric connect.
+const bridgeOpenTimeout = 10 * time.Second
+
+// BridgeServer accepts trunk links from remote switches: the listen
+// side of Switch.BridgeListen. Each accepted TCP connection becomes
+// one bridgeLink attached to the switch.
+type BridgeServer struct {
+	sw *Switch
+	ln gonet.Listener
+}
+
+// Addr reports the real listening address (resolves ":0" binds).
+func (bs *BridgeServer) Addr() string { return bs.ln.Addr().String() }
+
+// Close stops accepting new trunk links; established links live on.
+func (bs *BridgeServer) Close() error {
+	bs.sw.dropServer(bs)
+	return bs.ln.Close()
+}
+
+func (bs *BridgeServer) acceptLoop() {
+	for {
+		c, err := bs.ln.Accept()
+		if err != nil {
+			return
+		}
+		bs.sw.startLink(c, false)
+	}
+}
+
+// Bridge is one dialed trunk link (Switch.BridgeDial's handle).
+type Bridge struct {
+	link *bridgeLink
+}
+
+// Close tears the trunk down: every stream crossing it resets.
+func (b *Bridge) Close() error {
+	b.link.c.Close()
+	return nil
+}
+
+// relayTarget maps a stream id on one link to its continuation on
+// another — the transit state a middle switch keeps per relayed
+// stream. Frames forward with an id rewrite and no local buffering,
+// so end-to-end credit still binds total in-flight bytes.
+type relayTarget struct {
+	link *bridgeLink
+	id   uint32
+}
+
+// bridgeLink is one trunk: the demux goroutine (run) plus per-stream
+// state. Lock order: a frame handler may take sw.mu or one link's mu,
+// never two link mutexes at once and never a stream's smu underneath
+// either — the same single-lock discipline the wait-queue layer
+// follows, so trunk traffic can't deadlock against poll wakeups.
+type bridgeLink struct {
+	sw   *Switch
+	c    gonet.Conn
+	name string
+
+	wmu sync.Mutex // serializes frame writes
+
+	mu      sync.Mutex
+	nextID  uint32 // dialer odd, acceptor even
+	streams map[uint32]*bridgeStream
+	pending map[uint32]chan linux.Errno
+	relays  map[uint32]relayTarget
+	closed  bool
+}
+
+func newBridgeLink(sw *Switch, c gonet.Conn, dialer bool) *bridgeLink {
+	l := &bridgeLink{
+		sw:      sw,
+		c:       c,
+		name:    c.RemoteAddr().String(),
+		streams: make(map[uint32]*bridgeStream),
+		pending: make(map[uint32]chan linux.Errno),
+		relays:  make(map[uint32]relayTarget),
+		nextID:  2,
+	}
+	if dialer {
+		l.nextID = 1
+	}
+	return l
+}
+
+// send writes one frame; false once the link is down. A write error
+// closes the TCP connection, which unblocks the demux loop into
+// teardown — the single place link death is handled.
+func (l *bridgeLink) send(frame []byte) bool {
+	l.wmu.Lock()
+	defer l.wmu.Unlock()
+	if _, err := l.c.Write(frame); err != nil {
+		l.c.Close()
+		return false
+	}
+	return true
+}
+
+// run is the demux loop: it owns the read side of the trunk and
+// dispatches every frame. Any protocol violation or transport error
+// lands in teardown.
+func (l *bridgeLink) run() {
+	defer l.teardown()
+	r := bufio.NewReaderSize(l.c, 64*1024)
+	typ, body, err := readFrame(r)
+	if err != nil || typ != frHello || parseHello(body) != nil {
+		return // not a fabric peer: reject before any state is shared
+	}
+	for {
+		typ, body, err := readFrame(r)
+		if err != nil {
+			return
+		}
+		if !l.dispatch(typ, body) {
+			return
+		}
+	}
+}
+
+func (l *bridgeLink) dispatch(typ byte, body []byte) bool {
+	switch typ {
+	case frHello:
+		return false // duplicate hello: protocol violation
+	case frAnnounce:
+		p, hops, err := parseAnnounce(body)
+		if err != nil || hops >= maxAnnounceHops {
+			return err == nil // loops fade out, malformed frames kill the link
+		}
+		l.sw.learnRoute(p, hops, l)
+	case frOpen:
+		id, dst, src, err := parseOpen(body)
+		if err != nil {
+			return false
+		}
+		l.handleOpen(id, dst, src)
+	case frAccept:
+		id, _, err := parseStreamID(body)
+		if err != nil {
+			return false
+		}
+		l.handleAccept(id)
+	case frRefuse:
+		id, errno, err := parseRefuse(body)
+		if err != nil {
+			return false
+		}
+		l.handleRefuse(id, errno)
+	case frData:
+		id, payload, err := parseStreamID(body)
+		if err != nil {
+			return false
+		}
+		l.handleData(id, payload)
+	case frWindow:
+		id, credit, err := parseWindow(body)
+		if err != nil {
+			return false
+		}
+		l.handleWindow(id, credit)
+	case frShut:
+		id, _, err := parseStreamID(body)
+		if err != nil {
+			return false
+		}
+		l.handleShut(id)
+	case frReset:
+		id, _, err := parseStreamID(body)
+		if err != nil {
+			return false
+		}
+		l.handleReset(id)
+	case frDgram:
+		src, dst, payload, err := parseDgram(body)
+		if err != nil {
+			return false
+		}
+		l.handleDgram(src, dst, payload)
+	default:
+		return false // unknown frame type: protocol violation
+	}
+	return true
+}
+
+// teardown runs exactly once when the trunk dies: fail pending opens,
+// reset every local stream, propagate resets through relays, and
+// withdraw the routes learned here.
+func (l *bridgeLink) teardown() {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.closed = true
+	streams := l.streams
+	pending := l.pending
+	relays := l.relays
+	l.streams = make(map[uint32]*bridgeStream)
+	l.pending = make(map[uint32]chan linux.Errno)
+	l.relays = make(map[uint32]relayTarget)
+	l.mu.Unlock()
+	l.c.Close()
+	for _, ch := range pending {
+		select {
+		case ch <- linux.ECONNRESET:
+		default:
+		}
+	}
+	for _, s := range streams {
+		s.reset(false)
+	}
+	for _, rt := range relays {
+		rt.link.dropRelay(rt.id)
+		rt.link.send(frameStreamCtl(frReset, rt.id))
+	}
+	l.sw.detachLink(l)
+}
+
+func (l *bridgeLink) stream(id uint32) *bridgeStream {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.streams[id]
+}
+
+func (l *bridgeLink) removeStream(id uint32) {
+	l.mu.Lock()
+	delete(l.streams, id)
+	l.mu.Unlock()
+}
+
+func (l *bridgeLink) relay(id uint32) (relayTarget, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	rt, ok := l.relays[id]
+	return rt, ok
+}
+
+func (l *bridgeLink) dropRelay(id uint32) {
+	l.mu.Lock()
+	delete(l.relays, id)
+	l.mu.Unlock()
+}
+
+// open dials a stream across the trunk on behalf of a local node:
+// register the stream, send OPEN, wait for the ACCEPT/REFUSE verdict.
+func (l *bridgeLink) open(dst, src Addr, node string) (Conn, linux.Errno) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil, linux.EHOSTUNREACH
+	}
+	id := l.nextID
+	l.nextID += 2
+	ch := make(chan linux.Errno, 1)
+	s := newBridgeStream(l, id, src, dst, node)
+	l.streams[id] = s
+	l.pending[id] = ch
+	l.mu.Unlock()
+	if !l.send(frameOpen(id, dst, src)) {
+		l.dropPending(id)
+		s.orphan()
+		return nil, linux.EHOSTUNREACH
+	}
+	select {
+	case errno := <-ch:
+		if errno != 0 {
+			s.orphan()
+			return nil, errno
+		}
+		return s, 0
+	case <-time.After(bridgeOpenTimeout):
+		l.dropPending(id)
+		s.orphan()
+		return nil, linux.ETIMEDOUT
+	}
+}
+
+func (l *bridgeLink) dropPending(id uint32) {
+	l.mu.Lock()
+	delete(l.pending, id)
+	l.mu.Unlock()
+}
+
+// handleOpen terminates an inbound stream at a local listener, or
+// relays it one hop closer to its destination.
+func (l *bridgeLink) handleOpen(id uint32, dst, src Addr) {
+	sw := l.sw
+	sw.mu.Lock()
+	nodeID, local := sw.nodes[dst.Addr]
+	var lst *swListener
+	if local {
+		lst = sw.streams[swKey{node: nodeID, port: dst.Port}]
+	}
+	sw.mu.Unlock()
+	if local {
+		if lst == nil {
+			l.send(frameRefuse(id, linux.ECONNREFUSED))
+			return
+		}
+		s := newBridgeStream(l, id, dst, src, nodeID)
+		l.mu.Lock()
+		if l.closed {
+			l.mu.Unlock()
+			s.orphan()
+			return
+		}
+		l.streams[id] = s
+		l.mu.Unlock()
+		if errno := lst.push(s, src); errno != 0 {
+			l.removeStream(id)
+			s.orphan()
+			l.send(frameRefuse(id, errno))
+			return
+		}
+		l.send(frameAccept(id))
+		return
+	}
+	out := sw.linkFor(dst.Addr)
+	if out == nil || out == l {
+		l.send(frameRefuse(id, linux.EHOSTUNREACH))
+		return
+	}
+	out.mu.Lock()
+	if out.closed {
+		out.mu.Unlock()
+		l.send(frameRefuse(id, linux.EHOSTUNREACH))
+		return
+	}
+	oid := out.nextID
+	out.nextID += 2
+	out.relays[oid] = relayTarget{link: l, id: id}
+	out.mu.Unlock()
+	l.mu.Lock()
+	l.relays[id] = relayTarget{link: out, id: oid}
+	l.mu.Unlock()
+	out.send(frameOpen(oid, dst, src))
+}
+
+func frameAccept(id uint32) []byte { return frameStreamCtl(frAccept, id) }
+
+func (l *bridgeLink) handleAccept(id uint32) {
+	l.mu.Lock()
+	ch := l.pending[id]
+	delete(l.pending, id)
+	l.mu.Unlock()
+	if ch != nil {
+		select {
+		case ch <- 0:
+		default:
+		}
+		return
+	}
+	if rt, ok := l.relay(id); ok {
+		rt.link.send(frameAccept(rt.id))
+	}
+}
+
+func (l *bridgeLink) handleRefuse(id uint32, errno linux.Errno) {
+	l.mu.Lock()
+	ch := l.pending[id]
+	delete(l.pending, id)
+	delete(l.streams, id)
+	l.mu.Unlock()
+	if ch != nil {
+		select {
+		case ch <- errno:
+		default:
+		}
+		return
+	}
+	if rt, ok := l.relay(id); ok {
+		l.dropRelay(id)
+		rt.link.dropRelay(rt.id)
+		rt.link.send(frameRefuse(rt.id, errno))
+	}
+}
+
+func (l *bridgeLink) handleData(id uint32, payload []byte) {
+	if s := l.stream(id); s != nil {
+		s.deliverData(payload)
+		return
+	}
+	if rt, ok := l.relay(id); ok {
+		rt.link.send(frameData(rt.id, payload))
+		return
+	}
+	// Data for a dead stream: tell the sender to stop (its FIN/WINDOW
+	// stragglers are ignored, but data means it still thinks it has a
+	// live peer).
+	l.send(frameStreamCtl(frReset, id))
+}
+
+func (l *bridgeLink) handleWindow(id uint32, credit int) {
+	if s := l.stream(id); s != nil {
+		s.addCredit(credit)
+		return
+	}
+	if rt, ok := l.relay(id); ok {
+		rt.link.send(frameWindow(rt.id, uint32(credit)))
+	}
+}
+
+func (l *bridgeLink) handleShut(id uint32) {
+	if s := l.stream(id); s != nil {
+		s.deliverFin()
+		return
+	}
+	if rt, ok := l.relay(id); ok {
+		rt.link.send(frameStreamCtl(frShut, rt.id))
+	}
+}
+
+func (l *bridgeLink) handleReset(id uint32) {
+	l.mu.Lock()
+	ch := l.pending[id]
+	delete(l.pending, id)
+	s := l.streams[id]
+	l.mu.Unlock()
+	if ch != nil {
+		select {
+		case ch <- linux.ECONNRESET:
+		default:
+		}
+	}
+	if s != nil {
+		s.reset(false)
+		return
+	}
+	if rt, ok := l.relay(id); ok {
+		l.dropRelay(id)
+		rt.link.dropRelay(rt.id)
+		rt.link.send(frameStreamCtl(frReset, rt.id))
+	}
+}
+
+func (l *bridgeLink) handleDgram(src, dst Addr, payload []byte) {
+	sw := l.sw
+	sw.mu.Lock()
+	nodeID, local := sw.nodes[dst.Addr]
+	var q *dgramQueue
+	if local {
+		q = sw.dgrams[swKey{node: nodeID, port: dst.Port}]
+	}
+	sw.mu.Unlock()
+	if local {
+		if q != nil {
+			q.enqueue(src, payload) // ENOBUFS drops, per UDP
+		}
+		return
+	}
+	if out := sw.linkFor(dst.Addr); out != nil && out != l {
+		out.send(frameDgram(src, dst, payload))
+	}
+}
+
+// resetNode aborts every stream terminated at a detaching local node.
+func (l *bridgeLink) resetNode(nodeID string) {
+	l.mu.Lock()
+	var victims []*bridgeStream
+	for _, s := range l.streams {
+		if s.node == nodeID {
+			victims = append(victims, s)
+		}
+	}
+	l.mu.Unlock()
+	for _, s := range victims {
+		s.reset(true)
+	}
+}
+
+// bridgeStream is one guest stream crossing a trunk: the shared
+// pipeConn guest-facing half (nonblocking I/O, poll, backpressure via
+// pipe capacity), bridged to the link by a txPump goroutine (guest tx
+// pipe → credit-gated DATA frames) and an rxDeliver goroutine (inbox
+// → guest rx pipe, returning WINDOW credit as the guest consumes).
+// The demux loop never blocks on a stream: deliverData only appends
+// to the inbox, whose size the sender's credit already bounds.
+type bridgeStream struct {
+	pipeConn
+	link *bridgeLink
+	id   uint32
+	node string // owning local node id ("" only in tests)
+
+	smu       sync.Mutex
+	scond     *sync.Cond
+	credit    int
+	inbox     [][]byte
+	remoteFin bool
+	finSent   bool
+	finRecvd  bool // FIN delivered to the guest as EOF
+	rst       bool
+	rxWClosed bool // bridge-side rx writer closed (FIN or reset)
+	txRClosed bool // bridge-side tx reader closed (reset)
+}
+
+func newBridgeStream(l *bridgeLink, id uint32, local, peer Addr, node string) *bridgeStream {
+	s := &bridgeStream{link: l, id: id, node: node, credit: bridgeWindow}
+	s.scond = sync.NewCond(&s.smu)
+	s.rx, s.tx = vfs.NewPipe(), vfs.NewPipe()
+	s.local, s.peer = local, peer
+	for _, p := range []*vfs.Pipe{s.rx, s.tx} {
+		p.AddReader()
+		p.AddWriter()
+	}
+	go s.txPump()
+	go s.rxDeliver()
+	return s
+}
+
+// Read maps the post-reset EOF to ECONNRESET so guests can tell an
+// aborted stream from an orderly FIN.
+func (s *bridgeStream) Read(b []byte, nonblock bool) (int, linux.Errno) {
+	n, errno := s.pipeConn.Read(b, nonblock)
+	if n == 0 && errno == 0 {
+		s.smu.Lock()
+		aborted := s.rst && !s.finRecvd
+		s.smu.Unlock()
+		if aborted {
+			return 0, linux.ECONNRESET
+		}
+	}
+	return n, errno
+}
+
+func (s *bridgeStream) txPump() {
+	buf := make([]byte, bridgeChunk)
+	for {
+		n, errno := s.tx.Read(buf, false)
+		if n > 0 {
+			off := 0
+			for off < n {
+				k := s.takeCredit(n - off)
+				if k == 0 {
+					return // reset while waiting for credit
+				}
+				if !s.link.send(frameData(s.id, buf[off:off+k])) {
+					s.reset(false)
+					return
+				}
+				off += k
+			}
+			continue
+		}
+		if errno != 0 {
+			return
+		}
+		// EOF: the guest finished writing.
+		s.smu.Lock()
+		rst := s.rst
+		s.finSent = true
+		s.smu.Unlock()
+		if !rst {
+			s.link.send(frameStreamCtl(frShut, s.id))
+		}
+		s.maybeRemove()
+		return
+	}
+}
+
+func (s *bridgeStream) takeCredit(want int) int {
+	s.smu.Lock()
+	defer s.smu.Unlock()
+	for s.credit == 0 && !s.rst {
+		s.scond.Wait()
+	}
+	if s.rst {
+		return 0
+	}
+	if want > s.credit {
+		want = s.credit
+	}
+	s.credit -= want
+	return want
+}
+
+func (s *bridgeStream) addCredit(n int) {
+	s.smu.Lock()
+	s.credit += n
+	if s.credit > bridgeWindow {
+		s.credit = bridgeWindow
+	}
+	s.smu.Unlock()
+	s.scond.Broadcast()
+}
+
+func (s *bridgeStream) rxDeliver() {
+	for {
+		s.smu.Lock()
+		for len(s.inbox) == 0 && !s.remoteFin && !s.rst {
+			s.scond.Wait()
+		}
+		if s.rst {
+			s.smu.Unlock()
+			return
+		}
+		if len(s.inbox) == 0 { // FIN after all data: orderly EOF
+			s.finRecvd = true
+			s.smu.Unlock()
+			s.closeBridgeRx()
+			s.maybeRemove()
+			return
+		}
+		chunk := s.inbox[0]
+		s.inbox = s.inbox[1:]
+		s.smu.Unlock()
+		if _, errno := s.rx.Write(chunk, false); errno != 0 {
+			// The guest closed its read side with data in flight: abort
+			// so the remote writer sees the reset instead of buffering
+			// into the void.
+			s.reset(true)
+			return
+		}
+		s.link.send(frameWindow(s.id, uint32(len(chunk))))
+	}
+}
+
+func (s *bridgeStream) deliverData(payload []byte) {
+	s.smu.Lock()
+	if s.rst || s.remoteFin {
+		s.smu.Unlock()
+		return
+	}
+	s.inbox = append(s.inbox, payload)
+	s.smu.Unlock()
+	s.scond.Broadcast()
+}
+
+func (s *bridgeStream) deliverFin() {
+	s.smu.Lock()
+	s.remoteFin = true
+	s.smu.Unlock()
+	s.scond.Broadcast()
+}
+
+// closeBridgeRx/closeBridgeTx release the bridge-side pipe ends
+// exactly once (the guest side owns the other ends via pipeConn).
+func (s *bridgeStream) closeBridgeRx() {
+	s.smu.Lock()
+	done := s.rxWClosed
+	s.rxWClosed = true
+	s.smu.Unlock()
+	if !done {
+		s.rx.CloseWriter()
+	}
+}
+
+func (s *bridgeStream) closeBridgeTx() {
+	s.smu.Lock()
+	done := s.txRClosed
+	s.txRClosed = true
+	s.smu.Unlock()
+	if !done {
+		s.tx.CloseReader()
+	}
+}
+
+// reset aborts both directions: guest reads drain then ECONNRESET,
+// guest writes EPIPE, pumps unblock. sendFrame propagates the abort
+// to the remote end (false when the link itself is already gone).
+func (s *bridgeStream) reset(sendFrame bool) {
+	s.smu.Lock()
+	if s.rst {
+		s.smu.Unlock()
+		return
+	}
+	s.rst = true
+	s.smu.Unlock()
+	s.scond.Broadcast()
+	s.closeBridgeRx()
+	s.closeBridgeTx()
+	if sendFrame {
+		s.link.send(frameStreamCtl(frReset, s.id))
+	}
+	s.link.removeStream(s.id)
+}
+
+// orphan tears down a stream no guest ever owned (refused, timed out,
+// or undeliverable): reset plus the guest-side close that normally
+// comes from the kernel's fd table.
+func (s *bridgeStream) orphan() {
+	s.reset(false)
+	s.pipeConn.Close()
+}
+
+// maybeRemove drops the stream from the link's demux table once both
+// directions have finished cleanly.
+func (s *bridgeStream) maybeRemove() {
+	s.smu.Lock()
+	done := s.finSent && s.finRecvd
+	s.smu.Unlock()
+	if done {
+		s.link.removeStream(s.id)
+	}
+}

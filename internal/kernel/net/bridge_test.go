@@ -1,0 +1,644 @@
+package net
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	gonet "net"
+	"runtime"
+	"testing"
+	"time"
+
+	"gowali/internal/linux"
+)
+
+// bridgedPair builds a two-switch fabric over a localhost TCP trunk:
+// switch A (10.20.1.0/24) listens, switch B (10.20.2.0/24) joins.
+func bridgedPair(t *testing.T) (swA, swB *Switch, nodeA, nodeB Backend) {
+	t.Helper()
+	swA, swB = NewSwitch(), NewSwitch()
+	if err := swA.SetSubnets("10.20.1.0/24"); err != nil {
+		t.Fatal(err)
+	}
+	if err := swB.SetSubnets("10.20.2.0/24"); err != nil {
+		t.Fatal(err)
+	}
+	bs, err := swA.BridgeListen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodeA = allocNode(t, swA)
+	nodeB = allocNode(t, swB)
+	if _, err := swB.BridgeDial(bs.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { swA.Close(); swB.Close() })
+	waitRoutes(t, swA, 1)
+	waitRoutes(t, swB, 1)
+	return swA, swB, nodeA, nodeB
+}
+
+func allocNode(t *testing.T, sw *Switch) Backend {
+	t.Helper()
+	n, _, err := sw.AllocNode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func waitRoutes(t *testing.T, sw *Switch, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for sw.RouteCount() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("switch learned %d routes, want %d", sw.RouteCount(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func inet(ip string, port uint16) Addr {
+	p, err := ParseCIDR(ip)
+	if err != nil {
+		panic(err)
+	}
+	return Addr{Family: linux.AF_INET, Port: port, Addr: p.IP}
+}
+
+func TestBridgeStreamEcho(t *testing.T) {
+	_, _, nodeA, nodeB := bridgedPair(t)
+
+	l, errno := nodeA.Listen(Addr{Family: linux.AF_INET, Port: 9191}, 8)
+	if errno != 0 {
+		t.Fatalf("listen: %v", errno)
+	}
+	defer l.Close()
+
+	// The client binds nothing: the wildcard source must be rewritten
+	// to its node address before crossing the bridge hop, or the
+	// accepting side cannot name (or reach) its peer.
+	cli, errno := nodeB.Connect(inet("10.20.1.1", 9191), Addr{})
+	if errno != 0 {
+		t.Fatalf("connect across bridge: %v", errno)
+	}
+	srv, peer, errno := l.Accept(false)
+	if errno != 0 {
+		t.Fatalf("accept: %v", errno)
+	}
+	if want := inet("10.20.2.1", 0).Addr; peer.Addr != want {
+		t.Fatalf("peer across bridge = %v, want 10.20.2.1 (wildcard source rewrite)", peer)
+	}
+
+	if _, errno := cli.Write([]byte("ping over trunk"), false); errno != 0 {
+		t.Fatalf("client write: %v", errno)
+	}
+	buf := make([]byte, 64)
+	n, errno := srv.Read(buf, false)
+	if errno != 0 || string(buf[:n]) != "ping over trunk" {
+		t.Fatalf("server read: %q %v", buf[:n], errno)
+	}
+	if _, errno := srv.Write([]byte("pong"), false); errno != 0 {
+		t.Fatalf("server write: %v", errno)
+	}
+	n, errno = cli.Read(buf, false)
+	if errno != 0 || string(buf[:n]) != "pong" {
+		t.Fatalf("client read: %q %v", buf[:n], errno)
+	}
+
+	// Orderly shutdown: FIN crosses the trunk as EOF, not a reset.
+	cli.CloseWrite()
+	if n, errno := srv.Read(buf, false); n != 0 || errno != 0 {
+		t.Fatalf("after client FIN: read = %d, %v, want clean EOF", n, errno)
+	}
+	srv.Close()
+	if n, errno := cli.Read(buf, false); n != 0 || errno != 0 {
+		t.Fatalf("after server close: read = %d, %v, want clean EOF", n, errno)
+	}
+	cli.Close()
+}
+
+// TestBridgeLargeTransfer pushes far more than one flow-control window
+// through the trunk and verifies content and order end to end.
+func TestBridgeLargeTransfer(t *testing.T) {
+	_, _, nodeA, nodeB := bridgedPair(t)
+
+	l, errno := nodeA.Listen(Addr{Family: linux.AF_INET, Port: 9192}, 8)
+	if errno != 0 {
+		t.Fatalf("listen: %v", errno)
+	}
+	defer l.Close()
+	cli, errno := nodeB.Connect(inet("10.20.1.1", 9192), Addr{})
+	if errno != 0 {
+		t.Fatalf("connect: %v", errno)
+	}
+	srv, _, errno := l.Accept(false)
+	if errno != 0 {
+		t.Fatalf("accept: %v", errno)
+	}
+
+	const total = 2 << 20 // 16× the bridge window
+	go func() {
+		var seq [8]byte
+		chunk := make([]byte, 8192)
+		sent := 0
+		for sent < total {
+			for i := 0; i+8 <= len(chunk); i += 8 {
+				binary.BigEndian.PutUint64(seq[:], uint64(sent+i))
+				copy(chunk[i:], seq[:])
+			}
+			n := len(chunk)
+			if total-sent < n {
+				n = total - sent
+			}
+			off := 0
+			for off < n {
+				w, errno := cli.Write(chunk[off:n], false)
+				if errno != 0 {
+					t.Errorf("writer: %v at %d", errno, sent+off)
+					return
+				}
+				off += w
+			}
+			sent += n
+		}
+		cli.CloseWrite()
+	}()
+
+	got := 0
+	buf := make([]byte, 8192)
+	for {
+		n, errno := srv.Read(buf, false)
+		if errno != 0 {
+			t.Fatalf("reader: %v at %d", errno, got)
+		}
+		if n == 0 {
+			break
+		}
+		// Verify aligned sequence markers to catch reordering/drops.
+		for i := 0; i < n; i++ {
+			pos := got + i
+			if pos%8192 == 0 && i+8 <= n {
+				if v := binary.BigEndian.Uint64(buf[i:]); v != uint64(pos) {
+					t.Fatalf("sequence at %d = %d", pos, v)
+				}
+			}
+		}
+		got += n
+	}
+	if got != total {
+		t.Fatalf("received %d bytes, want %d", got, total)
+	}
+	srv.Close()
+	cli.Close()
+}
+
+// TestBridgeDgramRemote routes datagrams to a node on the far switch,
+// rewriting the wildcard source on the way (satellite: dgram routing
+// to a remote node).
+func TestBridgeDgramRemote(t *testing.T) {
+	_, _, nodeA, nodeB := bridgedPair(t)
+
+	d, errno := nodeA.Dgram(Addr{Family: linux.AF_INET, Port: 5353})
+	if errno != 0 {
+		t.Fatalf("dgram bind: %v", errno)
+	}
+	defer d.Close()
+	src, errno := nodeB.Dgram(Addr{Family: linux.AF_INET, Port: 5454})
+	if errno != 0 {
+		t.Fatalf("dgram bind: %v", errno)
+	}
+	defer src.Close()
+
+	if _, errno := src.SendTo([]byte("dns?"), inet("10.20.1.1", 5353)); errno != 0 {
+		t.Fatalf("sendto across bridge: %v", errno)
+	}
+	buf := make([]byte, 64)
+	n, from, errno := d.RecvFrom(buf, false)
+	if errno != 0 || string(buf[:n]) != "dns?" {
+		t.Fatalf("recvfrom: %q %v", buf[:n], errno)
+	}
+	if from.Addr != inet("10.20.2.1", 0).Addr || from.Port != 5454 {
+		t.Fatalf("dgram source = %v, want 10.20.2.1:5454", from)
+	}
+	// And the reply routes back using that source address.
+	if _, errno := d.SendTo([]byte("a record"), from); errno != 0 {
+		t.Fatalf("reply: %v", errno)
+	}
+	n, _, errno = src.RecvFrom(buf, false)
+	if errno != 0 || string(buf[:n]) != "a record" {
+		t.Fatalf("reply recvfrom: %q %v", buf[:n], errno)
+	}
+}
+
+// TestBridgeRelay runs a three-switch star: spokes B and C each trunk
+// only to hub A, so B→C streams relay through A with no terminating
+// state there beyond the id map.
+func TestBridgeRelay(t *testing.T) {
+	hub, spokeB, spokeC := NewSwitch(), NewSwitch(), NewSwitch()
+	for sw, cidr := range map[*Switch]string{hub: "10.21.0.0/24", spokeB: "10.21.1.0/24", spokeC: "10.21.2.0/24"} {
+		if err := sw.SetSubnets(cidr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bs, err := hub.BridgeListen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { hub.Close(); spokeB.Close(); spokeC.Close() })
+	nodeB := allocNode(t, spokeB)
+	nodeC := allocNode(t, spokeC)
+	if _, err := spokeB.BridgeDial(bs.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := spokeC.BridgeDial(bs.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	// The hub re-announces each spoke to the other: both ends see two
+	// remote prefixes (the hub's own subnet and the far spoke).
+	waitRoutes(t, spokeB, 2)
+	waitRoutes(t, spokeC, 2)
+
+	l, errno := nodeC.Listen(Addr{Family: linux.AF_INET, Port: 8080}, 8)
+	if errno != 0 {
+		t.Fatalf("listen: %v", errno)
+	}
+	defer l.Close()
+	cli, errno := nodeB.Connect(inet("10.21.2.1", 8080), Addr{})
+	if errno != 0 {
+		t.Fatalf("connect through relay: %v", errno)
+	}
+	srv, peer, errno := l.Accept(false)
+	if errno != 0 {
+		t.Fatalf("accept: %v", errno)
+	}
+	if peer.Addr != inet("10.21.1.1", 0).Addr {
+		t.Fatalf("relayed peer = %v, want 10.21.1.1", peer)
+	}
+	payload := bytes.Repeat([]byte("relay"), 64<<10/5) // > one window, relayed
+	go func() {
+		off := 0
+		for off < len(payload) {
+			n, errno := cli.Write(payload[off:], false)
+			if errno != 0 {
+				t.Errorf("relay write: %v", errno)
+				return
+			}
+			off += n
+		}
+		cli.CloseWrite()
+	}()
+	var got bytes.Buffer
+	buf := make([]byte, 8192)
+	for {
+		n, errno := srv.Read(buf, false)
+		if errno != 0 {
+			t.Fatalf("relay read: %v", errno)
+		}
+		if n == 0 {
+			break
+		}
+		got.Write(buf[:n])
+	}
+	if !bytes.Equal(got.Bytes(), payload) {
+		t.Fatalf("relayed payload mismatch: %d bytes, want %d", got.Len(), len(payload))
+	}
+	srv.Close()
+	cli.Close()
+}
+
+// TestBridgeKillMidTransfer cuts the trunk while a transfer is in
+// flight: both peers must observe ECONNRESET/EOF rather than wedging,
+// and once the guest-side conns close, every pump goroutine exits.
+func TestBridgeKillMidTransfer(t *testing.T) {
+	base := runtime.NumGoroutine()
+
+	swA, swB := NewSwitch(), NewSwitch()
+	if err := swA.SetSubnets("10.22.1.0/24"); err != nil {
+		t.Fatal(err)
+	}
+	if err := swB.SetSubnets("10.22.2.0/24"); err != nil {
+		t.Fatal(err)
+	}
+	bs, err := swA.BridgeListen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodeA := allocNode(t, swA)
+	nodeB := allocNode(t, swB)
+	br, err := swB.BridgeDial(bs.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRoutes(t, swB, 1)
+
+	l, errno := nodeA.Listen(Addr{Family: linux.AF_INET, Port: 9999}, 8)
+	if errno != 0 {
+		t.Fatalf("listen: %v", errno)
+	}
+	cli, errno := nodeB.Connect(inet("10.22.1.1", 9999), Addr{})
+	if errno != 0 {
+		t.Fatalf("connect: %v", errno)
+	}
+	srv, _, errno := l.Accept(false)
+	if errno != 0 {
+		t.Fatalf("accept: %v", errno)
+	}
+
+	// Writer floods; reader drains a little, then the trunk dies.
+	writerDone := make(chan linux.Errno, 1)
+	go func() {
+		chunk := make([]byte, 8192)
+		for {
+			if _, errno := cli.Write(chunk, false); errno != 0 {
+				writerDone <- errno
+				return
+			}
+		}
+	}()
+	buf := make([]byte, 4096)
+	for i := 0; i < 8; i++ {
+		if _, errno := srv.Read(buf, false); errno != 0 {
+			t.Fatalf("pre-kill read: %v", errno)
+		}
+	}
+
+	br.Close() // kill the TCP trunk mid-transfer
+
+	select {
+	case errno := <-writerDone:
+		if errno != linux.EPIPE && errno != linux.ECONNRESET {
+			t.Fatalf("writer after kill: %v, want EPIPE/ECONNRESET", errno)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("writer wedged after trunk kill")
+	}
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			n, errno := srv.Read(buf, false)
+			if errno == linux.ECONNRESET || (n == 0 && errno == 0) {
+				return
+			}
+			if errno != 0 {
+				t.Errorf("reader after kill: %v", errno)
+				return
+			}
+		}
+	}()
+	select {
+	case <-readerDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("reader wedged after trunk kill")
+	}
+	if n, errno := cli.Read(buf, true); errno != linux.ECONNRESET && !(n == 0 && errno == 0) {
+		t.Fatalf("client read after kill: %d, %v, want ECONNRESET/EOF", n, errno)
+	}
+
+	// Guest-side closes release the pumps; everything must drain.
+	cli.Close()
+	srv.Close()
+	l.Close()
+	nodeA.Close()
+	nodeB.Close()
+	swA.Close()
+	swB.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= base+1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked after trunk kill: %d > %d\n%s",
+				runtime.NumGoroutine(), base+1, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestBridgeMalformedFrames feeds the trunk endpoint garbage: a bad
+// hello, an oversized length prefix, and a truncated frame. Each must
+// tear that link down cleanly without wedging the switch, which keeps
+// serving well-formed peers afterwards.
+func TestBridgeMalformedFrames(t *testing.T) {
+	sw := NewSwitch()
+	if err := sw.SetSubnets("10.23.1.0/24"); err != nil {
+		t.Fatal(err)
+	}
+	bs, err := sw.BridgeListen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sw.Close)
+
+	expectDrop := func(name string, raw []byte) {
+		t.Helper()
+		c, err := gonet.Dial("tcp", bs.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		if _, err := c.Write(raw); err != nil {
+			return // already rejected
+		}
+		c.SetReadDeadline(time.Now().Add(5 * time.Second))
+		buf := make([]byte, 256)
+		for {
+			if _, err := c.Read(buf); err != nil {
+				return // link torn down: EOF/RST observed
+			}
+		}
+	}
+
+	badHello := append(binary.BigEndian.AppendUint32(nil, 5), 1, 'X', 'X', 'X', 'X')
+	expectDrop("bad hello magic", append(badHello, 0))
+	expectDrop("oversized frame", binary.BigEndian.AppendUint32(nil, 0xFFFFFFF0))
+	expectDrop("zero-length frame", binary.BigEndian.AppendUint32(nil, 0))
+	partial := frameHello()
+	expectDrop("truncated frame", partial[:len(partial)-2]) // closes mid-frame
+
+	// The endpoint survives: a well-formed peer still joins and routes.
+	swB := NewSwitch()
+	if err := swB.SetSubnets("10.23.2.0/24"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(swB.Close)
+	if _, err := swB.BridgeDial(bs.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	waitRoutes(t, swB, 1)
+}
+
+// TestAllocNodeCollisionExhaustion covers the address-assignment
+// corners: explicit collisions, subnet exhaustion, and reuse after a
+// node detaches.
+func TestAllocNodeCollisionExhaustion(t *testing.T) {
+	sw := NewSwitch()
+	if err := sw.SetSubnets("10.24.0.0/30"); err != nil { // 2 usable hosts
+		t.Fatal(err)
+	}
+	n1, ip1, err := sw.AllocNode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip1 != "10.24.0.1" {
+		t.Fatalf("first allocation = %s, want 10.24.0.1", ip1)
+	}
+	if _, err := sw.Node(ip1); err == nil {
+		t.Fatal("explicit attach of an allocated address must collide")
+	}
+	if _, _, err := sw.AllocNode(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sw.AllocNode(); err == nil {
+		t.Fatal("a /30 must exhaust after two allocations")
+	}
+	// Detaching releases the address for reuse.
+	n1.Close()
+	_, ip, err := sw.AllocNode()
+	if err != nil {
+		t.Fatalf("allocation after release: %v", err)
+	}
+	if ip != ip1 {
+		t.Fatalf("released address not reused: got %s, want %s", ip, ip1)
+	}
+}
+
+// TestNodeTeardown verifies the satellite fix: Close releases the
+// node's listeners, datagram queues and address back to the switch.
+func TestNodeTeardown(t *testing.T) {
+	sw := NewSwitch()
+	node, err := sw.Node("10.25.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := sw.Node("10.25.0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, errno := node.Listen(Addr{Family: linux.AF_INET, Port: 7000}, 8)
+	if errno != 0 {
+		t.Fatalf("listen: %v", errno)
+	}
+	d, errno := node.Dgram(Addr{Family: linux.AF_INET, Port: 7001})
+	if errno != 0 {
+		t.Fatalf("dgram: %v", errno)
+	}
+
+	// A blocked accept must wake when the node detaches.
+	acceptDone := make(chan linux.Errno, 1)
+	go func() {
+		_, _, errno := l.Accept(false)
+		acceptDone <- errno
+	}()
+	time.Sleep(10 * time.Millisecond)
+	node.Close()
+	select {
+	case errno := <-acceptDone:
+		if errno != linux.EINVAL {
+			t.Fatalf("accept after teardown: %v, want EINVAL", errno)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("accept wedged across node teardown")
+	}
+	if n, _, errno := d.RecvFrom(make([]byte, 8), false); n != 0 || errno != 0 {
+		t.Fatalf("dgram recv after teardown: %d, %v, want closed", n, errno)
+	}
+
+	// The port is gone from the fabric...
+	if _, errno := other.Connect(inet("10.25.0.1", 7000), Addr{}); errno != linux.ECONNREFUSED {
+		t.Fatalf("connect to detached node: %v, want ECONNREFUSED", errno)
+	}
+	// ...and the address is reusable.
+	if _, err := sw.Node("10.25.0.1"); err != nil {
+		t.Fatalf("address not released: %v", err)
+	}
+}
+
+// TestBridgeConnectErrors covers the refusal paths: a routed subnet
+// with no listener, and a destination no prefix matches.
+func TestBridgeConnectErrors(t *testing.T) {
+	_, _, _, nodeB := bridgedPair(t)
+	if _, errno := nodeB.Connect(inet("10.20.1.1", 4444), Addr{}); errno != linux.ECONNREFUSED {
+		t.Fatalf("connect to closed remote port: %v, want ECONNREFUSED", errno)
+	}
+	if _, errno := nodeB.Connect(inet("192.0.2.9", 80), Addr{}); errno != linux.ECONNREFUSED {
+		t.Fatalf("connect to unrouted address: %v, want ECONNREFUSED", errno)
+	}
+}
+
+// TestPrefixTable pins the longest-prefix-match semantics the fabric
+// routes by.
+func TestPrefixTable(t *testing.T) {
+	var tbl prefixTable
+	l1, l2, l3 := &bridgeLink{}, &bridgeLink{}, &bridgeLink{}
+	must := func(s string) Prefix {
+		p, err := ParseCIDR(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	tbl.insert(route{prefix: must("10.0.0.0/8"), link: l1, hops: 2})
+	tbl.insert(route{prefix: must("10.1.0.0/16"), link: l2, hops: 1})
+	tbl.insert(route{prefix: must("10.1.2.3/32"), link: l3, hops: 0})
+
+	cases := []struct {
+		ip   string
+		want *bridgeLink
+	}{
+		{"10.1.2.3", l3},
+		{"10.1.9.9", l2},
+		{"10.9.9.9", l1},
+		{"11.0.0.1", nil},
+	}
+	for _, c := range cases {
+		ip := must(c.ip).IP
+		r := tbl.lookup(ip)
+		switch {
+		case c.want == nil && r != nil:
+			t.Fatalf("%s: unexpected route %v", c.ip, r.prefix)
+		case c.want != nil && (r == nil || r.link != c.want):
+			t.Fatalf("%s: wrong route", c.ip)
+		}
+	}
+	// Fewer hops replace; more hops don't.
+	if !tbl.insert(route{prefix: must("10.0.0.0/8"), link: l2, hops: 1}) {
+		t.Fatal("better route must replace")
+	}
+	if tbl.insert(route{prefix: must("10.0.0.0/8"), link: l3, hops: 5}) {
+		t.Fatal("worse route must not replace")
+	}
+	tbl.dropLink(l2)
+	if r := tbl.lookup(must("10.9.9.9").IP); r != nil {
+		t.Fatalf("dropped link still routes %v", r.prefix)
+	}
+}
+
+func TestParseCIDR(t *testing.T) {
+	if _, err := ParseCIDR("10.0.0.0/33"); err == nil {
+		t.Fatal("prefix /33 must fail")
+	}
+	if _, err := ParseCIDR("not-an-ip/8"); err == nil {
+		t.Fatal("garbage ip must fail")
+	}
+	p, err := ParseCIDR("10.1.2.3/16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.String(); got != "10.1.0.0/16" {
+		t.Fatalf("network not normalized: %s", got)
+	}
+	host, err := ParseCIDR("10.1.2.3")
+	if err != nil || host.Bits != 32 {
+		t.Fatalf("bare IP = %v/%v, want /32", host, err)
+	}
+	if !p.Contains([4]byte{10, 1, 200, 9}) || p.Contains([4]byte{10, 2, 0, 1}) {
+		t.Fatal("Contains is wrong")
+	}
+	_ = fmt.Sprintf("%v", p)
+}

@@ -1,0 +1,243 @@
+package net
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"gowali/internal/linux"
+)
+
+// The bridge trunk protocol: length-prefixed frames over one TCP
+// connection between two switches. Every frame is
+//
+//	uint32 length (big-endian, counts the bytes after itself)
+//	uint8  type
+//	...    body
+//
+// Stream frames carry a per-link stream id allocated by the opener
+// (dialer side odd, acceptor side even, so concurrent opens never
+// collide). Flow control is credit-based: DATA consumes sender credit,
+// WINDOW returns it, so a stream can never buffer more than
+// bridgeWindow bytes beyond the guest-side pipes — the trunk's
+// backpressure bound.
+const (
+	frHello    = 1  // magic u32, version u8
+	frAnnounce = 2  // prefix ip4, bits u8, hops u8
+	frOpen     = 3  // id u32, dst addr6, src addr6
+	frAccept   = 4  // id u32
+	frRefuse   = 5  // id u32, errno u32
+	frData     = 6  // id u32, payload
+	frWindow   = 7  // id u32, credit u32
+	frShut     = 8  // id u32 (sender finished writing: FIN)
+	frReset    = 9  // id u32 (abort both directions: RST)
+	frDgram    = 10 // src addr6, dst addr6, payload
+)
+
+const (
+	bridgeMagic   = 0x47574642 // "GWFB"
+	bridgeVersion = 1
+
+	// maxFrameBody bounds one frame's decoded body; anything larger is
+	// a protocol violation and tears the link down.
+	maxFrameBody = 128 * 1024
+
+	// bridgeChunk is the largest DATA payload one frame carries.
+	bridgeChunk = 32 * 1024
+
+	// bridgeWindow is the initial (and maximum outstanding) per-stream
+	// credit in bytes: the receive-side inbox can never hold more.
+	bridgeWindow = 128 * 1024
+
+	// maxAnnounceHops drops routing loops that split horizon missed.
+	maxAnnounceHops = 16
+)
+
+// readFrame reads one length-prefixed frame; the body is freshly
+// allocated (frames outlive the read buffer: inboxes, relays).
+func readFrame(r io.Reader) (typ byte, body []byte, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n < 1 {
+		return 0, nil, fmt.Errorf("net: bridge frame with empty body")
+	}
+	if n > maxFrameBody+1 {
+		return 0, nil, fmt.Errorf("net: bridge frame of %d bytes exceeds the %d-byte cap", n, maxFrameBody)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, fmt.Errorf("net: truncated bridge frame: %w", err)
+	}
+	return buf[0], buf[1:], nil
+}
+
+// newFrame starts a frame of the given type with room for body bytes;
+// finishFrame backpatches the length prefix.
+func newFrame(typ byte, body int) []byte {
+	b := make([]byte, 5, 5+body)
+	b[4] = typ
+	return b
+}
+
+func finishFrame(b []byte) []byte {
+	binary.BigEndian.PutUint32(b[:4], uint32(len(b)-4))
+	return b
+}
+
+// appendAddr encodes an AF_INET address as 6 bytes (ip4 + port). The
+// trunk carries AF_INET only; unix sockets stay machine-local.
+func appendAddr(b []byte, a Addr) []byte {
+	b = append(b, a.Addr[0], a.Addr[1], a.Addr[2], a.Addr[3])
+	return append(b, byte(a.Port>>8), byte(a.Port))
+}
+
+func parseAddr(b []byte) (Addr, []byte, error) {
+	if len(b) < 6 {
+		return Addr{}, nil, fmt.Errorf("net: short bridge address")
+	}
+	a := Addr{Family: linux.AF_INET}
+	copy(a.Addr[:], b[:4])
+	a.Port = uint16(b[4])<<8 | uint16(b[5])
+	return a, b[6:], nil
+}
+
+func frameHello() []byte {
+	b := newFrame(frHello, 5)
+	b = binary.BigEndian.AppendUint32(b, bridgeMagic)
+	b = append(b, bridgeVersion)
+	return finishFrame(b)
+}
+
+func parseHello(body []byte) error {
+	if len(body) < 5 {
+		return fmt.Errorf("net: short bridge hello")
+	}
+	if m := binary.BigEndian.Uint32(body[:4]); m != bridgeMagic {
+		return fmt.Errorf("net: bridge hello magic %#x (want %#x)", m, bridgeMagic)
+	}
+	if body[4] != bridgeVersion {
+		return fmt.Errorf("net: bridge protocol version %d (want %d)", body[4], bridgeVersion)
+	}
+	return nil
+}
+
+func frameAnnounce(p Prefix, hops int) []byte {
+	b := newFrame(frAnnounce, 6)
+	b = append(b, p.IP[0], p.IP[1], p.IP[2], p.IP[3], p.Bits, byte(hops))
+	return finishFrame(b)
+}
+
+func parseAnnounce(body []byte) (Prefix, int, error) {
+	if len(body) < 6 {
+		return Prefix{}, 0, fmt.Errorf("net: short bridge announce")
+	}
+	p := Prefix{IP: [4]byte{body[0], body[1], body[2], body[3]}, Bits: body[4]}
+	if p.Bits > 32 {
+		return Prefix{}, 0, fmt.Errorf("net: bridge announce with /%d prefix", p.Bits)
+	}
+	return p, int(body[5]), nil
+}
+
+func frameOpen(id uint32, dst, src Addr) []byte {
+	b := newFrame(frOpen, 16)
+	b = binary.BigEndian.AppendUint32(b, id)
+	b = appendAddr(b, dst)
+	b = appendAddr(b, src)
+	return finishFrame(b)
+}
+
+func parseOpen(body []byte) (id uint32, dst, src Addr, err error) {
+	if len(body) < 4 {
+		return 0, Addr{}, Addr{}, fmt.Errorf("net: short bridge open")
+	}
+	id = binary.BigEndian.Uint32(body[:4])
+	rest := body[4:]
+	if dst, rest, err = parseAddr(rest); err != nil {
+		return 0, Addr{}, Addr{}, err
+	}
+	if src, _, err = parseAddr(rest); err != nil {
+		return 0, Addr{}, Addr{}, err
+	}
+	return id, dst, src, nil
+}
+
+// frameStreamCtl covers the id-only frames (ACCEPT, SHUT, RESET).
+func frameStreamCtl(typ byte, id uint32) []byte {
+	b := newFrame(typ, 4)
+	b = binary.BigEndian.AppendUint32(b, id)
+	return finishFrame(b)
+}
+
+func parseStreamID(body []byte) (uint32, []byte, error) {
+	if len(body) < 4 {
+		return 0, nil, fmt.Errorf("net: short bridge stream frame")
+	}
+	return binary.BigEndian.Uint32(body[:4]), body[4:], nil
+}
+
+func frameRefuse(id uint32, errno linux.Errno) []byte {
+	b := newFrame(frRefuse, 8)
+	b = binary.BigEndian.AppendUint32(b, id)
+	b = binary.BigEndian.AppendUint32(b, uint32(errno))
+	return finishFrame(b)
+}
+
+func parseRefuse(body []byte) (uint32, linux.Errno, error) {
+	id, rest, err := parseStreamID(body)
+	if err != nil || len(rest) < 4 {
+		return 0, 0, fmt.Errorf("net: short bridge refuse")
+	}
+	errno := linux.Errno(binary.BigEndian.Uint32(rest[:4]))
+	if errno == 0 {
+		errno = linux.ECONNREFUSED
+	}
+	return id, errno, nil
+}
+
+func frameData(id uint32, payload []byte) []byte {
+	b := newFrame(frData, 4+len(payload))
+	b = binary.BigEndian.AppendUint32(b, id)
+	b = append(b, payload...)
+	return finishFrame(b)
+}
+
+func frameWindow(id uint32, credit uint32) []byte {
+	b := newFrame(frWindow, 8)
+	b = binary.BigEndian.AppendUint32(b, id)
+	b = binary.BigEndian.AppendUint32(b, credit)
+	return finishFrame(b)
+}
+
+func parseWindow(body []byte) (uint32, int, error) {
+	id, rest, err := parseStreamID(body)
+	if err != nil || len(rest) < 4 {
+		return 0, 0, fmt.Errorf("net: short bridge window")
+	}
+	credit := binary.BigEndian.Uint32(rest[:4])
+	if credit > bridgeWindow {
+		return 0, 0, fmt.Errorf("net: bridge window grant of %d exceeds the %d-byte window", credit, bridgeWindow)
+	}
+	return id, int(credit), nil
+}
+
+func frameDgram(src, dst Addr, payload []byte) []byte {
+	b := newFrame(frDgram, 12+len(payload))
+	b = appendAddr(b, src)
+	b = appendAddr(b, dst)
+	b = append(b, payload...)
+	return finishFrame(b)
+}
+
+func parseDgram(body []byte) (src, dst Addr, payload []byte, err error) {
+	rest := body
+	if src, rest, err = parseAddr(rest); err != nil {
+		return Addr{}, Addr{}, nil, err
+	}
+	if dst, rest, err = parseAddr(rest); err != nil {
+		return Addr{}, Addr{}, nil, err
+	}
+	return src, dst, rest, nil
+}

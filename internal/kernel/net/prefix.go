@@ -1,0 +1,180 @@
+package net
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prefix is an IPv4 CIDR block — the unit of fabric address
+// assignment and routing. Each switch owns one or more local subnets
+// (its nodes allocate addresses from them) and learns remote prefixes
+// from bridge announcements.
+type Prefix struct {
+	IP   [4]byte
+	Bits uint8
+}
+
+// ParseCIDR parses "10.0.1.0/24" (or a bare IP, treated as /32).
+func ParseCIDR(s string) (Prefix, error) {
+	ipStr, bitsStr, hasBits := strings.Cut(s, "/")
+	var p Prefix
+	ip, err := parseIP4(ipStr)
+	if err != nil {
+		return Prefix{}, fmt.Errorf("net: bad CIDR %q: %w", s, err)
+	}
+	p.IP = ip
+	p.Bits = 32
+	if hasBits {
+		n, err := strconv.Atoi(bitsStr)
+		if err != nil || n < 0 || n > 32 {
+			return Prefix{}, fmt.Errorf("net: bad CIDR %q: prefix length", s)
+		}
+		p.Bits = uint8(n)
+	}
+	p.IP = u32ToIP(p.network())
+	return p, nil
+}
+
+func parseIP4(s string) ([4]byte, error) {
+	var b [4]byte
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return b, fmt.Errorf("not a dotted quad: %q", s)
+	}
+	for i, part := range parts {
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 0 || n > 255 {
+			return b, fmt.Errorf("not a dotted quad: %q", s)
+		}
+		b[i] = byte(n)
+	}
+	return b, nil
+}
+
+func ipToU32(ip [4]byte) uint32 {
+	return uint32(ip[0])<<24 | uint32(ip[1])<<16 | uint32(ip[2])<<8 | uint32(ip[3])
+}
+
+func u32ToIP(v uint32) [4]byte {
+	return [4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)}
+}
+
+func ipString(ip [4]byte) string {
+	return fmt.Sprintf("%d.%d.%d.%d", ip[0], ip[1], ip[2], ip[3])
+}
+
+func (p Prefix) mask() uint32 {
+	if p.Bits == 0 {
+		return 0
+	}
+	return ^uint32(0) << (32 - p.Bits)
+}
+
+func (p Prefix) network() uint32 { return ipToU32(p.IP) & p.mask() }
+
+// Contains reports whether ip falls inside the prefix.
+func (p Prefix) Contains(ip [4]byte) bool {
+	return ipToU32(ip)&p.mask() == p.network()
+}
+
+// String formats the prefix in CIDR notation.
+func (p Prefix) String() string {
+	return fmt.Sprintf("%s/%d", ipString(p.IP), p.Bits)
+}
+
+// route is one learned fabric route: a remote prefix reachable through
+// a bridge link. hops orders competing announcements (fewest wins).
+type route struct {
+	prefix Prefix
+	link   *bridgeLink
+	hops   int
+}
+
+// prefixTable is the longest-prefix-match routing table. Entries are
+// bucketed by prefix length and sorted by network address within each
+// bucket, so a lookup is one binary search per populated length from
+// /32 downward — O(L·log n) with L ≤ 33 populated lengths, following
+// the DHT routing-scalability framing: lookup state grows with the
+// number of prefixes, not the number of nodes, and lookup cost is
+// logarithmic in table size instead of a flat per-node scan.
+type prefixTable struct {
+	byBits [33][]route
+}
+
+func (t *prefixTable) find(bucket []route, network uint32) int {
+	return sort.Search(len(bucket), func(i int) bool {
+		return bucket[i].prefix.network() >= network
+	})
+}
+
+// lookup returns the most-specific route containing ip, or nil.
+func (t *prefixTable) lookup(ip [4]byte) *route {
+	v := ipToU32(ip)
+	for bits := 32; bits >= 0; bits-- {
+		bucket := t.byBits[bits]
+		if len(bucket) == 0 {
+			continue
+		}
+		network := v & Prefix{Bits: uint8(bits)}.mask()
+		i := t.find(bucket, network)
+		if i < len(bucket) && bucket[i].prefix.network() == network {
+			return &bucket[i]
+		}
+	}
+	return nil
+}
+
+// insert adds or improves a route; it reports whether the table
+// changed (a changed route is re-announced to the other links). An
+// existing entry is replaced when the new route is strictly fewer
+// hops, or when it refreshes the same link (the link re-learned its
+// own path; its word is authoritative for itself).
+func (t *prefixTable) insert(r route) bool {
+	bucket := t.byBits[r.prefix.Bits]
+	i := t.find(bucket, r.prefix.network())
+	if i < len(bucket) && bucket[i].prefix.network() == r.prefix.network() {
+		cur := &bucket[i]
+		if cur.link == r.link {
+			if cur.hops == r.hops {
+				return false
+			}
+			cur.hops = r.hops
+			return true
+		}
+		if r.hops < cur.hops {
+			*cur = r
+			return true
+		}
+		return false
+	}
+	bucket = append(bucket, route{})
+	copy(bucket[i+1:], bucket[i:])
+	bucket[i] = r
+	t.byBits[r.prefix.Bits] = bucket
+	return true
+}
+
+// dropLink removes every route learned through a dead link.
+func (t *prefixTable) dropLink(l *bridgeLink) {
+	for bits := range t.byBits {
+		bucket := t.byBits[bits]
+		kept := bucket[:0]
+		for _, r := range bucket {
+			if r.link != l {
+				kept = append(kept, r)
+			}
+		}
+		t.byBits[bits] = kept
+	}
+}
+
+// all snapshots the table (announcement replay to a new link).
+func (t *prefixTable) all() []route {
+	var out []route
+	for bits := 32; bits >= 0; bits-- {
+		out = append(out, t.byBits[bits]...)
+	}
+	return out
+}

@@ -2,6 +2,7 @@ package net
 
 import (
 	"fmt"
+	gonet "net"
 	"sync"
 
 	"gowali/internal/linux"
@@ -14,6 +15,15 @@ import (
 // IPv4 address is reachable from every other node — so guests in
 // different kernels exchange traffic entirely in-process.
 //
+// Switches additionally bridge into a distributed fabric: BridgeListen
+// and BridgeDial trunk frames over real TCP links to switches in other
+// processes or on other hosts. Each switch owns local subnets
+// (SetSubnets + AllocNode assign node addresses from them) and learns
+// remote prefixes from link announcements into a longest-prefix-match
+// routing table; destinations that resolve to no in-process node route
+// through the matching trunk, relaying across intermediate switches
+// when the fabric is not fully meshed.
+//
 // A single-node switch in wildcard mode is exactly the classic
 // loopback network (see NewLoopback).
 type Switch struct {
@@ -23,6 +33,11 @@ type Switch struct {
 	nodes    map[[4]byte]string // attached node IPs → node ids
 	nextNode int
 	ephem    uint16
+
+	subnets []Prefix      // local address plan, announced over trunks
+	routes  prefixTable   // learned remote prefixes → links
+	links   []*bridgeLink // attached trunk links
+	servers []*BridgeServer
 
 	// single marks the degenerate loopback fabric: every address is
 	// local to the one node, whatever IP it names.
@@ -56,22 +71,94 @@ func NewLoopback() Backend {
 	return &swNode{sw: sw, id: "lo", name: "loopback"}
 }
 
+// SetSubnets declares the switch's local address plan: CIDR blocks
+// ("10.0.1.0/24") that AllocNode assigns from and that bridge links
+// announce to the rest of the fabric. Declare subnets before bridging
+// so the first announcement already covers them.
+func (sw *Switch) SetSubnets(cidrs ...string) error {
+	var ps []Prefix
+	for _, c := range cidrs {
+		p, err := ParseCIDR(c)
+		if err != nil {
+			return err
+		}
+		ps = append(ps, p)
+	}
+	sw.mu.Lock()
+	sw.subnets = append(sw.subnets, ps...)
+	links := append([]*bridgeLink(nil), sw.links...)
+	sw.mu.Unlock()
+	for _, p := range ps {
+		for _, l := range links {
+			l.send(frameAnnounce(p, 0))
+		}
+	}
+	return nil
+}
+
 // Node attaches a kernel to the fabric under the given IPv4 address
 // ("10.0.0.1"). Guests on other nodes reach this node's listeners by
 // dialing that address.
 func (sw *Switch) Node(ip string) (Backend, error) {
-	var b [4]byte
-	if _, err := fmt.Sscanf(ip, "%d.%d.%d.%d", &b[0], &b[1], &b[2], &b[3]); err != nil {
+	b, err := parseIP4(ip)
+	if err != nil {
 		return nil, fmt.Errorf("net: bad switch node address %q", ip)
 	}
+	return sw.attachNode(b)
+}
+
+// AllocNode attaches a kernel under the next free address of the
+// switch's local subnets (collision-free assignment; addresses
+// released by a node's Close are reused). It returns the backend and
+// the assigned address.
+func (sw *Switch) AllocNode() (Backend, string, error) {
 	sw.mu.Lock()
-	defer sw.mu.Unlock()
+	subnets := append([]Prefix(nil), sw.subnets...)
+	sw.mu.Unlock()
+	if len(subnets) == 0 {
+		return nil, "", fmt.Errorf("net: AllocNode needs a local subnet (SetSubnets)")
+	}
+	for _, p := range subnets {
+		base := p.network()
+		hosts := uint32(1) << (32 - p.Bits)
+		// Skip the network and broadcast addresses of real-sized
+		// subnets; /31 and /32 have no hosts to allocate.
+		for off := uint32(1); off+1 < hosts; off++ {
+			ip := u32ToIP(base + off)
+			n, err := sw.attachNode(ip)
+			if err == nil {
+				return n, ipString(ip), nil
+			}
+		}
+	}
+	return nil, "", fmt.Errorf("net: switch subnets exhausted")
+}
+
+func (sw *Switch) attachNode(b [4]byte) (Backend, error) {
+	sw.mu.Lock()
 	if _, taken := sw.nodes[b]; taken {
-		return nil, fmt.Errorf("net: switch node %s already attached", ip)
+		sw.mu.Unlock()
+		return nil, fmt.Errorf("net: switch node %s already attached", ipString(b))
 	}
 	sw.nextNode++
 	id := fmt.Sprintf("n%d", sw.nextNode)
 	sw.nodes[b] = id
+	covered := false
+	for _, p := range sw.subnets {
+		if p.Contains(b) {
+			covered = true
+			break
+		}
+	}
+	links := append([]*bridgeLink(nil), sw.links...)
+	sw.mu.Unlock()
+	// A node outside every local subnet still needs fabric
+	// reachability: announce it as a host route.
+	if !covered {
+		for _, l := range links {
+			l.send(frameAnnounce(Prefix{IP: b, Bits: 32}, 0))
+		}
+	}
 	return &swNode{sw: sw, id: id, ip: b, name: "switch"}, nil
 }
 
@@ -167,7 +254,22 @@ func (n *swNode) Listen(a Addr, backlog int) (Listener, linux.Errno) {
 }
 
 func (n *swNode) Connect(a Addr, local Addr) (Conn, linux.Errno) {
+	// Cross-node traffic must carry a routable source address so the
+	// accepting side's getpeername (and any reply) names the client's
+	// node rather than a wildcard (unbound clients have a zero local)
+	// — and so replies across a bridge hop route back here.
+	if a.Family != linux.AF_UNIX && !n.sw.single && (local.IsWildcard() || local.IsLoopbackIP()) {
+		local.Family = linux.AF_INET
+		local.Addr = n.ip
+	}
 	k, errno := n.keyFor(a, false)
+	if errno == linux.ECONNREFUSED && a.Family == linux.AF_INET {
+		// Not an in-process node: try the fabric routing table.
+		if bl := n.sw.linkFor(a.Addr); bl != nil {
+			return bl.open(a, local, n.id)
+		}
+		return nil, linux.ECONNREFUSED
+	}
 	if errno != 0 {
 		return nil, errno
 	}
@@ -177,13 +279,6 @@ func (n *swNode) Connect(a Addr, local Addr) (Conn, linux.Errno) {
 	sw.mu.Unlock()
 	if l == nil {
 		return nil, linux.ECONNREFUSED
-	}
-	// Cross-node traffic must carry a routable source address so the
-	// accepting side's getpeername (and any reply) names the client's
-	// node rather than a wildcard (unbound clients have a zero local).
-	if local.Family != linux.AF_UNIX && !n.sw.single && (local.IsWildcard() || local.IsLoopbackIP()) {
-		local.Family = linux.AF_INET
-		local.Addr = n.ip
 	}
 	client, server := newConnPair(local, a)
 	if errno := l.push(server, server.peer); errno != 0 {
@@ -212,7 +307,21 @@ func (n *swNode) Dgram(a Addr) (DgramConn, linux.Errno) {
 
 // routeDgram delivers one datagram from a node-local source address.
 func (n *swNode) routeDgram(from Addr, b []byte, to Addr) (int, linux.Errno) {
+	if from.Family == linux.AF_INET && (from.IsWildcard() || from.IsLoopbackIP()) && !n.sw.single {
+		from.Family = linux.AF_INET
+		from.Addr = n.ip
+	}
 	k, errno := n.keyFor(to, false)
+	if errno == linux.ECONNREFUSED && to.Family == linux.AF_INET {
+		// Not an in-process node: one DGRAM frame through the fabric.
+		// Fire-and-forget, like UDP — the receiving queue drops on
+		// overflow and unknown destinations vanish silently.
+		if bl := n.sw.linkFor(to.Addr); bl != nil {
+			bl.send(frameDgram(from, to, b))
+			return len(b), 0
+		}
+		return 0, linux.ECONNREFUSED
+	}
 	if errno != 0 {
 		return 0, errno
 	}
@@ -222,9 +331,6 @@ func (n *swNode) routeDgram(from Addr, b []byte, to Addr) (int, linux.Errno) {
 	sw.mu.Unlock()
 	if d == nil {
 		return 0, linux.ECONNREFUSED
-	}
-	if from.Family == linux.AF_INET && (from.IsWildcard() || from.IsLoopbackIP()) && !n.sw.single {
-		from.Addr = n.ip
 	}
 	if errno := d.enqueue(from, b); errno != 0 {
 		return 0, errno
@@ -246,7 +352,197 @@ func (n *swNode) dropDgram(d *dgramQueue) {
 	sw.mu.Unlock()
 }
 
-func (n *swNode) Close() {}
+// Close detaches the node from the fabric: its listeners and datagram
+// queues shut down (blocked accepts and receives wake), its bridged
+// streams reset so remote peers observe the teardown, and its IP
+// returns to the switch for reuse. Established in-process pipe pairs
+// are owned by kernel fd tables and close with them.
+func (n *swNode) Close() {
+	sw := n.sw
+	sw.mu.Lock()
+	var ls []*swListener
+	for _, l := range sw.streams {
+		if l.node == n {
+			ls = append(ls, l)
+		}
+	}
+	var ds []*dgramQueue
+	for _, d := range sw.dgrams {
+		if d.owner == n {
+			ds = append(ds, d)
+		}
+	}
+	// Release the IP only if it is still ours (it may have been
+	// reassigned after an earlier Close).
+	if sw.nodes[n.ip] == n.id {
+		delete(sw.nodes, n.ip)
+	}
+	links := append([]*bridgeLink(nil), sw.links...)
+	sw.mu.Unlock()
+	for _, l := range ls {
+		l.Close()
+	}
+	for _, d := range ds {
+		d.Close()
+	}
+	for _, bl := range links {
+		bl.resetNode(n.id)
+	}
+}
+
+// --- fabric plumbing -------------------------------------------------
+
+// BridgeListen opens a trunk endpoint at addr ("host:port", ":0" for
+// an ephemeral port — query it with Addr). Remote switches join the
+// fabric by dialing it.
+func (sw *Switch) BridgeListen(addr string) (*BridgeServer, error) {
+	ln, err := gonet.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	bs := &BridgeServer{sw: sw, ln: ln}
+	sw.mu.Lock()
+	sw.servers = append(sw.servers, bs)
+	sw.mu.Unlock()
+	go bs.acceptLoop()
+	return bs, nil
+}
+
+// BridgeDial joins the fabric through a remote switch's BridgeListen
+// endpoint. Subnet announcements flow both ways immediately; routes
+// to switches beyond the peer arrive as the fabric re-announces.
+func (sw *Switch) BridgeDial(addr string) (*Bridge, error) {
+	c, err := gonet.DialTimeout("tcp", addr, bridgeOpenTimeout)
+	if err != nil {
+		return nil, err
+	}
+	return &Bridge{link: sw.startLink(c, true)}, nil
+}
+
+// startLink attaches one trunk: register it, exchange hello and the
+// current announcement set, then start the demux loop.
+func (sw *Switch) startLink(c gonet.Conn, dialer bool) *bridgeLink {
+	if tc, ok := c.(*gonet.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	l := newBridgeLink(sw, c, dialer)
+	sw.mu.Lock()
+	sw.links = append(sw.links, l)
+	locals := sw.localPrefixesLocked()
+	learned := sw.routes.all()
+	sw.mu.Unlock()
+	l.send(frameHello())
+	for _, p := range locals {
+		l.send(frameAnnounce(p, 0))
+	}
+	for _, r := range learned {
+		l.send(frameAnnounce(r.prefix, r.hops+1))
+	}
+	go l.run()
+	return l
+}
+
+// localPrefixesLocked reports everything this switch answers for:
+// its subnets plus host routes for nodes outside them.
+func (sw *Switch) localPrefixesLocked() []Prefix {
+	out := append([]Prefix(nil), sw.subnets...)
+	for ip := range sw.nodes {
+		covered := false
+		for _, p := range sw.subnets {
+			if p.Contains(ip) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			out = append(out, Prefix{IP: ip, Bits: 32})
+		}
+	}
+	return out
+}
+
+// linkFor resolves a non-local destination through the routing table.
+func (sw *Switch) linkFor(ip [4]byte) *bridgeLink {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	if r := sw.routes.lookup(ip); r != nil {
+		return r.link
+	}
+	return nil
+}
+
+// learnRoute absorbs one announcement; improvements re-announce to
+// the other links with one more hop (split horizon keeps them off the
+// link they came from).
+func (sw *Switch) learnRoute(p Prefix, hops int, via *bridgeLink) {
+	sw.mu.Lock()
+	for _, local := range sw.localPrefixesLocked() {
+		if local == p {
+			sw.mu.Unlock()
+			return // our own prefix echoed back: ignore
+		}
+	}
+	changed := sw.routes.insert(route{prefix: p, link: via, hops: hops})
+	var others []*bridgeLink
+	if changed {
+		for _, l := range sw.links {
+			if l != via {
+				others = append(others, l)
+			}
+		}
+	}
+	sw.mu.Unlock()
+	for _, l := range others {
+		l.send(frameAnnounce(p, hops+1))
+	}
+}
+
+// detachLink forgets a dead trunk and the routes learned through it.
+func (sw *Switch) detachLink(l *bridgeLink) {
+	sw.mu.Lock()
+	for i, x := range sw.links {
+		if x == l {
+			sw.links = append(sw.links[:i], sw.links[i+1:]...)
+			break
+		}
+	}
+	sw.routes.dropLink(l)
+	sw.mu.Unlock()
+}
+
+func (sw *Switch) dropServer(bs *BridgeServer) {
+	sw.mu.Lock()
+	for i, x := range sw.servers {
+		if x == bs {
+			sw.servers = append(sw.servers[:i], sw.servers[i+1:]...)
+			break
+		}
+	}
+	sw.mu.Unlock()
+}
+
+// RouteCount reports learned remote prefixes (diagnostics, tests).
+func (sw *Switch) RouteCount() int {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return len(sw.routes.all())
+}
+
+// Close tears the fabric side of the switch down: trunk servers stop
+// accepting and every link resets (in-process nodes keep working).
+func (sw *Switch) Close() {
+	sw.mu.Lock()
+	servers := sw.servers
+	links := append([]*bridgeLink(nil), sw.links...)
+	sw.servers = nil
+	sw.mu.Unlock()
+	for _, bs := range servers {
+		bs.ln.Close()
+	}
+	for _, l := range links {
+		l.c.Close() // the demux loop observes the close and tears down
+	}
+}
 
 // swListener is a claimed stream address's accept queue (the shared
 // acceptQueue state machine plus fabric registration).

@@ -157,16 +157,36 @@ func NewHostNet(cfg HostNetConfig) *HostNet { return knet.NewHostNet(cfg) }
 // Switch is a virtual L4 switch connecting multiple runtime kernels in
 // one process; each kernel attaches as a node with its own IPv4
 // address and guests exchange stream and datagram traffic across
-// kernels. See WithNet.
+// kernels. Switches also bridge into a distributed fabric spanning
+// processes and hosts: declare local subnets with Switch.SetSubnets,
+// then trunk over real TCP with Switch.BridgeListen/BridgeDial —
+// destinations outside the process route through the trunk by
+// longest-prefix match, relaying across intermediate switches. See
+// WithNet and WithNetFlags.
 type Switch = knet.Switch
 
 // NewSwitch builds an empty switch fabric; attach runtimes with
-// Switch.Node:
+// Switch.Node or Switch.AllocNode:
 //
 //	sw := gowali.NewSwitch()
 //	nodeA, _ := sw.Node("10.0.0.1")
 //	rtA, _ := gowali.New(gowali.WithNet(nodeA))
 func NewSwitch() *Switch { return knet.NewSwitch() }
+
+// BridgeServer is a switch's trunk endpoint (Switch.BridgeListen):
+// remote switches join the fabric by dialing its Addr.
+type BridgeServer = knet.BridgeServer
+
+// BridgeLink is one dialed trunk (Switch.BridgeDial); closing it
+// resets every stream crossing that link.
+type BridgeLink = knet.Bridge
+
+// NetPrefix is an IPv4 CIDR block — the unit of fabric address
+// assignment (Switch.SetSubnets) and routing announcements.
+type NetPrefix = knet.Prefix
+
+// ParseCIDR parses "10.0.1.0/24" (or a bare IP as a /32 host route).
+func ParseCIDR(s string) (NetPrefix, error) { return knet.ParseCIDR(s) }
 
 // NewLoopbackNet returns a fresh in-kernel loopback network — the
 // default AF_INET backend every kernel boots with (useful to restore
