@@ -32,7 +32,34 @@ type (
 	TrafficRow      = ib.TrafficRow
 	BackpressureRow = ib.BackpressureRow
 	FabricReport    = ib.FabricReport
+
+	SyscallLatencyRow = ib.SyscallLatencyRow
 )
+
+// MetricsSnapshot is the obs-plane snapshot embedded in Report.Metrics.
+type MetricsSnapshot = gowali.MetricsSnapshot
+
+// EnableObs arms a shared metrics registry — and, when withTrace is
+// set, an event tracer — for every engine, kernel, scheduler and
+// switch built by subsequent harness runs. benchvirt -json calls it so
+// reports carry latency histograms; leave it off for overhead-free
+// measurement runs.
+func EnableObs(withTrace bool) { ib.EnableObs(withTrace) }
+
+// ObsSnapshot captures the accumulated obs metrics, or nil when obs is
+// off. Assign it to Report.Metrics before writing.
+func ObsSnapshot() *MetricsSnapshot { return ib.ObsSnapshot() }
+
+// FormatMetrics renders a snapshot as a human-readable summary with a
+// p50/p99/p999 latency table.
+func FormatMetrics(s *MetricsSnapshot) string { return ib.FormatMetrics(s) }
+
+// SyscallLatencyProfile runs the app suite and returns per-syscall
+// handler-latency histograms sorted by call count (syscall-prof -lat).
+func SyscallLatencyProfile() []SyscallLatencyRow { return ib.SyscallLatencyProfile() }
+
+// FormatSyscallLatency renders the per-syscall latency table.
+func FormatSyscallLatency(rows []SyscallLatencyRow) string { return ib.FormatSyscallLatency(rows) }
 
 // ExecTier selects the execution engine every harness runs on; see
 // gowali.WithExecTier for the tiers.

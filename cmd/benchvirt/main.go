@@ -96,6 +96,9 @@ func main() {
 	var report *bench.Report
 	if *jsonOut {
 		report = bench.NewReport()
+		// Arm the obs plane so the report carries per-syscall/sched/net
+		// latency histograms alongside the section tables.
+		bench.EnableObs(false)
 	}
 
 	if *t1 {
@@ -247,6 +250,12 @@ func main() {
 		fmt.Print(bench.FormatFSMicro(bench.FSMicro(*fsmIters, dir)))
 	}
 	if report != nil {
+		report.Metrics = bench.ObsSnapshot()
+		if report.Metrics != nil && len(report.Metrics.Histograms) > 0 {
+			fmt.Println("== Metrics: obs-plane latency histograms (ns) ==")
+			fmt.Print(bench.FormatMetrics(report.Metrics))
+			fmt.Println()
+		}
 		path, err := report.Write(*jsonDir)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchvirt: writing report: %v\n", err)

@@ -4,6 +4,11 @@
 //
 //	syscall-prof -fig2
 //	syscall-prof -fig3
+//	syscall-prof -lat
+//
+// -lat runs the suite with the obs metrics plane attached and prints
+// the per-syscall handler-latency distribution (p50/p90/p99/p999 from
+// log-bucketed histograms), sorted by call count.
 package main
 
 import (
@@ -17,8 +22,9 @@ import (
 func main() {
 	fig2 := flag.Bool("fig2", false, "syscall profile across applications (Fig. 2)")
 	fig3 := flag.Bool("fig3", false, "syscall commonality across ISAs (Fig. 3)")
+	lat := flag.Bool("lat", false, "per-syscall handler latency histograms across the suite")
 	flag.Parse()
-	if !*fig2 && !*fig3 {
+	if !*fig2 && !*fig3 && !*lat {
 		*fig2, *fig3 = true, true
 	}
 	if *fig2 {
@@ -40,6 +46,10 @@ func main() {
 	if *fig3 {
 		fmt.Println("== Fig. 3: Linux syscall similarity across ISAs ==")
 		fmt.Print(bench.FormatFig3())
+	}
+	if *lat {
+		fmt.Println("== Per-syscall handler latency (ns) ==")
+		fmt.Print(bench.FormatSyscallLatency(bench.SyscallLatencyProfile()))
 	}
 	os.Exit(0)
 }

@@ -23,8 +23,20 @@
 // "join=HOST:PORT" dials into a fabric (both repeatable) — guests then
 // dial guests in other processes or on other hosts by fabric address.
 // -verbose mirrors WALI_VERBOSE: every dynamically executed
-// syscall is printed (experiment E1). The guest's exit status becomes
-// the host process exit status; guest traps print the Wasm backtrace.
+// syscall is printed (experiment E1). The observability flags:
+// -strace decodes each syscall (name, arguments with path pointers
+// dereferenced, return value or errno, latency) to stderr; -trace-out
+// FILE records runtime events (syscalls, scheduler transitions, trunk
+// frames, snapshot/CoW activity) and writes a Chrome trace-event JSON
+// loadable in Perfetto (ui.perfetto.dev) on exit; -metrics ADDR serves
+// Prometheus text at /metrics (and JSON at /metrics.json) during the
+// run — a bare ":PORT" binds loopback only. The guest's exit status
+// becomes the host process exit status; guest traps print the Wasm
+// backtrace.
+//
+//	wali-run -strace -app lua -scale 100
+//	wali-run -trace-out trace.json -app lua
+//	wali-run -metrics :9090 server.wasm
 package main
 
 import (
@@ -57,6 +69,9 @@ func main() {
 	flag.Var(&dirs, "dir", "mount a host directory: hostdir=/guestpath[:ro] (repeatable)")
 	var nets dirFlags
 	flag.Var(&nets, "net", "network stack directive: loop | host=PORT:HOSTADDR | allow=PATTERN (repeatable)")
+	strace := flag.Bool("strace", false, "decode every syscall to stderr: name, arguments, return/errno, latency")
+	traceOut := flag.String("trace-out", "", "record runtime events and write a Chrome/Perfetto trace JSON to this file on exit")
+	metricsAddr := flag.String("metrics", "", "serve Prometheus metrics on this address for the life of the run (\":PORT\" binds loopback only)")
 	snapFile := flag.String("snapshot", "", "checkpoint the warmed guest to this image file, then let it finish")
 	snapDelay := flag.Duration("snapshot-delay", 50*time.Millisecond, "how long to warm the guest before -snapshot checkpoints it")
 	restoreFile := flag.String("restore", "", "restore a guest from an image file instead of running a .wasm binary")
@@ -73,6 +88,18 @@ func main() {
 		col.Verbose = func(line string) { fmt.Fprintln(os.Stderr, line) }
 	}
 	opts := []gowali.Option{gowali.WithSyscallHook(col.Observe), gowali.WithExecTier(tier)}
+	if *strace {
+		opts = append(opts, gowali.WithStrace(os.Stderr))
+	}
+	var tracer *gowali.Tracer
+	if *traceOut != "" {
+		tracer = gowali.NewTracer()
+		tracer.SetEnabled(true)
+		opts = append(opts, gowali.WithTracer(tracer))
+	}
+	if *metricsAddr != "" {
+		opts = append(opts, gowali.WithMetrics(gowali.NewMetrics()))
+	}
 	for _, spec := range dirs {
 		opt, err := gowali.WithMountSpec(spec)
 		if err != nil {
@@ -88,6 +115,13 @@ func main() {
 	rt, err := gowali.New(opts...)
 	if err != nil {
 		fatal(err)
+	}
+	if *metricsAddr != "" {
+		bound, err := rt.ServeMetrics(*metricsAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wali-run: metrics on http://%s/metrics\n", bound)
 	}
 
 	var status int32
@@ -122,6 +156,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "syscalls: %d calls, %d distinct, %s in handlers\n", n, col.Unique(), d)
 		for name, c := range col.Counts() {
 			fmt.Fprintf(os.Stderr, "  %-20s %d\n", name, c)
+		}
+	}
+	if tracer != nil {
+		if err := writeTrace(tracer, *traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "wali-run: writing trace: %v\n", err)
+			if status == 0 {
+				status = 1
+			}
 		}
 	}
 	// Propagate the guest exit status as the host process exit code.
@@ -175,6 +217,19 @@ func restoreImage(rt *gowali.Runtime, imgPath string) (int32, error) {
 	status, runErr := p.Wait(context.Background())
 	rt.WaitAll()
 	return status, runErr
+}
+
+// writeTrace flushes the recorded events as Perfetto-loadable JSON.
+func writeTrace(tr *gowali.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

@@ -5,6 +5,7 @@ import (
 	"io"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"gowali/internal/apps"
@@ -12,6 +13,7 @@ import (
 	"gowali/internal/kernel"
 	"gowali/internal/kernel/sched"
 	"gowali/internal/kernel/vfs"
+	"gowali/internal/obs"
 	"gowali/internal/wasi"
 	"gowali/internal/wazi"
 )
@@ -33,6 +35,12 @@ type config struct {
 	stdin  io.Reader
 	stdout io.Writer
 	stderr io.Writer
+
+	// Observability plane (see obs.go): optional tracer, metrics
+	// registry and strace output.
+	tracer  *Tracer
+	metrics *Metrics
+	straceW io.Writer
 }
 
 // schedSpec is one WithScheduler request.
@@ -368,8 +376,16 @@ func (h *waliHost) apply(r *Runtime, c *config) error {
 	if c.hook != nil {
 		w.Hook = c.hook
 	}
+	w.Trace = c.tracer
+	w.Metrics = c.metrics
+	if c.straceW != nil {
+		w.Strace = obs.NewStraceWriter(c.straceW)
+	}
 	if c.sched != nil {
-		w.Sched = sched.New(sched.Config{Workers: c.sched.workers, Quantum: c.sched.quantum})
+		w.Sched = sched.New(sched.Config{
+			Workers: c.sched.workers, Quantum: c.sched.quantum,
+			Trace: c.tracer, Metrics: c.metrics,
+		})
 	}
 	if c.budget != nil {
 		w.DefaultTenant = w.NewTenant("runtime", *c.budget)
@@ -396,6 +412,11 @@ func (h *waliHost) apply(r *Runtime, c *config) error {
 	}
 	if c.net != nil {
 		k.SetNetBackend(c.net)
+	}
+	// After SetNetBackend, so a switch-fabric node inherits the plane
+	// before any trunk links form.
+	if c.tracer != nil || c.metrics != nil {
+		k.SetObs(c.tracer, c.metrics)
 	}
 	return nil
 }
@@ -456,6 +477,9 @@ func (waziHost) apply(r *Runtime, c *config) error {
 	if c.budget != nil {
 		return fmt.Errorf("gowali: WithBudget requires a WALI-backed host")
 	}
+	if c.tracer != nil || c.metrics != nil || c.straceW != nil {
+		return fmt.Errorf("gowali: WithTracer/WithMetrics/WithStrace require a WALI-backed host (the WAZI board has no syscall plane)")
+	}
 	w := wazi.New()
 	w.Scheme = c.scheme
 	w.Tier = c.tier
@@ -492,6 +516,10 @@ type Runtime struct {
 	wazi *wazi.WAZI // WAZI host
 
 	stderrPath string // device path for redirected fd 2, "" if none
+
+	// msrv is the ServeMetrics HTTP server, stopped by Close.
+	msrvMu sync.Mutex
+	msrv   *obs.MetricsServer
 }
 
 // New builds a runtime from functional options. With no options it is a
@@ -549,10 +577,16 @@ func (r *Runtime) WaitAll() {
 
 // Close shuts the runtime's kernel down: its network backends release
 // their listeners, queues and (for switch-fabric nodes) the node
-// address, so a shared Switch can reuse it. Idempotent. Callers
-// sharing one kernel across runtimes (WithKernel) should Close only
-// once, when the kernel is done for good.
+// address, so a shared Switch can reuse it; the metrics HTTP server
+// (ServeMetrics) stops and the kernel's metric collectors unregister.
+// Idempotent. Callers sharing one kernel across runtimes (WithKernel)
+// should Close only once, when the kernel is done for good.
 func (r *Runtime) Close() error {
+	r.msrvMu.Lock()
+	msrv := r.msrv
+	r.msrv = nil
+	r.msrvMu.Unlock()
+	msrv.Close()
 	if r.wali != nil {
 		r.wali.Kernel.Shutdown()
 	}

@@ -36,11 +36,12 @@ func SetTier(t interp.ExecTier) { tier = t }
 // Tier reports the currently selected execution engine.
 func Tier() interp.ExecTier { return tier }
 
-// newWALI builds a fresh engine on the selected tier.
+// newWALI builds a fresh engine on the selected tier, attached to the
+// package obs plane when EnableObs armed one.
 func newWALI() *core.WALI {
 	w := core.New()
 	w.Tier = tier
-	return w
+	return attachObs(w)
 }
 
 // ---------- Table 1 ----------

@@ -334,7 +334,7 @@ func FleetOnce(cfg FleetConfig) FleetRow {
 	}
 
 	w := newWALI()
-	w.Sched = sched.New(sched.Config{Workers: cfg.Workers, Quantum: cfg.Quantum})
+	w.Sched = sched.New(obsSchedCfg(sched.Config{Workers: cfg.Workers, Quantum: cfg.Quantum}))
 	spinT := w.NewTenant("spin", sched.Budget{})
 	sysT := w.NewTenant("sys", sched.Budget{})
 	pollT := w.NewTenant("poll", sched.Budget{})

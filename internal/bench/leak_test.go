@@ -3,6 +3,7 @@ package bench
 import (
 	gonet "net"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -12,6 +13,7 @@ import (
 	knet "gowali/internal/kernel/net"
 	"gowali/internal/kernel/sched"
 	"gowali/internal/linux"
+	"gowali/internal/obs"
 )
 
 // TestKillNoPumpLeak: forcibly killing a guest with an established
@@ -33,6 +35,18 @@ func TestKillNoPumpLeak(t *testing.T) {
 	k.SetNetBackend(hn)
 	w := core.NewWith(k)
 	w.Sched = sched.New(sched.Config{Workers: 1, Quantum: time.Millisecond})
+
+	// The full obs plane rides along: its metrics-server goroutine and
+	// the kernel's registered gauge must also unwind at teardown.
+	tr := obs.NewTracer(1 << 8)
+	tr.SetEnabled(true)
+	reg := obs.NewRegistry()
+	w.Trace, w.Metrics = tr, reg
+	k.SetObs(tr, reg)
+	msrv, err := obs.ListenAndServe(":0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	sc, err := interp.Compile(buildNetEchoServer(netEchoPort))
 	if err != nil {
@@ -88,6 +102,16 @@ func TestKillNoPumpLeak(t *testing.T) {
 	}
 	c.Close()
 	hn.Close()
+	msrv.Close()
+	k.Shutdown()
+
+	// Shutdown must have unregistered the kernel's gauge from the
+	// shared registry — a dead kernel may not be sampled.
+	for name := range reg.Snapshot().Gauges {
+		if strings.HasPrefix(name, "wali_kernel_processes{") {
+			t.Fatalf("kernel gauge %q still registered after Shutdown", name)
+		}
+	}
 
 	// Every goroutine above is torn down asynchronously; give the
 	// unwind a bounded window to converge back to the baseline.

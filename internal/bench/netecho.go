@@ -285,7 +285,7 @@ func netEchoSwitch(msgs, size int) time.Duration {
 	ka, kb := kernel.NewKernel(), kernel.NewKernel()
 	ka.SetNetBackend(nodeA)
 	kb.SetNetBackend(nodeB)
-	wa, wb := core.NewWith(ka), core.NewWith(kb)
+	wa, wb := attachObs(core.NewWith(ka)), attachObs(core.NewWith(kb))
 	dest := knet.Addr{Family: linux.AF_INET, Port: netEchoPort, Addr: [4]byte{10, 0, 0, 1}}
 	return runEchoPair(wa, wb, buildNetEchoServer(netEchoPort), buildNetEchoClient(dest, msgs, size))
 }
@@ -298,7 +298,7 @@ func netEchoHost(msgs, size int) time.Duration {
 	defer hn.Close()
 	k := kernel.NewKernel()
 	k.SetNetBackend(hn)
-	w := core.NewWith(k)
+	w := attachObs(core.NewWith(k))
 	sc, err := interp.Compile(buildNetEchoServer(netEchoPort))
 	if err != nil {
 		panic(err)

@@ -1,0 +1,165 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gowali/internal/apps"
+	"gowali/internal/core"
+	"gowali/internal/kernel/sched"
+	"gowali/internal/obs"
+)
+
+// Package-level observability plane, mirroring the tier/SetTier pattern:
+// benchvirt flips it on once before running harnesses and every engine,
+// kernel, scheduler and switch the harnesses build from then on records
+// into the same registry (and tracer, when armed). Off by default, so
+// plain benchmark runs measure the uninstrumented fast path.
+var (
+	obsReg   *obs.Registry
+	obsTrace *obs.Tracer
+)
+
+// EnableObs arms the shared metrics registry — and, when withTrace is
+// set, an event tracer — for all subsequently constructed harness
+// engines. Call once, before the first harness.
+func EnableObs(withTrace bool) {
+	obsReg = obs.NewRegistry()
+	if withTrace {
+		obsTrace = obs.NewTracer(0)
+		obsTrace.SetEnabled(true)
+	}
+}
+
+// ObsRegistry returns the shared registry (nil when obs is off).
+func ObsRegistry() *obs.Registry { return obsReg }
+
+// ObsTracer returns the shared tracer (nil unless EnableObs(true)).
+func ObsTracer() *obs.Tracer { return obsTrace }
+
+// ObsSnapshot captures the accumulated metrics, or nil when obs is off.
+// The pointer drops straight into Report.Metrics.
+func ObsSnapshot() *obs.Snapshot {
+	if obsReg == nil {
+		return nil
+	}
+	s := obsReg.Snapshot()
+	return &s
+}
+
+// attachObs wires the package plane onto one engine and its kernel.
+// Harnesses route every engine they build through this (newWALI does it
+// for them); no-op while obs is off.
+func attachObs(w *core.WALI) *core.WALI {
+	if obsReg == nil && obsTrace == nil {
+		return w
+	}
+	w.Trace = obsTrace
+	w.Metrics = obsReg
+	if w.Kernel != nil {
+		w.Kernel.SetObs(obsTrace, obsReg)
+	}
+	return w
+}
+
+// obsSchedCfg injects the plane into a scheduler config.
+func obsSchedCfg(cfg sched.Config) sched.Config {
+	cfg.Trace = obsTrace
+	cfg.Metrics = obsReg
+	return cfg
+}
+
+// SyscallLatencyRow is one row of the per-syscall latency table:
+// handler wall-time distribution across the whole app suite.
+type SyscallLatencyRow struct {
+	Syscall string
+	Stat    obs.HistStat
+}
+
+// SyscallLatencyProfile runs the app suite on engines sharing one
+// private metrics registry and returns the per-syscall handler-latency
+// histograms, sorted by call count (syscall-prof -lat).
+func SyscallLatencyProfile() []SyscallLatencyRow {
+	reg := obs.NewRegistry()
+	for _, a := range apps.Runnable() {
+		w := newWALI()
+		w.Metrics = reg
+		if _, status, err := apps.RunOn(w, a, Fig2Scales[a.Name]); err != nil || status != 0 {
+			panic(fmt.Sprintf("syscall-lat %s: status=%d err=%v", a.Name, status, err))
+		}
+	}
+	s := reg.Snapshot()
+	var rows []SyscallLatencyRow
+	for name, h := range s.Histograms {
+		const prefix = `wali_syscall_latency_ns{syscall="`
+		if !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		sys := strings.TrimSuffix(strings.TrimPrefix(name, prefix), `"}`)
+		rows = append(rows, SyscallLatencyRow{Syscall: sys, Stat: h})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Stat.Count != rows[j].Stat.Count {
+			return rows[i].Stat.Count > rows[j].Stat.Count
+		}
+		return rows[i].Syscall < rows[j].Syscall
+	})
+	return rows
+}
+
+// FormatSyscallLatency renders the per-syscall latency table.
+func FormatSyscallLatency(rows []SyscallLatencyRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %10s %10s %10s %10s %10s %10s\n",
+		"syscall", "calls", "mean ns", "p50", "p90", "p99", "p999")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %10d %10.0f %10d %10d %10d %10d\n",
+			r.Syscall, r.Stat.Count, r.Stat.Mean, r.Stat.P50, r.Stat.P90, r.Stat.P99, r.Stat.P999)
+	}
+	return b.String()
+}
+
+// FormatMetrics renders a snapshot as a human-readable summary: one
+// line per counter/gauge, then a latency table with p50/p99/p999 per
+// histogram. Returns "" for a nil snapshot.
+func FormatMetrics(s *obs.Snapshot) string {
+	if s == nil {
+		return ""
+	}
+	var b strings.Builder
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "%-56s %d\n", n, s.Counters[n])
+	}
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "%-56s %d\n", n, s.Gauges[n])
+	}
+	if len(s.Histograms) > 0 {
+		names = names[:0]
+		for n := range s.Histograms {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(&b, "%-56s %10s %12s %12s %12s %12s\n",
+			"latency (ns)", "count", "mean", "p50", "p99", "p999")
+		for _, n := range names {
+			h := s.Histograms[n]
+			if h.Count == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "%-56s %10d %12.0f %12d %12d %12d\n",
+				n, h.Count, h.Mean, h.P50, h.P99, h.P999)
+		}
+	}
+	return b.String()
+}

@@ -6,6 +6,8 @@ import (
 	"os"
 	"runtime"
 	"time"
+
+	"gowali/internal/obs"
 )
 
 // Report is the machine-readable benchmark record benchvirt -json emits.
@@ -30,6 +32,12 @@ type Report struct {
 	// Fabric is the distributed-switch traffic section (-traffic):
 	// pattern rows plus the slow-receiver backpressure probe.
 	Fabric *FabricReport `json:"fabric,omitempty"`
+
+	// Metrics is the obs-plane snapshot accumulated across every
+	// section of the run: syscall/sched/net/snapshot counters and
+	// latency histograms with p50/p99/p999. Present when the run was
+	// launched with observability on (benchvirt -json arms it).
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
 }
 
 // NewReport stamps an empty report with the environment.

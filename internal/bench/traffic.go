@@ -253,6 +253,7 @@ func buildFabric(n int) ([]fabricNode, func()) {
 		k.SetNetBackend(be)
 		w := core.NewWith(k)
 		w.Tier = tier
+		attachObs(w)
 		p, err := knet.ParseCIDR(ip)
 		if err != nil {
 			panic(err)

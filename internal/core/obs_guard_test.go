@@ -1,0 +1,123 @@
+package core
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"gowali/internal/interp"
+	"gowali/internal/obs"
+)
+
+// dispatchWall times one guest issuing `calls` getpid syscalls.
+func dispatchWall(t *testing.T, w *WALI, c *interp.Compiled, calls int) time.Duration {
+	t.Helper()
+	p, err := w.SpawnCompiled(c, "guard", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if status, err := p.Run(); err != nil || status != 0 {
+		t.Fatalf("run: status=%d err=%v", status, err)
+	}
+	return time.Since(start)
+}
+
+// median runs f `runs` times and returns the middle sample.
+func median(runs int, f func() time.Duration) time.Duration {
+	samples := make([]time.Duration, runs)
+	for i := range samples {
+		samples[i] = f()
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	return samples[runs/2]
+}
+
+// BenchmarkSyscallDispatchObs prices the dispatch path per obs mode:
+// bare engine, plane attached but disabled, metrics recording, tracer
+// recording, and everything at once — the EXPERIMENTS.md overhead
+// table.
+func BenchmarkSyscallDispatchObs(b *testing.B) {
+	const calls = 2000
+	c := func() *interp.Compiled {
+		t := &testing.T{}
+		return statApp(t, calls)
+	}()
+	modes := []struct {
+		name string
+		mk   func() *WALI
+	}{
+		{"bare", New},
+		{"attached-disabled", func() *WALI {
+			w := New()
+			w.Trace = obs.NewTracer(1 << 10) // never enabled
+			return w
+		}},
+		{"metrics", func() *WALI {
+			w := New()
+			w.Metrics = obs.NewRegistry()
+			return w
+		}},
+		{"tracer", func() *WALI {
+			w := New()
+			w.Trace = obs.NewTracer(1 << 10)
+			w.Trace.SetEnabled(true)
+			return w
+		}},
+		{"all", func() *WALI {
+			w := New()
+			w.Trace = obs.NewTracer(1 << 10)
+			w.Trace.SetEnabled(true)
+			w.Metrics = obs.NewRegistry()
+			return w
+		}},
+	}
+	for _, m := range modes {
+		b.Run(m.name, func(b *testing.B) {
+			w := m.mk()
+			for i := 0; i < b.N; i++ {
+				p, err := w.SpawnCompiled(c, "bench", nil, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if status, err := p.Run(); err != nil || status != 0 {
+					b.Fatalf("status=%d err=%v", status, err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*calls), "ns/syscall")
+		})
+	}
+}
+
+// TestObsDisabledDispatchOverhead enforces the overhead contract: an
+// attached-but-disabled obs plane (tracer present but not armed, no
+// metrics registry) must cost the syscall dispatch path no more than a
+// few predictable branches. The guard compares median wall time of a
+// getpid-storm guest with and without the plane attached and fails if
+// the instrumented-disabled path exceeds the bare path by >25% — far
+// above what a couple of atomic loads can cost, so it only trips if
+// someone puts real work (allocation, locking, formatting) on the
+// disabled path.
+func TestObsDisabledDispatchOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing guard")
+	}
+	const calls, runs = 4000, 5
+	c := statApp(t, calls)
+
+	// Warm both engines once (module instantiation, map growth).
+	bare := New()
+	instr := New()
+	instr.Trace = obs.NewTracer(1 << 8) // attached, never enabled
+	dispatchWall(t, bare, c, calls)
+	dispatchWall(t, instr, c, calls)
+
+	base := median(runs, func() time.Duration { return dispatchWall(t, bare, c, calls) })
+	withObs := median(runs, func() time.Duration { return dispatchWall(t, instr, c, calls) })
+
+	ratio := float64(withObs) / float64(base)
+	t.Logf("dispatch median: bare=%v obs-disabled=%v ratio=%.3f", base, withObs, ratio)
+	if ratio > 1.25 {
+		t.Fatalf("disabled obs plane slows syscall dispatch %.2fx (bare %v, attached %v); the disabled fast path must stay a few atomic loads", ratio, base, withObs)
+	}
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"gowali/internal/kernel/sched"
+	"gowali/internal/obs"
+)
+
+// TestObsConcurrentEmission drives the whole instrumented stack at
+// once — many guests issuing syscalls under a preemptive scheduler,
+// all recording into one armed tracer (deliberately tiny rings, so
+// every shard wraps) and one registry. Run under -race this is the
+// data-race proof for concurrent emission from guest, scheduler-worker
+// and sysmon goroutines; the assertions keep the instruments honest.
+func TestObsConcurrentEmission(t *testing.T) {
+	tr := obs.NewTracer(1 << 6)
+	tr.SetEnabled(true)
+	reg := obs.NewRegistry()
+
+	w := New()
+	w.Trace = tr
+	w.Metrics = reg
+	w.Strace = obs.NewStraceWriter(nil) // nil writer: disabled, nil-safe
+	w.Kernel.SetObs(tr, reg)
+	w.Sched = sched.New(sched.Config{
+		Workers: 2,
+		Quantum: 200 * time.Microsecond,
+		Trace:   tr,
+		Metrics: reg,
+	})
+
+	const guests, calls = 8, 500
+	c := statApp(t, calls)
+	for i := 0; i < guests; i++ {
+		p, err := w.SpawnCompiled(c, fmt.Sprintf("g%d", i), nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.RunAsync()
+	}
+	w.WaitAll()
+
+	// Emission kept flowing: every syscall recorded a histogram sample
+	// and at least one trace event (rings wrapped, so only Emitted is
+	// exact — Events() holds the newest window).
+	h := reg.Histogram(`wali_syscall_latency_ns{syscall="getpid"}`)
+	if got := h.Count(); got != guests*calls {
+		t.Fatalf("histogram count = %d, want %d", got, guests*calls)
+	}
+	if tr.Emitted() < guests*calls {
+		t.Fatalf("tracer emitted %d events, want >= %d", tr.Emitted(), guests*calls)
+	}
+	evs := tr.Events()
+	if len(evs) == 0 {
+		t.Fatal("tracer retained no events")
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].TS < evs[i-1].TS {
+			t.Fatalf("events out of order at %d", i)
+		}
+	}
+	// Scheduler instrumentation ran alongside: every guest got on CPU
+	// at least once.
+	if s := reg.Histogram("wali_sched_runq_wait_ns"); s.Count() < guests {
+		t.Fatalf("sched runq-wait samples = %d, want >= %d", s.Count(), guests)
+	}
+}

@@ -101,6 +101,7 @@ func (w *WALI) RegisterHost(l *interp.Linker) {
 				for i, a := range args {
 					iargs[i] = int64(a)
 				}
+				entry := p.straceEntry(d.Name, iargs)
 				start := time.Now()
 				var ret int64
 				// Record through panics too: exit/execve unwind the
@@ -109,6 +110,8 @@ func (w *WALI) RegisterHost(l *interp.Linker) {
 					dur := time.Since(start)
 					p.stats.add(dur)
 					w.emitSyscall(p.KP.PID, d.Name, dur, ret)
+					w.observeSyscall(p.KP.PID, d.Name, dur, ret)
+					p.straceExit(entry, ret, dur)
 				}()
 				ret = d.Fn(p, e, iargs)
 				// Linux delivers pending signals on the return to

@@ -9,6 +9,7 @@ import (
 	"gowali/internal/kernel/sched"
 	"gowali/internal/kernel/snap"
 	"gowali/internal/kernel/vfs"
+	"gowali/internal/obs"
 	"gowali/internal/wasm"
 )
 
@@ -66,6 +67,7 @@ var SnapshotTimeout = 5 * time.Second
 // safepoint rendezvous), and every open descriptor must be nameable by
 // path (pipes, sockets and epoll instances are not re-openable).
 func (w *WALI) Snapshot(p *Process) (*snap.Image, error) {
+	snapStart := time.Now()
 	if p.Inst.Mem.Concurrent() {
 		return nil, fmt.Errorf("wali: snapshot: multi-threaded guests are not snapshottable")
 	}
@@ -96,7 +98,11 @@ func (w *WALI) Snapshot(p *Process) (*snap.Image, error) {
 	}
 	// The guest is parked: its goroutine is blocked on req.release, and
 	// the channel handshake ordered its writes before our reads.
-	return w.captureImage(p, e)
+	img, err := w.captureImage(p, e)
+	if err == nil {
+		w.observeSnapOp(obs.EvSnapshot, "wali_snapshot_ns", p.KP.PID, time.Since(snapStart))
+	}
+	return img, err
 }
 
 // captureImage assembles the image while the guest is parked.
@@ -205,6 +211,7 @@ func (w *WALI) snapModuleFor(img *snap.Image) (*snapModule, error) {
 // count (zero) and grows page by page as the child diverges from the
 // shared image.
 func (w *WALI) Restore(img *snap.Image, tenant *sched.Tenant) (*Process, error) {
+	restoreStart := time.Now()
 	if err := img.Validate(); err != nil {
 		return nil, fmt.Errorf("wali: restore: %w", err)
 	}
@@ -234,6 +241,7 @@ func (w *WALI) Restore(img *snap.Image, tenant *sched.Tenant) (*Process, error) 
 		reserve = charge.reserve
 	}
 	mem := interp.NewCowMemory(img.Mem.Data, img.Mem.MaxLen, reserve)
+	w.installCowObserver(mem, kp.PID)
 	inst := ent.proto.Rehydrate(mem, img.Globals, img.Table)
 
 	p := &Process{
@@ -274,6 +282,7 @@ func (w *WALI) Restore(img *snap.Image, tenant *sched.Tenant) (*Process, error) 
 	w.mu.Lock()
 	w.procs[kp.PID] = p
 	w.mu.Unlock()
+	w.observeSnapOp(obs.EvRestore, "wali_restore_ns", kp.PID, time.Since(restoreStart))
 	return p, nil
 }
 

@@ -119,5 +119,6 @@ func (p *Process) attachTask() {
 		return
 	}
 	p.task = p.W.Sched.NewTask(p.Tenant)
+	p.task.SetTID(p.KP.PID)
 	p.KP.SetBlocker(p.task)
 }

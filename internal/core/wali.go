@@ -25,6 +25,7 @@ import (
 	"gowali/internal/kernel/sched"
 	"gowali/internal/kernel/vfs"
 	"gowali/internal/linux"
+	"gowali/internal/obs"
 	"gowali/internal/wasm"
 )
 
@@ -84,6 +85,20 @@ type WALI struct {
 	// spawned through SpawnCompiled/SpawnModule/SpawnPath join; use
 	// SpawnCompiledTenant for per-spawn domains. Set before spawning.
 	DefaultTenant *sched.Tenant
+
+	// Trace, Metrics and Strace are the observability plane (see
+	// internal/obs and obs.go in this package): event tracer, metrics
+	// registry and strace-line writer. All three are optional and
+	// nil-safe; set before spawning. Children created by fork, thread
+	// spawn, exec and restore inherit them automatically because they
+	// live on the shared engine, not the process.
+	Trace   *obs.Tracer
+	Metrics *obs.Registry
+	Strace  *obs.StraceWriter
+
+	// sysHists caches per-syscall latency histograms resolved from
+	// Metrics, so dispatch never formats a label string (see obs.go).
+	sysHists sync.Map
 
 	mu    sync.Mutex
 	procs map[int32]*Process
@@ -678,12 +693,15 @@ func (p *Process) Syscall(e *interp.Exec, name string, args ...int64) int64 {
 	}
 	full := make([]int64, d.NArgs)
 	copy(full, args)
+	entry := p.straceEntry(name, full)
 	start := time.Now()
 	var ret int64
 	defer func() {
 		dur := time.Since(start)
 		p.stats.add(dur)
 		p.W.emitSyscall(p.KP.PID, name, dur, ret)
+		p.W.observeSyscall(p.KP.PID, name, dur, ret)
+		p.straceExit(entry, ret, dur)
 	}()
 	ret = d.Fn(p, e, full)
 	return ret

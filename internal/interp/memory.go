@@ -30,6 +30,12 @@ type Memory struct {
 	// accounting).
 	Reserve func(delta int64) bool
 
+	// OnCowFault, when set, is called after a copy-on-write page is
+	// materialized (slow path only — the per-access barrier never sees
+	// it). The embedder uses it for observability: counting and tracing
+	// page materializations per guest. Clone does not copy it.
+	OnCowFault func(page int)
+
 	// cow, when non-nil, makes this a copy-on-write view over a frozen
 	// shared base image (see memory_cow.go). Data aliases the base and is
 	// read-only; writes land in a per-page overlay.

@@ -91,6 +91,9 @@ func (m *Memory) materializePage(p int) []byte {
 	copy(pg, c.base[p<<cowPageShift:(p+1)<<cowPageShift])
 	c.pages[p] = pg
 	c.dirty++
+	if m.OnCowFault != nil {
+		m.OnCowFault(p)
+	}
 	return pg
 }
 

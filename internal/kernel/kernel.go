@@ -10,6 +10,7 @@ import (
 	"gowali/internal/kernel/net"
 	"gowali/internal/kernel/vfs"
 	"gowali/internal/linux"
+	"gowali/internal/obs"
 )
 
 // netBackendBox wraps the AF_INET backend for atomic replacement
@@ -61,7 +62,20 @@ type Kernel struct {
 	// reads. Tests and examples inspect Console output.
 	Console  *ConsoleDevice
 	totalRAM uint64
+
+	// Observability (SetObs): obsReg remembers the registry so Shutdown
+	// can unregister the gauge funcs listed in obsGauges; obsID labels
+	// this kernel's metrics when several kernels share one registry.
+	obsMu     sync.Mutex
+	obsReg    *obs.Registry
+	obsGauges []string
+	obsID     int32
 }
+
+// kernelSeq numbers kernels process-wide so per-kernel metric labels
+// ({kernel="k1"}, {kernel="k2"}, …) stay distinct when a fleet of
+// kernels reports into one shared registry.
+var kernelSeq atomic.Int32
 
 // rngSeedBase seeds the simulated entropy pool ("WLAI"), fixed at boot
 // for reproducible experiments.
@@ -135,12 +149,44 @@ func (k *Kernel) SetNetBackend(b net.Backend) {
 	k.inet.Store(&netBackendBox{b: b})
 }
 
+// SetObs attaches the observability plane: registers per-kernel gauge
+// funcs on reg and forwards the plane to the network backend when it
+// supports it (switch nodes do; loopback and HostNet ignore it). Call
+// after SetNetBackend and before bridging, so trunk links created
+// later resolve their instruments. Shutdown unregisters everything.
+func (k *Kernel) SetObs(tr *obs.Tracer, reg *obs.Registry) {
+	k.obsMu.Lock()
+	if k.obsID == 0 {
+		k.obsID = kernelSeq.Add(1)
+	}
+	k.obsReg = reg
+	if reg != nil {
+		name := fmt.Sprintf("wali_kernel_processes{kernel=\"k%d\"}", k.obsID)
+		reg.RegisterGaugeFunc(name, func() int64 { return int64(k.ProcessCount()) })
+		k.obsGauges = append(k.obsGauges, name)
+	}
+	k.obsMu.Unlock()
+	if o, ok := k.NetBackend().(interface {
+		SetObs(*obs.Tracer, *obs.Registry)
+	}); ok {
+		o.SetObs(tr, reg)
+	}
+}
+
 // Shutdown detaches the kernel from its network fabrics: the AF_INET
 // backend and the private AF_UNIX loopback release their listeners,
 // queues and (for switch nodes) the node address, so a fabric outlives
-// its kernels with no address leaks. Idempotent; existing sockets
-// drain through the kernel's fd tables as their processes exit.
+// its kernels with no address leaks. It also unregisters this kernel's
+// metric collectors, so a shared registry never samples a dead kernel.
+// Idempotent; existing sockets drain through the kernel's fd tables as
+// their processes exit.
 func (k *Kernel) Shutdown() {
+	k.obsMu.Lock()
+	for _, name := range k.obsGauges {
+		k.obsReg.UnregisterGaugeFunc(name)
+	}
+	k.obsGauges = nil
+	k.obsMu.Unlock()
 	k.NetBackend().Close()
 	k.unixNet.Close()
 }

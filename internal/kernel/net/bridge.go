@@ -8,6 +8,7 @@ import (
 
 	"gowali/internal/kernel/vfs"
 	"gowali/internal/linux"
+	"gowali/internal/obs"
 )
 
 // bridgeOpenTimeout bounds a blocking cross-fabric connect.
@@ -72,6 +73,11 @@ type bridgeLink struct {
 
 	wmu sync.Mutex // serializes frame writes
 
+	// obs is the link's instrument set, resolved once at creation
+	// (nil = observability off; see obs.go). Immutable, so the demux
+	// goroutine and writers read it without locks.
+	obs *linkObs
+
 	mu      sync.Mutex
 	nextID  uint32 // dialer odd, acceptor even
 	streams map[uint32]*bridgeStream
@@ -85,6 +91,7 @@ func newBridgeLink(sw *Switch, c gonet.Conn, dialer bool) *bridgeLink {
 		sw:      sw,
 		c:       c,
 		name:    c.RemoteAddr().String(),
+		obs:     sw.linkObsFor(c.RemoteAddr().String()),
 		streams: make(map[uint32]*bridgeStream),
 		pending: make(map[uint32]chan linux.Errno),
 		relays:  make(map[uint32]relayTarget),
@@ -106,6 +113,9 @@ func (l *bridgeLink) send(frame []byte) bool {
 		l.c.Close()
 		return false
 	}
+	if l.obs != nil {
+		l.obs.observeTx(frame)
+	}
 	return true
 }
 
@@ -123,6 +133,9 @@ func (l *bridgeLink) run() {
 		typ, body, err := readFrame(r)
 		if err != nil {
 			return
+		}
+		if l.obs != nil {
+			l.obs.observeRx(typ, len(body)+5) // 4-byte length prefix + type
 		}
 		if !l.dispatch(typ, body) {
 			return
@@ -403,6 +416,10 @@ func (l *bridgeLink) handleData(id uint32, payload []byte) {
 }
 
 func (l *bridgeLink) handleWindow(id uint32, credit int) {
+	if o := l.obs; o != nil && o.tr.Enabled() {
+		o.tr.Emit(obs.Event{Kind: obs.EvNetWindow, Name: o.name,
+			Arg1: int64(credit), Arg2: int64(id)})
+	}
 	if s := l.stream(id); s != nil {
 		s.addCredit(credit)
 		return
@@ -572,8 +589,26 @@ func (s *bridgeStream) txPump() {
 func (s *bridgeStream) takeCredit(want int) int {
 	s.smu.Lock()
 	defer s.smu.Unlock()
-	for s.credit == 0 && !s.rst {
-		s.scond.Wait()
+	if s.credit == 0 && !s.rst {
+		// The tx pump is about to stall on flow control; measure the
+		// stall only when it actually happens so the credit-available
+		// fast path stays untouched.
+		o := s.link.obs
+		var stallStart time.Time
+		if o != nil {
+			stallStart = time.Now()
+		}
+		for s.credit == 0 && !s.rst {
+			s.scond.Wait()
+		}
+		if o != nil {
+			ns := time.Since(stallStart).Nanoseconds()
+			o.stall.Record(ns)
+			if o.tr.Enabled() {
+				o.tr.Emit(obs.Event{Kind: obs.EvNetStall, Name: o.name,
+					Dur: ns, Arg2: int64(s.id)})
+			}
+		}
 	}
 	if s.rst {
 		return 0

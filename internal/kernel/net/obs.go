@@ -1,0 +1,88 @@
+package net
+
+import (
+	"fmt"
+
+	"gowali/internal/obs"
+)
+
+// Observability for the distributed switch fabric. Each trunk link
+// carries one pre-resolved instrument set (linkObs) so the frame paths
+// never format metric names; a nil linkObs pointer is the disabled
+// plane and costs one predictable branch per frame. Only trunk links
+// are instrumented — HostNet proxies real host sockets and the
+// in-process switch delivers by direct queue handoff, so the frames
+// worth watching are exactly the ones crossing a TCP trunk.
+//
+// SetObs must be called before bridging: links resolve their
+// instruments at creation and never re-read the switch's plane, so the
+// demux goroutine needs no synchronization to use them.
+
+// SetObs attaches the observability plane to the switch. Affects links
+// created afterwards.
+func (sw *Switch) SetObs(tr *obs.Tracer, reg *obs.Registry) {
+	sw.mu.Lock()
+	sw.trace = tr
+	sw.metrics = reg
+	sw.mu.Unlock()
+}
+
+// SetObs on a loopback/switch node forwards to the owning switch; the
+// kernel reaches it through an optional interface on its Backend.
+func (n *swNode) SetObs(tr *obs.Tracer, reg *obs.Registry) { n.sw.SetObs(tr, reg) }
+
+// linkObs is one trunk link's instrument set, immutable after link
+// creation.
+type linkObs struct {
+	tr                 *obs.Tracer
+	name               string
+	txFrames, rxFrames *obs.Counter
+	txBytes, rxBytes   *obs.Counter
+	stall              *obs.Histogram
+}
+
+// linkObsFor resolves the instrument set for a new link, labeled by
+// the trunk's remote address. Nil when no plane is attached.
+func (sw *Switch) linkObsFor(name string) *linkObs {
+	sw.mu.Lock()
+	tr, reg := sw.trace, sw.metrics
+	sw.mu.Unlock()
+	if tr == nil && reg == nil {
+		return nil
+	}
+	lbl := fmt.Sprintf("{link=%q}", name)
+	return &linkObs{
+		tr:       tr,
+		name:     name,
+		txFrames: reg.Counter("wali_net_tx_frames_total" + lbl),
+		rxFrames: reg.Counter("wali_net_rx_frames_total" + lbl),
+		txBytes:  reg.Counter("wali_net_tx_bytes_total" + lbl),
+		rxBytes:  reg.Counter("wali_net_rx_bytes_total" + lbl),
+		stall:    reg.Histogram("wali_net_stall_ns" + lbl),
+	}
+}
+
+// observeTx records one sent frame (type byte at frame[4], after the
+// 4-byte length prefix).
+func (o *linkObs) observeTx(frame []byte) {
+	o.txFrames.Add(1)
+	o.txBytes.Add(int64(len(frame)))
+	if o.tr.Enabled() {
+		o.tr.Emit(obs.Event{
+			Kind: obs.EvNetFrameTx, Name: o.name,
+			Arg1: int64(len(frame)), Arg2: int64(frame[4]),
+		})
+	}
+}
+
+// observeRx records one received frame.
+func (o *linkObs) observeRx(typ byte, wireLen int) {
+	o.rxFrames.Add(1)
+	o.rxBytes.Add(int64(wireLen))
+	if o.tr.Enabled() {
+		o.tr.Emit(obs.Event{
+			Kind: obs.EvNetFrameRx, Name: o.name,
+			Arg1: int64(wireLen), Arg2: int64(typ),
+		})
+	}
+}

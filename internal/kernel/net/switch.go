@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"gowali/internal/linux"
+	"gowali/internal/obs"
 )
 
 // Switch is a virtual L4 switch: a shared address fabric that any
@@ -42,6 +43,11 @@ type Switch struct {
 	// single marks the degenerate loopback fabric: every address is
 	// local to the one node, whatever IP it names.
 	single bool
+
+	// trace/metrics are the observability plane new trunk links resolve
+	// their instruments from (see obs.go). Set before bridging.
+	trace   *obs.Tracer
+	metrics *obs.Registry
 }
 
 // swKey addresses one claimed socket: node scopes AF_INET ports; unix

@@ -1,0 +1,39 @@
+package kernel
+
+import (
+	"strings"
+	"testing"
+
+	"gowali/internal/obs"
+)
+
+// TestShutdownUnregistersObsGauges: a kernel attached to a shared
+// registry exports its process-count gauge for its lifetime only —
+// Shutdown must unregister it, or a long-lived registry keeps sampling
+// (and keeping alive) dead kernels. Idempotent on double Shutdown.
+func TestShutdownUnregistersObsGauges(t *testing.T) {
+	reg := obs.NewRegistry()
+	k := NewKernel()
+	k.SetObs(nil, reg)
+
+	gauges := func() []string {
+		var names []string
+		for name := range reg.Snapshot().Gauges {
+			if strings.HasPrefix(name, "wali_kernel_processes{") {
+				names = append(names, name)
+			}
+		}
+		return names
+	}
+	if got := gauges(); len(got) != 1 {
+		t.Fatalf("after SetObs: gauges = %v, want exactly one", got)
+	}
+	k.Shutdown()
+	if got := gauges(); len(got) != 0 {
+		t.Fatalf("after Shutdown: gauges = %v, want none", got)
+	}
+	k.Shutdown() // idempotent
+	if got := gauges(); len(got) != 0 {
+		t.Fatalf("after double Shutdown: gauges = %v, want none", got)
+	}
+}

@@ -44,6 +44,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"gowali/internal/obs"
 )
 
 // Priorities. A task's priority comes from its tenant's budget; the
@@ -80,6 +82,13 @@ type Config struct {
 	Workers int
 	// Quantum is the time slice; 0 means DefaultQuantum.
 	Quantum time.Duration
+	// Trace and Metrics attach the observability plane (both optional):
+	// run/park/preempt/overrun/block events per task, run-queue wait and
+	// on-CPU slice histograms, and scheduler event counters. Emission
+	// happens under the scheduler mutex, which is legal because obs is a
+	// lock-free leaf below every lock in the system.
+	Trace   *obs.Tracer
+	Metrics *obs.Registry
 }
 
 // Stats is a snapshot of scheduler event counters.
@@ -118,6 +127,15 @@ type Scheduler struct {
 	sysmon  bool // sysmon goroutine running
 
 	yields, preempts, handoffs, boosts uint64
+
+	// Observability (see Config). Instruments are pre-resolved at New so
+	// emission under s.mu never formats a metric name; all of them are
+	// nil-safe no-ops when unconfigured. Counters Add across schedulers
+	// sharing one registry, so a multi-kernel process reports fleet-wide
+	// totals.
+	trace                                  *obs.Tracer
+	runqWaitH, sliceH                      *obs.Histogram
+	yieldsC, preemptsC, handoffsC, boostsC *obs.Counter
 }
 
 // New builds a scheduler. Zero config fields take defaults.
@@ -134,13 +152,23 @@ func New(cfg Config) *Scheduler {
 	if h < 20*time.Millisecond {
 		h = 20 * time.Millisecond
 	}
-	return &Scheduler{
+	s := &Scheduler{
 		workers: w,
 		quantum: q,
 		handoff: h,
 		free:    w,
 		running: make(map[*Task]struct{}),
+		trace:   cfg.Trace,
 	}
+	if reg := cfg.Metrics; reg != nil {
+		s.runqWaitH = reg.Histogram("wali_sched_runq_wait_ns")
+		s.sliceH = reg.Histogram("wali_sched_slice_ns")
+		s.yieldsC = reg.Counter("wali_sched_yields_total")
+		s.preemptsC = reg.Counter("wali_sched_preempts_total")
+		s.handoffsC = reg.Counter("wali_sched_handoffs_total")
+		s.boostsC = reg.Counter("wali_sched_boosts_total")
+	}
+	return s
 }
 
 // Workers returns the slot count.
@@ -188,7 +216,15 @@ type Task struct {
 	runStart    time.Time
 	chargeStart time.Time
 	preemptAt   time.Time
+	queuedAt    time.Time // set at every enqueue; anchors run-queue wait
+
+	// tid attributes this task's trace events to a guest PID (0 until
+	// SetTID; the embedder calls it right after creating the task).
+	tid int32
 }
+
+// SetTID binds the task to a guest PID for trace attribution.
+func (t *Task) SetTID(tid int32) { t.tid = tid }
 
 // NewTask registers a task for a tenant (nil = unbudgeted, normal
 // priority). The task owns no slot until Start.
@@ -255,6 +291,8 @@ func (t *Task) NeedYield() bool {
 		t.preemptAt = now
 		t.preempt.Store(true)
 		s.preempts++
+		s.preemptsC.Inc()
+		s.trace.Emit(obs.Event{Kind: obs.EvSchedPreempt, PID: t.tid})
 	}
 	s.mu.Unlock()
 	return t.preempt.Load()
@@ -280,7 +318,28 @@ func (s *Scheduler) grantLocked(t *Task, now time.Time) {
 	t.chargeStart = now
 	t.preempt.Store(false)
 	s.running[t] = struct{}{}
+	s.observeRun(t, now)
 	t.grant <- struct{}{}
+}
+
+// observeRun records a slot grant: a run event attributed to the task
+// plus the run-queue wait it just finished (0 for fast-path grants
+// that never queued).
+func (s *Scheduler) observeRun(t *Task, now time.Time) {
+	var waitNs int64
+	if !t.queuedAt.IsZero() {
+		waitNs = now.Sub(t.queuedAt).Nanoseconds()
+		t.queuedAt = time.Time{}
+	}
+	s.runqWaitH.Record(waitNs)
+	s.trace.Emit(obs.Event{Kind: obs.EvSchedRun, PID: t.tid, Arg1: waitNs})
+}
+
+// observeOffCPU records the on-CPU slice a task just ended.
+func (s *Scheduler) observeOffCPU(t *Task, kind obs.Kind, now time.Time) {
+	sliceNs := now.Sub(t.runStart).Nanoseconds()
+	s.sliceH.Record(sliceNs)
+	s.trace.Emit(obs.Event{Kind: kind, PID: t.tid, Dur: sliceNs})
 }
 
 // releaseSlotLocked passes a freed slot to the next runnable task, or
@@ -299,17 +358,20 @@ func (s *Scheduler) releaseSlotLocked(now time.Time) {
 // slot never jumps the queue.
 func (t *Task) Start() {
 	s := t.s
+	now := time.Now()
 	s.mu.Lock()
 	if s.free > 0 {
 		s.free--
 		t.state = stateRunning
-		t.runStart = time.Now()
-		t.chargeStart = t.runStart
+		t.runStart = now
+		t.chargeStart = now
 		s.running[t] = struct{}{}
+		s.observeRun(t, now)
 		s.mu.Unlock()
 		return
 	}
 	t.state = stateQueued
+	t.queuedAt = now
 	s.queues[t.prio] = append(s.queues[t.prio], t)
 	s.mu.Unlock()
 	<-t.grant
@@ -337,10 +399,13 @@ func (t *Task) Yield() {
 			return
 		}
 		s.yields++
+		s.yieldsC.Inc()
+		s.observeOffCPU(t, obs.EvSchedPark, now)
 		chargeNs = now.Sub(t.chargeStart).Nanoseconds()
 		delete(s.running, t)
 		s.grantLocked(next, now)
 		t.state = stateQueued
+		t.queuedAt = now
 		s.queues[t.prio] = append(s.queues[t.prio], t)
 	case stateHandoff:
 		// sysmon already reclaimed the slot (and charged the slice);
@@ -354,11 +419,14 @@ func (t *Task) Yield() {
 			t.chargeStart = now
 			t.preempt.Store(false)
 			s.running[t] = struct{}{}
+			s.observeRun(t, now)
 			s.mu.Unlock()
 			return
 		}
 		s.yields++
+		s.yieldsC.Inc()
 		t.state = stateQueued
+		t.queuedAt = now
 		s.queues[t.prio] = append(s.queues[t.prio], t)
 	default:
 		s.mu.Unlock()
@@ -379,6 +447,7 @@ func (t *Task) BeginBlock() {
 	s.mu.Lock()
 	if t.state == stateRunning {
 		chargeNs = now.Sub(t.chargeStart).Nanoseconds()
+		s.observeOffCPU(t, obs.EvSchedBlock, now)
 		delete(s.running, t)
 		s.releaseSlotLocked(now)
 	}
@@ -396,6 +465,7 @@ func (t *Task) EndBlock() {
 	s := t.s
 	now := time.Now()
 	s.mu.Lock()
+	s.trace.Emit(obs.Event{Kind: obs.EvSchedUnblock, PID: t.tid})
 	if s.free > 0 {
 		s.free--
 		t.state = stateRunning
@@ -403,11 +473,14 @@ func (t *Task) EndBlock() {
 		t.chargeStart = now
 		t.preempt.Store(false)
 		s.running[t] = struct{}{}
+		s.observeRun(t, now)
 		s.mu.Unlock()
 		return
 	}
 	s.boosts++
+	s.boostsC.Inc()
 	t.state = stateQueued
+	t.queuedAt = now
 	q := s.queues[t.prio]
 	q = append(q, nil)
 	copy(q[1:], q)
@@ -426,6 +499,8 @@ func (t *Task) EndBlock() {
 		victim.preemptAt = now
 		victim.preempt.Store(true)
 		s.preempts++
+		s.preemptsC.Inc()
+		s.trace.Emit(obs.Event{Kind: obs.EvSchedPreempt, PID: victim.tid})
 	}
 	s.mu.Unlock()
 	<-t.grant
@@ -440,6 +515,7 @@ func (t *Task) Finish() {
 	s.mu.Lock()
 	if t.state == stateRunning {
 		chargeNs = now.Sub(t.chargeStart).Nanoseconds()
+		s.observeOffCPU(t, obs.EvSchedPark, now)
 		delete(s.running, t)
 		s.releaseSlotLocked(now)
 	}
@@ -488,6 +564,8 @@ func (s *Scheduler) sysmonLoop() {
 						t.preemptAt = now
 						t.preempt.Store(true)
 						s.preempts++
+						s.preemptsC.Inc()
+						s.trace.Emit(obs.Event{Kind: obs.EvSchedPreempt, PID: t.tid})
 					}
 				} else if now.Sub(t.preemptAt) >= s.handoff {
 					// Off-safepoint too long: stuck in an uninstrumented
@@ -495,6 +573,9 @@ func (s *Scheduler) sysmonLoop() {
 					// style); the task reattaches at its next scheduler
 					// interaction.
 					s.handoffs++
+					s.handoffsC.Inc()
+					s.trace.Emit(obs.Event{Kind: obs.EvSchedOverrun, PID: t.tid,
+						Arg1: now.Sub(t.preemptAt).Nanoseconds()})
 					charges = append(charges, charge{t.tenant, now.Sub(t.chargeStart).Nanoseconds()})
 					t.chargeStart = now
 					delete(s.running, t)

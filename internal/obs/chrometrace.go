@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome trace-event JSON export (the format Perfetto and
+// chrome://tracing load). Duration events become "X" complete events,
+// instants become "i" events, and each PID gets a process_name
+// metadata record so the Perfetto track list reads "guest 3" instead
+// of a bare number. Timestamps are microseconds (floats, so
+// nanosecond precision survives).
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int32          `json:"pid"`
+	TID  int32          `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace drains the tracer's retained events into w as a
+// Chrome trace-event JSON object. Not a hot path: runs once at the end
+// of a traced run.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	events := t.Events()
+	out := chromeTrace{DisplayTimeUnit: "ns", TraceEvents: make([]chromeEvent, 0, len(events)+8)}
+
+	pids := map[int32]bool{}
+	for _, ev := range events {
+		pids[ev.PID] = true
+	}
+	sorted := make([]int32, 0, len(pids))
+	for pid := range pids {
+		sorted = append(sorted, pid)
+	}
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	for _, pid := range sorted {
+		name := fmt.Sprintf("guest %d", pid)
+		if pid == 0 {
+			name = "runtime"
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", PID: pid, TID: pid,
+			Args: map[string]any{"name": name},
+		})
+	}
+
+	for _, ev := range events {
+		name := ev.Name
+		if name == "" {
+			name = ev.Kind.String()
+		}
+		ce := chromeEvent{
+			Name: name,
+			Cat:  ev.Kind.category(),
+			TS:   float64(ev.TS) / 1e3,
+			PID:  ev.PID,
+			TID:  ev.PID,
+		}
+		if ev.Arg1 != 0 || ev.Arg2 != 0 {
+			ce.Args = map[string]any{"arg1": ev.Arg1, "arg2": ev.Arg2}
+		}
+		if ev.Dur > 0 {
+			ce.Ph = "X"
+			ce.Dur = float64(ev.Dur) / 1e3
+		} else {
+			ce.Ph = "i"
+			ce.S = "t"
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(&out)
+}

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestBucketBoundaries checks the bucket map is a partition: every
+// value lands in exactly the bucket whose [lo, hi) range contains it,
+// and bucket bounds are monotonically increasing.
+func TestBucketBoundaries(t *testing.T) {
+	prev := int64(-1)
+	for i := 0; i < histBuckets; i++ {
+		lo := bucketLo(i)
+		if lo <= prev {
+			t.Fatalf("bucket %d: lo %d not > previous lo %d", i, lo, prev)
+		}
+		prev = lo
+	}
+	// Every probe value must map to a bucket whose range contains it.
+	probes := []int64{0, 1, 2, 7, 8, 9, 15, 16, 17, 100, 1000, 4095, 4096, 4097,
+		1 << 20, 1<<20 + 1, 1<<30 - 1, 1 << 39, 1 << 40}
+	for _, v := range probes {
+		idx := bucketIdx(v)
+		lo := bucketLo(idx)
+		var hi int64 = math.MaxInt64
+		if idx < histBuckets-1 {
+			hi = bucketLo(idx + 1)
+		}
+		if v < lo || v >= hi {
+			t.Errorf("value %d mapped to bucket %d = [%d,%d)", v, idx, lo, hi)
+		}
+	}
+	// Exact buckets below histSub.
+	for v := int64(0); v < histSub; v++ {
+		if got := bucketIdx(v); got != int(v) {
+			t.Errorf("small value %d: bucket %d, want exact %d", v, got, v)
+		}
+	}
+	// Negative values clamp to bucket 0.
+	if bucketIdx(-5) != 0 {
+		t.Errorf("negative value should clamp to bucket 0, got %d", bucketIdx(-5))
+	}
+	// Beyond-max values land in the overflow bucket.
+	if bucketIdx(math.MaxInt64) != histBuckets-1 {
+		t.Errorf("max int should land in overflow bucket")
+	}
+}
+
+// TestBucketRelativeError verifies the design bound: bucket width is
+// at most 1/8 of the bucket's lower bound (for values >= histSub), so
+// quantiles carry <= 12.5% relative error before interpolation.
+func TestBucketRelativeError(t *testing.T) {
+	for i := histSub; i < histBuckets-1; i++ {
+		lo, hi := bucketLo(i), bucketLo(i+1)
+		if width := hi - lo; width > lo/histSub+1 {
+			t.Errorf("bucket %d [%d,%d): width %d exceeds lo/%d", i, lo, hi, width, histSub)
+		}
+	}
+}
+
+// quantileExact computes the true quantile of a sample by sorting.
+func quantileExact(vals []int64, q float64) int64 {
+	s := append([]int64(nil), vals...)
+	sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+	idx := int(q * float64(len(s)))
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// TestQuantileAccuracy drives the histogram with synthetic uniform and
+// exponential latency distributions and checks p50/p99/p999 against
+// the exact sample quantiles within the log-bucket error bound.
+func TestQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	dists := map[string]func() int64{
+		// Uniform over [1µs, 1ms) in ns.
+		"uniform": func() int64 { return 1_000 + rng.Int63n(999_000) },
+		// Exponential with 50µs mean — a long-tailed latency shape.
+		"exponential": func() int64 { return int64(rng.ExpFloat64() * 50_000) },
+	}
+	for name, gen := range dists {
+		h := &Histogram{}
+		const n = 200_000
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = gen()
+			h.Record(vals[i])
+		}
+		if h.Count() != n {
+			t.Fatalf("%s: count %d, want %d", name, h.Count(), n)
+		}
+		for _, q := range []float64{0.50, 0.90, 0.99, 0.999} {
+			got := h.Quantile(q)
+			want := quantileExact(vals, q)
+			relErr := math.Abs(float64(got-want)) / float64(want)
+			if relErr > 0.15 {
+				t.Errorf("%s p%g: histogram %d vs exact %d (rel err %.3f > 0.15)",
+					name, q*100, got, want, relErr)
+			}
+		}
+		// Mean should be near-exact (sum is tracked exactly).
+		var sum int64
+		for _, v := range vals {
+			sum += v
+		}
+		if exact := float64(sum) / n; math.Abs(h.Mean()-exact) > 0.5 {
+			t.Errorf("%s: mean %.1f vs exact %.1f", name, h.Mean(), exact)
+		}
+	}
+}
+
+func TestHistogramStatAndEmpty(t *testing.T) {
+	var nilH *Histogram
+	nilH.Record(5) // must not panic
+	if nilH.Quantile(0.5) != 0 || nilH.Count() != 0 {
+		t.Fatal("nil histogram should be a no-op")
+	}
+	h := &Histogram{}
+	if st := h.Stat(); st.Count != 0 || st.P99 != 0 {
+		t.Fatalf("empty histogram stat: %+v", st)
+	}
+	h.Record(100)
+	st := h.Stat()
+	if st.Count != 1 || st.Sum != 100 {
+		t.Fatalf("stat after one record: %+v", st)
+	}
+	if st.Max < 100 || st.P50 > st.P999 {
+		t.Fatalf("stat ordering wrong: %+v", st)
+	}
+}

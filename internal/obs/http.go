@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// MetricsServer serves a registry over HTTP: Prometheus text at
+// /metrics, a JSON snapshot at /metrics.json. The bind is
+// deny-by-default: a bare ":PORT" address is rewritten to loopback so
+// enabling metrics never silently exposes the runtime on all
+// interfaces — an explicit host ("0.0.0.0:9090") is required for that.
+type MetricsServer struct {
+	srv  *http.Server
+	ln   net.Listener
+	done chan struct{}
+	once sync.Once
+}
+
+// ListenAndServe binds addr and serves reg in a background goroutine.
+func ListenAndServe(addr string, reg *Registry) (*MetricsServer, error) {
+	if strings.HasPrefix(addr, ":") {
+		addr = "127.0.0.1" + addr
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(reg.Snapshot())
+	})
+	ms := &MetricsServer{
+		srv:  &http.Server{Handler: mux},
+		ln:   ln,
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(ms.done)
+		ms.srv.Serve(ln)
+	}()
+	return ms, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (m *MetricsServer) Addr() string {
+	if m == nil {
+		return ""
+	}
+	return m.ln.Addr().String()
+}
+
+// Close stops the server and waits for the serve goroutine to exit.
+// Idempotent and nil-safe, so Runtime.Close can call it
+// unconditionally.
+func (m *MetricsServer) Close() error {
+	if m == nil {
+		return nil
+	}
+	var err error
+	m.once.Do(func() {
+		err = m.srv.Close()
+		<-m.done
+	})
+	return err
+}

@@ -1,0 +1,291 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is the runtime-wide metrics surface: named counters, gauges
+// and histograms created lazily on first use. Names follow the
+// Prometheus convention, with labels spelled inline:
+//
+//	wali_syscalls_total{syscall="read"}
+//	wali_net_tx_bytes_total{link="127.0.0.1:19077"}
+//
+// Lookup is a sync.Map load (no locks on the hot path), and hot call
+// sites cache the returned *Counter / *Histogram so steady-state cost
+// is one atomic add. Everything is nil-safe: a nil *Registry hands out
+// nil instruments whose methods are no-ops, so instrumented code never
+// guards on "is metrics configured".
+type Registry struct {
+	counters sync.Map // name -> *Counter
+	gauges   sync.Map // name -> *Gauge
+	hists    sync.Map // name -> *Histogram
+
+	mu         sync.Mutex
+	gaugeFuncs map[string]func() int64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// Add increments the counter by d. No-op on nil.
+func (c *Counter) Add(d int64) {
+	if c != nil {
+		c.v.Add(d)
+	}
+}
+
+// Inc increments the counter by one. No-op on nil.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count, 0 on nil.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Name returns the registry name, "" on nil.
+func (c *Counter) Name() string {
+	if c == nil {
+		return ""
+	}
+	return c.name
+}
+
+// Gauge is a settable atomic value.
+type Gauge struct {
+	name string
+	v    atomic.Int64
+}
+
+// Set stores v. No-op on nil.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adjusts the gauge by d. No-op on nil.
+func (g *Gauge) Add(d int64) {
+	if g != nil {
+		g.v.Add(d)
+	}
+}
+
+// Value returns the current value, 0 on nil.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Counter returns (creating if needed) the counter with the given
+// name. Nil registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	if v, ok := r.counters.Load(name); ok {
+		return v.(*Counter)
+	}
+	v, _ := r.counters.LoadOrStore(name, &Counter{name: name})
+	return v.(*Counter)
+}
+
+// Gauge returns (creating if needed) the gauge with the given name.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	if v, ok := r.gauges.Load(name); ok {
+		return v.(*Gauge)
+	}
+	v, _ := r.gauges.LoadOrStore(name, &Gauge{name: name})
+	return v.(*Gauge)
+}
+
+// Histogram returns (creating if needed) the histogram with the given
+// name.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if v, ok := r.hists.Load(name); ok {
+		return v.(*Histogram)
+	}
+	v, _ := r.hists.LoadOrStore(name, &Histogram{name: name})
+	return v.(*Histogram)
+}
+
+// RegisterGaugeFunc exposes a live value (sampled at snapshot time)
+// under the given name. Re-registering a name replaces the function.
+func (r *Registry) RegisterGaugeFunc(name string, fn func() int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.gaugeFuncs == nil {
+		r.gaugeFuncs = map[string]func() int64{}
+	}
+	r.gaugeFuncs[name] = fn
+}
+
+// UnregisterGaugeFunc removes a gauge function; teardown (kernel
+// shutdown, runtime close) must call this so the registry never
+// samples a dead subsystem.
+func (r *Registry) UnregisterGaugeFunc(name string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.gaugeFuncs, name)
+}
+
+// Snapshot is a point-in-time JSON-friendly copy of every instrument.
+type Snapshot struct {
+	Counters   map[string]int64    `json:"counters,omitempty"`
+	Gauges     map[string]int64    `json:"gauges,omitempty"`
+	Histograms map[string]HistStat `json:"histograms,omitempty"`
+}
+
+// Snapshot samples every counter, gauge (including gauge funcs) and
+// histogram. Nil registry returns a zero snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	s.Counters = map[string]int64{}
+	s.Gauges = map[string]int64{}
+	s.Histograms = map[string]HistStat{}
+	r.counters.Range(func(_, v any) bool {
+		c := v.(*Counter)
+		s.Counters[c.name] = c.Value()
+		return true
+	})
+	r.gauges.Range(func(_, v any) bool {
+		g := v.(*Gauge)
+		s.Gauges[g.name] = g.Value()
+		return true
+	})
+	r.mu.Lock()
+	for name, fn := range r.gaugeFuncs {
+		s.Gauges[name] = fn()
+	}
+	r.mu.Unlock()
+	r.hists.Range(func(_, v any) bool {
+		h := v.(*Histogram)
+		s.Histograms[h.name] = h.Stat()
+		return true
+	})
+	if len(s.Counters) == 0 {
+		s.Counters = nil
+	}
+	if len(s.Gauges) == 0 {
+		s.Gauges = nil
+	}
+	if len(s.Histograms) == 0 {
+		s.Histograms = nil
+	}
+	return s
+}
+
+// splitName separates "family{label="x"}" into the family and the
+// inner label string ("" when unlabeled).
+func splitName(name string) (family, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+// joinLabels merges an extra label into an inline label string.
+func joinLabels(labels, extra string) string {
+	if labels == "" {
+		return extra
+	}
+	return labels + "," + extra
+}
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format. Histograms expand to cumulative _bucket lines
+// (with +Inf), _sum and _count, so standard scrape tooling computes
+// quantiles the same way the in-process Stat does.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	snap := r.Snapshot()
+	var b strings.Builder
+
+	writeFamily := func(kind string, vals map[string]int64) {
+		names := make([]string, 0, len(vals))
+		for n := range vals {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		seen := map[string]bool{}
+		for _, n := range names {
+			family, labels := splitName(n)
+			if !seen[family] {
+				fmt.Fprintf(&b, "# TYPE %s %s\n", family, kind)
+				seen[family] = true
+			}
+			if labels != "" {
+				fmt.Fprintf(&b, "%s{%s} %d\n", family, labels, vals[n])
+			} else {
+				fmt.Fprintf(&b, "%s %d\n", family, vals[n])
+			}
+		}
+	}
+	writeFamily("counter", snap.Counters)
+	writeFamily("gauge", snap.Gauges)
+
+	histNames := make([]string, 0, len(snap.Histograms))
+	for n := range snap.Histograms {
+		histNames = append(histNames, n)
+	}
+	sort.Strings(histNames)
+	seen := map[string]bool{}
+	for _, n := range histNames {
+		family, labels := splitName(n)
+		if !seen[family] {
+			fmt.Fprintf(&b, "# TYPE %s histogram\n", family)
+			seen[family] = true
+		}
+		v, _ := r.hists.Load(n)
+		h := v.(*Histogram)
+		edges, cums := h.cumBuckets()
+		for i, edge := range edges {
+			fmt.Fprintf(&b, "%s_bucket{%s} %d\n", family,
+				joinLabels(labels, fmt.Sprintf("le=%q", fmt.Sprint(edge))), cums[i])
+		}
+		fmt.Fprintf(&b, "%s_bucket{%s} %d\n", family, joinLabels(labels, `le="+Inf"`), h.Count())
+		if labels != "" {
+			fmt.Fprintf(&b, "%s_sum{%s} %d\n", family, labels, h.Sum())
+			fmt.Fprintf(&b, "%s_count{%s} %d\n", family, labels, h.Count())
+		} else {
+			fmt.Fprintf(&b, "%s_sum %d\n", family, h.Sum())
+			fmt.Fprintf(&b, "%s_count %d\n", family, h.Count())
+		}
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,280 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTracerDisabledAndNil(t *testing.T) {
+	var nilT *Tracer
+	nilT.Emit(Event{Kind: EvSyscall}) // must not panic
+	if nilT.Enabled() || nilT.Events() != nil || nilT.Now() != 0 {
+		t.Fatal("nil tracer should be inert")
+	}
+	tr := NewTracer(16)
+	tr.Emit(Event{Kind: EvSyscall, Name: "read"})
+	if got := len(tr.Events()); got != 0 {
+		t.Fatalf("disabled tracer recorded %d events", got)
+	}
+	tr.SetEnabled(true)
+	tr.Emit(Event{Kind: EvSyscall, Name: "read", PID: 1})
+	if got := len(tr.Events()); got != 1 {
+		t.Fatalf("enabled tracer recorded %d events, want 1", got)
+	}
+	tr.SetEnabled(false)
+	tr.Emit(Event{Kind: EvSyscall, Name: "write", PID: 1})
+	if got := len(tr.Events()); got != 1 {
+		t.Fatalf("disarmed tracer should retain 1 event, got %d", got)
+	}
+}
+
+func TestTracerRingWrapAndOrder(t *testing.T) {
+	tr := NewTracer(8)
+	tr.SetEnabled(true)
+	// Same PID -> same shard; overfill it 4x.
+	for i := 0; i < 32; i++ {
+		tr.Emit(Event{Kind: EvSyscall, PID: 5, TS: int64(i + 1), Arg1: int64(i)})
+	}
+	evs := tr.Events()
+	if len(evs) != 8 {
+		t.Fatalf("wrapped ring retained %d events, want 8", len(evs))
+	}
+	// The retained window is the newest 8, sorted by TS.
+	for i, ev := range evs {
+		if want := int64(24 + i); ev.Arg1 != want {
+			t.Fatalf("event %d: Arg1 %d, want %d", i, ev.Arg1, want)
+		}
+	}
+	if tr.Emitted() != 32 {
+		t.Fatalf("Emitted %d, want 32", tr.Emitted())
+	}
+	if tr.Dropped() != 24 {
+		t.Fatalf("Dropped %d, want 24", tr.Dropped())
+	}
+}
+
+func TestTracerAutoTimestamp(t *testing.T) {
+	tr := NewTracer(16)
+	tr.SetEnabled(true)
+	time.Sleep(2 * time.Millisecond)
+	tr.Emit(Event{Kind: EvSyscall, Dur: 1000})
+	evs := tr.Events()
+	if len(evs) != 1 {
+		t.Fatal("expected one event")
+	}
+	// TS should be stamped at (now - Dur): strictly after the epoch.
+	if evs[0].TS <= 0 {
+		t.Fatalf("auto timestamp not applied: TS=%d", evs[0].TS)
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	tr := NewTracer(64)
+	tr.SetEnabled(true)
+	tr.Emit(Event{Kind: EvSyscall, Name: "read", PID: 1, Dur: 1500, Arg1: 42})
+	tr.Emit(Event{Kind: EvSchedPreempt, PID: 2})
+	tr.Emit(Event{Kind: EvNetFrameTx, Name: "127.0.0.1:9", PID: 0, Arg1: 512})
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Unit        string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if out.Unit != "ns" {
+		t.Fatalf("displayTimeUnit %q", out.Unit)
+	}
+	var metas, complete, instants int
+	names := map[string]bool{}
+	for _, ev := range out.TraceEvents {
+		switch ev["ph"] {
+		case "M":
+			metas++
+			if args, ok := ev["args"].(map[string]any); ok {
+				names[fmt.Sprint(args["name"])] = true
+			}
+		case "X":
+			complete++
+		case "i":
+			instants++
+		}
+	}
+	if metas != 3 { // pids 0, 1, 2
+		t.Fatalf("process_name metadata records: %d, want 3", metas)
+	}
+	if !names["runtime"] || !names["guest 1"] || !names["guest 2"] {
+		t.Fatalf("process names: %v", names)
+	}
+	if complete != 1 || instants != 2 {
+		t.Fatalf("complete=%d instants=%d, want 1/2", complete, instants)
+	}
+}
+
+func TestRegistryInstruments(t *testing.T) {
+	var nilR *Registry
+	nilR.Counter("x").Inc() // nil-safe chain
+	nilR.Histogram("y").Record(1)
+	nilR.Gauge("z").Set(1)
+	if s := nilR.Snapshot(); s.Counters != nil {
+		t.Fatal("nil registry snapshot should be zero")
+	}
+
+	r := NewRegistry()
+	c := r.Counter(`wali_syscalls_total{syscall="read"}`)
+	c.Add(3)
+	if c2 := r.Counter(`wali_syscalls_total{syscall="read"}`); c2 != c {
+		t.Fatal("counter lookup should return the same instance")
+	}
+	r.Gauge("wali_guests").Set(7)
+	r.Histogram("wali_latency_ns").Record(1000)
+	r.RegisterGaugeFunc("wali_live", func() int64 { return 11 })
+
+	s := r.Snapshot()
+	if s.Counters[`wali_syscalls_total{syscall="read"}`] != 3 {
+		t.Fatalf("counter: %v", s.Counters)
+	}
+	if s.Gauges["wali_guests"] != 7 || s.Gauges["wali_live"] != 11 {
+		t.Fatalf("gauges: %v", s.Gauges)
+	}
+	if h := s.Histograms["wali_latency_ns"]; h.Count != 1 {
+		t.Fatalf("histogram: %+v", h)
+	}
+
+	r.UnregisterGaugeFunc("wali_live")
+	if _, ok := r.Snapshot().Gauges["wali_live"]; ok {
+		t.Fatal("unregistered gauge func still sampled")
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`wali_syscalls_total{syscall="read"}`).Add(5)
+	r.Counter(`wali_syscalls_total{syscall="write"}`).Add(2)
+	r.Counter("wali_plain_total").Add(9)
+	r.Gauge("wali_guests").Set(3)
+	h := r.Histogram(`wali_lat_ns{k="a"}`)
+	h.Record(10)
+	h.Record(5000)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"# TYPE wali_syscalls_total counter",
+		`wali_syscalls_total{syscall="read"} 5`,
+		`wali_syscalls_total{syscall="write"} 2`,
+		"wali_plain_total 9",
+		"# TYPE wali_guests gauge",
+		"wali_guests 3",
+		"# TYPE wali_lat_ns histogram",
+		`wali_lat_ns_bucket{k="a",le="+Inf"} 2`,
+		`wali_lat_ns_sum{k="a"} 5010`,
+		`wali_lat_ns_count{k="a"} 2`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prometheus output missing %q\n%s", want, text)
+		}
+	}
+	// TYPE line must appear exactly once per family.
+	if n := strings.Count(text, "# TYPE wali_syscalls_total"); n != 1 {
+		t.Errorf("TYPE line repeated %d times", n)
+	}
+}
+
+func TestMetricsServer(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("wali_up_total").Inc()
+	ms, err := ListenAndServe(":0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+	addr := ms.Addr()
+	if !strings.HasPrefix(addr, "127.0.0.1:") {
+		t.Fatalf("deny-by-default bind violated: %s", addr)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "wali_up_total 1") {
+		t.Fatalf("/metrics body: %s", body)
+	}
+	resp, err = http.Get("http://" + addr + "/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if snap.Counters["wali_up_total"] != 1 {
+		t.Fatalf("json snapshot: %+v", snap)
+	}
+	if err := ms.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ms.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+}
+
+type fakeMem map[uint32]string
+
+func (f fakeMem) ReadCString(addr uint32, maxLen uint32) (string, bool) {
+	s, ok := f[addr]
+	return s, ok
+}
+
+func TestStraceFormatting(t *testing.T) {
+	mem := fakeMem{0x100: "/data/out.txt"}
+	entry := FormatSyscallEntry("openat", []int64{-100, 0x100, 0x241, 0o644}, mem)
+	if want := `openat(-100, "/data/out.txt", 0x241, 0x1a4)`; entry != want {
+		t.Fatalf("entry %q, want %q", entry, want)
+	}
+	// Unreadable path pointer falls back to hex.
+	entry = FormatSyscallEntry("open", []int64{0xdead, 0}, mem)
+	if !strings.Contains(entry, "0xdead") {
+		t.Fatalf("bad pointer should render as hex: %q", entry)
+	}
+	// Unknown syscall renders all-hex.
+	entry = FormatSyscallEntry("frobnicate", []int64{1, 2}, nil)
+	if want := "frobnicate(0x1, 0x2)"; entry != want {
+		t.Fatalf("unknown syscall: %q, want %q", entry, want)
+	}
+	if got := FormatSyscallReturn(4); got != "4" {
+		t.Fatalf("plain return: %q", got)
+	}
+	if got := FormatSyscallReturn(-2); got != "-1 ENOENT" {
+		t.Fatalf("errno return: %q", got)
+	}
+	if got := FormatSyscallReturn(-5000); got != "-5000" {
+		t.Fatalf("out-of-window negative: %q", got)
+	}
+
+	var buf bytes.Buffer
+	sw := NewStraceWriter(&buf)
+	sw.Line(3, `read(0, 0x10, 64)`, 17, 1500)
+	if line := buf.String(); !strings.HasPrefix(line, "[pid 3] read(0, 0x10, 64) = 17 <") {
+		t.Fatalf("strace line: %q", line)
+	}
+	var nilSW *StraceWriter
+	nilSW.Line(1, "x()", 0, 0) // no-op
+	if NewStraceWriter(nil).Enabled() {
+		t.Fatal("nil-writer StraceWriter should be disabled")
+	}
+}

@@ -2,11 +2,16 @@
 // WALI runs: the machinery behind Fig. 2 (syscall profiles), Fig. 7
 // (runtime breakdown across app / kernel / WALI) and the E1 verbose mode
 // (WALI_VERBOSE-style dynamic syscall logging).
+//
+// The Collector is a thin compatibility layer over the obs metrics
+// registry (internal/obs): the sharded-map counting it used to carry
+// now lives in obs counters, so a collector's numbers appear in the
+// same registry — and the same Prometheus endpoint — as the rest of
+// the observability plane.
 package trace
 
 import (
 	"fmt"
-	"hash/maphash"
 	"math"
 	"sort"
 	"sync"
@@ -14,57 +19,60 @@ import (
 	"time"
 
 	"gowali/internal/core"
+	"gowali/internal/obs"
 )
-
-// collectorShards buckets the per-name counts so concurrent guests'
-// events rarely meet on one lock; the time/call totals are plain
-// atomics. One shard per common hot syscall name is plenty.
-const collectorShards = 16
-
-type collectorShard struct {
-	mu     sync.Mutex
-	counts map[string]uint64
-	_      [48]byte // round the 16-byte payload up to a full cache line
-}
-
-var collectorSeed = maphash.MakeSeed()
 
 // Collector accumulates syscall events for one run. Observe is safe for
 // concurrent use and designed not to serialize the processes it
-// observes: totals are atomic counters and per-name counts are sharded
-// by syscall name.
+// observes: per-name counts are lock-free obs counters (cached per
+// distinct syscall, so steady state is one sync.Map load and one atomic
+// add) and the time/call totals are plain atomics.
 type Collector struct {
-	shards  [collectorShards]collectorShard
-	totalNs atomic.Int64
-	calls   atomic.Uint64
+	reg      *obs.Registry
+	counters sync.Map // syscall name -> *obs.Counter, label pre-formatted
+	totalNs  atomic.Int64
+	calls    atomic.Uint64
 
 	// Verbose, if non-nil, receives one line per syscall (E1's
 	// WALI_VERBOSE).
 	Verbose func(line string)
 }
 
-// NewCollector returns an empty collector.
+// NewCollector returns an empty collector over a private registry.
 func NewCollector() *Collector {
-	c := &Collector{}
-	for i := range c.shards {
-		c.shards[i].counts = make(map[string]uint64)
-	}
-	return c
+	return NewCollectorOn(obs.NewRegistry())
 }
+
+// NewCollectorOn returns a collector that counts into reg, so profile
+// counts surface alongside the rest of the observability plane (the
+// facade passes the engine's configured registry here).
+func NewCollectorOn(reg *obs.Registry) *Collector {
+	return &Collector{reg: reg}
+}
+
+// Registry exposes the backing metrics registry.
+func (c *Collector) Registry() *obs.Registry { return c.reg }
 
 // Attach installs the collector on a WALI engine.
 func (c *Collector) Attach(w *core.WALI) {
 	w.Hook = c.Observe
 }
 
+// counter resolves (and caches) the per-syscall count instrument.
+func (c *Collector) counter(name string) *obs.Counter {
+	if v, ok := c.counters.Load(name); ok {
+		return v.(*obs.Counter)
+	}
+	ctr := c.reg.Counter(`wali_syscalls_total{syscall="` + name + `"}`)
+	c.counters.Store(name, ctr)
+	return ctr
+}
+
 // Observe records one syscall event. It is the collector's hook function:
 // pass it to WALI.Hook (Attach does) or to the embedding facade's
 // WithSyscallHook option.
 func (c *Collector) Observe(ev core.SyscallEvent) {
-	sh := &c.shards[maphash.String(collectorSeed, ev.Name)%collectorShards]
-	sh.mu.Lock()
-	sh.counts[ev.Name]++
-	sh.mu.Unlock()
+	c.counter(ev.Name).Inc()
 	c.totalNs.Add(int64(ev.Duration))
 	c.calls.Add(1)
 	if c.Verbose != nil {
@@ -75,26 +83,20 @@ func (c *Collector) Observe(ev core.SyscallEvent) {
 // Counts returns a copy of the per-syscall invocation counts.
 func (c *Collector) Counts() map[string]uint64 {
 	out := make(map[string]uint64)
-	for i := range c.shards {
-		sh := &c.shards[i]
-		sh.mu.Lock()
-		for k, v := range sh.counts {
-			out[k] += v
-		}
-		sh.mu.Unlock()
-	}
+	c.counters.Range(func(k, v any) bool {
+		out[k.(string)] = uint64(v.(*obs.Counter).Value())
+		return true
+	})
 	return out
 }
 
 // Unique returns the number of distinct syscalls invoked.
 func (c *Collector) Unique() int {
 	n := 0
-	for i := range c.shards {
-		sh := &c.shards[i]
-		sh.mu.Lock()
-		n += len(sh.counts)
-		sh.mu.Unlock()
-	}
+	c.counters.Range(func(_, _ any) bool {
+		n++
+		return true
+	})
 	return n
 }
 

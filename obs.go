@@ -1,0 +1,107 @@
+package gowali
+
+import (
+	"fmt"
+	"io"
+
+	"gowali/internal/obs"
+)
+
+// Observability facade: re-exports of the internal/obs plane plus the
+// options and Runtime methods that attach it. The full pipeline:
+//
+//	tr, reg := gowali.NewTracer(), gowali.NewMetrics()
+//	rt, _ := gowali.New(gowali.WithTracer(tr), gowali.WithMetrics(reg))
+//	addr, _ := rt.ServeMetrics(":9090")   // Prometheus text on loopback
+//	...run guests...
+//	tr.WriteChromeTrace(f)                // Perfetto-loadable JSON
+//
+// All of it is optional; a runtime with none of these options attached
+// pays at most a couple of predictable nil checks per syscall.
+
+// Tracer is the lock-free sharded ring-buffer event recorder; create
+// with NewTracer, attach with WithTracer, arm with SetEnabled(true).
+type Tracer = obs.Tracer
+
+// TraceEvent is one recorded occurrence (see Tracer.Events).
+type TraceEvent = obs.Event
+
+// Metrics is the runtime metrics registry: named counters, gauges and
+// log-bucketed latency histograms with p50/p99/p999 extraction.
+type Metrics = obs.Registry
+
+// MetricsSnapshot is a point-in-time copy of every instrument
+// (JSON-marshalable; benchvirt -json embeds one per run).
+type MetricsSnapshot = obs.Snapshot
+
+// HistogramStat summarizes one latency histogram (count, sum, mean and
+// the p50/p90/p99/p999 estimates).
+type HistogramStat = obs.HistStat
+
+// NewTracer builds a disabled tracer with default ring capacity
+// (128K events across 16 shards). Arm it with SetEnabled(true).
+func NewTracer() *Tracer { return obs.NewTracer(0) }
+
+// NewTracerSized builds a tracer retaining up to perShardCap events
+// per shard (rounded up to a power of two).
+func NewTracerSized(perShardCap int) *Tracer { return obs.NewTracer(perShardCap) }
+
+// NewMetrics builds an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// WithTracer attaches an event tracer to the runtime: syscalls,
+// scheduler transitions, trunk-link frames and snapshot/CoW activity
+// record into it while it is enabled. WALI-backed hosts only.
+func WithTracer(t *Tracer) Option { return func(c *config) { c.tracer = t } }
+
+// WithMetrics attaches a metrics registry: syscall/sched/net latency
+// histograms and event counters accumulate into it for the life of the
+// runtime. Attach before spawning; serve it with Runtime.ServeMetrics
+// or read it with Runtime.Metrics. WALI-backed hosts only.
+func WithMetrics(m *Metrics) Option { return func(c *config) { c.metrics = m } }
+
+// WithStrace streams one decoded line per completed syscall to w —
+// name, arguments (path pointers dereferenced), return value or errno,
+// and handler latency, attributed per guest PID. WALI-backed hosts
+// only.
+func WithStrace(w io.Writer) Option { return func(c *config) { c.straceW = w } }
+
+// Metrics returns the registry attached with WithMetrics (nil if none).
+func (r *Runtime) Metrics() *Metrics {
+	if r.wali == nil {
+		return nil
+	}
+	return r.wali.Metrics
+}
+
+// Tracer returns the tracer attached with WithTracer (nil if none).
+func (r *Runtime) Tracer() *Tracer {
+	if r.wali == nil {
+		return nil
+	}
+	return r.wali.Trace
+}
+
+// ServeMetrics starts an HTTP endpoint serving the runtime's metrics
+// registry: Prometheus text at /metrics, a JSON snapshot at
+// /metrics.json. The bind is deny-by-default: a bare ":PORT" listens
+// on loopback only; an explicit host is required to expose it wider.
+// Returns the bound address (useful with ":0"). The server stops when
+// the runtime is closed.
+func (r *Runtime) ServeMetrics(addr string) (string, error) {
+	reg := r.Metrics()
+	if reg == nil {
+		return "", fmt.Errorf("gowali: ServeMetrics requires a registry attached with WithMetrics")
+	}
+	r.msrvMu.Lock()
+	defer r.msrvMu.Unlock()
+	if r.msrv != nil {
+		return "", fmt.Errorf("gowali: metrics server already running on %s", r.msrv.Addr())
+	}
+	srv, err := obs.ListenAndServe(addr, reg)
+	if err != nil {
+		return "", err
+	}
+	r.msrv = srv
+	return srv.Addr(), nil
+}

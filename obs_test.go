@@ -1,0 +1,163 @@
+package gowali
+
+// Facade tests for the observability plane: the full pipeline a user
+// of the embedding API sees — attach tracer/metrics/strace, run a
+// guest, read the instruments, export a Perfetto-loadable trace, scrape
+// the HTTP endpoint, and tear everything down with Close.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestObsFacadePipeline exercises the whole plane through public API
+// only: WithTracer + WithMetrics + WithStrace + WithScheduler on one
+// runtime running a built-in app.
+func TestObsFacadePipeline(t *testing.T) {
+	tr := NewTracerSized(1 << 10)
+	tr.SetEnabled(true)
+	reg := NewMetrics()
+	var straceBuf bytes.Buffer
+
+	rt, err := New(
+		WithTracer(tr),
+		WithMetrics(reg),
+		WithStrace(&straceBuf),
+		WithScheduler(2, time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status, err := rt.RunApp("lua", 200); err != nil || status != 0 {
+		t.Fatalf("lua: status=%d err=%v", status, err)
+	}
+
+	// The runtime hands back the attached instruments.
+	if rt.Tracer() != tr || rt.Metrics() != reg {
+		t.Fatal("Tracer()/Metrics() do not return the attached instances")
+	}
+
+	// Metrics: the guest's syscalls landed in latency histograms.
+	snap := reg.Snapshot()
+	var sysHists int
+	for name, h := range snap.Histograms {
+		if strings.HasPrefix(name, "wali_syscall_latency_ns{") {
+			sysHists++
+			if h.Count == 0 || h.P50 <= 0 || h.P999 < h.P50 {
+				t.Fatalf("degenerate histogram %s: %+v", name, h)
+			}
+		}
+	}
+	if sysHists < 3 {
+		t.Fatalf("per-syscall histograms = %d, want >= 3 (lua opens/reads/writes)", sysHists)
+	}
+
+	// Strace: decoded lines with names, pids and latencies.
+	lines := straceBuf.String()
+	for _, want := range []string{"[pid 1] open(", "exit_group(0)"} {
+		if !strings.Contains(lines, want) {
+			t.Fatalf("strace output missing %q:\n%s", want, lines)
+		}
+	}
+
+	// Trace export: valid Chrome trace-event JSON (what Perfetto loads),
+	// with process metadata and complete events.
+	var out bytes.Buffer
+	if err := tr.WriteChromeTrace(&out); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Cat  string  `json:"cat"`
+			TS   float64 `json:"ts"`
+			PID  int     `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	var meta, complete int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+		case "X":
+			complete++
+		}
+	}
+	if meta == 0 || complete == 0 {
+		t.Fatalf("trace has meta=%d complete=%d events, want both > 0", meta, complete)
+	}
+
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestObsServeMetricsAndClose: the HTTP endpoint binds loopback on a
+// bare ":0", serves Prometheus text and JSON, and stops with the
+// runtime — Close leaves no server goroutine behind.
+func TestObsServeMetricsAndClose(t *testing.T) {
+	base := runtime.NumGoroutine()
+	reg := NewMetrics()
+	rt, err := New(WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := rt.ServeMetrics(":0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(addr, "127.0.0.1:") {
+		t.Fatalf("deny-by-default bind: addr = %q, want loopback", addr)
+	}
+	if status, err := rt.RunApp("lua", 100); err != nil || status != 0 {
+		t.Fatalf("lua: status=%d err=%v", status, err)
+	}
+
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "wali_syscall_latency_ns_count") {
+		t.Fatalf("/metrics missing syscall histograms:\n%.400s", body)
+	}
+
+	// A second server on the same runtime is refused while one runs.
+	if _, err := rt.ServeMetrics(":0"); err == nil {
+		t.Fatal("second ServeMetrics succeeded, want error")
+	}
+
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Fatal("metrics endpoint still serving after Close")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d -> %d after Close", base, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestObsRequiresWALI: the observability options name the constraint
+// when attached to the syscall-less WAZI board.
+func TestObsRequiresWALI(t *testing.T) {
+	_, err := New(WithHost(WAZIHost()), WithMetrics(NewMetrics()))
+	if err == nil || !strings.Contains(err.Error(), "WALI-backed") {
+		t.Fatalf("err = %v, want WALI-backed host requirement", err)
+	}
+}
